@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A4: stitching-policy ablation. Paper Algorithm 1 greedily gives
+ * the bottleneck kernel its best (usually fused) option; our
+ * stitcher's Auto mode also evaluates a singles-only pass and keeps
+ * the better plan. This bench quantifies the difference.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace stitch;
+using namespace stitch::bench;
+
+int
+main()
+{
+    detail::setInformEnabled(false);
+    printHeader("Ablation A4",
+                "stitching policy: Algorithm-1 greedy vs "
+                "singles-only vs auto");
+
+    TextTable table({"app", "greedy (Alg. 1)", "singles-only",
+                     "auto (ours)"});
+    double sums[3] = {0, 0, 0};
+    const compiler::StitchPolicy policies[] = {
+        compiler::StitchPolicy::Greedy,
+        compiler::StitchPolicy::SinglesOnly,
+        compiler::StitchPolicy::Auto};
+
+    for (const auto &app : apps::allApps()) {
+        std::vector<std::string> cells = {app.name};
+        for (int p = 0; p < 3; ++p) {
+            apps::AppRunner runner(4, 12);
+            runner.setPolicy(policies[p]);
+            auto base = runner.run(app, apps::AppMode::Baseline);
+            auto full = runner.run(app, apps::AppMode::Stitch);
+            double boost = base.perSampleCycles() /
+                           full.perSampleCycles();
+            sums[p] += boost;
+            cells.push_back(strformat("%.2f", boost));
+        }
+        table.addRow(cells);
+        std::fflush(stdout);
+    }
+    table.addRow({"average", strformat("%.2f", sums[0] / 4),
+                  strformat("%.2f", sums[1] / 4),
+                  strformat("%.2f", sums[2] / 4)});
+    table.print();
+
+    std::printf(
+        "\nThe literal Algorithm 1 over-commits patch pairs when "
+        "many similarly-heavy\nkernels compete (fusing the first "
+        "few bottlenecks starves the rest); the\nsingles-only "
+        "policy wastes fusion when imbalance is high. Auto takes "
+        "the\nbetter of the two per application at compile time.\n");
+    return 0;
+}

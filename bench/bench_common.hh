@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared helpers for the table/figure harnesses: compiled-kernel and
+ * application-run caching, and paper-vs-measured formatting.
+ *
+ * Every harness prints the rows of one paper artifact. Absolute
+ * numbers are not expected to match the paper (our substrate is a
+ * purpose-built simulator with synthetic kernels, not the authors'
+ * gem5+RTL testbed); the *shape* — who wins and by roughly what
+ * factor — is the reproduction target. Rows sourced directly from the
+ * paper are marked "(paper)".
+ */
+
+#ifndef STITCH_BENCH_BENCH_COMMON_HH
+#define STITCH_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "apps/app_runner.hh"
+#include "common/table.hh"
+#include "kernels/catalog.hh"
+#include "power/power_model.hh"
+
+namespace stitch::bench
+{
+
+/** Kernel list of the Fig. 11 study, in display order. */
+inline const std::vector<std::string> &
+fig11Kernels()
+{
+    static const std::vector<std::string> kernels = {
+        "fft",  "ifft",   "fir",    "filter",    "update", "conv2d",
+        "sobel", "pooling", "matmul", "fc",       "dtw",    "aes",
+        "histogram", "svm", "astar", "crc",
+        "viterbi", "kmeans", "iir"};
+    return kernels;
+}
+
+/** Compile-once cache of standalone kernels. */
+inline const compiler::CompiledKernel &
+compiledKernel(const std::string &name)
+{
+    static std::map<std::string,
+                    std::unique_ptr<compiler::CompiledKernel>>
+        cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        auto input = kernels::kernelByName(name).build({});
+        it = cache
+                 .emplace(name,
+                          std::make_unique<compiler::CompiledKernel>(
+                              compiler::compileKernel(name, input)))
+                 .first;
+    }
+    return *it->second;
+}
+
+/** Shared application runner (compilations cached across calls). */
+inline apps::AppRunner &
+appRunner()
+{
+    static apps::AppRunner runner(4, 12);
+    return runner;
+}
+
+/** Application run cache keyed by (app, mode). */
+inline const apps::AppRunResult &
+appResult(const apps::AppSpec &app, apps::AppMode mode)
+{
+    static std::map<std::string, apps::AppRunResult> cache;
+    std::string key =
+        app.name + "/" + apps::appModeName(mode);
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, appRunner().run(app, mode)).first;
+    return it->second;
+}
+
+/** Throughput boost of `mode` over the baseline for `app`. */
+inline double
+appBoost(const apps::AppSpec &app, apps::AppMode mode)
+{
+    return appResult(app, apps::AppMode::Baseline).perSampleCycles() /
+           appResult(app, mode).perSampleCycles();
+}
+
+inline void
+printHeader(const char *artifact, const char *caption)
+{
+    std::printf("================================================="
+                "=============\n");
+    std::printf("%s — %s\n", artifact, caption);
+    std::printf("================================================="
+                "=============\n");
+}
+
+} // namespace stitch::bench
+
+#endif // STITCH_BENCH_BENCH_COMMON_HH

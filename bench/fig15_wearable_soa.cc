@@ -1,0 +1,83 @@
+/**
+ * @file
+ * E9+E12 / paper Figure 15 and the Section VI-D LOCUS@400MHz
+ * comparison: throughput, power and performance/watt of Stitch
+ * relative to the quad Cortex-A7 of state-of-the-art smartwatches.
+ *
+ * The A7 reference throughput is derived from the paper's own
+ * anchors (Stitch = 2.3X our-style baseline and 1.65X the A7, so
+ * A7 ~ 1.394X baseline); its 469 mW is the paper's ODROID
+ * measurement.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace stitch;
+using namespace stitch::bench;
+
+int
+main()
+{
+    detail::setInformEnabled(false);
+    printHeader("Figure 15",
+                "Stitch vs quad Cortex-A7 (state-of-the-art "
+                "wearables)");
+
+    double powerRatio =
+        power::stitchPowerMw() / power::cortexA7Ref.powerMw;
+
+    TextTable table(
+        {"app", "throughput vs A7", "power vs A7", "perf/watt vs A7"});
+    double sums[2] = {0, 0};
+    for (const auto &app : apps::allApps()) {
+        double boostVsBase = appBoost(app, apps::AppMode::Stitch);
+        double vsA7 = boostVsBase / power::a7VsBaselineThroughput;
+        double perfWatt = vsA7 / powerRatio;
+        sums[0] += vsA7;
+        sums[1] += perfWatt;
+        table.addRow({app.name, strformat("%.2f", vsA7),
+                      strformat("%.2fx", powerRatio),
+                      strformat("%.2f", perfWatt)});
+    }
+    table.addRow({"average", strformat("%.2f", sums[0] / 4),
+                  strformat("%.2fx", powerRatio),
+                  strformat("%.2f", sums[1] / 4)});
+    table.print();
+
+    std::printf(
+        "\nPaper: 1.65X average throughput and 6.04X "
+        "performance/watt at 140 mW vs\n469 mW. Measured: %.2fX "
+        "throughput, %.2fX perf/watt (power ratio %.3f).\n",
+        sums[0] / 4, sums[1] / 4, powerRatio);
+
+    // ---- E12: LOCUS at its 400 MHz maximum vs Stitch at 200 MHz.
+    std::printf(
+        "\nSection VI-D check — LOCUS @ 400 MHz vs Stitch @ 200 "
+        "MHz:\n");
+    TextTable l({"app", "Stitch/LOCUS@400 perf",
+                 "Stitch/LOCUS@400 perf-per-watt"});
+    double lsum[2] = {0, 0};
+    for (const auto &app : apps::allApps()) {
+        double stitch = appBoost(app, apps::AppMode::Stitch);
+        double locus400 =
+            appBoost(app, apps::AppMode::Locus) * 2.0; // 2x clock
+        double perf = stitch / locus400;
+        double ppw = (stitch / power::stitchPowerMw()) /
+                     (locus400 / power::locusPowerMw(400.0));
+        lsum[0] += perf;
+        lsum[1] += ppw;
+        l.addRow({app.name, strformat("%.2f", perf),
+                  strformat("%.2f", ppw)});
+    }
+    l.addRow({"average", strformat("%.2f", lsum[0] / 4),
+              strformat("%.2f", lsum[1] / 4)});
+    l.print();
+    std::printf(
+        "Paper: Stitch still wins 1.03X perf and 1.16X perf/watt. "
+        "Measured: %.2fX /\n%.2fX — the perf/watt advantage "
+        "survives the frequency handicap (our raw\nperf ratio is "
+        "below 1 because our LOCUS ISEs are stronger than the "
+        "paper's;\nsee EXPERIMENTS.md).\n",
+        lsum[0] / 4, lsum[1] / 4);
+    return 0;
+}

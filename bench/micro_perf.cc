@@ -1,0 +1,133 @@
+/**
+ * @file
+ * A3: google-benchmark microbenchmarks of the simulator and compiler
+ * infrastructure itself (host-side throughput, not simulated
+ * cycles) — useful for keeping the tool chain fast enough to sweep.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hh"
+#include "compiler/profiler.hh"
+#include "core/patch.hh"
+#include "core/snoc.hh"
+#include "cpu/core.hh"
+#include "mem/addrmap.hh"
+
+namespace
+{
+
+using namespace stitch;
+
+/** Simulated instructions per second of the core interpreter. */
+void
+BM_CoreInterpreter(benchmark::State &state)
+{
+    auto input = kernels::kernelByName("fir").build({});
+    mem::TileMemory memory;
+    cpu::Core core(0, memory, nullptr, nullptr);
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        core.loadProgram(input.program);
+        core.runToHalt();
+        instructions += core.instructionsRetired();
+    }
+    state.counters["sim_instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CoreInterpreter);
+
+/** Full compile-and-measure of one kernel across all 13 targets. */
+void
+BM_CompileKernel(benchmark::State &state)
+{
+    auto input = kernels::kernelByName("update").build({});
+    for (auto _ : state) {
+        auto compiled = compiler::compileKernel("update", input);
+        benchmark::DoNotOptimize(compiled.variants.size());
+    }
+}
+BENCHMARK(BM_CompileKernel)->Unit(benchmark::kMillisecond);
+
+/** Profiling pass alone. */
+void
+BM_ProfileKernel(benchmark::State &state)
+{
+    auto input = kernels::kernelByName("fft").build({});
+    for (auto _ : state) {
+        auto prof = compiler::profileProgram(input.program);
+        benchmark::DoNotOptimize(prof.totalCycles);
+    }
+}
+BENCHMARK(BM_ProfileKernel)->Unit(benchmark::kMicrosecond);
+
+/** One fused patch evaluation (the per-CUST simulator cost). */
+void
+BM_FusedPatchExecute(benchmark::State &state)
+{
+    core::FusedConfig cfg;
+    cfg.localKind = core::PatchKind::ATMA;
+    cfg.local.a1op = core::AluOp::Pass;
+    cfg.local.u1Lhs = core::U1Lhs::In1;
+    cfg.local.u1Rhs = core::U1Rhs::In2;
+    cfg.local.aop2 = core::AluOp::Add;
+    cfg.local.outCfg = core::OutCfg::S2;
+    cfg.usesRemote = true;
+    cfg.remoteKind = core::PatchKind::ATAS;
+    cfg.remote.a1op = core::AluOp::Pass;
+    cfg.remote.outCfg = core::OutCfg::S1;
+    core::NullSpmPort null1;
+
+    class Dummy : public core::SpmPort
+    {
+      public:
+        Word load(Addr) override { return 7; }
+        void store(Addr, Word) override {}
+    } spm;
+
+    std::array<Word, 4> in = {1, 2, 3, 4};
+    for (auto _ : state) {
+        auto res = core::executeCustom(cfg, in, spm, &null1);
+        benchmark::DoNotOptimize(res.rd0);
+        in[1] += res.rd0;
+    }
+}
+BENCHMARK(BM_FusedPatchExecute);
+
+/** Compiler-time sNoC routing (Algorithm 1's FindPath). */
+void
+BM_SnocFusionRouting(benchmark::State &state)
+{
+    auto arch = stitch::core::StitchArch::standard();
+    for (auto _ : state) {
+        core::SnocConfig snoc;
+        int routed = 0;
+        for (TileId t = 0; t < numTiles; t += 2)
+            routed += snoc.addFusion(t, arch.kindOf(t), t + 1,
+                                     arch.kindOf(t + 1))
+                          .has_value();
+        benchmark::DoNotOptimize(routed);
+    }
+}
+BENCHMARK(BM_SnocFusionRouting)->Unit(benchmark::kMicrosecond);
+
+/** Sixteen-tile application simulation (APP3, baseline mode). */
+void
+BM_SystemSimulation(benchmark::State &state)
+{
+    stitch::detail::setInformEnabled(false);
+    apps::AppRunner runner(2, 4);
+    auto app = apps::app3SvmEncrypt();
+    // Warm the compile cache outside the timed region.
+    runner.run(app, apps::AppMode::Baseline);
+    for (auto _ : state) {
+        auto res = runner.run(app, apps::AppMode::Baseline);
+        benchmark::DoNotOptimize(res.stats.makespan);
+    }
+}
+BENCHMARK(BM_SystemSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

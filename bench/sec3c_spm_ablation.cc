@@ -1,0 +1,157 @@
+/**
+ * @file
+ * E11 / paper Section III-C: replacing the 4 KB data cache with a
+ * 4 KB SPM costs at most ~1.5% on software-only kernels when the hot
+ * variables map to the SPM.
+ *
+ * We build each kernel twice: hot arrays in the SPM window (Stitch
+ * memory: 4 KB D$ + 4 KB SPM) vs the same arrays in cached DRAM
+ * (baseline memory: 8 KB D$, no SPM), and compare software-only
+ * cycles. Kernel sources are identical up to the array base
+ * addresses.
+ */
+
+#include "bench/bench_common.hh"
+#include "compiler/profiler.hh"
+#include "isa/assembler.hh"
+#include "mem/addrmap.hh"
+
+using namespace stitch;
+using namespace stitch::bench;
+using namespace stitch::isa::reg;
+
+namespace
+{
+
+/**
+ * A kernel with a ~8 KB working set: a 4 KB "hot" table (the part the
+ * paper maps to the SPM) plus 2 KB input and 2 KB output streams that
+ * always live in cached DRAM. With an 8 KB D$ everything fits; with a
+ * 4 KB D$ the streams fit exactly iff the hot table moved to the SPM.
+ */
+isa::Program
+streamKernel(bool useSpm, int passes)
+{
+    isa::Assembler a(useSpm ? "spm" : "dram");
+    auto hotBase = useSpm ? static_cast<std::int32_t>(mem::spmBase)
+                          : 0x38000;
+    a.li(s2, hotBase);  // hot[1024] (4 KB)
+    // Stream bases staggered so they map to disjoint cache sets
+    // (the paper's "appropriate data mapping strategy").
+    a.li(s3, 0x30000);  // in[512]   (2 KB, always cached)
+    a.li(s4, 0x32800);  // out[512]  (2 KB, always cached)
+
+    auto outer = a.newLabel();
+    auto loop = a.newLabel();
+    a.li(t9, 0); // pass
+    a.bind(outer);
+    a.li(t0, 0);
+    a.li(a0, 0);
+    a.bind(loop);
+    a.andi(t1, t0, 1023); // hot index
+    a.slli(t1, t1, 2);
+    a.add(t2, s2, t1);
+    a.lw(t3, t2, 0); // hot table lookup
+    a.andi(t1, t0, 511);
+    a.slli(t1, t1, 2);
+    a.add(t2, s3, t1);
+    a.lw(t4, t2, 0); // stream in
+    a.mul(t3, t3, t4);
+    a.srai(t3, t3, 8);
+    a.add(a0, a0, t3);
+    a.add(t2, s4, t1);
+    a.sw(a0, t2, 0); // stream out
+    a.addi(t0, t0, 1);
+    a.li(t2, 1024);
+    a.blt(t0, t2, loop);
+    a.addi(t9, t9, 1);
+    a.li(t2, passes);
+    a.blt(t9, t2, outer);
+    a.halt();
+    auto prog = a.finish();
+    std::vector<Word> hot, stream;
+    for (Word i = 0; i < 1024; ++i)
+        hot.push_back(i * 17 + 3);
+    for (Word i = 0; i < 512; ++i)
+        stream.push_back(i * 5 + 1);
+    prog.addDataWords(static_cast<Addr>(hotBase), hot);
+    prog.addDataWords(0x30000, stream);
+    return prog;
+}
+
+Cycles
+runWith(const isa::Program &prog, bool spmConfig)
+{
+    mem::MemParams params;
+    if (spmConfig) {
+        params.dcache.sizeBytes = 4096;
+        params.hasSpm = true;
+    } else {
+        params.dcache.sizeBytes = 8192; // the baseline footnote
+        params.hasSpm = false;
+    }
+    compiler::ProfileParams pp;
+    pp.mem = params;
+    return compiler::profileProgram(prog, pp).totalCycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    detail::setInformEnabled(false);
+    printHeader("Section III-C",
+                "4 KB D$ + 4 KB SPM vs 8 KB D$ (software only)");
+
+    TextTable table({"workload", "8KB D$ cycles", "4KB D$ + SPM",
+                     "degradation"});
+    double worst = 0;
+    for (int passes : {2, 4, 8}) {
+        auto dram = streamKernel(false, passes);
+        auto spm = streamKernel(true, passes);
+        Cycles dcyc = runWith(dram, false);
+        Cycles scyc = runWith(spm, true);
+        double deg = 100.0 * (static_cast<double>(scyc) /
+                                  static_cast<double>(dcyc) -
+                              1.0);
+        worst = std::max(worst, deg);
+        table.addRow(
+            {strformat("8KB-working-set x%d passes", passes),
+             strformat("%llu", static_cast<unsigned long long>(dcyc)),
+             strformat("%llu", static_cast<unsigned long long>(scyc)),
+             strformat("%+.2f%%", deg)});
+    }
+
+    // Also: the real suite kernels under the two configs (their
+    // arrays already live in the SPM window, which both configs can
+    // reach; this isolates the smaller D-cache).
+    for (const auto &name : fig11Kernels()) {
+        auto input = kernels::kernelByName(name).build({});
+        compiler::ProfileParams small;
+        small.mem.dcache.sizeBytes = 4096;
+        compiler::ProfileParams big;
+        big.mem.dcache.sizeBytes = 8192;
+        Cycles s = compiler::profileProgram(input.program, small)
+                       .totalCycles;
+        Cycles b =
+            compiler::profileProgram(input.program, big).totalCycles;
+        double deg = 100.0 * (static_cast<double>(s) /
+                                  static_cast<double>(b) -
+                              1.0);
+        worst = std::max(worst, deg);
+        table.addRow(
+            {name,
+             strformat("%llu", static_cast<unsigned long long>(b)),
+             strformat("%llu", static_cast<unsigned long long>(s)),
+             strformat("%+.2f%%", deg)});
+    }
+    table.print();
+
+    std::printf(
+        "\nPaper claim: only ~1.5%% average degradation when the "
+        "4 KB D$ is replaced\nby a 4 KB SPM under an appropriate "
+        "data mapping. Worst measured case here:\n%+.2f%%.\n",
+        worst);
+    return 0;
+}

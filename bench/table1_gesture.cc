@@ -1,0 +1,90 @@
+/**
+ * @file
+ * E1 / paper Table I: power-performance of the finger-gesture
+ * recognition application (APP1) across architectures.
+ *
+ * Our cycle counts come from simulating APP1's 16-kernel pipeline;
+ * power comes from the RTL-anchored model. The SensorTag and
+ * Cortex-A7 rows are the paper's measured references (we cannot
+ * re-measure physical boards). Our synthetic gesture workload is
+ * smaller than the authors' full application, so absolute ms differ;
+ * the comparison column normalizes per-gesture time to the Stitch
+ * configuration, which is the shape the table argues about.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace stitch;
+using namespace stitch::bench;
+
+int
+main()
+{
+    detail::setInformEnabled(false);
+    printHeader("Table I",
+                "gesture recognition across architectures (APP1)");
+
+    auto app = apps::app1Gesture();
+    double baseCyc =
+        appResult(app, apps::AppMode::Baseline).perSampleCycles();
+    double noFuseCyc =
+        appResult(app, apps::AppMode::StitchNoFusion)
+            .perSampleCycles();
+    double fullCyc =
+        appResult(app, apps::AppMode::Stitch).perSampleCycles();
+
+    double fullMs = power::cyclesToMs(fullCyc);
+    double noFuseMs = power::cyclesToMs(noFuseCyc);
+    double baseMs = power::cyclesToMs(baseCyc);
+
+    TextTable table({"", "SensorTag", "Cortex-A7", "Stitch w/o fusion",
+                     "Stitch"});
+    table.addRow({"time/gesture ms (paper)",
+                  strformat("%.0f", power::sensorTagRef.gestureMs),
+                  strformat("%.1f", power::cortexA7Ref.gestureMs),
+                  strformat("%.2f", power::paperNoFusionRef.gestureMs),
+                  strformat("%.2f", power::paperStitchRef.gestureMs)});
+    table.addRow({"time/gesture ms (measured)", "-", "-",
+                  strformat("%.4f", noFuseMs),
+                  strformat("%.4f", fullMs)});
+    table.addRow(
+        {"normalized to Stitch (paper)",
+         strformat("%.1fx", power::sensorTagRef.gestureMs /
+                                power::paperStitchRef.gestureMs),
+         strformat("%.2fx", power::cortexA7Ref.gestureMs /
+                                power::paperStitchRef.gestureMs),
+         strformat("%.2fx", power::paperNoFusionRef.gestureMs /
+                                power::paperStitchRef.gestureMs),
+         "1.00x"});
+    table.addRow({"normalized to Stitch (measured)", "-", "-",
+                  strformat("%.2fx", noFuseMs / fullMs), "1.00x"});
+    table.addRow(
+        {"power mW",
+         strformat("%.2f (paper)", power::sensorTagRef.powerMw),
+         strformat("%.0f (paper)", power::cortexA7Ref.powerMw),
+         strformat("%.0f", power::stitchNoFusionPowerMw()),
+         strformat("%.1f", power::stitchPowerMw())});
+    table.addRow({"frequency MHz",
+                  strformat("%.0f", power::sensorTagRef.freqMhz),
+                  strformat("%.0f", power::cortexA7Ref.freqMhz),
+                  "200", "200"});
+    table.print();
+
+    std::printf(
+        "\nReal-time deadline: %.2f ms per gesture (128 Hz sampling)."
+        "\nPaper: only Stitch meets it (7.62 < 7.81 ms); SensorTag "
+        "misses by 74x,\nquad-A7 by 1.7x, Stitch w/o fusion by "
+        "1.5x.\n",
+        power::gestureDeadlineMs);
+    std::printf(
+        "Measured (scaled workload): Stitch processes a gesture "
+        "window in %.4f ms,\n%.2fx faster than the 16-core baseline "
+        "(%.4f ms) and %.2fx faster than\nStitch w/o fusion.\n",
+        fullMs, baseMs / fullMs, baseMs, noFuseMs / fullMs);
+    std::printf(
+        "Deviation note: our APP1 balance lets single patches cover "
+        "the bottleneck\nkernels, so fusion adds little here "
+        "(paper: 1.51x); the fusion win shows in\nAPP2-APP4 "
+        "(fig12_app_throughput).\n");
+    return 0;
+}

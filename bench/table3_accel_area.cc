@@ -1,0 +1,42 @@
+/**
+ * @file
+ * E6 / paper Table III: accelerator area cost across architectures.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace stitch;
+using namespace stitch::bench;
+
+int
+main()
+{
+    detail::setInformEnabled(false);
+    printHeader("Table III", "accelerator area cost");
+
+    auto arch = core::StitchArch::standard();
+    double noFusion = power::patchesAreaUm2(arch);
+    double full = noFusion + power::snocAreaUm2();
+    double chip = power::chipAreaMm2() * 1e6;
+
+    TextTable table({"", "LOCUS", "Stitch w/o fusion", "Stitch"});
+    table.addRow({"area um^2 (paper)", "1,288,044", "49,872",
+                  "168,568"});
+    table.addRow({"area um^2 (model)",
+                  strformat("%.0f", power::locusAccelAreaUm2),
+                  strformat("%.0f", noFusion),
+                  strformat("%.0f", full)});
+    table.addRow({"share of chip",
+                  strformat("%.2f%%",
+                            100 * power::locusAccelAreaUm2 / chip),
+                  strformat("%.2f%%", 100 * noFusion / chip),
+                  strformat("%.2f%%", 100 * full / chip)});
+    table.print();
+
+    std::printf(
+        "\nPaper: the LOCUS accelerators are 7.64x larger than "
+        "Stitch's. Model: %.2fx\n(the Stitch rows accumulate Table "
+        "IV per-patch and per-switch areas).\n",
+        power::locusAccelAreaUm2 / full);
+    return 0;
+}

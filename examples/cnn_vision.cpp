@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The CNN image-recognition application (APP2, paper Figure 9):
+ * thirteen convolution kernels of two sizes, two pooling kernels and
+ * a fully-connected layer. This is the paper's showcase for patch
+ * exhaustion: seven heavy conv kernels compete for four
+ * {AT-AS}+{AT-MA} pairs, so Algorithm 1 falls back to {AT-SA} pairs
+ * for the rest — watch the plan output.
+ *
+ *   ./build/examples/cnn_vision
+ */
+
+#include <cstdio>
+
+#include "apps/app_runner.hh"
+
+using namespace stitch;
+
+int
+main()
+{
+    detail::setInformEnabled(false);
+    auto app = apps::app2Cnn();
+    apps::AppRunner runner(4, 12);
+
+    std::printf("Per-kernel acceleration menu (single core):\n");
+    std::printf("%-10s %10s %10s %10s\n", "kernel", "software",
+                "best patch", "stitched");
+    for (const auto &name :
+         {std::string("conv2d"), std::string("conv2d10"),
+          std::string("pooling"), std::string("fc")}) {
+        const auto &ck = runner.compiledFor(name, {});
+        std::printf("%-10s %10llu %9.2fx %9.2fx\n", name.c_str(),
+                    static_cast<unsigned long long>(
+                        ck.softwareCycles),
+                    ck.bestSinglePatch()->speedup,
+                    ck.bestStitch()->speedup);
+    }
+
+    auto base = runner.run(app, apps::AppMode::Baseline);
+    auto full = runner.run(app, apps::AppMode::Stitch);
+
+    std::printf("\nStitch plan:\n");
+    std::vector<compiler::KernelProfile> names;
+    for (std::size_t k = 0; k < app.stageKernels.size(); ++k)
+        names.push_back(
+            {app.stageKernels[k] + "#" + std::to_string(k), 0, {}});
+    std::printf("%s\n",
+                full.plan
+                    .describe(names, core::StitchArch::standard())
+                    .c_str());
+
+    std::printf("pipeline throughput: %.0f -> %.0f cycles/image "
+                "(%.2fx)\n",
+                base.perSampleCycles(), full.perSampleCycles(),
+                base.perSampleCycles() / full.perSampleCycles());
+    std::printf("custom instructions executed: %llu; messages: "
+                "%llu\n",
+                static_cast<unsigned long long>(
+                    full.stats.customInstructions),
+                static_cast<unsigned long long>(
+                    full.stats.messages));
+
+    std::printf("\nper-tile utilization (Stitch run):\n");
+    for (TileId t = 0; t < numTiles; ++t) {
+        const auto &ts = full.stats.perTile[static_cast<std::size_t>(t)];
+        if (!ts.loaded)
+            continue;
+        std::printf("  tile%-2d %5.1f%% busy, %7llu instrs, %5llu "
+                    "CUSTs\n",
+                    t, 100.0 * ts.utilization(full.stats.makespan),
+                    static_cast<unsigned long long>(ts.instructions),
+                    static_cast<unsigned long long>(
+                        ts.customInstructions));
+    }
+    return 0;
+}

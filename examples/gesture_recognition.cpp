@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The paper's Section V case study: finger gesture recognition
+ * (APP1) running as a 16-kernel pipeline on the Stitch chip, with
+ * the real-time deadline analysis of Table I.
+ *
+ *   ./build/examples/gesture_recognition
+ */
+
+#include <cstdio>
+
+#include "apps/app_runner.hh"
+#include "power/power_model.hh"
+
+using namespace stitch;
+
+int
+main()
+{
+    detail::setInformEnabled(false);
+    std::printf("Building and compiling the gesture pipeline "
+                "(FIR -> 6x FFT -> update -> filter -> 6x IFFT -> "
+                "SVM)...\n\n");
+
+    auto app = apps::app1Gesture();
+    apps::AppRunner runner(4, 12);
+
+    struct Row
+    {
+        apps::AppMode mode;
+        double cycles;
+        double powerMw;
+    };
+    std::vector<Row> rows;
+    for (auto mode :
+         {apps::AppMode::Baseline, apps::AppMode::Locus,
+          apps::AppMode::StitchNoFusion, apps::AppMode::Stitch}) {
+        auto res = runner.run(app, mode);
+        double mw = 0;
+        switch (mode) {
+          case apps::AppMode::Baseline:
+            mw = power::baselinePowerMw();
+            break;
+          case apps::AppMode::Locus:
+            mw = power::locusPowerMw();
+            break;
+          case apps::AppMode::StitchNoFusion:
+            mw = power::stitchNoFusionPowerMw();
+            break;
+          case apps::AppMode::Stitch:
+            mw = power::stitchPowerMw();
+            break;
+        }
+        rows.push_back({mode, res.perSampleCycles(), mw});
+
+        if (mode == apps::AppMode::Stitch && res.hasPlan) {
+            std::printf("Stitch plan (Algorithm 1):\n");
+            std::vector<compiler::KernelProfile> names;
+            for (std::size_t k = 0; k < app.stageKernels.size(); ++k)
+                names.push_back(
+                    {app.stageKernels[k] + "#" + std::to_string(k),
+                     0,
+                     {}});
+            std::printf("%s\n",
+                        res.plan
+                            .describe(names,
+                                      core::StitchArch::standard())
+                            .c_str());
+        }
+    }
+
+    double base = rows[0].cycles;
+    std::printf("%-18s %14s %9s %9s %11s\n", "architecture",
+                "cycles/gesture", "ms", "boost", "perf/watt");
+    for (const auto &row : rows) {
+        double ms = power::cyclesToMs(row.cycles);
+        double boost = base / row.cycles;
+        double ppw = boost / (row.powerMw / rows[0].powerMw);
+        std::printf("%-18s %14.0f %9.4f %8.2fx %10.2fx\n",
+                    appModeName(row.mode), row.cycles, ms, boost,
+                    ppw);
+    }
+
+    std::printf(
+        "\nPaper Table I context: on the authors' full-size workload "
+        "only Stitch met\nthe 7.81 ms / 128 Hz gesture deadline "
+        "(7.62 ms vs 11.49 ms without fusion and\n13 ms on a quad "
+        "Cortex-A7). Our scaled gesture window shows the same "
+        "ordering\nof architectures at a smaller absolute size.\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * End-to-end application execution: compile every stage kernel for
+ * every target, stitch (for the Stitch modes), place, wire the
+ * message channels, and simulate the 16-tile system.
+ *
+ * The runner caches compiled kernels by (name, shape) — APP1's six
+ * FFT stages compile once — because compile-and-measure across 13
+ * targets is the expensive step.
+ */
+
+#ifndef STITCH_APPS_APP_RUNNER_HH
+#define STITCH_APPS_APP_RUNNER_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "apps/apps.hh"
+#include "compiler/stitcher.hh"
+#include "kernels/catalog.hh"
+#include "sim/system.hh"
+
+namespace stitch::apps
+{
+
+/** The four architecture configurations of Figure 12. */
+enum class AppMode
+{
+    Baseline,       ///< 16-core message passing, no accelerators
+    Locus,          ///< identical per-core SFU (LOCUS [51])
+    StitchNoFusion, ///< patches, each kernel limited to its own tile
+    Stitch,         ///< patches + fusion over the sNoC
+};
+
+const char *appModeName(AppMode mode);
+
+/** Result of one application run. */
+struct AppRunResult
+{
+    AppMode mode = AppMode::Baseline;
+    sim::RunStats stats; ///< from the longer of the two runs
+    int samples = 0;     ///< sample-count difference of the two runs
+    double marginalCycles = 0.0;
+
+    /**
+     * Steady-state cycles per pipeline sample: the marginal cost of
+     * the extra samples between a short and a long run, which cancels
+     * the pipeline fill/drain and cold-cache transients exactly.
+     */
+    double perSampleCycles() const { return marginalCycles; }
+
+    bool hasPlan = false;
+    compiler::StitchPlan plan; ///< valid for the Stitch modes
+};
+
+/** Compiles, stitches, places, and simulates applications. */
+class AppRunner
+{
+  public:
+    /** Steady state is measured between runs of `samplesShort` and
+     *  `samplesLong` pipeline samples. */
+    explicit AppRunner(int samplesShort = 4, int samplesLong = 12);
+
+    /** Run `app` under `mode`. */
+    AppRunResult run(const AppSpec &app, AppMode mode);
+
+    /** Compiled kernel for a stage shape (cached). */
+    const compiler::CompiledKernel &
+    compiledFor(const std::string &kernel,
+                const kernels::PipelineShape &shape);
+
+    /** Override the patch placement (ablation studies). */
+    void setArch(const core::StitchArch &arch) { arch_ = arch; }
+
+    /** Override the stitching policy (ablation studies). */
+    void
+    setPolicy(compiler::StitchPolicy policy)
+    {
+        policy_ = policy;
+    }
+
+  private:
+    int samplesShort_;
+    int samplesLong_;
+    core::StitchArch arch_ = core::StitchArch::standard();
+    compiler::StitchPolicy policy_ = compiler::StitchPolicy::Auto;
+    std::map<std::string, std::unique_ptr<compiler::CompiledKernel>>
+        cache_;
+};
+
+} // namespace stitch::apps
+
+#endif // STITCH_APPS_APP_RUNNER_HH

@@ -1,0 +1,118 @@
+#include "apps/apps.hh"
+
+#include "common/logging.hh"
+
+namespace stitch::apps
+{
+
+int
+AppSpec::inDegree(int stage) const
+{
+    int n = 0;
+    for (const auto &e : edges)
+        if (e.to == stage)
+            ++n;
+    return n;
+}
+
+int
+AppSpec::outDegree(int stage) const
+{
+    int n = 0;
+    for (const auto &e : edges)
+        if (e.from == stage)
+            ++n;
+    return n;
+}
+
+AppSpec
+app1Gesture()
+{
+    AppSpec app;
+    app.name = "APP1-gesture";
+    // 0: fir, 1-6: fft, 7: update, 8: filter, 9-14: ifft, 15: svm.
+    app.stageKernels = {"fir", "fft", "fft", "fft", "fft", "fft",
+                        "fft", "update", "filter", "ifft", "ifft",
+                        "ifft", "ifft", "ifft", "ifft", "svm"};
+    for (int f = 1; f <= 6; ++f)
+        app.edges.push_back({0, f});
+    for (int f = 1; f <= 6; ++f)
+        app.edges.push_back({f, 7});
+    app.edges.push_back({7, 8});
+    for (int i = 9; i <= 14; ++i)
+        app.edges.push_back({8, i});
+    for (int i = 9; i <= 14; ++i)
+        app.edges.push_back({i, 15});
+    return app;
+}
+
+AppSpec
+app2Cnn()
+{
+    AppSpec app;
+    app.name = "APP2-cnn";
+    // 0-12: convolution kernels; the layers are parallelized
+    // unevenly (paper Section VI-C: seven of the thirteen conv
+    // kernels are the bottlenecks), so seven get full 16x16 slices
+    // and six get smaller 10x10 slices.
+    for (int i = 0; i < 13; ++i)
+        app.stageKernels.push_back(i < 7 ? "conv2d" : "conv2d10");
+    app.stageKernels.push_back("pooling");
+    app.stageKernels.push_back("pooling");
+    app.stageKernels.push_back("fc");
+    for (int i = 0; i < 13; ++i)
+        app.edges.push_back({i, i < 7 ? 13 : 14});
+    app.edges.push_back({13, 15});
+    app.edges.push_back({14, 15});
+    return app;
+}
+
+AppSpec
+app3SvmEncrypt()
+{
+    AppSpec app;
+    app.name = "APP3-svm-enc";
+    // Four lanes of sobel -> histogram -> svm -> aes.
+    for (int lane = 0; lane < 4; ++lane) {
+        app.stageKernels.push_back("sobel");
+        app.stageKernels.push_back("histogram");
+        app.stageKernels.push_back("svm");
+        app.stageKernels.push_back("aes");
+        int base = lane * 4;
+        app.edges.push_back({base + 0, base + 1});
+        app.edges.push_back({base + 1, base + 2});
+        app.edges.push_back({base + 2, base + 3});
+    }
+    return app;
+}
+
+AppSpec
+app4Transport()
+{
+    AppSpec app;
+    app.name = "APP4-transport";
+    // Four sensor lanes of barometer binning -> AES decryption ->
+    // DTW context matching -> AES re-encryption (4 x 4 = 16
+    // kernels). The DTW stages dominate, giving this app the
+    // imbalance the paper calls out for APP4.
+    for (int lane = 0; lane < 4; ++lane) {
+        app.stageKernels.push_back("histogram");
+        app.stageKernels.push_back("aes");
+        app.stageKernels.push_back("dtw");
+        app.stageKernels.push_back("aes");
+        int base = lane * 4;
+        app.edges.push_back({base + 0, base + 1});
+        app.edges.push_back({base + 1, base + 2});
+        app.edges.push_back({base + 2, base + 3});
+    }
+    return app;
+}
+
+std::vector<AppSpec>
+allApps()
+{
+    return {app1Gesture(), app2Cnn(), app3SvmEncrypt(),
+            app4Transport()};
+}
+
+} // namespace stitch::apps

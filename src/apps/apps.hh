@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The four representative wearable applications of the evaluation
+ * (paper Figure 9), expressed as 16-kernel pipeline graphs:
+ *
+ *  APP1 — finger gesture recognition [46]: sensor FIR preprocessing,
+ *         six parallel FFTs (two sensors x three axes), feature
+ *         update, spectral filter, six IFFTs (with extra update
+ *         processing), and an SVM classifier.
+ *  APP2 — CNN image recognition [49]: thirteen parallel convolution
+ *         kernels, two pooling kernels, one fully-connected layer.
+ *  APP3 — SVM-based anomalous-image recognition + encryption: four
+ *         lanes of sobel -> histogram -> svm -> aes.
+ *  APP4 — transportation context detection [50]: five lanes of AES
+ *         decryption -> DTW matching -> AES re-encryption, plus a
+ *         CRC integrity stage.
+ *
+ * Every stage is a kernel from the catalog wrapped as a pipeline
+ * stage; edges become RECV/SEND channels over the inter-core NoC.
+ */
+
+#ifndef STITCH_APPS_APPS_HH
+#define STITCH_APPS_APPS_HH
+
+#include <string>
+#include <vector>
+
+namespace stitch::apps
+{
+
+/** A directed channel between two stages. */
+struct AppEdge
+{
+    int from = 0;
+    int to = 0;
+};
+
+/** An application graph. */
+struct AppSpec
+{
+    std::string name;
+    std::vector<std::string> stageKernels; ///< catalog names, <= 16
+    std::vector<AppEdge> edges;
+
+    int inDegree(int stage) const;
+    int outDegree(int stage) const;
+};
+
+AppSpec app1Gesture();
+AppSpec app2Cnn();
+AppSpec app3SvmEncrypt();
+AppSpec app4Transport();
+
+/** All four, in paper order. */
+std::vector<AppSpec> allApps();
+
+} // namespace stitch::apps
+
+#endif // STITCH_APPS_APPS_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the instruction encoder/decoder and
+ * the 19-bit patch control-word packing.
+ */
+
+#ifndef STITCH_COMMON_BITUTIL_HH
+#define STITCH_COMMON_BITUTIL_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace stitch
+{
+
+/** Extract bits [lo, lo+width) of value. */
+constexpr std::uint32_t
+extractBits(std::uint32_t value, int lo, int width)
+{
+    return (value >> lo) & ((width >= 32) ? 0xffffffffu
+                                          : ((1u << width) - 1u));
+}
+
+/** Return value with bits [lo, lo+width) replaced by field. */
+constexpr std::uint32_t
+insertBits(std::uint32_t value, int lo, int width, std::uint32_t field)
+{
+    std::uint32_t mask =
+        ((width >= 32) ? 0xffffffffu : ((1u << width) - 1u)) << lo;
+    return (value & ~mask) | ((field << lo) & mask);
+}
+
+/** Sign-extend the low `width` bits of value to 32 bits. */
+constexpr std::int32_t
+signExtend(std::uint32_t value, int width)
+{
+    std::uint32_t shift = 32u - static_cast<std::uint32_t>(width);
+    return static_cast<std::int32_t>(value << shift) >>
+           static_cast<std::int32_t>(shift);
+}
+
+/** True if value fits in a signed immediate field of `width` bits. */
+constexpr bool
+fitsSigned(std::int64_t value, int width)
+{
+    std::int64_t lo = -(std::int64_t{1} << (width - 1));
+    std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+/** True if value fits in an unsigned field of `width` bits. */
+constexpr bool
+fitsUnsigned(std::uint64_t value, int width)
+{
+    return value < (std::uint64_t{1} << width);
+}
+
+/**
+ * Incremental writer of packed little-endian bit fields; used to build
+ * the 19-bit patch control words (paper Section III-A).
+ */
+class BitPacker
+{
+  public:
+    /** Append `width` bits of `field` at the current cursor. */
+    void
+    push(std::uint32_t field, int width)
+    {
+        STITCH_ASSERT(width > 0 && width <= 32);
+        STITCH_ASSERT(fitsUnsigned(field, width),
+                      "field ", field, " does not fit in ", width, " bits");
+        bits_ |= static_cast<std::uint64_t>(field) << cursor_;
+        cursor_ += width;
+        STITCH_ASSERT(cursor_ <= 64, "BitPacker overflow");
+    }
+
+    /** Total number of bits pushed so far. */
+    int width() const { return cursor_; }
+
+    /** The accumulated value. */
+    std::uint64_t value() const { return bits_; }
+
+  private:
+    std::uint64_t bits_ = 0;
+    int cursor_ = 0;
+};
+
+/** Mirror of BitPacker: sequential reader of packed bit fields. */
+class BitUnpacker
+{
+  public:
+    explicit BitUnpacker(std::uint64_t bits) : bits_(bits) {}
+
+    /** Read the next `width` bits. */
+    std::uint32_t
+    pull(int width)
+    {
+        STITCH_ASSERT(width > 0 && width <= 32);
+        STITCH_ASSERT(cursor_ + width <= 64, "BitUnpacker overflow");
+        std::uint64_t mask = (width >= 64) ? ~std::uint64_t{0}
+                                           : ((std::uint64_t{1} << width) - 1);
+        auto field =
+            static_cast<std::uint32_t>((bits_ >> cursor_) & mask);
+        cursor_ += width;
+        return field;
+    }
+
+  private:
+    std::uint64_t bits_;
+    int cursor_ = 0;
+};
+
+} // namespace stitch
+
+#endif // STITCH_COMMON_BITUTIL_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal()  — the simulation cannot continue due to a user-level problem
+ *            (bad configuration, invalid program); throws FatalError so
+ *            tests can assert on misuse.
+ * panic()  — an internal invariant was violated (a simulator bug);
+ *            aborts the process.
+ * warn()   — something is suspicious but the simulation continues.
+ * inform() — plain status output.
+ */
+
+#ifndef STITCH_COMMON_LOGGING_HH
+#define STITCH_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace stitch
+{
+
+/** Exception thrown by fatal(): a user-correctable error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+namespace detail
+{
+
+/** Fold a parameter pack into one message string. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+bool informEnabled();
+
+} // namespace detail
+
+/** Raise a user-level error; always throws FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/** Report a non-fatal anomaly on stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/** Report status on stdout (suppressible). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (detail::informEnabled())
+        detail::informImpl(detail::formatMessage(std::forward<Args>(args)...));
+}
+
+} // namespace stitch
+
+/**
+ * Abort on a broken internal invariant. Macro so the failure carries its
+ * source location.
+ */
+#define STITCH_PANIC(...)                                                 \
+    ::stitch::detail::panicImpl(                                          \
+        __FILE__, __LINE__,                                               \
+        ::stitch::detail::formatMessage(__VA_ARGS__))
+
+/** Panic unless cond holds. Cheap enough to keep on in release builds. */
+#define STITCH_ASSERT(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            STITCH_PANIC("assertion failed: " #cond " ",                  \
+                         ##__VA_ARGS__);                                  \
+        }                                                                 \
+    } while (0)
+
+#endif // STITCH_COMMON_LOGGING_HH

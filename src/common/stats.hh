@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Lightweight named-counter statistics, in the spirit of gem5's stats
+ * package but scoped per component instance.
+ */
+
+#ifndef STITCH_COMMON_STATS_HH
+#define STITCH_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace stitch
+{
+
+/**
+ * A bag of named 64-bit counters. Components own one and expose it via
+ * a stats() accessor; harnesses aggregate and print them.
+ */
+class StatGroup
+{
+  public:
+    /** Add delta to counter `name`, creating it at zero if absent. */
+    void
+    inc(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Set counter `name` to an absolute value. */
+    void
+    set(const std::string &name, std::uint64_t value)
+    {
+        counters_[name] = value;
+    }
+
+    /** Current value of counter `name` (zero if never touched). */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** All counters, sorted by name for stable output. */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+    /** Reset every counter to zero. */
+    void
+    reset()
+    {
+        for (auto &kv : counters_)
+            kv.second = 0;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace stitch
+
+#endif // STITCH_COMMON_STATS_HH

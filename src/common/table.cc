@@ -1,0 +1,19 @@
+#include "common/table.hh"
+
+#include <cstdarg>
+
+namespace stitch
+{
+
+std::string
+strformat(const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return std::string(buf);
+}
+
+} // namespace stitch

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to emit
+ * paper-style rows (Tables I/III/IV, Figures 11-15 series).
+ */
+
+#ifndef STITCH_COMMON_TABLE_HH
+#define STITCH_COMMON_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace stitch
+{
+
+/** Column-aligned text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header)
+        : header_(std::move(header))
+    {}
+
+    /** Append one row; must have as many cells as the header. */
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Render to stdout with aligned columns. */
+    void
+    print(std::FILE *out = stdout) const
+    {
+        std::vector<std::size_t> width(header_.size(), 0);
+        auto grow = [&](const std::vector<std::string> &row) {
+            for (std::size_t i = 0; i < row.size() && i < width.size(); ++i)
+                if (row[i].size() > width[i])
+                    width[i] = row[i].size();
+        };
+        grow(header_);
+        for (const auto &row : rows_)
+            grow(row);
+
+        auto emit = [&](const std::vector<std::string> &row) {
+            for (std::size_t i = 0; i < width.size(); ++i) {
+                const std::string cell = i < row.size() ? row[i] : "";
+                std::fprintf(out, "%-*s  ",
+                             static_cast<int>(width[i]), cell.c_str());
+            }
+            std::fprintf(out, "\n");
+        };
+
+        emit(header_);
+        std::size_t total = 0;
+        for (auto w : width)
+            total += w + 2;
+        std::fprintf(out, "%s\n", std::string(total, '-').c_str());
+        for (const auto &row : rows_)
+            emit(row);
+    }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style helper returning std::string ("%.2f" etc.). */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace stitch
+
+#endif // STITCH_COMMON_TABLE_HH

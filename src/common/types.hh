@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the Stitch code base.
+ */
+
+#ifndef STITCH_COMMON_TYPES_HH
+#define STITCH_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace stitch
+{
+
+/** A simulated clock-cycle count. */
+using Cycles = std::uint64_t;
+
+/** A simulated byte address (SW32 is a 32-bit machine). */
+using Addr = std::uint32_t;
+
+/** A 32-bit machine word, the natural operand size of SW32. */
+using Word = std::uint32_t;
+
+/** Signed view of a machine word, used by arithmetic ops. */
+using SWord = std::int32_t;
+
+/** Identifier of a tile (core + patch + switch) in the 4x4 mesh. */
+using TileId = int;
+
+/** Identifier of an architectural register (r0..r31). */
+using RegId = int;
+
+/** Number of tiles in the prototype Stitch chip (paper Section III). */
+inline constexpr int numTiles = 16;
+
+/** Mesh dimension: the 16 tiles form a meshDim x meshDim grid. */
+inline constexpr int meshDim = 4;
+
+/** Number of architectural registers in SW32. */
+inline constexpr int numRegs = 32;
+
+/**
+ * Convert a tile id to its mesh row (tiles are numbered row-major
+ * from the top-left corner, matching the paper's Figure 2 where
+ * patch_i belongs to tile_i).
+ */
+constexpr int
+tileRow(TileId t)
+{
+    return t / meshDim;
+}
+
+/** Convert a tile id to its mesh column. */
+constexpr int
+tileCol(TileId t)
+{
+    return t % meshDim;
+}
+
+/** Manhattan distance between two tiles in the mesh. */
+constexpr int
+tileDistance(TileId a, TileId b)
+{
+    int dr = tileRow(a) - tileRow(b);
+    int dc = tileCol(a) - tileCol(b);
+    return (dr < 0 ? -dr : dr) + (dc < 0 ? -dc : dc);
+}
+
+} // namespace stitch
+
+#endif // STITCH_COMMON_TYPES_HH

@@ -1,0 +1,165 @@
+#include "compiler/chains.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace stitch::compiler
+{
+
+std::vector<std::string>
+extractChains(const Dfg &dfg)
+{
+    std::vector<std::string> chains;
+
+    // Dataflow adjacency among includable nodes.
+    auto succs = [&](int id) {
+        std::vector<int> out;
+        for (int s : dfg.consumersOf(id))
+            if (dfg.node(s).includable()) {
+                // Only true dataflow edges from operand lists.
+                for (const auto &ref : dfg.node(s).operands)
+                    if (ref.kind == OperandRef::Kind::Node &&
+                        ref.node == id) {
+                        out.push_back(s);
+                        break;
+                    }
+            }
+        return out;
+    };
+
+    std::set<int> hasIncludablePred;
+    for (int id = 0; id < dfg.size(); ++id) {
+        if (!dfg.node(id).includable())
+            continue;
+        for (int s : succs(id))
+            hasIncludablePred.insert(s);
+    }
+
+    // Depth-first maximal paths from every chain head.
+    for (int id = 0; id < dfg.size(); ++id) {
+        if (!dfg.node(id).includable() || hasIncludablePred.count(id))
+            continue;
+        std::vector<std::pair<int, std::string>> stack;
+        stack.emplace_back(
+            id, std::string(1, core::opClassCode(
+                                   dfg.node(id).opClass())));
+        while (!stack.empty()) {
+            auto [at, chain] = stack.back();
+            stack.pop_back();
+            auto next = succs(at);
+            if (next.empty()) {
+                chains.push_back(chain);
+                continue;
+            }
+            for (int s : next)
+                stack.emplace_back(
+                    s, chain + core::opClassCode(
+                                   dfg.node(s).opClass()));
+        }
+    }
+    return chains;
+}
+
+namespace
+{
+
+/** All substrings with length in [minLength, maxLength]. */
+std::set<std::string>
+substringsOf(const KernelChains &k, std::size_t minLength,
+             std::size_t maxLength)
+{
+    std::set<std::string> subs;
+    for (const auto &chain : k.chains) {
+        for (std::size_t i = 0; i < chain.size(); ++i)
+            for (std::size_t len = minLength;
+                 len <= maxLength && i + len <= chain.size(); ++len)
+                subs.insert(chain.substr(i, len));
+    }
+    return subs;
+}
+
+/** Remove every occurrence of `pattern`, splitting into fragments. */
+std::vector<std::string>
+removePattern(const std::vector<std::string> &chains,
+              const std::string &pattern)
+{
+    std::vector<std::string> out;
+    for (const auto &chain : chains) {
+        std::string rest = chain;
+        std::size_t pos;
+        std::size_t searchFrom = 0;
+        while ((pos = rest.find(pattern, searchFrom)) !=
+               std::string::npos) {
+            out.push_back(rest.substr(0, pos));
+            rest = rest.substr(pos + pattern.size());
+            searchFrom = 0;
+        }
+        out.push_back(rest);
+    }
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [](const std::string &s) {
+                                 return s.empty();
+                             }),
+              out.end());
+    return out;
+}
+
+} // namespace
+
+std::vector<ChainStat>
+mineChains(const std::vector<KernelChains> &kernels, int maxRounds,
+           std::size_t minLength, std::size_t maxLength)
+{
+    std::vector<ChainStat> stats;
+    std::vector<KernelChains> work = kernels;
+    int totalKernels = static_cast<int>(kernels.size());
+    if (totalKernels == 0)
+        return stats;
+
+    for (int round = 1; round <= maxRounds; ++round) {
+        // Count, for each substring, how many kernels contain it.
+        std::map<std::string, int> contained;
+        for (const auto &k : work)
+            for (const auto &sub :
+                 substringsOf(k, minLength, maxLength))
+                ++contained[sub];
+
+        // Pick the most common substring present in >= 2 kernels;
+        // ties break toward longer chains, then lexicographically.
+        std::string best;
+        int bestCount = 0;
+        for (const auto &[sub, count] : contained) {
+            if (count < 2)
+                continue;
+            bool better = false;
+            if (count != bestCount)
+                better = count > bestCount;
+            else if (sub.size() != best.size())
+                better = sub.size() > best.size();
+            else
+                better = sub < best;
+            if (best.empty() || better) {
+                best = sub;
+                bestCount = count;
+            }
+        }
+        if (best.empty())
+            break;
+
+        ChainStat stat;
+        stat.chain = best;
+        stat.round = round;
+        stat.kernelsContaining = bestCount;
+        stat.occurrenceRate =
+            static_cast<double>(bestCount) /
+            static_cast<double>(totalKernels);
+        stats.push_back(stat);
+
+        for (auto &k : work)
+            k.chains = removePattern(k.chains, best);
+    }
+    return stats;
+}
+
+} // namespace stitch::compiler

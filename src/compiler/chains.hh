@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Operation-chain mining (paper Section III-A): the analysis that
+ * motivated the patch designs.
+ *
+ * Hot computational patterns are reduced to strings over the four
+ * operation classes (A/M/S/T) along DFG paths; multiple rounds of
+ * Longest Common Substring identification extract the most common
+ * chains with their occurrence rates across kernels — reproducing the
+ * paper's {AT}: 95.7%, {MA}: 47.8%, {AA}: 34.8%, {AS}: 21.7%,
+ * {SA}: 21.7% style of result.
+ */
+
+#ifndef STITCH_COMPILER_CHAINS_HH
+#define STITCH_COMPILER_CHAINS_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/dfg.hh"
+
+namespace stitch::compiler
+{
+
+/** Chain strings of one kernel. */
+struct KernelChains
+{
+    std::string kernel;
+    std::vector<std::string> chains; ///< A/M/S/T strings
+};
+
+/** One mined chain with its statistics. */
+struct ChainStat
+{
+    std::string chain;
+    int round = 0;
+    int kernelsContaining = 0;
+    double occurrenceRate = 0.0; ///< share of kernels containing it
+};
+
+/**
+ * Extract chain strings from a DFG: every maximal path through
+ * includable nodes, rendered as operation-class codes.
+ */
+std::vector<std::string> extractChains(const Dfg &dfg);
+
+/**
+ * Multi-round LCS mining. Each round finds the most common substring
+ * of length [minLength, maxLength] (ties broken toward longer, then
+ * lexicographic) shared by at least two kernels, records its rate,
+ * removes it from every string, and recurses on the fragments
+ * (paper: "the input of the LCS in round n is the output of round
+ * n-1 excluding the most common substring"). The paper mines
+ * operator pairs (maxLength = 2): {AT} 95.7%, {MA} 47.8%, ...
+ */
+std::vector<ChainStat>
+mineChains(const std::vector<KernelChains> &kernels, int maxRounds = 8,
+           std::size_t minLength = 2,
+           std::size_t maxLength = std::size_t(-1));
+
+} // namespace stitch::compiler
+
+#endif // STITCH_COMPILER_CHAINS_HH

@@ -1,0 +1,422 @@
+#include "compiler/dfg.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace stitch::compiler
+{
+
+using isa::Instr;
+using isa::Opcode;
+
+core::OpClass
+DfgNode::opClass() const
+{
+    switch (op) {
+      case NodeOp::Alu: return core::OpClass::A;
+      case NodeOp::Mul: return core::OpClass::M;
+      case NodeOp::Shift: return core::OpClass::S;
+      case NodeOp::Load:
+      case NodeOp::Store: return core::OpClass::T;
+      case NodeOp::Other: break;
+    }
+    STITCH_PANIC("opClass() of a non-includable node");
+}
+
+std::vector<BasicBlock>
+findBasicBlocks(const isa::Program &prog,
+                const std::vector<std::uint64_t> &execCounts)
+{
+    const auto &code = prog.code();
+    std::set<std::size_t> leaders;
+    if (!code.empty())
+        leaders.insert(0);
+
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Instr &in = code[i];
+        if (!isa::isControlOp(in.op))
+            continue;
+        if (i + 1 < code.size())
+            leaders.insert(i + 1);
+        switch (in.op) {
+          case Opcode::Beq:
+          case Opcode::Bne:
+          case Opcode::Blt:
+          case Opcode::Bge:
+          case Opcode::Bltu:
+          case Opcode::Bgeu: {
+            auto target = static_cast<std::int64_t>(prog.wordAddrOf(i)) +
+                          in.imm;
+            leaders.insert(prog.indexOfWordAddr(
+                static_cast<Addr>(target)));
+            break;
+          }
+          case Opcode::Jal:
+            leaders.insert(prog.indexOfWordAddr(
+                static_cast<Addr>(in.imm)));
+            break;
+          default:
+            break; // jalr/halt: dynamic or terminal target
+        }
+    }
+
+    std::vector<BasicBlock> blocks;
+    auto it = leaders.begin();
+    while (it != leaders.end()) {
+        BasicBlock bb;
+        bb.begin = *it;
+        ++it;
+        std::size_t next = it == leaders.end() ? code.size() : *it;
+        // A block also ends right after a control instruction.
+        bb.end = bb.begin;
+        while (bb.end < next) {
+            bool ctl = isa::isControlOp(code[bb.end].op);
+            ++bb.end;
+            if (ctl)
+                break;
+        }
+        if (!execCounts.empty() && bb.begin < execCounts.size())
+            bb.execCount = execCounts[bb.begin];
+        blocks.push_back(bb);
+    }
+    return blocks;
+}
+
+namespace
+{
+
+/** Map an ALU-group opcode to the patch AluOp. */
+std::optional<core::AluOp>
+aluOpOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: case Opcode::Addi: return core::AluOp::Add;
+      case Opcode::Sub: return core::AluOp::Sub;
+      case Opcode::And: case Opcode::Andi: return core::AluOp::And;
+      case Opcode::Or: case Opcode::Ori: return core::AluOp::Or;
+      case Opcode::Xor: case Opcode::Xori: return core::AluOp::Xor;
+      case Opcode::Slt: case Opcode::Slti: return core::AluOp::Slt;
+      case Opcode::Sltu: return core::AluOp::Sltu;
+      default: return std::nullopt;
+    }
+}
+
+std::optional<core::ShiftOp>
+shiftOpOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Sll: case Opcode::Slli: return core::ShiftOp::Sll;
+      case Opcode::Srl: case Opcode::Srli: return core::ShiftOp::Srl;
+      case Opcode::Sra: case Opcode::Srai: return core::ShiftOp::Sra;
+      default: return std::nullopt;
+    }
+}
+
+} // namespace
+
+Dfg
+Dfg::build(const isa::Program &prog, const BasicBlock &block,
+           const std::vector<RegId> &spmBaseRegs,
+           const std::set<RegId> *liveOut)
+{
+    Dfg dfg;
+    const auto &code = prog.code();
+    STITCH_ASSERT(block.end <= code.size());
+    int n = static_cast<int>(block.size());
+    dfg.nodes_.resize(static_cast<std::size_t>(n));
+    dfg.dataSuccs_.assign(static_cast<std::size_t>(n), {});
+    dfg.orderSuccs_.assign(static_cast<std::size_t>(n), {});
+
+    std::map<RegId, int> lastDef;          // reg -> defining node
+    std::map<RegId, std::vector<int>> readersSinceDef;
+    std::set<RegId> spmRegs(spmBaseRegs.begin(), spmBaseRegs.end());
+    std::vector<bool> nodeSpmTaint(static_cast<std::size_t>(n), false);
+    std::vector<int> spmMemNodes, cachedMemNodes;
+
+    auto addOrderEdge = [&](int from, int to) {
+        if (from == to)
+            return;
+        auto &v = dfg.orderSuccs_[static_cast<std::size_t>(from)];
+        if (std::find(v.begin(), v.end(), to) == v.end())
+            v.push_back(to);
+    };
+
+    auto makeOperand = [&](RegId r) -> OperandRef {
+        OperandRef ref;
+        if (r == 0) {
+            ref.kind = OperandRef::Kind::Imm;
+            ref.imm = 0;
+        } else if (auto it = lastDef.find(r); it != lastDef.end()) {
+            ref.kind = OperandRef::Kind::Node;
+            ref.node = it->second;
+        } else {
+            ref.kind = OperandRef::Kind::Reg;
+            ref.reg = r;
+        }
+        return ref;
+    };
+
+    auto operandSpm = [&](const OperandRef &ref) -> bool {
+        if (ref.kind == OperandRef::Kind::Node)
+            return nodeSpmTaint[static_cast<std::size_t>(ref.node)];
+        if (ref.kind == OperandRef::Kind::Reg)
+            return spmRegs.count(ref.reg) > 0;
+        return false;
+    };
+
+    for (int id = 0; id < n; ++id) {
+        const Instr &in = code[block.begin + static_cast<std::size_t>(id)];
+        DfgNode &node = dfg.nodes_[static_cast<std::size_t>(id)];
+        node.instrIndex = block.begin + static_cast<std::size_t>(id);
+
+        std::vector<RegId> reads;
+        std::optional<RegId> def;
+
+        if (isa::isAluRegOp(in.op)) {
+            reads = {in.rs0, in.rs1};
+            def = in.rd0;
+            node.operands = {makeOperand(in.rs0), makeOperand(in.rs1)};
+            if (auto a = aluOpOf(in.op)) {
+                node.op = NodeOp::Alu;
+                node.aluOp = *a;
+            } else if (auto s = shiftOpOf(in.op)) {
+                node.op = NodeOp::Shift;
+                node.shiftOp = *s;
+            } else {
+                STITCH_ASSERT(in.op == Opcode::Mul);
+                node.op = NodeOp::Mul;
+            }
+        } else if (isa::isAluImmOp(in.op)) {
+            reads = {in.rs0};
+            def = in.rd0;
+            OperandRef immRef;
+            immRef.kind = OperandRef::Kind::Imm;
+            immRef.imm = in.imm;
+            node.operands = {makeOperand(in.rs0), immRef};
+            if (auto a = aluOpOf(in.op)) {
+                node.op = NodeOp::Alu;
+                node.aluOp = *a;
+            } else {
+                auto s = shiftOpOf(in.op);
+                STITCH_ASSERT(s.has_value());
+                node.op = NodeOp::Shift;
+                node.shiftOp = *s;
+            }
+        } else if (in.op == Opcode::Lw || in.op == Opcode::Sw) {
+            bool isStore = in.op == Opcode::Sw;
+            RegId base = in.rs0;
+            reads = isStore ? std::vector<RegId>{base, in.rs1}
+                            : std::vector<RegId>{base};
+            if (!isStore)
+                def = in.rd0;
+            node.isMem = true;
+
+            // The address is base + imm; model it as an Add node
+            // operand pair so the patch's stage-1 ALU can compute it.
+            OperandRef baseRef = makeOperand(base);
+            OperandRef offRef;
+            offRef.kind = OperandRef::Kind::Imm;
+            offRef.imm = in.imm;
+
+            bool spm = operandSpm(baseRef);
+            node.isSpmMem = spm;
+            if (spm) {
+                node.op = isStore ? NodeOp::Store : NodeOp::Load;
+                node.operands = isStore
+                    ? std::vector<OperandRef>{baseRef, offRef,
+                                              makeOperand(in.rs1)}
+                    : std::vector<OperandRef>{baseRef, offRef};
+            } else {
+                node.op = NodeOp::Other;
+            }
+        } else {
+            // Barrier node: record reads/defs for ordering only.
+            node.op = NodeOp::Other;
+            switch (in.op) {
+              case Opcode::Lb:
+                reads = {in.rs0};
+                def = in.rd0;
+                node.isMem = true;
+                break;
+              case Opcode::Sb:
+                reads = {in.rs0, in.rs1};
+                node.isMem = true;
+                break;
+              case Opcode::Lui:
+                def = in.rd0;
+                break;
+              case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+              case Opcode::Bge: case Opcode::Bltu: case Opcode::Bgeu:
+                reads = {in.rs0, in.rs1};
+                break;
+              case Opcode::Jal:
+                def = in.rd0;
+                break;
+              case Opcode::Jalr:
+                reads = {in.rs0};
+                def = in.rd0;
+                break;
+              case Opcode::Send:
+                reads = {in.rs0, in.rs1};
+                break;
+              case Opcode::Recv:
+                reads = {in.rs0};
+                def = in.rd0;
+                break;
+              case Opcode::Cust:
+                reads = {in.rs0, in.rs1, in.rs2, in.rs3};
+                def = in.rd0; // rd1 handled below
+                break;
+              default:
+                break;
+            }
+        }
+        node.def = (def && *def != 0) ? def : std::nullopt;
+
+        // RAW edges from operand producers.
+        for (const auto &ref : node.operands) {
+            if (ref.kind == OperandRef::Kind::Node) {
+                dfg.dataSuccs_[static_cast<std::size_t>(ref.node)]
+                    .push_back(id);
+                addOrderEdge(ref.node, id);
+            }
+        }
+        // Barrier nodes get RAW edges from their register reads; they
+        // also count as dataflow consumers so that a value a barrier
+        // reads is recognized as a required candidate output.
+        if (node.op == NodeOp::Other) {
+            for (RegId r : reads) {
+                auto it = lastDef.find(r);
+                if (it != lastDef.end()) {
+                    addOrderEdge(it->second, id);
+                    dfg.dataSuccs_[static_cast<std::size_t>(it->second)]
+                        .push_back(id);
+                }
+            }
+        }
+
+        // Memory ordering: conservative edges within one space,
+        // except load-load pairs.
+        if (node.isMem) {
+            auto &sameSpace = node.isSpmMem ? spmMemNodes
+                                            : cachedMemNodes;
+            bool thisIsLoad = node.op == NodeOp::Load ||
+                              (node.op == NodeOp::Other &&
+                               node.def.has_value());
+            for (int prev : sameSpace) {
+                const DfgNode &pn =
+                    dfg.nodes_[static_cast<std::size_t>(prev)];
+                bool prevIsLoad = pn.op == NodeOp::Load ||
+                                  (pn.op == NodeOp::Other &&
+                                   pn.def.has_value());
+                if (!(thisIsLoad && prevIsLoad))
+                    addOrderEdge(prev, id);
+            }
+            sameSpace.push_back(id);
+        }
+
+        // WAR and WAW edges for the defined register.
+        if (node.def) {
+            RegId r = *node.def;
+            for (int reader : readersSinceDef[r])
+                addOrderEdge(reader, id);
+            if (auto it = lastDef.find(r); it != lastDef.end())
+                addOrderEdge(it->second, id);
+            readersSinceDef[r].clear();
+            lastDef[r] = id;
+        }
+        for (RegId r : reads)
+            readersSinceDef[r].push_back(id);
+
+        // SPM pointer taint propagation through address arithmetic.
+        if (node.def) {
+            bool taint = false;
+            if (node.op == NodeOp::Alu &&
+                (node.aluOp == core::AluOp::Add ||
+                 node.aluOp == core::AluOp::Sub)) {
+                for (const auto &ref : node.operands)
+                    taint = taint || operandSpm(ref);
+            }
+            nodeSpmTaint[static_cast<std::size_t>(id)] = taint;
+            if (taint)
+                spmRegs.insert(*node.def);
+            else
+                spmRegs.erase(*node.def);
+        }
+    }
+
+    // Last-def-of-register flags, refined by block liveness when the
+    // caller supplies it.
+    dfg.lastDefOfReg_.assign(static_cast<std::size_t>(n), false);
+    dfg.defEscapes_.assign(static_cast<std::size_t>(n), false);
+    std::set<RegId> seen;
+    for (int id = n - 1; id >= 0; --id) {
+        const DfgNode &node = dfg.nodes_[static_cast<std::size_t>(id)];
+        if (node.def && seen.insert(*node.def).second) {
+            dfg.lastDefOfReg_[static_cast<std::size_t>(id)] = true;
+            dfg.defEscapes_[static_cast<std::size_t>(id)] =
+                liveOut == nullptr || liveOut->count(*node.def) > 0;
+        }
+    }
+
+    return dfg;
+}
+
+bool
+Dfg::defIsLastOfReg(int nodeId) const
+{
+    return lastDefOfReg_[static_cast<std::size_t>(nodeId)];
+}
+
+bool
+Dfg::defEscapesBlock(int nodeId) const
+{
+    return defEscapes_[static_cast<std::size_t>(nodeId)];
+}
+
+std::string
+Dfg::toString() const
+{
+    std::ostringstream os;
+    for (int id = 0; id < size(); ++id) {
+        const DfgNode &node = nodes_[static_cast<std::size_t>(id)];
+        os << id << ": ";
+        switch (node.op) {
+          case NodeOp::Alu:
+            os << "alu." << core::aluOpName(node.aluOp);
+            break;
+          case NodeOp::Mul: os << "mul"; break;
+          case NodeOp::Shift:
+            os << "shift." << core::shiftOpName(node.shiftOp);
+            break;
+          case NodeOp::Load: os << "spm.load"; break;
+          case NodeOp::Store: os << "spm.store"; break;
+          case NodeOp::Other: os << "other"; break;
+        }
+        os << " [";
+        for (const auto &ref : node.operands) {
+            switch (ref.kind) {
+              case OperandRef::Kind::Node:
+                os << " n" << ref.node;
+                break;
+              case OperandRef::Kind::Reg:
+                os << " r" << ref.reg;
+                break;
+              case OperandRef::Kind::Imm:
+                os << " #" << ref.imm;
+                break;
+            }
+        }
+        os << " ]";
+        if (node.def)
+            os << " -> r" << *node.def;
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace stitch::compiler

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Basic blocks and the dependence/dataflow graphs the ISE tool chain
+ * works on (paper Section IV, Figure 6: "hot basic blocks are
+ * represented as dataflow graphs").
+ *
+ * For each basic block we build one graph over *all* of its
+ * instructions with four edge families: RAW (dataflow), WAR, WAW, and
+ * memory-ordering edges. Dataflow edges give the computational
+ * pattern; the full edge set is what makes "sink the candidate to its
+ * last instruction" a sound rewrite (see ise_ident.hh).
+ *
+ * A node is *includable* in a custom instruction if the patch fabric
+ * can express it: ALU ops (class A), multiplies (M), shifts (S), and
+ * SPM-resident loads/stores (T). Everything else (branches, cached
+ * memory ops, messages, ...) participates in the graph only as an
+ * ordering obstacle.
+ */
+
+#ifndef STITCH_COMPILER_DFG_HH
+#define STITCH_COMPILER_DFG_HH
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/ops.hh"
+#include "isa/program.hh"
+
+namespace stitch::compiler
+{
+
+/** A maximal straight-line region of a program. */
+struct BasicBlock
+{
+    std::size_t begin = 0;      ///< first instruction index
+    std::size_t end = 0;        ///< one past the last instruction
+    std::uint64_t execCount = 0; ///< times the block ran (profile)
+
+    std::size_t size() const { return end - begin; }
+};
+
+/** Where a DFG operand comes from. */
+struct OperandRef
+{
+    enum class Kind
+    {
+        Node, ///< output of another node in the same block
+        Reg,  ///< register live into the block
+        Imm,  ///< immediate baked into the instruction
+    };
+
+    Kind kind = Kind::Reg;
+    int node = -1;           ///< valid when kind == Node
+    RegId reg = 0;           ///< valid when kind == Reg
+    std::int32_t imm = 0;    ///< valid when kind == Imm
+
+    bool operator==(const OperandRef &) const = default;
+};
+
+/** Operation kind of an includable node. */
+enum class NodeOp : std::uint8_t
+{
+    Alu,   ///< class A, with an AluOp
+    Mul,   ///< class M
+    Shift, ///< class S, with a ShiftOp
+    Load,  ///< class T (SPM-resident)
+    Store, ///< class T (SPM-resident)
+    Other, ///< not includable (barrier node)
+};
+
+/** One instruction of the block, viewed as a graph node. */
+struct DfgNode
+{
+    std::size_t instrIndex = 0; ///< index into the program's code
+    NodeOp op = NodeOp::Other;
+    core::AluOp aluOp = core::AluOp::Pass;   ///< when op == Alu
+    core::ShiftOp shiftOp = core::ShiftOp::Pass; ///< when op == Shift
+
+    /**
+     * Dataflow operands. Alu/Mul/Shift: {lhs, rhs}. Load: {address}.
+     * Store: {address, data}. Other: every register it reads.
+     */
+    std::vector<OperandRef> operands;
+
+    /** Destination register, if the instruction writes one. */
+    std::optional<RegId> def;
+
+    /** True if the node touches memory and which space. */
+    bool isMem = false;
+    bool isSpmMem = false;
+
+    bool includable() const { return op != NodeOp::Other; }
+
+    /** Paper Section III-A operation class (A/M/S/T). */
+    core::OpClass opClass() const;
+};
+
+/**
+ * The per-block graph. Node ids are positions within the block
+ * (0 = first instruction), so id order is program order.
+ */
+class Dfg
+{
+  public:
+    const std::vector<DfgNode> &nodes() const { return nodes_; }
+    const DfgNode &node(int id) const
+    {
+        return nodes_[static_cast<std::size_t>(id)];
+    }
+    int size() const { return static_cast<int>(nodes_.size()); }
+
+    /**
+     * All ordering edges (RAW + WAR + WAW + memory), as adjacency
+     * lists from earlier to later nodes. Used by the sinking check.
+     */
+    const std::vector<std::vector<int>> &orderSuccs() const
+    {
+        return orderSuccs_;
+    }
+
+    /** Dataflow (RAW) successors only; the computational pattern. */
+    const std::vector<std::vector<int>> &dataSuccs() const
+    {
+        return dataSuccs_;
+    }
+
+    /**
+     * Registers whose value leaves the block alive: def not followed
+     * by a redefinition inside the block. (Conservatively, such a
+     * value is always treated as live-out.)
+     */
+    bool defIsLastOfReg(int nodeId) const;
+
+    /**
+     * True if the value defined by `nodeId` may be observed after the
+     * block: it is the register's last in-block def AND the register
+     * is in the block's live-out set (when one was supplied to
+     * build(); without liveness information this is conservative and
+     * equals defIsLastOfReg).
+     */
+    bool defEscapesBlock(int nodeId) const;
+
+    /** Dataflow consumers of `nodeId` inside the block. */
+    const std::vector<int> &consumersOf(int nodeId) const
+    {
+        return dataSuccs_[static_cast<std::size_t>(nodeId)];
+    }
+
+    /**
+     * Build the graph for `block` of `prog`.
+     *
+     * @param spmBaseRegs registers that are known (by kernel
+     *        annotation, standing in for the paper's compiler data
+     *        mapping [42, 43]) to point into the SPM window at block
+     *        entry; SPM-ness propagates through address arithmetic.
+     * @param liveOut the block's live-out register set from
+     *        compiler/liveness.hh; null = conservative (every last
+     *        def treated as live).
+     */
+    static Dfg build(const isa::Program &prog, const BasicBlock &block,
+                     const std::vector<RegId> &spmBaseRegs,
+                     const std::set<RegId> *liveOut = nullptr);
+
+    /** Render as a compact text dump for debugging. */
+    std::string toString() const;
+
+  private:
+    std::vector<DfgNode> nodes_;
+    std::vector<std::vector<int>> dataSuccs_;
+    std::vector<std::vector<int>> orderSuccs_;
+    std::vector<bool> lastDefOfReg_;
+    std::vector<bool> defEscapes_;
+};
+
+/**
+ * Partition `prog` into basic blocks, attaching execution counts from
+ * `execCounts` (per-instruction profile; may be empty for a static
+ * partition).
+ */
+std::vector<BasicBlock>
+findBasicBlocks(const isa::Program &prog,
+                const std::vector<std::uint64_t> &execCounts);
+
+} // namespace stitch::compiler
+
+#endif // STITCH_COMPILER_DFG_HH

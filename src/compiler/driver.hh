@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The compiler driver: the full tool-chain pipeline of paper Figure 6
+ * for one kernel — profile, identify, map, select, rewrite — across
+ * every acceleration target, with compile-and-measure speedups
+ * ("In this way, we can get the speedup of each kernel using each
+ * patch and combination of any two different patches").
+ *
+ * Every generated variant is functionally validated: its declared
+ * output regions must match the software-only run bit for bit.
+ */
+
+#ifndef STITCH_COMPILER_DRIVER_HH
+#define STITCH_COMPILER_DRIVER_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/chains.hh"
+#include "compiler/profiler.hh"
+#include "compiler/rewriter.hh"
+
+namespace stitch::compiler
+{
+
+/** A memory region a kernel declares as its observable output. */
+struct OutputRegion
+{
+    Addr base = 0;
+    Addr bytes = 0;
+};
+
+/** What the compiler needs to know about a kernel. */
+struct KernelInput
+{
+    isa::Program program;
+
+    /** Registers holding SPM pointers at hot-block entry (stands in
+     *  for the paper's compiler-directed variable mapping [42,43]). */
+    std::vector<RegId> spmBaseRegs;
+
+    /** Regions compared between software and accelerated runs. */
+    std::vector<OutputRegion> outputs;
+};
+
+/** Tool-chain knobs. */
+struct CompilerOptions
+{
+    ProfileParams profile;
+    IseIdentParams ident;
+    core::LocusParams locus;
+    bool validate = true;
+};
+
+/** One compiled + measured kernel version. */
+struct KernelVariant
+{
+    AccelTarget target;
+    RewrittenProgram binary;
+    Cycles cycles = 0;
+    double speedup = 1.0; ///< software cycles / variant cycles
+};
+
+/** The compiler's full output for one kernel. */
+struct CompiledKernel
+{
+    std::string name;
+    isa::Program software;
+    Cycles softwareCycles = 0;
+    std::vector<KernelVariant> variants;
+    std::vector<std::string> chainStrings; ///< for the chain miner
+
+    /** Variant for an exact target, or null. */
+    const KernelVariant *find(const AccelTarget &target) const;
+
+    /** Best single-patch variant (Fig 11 "patch" series). */
+    const KernelVariant *bestSinglePatch() const;
+
+    /** Best variant overall among single + fused (Fig 11 "stitched"). */
+    const KernelVariant *bestStitch() const;
+
+    /** The LOCUS variant. */
+    const KernelVariant *locusVariant() const;
+};
+
+/** The 3 single-patch + 9 ordered fused-pair targets. */
+std::vector<AccelTarget> allStitchTargets();
+
+/** Compile and measure `input` across all targets + LOCUS. */
+CompiledKernel compileKernel(const std::string &name,
+                             const KernelInput &input,
+                             const CompilerOptions &options
+                             = CompilerOptions{});
+
+/**
+ * Run a binary standalone (stubbed messages) and return its cycles;
+ * used by the driver and by tests.
+ */
+Cycles measureBinary(const RewrittenProgram &binary,
+                     const std::optional<AccelTarget> &target,
+                     const mem::MemParams &memParams,
+                     std::vector<std::vector<std::uint8_t>> *outputDump
+                     = nullptr,
+                     const std::vector<OutputRegion> *regions = nullptr);
+
+} // namespace stitch::compiler
+
+#endif // STITCH_COMPILER_DRIVER_HH

@@ -1,0 +1,187 @@
+#include "compiler/ise_ident.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace stitch::compiler
+{
+
+Cycles
+nodeBaselineCycles(const DfgNode &node)
+{
+    switch (node.op) {
+      case NodeOp::Mul:
+        return 4;
+      case NodeOp::Alu:
+      case NodeOp::Shift:
+      case NodeOp::Load:
+      case NodeOp::Store:
+        return 1;
+      case NodeOp::Other:
+        break;
+    }
+    STITCH_PANIC("baseline cycles of a non-includable node");
+}
+
+namespace
+{
+
+/** Undirected dataflow adjacency restricted to includable nodes. */
+std::vector<std::vector<int>>
+includableAdjacency(const Dfg &dfg)
+{
+    std::vector<std::vector<int>> adj(
+        static_cast<std::size_t>(dfg.size()));
+    for (int id = 0; id < dfg.size(); ++id) {
+        const DfgNode &node = dfg.node(id);
+        if (!node.includable())
+            continue;
+        for (const auto &ref : node.operands) {
+            if (ref.kind != OperandRef::Kind::Node)
+                continue;
+            if (!dfg.node(ref.node).includable())
+                continue;
+            adj[static_cast<std::size_t>(id)].push_back(ref.node);
+            adj[static_cast<std::size_t>(ref.node)].push_back(id);
+        }
+    }
+    for (auto &v : adj) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+    }
+    return adj;
+}
+
+/** The sinking-legality check described in the header. */
+bool
+sinkLegal(const Dfg &dfg, const std::vector<int> &nodes)
+{
+    int last = nodes.back(); // nodes are ascending
+    std::set<int> covered(nodes.begin(), nodes.end());
+    for (int c : nodes) {
+        for (int s : dfg.orderSuccs()[static_cast<std::size_t>(c)]) {
+            if (s <= last && !covered.count(s))
+                return false;
+        }
+    }
+    return true;
+}
+
+/** Populate externals/outputs/costs; false if I/O limits break. */
+bool
+analyzeCandidate(const Dfg &dfg, IseCandidate &cand,
+                 const IseIdentParams &params)
+{
+    std::set<int> covered(cand.nodes.begin(), cand.nodes.end());
+
+    cand.externals.clear();
+    cand.outputs.clear();
+    cand.baselineCycles = 0;
+    cand.materializations = 0;
+
+    auto addExternal = [&](const OperandRef &ref) {
+        ExternalInput ext{ref};
+        for (const auto &e : cand.externals)
+            if (e == ext)
+                return;
+        cand.externals.push_back(ext);
+        if (ref.kind == OperandRef::Kind::Imm && ref.imm != 0)
+            ++cand.materializations;
+    };
+
+    for (int id : cand.nodes) {
+        const DfgNode &node = dfg.node(id);
+        STITCH_ASSERT(node.includable());
+        cand.baselineCycles += nodeBaselineCycles(node);
+
+        for (const auto &ref : node.operands) {
+            bool internal = ref.kind == OperandRef::Kind::Node &&
+                            covered.count(ref.node) > 0;
+            if (!internal)
+                addExternal(ref);
+        }
+
+        // An output is needed when the value escapes the candidate:
+        // a consumer outside it, or the def is still live after the
+        // block.
+        if (node.def) {
+            bool escapes = dfg.defEscapesBlock(id);
+            for (int consumer : dfg.consumersOf(id))
+                escapes = escapes || !covered.count(consumer);
+            if (escapes)
+                cand.outputs.push_back(id);
+        }
+    }
+
+    // A value produced outside and consumed here arrives through its
+    // producer's destination register: normalize Node externals so
+    // that producers without a register (stores) are rejected.
+    for (const auto &ext : cand.externals) {
+        if (ext.ref.kind == OperandRef::Kind::Node &&
+            !dfg.node(ext.ref.node).def)
+            return false;
+    }
+
+    return static_cast<int>(cand.externals.size()) <= params.maxInputs &&
+           static_cast<int>(cand.outputs.size()) <= params.maxOutputs;
+}
+
+} // namespace
+
+std::vector<IseCandidate>
+identifyCandidates(const Dfg &dfg, const IseIdentParams &params)
+{
+    std::vector<IseCandidate> result;
+    auto adj = includableAdjacency(dfg);
+    std::set<std::vector<int>> seen;
+
+    // Connected-subgraph enumeration: grow each subset by one
+    // adjacent node at a time; dedupe via the sorted node list.
+    std::vector<std::vector<int>> frontier;
+    for (int id = 0; id < dfg.size(); ++id)
+        if (dfg.node(id).includable())
+            frontier.push_back({id});
+
+    auto consider = [&](const std::vector<int> &nodes) {
+        if (!sinkLegal(dfg, nodes))
+            return;
+        IseCandidate cand;
+        cand.nodes = nodes;
+        if (analyzeCandidate(dfg, cand, params))
+            result.push_back(std::move(cand));
+    };
+
+    for (auto &nodes : frontier) {
+        seen.insert(nodes);
+        consider(nodes);
+    }
+
+    std::size_t cursor = 0;
+    std::vector<std::vector<int>> work = std::move(frontier);
+    while (cursor < work.size() &&
+           static_cast<int>(seen.size()) < params.maxCandidates) {
+        std::vector<int> base = work[cursor++];
+        if (static_cast<int>(base.size()) >= params.maxNodes)
+            continue;
+        for (int v : base) {
+            for (int n : adj[static_cast<std::size_t>(v)]) {
+                if (std::binary_search(base.begin(), base.end(), n))
+                    continue;
+                std::vector<int> grown = base;
+                grown.insert(std::lower_bound(grown.begin(),
+                                              grown.end(), n),
+                             n);
+                if (!seen.insert(grown).second)
+                    continue;
+                consider(grown);
+                work.push_back(std::move(grown));
+            }
+        }
+    }
+
+    return result;
+}
+
+} // namespace stitch::compiler

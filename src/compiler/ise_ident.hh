@@ -1,0 +1,84 @@
+/**
+ * @file
+ * ISE identification (paper Section IV): enumerate custom-instruction
+ * candidates from a hot block's DFG under the 4-input/2-output
+ * register-file constraint.
+ *
+ * A candidate is a connected set of includable nodes that can be
+ * legally collapsed into one instruction. Legality is the *sinking*
+ * criterion: all covered instructions are moved to the position of
+ * the last covered one, which is sound iff no covered node has an
+ * ordering successor (RAW/WAR/WAW/memory) that lies between the
+ * candidate's first and last positions without being covered itself.
+ * This subsumes the classic convexity requirement [Atasu/Pozzi].
+ */
+
+#ifndef STITCH_COMPILER_ISE_IDENT_HH
+#define STITCH_COMPILER_ISE_IDENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/dfg.hh"
+
+namespace stitch::compiler
+{
+
+/** One external input of a candidate, deduplicated. */
+struct ExternalInput
+{
+    OperandRef ref;      ///< Reg, Imm, or Node (a value produced
+                         ///< earlier in the block, outside the
+                         ///< candidate, read from its dest register)
+    bool operator==(const ExternalInput &) const = default;
+};
+
+/** A custom-instruction candidate. */
+struct IseCandidate
+{
+    std::vector<int> nodes;  ///< candidate node ids, ascending
+    std::vector<ExternalInput> externals; ///< <= 4 after filtering
+    std::vector<int> outputs; ///< node ids whose value is live outside
+
+    /** Baseline cycles of the covered instructions. */
+    Cycles baselineCycles = 0;
+
+    /** Immediate externals that need a li (imm != 0) at rewrite. */
+    int materializations = 0;
+
+    bool
+    covers(int nodeId) const
+    {
+        for (int v : nodes)
+            if (v == nodeId)
+                return true;
+        return false;
+    }
+};
+
+/** Enumeration limits. */
+struct IseIdentParams
+{
+    int maxNodes = 8;          ///< candidate size cap (two patches)
+    int maxInputs = 4;         ///< register-file read ports
+    int maxOutputs = 2;        ///< register-file write ports
+    int maxCandidates = 4096;  ///< per-block explosion guard
+};
+
+/**
+ * Enumerate all legal candidates of `dfg`.
+ *
+ * Candidates are connected in the dataflow graph, sink-legal, and
+ * satisfy the I/O constraint. Baseline cycle counts use the core's
+ * timing model (1 cycle per op, 4 for MUL, 1 for an SPM access).
+ */
+std::vector<IseCandidate>
+identifyCandidates(const Dfg &dfg,
+                   const IseIdentParams &params = IseIdentParams{});
+
+/** Baseline core cycles of one includable node. */
+Cycles nodeBaselineCycles(const DfgNode &node);
+
+} // namespace stitch::compiler
+
+#endif // STITCH_COMPILER_ISE_IDENT_HH

@@ -1,0 +1,276 @@
+#include "compiler/liveness.hh"
+
+#include "common/logging.hh"
+
+namespace stitch::compiler
+{
+
+using isa::Instr;
+using isa::Opcode;
+
+std::vector<RegId>
+instrReads(const Instr &in)
+{
+    std::vector<RegId> reads;
+    auto push = [&](RegId r) {
+        if (r != 0)
+            reads.push_back(r);
+    };
+    switch (isa::formatOf(in.op)) {
+      case isa::Format::N:
+        break;
+      case isa::Format::R:
+        push(in.rs0);
+        push(in.rs1);
+        break;
+      case isa::Format::I:
+        push(in.rs0);
+        break;
+      case isa::Format::S:
+      case isa::Format::B:
+        push(in.rs0);
+        push(in.rs1);
+        break;
+      case isa::Format::J:
+        break;
+      case isa::Format::C:
+        push(in.rs0);
+        push(in.rs1);
+        push(in.rs2);
+        push(in.rs3);
+        break;
+    }
+    return reads;
+}
+
+RegId
+instrDef(const Instr &in)
+{
+    switch (in.op) {
+      case Opcode::Sw:
+      case Opcode::Sb:
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Bltu: case Opcode::Bgeu:
+      case Opcode::Send:
+      case Opcode::Nop:
+      case Opcode::Halt:
+        return -1;
+      default:
+        return in.rd0 == 0 ? -1 : in.rd0;
+    }
+}
+
+RegId
+instrDef2(const Instr &in)
+{
+    if (in.op == Opcode::Cust && in.rd1 != 0)
+        return in.rd1;
+    return -1;
+}
+
+namespace
+{
+
+/** Successor block indices + "indirect exit" flags. */
+void
+buildCfg(const isa::Program &prog,
+         const std::vector<BasicBlock> &blocks,
+         std::vector<std::vector<std::size_t>> &succs,
+         std::vector<bool> &indirectExit)
+{
+    const auto &code = prog.code();
+    const std::size_t n = blocks.size();
+
+    std::vector<std::size_t> blockOf(code.size(), SIZE_MAX);
+    for (std::size_t b = 0; b < n; ++b)
+        for (std::size_t i = blocks[b].begin; i < blocks[b].end; ++i)
+            blockOf[i] = b;
+
+    succs.assign(n, {});
+    indirectExit.assign(n, false);
+    for (std::size_t b = 0; b < n; ++b) {
+        std::size_t last = blocks[b].end - 1;
+        const Instr &in = code[last];
+        auto addTarget = [&](std::size_t idx) {
+            if (idx < code.size() && blockOf[idx] != SIZE_MAX)
+                succs[b].push_back(blockOf[idx]);
+        };
+        switch (in.op) {
+          case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+          case Opcode::Bge: case Opcode::Bltu: case Opcode::Bgeu: {
+            auto wa = static_cast<Addr>(
+                static_cast<std::int64_t>(prog.wordAddrOf(last)) +
+                in.imm);
+            addTarget(prog.indexOfWordAddr(wa));
+            addTarget(last + 1);
+            break;
+          }
+          case Opcode::Jal:
+            addTarget(prog.indexOfWordAddr(
+                static_cast<Addr>(in.imm)));
+            break;
+          case Opcode::Jalr:
+            indirectExit[b] = true;
+            break;
+          case Opcode::Halt:
+            break;
+          default:
+            addTarget(last + 1);
+            break;
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::set<RegId>>
+blockLiveOuts(const isa::Program &prog,
+              const std::vector<BasicBlock> &blocks)
+{
+    const auto &code = prog.code();
+    const std::size_t n = blocks.size();
+
+    std::vector<std::vector<std::size_t>> succs;
+    std::vector<bool> allLiveAtExit;
+    buildCfg(prog, blocks, succs, allLiveAtExit);
+
+    // Per-block use/def.
+    std::vector<std::set<RegId>> use(n), def(n);
+    for (std::size_t b = 0; b < n; ++b) {
+        for (std::size_t i = blocks[b].begin; i < blocks[b].end; ++i) {
+            for (RegId r : instrReads(code[i]))
+                if (!def[b].count(r))
+                    use[b].insert(r);
+            RegId d = instrDef(code[i]);
+            if (d >= 0)
+                def[b].insert(d);
+            RegId d2 = instrDef2(code[i]);
+            if (d2 >= 0)
+                def[b].insert(d2);
+        }
+    }
+
+    std::set<RegId> everything;
+    for (RegId r = 1; r < numRegs; ++r)
+        everything.insert(r);
+
+    // Backward fixpoint.
+    std::vector<std::set<RegId>> liveIn(n), liveOut(n);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = n; b-- > 0;) {
+            std::set<RegId> out;
+            if (allLiveAtExit[b]) {
+                out = everything;
+            } else {
+                for (std::size_t s : succs[b])
+                    out.insert(liveIn[s].begin(), liveIn[s].end());
+            }
+            std::set<RegId> in = use[b];
+            for (RegId r : out)
+                if (!def[b].count(r))
+                    in.insert(r);
+            if (out != liveOut[b] || in != liveIn[b]) {
+                liveOut[b] = std::move(out);
+                liveIn[b] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+    return liveOut;
+}
+
+std::vector<std::set<RegId>>
+blockSpmPointers(const isa::Program &prog,
+                 const std::vector<BasicBlock> &blocks,
+                 const std::vector<RegId> &entrySeed)
+{
+    const auto &code = prog.code();
+    const std::size_t n = blocks.size();
+
+    std::vector<std::vector<std::size_t>> succs;
+    std::vector<bool> indirectExit;
+    buildCfg(prog, blocks, succs, indirectExit);
+
+    std::vector<std::vector<std::size_t>> preds(n);
+    for (std::size_t b = 0; b < n; ++b)
+        for (std::size_t s : succs[b])
+            preds[s].push_back(b);
+
+    // Transfer function over one instruction.
+    auto apply = [&](const Instr &in, std::set<RegId> &set) {
+        RegId d = instrDef(in);
+        if (d < 0)
+            return;
+        bool taint = false;
+        switch (in.op) {
+          case Opcode::Lui:
+            taint = (static_cast<Word>(in.imm) << 11) >= 0x80000000u;
+            break;
+          case Opcode::Addi:
+          case Opcode::Ori:
+            taint = set.count(in.rs0) > 0;
+            break;
+          case Opcode::Add:
+            taint = set.count(in.rs0) > 0 || set.count(in.rs1) > 0;
+            break;
+          case Opcode::Sub:
+            // pointer - integer stays a pointer; anything else not.
+            taint = set.count(in.rs0) > 0 && !set.count(in.rs1);
+            break;
+          default:
+            break;
+        }
+        if (taint)
+            set.insert(d);
+        else
+            set.erase(d);
+        RegId d2 = instrDef2(in);
+        if (d2 >= 0)
+            set.erase(d2);
+    };
+
+    std::set<RegId> top;
+    for (RegId r = 1; r < numRegs; ++r)
+        top.insert(r);
+
+    std::vector<std::set<RegId>> in(n, top), out(n, top);
+    if (n > 0)
+        in[0] = std::set<RegId>(entrySeed.begin(), entrySeed.end());
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = 0; b < n; ++b) {
+            std::set<RegId> newIn;
+            if (b == 0) {
+                newIn = std::set<RegId>(entrySeed.begin(),
+                                        entrySeed.end());
+            } else if (preds[b].empty()) {
+                newIn = top; // unreachable
+            } else {
+                newIn = out[preds[b][0]];
+                for (std::size_t i = 1; i < preds[b].size(); ++i) {
+                    std::set<RegId> meet;
+                    for (RegId r : newIn)
+                        if (out[preds[b][i]].count(r))
+                            meet.insert(r);
+                    newIn = std::move(meet);
+                }
+            }
+            std::set<RegId> newOut = newIn;
+            for (std::size_t i = blocks[b].begin; i < blocks[b].end;
+                 ++i)
+                apply(code[i], newOut);
+            if (newIn != in[b] || newOut != out[b]) {
+                in[b] = std::move(newIn);
+                out[b] = std::move(newOut);
+                changed = true;
+            }
+        }
+    }
+    return in;
+}
+
+} // namespace stitch::compiler

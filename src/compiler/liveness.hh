@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Register liveness across basic blocks (backward dataflow to a
+ * fixpoint). The ISE identifier needs accurate live-out sets: a
+ * candidate only has to expose a covered value as a register output
+ * if someone can still read it — without this, loop-scratch registers
+ * (address temporaries, induction helpers) would masquerade as
+ * outputs and block most candidates.
+ */
+
+#ifndef STITCH_COMPILER_LIVENESS_HH
+#define STITCH_COMPILER_LIVENESS_HH
+
+#include <set>
+#include <vector>
+
+#include "compiler/dfg.hh"
+
+namespace stitch::compiler
+{
+
+/** Registers `in` reads (r0 excluded). */
+std::vector<RegId> instrReads(const isa::Instr &in);
+
+/** Register `in` writes, or -1 (r0 writes are discarded). */
+RegId instrDef(const isa::Instr &in);
+
+/** Second register written (CUST only), or -1. */
+RegId instrDef2(const isa::Instr &in);
+
+/**
+ * Live-out register set of every block. Control flow follows
+ * branches/jal targets and fallthrough; JALR (indirect) is handled
+ * conservatively by treating every register as live at it.
+ */
+std::vector<std::set<RegId>>
+blockLiveOuts(const isa::Program &prog,
+              const std::vector<BasicBlock> &blocks);
+
+/**
+ * SPM-pointer must-analysis: for every block, the set of registers
+ * that are guaranteed to hold scratchpad addresses at block entry
+ * (forward dataflow, meet = intersection). A register becomes an SPM
+ * pointer by loading an SPM-window constant (lui) or by address
+ * arithmetic (add/sub/addi/ori) on one; any other definition clears
+ * it. `entrySeed` adds the kernel's own annotation at the program
+ * entry (paper's compiler-directed variable mapping [42, 43]).
+ */
+std::vector<std::set<RegId>>
+blockSpmPointers(const isa::Program &prog,
+                 const std::vector<BasicBlock> &blocks,
+                 const std::vector<RegId> &entrySeed);
+
+} // namespace stitch::compiler
+
+#endif // STITCH_COMPILER_LIVENESS_HH

@@ -1,0 +1,992 @@
+#include "compiler/mapper.hh"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace stitch::compiler
+{
+
+using core::AluOp;
+using core::OutCfg;
+using core::PatchCtl;
+using core::PatchKind;
+using core::ShiftOp;
+using core::TMode;
+using core::U1Lhs;
+using core::U1Rhs;
+using core::U2Lhs;
+using core::U2Rhs;
+
+std::string
+AccelTarget::name() const
+{
+    switch (type) {
+      case Type::SinglePatch:
+        return strformat("{%s}", core::patchKindName(local));
+      case Type::FusedPair:
+        return strformat("{%s,%s}", core::patchKindName(local),
+                         core::patchKindName(remote));
+      case Type::Locus:
+        return "LOCUS-SFU";
+    }
+    STITCH_PANIC("bad AccelTarget");
+}
+
+namespace
+{
+
+constexpr std::uint8_t
+pm(int p)
+{
+    return static_cast<std::uint8_t>(1u << p);
+}
+
+constexpr std::uint8_t pm123 = pm(1) | pm(2) | pm(3);
+constexpr std::uint8_t pmAll = pm(0) | pm123;
+
+/** Matches candidate externals to the four register ports. */
+struct PortSolver
+{
+    int numExt = 0;
+    std::array<std::uint8_t, 4> mask{{pmAll, pmAll, pmAll, pmAll}};
+
+    bool
+    restrict(int ext, std::uint8_t m)
+    {
+        STITCH_ASSERT(ext >= 0 && ext < numExt);
+        mask[static_cast<std::size_t>(ext)] &= m;
+        return mask[static_cast<std::size_t>(ext)] != 0;
+    }
+
+    /** Assign distinct ports; returns ext index per port (-1 free). */
+    std::optional<std::array<int, 4>>
+    solve() const
+    {
+        std::array<int, 4> portExt{{-1, -1, -1, -1}};
+        std::array<int, 4> extPort{{-1, -1, -1, -1}};
+        if (assignFrom(0, portExt, extPort))
+            return portExt;
+        return std::nullopt;
+    }
+
+  private:
+    bool
+    assignFrom(int ext, std::array<int, 4> &portExt,
+               std::array<int, 4> &extPort) const
+    {
+        if (ext >= numExt)
+            return true;
+        STITCH_ASSERT(ext >= 0 && ext < 4,
+                      "more externals than register ports");
+        for (int p = 0; p < 4; ++p) {
+            if (portExt[static_cast<std::size_t>(p)] >= 0)
+                continue;
+            if (!(mask[static_cast<std::size_t>(ext)] & pm(p)))
+                continue;
+            portExt[static_cast<std::size_t>(p)] = ext;
+            extPort[static_cast<std::size_t>(ext)] = p;
+            if (assignFrom(ext + 1, portExt, extPort))
+                return true;
+            portExt[static_cast<std::size_t>(p)] = -1;
+            extPort[static_cast<std::size_t>(ext)] = -1;
+        }
+        return false;
+    }
+};
+
+/** How an operand value is supplied. */
+enum class ValKind
+{
+    Internal, ///< produced by a node on this side
+    Forward,  ///< the fused-forward value (remote in0)
+    External, ///< a register port
+    Invalid,
+};
+
+struct Val
+{
+    ValKind kind = ValKind::Invalid;
+    int node = -1; ///< Internal
+    int ext = -1;  ///< External
+};
+
+/** Deferred mux selections awaiting the port assignment. */
+enum class MuxField { U1L, U1R, U2L, U2R };
+
+struct Pending
+{
+    MuxField field;
+    int ext;
+};
+
+enum class SideMode { Solo, FusedLocal, FusedRemote };
+
+struct SideCtx
+{
+    const Dfg *dfg = nullptr;
+    const IseCandidate *cand = nullptr;
+    std::set<int> sideSet;
+    SideMode mode = SideMode::Solo;
+    int forwardNode = -1; ///< FusedRemote: the value on in0;
+                          ///< FusedLocal: the node to forward (-1 =
+                          ///< pick the side's final)
+    PatchKind kind = PatchKind::ATMA;
+    bool allowT = true;
+    std::vector<int> outputs; ///< candidate outputs on this side
+};
+
+struct SideMap
+{
+    PatchCtl ctl;
+    int headNode = -1;
+    int finalNode = -1;
+    int forwardNode = -1; ///< FusedLocal: resolved forward producer
+    int rd0Node = -1;
+    int rd1Node = -1;
+    std::vector<Pending> pending;
+};
+
+struct SideVariant
+{
+    SideMap map;
+    PortSolver ports;
+};
+
+bool
+aluCommutative(AluOp op)
+{
+    switch (op) {
+      case AluOp::Add:
+      case AluOp::And:
+      case AluOp::Or:
+      case AluOp::Xor:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Enumerates slot assignments + wiring variants of one side. */
+class SideMapper
+{
+  public:
+    SideMapper(const SideCtx &ctx, const PortSolver &base)
+        : ctx_(ctx), base_(base)
+    {
+        for (int n : ctx.sideSet)
+            nodes_.push_back(n);
+    }
+
+    std::vector<SideVariant>
+    enumerate()
+    {
+        assignSlots(0, -1, -1, -1, -1);
+        return std::move(variants_);
+    }
+
+  private:
+    static constexpr std::size_t maxVariants = 64;
+
+    Val
+    classify(const OperandRef &ref) const
+    {
+        Val v;
+        if (ref.kind == OperandRef::Kind::Node) {
+            if (ctx_.sideSet.count(ref.node)) {
+                v.kind = ValKind::Internal;
+                v.node = ref.node;
+                return v;
+            }
+            if (ctx_.mode == SideMode::FusedRemote &&
+                ref.node == ctx_.forwardNode) {
+                v.kind = ValKind::Forward;
+                return v;
+            }
+            if (ctx_.cand->covers(ref.node)) {
+                // FusedLocal referencing a remote node: invalid split.
+                v.kind = ValKind::Invalid;
+                return v;
+            }
+        }
+        v.kind = ValKind::External;
+        v.ext = extIndexOf(ref);
+        return v;
+    }
+
+    int
+    extIndexOf(const OperandRef &ref) const
+    {
+        const auto &exts = ctx_.cand->externals;
+        for (std::size_t i = 0; i < exts.size(); ++i)
+            if (exts[i].ref == ref)
+                return static_cast<int>(i);
+        STITCH_PANIC("operand is not a registered external");
+    }
+
+    const DfgNode &
+    node(int id) const
+    {
+        return ctx_.dfg->node(id);
+    }
+
+    /** Slot compatibility for one node. */
+    bool
+    fitsSlot(int nodeId, int slot) const
+    {
+        const DfgNode &nd = node(nodeId);
+        switch (slot) {
+          case 0: // S1A
+            return nd.op == NodeOp::Alu;
+          case 1: // S1T
+            return ctx_.allowT && (nd.op == NodeOp::Load ||
+                                   nd.op == NodeOp::Store);
+          case 2: // U1
+            switch (ctx_.kind) {
+              case PatchKind::ATMA: return nd.op == NodeOp::Mul;
+              case PatchKind::ATAS: return nd.op == NodeOp::Alu;
+              case PatchKind::ATSA: return nd.op == NodeOp::Shift;
+            }
+            return false;
+          case 3: // U2
+            switch (ctx_.kind) {
+              case PatchKind::ATMA: return nd.op == NodeOp::Alu;
+              case PatchKind::ATAS: return nd.op == NodeOp::Shift;
+              case PatchKind::ATSA: return nd.op == NodeOp::Alu;
+            }
+            return false;
+        }
+        return false;
+    }
+
+    void
+    assignSlots(std::size_t idx, int s1a, int s1t, int u1, int u2)
+    {
+        if (variants_.size() >= maxVariants)
+            return;
+        if (idx == nodes_.size()) {
+            tryWire(s1a, s1t, u1, u2);
+            return;
+        }
+        int nd = nodes_[idx];
+        if (fitsSlot(nd, 0) && s1a < 0)
+            assignSlots(idx + 1, nd, s1t, u1, u2);
+        if (fitsSlot(nd, 1) && s1t < 0)
+            assignSlots(idx + 1, s1a, nd, u1, u2);
+        if (fitsSlot(nd, 2) && u1 < 0)
+            assignSlots(idx + 1, s1a, s1t, nd, u2);
+        if (fitsSlot(nd, 3) && u2 < 0)
+            assignSlots(idx + 1, s1a, s1t, u1, nd);
+    }
+
+    void
+    tryWire(int s1a, int s1t, int u1, int u2)
+    {
+        // Operand-order (commutativity) variants per slot.
+        auto swapsOf = [&](int nodeId) -> int {
+            if (nodeId < 0)
+                return 1;
+            const DfgNode &nd = node(nodeId);
+            if (nd.op == NodeOp::Mul)
+                return 2;
+            if (nd.op == NodeOp::Alu && aluCommutative(nd.aluOp))
+                return 2;
+            return 1;
+        };
+        int sa = swapsOf(s1a), su1 = swapsOf(u1), su2 = swapsOf(u2);
+        for (int a = 0; a < sa; ++a)
+            for (int b = 0; b < su1; ++b)
+                for (int c = 0; c < su2; ++c)
+                    wireVariant(s1a, s1t, u1, u2, a == 1, b == 1,
+                                c == 1);
+    }
+
+    std::pair<OperandRef, OperandRef>
+    binaryOperands(int nodeId, bool swapped) const
+    {
+        const DfgNode &nd = node(nodeId);
+        STITCH_ASSERT(nd.operands.size() >= 2);
+        if (swapped)
+            return {nd.operands[1], nd.operands[0]};
+        return {nd.operands[0], nd.operands[1]};
+    }
+
+    void
+    wireVariant(int s1a, int s1t, int u1, int u2, bool swapA,
+                bool swapU1, bool swapU2)
+    {
+        if (variants_.size() >= maxVariants)
+            return;
+
+        PortSolver ps = base_;
+        SideMap sm;
+        sm.headNode = s1t >= 0 ? s1t : s1a;
+        bool noHead = sm.headNode < 0;
+        bool isRemote = ctx_.mode == SideMode::FusedRemote;
+
+        // ---- Stage 1: ALU ------------------------------------------------
+        if (s1a >= 0) {
+            auto [x, y] = binaryOperands(s1a, swapA);
+            Val vx = classify(x), vy = classify(y);
+            // x must be in0 (local: port 0 external; remote: F).
+            if (isRemote) {
+                if (vx.kind != ValKind::Forward)
+                    return;
+            } else {
+                if (vx.kind != ValKind::External ||
+                    !ps.restrict(vx.ext, pm(0)))
+                    return;
+            }
+            // y must be in1.
+            if (vy.kind != ValKind::External ||
+                !ps.restrict(vy.ext, pm(1)))
+                return;
+            sm.ctl.a1op = node(s1a).aluOp;
+        } else {
+            sm.ctl.a1op = AluOp::Pass;
+        }
+
+        // ---- Stage 1: LMAU -----------------------------------------------
+        if (s1t >= 0) {
+            const DfgNode &tn = node(s1t);
+            const OperandRef &base = tn.operands[0];
+            const OperandRef &off = tn.operands[1];
+            STITCH_ASSERT(off.kind == OperandRef::Kind::Imm);
+            if (s1a >= 0) {
+                // The stage-1 ALU must be exactly the address
+                // producer and the displacement must be folded.
+                if (!(base.kind == OperandRef::Kind::Node &&
+                      base.node == s1a && off.imm == 0))
+                    return;
+            } else {
+                Val vb = classify(base);
+                if (vb.kind == ValKind::External) {
+                    if (!ps.restrict(vb.ext, pm(0)))
+                        return;
+                } else if (!(isRemote &&
+                             vb.kind == ValKind::Forward)) {
+                    return;
+                }
+                if (off.imm != 0) {
+                    OperandRef offRef;
+                    offRef.kind = OperandRef::Kind::Imm;
+                    offRef.imm = off.imm;
+                    int ext = extIndexOf(offRef);
+                    if (!ps.restrict(ext, pm(1)))
+                        return;
+                    sm.ctl.a1op = AluOp::Add;
+                } else {
+                    sm.ctl.a1op = AluOp::Pass;
+                }
+            }
+            if (tn.op == NodeOp::Store) {
+                Val vd = classify(tn.operands[2]);
+                if (vd.kind != ValKind::External ||
+                    !ps.restrict(vd.ext, pm(2)))
+                    return;
+                sm.ctl.tMode = TMode::Store;
+            } else {
+                sm.ctl.tMode = TMode::Load;
+            }
+        } else {
+            sm.ctl.tMode = TMode::Off;
+        }
+
+        // ---- Stage 2: unit 1 ---------------------------------------------
+        if (u1 >= 0) {
+            auto [x, y] = binaryOperands(u1, swapU1);
+            if (!wireStage2Operand(x, MuxField::U1L, sm, ps, noHead,
+                                   isRemote, u1, u2))
+                return;
+            if (!wireStage2Operand(y, MuxField::U1R, sm, ps, noHead,
+                                   isRemote, u1, u2))
+                return;
+            const DfgNode &nd = node(u1);
+            if (ctx_.kind == PatchKind::ATAS)
+                sm.ctl.aop2 = nd.aluOp;
+            else if (ctx_.kind == PatchKind::ATSA)
+                sm.ctl.sop = nd.shiftOp;
+        }
+
+        // ---- Stage 2: unit 2 ---------------------------------------------
+        if (u2 >= 0) {
+            auto [x, y] = binaryOperands(u2, swapU2);
+            if (!wireStage2Operand(x, MuxField::U2L, sm, ps, noHead,
+                                   isRemote, u1, u2))
+                return;
+            if (!wireStage2Operand(y, MuxField::U2R, sm, ps, noHead,
+                                   isRemote, u1, u2))
+                return;
+            const DfgNode &nd = node(u2);
+            if (ctx_.kind == PatchKind::ATAS)
+                sm.ctl.sop = nd.shiftOp;
+            else
+                sm.ctl.aop2 = nd.aluOp;
+        } else if (u1 >= 0) {
+            // Pass unit 1's result through unit 2.
+            sm.ctl.u2Lhs = U2Lhs::U1Out;
+            if (ctx_.kind == PatchKind::ATAS)
+                sm.ctl.sop = ShiftOp::Pass;
+            else
+                sm.ctl.aop2 = AluOp::Pass;
+        } else {
+            // Stage 2 unused: mirror s1out.
+            sm.ctl.u2Lhs = U2Lhs::S1Out;
+            if (ctx_.kind == PatchKind::ATAS)
+                sm.ctl.sop = ShiftOp::Pass;
+            else
+                sm.ctl.aop2 = AluOp::Pass;
+        }
+
+        sm.finalNode = u2 >= 0 ? u2 : (u1 >= 0 ? u1 : sm.headNode);
+
+        if (!resolveOutputs(sm))
+            return;
+
+        variants_.push_back(SideVariant{std::move(sm), ps});
+    }
+
+    /**
+     * Wire one stage-2 operand. Direct-port masks depend on the mux:
+     * all three muxes reach ports 1-3; the stage-1 bypass (S1Out) can
+     * additionally deliver port 0 when stage 1 is a pass-through, and
+     * U2's left input can borrow a passing unit 1 when that slot is
+     * free (and the unit is not the fixed multiplier).
+     */
+    bool
+    wireStage2Operand(const OperandRef &ref, MuxField field,
+                      SideMap &sm, PortSolver &ps, bool noHead,
+                      bool isRemote, int u1, int u2)
+    {
+        (void)u2;
+        Val v = classify(ref);
+        switch (v.kind) {
+          case ValKind::Internal:
+            if (v.node == sm.headNode) {
+                setMuxS1(field, sm.ctl);
+                return true;
+            }
+            if (field == MuxField::U2L && v.node == u1) {
+                sm.ctl.u2Lhs = U2Lhs::U1Out;
+                return true;
+            }
+            return false;
+
+          case ValKind::Forward:
+            // F is s1out when stage 1 passes it through.
+            if (!noHead)
+                return false;
+            setMuxS1(field, sm.ctl);
+            return true;
+
+          case ValKind::External: {
+            std::uint8_t mask = 0;
+            if (field == MuxField::U2L) {
+                if (noHead && !isRemote)
+                    mask |= pm(0);
+                if (u1 < 0 && ctx_.kind != PatchKind::ATMA)
+                    mask |= pm123;
+            } else {
+                mask = pm123;
+                if (noHead && !isRemote)
+                    mask |= pm(0);
+            }
+            if (mask == 0 || !ps.restrict(v.ext, mask))
+                return false;
+            sm.pending.push_back(Pending{field, v.ext});
+            return true;
+          }
+
+          case ValKind::Invalid:
+            return false;
+        }
+        return false;
+    }
+
+    static void
+    setMuxS1(MuxField field, PatchCtl &ctl)
+    {
+        switch (field) {
+          case MuxField::U1L: ctl.u1Lhs = U1Lhs::S1Out; break;
+          case MuxField::U1R: ctl.u1Rhs = U1Rhs::S1Out; break;
+          case MuxField::U2L: ctl.u2Lhs = U2Lhs::S1Out; break;
+          case MuxField::U2R: ctl.u2Rhs = U2Rhs::S1Out; break;
+        }
+    }
+
+    /** Check output expressibility and fix OutCfg / rd nodes. */
+    bool
+    resolveOutputs(SideMap &sm)
+    {
+        if (ctx_.mode == SideMode::FusedLocal) {
+            // The side's job is to produce the forward value.
+            int fwd = ctx_.forwardNode >= 0 ? ctx_.forwardNode
+                                            : sm.finalNode;
+            if (fwd != sm.headNode && fwd != sm.finalNode)
+                return false;
+            // Every local live-out must be the forwarded value.
+            for (int out : ctx_.outputs)
+                if (out != fwd)
+                    return false;
+            sm.forwardNode = fwd;
+            sm.ctl.outCfg = (fwd == sm.finalNode) ? OutCfg::S2
+                                                  : OutCfg::S1;
+            return true;
+        }
+
+        const auto &outs = ctx_.outputs;
+        if (outs.empty()) {
+            sm.ctl.outCfg = OutCfg::None;
+            return true;
+        }
+        if (outs.size() == 1) {
+            int out = outs[0];
+            if (out == sm.headNode) {
+                sm.ctl.outCfg = OutCfg::S1;
+                sm.rd0Node = out;
+                return true;
+            }
+            if (out == sm.finalNode) {
+                sm.ctl.outCfg = OutCfg::S2;
+                sm.rd0Node = out;
+                return true;
+            }
+            return false;
+        }
+        if (outs.size() == 2) {
+            if (sm.headNode < 0 || sm.headNode == sm.finalNode)
+                return false;
+            bool match = (outs[0] == sm.headNode &&
+                          outs[1] == sm.finalNode) ||
+                         (outs[1] == sm.headNode &&
+                          outs[0] == sm.finalNode);
+            if (!match)
+                return false;
+            sm.ctl.outCfg = OutCfg::Both;
+            sm.rd0Node = sm.finalNode;
+            sm.rd1Node = sm.headNode;
+            return true;
+        }
+        return false;
+    }
+
+    SideCtx ctx_;
+    PortSolver base_;
+    std::vector<int> nodes_;
+    std::vector<SideVariant> variants_;
+};
+
+/** Resolve deferred mux fields once ports are known. */
+bool
+resolvePending(const SideMap &sm, const std::array<int, 4> &portExt,
+               PatchCtl &ctl, PatchKind kind, bool u1Assigned)
+{
+    auto portOf = [&](int ext) {
+        for (int p = 0; p < 4; ++p)
+            if (portExt[static_cast<std::size_t>(p)] == ext)
+                return p;
+        return -1;
+    };
+
+    for (const auto &pend : sm.pending) {
+        int p = portOf(pend.ext);
+        STITCH_ASSERT(p >= 0, "pending external lost its port");
+        switch (pend.field) {
+          case MuxField::U1L:
+            switch (p) {
+              case 0: ctl.u1Lhs = U1Lhs::S1Out; break;
+              case 1: ctl.u1Lhs = U1Lhs::In1; break;
+              case 2: ctl.u1Lhs = U1Lhs::In2; break;
+              case 3: ctl.u1Lhs = U1Lhs::In3; break;
+            }
+            break;
+          case MuxField::U1R:
+            switch (p) {
+              case 0: ctl.u1Rhs = U1Rhs::S1Out; break;
+              case 1: ctl.u1Rhs = U1Rhs::In1; break;
+              case 2: ctl.u1Rhs = U1Rhs::In2; break;
+              case 3: ctl.u1Rhs = U1Rhs::In3; break;
+            }
+            break;
+          case MuxField::U2L:
+            if (p == 0) {
+                ctl.u2Lhs = U2Lhs::S1Out;
+            } else {
+                // Route through a passing unit 1.
+                if (u1Assigned || kind == PatchKind::ATMA)
+                    return false;
+                ctl.u2Lhs = U2Lhs::U1Out;
+                switch (p) {
+                  case 1: ctl.u1Lhs = U1Lhs::In1; break;
+                  case 2: ctl.u1Lhs = U1Lhs::In2; break;
+                  case 3: ctl.u1Lhs = U1Lhs::In3; break;
+                }
+                if (kind == PatchKind::ATAS)
+                    ctl.aop2 = AluOp::Pass;
+                else
+                    ctl.sop = ShiftOp::Pass;
+            }
+            break;
+          case MuxField::U2R:
+            switch (p) {
+              case 0: ctl.u2Rhs = U2Rhs::S1Out; break;
+              case 1: ctl.u2Rhs = U2Rhs::In1; break;
+              case 2: ctl.u2Rhs = U2Rhs::In2; break;
+              case 3: ctl.u2Rhs = U2Rhs::In3; break;
+            }
+            break;
+        }
+    }
+    return true;
+}
+
+/** Whether slot U1 was used, reconstructed from the side map. */
+bool
+u1AssignedIn(const SideMap &sm)
+{
+    // finalNode == u2 or u1; we track via ctl: if u2Lhs == U1Out and
+    // aop2/sop not Pass... simpler: the mapper records it implicitly:
+    // a side with stage-2 nodes sets finalNode != headNode. We cannot
+    // recover exactly; instead resolvePending's pass-through route is
+    // only legal when requested, and wireStage2Operand already gated
+    // the mask on u1 < 0, so reaching the route here implies u1 was
+    // free. Return false accordingly.
+    (void)sm;
+    return false;
+}
+
+} // namespace
+
+core::MicroDfg
+buildMicroDfg(const Dfg &dfg, const IseCandidate &cand,
+              const std::array<int, 4> &portExternal, int rd0Node,
+              int rd1Node)
+{
+    core::MicroDfg micro;
+    std::set<int> covered(cand.nodes.begin(), cand.nodes.end());
+
+    auto portOfExt = [&](int ext) {
+        for (int p = 0; p < 4; ++p)
+            if (portExternal[static_cast<std::size_t>(p)] == ext)
+                return p;
+        STITCH_PANIC("external without a port");
+    };
+    auto extIndexOf = [&](const OperandRef &ref) {
+        for (std::size_t i = 0; i < cand.externals.size(); ++i)
+            if (cand.externals[i].ref == ref)
+                return static_cast<int>(i);
+        STITCH_PANIC("operand is not a registered external");
+    };
+
+    std::vector<int> microIndexOf(
+        static_cast<std::size_t>(dfg.size()), -1);
+
+    auto operandRef = [&](const OperandRef &ref) {
+        if (ref.kind == OperandRef::Kind::Node && covered.count(ref.node))
+            return microIndexOf[static_cast<std::size_t>(ref.node)];
+        return core::microPortRef(portOfExt(extIndexOf(ref)));
+    };
+
+    for (int id : cand.nodes) {
+        const DfgNode &nd = dfg.node(id);
+        core::MicroOp op;
+        switch (nd.op) {
+          case NodeOp::Alu:
+            op.kind = core::MicroOp::Kind::Alu;
+            op.aluOp = nd.aluOp;
+            op.lhs = operandRef(nd.operands[0]);
+            op.rhs = operandRef(nd.operands[1]);
+            break;
+          case NodeOp::Mul:
+            op.kind = core::MicroOp::Kind::Mul;
+            op.lhs = operandRef(nd.operands[0]);
+            op.rhs = operandRef(nd.operands[1]);
+            break;
+          case NodeOp::Shift:
+            op.kind = core::MicroOp::Kind::Shift;
+            op.shiftOp = nd.shiftOp;
+            op.lhs = operandRef(nd.operands[0]);
+            op.rhs = operandRef(nd.operands[1]);
+            break;
+          case NodeOp::Load:
+          case NodeOp::Store: {
+            // Address = base + off; synthesize the add when off != 0.
+            int addrRef = operandRef(nd.operands[0]);
+            if (nd.operands[1].imm != 0) {
+                core::MicroOp add;
+                add.kind = core::MicroOp::Kind::Alu;
+                add.aluOp = AluOp::Add;
+                add.lhs = addrRef;
+                add.rhs = operandRef(nd.operands[1]);
+                micro.ops.push_back(add);
+                addrRef = micro.size() - 1;
+            }
+            op.kind = nd.op == NodeOp::Load
+                          ? core::MicroOp::Kind::Load
+                          : core::MicroOp::Kind::Store;
+            op.lhs = addrRef;
+            if (nd.op == NodeOp::Store)
+                op.rhs = operandRef(nd.operands[2]);
+            break;
+          }
+          case NodeOp::Other:
+            STITCH_PANIC("non-includable node in a candidate");
+        }
+        micro.ops.push_back(op);
+        microIndexOf[static_cast<std::size_t>(id)] = micro.size() - 1;
+    }
+
+    if (rd0Node >= 0)
+        micro.rd0Op = microIndexOf[static_cast<std::size_t>(rd0Node)];
+    if (rd1Node >= 0)
+        micro.rd1Op = microIndexOf[static_cast<std::size_t>(rd1Node)];
+    return micro;
+}
+
+namespace
+{
+
+MapResult
+mapSingle(const Dfg &dfg, const IseCandidate &cand, PatchKind kind)
+{
+    MapResult res;
+    if (cand.nodes.size() > 4)
+        return res;
+
+    SideCtx ctx;
+    ctx.dfg = &dfg;
+    ctx.cand = &cand;
+    ctx.sideSet.insert(cand.nodes.begin(), cand.nodes.end());
+    ctx.mode = SideMode::Solo;
+    ctx.kind = kind;
+    ctx.allowT = true;
+    ctx.outputs = cand.outputs;
+
+    PortSolver base;
+    base.numExt = static_cast<int>(cand.externals.size());
+
+    for (auto &variant : SideMapper(ctx, base).enumerate()) {
+        auto ports = variant.ports.solve();
+        if (!ports)
+            continue;
+        PatchCtl ctl = variant.map.ctl;
+        if (!resolvePending(variant.map, *ports, ctl, kind,
+                            u1AssignedIn(variant.map)))
+            continue;
+        res.ok = true;
+        res.cfg.localKind = kind;
+        res.cfg.local = ctl;
+        res.cfg.usesRemote = false;
+        res.portExternal = *ports;
+        res.rd0Node = variant.map.rd0Node;
+        res.rd1Node = variant.map.rd1Node;
+        return res;
+    }
+    return res;
+}
+
+MapResult
+mapFused(const Dfg &dfg, const IseCandidate &cand, PatchKind localKind,
+         PatchKind remoteKind)
+{
+    MapResult res;
+    int n = static_cast<int>(cand.nodes.size());
+    if (n < 2 || n > 8)
+        return res;
+
+    std::set<int> covered(cand.nodes.begin(), cand.nodes.end());
+
+    for (unsigned split = 1; split + 1 < (1u << n); ++split) {
+        std::set<int> localSet, remoteSet;
+        for (int i = 0; i < n; ++i) {
+            if (split & (1u << i))
+                localSet.insert(cand.nodes[static_cast<std::size_t>(i)]);
+            else
+                remoteSet.insert(cand.nodes[static_cast<std::size_t>(i)]);
+        }
+        if (localSet.size() > 4 || remoteSet.size() > 4)
+            continue;
+
+        // Closure: no remote -> local dataflow; collect the unique
+        // forward value crossing local -> remote.
+        bool legal = true;
+        int forwardNode = -1;
+        for (int id : localSet) {
+            for (const auto &ref : dfg.node(id).operands) {
+                if (ref.kind == OperandRef::Kind::Node &&
+                    remoteSet.count(ref.node))
+                    legal = false;
+            }
+        }
+        for (int id : remoteSet) {
+            const DfgNode &nd = dfg.node(id);
+            if (nd.op == NodeOp::Load || nd.op == NodeOp::Store) {
+                legal = false; // SPM ops stay local (see header)
+                break;
+            }
+            for (const auto &ref : nd.operands) {
+                if (ref.kind == OperandRef::Kind::Node &&
+                    localSet.count(ref.node)) {
+                    if (forwardNode >= 0 && forwardNode != ref.node)
+                        legal = false;
+                    forwardNode = ref.node;
+                }
+            }
+        }
+        if (!legal)
+            continue;
+
+        // Partition the outputs; remote outputs go to rd0 (and rd1),
+        // a local output returns as the forwarded value.
+        std::vector<int> localOuts, remoteOuts;
+        for (int out : cand.outputs) {
+            if (localSet.count(out))
+                localOuts.push_back(out);
+            else
+                remoteOuts.push_back(out);
+        }
+        if (localOuts.size() > 1)
+            continue;
+        if (!localOuts.empty() && forwardNode >= 0 &&
+            localOuts[0] != forwardNode)
+            continue;
+        if (!localOuts.empty() && remoteOuts.size() > 1)
+            continue; // only two write ports in total
+
+        SideCtx localCtx;
+        localCtx.dfg = &dfg;
+        localCtx.cand = &cand;
+        localCtx.sideSet = localSet;
+        localCtx.mode = SideMode::FusedLocal;
+        localCtx.forwardNode =
+            forwardNode >= 0
+                ? forwardNode
+                : (localOuts.empty() ? -1 : localOuts[0]);
+        localCtx.kind = localKind;
+        localCtx.allowT = true;
+        localCtx.outputs = localOuts;
+
+        PortSolver base;
+        base.numExt = static_cast<int>(cand.externals.size());
+
+        for (auto &lv : SideMapper(localCtx, base).enumerate()) {
+            SideCtx remoteCtx;
+            remoteCtx.dfg = &dfg;
+            remoteCtx.cand = &cand;
+            remoteCtx.sideSet = remoteSet;
+            remoteCtx.mode = SideMode::FusedRemote;
+            remoteCtx.forwardNode = lv.map.forwardNode;
+            remoteCtx.kind = remoteKind;
+            remoteCtx.allowT = false;
+            remoteCtx.outputs = remoteOuts;
+
+            for (auto &rv :
+                 SideMapper(remoteCtx, lv.ports).enumerate()) {
+                auto ports = rv.ports.solve();
+                if (!ports)
+                    continue;
+                PatchCtl lctl = lv.map.ctl;
+                PatchCtl rctl = rv.map.ctl;
+                if (!resolvePending(lv.map, *ports, lctl, localKind,
+                                    u1AssignedIn(lv.map)))
+                    continue;
+                if (!resolvePending(rv.map, *ports, rctl, remoteKind,
+                                    u1AssignedIn(rv.map)))
+                    continue;
+
+                res.ok = true;
+                res.cfg.localKind = localKind;
+                res.cfg.local = lctl;
+                res.cfg.usesRemote = true;
+                res.cfg.remoteKind = remoteKind;
+                res.cfg.remote = rctl;
+                res.cfg.writeLocalToRd1 = !localOuts.empty();
+                res.portExternal = *ports;
+                res.rd0Node = rv.map.rd0Node;
+                res.rd1Node = !localOuts.empty()
+                                  ? lv.map.forwardNode
+                                  : rv.map.rd1Node;
+                return res;
+            }
+        }
+    }
+    return res;
+}
+
+MapResult
+mapLocus(const Dfg &dfg, const IseCandidate &cand,
+         const core::LocusParams &params)
+{
+    MapResult res;
+    if (static_cast<int>(cand.nodes.size()) > params.maxOps)
+        return res;
+    for (int id : cand.nodes) {
+        NodeOp op = dfg.node(id).op;
+        if (op == NodeOp::Load || op == NodeOp::Store)
+            return res; // LOCUS ISEs exclude load/store (Section VI-B)
+    }
+    // The LOCUS SFU accelerates *operation-chains* (paper Table V):
+    // each covered op feeds exactly the next one. Tree/diamond
+    // patterns (a value fanning out to two later ops) need the
+    // patches' stage-1 broadcast and are rejected here.
+    for (std::size_t i = 0; i + 1 < cand.nodes.size(); ++i) {
+        int id = cand.nodes[i];
+        int next = cand.nodes[i + 1];
+        int internalUses = 0;
+        bool feedsNext = false;
+        for (int later : cand.nodes) {
+            for (const auto &ref : dfg.node(later).operands) {
+                if (ref.kind == OperandRef::Kind::Node &&
+                    ref.node == id) {
+                    ++internalUses;
+                    feedsNext = feedsNext || later == next;
+                }
+            }
+        }
+        if (internalUses != 1 || !feedsNext)
+            return res;
+    }
+    if (static_cast<int>(cand.externals.size()) > params.maxInputs ||
+        static_cast<int>(cand.outputs.size()) > params.maxOutputs)
+        return res;
+
+    for (std::size_t i = 0; i < cand.externals.size(); ++i)
+        res.portExternal[i] = static_cast<int>(i);
+    res.rd0Node = cand.outputs.empty() ? -1 : cand.outputs[0];
+    res.rd1Node = cand.outputs.size() > 1 ? cand.outputs[1] : -1;
+    res.micro = buildMicroDfg(dfg, cand, res.portExternal, res.rd0Node,
+                              res.rd1Node);
+    res.isLocus = true;
+    res.ok = true;
+    return res;
+}
+
+} // namespace
+
+MapResult
+mapCandidate(const Dfg &dfg, const IseCandidate &cand,
+             const AccelTarget &target,
+             const core::LocusParams &locusParams)
+{
+    switch (target.type) {
+      case AccelTarget::Type::SinglePatch:
+        return mapSingle(dfg, cand, target.local);
+      case AccelTarget::Type::FusedPair: {
+        // The kernel sits on the tile hosting the `local` patch, so a
+        // candidate may also be satisfied by that patch alone; the
+        // remote patch is only reachable through fusion.
+        MapResult res = mapSingle(dfg, cand, target.local);
+        if (res.ok)
+            return res;
+        return mapFused(dfg, cand, target.local, target.remote);
+      }
+      case AccelTarget::Type::Locus:
+        return mapLocus(dfg, cand, locusParams);
+    }
+    STITCH_PANIC("bad AccelTarget type");
+}
+
+} // namespace stitch::compiler

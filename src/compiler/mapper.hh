@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The graph mapper (paper Section IV): synthesize an ISE candidate
+ * onto a polymorphic patch, a fused patch pair, or the LOCUS SFU.
+ *
+ * Mapping a patch is an exact small search: candidate nodes are
+ * assigned to the patch's slots (stage-1 ALU, LMAU, stage-2 unit 1
+ * and 2), operand wiring is checked against the real mux options of
+ * the 19-bit control word, and external inputs are matched to the
+ * four register ports. Success yields the actual PatchCtl/FusedConfig
+ * bits plus the operand port order the rewriter must emit — so the
+ * thing that executes in simulation is the same configuration a real
+ * Stitch binary would carry.
+ *
+ * Fused mappings conservatively keep all LMAU (SPM) operations on the
+ * local patch: the paper distributes variables over both SPMs
+ * (Section III-C); pinning them locally preserves behaviour and
+ * timing while simplifying data placement (see DESIGN.md).
+ */
+
+#ifndef STITCH_COMPILER_MAPPER_HH
+#define STITCH_COMPILER_MAPPER_HH
+
+#include <array>
+#include <string>
+
+#include "compiler/ise_ident.hh"
+#include "core/locus.hh"
+#include "core/micro.hh"
+#include "core/patch_config.hh"
+
+namespace stitch::compiler
+{
+
+/** An acceleration target the compiler can map ISEs onto. */
+struct AccelTarget
+{
+    enum class Type
+    {
+        SinglePatch, ///< one patch of kind `local`
+        FusedPair,   ///< `local` stitched with `remote`
+        Locus,       ///< the LOCUS per-core SFU
+    };
+
+    Type type = Type::SinglePatch;
+    core::PatchKind local = core::PatchKind::ATMA;
+    core::PatchKind remote = core::PatchKind::ATMA;
+
+    static AccelTarget
+    single(core::PatchKind k)
+    {
+        return AccelTarget{Type::SinglePatch, k, k};
+    }
+    static AccelTarget
+    fused(core::PatchKind a, core::PatchKind b)
+    {
+        return AccelTarget{Type::FusedPair, a, b};
+    }
+    static AccelTarget
+    locus()
+    {
+        return AccelTarget{Type::Locus, core::PatchKind::ATMA,
+                           core::PatchKind::ATMA};
+    }
+
+    /** Display name, e.g. "{AT-MA,AT-AS}". */
+    std::string name() const;
+
+    bool operator==(const AccelTarget &) const = default;
+};
+
+/** Successful mapping of one candidate onto one target. */
+struct MapResult
+{
+    bool ok = false;
+
+    /** Patch targets: the exact configuration bits. */
+    core::FusedConfig cfg;
+
+    /** Which external (index into candidate.externals) each register
+     *  port carries; -1 = port unused. */
+    std::array<int, 4> portExternal{{-1, -1, -1, -1}};
+
+    /** Candidate node whose value lands in rd0 / rd1 (-1 = none). */
+    int rd0Node = -1;
+    int rd1Node = -1;
+
+    /** LOCUS targets: the SFU micro-program. */
+    bool isLocus = false;
+    core::MicroDfg micro;
+};
+
+/** Try to map `cand` onto `target`. */
+MapResult mapCandidate(const Dfg &dfg, const IseCandidate &cand,
+                       const AccelTarget &target,
+                       const core::LocusParams &locusParams
+                       = core::LocusParams{});
+
+/**
+ * Build the interpretable micro-DFG of `cand` under a given port
+ * assignment (used by the LOCUS path and by validation tests).
+ */
+core::MicroDfg buildMicroDfg(const Dfg &dfg, const IseCandidate &cand,
+                             const std::array<int, 4> &portExternal,
+                             int rd0Node, int rd1Node);
+
+} // namespace stitch::compiler
+
+#endif // STITCH_COMPILER_MAPPER_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Kernel profiling (paper Figure 6: "profiling & hot basic block
+ * detection"). The program runs once on a single software-only core;
+ * execution counts identify the hot blocks that feed ISE
+ * identification.
+ */
+
+#ifndef STITCH_COMPILER_PROFILER_HH
+#define STITCH_COMPILER_PROFILER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/dfg.hh"
+#include "cpu/core.hh"
+#include "mem/tile_memory.hh"
+
+namespace stitch::compiler
+{
+
+/** Profiling output. */
+struct ProfileResult
+{
+    Cycles totalCycles = 0;
+    std::uint64_t instructions = 0;
+    std::vector<std::uint64_t> execCounts; ///< per instruction
+    std::vector<BasicBlock> blocks;
+    std::vector<std::size_t> hotBlocks; ///< indices into blocks,
+                                        ///< heaviest first
+};
+
+/** Hot-block policy (the paper uses a 5% occurrence threshold). */
+struct ProfileParams
+{
+    double hotThreshold = 0.05; ///< min share of dynamic instructions
+    int maxHotBlocks = 12;
+    mem::MemParams mem;
+};
+
+/**
+ * Run `prog` to completion on a scratch core and partition it into
+ * blocks. SEND discards into the void and RECV returns zeros
+ * immediately, so pipeline-stage programs can be profiled standalone.
+ */
+ProfileResult profileProgram(const isa::Program &prog,
+                             const ProfileParams &params
+                             = ProfileParams{});
+
+} // namespace stitch::compiler
+
+#endif // STITCH_COMPILER_PROFILER_HH

@@ -1,0 +1,340 @@
+#include "compiler/rewriter.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "compiler/liveness.hh"
+#include "isa/assembler.hh"
+
+namespace stitch::compiler
+{
+
+using isa::Instr;
+using isa::Opcode;
+
+namespace
+{
+
+/**
+ * Registers usable for hoisted immediates: the four reserved scratch
+ * registers s6..s9, plus any register the program never touches (the
+ * freedom a real register allocator would have). Capped to keep the
+ * preamble reasonable.
+ */
+std::vector<RegId>
+scratchPool(const isa::Program &prog)
+{
+    std::array<bool, numRegs> touched{};
+    for (const auto &in : prog.code()) {
+        for (RegId r : instrReads(in))
+            touched[static_cast<std::size_t>(r)] = true;
+        RegId d = instrDef(in);
+        if (d >= 0)
+            touched[static_cast<std::size_t>(d)] = true;
+        RegId d2 = instrDef2(in);
+        if (d2 >= 0)
+            touched[static_cast<std::size_t>(d2)] = true;
+    }
+    std::vector<RegId> pool;
+    for (RegId r = firstScratchReg; r < numRegs; ++r)
+        pool.push_back(r);
+    for (RegId r = firstScratchReg - 1; r >= 1; --r) {
+        if (pool.size() >= 12)
+            break;
+        if (!touched[static_cast<std::size_t>(r)])
+            pool.push_back(r);
+    }
+    return pool;
+}
+
+/** Role of one original instruction under the selections. */
+struct Role
+{
+    bool covered = false;
+    const SelectedIse *lastOf = nullptr; ///< set at the sink position
+    const Dfg *dfg = nullptr;
+};
+
+/** Distinct non-zero immediates a selection needs in registers. */
+std::vector<std::int32_t>
+immediatesOf(const SelectedIse &sel)
+{
+    std::vector<std::int32_t> imms;
+    for (int p = 0; p < 4; ++p) {
+        int ext = sel.map.portExternal[static_cast<std::size_t>(p)];
+        if (ext < 0)
+            continue;
+        const OperandRef &ref =
+            sel.cand.externals[static_cast<std::size_t>(ext)].ref;
+        if (ref.kind == OperandRef::Kind::Imm && ref.imm != 0 &&
+            std::find(imms.begin(), imms.end(), ref.imm) == imms.end())
+            imms.push_back(ref.imm);
+    }
+    return imms;
+}
+
+/** Emit `li reg, imm` (1-2 instructions) with the given origin. */
+void
+emitLi(std::vector<Instr> &out, std::vector<std::size_t> &origins,
+       std::size_t origin, RegId reg, std::int32_t imm)
+{
+    if (fitsSigned(imm, 16)) {
+        Instr li;
+        li.op = Opcode::Addi;
+        li.rd0 = reg;
+        li.rs0 = 0;
+        li.imm = imm;
+        out.push_back(li);
+        origins.push_back(origin);
+        return;
+    }
+    Instr lui;
+    lui.op = Opcode::Lui;
+    lui.rd0 = reg;
+    lui.imm = imm >> 11;
+    out.push_back(lui);
+    origins.push_back(origin);
+    std::int32_t lower = imm & 0x7ff;
+    if (lower != 0) {
+        Instr ori;
+        ori.op = Opcode::Ori;
+        ori.rd0 = reg;
+        ori.rs0 = reg;
+        ori.imm = lower;
+        out.push_back(ori);
+        origins.push_back(origin);
+    }
+}
+
+} // namespace
+
+RewrittenProgram
+rewriteProgram(const isa::Program &prog,
+               const std::vector<BasicBlock> &blocks,
+               const std::map<std::size_t, std::vector<SelectedIse>>
+                   &selections,
+               const std::map<std::size_t, Dfg> &dfgs)
+{
+    RewrittenProgram out;
+    const auto &code = prog.code();
+
+    // ---- Immediate pool -------------------------------------------------
+    // Hoisted immediates live in s6..s9, written once at program
+    // entry. If more than four distinct values are needed, drop the
+    // selections using the least valuable ones (dropping a selection
+    // is always sound — the original instructions stay).
+    struct LiveSel
+    {
+        std::size_t blockIdx;
+        const SelectedIse *sel;
+    };
+    std::vector<LiveSel> live;
+    for (const auto &[blockIdx, sels] : selections)
+        for (const auto &sel : sels)
+            live.push_back(LiveSel{blockIdx, &sel});
+
+    auto distinctImms = [&] {
+        std::vector<std::int32_t> imms;
+        for (const auto &ls : live)
+            for (auto imm : immediatesOf(*ls.sel))
+                if (std::find(imms.begin(), imms.end(), imm) ==
+                    imms.end())
+                    imms.push_back(imm);
+        return imms;
+    };
+
+    const std::vector<RegId> poolRegs = scratchPool(prog);
+    std::vector<std::int32_t> pool = distinctImms();
+    while (pool.size() > poolRegs.size()) {
+        // Find the immediate whose users save the least in total.
+        std::int32_t victim = 0;
+        std::int64_t victimValue = 0;
+        bool first = true;
+        for (auto imm : pool) {
+            std::int64_t value = 0;
+            for (const auto &ls : live) {
+                auto imms = immediatesOf(*ls.sel);
+                if (std::find(imms.begin(), imms.end(), imm) !=
+                    imms.end())
+                    value += ls.sel->savedPerExec;
+            }
+            if (first || value < victimValue) {
+                victim = imm;
+                victimValue = value;
+                first = false;
+            }
+        }
+        live.erase(std::remove_if(
+                       live.begin(), live.end(),
+                       [&](const LiveSel &ls) {
+                           auto imms = immediatesOf(*ls.sel);
+                           return std::find(imms.begin(), imms.end(),
+                                            victim) != imms.end();
+                       }),
+                   live.end());
+        pool = distinctImms();
+    }
+
+    auto poolRegOf = [&](std::int32_t imm) -> RegId {
+        for (std::size_t i = 0; i < pool.size(); ++i)
+            if (pool[i] == imm)
+                return poolRegs[i];
+        STITCH_PANIC("immediate missing from the scratch pool");
+    };
+
+    // ---- Per-instruction roles -----------------------------------------
+    std::vector<Role> roles(code.size());
+    for (const auto &ls : live) {
+        const BasicBlock &bb = blocks[ls.blockIdx];
+        auto dfgIt = dfgs.find(ls.blockIdx);
+        STITCH_ASSERT(dfgIt != dfgs.end(),
+                      "selections without a matching DFG");
+        for (int nodeId : ls.sel->cand.nodes) {
+            std::size_t instrIdx =
+                bb.begin + static_cast<std::size_t>(nodeId);
+            STITCH_ASSERT(instrIdx < bb.end);
+            Role &role = roles[instrIdx];
+            STITCH_ASSERT(!role.covered, "overlapping ISE selections");
+            role.covered = true;
+        }
+        std::size_t last =
+            bb.begin +
+            static_cast<std::size_t>(ls.sel->cand.nodes.back());
+        roles[last].lastOf = ls.sel;
+        roles[last].dfg = &dfgIt->second;
+    }
+
+    // ---- Emission ---------------------------------------------------------
+    isa::Program result(prog.name());
+    std::vector<Instr> newCode;
+    std::vector<std::size_t> origins;
+
+    for (auto imm : pool) {
+        // Preamble carries origin 0: a branch to the old entry simply
+        // re-runs these idempotent moves.
+        emitLi(newCode, origins, 0, poolRegOf(imm), imm);
+    }
+
+    for (std::size_t idx = 0; idx < code.size(); ++idx) {
+        const Role &role = roles[idx];
+        if (role.covered && !role.lastOf)
+            continue;
+        if (!role.covered) {
+            newCode.push_back(code[idx]);
+            origins.push_back(idx);
+            continue;
+        }
+
+        const SelectedIse &sel = *role.lastOf;
+        const Dfg &dfg = *role.dfg;
+
+        std::array<RegId, 4> portReg = {0, 0, 0, 0};
+        for (int p = 0; p < 4; ++p) {
+            int ext = sel.map.portExternal[static_cast<std::size_t>(p)];
+            if (ext < 0)
+                continue;
+            const OperandRef &ref =
+                sel.cand.externals[static_cast<std::size_t>(ext)].ref;
+            switch (ref.kind) {
+              case OperandRef::Kind::Reg:
+                portReg[static_cast<std::size_t>(p)] = ref.reg;
+                break;
+              case OperandRef::Kind::Node: {
+                auto def = dfg.node(ref.node).def;
+                STITCH_ASSERT(def.has_value(),
+                              "external producer without a register");
+                portReg[static_cast<std::size_t>(p)] = *def;
+                break;
+              }
+              case OperandRef::Kind::Imm:
+                portReg[static_cast<std::size_t>(p)] =
+                    ref.imm == 0 ? 0 : poolRegOf(ref.imm);
+                break;
+            }
+        }
+
+        auto defRegOf = [&](int nodeId) -> RegId {
+            if (nodeId < 0)
+                return 0;
+            auto def = dfg.node(nodeId).def;
+            STITCH_ASSERT(def.has_value(), "output node without def");
+            return *def;
+        };
+
+        std::uint64_t blob;
+        if (sel.map.isLocus) {
+            blob = out.microTable.size();
+            out.microTable.push_back(sel.map.micro);
+        } else {
+            blob = sel.map.cfg.packBlob();
+            if (sel.map.cfg.usesRemote)
+                ++out.fusedCustCount;
+        }
+
+        Instr cust;
+        cust.op = Opcode::Cust;
+        cust.rd0 = defRegOf(sel.map.rd0Node);
+        cust.rd1 = defRegOf(sel.map.rd1Node);
+        cust.rs0 = portReg[0];
+        cust.rs1 = portReg[1];
+        cust.rs2 = portReg[2];
+        cust.rs3 = portReg[3];
+        cust.cfg = result.addIseConfig(blob);
+        newCode.push_back(cust);
+        origins.push_back(idx);
+        ++out.custCount;
+    }
+
+    for (const auto &in : newCode)
+        result.append(in);
+
+    auto newIndexOfOldIndex = [&](std::size_t oldIdx) -> std::size_t {
+        auto it = std::lower_bound(origins.begin(), origins.end(),
+                                   oldIdx);
+        STITCH_ASSERT(it != origins.end(),
+                      "branch target beyond rewritten program");
+        return static_cast<std::size_t>(it - origins.begin());
+    };
+
+    // Retarget control flow.
+    for (std::size_t newIdx = 0; newIdx < newCode.size(); ++newIdx) {
+        Instr &in = result.mutableCode()[newIdx];
+        std::size_t oldIdx = origins[newIdx];
+        switch (in.op) {
+          case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+          case Opcode::Bge: case Opcode::Bltu: case Opcode::Bgeu: {
+            auto oldTargetWord = static_cast<Addr>(
+                static_cast<std::int64_t>(prog.wordAddrOf(oldIdx)) +
+                in.imm);
+            std::size_t oldTarget =
+                prog.indexOfWordAddr(oldTargetWord);
+            std::size_t newTarget = newIndexOfOldIndex(oldTarget);
+            in.imm = static_cast<std::int32_t>(
+                         result.wordAddrOf(newTarget)) -
+                     static_cast<std::int32_t>(
+                         result.wordAddrOf(newIdx));
+            break;
+          }
+          case Opcode::Jal: {
+            std::size_t oldTarget = prog.indexOfWordAddr(
+                static_cast<Addr>(in.imm));
+            std::size_t newTarget = newIndexOfOldIndex(oldTarget);
+            in.imm = static_cast<std::int32_t>(
+                result.wordAddrOf(newTarget));
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    for (const auto &seg : prog.data())
+        result.addData(seg.base, seg.bytes);
+
+    out.program = std::move(result);
+    return out;
+}
+
+} // namespace stitch::compiler

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The back end of the tool chain (paper Figure 6, "modified GNU
+ * Assembler"): replace selected computational patterns with CUST
+ * instructions and regenerate a valid binary.
+ *
+ * Each selection's covered instructions are *sunk* to the position of
+ * the last covered one (sound by the ise_ident legality check) and
+ * replaced there by optional immediate materializations plus one
+ * CUST. Branch targets are remapped to the first surviving
+ * instruction at-or-after the original target, which is exact because
+ * targets are always block leaders.
+ *
+ * Register convention: s6..s9 (r28..r31) are reserved as compiler
+ * scratch for immediate materialization; kernels must not use them.
+ */
+
+#ifndef STITCH_COMPILER_REWRITER_HH
+#define STITCH_COMPILER_REWRITER_HH
+
+#include <map>
+#include <vector>
+
+#include "compiler/selector.hh"
+#include "core/micro.hh"
+#include "isa/program.hh"
+
+namespace stitch::compiler
+{
+
+/** First of the four registers reserved for materialized immediates. */
+inline constexpr RegId firstScratchReg = 28;
+
+/** A rewritten binary plus its side tables. */
+struct RewrittenProgram
+{
+    isa::Program program;
+
+    /**
+     * LOCUS targets: interpretable ISE bodies, indexed by the CUST
+     * blob values (install into core::LocusSfu at load). Empty for
+     * patch targets, whose blobs are packed FusedConfigs.
+     */
+    std::vector<core::MicroDfg> microTable;
+
+    int custCount = 0;      ///< CUST instructions emitted
+    int fusedCustCount = 0; ///< of which use a fused pair
+};
+
+/**
+ * Apply `selections` (keyed by block index into `blocks`; each list
+ * ordered by last covered instruction) to `prog`.
+ */
+RewrittenProgram
+rewriteProgram(const isa::Program &prog,
+               const std::vector<BasicBlock> &blocks,
+               const std::map<std::size_t, std::vector<SelectedIse>>
+                   &selections,
+               const std::map<std::size_t, Dfg> &dfgs);
+
+} // namespace stitch::compiler
+
+#endif // STITCH_COMPILER_REWRITER_HH

@@ -1,0 +1,70 @@
+#include "compiler/selector.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace stitch::compiler
+{
+
+std::int64_t
+estimatedSaving(const IseCandidate &cand)
+{
+    // Immediate operands cost nothing per execution: the rewriter
+    // materializes them once into the scratch-register pool at
+    // program entry (it drops whole selections if the pool of four
+    // would overflow).
+    return static_cast<std::int64_t>(cand.baselineCycles) - 1;
+}
+
+std::vector<SelectedIse>
+selectIses(const Dfg &dfg, const std::vector<IseCandidate> &candidates,
+           const AccelTarget &target,
+           const core::LocusParams &locusParams)
+{
+    // Gather profitable, mappable candidates.
+    std::vector<SelectedIse> mapped;
+    for (const auto &cand : candidates) {
+        std::int64_t saving = estimatedSaving(cand);
+        if (saving <= 0)
+            continue;
+        MapResult res = mapCandidate(dfg, cand, target, locusParams);
+        if (!res.ok)
+            continue;
+        mapped.push_back(SelectedIse{cand, std::move(res), saving});
+    }
+
+    // Prefer larger savings; break ties toward fewer covered nodes
+    // (leave room for other candidates) and then node order for
+    // determinism.
+    std::sort(mapped.begin(), mapped.end(),
+              [](const SelectedIse &a, const SelectedIse &b) {
+                  if (a.savedPerExec != b.savedPerExec)
+                      return a.savedPerExec > b.savedPerExec;
+                  if (a.cand.nodes.size() != b.cand.nodes.size())
+                      return a.cand.nodes.size() < b.cand.nodes.size();
+                  return a.cand.nodes < b.cand.nodes;
+              });
+
+    std::vector<SelectedIse> chosen;
+    std::set<int> covered;
+    for (auto &sel : mapped) {
+        bool overlap = false;
+        for (int v : sel.cand.nodes)
+            overlap = overlap || covered.count(v) > 0;
+        if (overlap)
+            continue;
+        for (int v : sel.cand.nodes)
+            covered.insert(v);
+        chosen.push_back(std::move(sel));
+    }
+
+    // Apply in program order of the last covered instruction so the
+    // rewriter can walk the block once.
+    std::sort(chosen.begin(), chosen.end(),
+              [](const SelectedIse &a, const SelectedIse &b) {
+                  return a.cand.nodes.back() < b.cand.nodes.back();
+              });
+    return chosen;
+}
+
+} // namespace stitch::compiler

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The ISE selector (paper Figure 6): choose a non-overlapping set of
+ * mapped candidates per hot block that maximizes estimated savings.
+ */
+
+#ifndef STITCH_COMPILER_SELECTOR_HH
+#define STITCH_COMPILER_SELECTOR_HH
+
+#include <vector>
+
+#include "compiler/mapper.hh"
+
+namespace stitch::compiler
+{
+
+/** A candidate chosen for a block, with its mapping. */
+struct SelectedIse
+{
+    IseCandidate cand;
+    MapResult map;
+
+    /** Estimated cycles saved per execution of the block. */
+    std::int64_t savedPerExec = 0;
+};
+
+/**
+ * Estimated per-execution saving of a mapped candidate: the covered
+ * instructions' baseline cycles, minus the single CUST cycle, minus
+ * one li per materialized immediate.
+ */
+std::int64_t estimatedSaving(const IseCandidate &cand);
+
+/**
+ * Map every candidate onto `target` and greedily pick a
+ * non-overlapping subset by descending saving.
+ */
+std::vector<SelectedIse>
+selectIses(const Dfg &dfg, const std::vector<IseCandidate> &candidates,
+           const AccelTarget &target,
+           const core::LocusParams &locusParams = core::LocusParams{});
+
+} // namespace stitch::compiler
+
+#endif // STITCH_COMPILER_SELECTOR_HH

@@ -1,0 +1,302 @@
+#include "compiler/stitcher.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace stitch::compiler
+{
+
+Cycles
+StitchPlan::bottleneckCycles() const
+{
+    Cycles worst = 0;
+    for (const auto &p : placements)
+        worst = std::max(worst, p.cycles);
+    return worst;
+}
+
+std::string
+StitchPlan::describe(const std::vector<KernelProfile> &kernels,
+                     const core::StitchArch &arch) const
+{
+    std::ostringstream os;
+    for (std::size_t k = 0; k < placements.size(); ++k) {
+        const Placement &p = placements[k];
+        os << strformat("%-14s tile%-2d", kernels[k].name.c_str(),
+                        p.tile);
+        if (!p.accel) {
+            os << "  software only\n";
+            continue;
+        }
+        os << "  " << p.accel->name();
+        if (p.accel->type == AccelTarget::Type::FusedPair) {
+            os << strformat(
+                " (patch%d+patch%d, %d+%d hops, %.2f ns)", p.tile,
+                p.remoteTile,
+                p.forwardHops, p.backHops,
+                core::fusedCriticalPathNs(
+                    arch.kindOf(p.tile), arch.kindOf(p.remoteTile),
+                    p.forwardHops, p.backHops));
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+namespace
+{
+
+/** Internal mutable allocation state. */
+struct State
+{
+    std::vector<Placement> placements;
+    std::vector<Cycles> cycles;
+    std::vector<std::set<std::string>> checked; ///< tried options
+    std::vector<bool> accelerated;
+    std::array<bool, numTiles> patchUsed{};
+    std::array<bool, numTiles> tileClaimed{};
+    core::SnocConfig snoc;
+};
+
+/** Free tiles whose patch is of `kind` and unused. */
+std::vector<TileId>
+freeLocalTiles(const State &st, const core::StitchArch &arch,
+               core::PatchKind kind)
+{
+    std::vector<TileId> out;
+    for (TileId t = 0; t < numTiles; ++t)
+        if (!st.tileClaimed[static_cast<std::size_t>(t)] &&
+            !st.patchUsed[static_cast<std::size_t>(t)] &&
+            arch.kindOf(t) == kind)
+            out.push_back(t);
+    return out;
+}
+
+/** Tiles whose patch is of `kind` and unused (tile may be claimed). */
+std::vector<TileId>
+freePatchTiles(const State &st, const core::StitchArch &arch,
+               core::PatchKind kind)
+{
+    std::vector<TileId> out;
+    for (TileId t = 0; t < numTiles; ++t)
+        if (!st.patchUsed[static_cast<std::size_t>(t)] &&
+            arch.kindOf(t) == kind)
+            out.push_back(t);
+    return out;
+}
+
+/** Attempt to allocate `option` for kernel `k`; true on success. */
+bool
+tryAllocate(State &st, const core::StitchArch &arch, std::size_t k,
+            const AccelTarget &option, Cycles optionCycles)
+{
+    if (option.type == AccelTarget::Type::SinglePatch) {
+        auto tiles = freeLocalTiles(st, arch, option.local);
+        if (tiles.empty())
+            return false;
+        TileId t = tiles.front();
+        st.patchUsed[static_cast<std::size_t>(t)] = true;
+        st.tileClaimed[static_cast<std::size_t>(t)] = true;
+        // The patch result returns to the local register file.
+        auto path = st.snoc.addPath(t, core::SnocPort::Patch, t,
+                                    core::SnocPort::Reg);
+        STITCH_ASSERT(path.has_value(),
+                      "local patch-to-reg path cannot fail");
+        Placement &p = st.placements[k];
+        p.tile = t;
+        p.accel = option;
+        p.cycles = optionCycles;
+        st.cycles[k] = optionCycles;
+        st.accelerated[k] = true;
+        return true;
+    }
+
+    if (option.type == AccelTarget::Type::FusedPair) {
+        auto locals = freeLocalTiles(st, arch, option.local);
+        auto remotes = freePatchTiles(st, arch, option.remote);
+
+        // FindPath of Algorithm 1: consider pairs in increasing
+        // distance and take the first with a contention-free route
+        // within the hop/clock budget.
+        std::vector<std::pair<int, std::pair<TileId, TileId>>> pairs;
+        for (TileId a : locals)
+            for (TileId b : remotes)
+                if (a != b)
+                    pairs.push_back({tileDistance(a, b), {a, b}});
+        std::sort(pairs.begin(), pairs.end());
+
+        for (const auto &[dist, pair] : pairs) {
+            auto [a, b] = pair;
+            auto routed = st.snoc.addFusion(a, arch.kindOf(a), b,
+                                            arch.kindOf(b));
+            if (!routed)
+                continue;
+            st.patchUsed[static_cast<std::size_t>(a)] = true;
+            st.patchUsed[static_cast<std::size_t>(b)] = true;
+            st.tileClaimed[static_cast<std::size_t>(a)] = true;
+            Placement &p = st.placements[k];
+            p.tile = a;
+            p.accel = option;
+            p.remoteTile = b;
+            p.cycles = optionCycles;
+            p.forwardHops = routed->first.hops();
+            p.backHops = routed->second.hops();
+            st.cycles[k] = optionCycles;
+            st.accelerated[k] = true;
+            return true;
+        }
+        return false;
+    }
+
+    return false; // LOCUS options are not stitched
+}
+
+} // namespace
+
+namespace
+{
+
+/** One stitching pass under a fixed policy. */
+StitchPlan
+stitchPass(const std::vector<KernelProfile> &kernels,
+           const core::StitchArch &arch, const StitchOptions &options,
+           bool singlesOnly);
+
+} // namespace
+
+StitchPlan
+stitchApplication(const std::vector<KernelProfile> &kernels,
+                  const core::StitchArch &arch,
+                  const StitchOptions &options)
+{
+    bool fusion = options.allowFusion;
+    switch (options.policy) {
+      case StitchPolicy::Greedy:
+        return stitchPass(kernels, arch, options, !fusion);
+      case StitchPolicy::SinglesOnly:
+        return stitchPass(kernels, arch, options, true);
+      case StitchPolicy::Auto: {
+        StitchPlan singles = stitchPass(kernels, arch, options, true);
+        if (!fusion)
+            return singles;
+        StitchPlan greedy = stitchPass(kernels, arch, options, false);
+        return greedy.bottleneckCycles() <= singles.bottleneckCycles()
+                   ? greedy
+                   : singles;
+      }
+    }
+    STITCH_PANIC("bad StitchPolicy");
+}
+
+namespace
+{
+
+StitchPlan
+stitchPass(const std::vector<KernelProfile> &kernels,
+           const core::StitchArch &arch, const StitchOptions &options,
+           bool singlesOnly)
+{
+    STITCH_ASSERT(static_cast<int>(kernels.size()) <= numTiles,
+                  "more kernels than tiles");
+
+    State st;
+    st.placements.resize(kernels.size());
+    st.cycles.resize(kernels.size());
+    st.checked.resize(kernels.size());
+    st.accelerated.assign(kernels.size(), false);
+    for (std::size_t k = 0; k < kernels.size(); ++k)
+        st.cycles[k] = kernels[k].swCycles;
+
+    auto patchesRemain = [&] {
+        for (TileId t = 0; t < numTiles; ++t)
+            if (!st.patchUsed[static_cast<std::size_t>(t)])
+                return true;
+        return false;
+    };
+
+    for (int iter = 0;
+         iter < options.maxIterations && patchesRemain(); ++iter) {
+        // Bottleneck(A): the kernel with the longest execution time.
+        std::size_t bottleneck = 0;
+        for (std::size_t k = 1; k < kernels.size(); ++k)
+            if (st.cycles[k] > st.cycles[bottleneck])
+                bottleneck = k;
+
+        // BestPatches: the unchecked option with the best cycles that
+        // actually improves the kernel. One allocation per kernel.
+        std::vector<std::pair<Cycles, AccelTarget>> viable;
+        if (!st.accelerated[bottleneck]) {
+            for (const auto &[target, cycles] :
+                 kernels[bottleneck].options) {
+                if (target.type == AccelTarget::Type::Locus)
+                    continue;
+                if (singlesOnly &&
+                    target.type == AccelTarget::Type::FusedPair)
+                    continue;
+                if (cycles >= st.cycles[bottleneck])
+                    continue;
+                if (st.checked[bottleneck].count(target.name()))
+                    continue;
+                viable.push_back({cycles, target});
+            }
+        }
+        if (viable.empty())
+            break; // the bottleneck kernel cannot be sped up further
+
+        std::sort(viable.begin(), viable.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first < b.first;
+                      return a.second.name() < b.second.name();
+                  });
+
+        bool progressed = false;
+        for (const auto &[cycles, target] : viable) {
+            if (tryAllocate(st, arch, bottleneck, target, cycles)) {
+                progressed = true;
+                break;
+            }
+            st.checked[bottleneck].insert(target.name());
+        }
+        if (!progressed) {
+            // Every viable option was marked checked; the next
+            // iteration re-evaluates the (possibly new) bottleneck.
+            bool anyUnchecked = false;
+            for (std::size_t k = 0; k < kernels.size(); ++k)
+                if (!st.accelerated[k] &&
+                    st.checked[k].size() <
+                        kernels[k].options.size())
+                    anyUnchecked = true;
+            if (!anyUnchecked)
+                break;
+        }
+    }
+
+    // LocateKernel for the rest: software-only kernels take the
+    // remaining tiles in order.
+    TileId next = 0;
+    for (std::size_t k = 0; k < kernels.size(); ++k) {
+        if (st.placements[k].tile >= 0)
+            continue;
+        while (next < numTiles &&
+               st.tileClaimed[static_cast<std::size_t>(next)])
+            ++next;
+        STITCH_ASSERT(next < numTiles, "ran out of tiles");
+        st.tileClaimed[static_cast<std::size_t>(next)] = true;
+        st.placements[k].tile = next;
+        st.placements[k].cycles = st.cycles[k];
+    }
+
+    StitchPlan plan;
+    plan.placements = std::move(st.placements);
+    plan.snoc = std::move(st.snoc);
+    return plan;
+}
+
+} // namespace
+
+} // namespace stitch::compiler

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The stitching algorithm (paper Algorithm 1): allocate patches to
+ * the bottleneck kernels of a multi-kernel application, place kernels
+ * on tiles, and configure the inter-patch NoC — all at compile time,
+ * iterating until the patches run out or the bottleneck kernel cannot
+ * be accelerated further.
+ */
+
+#ifndef STITCH_COMPILER_STITCHER_HH
+#define STITCH_COMPILER_STITCHER_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/mapper.hh"
+#include "core/arch.hh"
+#include "core/snoc.hh"
+
+namespace stitch::compiler
+{
+
+/** What the stitcher knows about one kernel. */
+struct KernelProfile
+{
+    std::string name;
+    Cycles swCycles = 0; ///< software-only per-iteration cycles
+
+    /** Measured cycles per acceleration option (from compileKernel). */
+    std::vector<std::pair<AccelTarget, Cycles>> options;
+};
+
+/** One kernel's placement in the plan. */
+struct Placement
+{
+    TileId tile = -1;
+    std::optional<AccelTarget> accel; ///< nullopt = software only
+    TileId remoteTile = -1;           ///< fused partner's tile
+    Cycles cycles = 0;
+    int forwardHops = 0;
+    int backHops = 0;
+};
+
+/** The stitcher's output. */
+struct StitchPlan
+{
+    std::vector<Placement> placements; ///< one per kernel
+    core::SnocConfig snoc;
+
+    /** Cycles of the slowest kernel (the pipeline bottleneck). */
+    Cycles bottleneckCycles() const;
+
+    /** Figure-10-style description of the fusion map. */
+    std::string describe(const std::vector<KernelProfile> &kernels,
+                         const core::StitchArch &arch) const;
+};
+
+/** Allocation policy for one stitching pass. */
+enum class StitchPolicy
+{
+    Greedy,      ///< paper Algorithm 1: best option per bottleneck
+                 ///< (fusion typically wins per kernel)
+    SinglesOnly, ///< only single-patch options are considered
+    Auto,        ///< run both passes and keep the lower bottleneck
+};
+
+/** Stitcher knobs. */
+struct StitchOptions
+{
+    bool allowFusion = true; ///< false = "Stitch w/o fusion"
+
+    /**
+     * Auto evaluates both the paper's fusion-greedy pass and a
+     * singles-only pass and keeps whichever yields the better
+     * pipeline bottleneck: with many similarly-heavy kernels, fusing
+     * (two patches per kernel) can starve half the stages. The
+     * ablation bench compares policies.
+     */
+    StitchPolicy policy = StitchPolicy::Auto;
+    int maxIterations = 256;
+};
+
+/**
+ * Run Algorithm 1. The returned plan places every kernel (at most
+ * one per tile; kernel count must not exceed the tile count).
+ */
+StitchPlan
+stitchApplication(const std::vector<KernelProfile> &kernels,
+                  const core::StitchArch &arch,
+                  const StitchOptions &options = StitchOptions{});
+
+} // namespace stitch::compiler
+
+#endif // STITCH_COMPILER_STITCHER_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The Stitch chip floorplan: which patch flavour sits on which tile.
+ */
+
+#ifndef STITCH_CORE_ARCH_HH
+#define STITCH_CORE_ARCH_HH
+
+#include <array>
+#include <vector>
+
+#include "core/patch_config.hh"
+
+namespace stitch::core
+{
+
+/**
+ * Placement of the 16 polymorphic patches over the mesh.
+ *
+ * The standard() placement follows the paper's Figure 2 proportions —
+ * 8 {AT-MA}, 4 {AT-AS}, 4 {AT-SA} — interleaved so that every
+ * {AT-AS}/{AT-SA} tile has an {AT-MA} neighbour, and reproducing the
+ * paper's worked example (patch_2 and patch_10 are both {AT-AS} with
+ * patch_6 on the bypass path between them; paper numbering is 1-based,
+ * ours is 0-based).
+ */
+struct StitchArch
+{
+    std::array<PatchKind, numTiles> placement;
+
+    /** The paper's 8/4/4 interleaved layout. */
+    static StitchArch
+    standard()
+    {
+        using enum PatchKind;
+        return StitchArch{{
+            ATMA, ATAS, ATMA, ATSA,
+            ATSA, ATMA, ATAS, ATMA,
+            ATMA, ATAS, ATMA, ATSA,
+            ATSA, ATMA, ATAS, ATMA,
+        }};
+    }
+
+    PatchKind kindOf(TileId t) const
+    {
+        return placement[static_cast<std::size_t>(t)];
+    }
+
+    /** All tiles hosting patches of `kind`. */
+    std::vector<TileId>
+    tilesOf(PatchKind kind) const
+    {
+        std::vector<TileId> out;
+        for (TileId t = 0; t < numTiles; ++t)
+            if (kindOf(t) == kind)
+                out.push_back(t);
+        return out;
+    }
+
+    /** Count of patches of `kind`. */
+    int
+    countOf(PatchKind kind) const
+    {
+        int n = 0;
+        for (auto k : placement)
+            if (k == kind)
+                ++n;
+        return n;
+    }
+};
+
+} // namespace stitch::core
+
+#endif // STITCH_CORE_ARCH_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The LOCUS baseline accelerator (paper Section VI-B).
+ *
+ * LOCUS [51] deploys an identical configurable special functional
+ * unit (SFU, the JiTC fabric [11]) on every core. It executes
+ * operation-chain ISEs in a single cycle but — unlike Stitch's
+ * patches — cannot include load/store operations and cannot fuse
+ * across tiles. Its richer fabric is what costs 1.29 mm^2 vs Stitch's
+ * 0.17 mm^2 (paper Table III).
+ */
+
+#ifndef STITCH_CORE_LOCUS_HH
+#define STITCH_CORE_LOCUS_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/micro.hh"
+#include "cpu/core.hh"
+
+namespace stitch::core
+{
+
+/** Capability limits of the LOCUS SFU (operation-chain ISEs of the
+ *  same depth as a patch, but without mux restrictions, without
+ *  load/store, and without fusion). */
+struct LocusParams
+{
+    int maxOps = 4;      ///< operation capacity of the fabric
+    int maxInputs = 4;   ///< register read ports
+    int maxOutputs = 2;  ///< register write ports
+};
+
+/**
+ * CustomHandler that executes LOCUS ISEs. The CUST blob is an index
+ * into the SFU's configuration memory (installed at program load).
+ */
+class LocusSfu : public cpu::CustomHandler
+{
+  public:
+    explicit LocusSfu(LocusParams params = LocusParams{})
+        : params_(params)
+    {}
+
+    /** Replace the configuration memory with a program's ISE table. */
+    void
+    installTable(std::vector<MicroDfg> table)
+    {
+        table_.clear();
+        for (auto &dfg : table)
+            addConfig(std::move(dfg));
+    }
+
+    /** Install one ISE; returns its configuration index (the blob). */
+    std::uint64_t
+    addConfig(MicroDfg dfg)
+    {
+        STITCH_ASSERT(!dfg.usesMemory(),
+                      "LOCUS ISEs cannot contain load/store");
+        STITCH_ASSERT(dfg.size() <= params_.maxOps,
+                      "ISE exceeds LOCUS SFU capacity");
+        table_.push_back(std::move(dfg));
+        return table_.size() - 1;
+    }
+
+    CustResult
+    executeCustom(TileId, std::uint64_t blob,
+                  const std::array<Word, 4> &in) override
+    {
+        STITCH_ASSERT(blob < table_.size(),
+                      "LOCUS config index out of range");
+        return table_[static_cast<std::size_t>(blob)].evaluate(in,
+                                                               nullptr);
+    }
+
+    const LocusParams &params() const { return params_; }
+
+  private:
+    LocusParams params_;
+    std::vector<MicroDfg> table_;
+};
+
+} // namespace stitch::core
+
+#endif // STITCH_CORE_LOCUS_HH

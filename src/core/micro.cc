@@ -1,0 +1,72 @@
+#include "core/micro.hh"
+
+#include "common/logging.hh"
+
+namespace stitch::core
+{
+
+CustResult
+MicroDfg::evaluate(const std::array<Word, 4> &in, SpmPort *spm) const
+{
+    std::vector<Word> values(ops.size(), 0);
+
+    auto resolve = [&](int ref, std::size_t upTo) -> Word {
+        if (ref < 0) {
+            int port = -1 - ref;
+            STITCH_ASSERT(port >= 0 && port < 4,
+                          "bad micro port reference ", ref);
+            return in[static_cast<std::size_t>(port)];
+        }
+        STITCH_ASSERT(static_cast<std::size_t>(ref) < upTo,
+                      "micro operand references a later op");
+        return values[static_cast<std::size_t>(ref)];
+    };
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const MicroOp &op = ops[i];
+        Word lhs = resolve(op.lhs, i);
+        switch (op.kind) {
+          case MicroOp::Kind::Alu:
+            values[i] = aluEval(op.aluOp, lhs, resolve(op.rhs, i));
+            break;
+          case MicroOp::Kind::Mul:
+            values[i] = lhs * resolve(op.rhs, i);
+            break;
+          case MicroOp::Kind::Shift:
+            values[i] = shiftEval(op.shiftOp, lhs, resolve(op.rhs, i));
+            break;
+          case MicroOp::Kind::Load:
+            STITCH_ASSERT(spm, "micro Load without an SPM port");
+            values[i] = spm->load(lhs);
+            break;
+          case MicroOp::Kind::Store:
+            STITCH_ASSERT(spm, "micro Store without an SPM port");
+            spm->store(lhs, resolve(op.rhs, i));
+            values[i] = lhs;
+            break;
+        }
+    }
+
+    CustResult out;
+    if (rd0Op >= 0) {
+        out.rd0 = values[static_cast<std::size_t>(rd0Op)];
+        out.writeRd0 = true;
+    }
+    if (rd1Op >= 0) {
+        out.rd1 = values[static_cast<std::size_t>(rd1Op)];
+        out.writeRd1 = true;
+    }
+    return out;
+}
+
+bool
+MicroDfg::usesMemory() const
+{
+    for (const auto &op : ops)
+        if (op.kind == MicroOp::Kind::Load ||
+            op.kind == MicroOp::Kind::Store)
+            return true;
+    return false;
+}
+
+} // namespace stitch::core

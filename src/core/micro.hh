@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A tiny interpreted dataflow program ("micro-DFG") describing the
+ * computation of one custom instruction.
+ *
+ * Two uses:
+ *  - the LOCUS baseline's configurable special functional unit [11]
+ *    executes ISEs as micro-DFGs (it is a rich fabric without the
+ *    patches' mux restrictions, and without load/store support);
+ *  - tests cross-validate patch execution against the micro-DFG of
+ *    the candidate the mapper claims it implements.
+ */
+
+#ifndef STITCH_CORE_MICRO_HH
+#define STITCH_CORE_MICRO_HH
+
+#include <array>
+#include <vector>
+
+#include "core/patch.hh"
+
+namespace stitch::core
+{
+
+/** One operation of a micro-DFG. Operand encoding: values >= 0 are
+ *  earlier op indices; -1..-4 are input ports 0..3. */
+struct MicroOp
+{
+    enum class Kind { Alu, Mul, Shift, Load, Store };
+
+    Kind kind = Kind::Alu;
+    AluOp aluOp = AluOp::Pass;
+    ShiftOp shiftOp = ShiftOp::Pass;
+    int lhs = -1; ///< Load: address; Store: address
+    int rhs = -1; ///< Store: data; unused by Load
+};
+
+/** Encode input port `p` (0..3) as a MicroOp operand. */
+constexpr int
+microPortRef(int p)
+{
+    return -1 - p;
+}
+
+/** A custom instruction as an interpretable dataflow program. */
+struct MicroDfg
+{
+    std::vector<MicroOp> ops; ///< topologically ordered
+    int rd0Op = -1;           ///< op index whose value goes to rd0
+    int rd1Op = -1;           ///< op index whose value goes to rd1
+
+    /** Evaluate against the four input ports. `spm` may be null when
+     *  the program contains no Load/Store. */
+    CustResult evaluate(const std::array<Word, 4> &in,
+                        SpmPort *spm) const;
+
+    /** True if any op is a Load or Store. */
+    bool usesMemory() const;
+
+    /** Number of ops. */
+    int size() const { return static_cast<int>(ops.size()); }
+};
+
+} // namespace stitch::core
+
+#endif // STITCH_CORE_MICRO_HH

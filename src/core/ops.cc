@@ -1,0 +1,90 @@
+#include "core/ops.hh"
+
+#include "common/logging.hh"
+
+namespace stitch::core
+{
+
+char
+opClassCode(OpClass c)
+{
+    switch (c) {
+      case OpClass::A: return 'A';
+      case OpClass::M: return 'M';
+      case OpClass::S: return 'S';
+      case OpClass::T: return 'T';
+    }
+    STITCH_PANIC("bad OpClass");
+}
+
+Word
+aluEval(AluOp op, Word lhs, Word rhs)
+{
+    switch (op) {
+      case AluOp::Add:
+        return lhs + rhs;
+      case AluOp::Sub:
+        return lhs - rhs;
+      case AluOp::And:
+        return lhs & rhs;
+      case AluOp::Or:
+        return lhs | rhs;
+      case AluOp::Xor:
+        return lhs ^ rhs;
+      case AluOp::Slt:
+        return static_cast<SWord>(lhs) < static_cast<SWord>(rhs) ? 1 : 0;
+      case AluOp::Sltu:
+        return lhs < rhs ? 1 : 0;
+      case AluOp::Pass:
+        return lhs;
+    }
+    STITCH_PANIC("bad AluOp");
+}
+
+Word
+shiftEval(ShiftOp op, Word lhs, Word rhs)
+{
+    Word amount = rhs & 31u;
+    switch (op) {
+      case ShiftOp::Sll:
+        return lhs << amount;
+      case ShiftOp::Srl:
+        return lhs >> amount;
+      case ShiftOp::Sra:
+        return static_cast<Word>(static_cast<SWord>(lhs) >>
+                                 static_cast<SWord>(amount));
+      case ShiftOp::Pass:
+        return lhs;
+    }
+    STITCH_PANIC("bad ShiftOp");
+}
+
+const char *
+aluOpName(AluOp op)
+{
+    switch (op) {
+      case AluOp::Add: return "add";
+      case AluOp::Sub: return "sub";
+      case AluOp::And: return "and";
+      case AluOp::Or: return "or";
+      case AluOp::Xor: return "xor";
+      case AluOp::Slt: return "slt";
+      case AluOp::Sltu: return "sltu";
+      case AluOp::Pass: return "pass";
+    }
+    STITCH_PANIC("bad AluOp");
+}
+
+const char *
+shiftOpName(ShiftOp op)
+{
+    switch (op) {
+      case ShiftOp::Sll: return "sll";
+      case ShiftOp::Srl: return "srl";
+      case ShiftOp::Sra: return "sra";
+      case ShiftOp::Pass: return "pass";
+    }
+    STITCH_PANIC("bad ShiftOp");
+}
+
+} // namespace stitch::core

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Operator vocabulary of the polymorphic patches.
+ *
+ * The paper classifies operations inside hot computational patterns
+ * into four groups (Section III-A): arithmetic/logical (A), shift (S),
+ * multiplication (M) and local scratchpad access (T). These enums are
+ * shared by the patch datapath model and the compiler's DFGs.
+ */
+
+#ifndef STITCH_CORE_OPS_HH
+#define STITCH_CORE_OPS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace stitch::core
+{
+
+/** The four operation classes of Section III-A. */
+enum class OpClass : std::uint8_t
+{
+    A, ///< arithmetic / logical
+    M, ///< multiplication
+    S, ///< shift
+    T, ///< local (scratchpad) memory access
+};
+
+/** Character code used in operation-chain strings ("AT", "MA", ...). */
+char opClassCode(OpClass c);
+
+/** Operations selectable on a patch ALU (3-bit control field). */
+enum class AluOp : std::uint8_t
+{
+    Add = 0,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Slt,  ///< signed set-less-than (0/1)
+    Sltu, ///< unsigned set-less-than (0/1)
+    Pass, ///< identity of the left operand
+};
+
+/** Operations selectable on a patch shifter (2-bit control field). */
+enum class ShiftOp : std::uint8_t
+{
+    Sll = 0,
+    Srl,
+    Sra,
+    Pass, ///< identity of the left operand
+};
+
+/** LMAU mode (2-bit control field). */
+enum class TMode : std::uint8_t
+{
+    Off = 0,  ///< LMAU bypassed; stage-1 result is the ALU output
+    Load,     ///< stage-1 result = SPM[alu result]
+    Store,    ///< SPM[alu result] = third input; result = alu output
+};
+
+/** Evaluate an ALU operation. */
+Word aluEval(AluOp op, Word lhs, Word rhs);
+
+/** Evaluate a shift operation (shift amount is rhs & 31). */
+Word shiftEval(ShiftOp op, Word lhs, Word rhs);
+
+/** Printable names. */
+const char *aluOpName(AluOp op);
+const char *shiftOpName(ShiftOp op);
+
+} // namespace stitch::core
+
+#endif // STITCH_CORE_OPS_HH

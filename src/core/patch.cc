@@ -1,0 +1,178 @@
+#include "core/patch.hh"
+
+#include "common/logging.hh"
+
+namespace stitch::core
+{
+
+Word
+NullSpmPort::load(Addr a)
+{
+    fatal("LMAU load at ", a, " on a datapath without SPM access");
+}
+
+void
+NullSpmPort::store(Addr a, Word)
+{
+    fatal("LMAU store at ", a, " on a datapath without SPM access");
+}
+
+namespace
+{
+
+/** Resolve a stage-2 unit-1 left operand. */
+Word
+selU1Lhs(U1Lhs sel, const std::array<Word, 4> &in, Word s1)
+{
+    switch (sel) {
+      case U1Lhs::In1: return in[1];
+      case U1Lhs::In2: return in[2];
+      case U1Lhs::In3: return in[3];
+      case U1Lhs::S1Out: return s1;
+    }
+    STITCH_PANIC("bad U1Lhs");
+}
+
+Word
+selU1Rhs(U1Rhs sel, const std::array<Word, 4> &in, Word s1)
+{
+    switch (sel) {
+      case U1Rhs::In2: return in[2];
+      case U1Rhs::In3: return in[3];
+      case U1Rhs::S1Out: return s1;
+      case U1Rhs::In1: return in[1];
+    }
+    STITCH_PANIC("bad U1Rhs");
+}
+
+Word
+selU2Rhs(U2Rhs sel, const std::array<Word, 4> &in, Word s1)
+{
+    switch (sel) {
+      case U2Rhs::In3: return in[3];
+      case U2Rhs::S1Out: return s1;
+      case U2Rhs::In2: return in[2];
+      case U2Rhs::In1: return in[1];
+    }
+    STITCH_PANIC("bad U2Rhs");
+}
+
+} // namespace
+
+PatchResult
+patchExecute(PatchKind kind, const PatchCtl &ctl,
+             const std::array<Word, 4> &in, SpmPort &spm)
+{
+    PatchResult res;
+
+    // Stage 1: ALU on (in0, in1), then the LMAU. The LMAU's address
+    // is the ALU result; store data is hard-wired to in2.
+    Word a1 = aluEval(ctl.a1op, in[0], in[1]);
+    switch (ctl.tMode) {
+      case TMode::Off:
+        res.s1 = a1;
+        break;
+      case TMode::Load:
+        res.s1 = spm.load(a1);
+        res.didLoad = true;
+        break;
+      case TMode::Store:
+        spm.store(a1, in[2]);
+        res.s1 = a1;
+        res.didStore = true;
+        break;
+    }
+
+    // Stage 2: two units in series; unit 2's left operand can bypass
+    // unit 1 and take the stage-1 result directly (the {AA} chain of
+    // Section III-A).
+    Word u1lhs = selU1Lhs(ctl.u1Lhs, in, res.s1);
+    Word u1rhs = selU1Rhs(ctl.u1Rhs, in, res.s1);
+    Word u1out = 0;
+    switch (kind) {
+      case PatchKind::ATMA:
+        u1out = u1lhs * u1rhs;
+        break;
+      case PatchKind::ATAS:
+        u1out = aluEval(ctl.aop2, u1lhs, u1rhs);
+        break;
+      case PatchKind::ATSA:
+        u1out = shiftEval(ctl.sop, u1lhs, u1rhs);
+        break;
+    }
+
+    Word u2lhs = ctl.u2Lhs == U2Lhs::U1Out ? u1out : res.s1;
+    Word u2rhs = selU2Rhs(ctl.u2Rhs, in, res.s1);
+    switch (kind) {
+      case PatchKind::ATMA:
+      case PatchKind::ATSA:
+        res.s2 = aluEval(ctl.aop2, u2lhs, u2rhs);
+        break;
+      case PatchKind::ATAS:
+        res.s2 = shiftEval(ctl.sop, u2lhs, u2rhs);
+        break;
+    }
+    return res;
+}
+
+CustResult
+executeCustom(const FusedConfig &cfg, const std::array<Word, 4> &in,
+              SpmPort &localSpm, SpmPort *remoteSpm)
+{
+    CustResult out;
+    PatchResult local = patchExecute(cfg.localKind, cfg.local, in,
+                                     localSpm);
+
+    if (!cfg.usesRemote) {
+        switch (cfg.local.outCfg) {
+          case OutCfg::None:
+            break;
+          case OutCfg::S1:
+            out.rd0 = local.s1;
+            out.writeRd0 = true;
+            break;
+          case OutCfg::S2:
+            out.rd0 = local.s2;
+            out.writeRd0 = true;
+            break;
+          case OutCfg::Both:
+            out.rd0 = local.s2;
+            out.rd1 = local.s1;
+            out.writeRd0 = true;
+            out.writeRd1 = true;
+            break;
+        }
+        return out;
+    }
+
+    STITCH_ASSERT(remoteSpm,
+                  "fused execution requires the remote tile's SPM port");
+    Word forward = local.primary(cfg.local.outCfg);
+    std::array<Word, 4> remoteIn = {forward, in[1], in[2], in[3]};
+    PatchResult remote = patchExecute(cfg.remoteKind, cfg.remote,
+                                      remoteIn, *remoteSpm);
+
+    switch (cfg.remote.outCfg) {
+      case OutCfg::None:
+        break;
+      case OutCfg::S1:
+        out.rd0 = remote.s1;
+        out.writeRd0 = true;
+        break;
+      case OutCfg::S2:
+      case OutCfg::Both:
+        out.rd0 = remote.s2;
+        out.writeRd0 = true;
+        break;
+    }
+    if (cfg.writeLocalToRd1) {
+        out.rd1 = forward;
+        out.writeRd1 = true;
+    } else if (cfg.remote.outCfg == OutCfg::Both) {
+        out.rd1 = remote.s1;
+        out.writeRd1 = true;
+    }
+    return out;
+}
+
+} // namespace stitch::core

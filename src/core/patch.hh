@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Functional model of a polymorphic patch datapath (paper Figure 3)
+ * and of fused (stitched) execution across two patches.
+ *
+ * A patch has two stages. Stage 1 is an ALU (A) followed by the local
+ * memory access unit (T / LMAU), which is a mux onto the tile's SPM
+ * port. Stage 2 is kind-specific: multiplier+ALU ({AT-MA}),
+ * ALU+shifter ({AT-AS}) or shifter+ALU ({AT-SA}). The whole fused
+ * datapath evaluates combinationally within one cycle (the sNoC timing
+ * model in snoc_timing.hh verifies the cycle budget).
+ */
+
+#ifndef STITCH_CORE_PATCH_HH
+#define STITCH_CORE_PATCH_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/patch_config.hh"
+
+namespace stitch::core
+{
+
+/** SPM access port presented to the LMAU. */
+class SpmPort
+{
+  public:
+    virtual ~SpmPort() = default;
+    virtual Word load(Addr a) = 0;
+    virtual void store(Addr a, Word v) = 0;
+};
+
+/** SpmPort that rejects every access (patches without SPM rights). */
+class NullSpmPort : public SpmPort
+{
+  public:
+    Word load(Addr a) override;
+    void store(Addr a, Word v) override;
+};
+
+/** Result of evaluating one patch. */
+struct PatchResult
+{
+    Word s1 = 0;        ///< stage-1 (AT) result
+    Word s2 = 0;        ///< stage-2 result
+    bool didLoad = false;
+    bool didStore = false;
+
+    /** Value this patch forwards / writes first, per its OutCfg. */
+    Word primary(OutCfg cfg) const
+    {
+        return cfg == OutCfg::S1 ? s1 : s2;
+    }
+};
+
+/**
+ * Evaluate one patch.
+ *
+ * @param kind  physical patch flavour
+ * @param ctl   decoded 19-bit control word
+ * @param in    the four register-file operands (in0..in3)
+ * @param spm   SPM port of the tile hosting this patch
+ */
+PatchResult patchExecute(PatchKind kind, const PatchCtl &ctl,
+                         const std::array<Word, 4> &in, SpmPort &spm);
+
+/** Register writeback produced by a custom instruction. */
+struct CustResult
+{
+    Word rd0 = 0;
+    Word rd1 = 0;
+    bool writeRd0 = false;
+    bool writeRd1 = false;
+};
+
+/**
+ * Execute a complete custom instruction: the local patch, and — when
+ * the configuration is fused — the remote patch it is stitched to.
+ *
+ * Operand convention for fusion: the local patch's primary result
+ * becomes the remote patch's in0; the remote patch sees the original
+ * in1..in3 unchanged (they travel on the 166-bit link's four data
+ * words). The remote primary result returns to the local tile's
+ * register file (the purple return path of paper Figure 5).
+ *
+ * @param remoteSpm SPM port of the tile hosting the remote patch;
+ *                  must be non-null when cfg.usesRemote.
+ */
+CustResult executeCustom(const FusedConfig &cfg,
+                         const std::array<Word, 4> &in,
+                         SpmPort &localSpm, SpmPort *remoteSpm);
+
+} // namespace stitch::core
+
+#endif // STITCH_CORE_PATCH_HH

@@ -1,0 +1,121 @@
+#include "core/patch_config.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace stitch::core
+{
+
+const char *
+patchKindName(PatchKind k)
+{
+    switch (k) {
+      case PatchKind::ATMA: return "AT-MA";
+      case PatchKind::ATAS: return "AT-AS";
+      case PatchKind::ATSA: return "AT-SA";
+    }
+    STITCH_PANIC("bad PatchKind");
+}
+
+PatchTemplate
+patchTemplate(PatchKind kind)
+{
+    switch (kind) {
+      case PatchKind::ATMA:
+        return PatchTemplate{{OpClass::A, OpClass::T},
+                             {OpClass::M, OpClass::A}};
+      case PatchKind::ATAS:
+        return PatchTemplate{{OpClass::A, OpClass::T},
+                             {OpClass::A, OpClass::S}};
+      case PatchKind::ATSA:
+        return PatchTemplate{{OpClass::A, OpClass::T},
+                             {OpClass::S, OpClass::A}};
+    }
+    STITCH_PANIC("bad PatchKind");
+}
+
+std::uint32_t
+PatchCtl::pack() const
+{
+    BitPacker p;
+    p.push(static_cast<std::uint32_t>(a1op), 3);
+    p.push(static_cast<std::uint32_t>(tMode), 2);
+    p.push(static_cast<std::uint32_t>(u1Lhs), 2);
+    p.push(static_cast<std::uint32_t>(u1Rhs), 2);
+    p.push(static_cast<std::uint32_t>(u2Lhs), 1);
+    p.push(static_cast<std::uint32_t>(u2Rhs), 2);
+    p.push(static_cast<std::uint32_t>(aop2), 3);
+    p.push(static_cast<std::uint32_t>(sop), 2);
+    p.push(static_cast<std::uint32_t>(outCfg), 2);
+    STITCH_ASSERT(p.width() == ctlBits,
+                  "control word must be exactly 19 bits");
+    return static_cast<std::uint32_t>(p.value());
+}
+
+PatchCtl
+PatchCtl::unpack(std::uint32_t bits)
+{
+    BitUnpacker u(bits);
+    PatchCtl c;
+    c.a1op = static_cast<AluOp>(u.pull(3));
+    c.tMode = static_cast<TMode>(u.pull(2));
+    c.u1Lhs = static_cast<U1Lhs>(u.pull(2));
+    c.u1Rhs = static_cast<U1Rhs>(u.pull(2));
+    c.u2Lhs = static_cast<U2Lhs>(u.pull(1));
+    c.u2Rhs = static_cast<U2Rhs>(u.pull(2));
+    c.aop2 = static_cast<AluOp>(u.pull(3));
+    c.sop = static_cast<ShiftOp>(u.pull(2));
+    c.outCfg = static_cast<OutCfg>(u.pull(2));
+    return c;
+}
+
+std::string
+PatchCtl::toString() const
+{
+    static const char *tNames[] = {"off", "load", "store", "?"};
+    static const char *outNames[] = {"none", "s1", "s2", "both"};
+    return strformat(
+        "a1=%s t=%s u1=(%d,%d) u2=(%d,%d) aop2=%s sop=%s out=%s",
+        aluOpName(a1op), tNames[static_cast<int>(tMode)],
+        static_cast<int>(u1Lhs), static_cast<int>(u1Rhs),
+        static_cast<int>(u2Lhs), static_cast<int>(u2Rhs),
+        aluOpName(aop2), shiftOpName(sop),
+        outNames[static_cast<int>(outCfg)]);
+}
+
+std::uint64_t
+FusedConfig::packBlob() const
+{
+    std::uint64_t blob = 0;
+    blob |= static_cast<std::uint64_t>(local.pack());
+    blob |= static_cast<std::uint64_t>(remote.pack()) << 19;
+    blob |= static_cast<std::uint64_t>(usesRemote ? 1 : 0) << 38;
+    blob |= static_cast<std::uint64_t>(localKind) << 39;
+    blob |= static_cast<std::uint64_t>(remoteKind) << 41;
+    blob |= static_cast<std::uint64_t>(writeLocalToRd1 ? 1 : 0) << 43;
+    return blob;
+}
+
+FusedConfig
+FusedConfig::unpackBlob(std::uint64_t blob)
+{
+    FusedConfig c;
+    c.local = PatchCtl::unpack(static_cast<std::uint32_t>(
+        blob & ((1u << 19) - 1)));
+    c.remote = PatchCtl::unpack(static_cast<std::uint32_t>(
+        (blob >> 19) & ((1u << 19) - 1)));
+    c.usesRemote = ((blob >> 38) & 1) != 0;
+    c.localKind = static_cast<PatchKind>((blob >> 39) & 3);
+    c.remoteKind = static_cast<PatchKind>((blob >> 41) & 3);
+    c.writeLocalToRd1 = ((blob >> 43) & 1) != 0;
+    if (!c.usesRemote) {
+        // Normalize so pack/unpack is a bijection on canonical blobs.
+        c.remote = PatchCtl{};
+        c.remoteKind = PatchKind::ATMA;
+        c.writeLocalToRd1 = false;
+    }
+    return c;
+}
+
+} // namespace stitch::core

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Patch kinds and the 19-bit patch control word (paper Section III-A).
+ *
+ * "Each patch requires 19-bits for control signals, which is carried
+ *  by a two-word size custom instruction."
+ *
+ * Our control layout packs to exactly 19 bits; pack()/unpack() are
+ * exact inverses (property-tested). FusedConfig bundles the control
+ * words of one or two patches into the 64-bit blob that Program's ISE
+ * table stores. Carrying the control in a preset table rather than
+ * inline in the instruction mirrors the paper's preset configuration
+ * state (the crossbar configuration registers of Section III-B are
+ * written before the application launches); the two-word fetch cost of
+ * CUST is preserved for timing fidelity.
+ */
+
+#ifndef STITCH_CORE_PATCH_CONFIG_HH
+#define STITCH_CORE_PATCH_CONFIG_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ops.hh"
+
+namespace stitch::core
+{
+
+/** The three heterogeneous patch flavours (paper Figure 3). */
+enum class PatchKind : std::uint8_t
+{
+    ATMA = 0, ///< {AT-MA}: ALU+LMAU stage, then multiplier+ALU stage
+    ATAS,     ///< {AT-AS}: ALU+LMAU stage, then ALU+shifter stage
+    ATSA,     ///< {AT-SA}: ALU+LMAU stage, then shifter+ALU stage
+};
+
+inline constexpr int numPatchKinds = 3;
+
+/** Printable name, e.g. "AT-MA". */
+const char *patchKindName(PatchKind k);
+
+/**
+ * Ordered unit classes of a patch's two stages. Stage 1 is always
+ * [A, T]; stage 2 depends on the kind. The compiler's mapper matches
+ * DFG chains against these templates.
+ */
+struct PatchTemplate
+{
+    std::array<OpClass, 2> stage1; ///< always {A, T}
+    std::array<OpClass, 2> stage2; ///< {M,A} or {A,S} or {S,A}
+};
+
+/** Structural template of `kind`. */
+PatchTemplate patchTemplate(PatchKind kind);
+
+/** Stage-2 unit-1 left operand select (2 bits). */
+enum class U1Lhs : std::uint8_t { In1 = 0, In2, In3, S1Out };
+
+/** Stage-2 unit-1 right operand select (2 bits). */
+enum class U1Rhs : std::uint8_t { In2 = 0, In3, S1Out, In1 };
+
+/** Stage-2 unit-2 left operand select (1 bit): the {AA} bypass. */
+enum class U2Lhs : std::uint8_t { U1Out = 0, S1Out };
+
+/** Stage-2 unit-2 right operand select (2 bits). */
+enum class U2Rhs : std::uint8_t { In3 = 0, S1Out, In2, In1 };
+
+/** Which results are written back to the register file (2 bits). */
+enum class OutCfg : std::uint8_t
+{
+    None = 0,  ///< nothing written (store-only pattern)
+    S1,        ///< rd0 = stage-1 result
+    S2,        ///< rd0 = stage-2 result
+    Both,      ///< rd0 = stage-2 result, rd1 = stage-1 result
+};
+
+/**
+ * The decoded 19-bit control word of one polymorphic patch.
+ *
+ * Bit budget: a1op(3) + tMode(2) + u1Lhs(2) + u1Rhs(2) + u2Lhs(1) +
+ * u2Rhs(2) + aop2(3) + sop(2) + outCfg(2) = 19 bits, matching the
+ * paper's figure. Operand positions into stage 1 are fixed (in0, in1,
+ * store data = in2): the register allocator permutes operands into
+ * position, which is what keeps the control word tiny.
+ */
+struct PatchCtl
+{
+    AluOp a1op = AluOp::Pass;    ///< stage-1 ALU operation
+    TMode tMode = TMode::Off;    ///< LMAU mode
+    U1Lhs u1Lhs = U1Lhs::S1Out;  ///< stage-2 unit-1 left select
+    U1Rhs u1Rhs = U1Rhs::In2;    ///< stage-2 unit-1 right select
+    U2Lhs u2Lhs = U2Lhs::U1Out;  ///< stage-2 unit-2 left select
+    U2Rhs u2Rhs = U2Rhs::In3;    ///< stage-2 unit-2 right select
+    AluOp aop2 = AluOp::Pass;    ///< stage-2 ALU operation
+    ShiftOp sop = ShiftOp::Pass; ///< stage-2 shifter operation
+    OutCfg outCfg = OutCfg::S1;  ///< writeback selection
+
+    /** Number of control bits (paper Section III-A). */
+    static constexpr int ctlBits = 19;
+
+    /** Pack into the 19-bit control word. */
+    std::uint32_t pack() const;
+
+    /** Exact inverse of pack(). */
+    static PatchCtl unpack(std::uint32_t bits);
+
+    /** Human-readable dump for debugging. */
+    std::string toString() const;
+
+    bool operator==(const PatchCtl &) const = default;
+};
+
+/**
+ * A complete custom-instruction configuration: one patch, or two
+ * patches fused over the inter-patch NoC (paper Section III-B).
+ */
+struct FusedConfig
+{
+    PatchKind localKind = PatchKind::ATMA;
+    PatchCtl local;
+    bool usesRemote = false;
+    PatchKind remoteKind = PatchKind::ATMA;
+    PatchCtl remote;
+
+    /**
+     * When fused: also write the local patch's primary result to rd1
+     * (the remote primary always lands in rd0).
+     */
+    bool writeLocalToRd1 = false;
+
+    /** Control bits travelling on the 166-bit link (19 or 38). */
+    int linkControlBits() const { return usesRemote ? 38 : 19; }
+
+    /** Pack to the 64-bit ISE-table blob. */
+    std::uint64_t packBlob() const;
+
+    /** Exact inverse of packBlob(). */
+    static FusedConfig unpackBlob(std::uint64_t blob);
+
+    bool operator==(const FusedConfig &) const = default;
+};
+
+} // namespace stitch::core
+
+#endif // STITCH_CORE_PATCH_CONFIG_HH

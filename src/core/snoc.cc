@@ -1,0 +1,299 @@
+#include "core/snoc.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace stitch::core
+{
+
+const char *
+snocPortName(SnocPort p)
+{
+    switch (p) {
+      case SnocPort::North: return "N";
+      case SnocPort::East: return "E";
+      case SnocPort::South: return "S";
+      case SnocPort::West: return "W";
+      case SnocPort::Patch: return "patch";
+      case SnocPort::Reg: return "reg";
+    }
+    STITCH_PANIC("bad SnocPort");
+}
+
+SnocPort
+oppositePort(SnocPort p)
+{
+    switch (p) {
+      case SnocPort::North: return SnocPort::South;
+      case SnocPort::East: return SnocPort::West;
+      case SnocPort::South: return SnocPort::North;
+      case SnocPort::West: return SnocPort::East;
+      default:
+        STITCH_PANIC("oppositePort of a local port");
+    }
+}
+
+TileId
+neighbourOf(TileId t, SnocPort d)
+{
+    int row = tileRow(t);
+    int col = tileCol(t);
+    switch (d) {
+      case SnocPort::North: row -= 1; break;
+      case SnocPort::South: row += 1; break;
+      case SnocPort::East: col += 1; break;
+      case SnocPort::West: col -= 1; break;
+      default:
+        STITCH_PANIC("neighbourOf with a local port");
+    }
+    if (row < 0 || row >= meshDim || col < 0 || col >= meshDim)
+        return -1;
+    return row * meshDim + col;
+}
+
+SnocPort
+directionTo(TileId a, TileId b)
+{
+    int dr = tileRow(b) - tileRow(a);
+    int dc = tileCol(b) - tileCol(a);
+    if (dr == -1 && dc == 0) return SnocPort::North;
+    if (dr == 1 && dc == 0) return SnocPort::South;
+    if (dr == 0 && dc == 1) return SnocPort::East;
+    if (dr == 0 && dc == -1) return SnocPort::West;
+    STITCH_PANIC("tiles ", a, " and ", b, " are not adjacent");
+}
+
+void
+SwitchConfig::connect(SnocPort in, SnocPort out)
+{
+    auto idx = static_cast<std::size_t>(out);
+    if (drivers_[idx] >= 0 &&
+        drivers_[idx] != static_cast<std::int8_t>(in)) {
+        fatal("crossbar output ", snocPortName(out),
+              " already driven by another input");
+    }
+    drivers_[idx] = static_cast<std::int8_t>(in);
+}
+
+std::optional<SnocPort>
+SwitchConfig::driverOf(SnocPort out) const
+{
+    auto v = drivers_[static_cast<std::size_t>(out)];
+    if (v < 0)
+        return std::nullopt;
+    return static_cast<SnocPort>(v);
+}
+
+std::uint32_t
+SwitchConfig::packRegister() const
+{
+    std::uint32_t bits = 0;
+    for (int out = 0; out < numSnocPorts; ++out) {
+        auto v = drivers_[static_cast<std::size_t>(out)];
+        std::uint32_t field = v < 0 ? 7u : static_cast<std::uint32_t>(v);
+        bits |= field << (3 * out);
+    }
+    return bits;
+}
+
+SwitchConfig
+SwitchConfig::unpackRegister(std::uint32_t bits)
+{
+    SwitchConfig cfg;
+    for (int out = 0; out < numSnocPorts; ++out) {
+        std::uint32_t field = (bits >> (3 * out)) & 7u;
+        if (field < numSnocPorts) {
+            cfg.drivers_[static_cast<std::size_t>(out)] =
+                static_cast<std::int8_t>(field);
+        }
+    }
+    return cfg;
+}
+
+std::optional<SnocPath>
+SnocConfig::addPath(TileId from, SnocPort entry, TileId to, SnocPort exit)
+{
+    STITCH_ASSERT(from >= 0 && from < numTiles);
+    STITCH_ASSERT(to >= 0 && to < numTiles);
+    STITCH_ASSERT(entry == SnocPort::Patch || entry == SnocPort::Reg);
+    STITCH_ASSERT(exit == SnocPort::Patch || exit == SnocPort::Reg);
+
+    // Dijkstra with unit link weights over tiles (Algorithm 1 uses
+    // Dijkstra; with unit weights this is a breadth-first search). A
+    // mesh link (t -> n) is usable iff switch t's output port toward n
+    // is free; the terminal switch's `exit` output must also be free.
+    if (!switches_[static_cast<std::size_t>(to)].outputFree(exit))
+        return std::nullopt;
+
+    if (from == to) {
+        // Purely local connection (e.g. patch result to local REG).
+        SnocPath path;
+        path.from = from;
+        path.to = to;
+        path.entry = entry;
+        path.exit = exit;
+        path.tiles = {from};
+        switches_[static_cast<std::size_t>(from)].connect(entry, exit);
+        paths_.push_back(path);
+        return path;
+    }
+
+    std::array<int, numTiles> dist;
+    std::array<TileId, numTiles> prev;
+    dist.fill(-1);
+    prev.fill(-1);
+    std::queue<TileId> frontier;
+    dist[static_cast<std::size_t>(from)] = 0;
+    frontier.push(from);
+
+    while (!frontier.empty()) {
+        TileId t = frontier.front();
+        frontier.pop();
+        if (t == to)
+            break;
+        for (SnocPort d : {SnocPort::North, SnocPort::East,
+                           SnocPort::South, SnocPort::West}) {
+            TileId n = neighbourOf(t, d);
+            if (n < 0 || dist[static_cast<std::size_t>(n)] >= 0)
+                continue;
+            if (!switches_[static_cast<std::size_t>(t)].outputFree(d))
+                continue;
+            dist[static_cast<std::size_t>(n)] =
+                dist[static_cast<std::size_t>(t)] + 1;
+            prev[static_cast<std::size_t>(n)] = t;
+            frontier.push(n);
+        }
+    }
+
+    if (dist[static_cast<std::size_t>(to)] < 0)
+        return std::nullopt;
+
+    SnocPath path;
+    path.from = from;
+    path.to = to;
+    path.entry = entry;
+    path.exit = exit;
+    for (TileId t = to; t != -1; t = prev[static_cast<std::size_t>(t)])
+        path.tiles.push_back(t);
+    std::reverse(path.tiles.begin(), path.tiles.end());
+
+    // Claim the crossbar settings along the route.
+    for (std::size_t i = 0; i + 1 < path.tiles.size(); ++i) {
+        TileId t = path.tiles[i];
+        TileId n = path.tiles[i + 1];
+        SnocPort out = directionTo(t, n);
+        SnocPort in = i == 0 ? entry
+                             : oppositePort(directionTo(path.tiles[i - 1],
+                                                        t));
+        switches_[static_cast<std::size_t>(t)].connect(in, out);
+    }
+    SnocPort lastIn = oppositePort(
+        directionTo(path.tiles[path.tiles.size() - 2], to));
+    switches_[static_cast<std::size_t>(to)].connect(lastIn, exit);
+
+    paths_.push_back(path);
+    return path;
+}
+
+std::optional<std::pair<SnocPath, SnocPath>>
+SnocConfig::addFusion(TileId local, PatchKind localKind, TileId remote,
+                      PatchKind remoteKind)
+{
+    STITCH_ASSERT(local != remote, "a patch cannot fuse with itself");
+
+    // Snapshot for atomic rollback: fusions need both directions.
+    auto savedSwitches = switches_;
+    auto savedPathCount = paths_.size();
+
+    auto forward = addPath(local, SnocPort::Patch, remote,
+                           SnocPort::Patch);
+    if (forward) {
+        auto back = addPath(remote, SnocPort::Patch, local,
+                            SnocPort::Reg);
+        if (back) {
+            int totalHops = forward->hops() + back->hops();
+            double ns = fusedCriticalPathNs(localKind, remoteKind,
+                                            forward->hops(),
+                                            back->hops());
+            if (totalHops <= rtl::maxFusionHops && fitsClock(ns))
+                return std::make_pair(*forward, *back);
+        }
+    }
+
+    switches_ = savedSwitches;
+    paths_.resize(savedPathCount);
+    return std::nullopt;
+}
+
+std::array<std::uint32_t, numTiles>
+SnocConfig::packRegisters() const
+{
+    std::array<std::uint32_t, numTiles> regs{};
+    for (int t = 0; t < numTiles; ++t)
+        regs[static_cast<std::size_t>(t)] =
+            switches_[static_cast<std::size_t>(t)].packRegister();
+    return regs;
+}
+
+bool
+SnocConfig::validate(std::string *why) const
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+
+    // Rebuild the expected switch settings from the path list and
+    // compare: every claimed output must be accounted for by exactly
+    // the registered paths (single-driver holds by construction of
+    // SwitchConfig, so consistency is what remains to check).
+    std::array<SwitchConfig, numTiles> expect{};
+    for (const auto &path : paths_) {
+        if (path.tiles.empty() || path.tiles.front() != path.from ||
+            path.tiles.back() != path.to)
+            return fail("path endpoints disagree with tile list");
+        for (std::size_t i = 0; i + 1 < path.tiles.size(); ++i) {
+            TileId t = path.tiles[i];
+            TileId n = path.tiles[i + 1];
+            if (tileDistance(t, n) != 1)
+                return fail("path hops between non-adjacent tiles");
+            SnocPort out = directionTo(t, n);
+            SnocPort in =
+                i == 0 ? path.entry
+                       : oppositePort(directionTo(path.tiles[i - 1], t));
+            auto &sw = expect[static_cast<std::size_t>(t)];
+            if (!sw.outputFree(out))
+                return fail("two paths share a crossbar output");
+            sw.connect(in, out);
+        }
+        TileId last = path.tiles.back();
+        SnocPort in =
+            path.tiles.size() == 1
+                ? path.entry
+                : oppositePort(directionTo(
+                      path.tiles[path.tiles.size() - 2], last));
+        auto &sw = expect[static_cast<std::size_t>(last)];
+        if (!sw.outputFree(path.exit))
+            return fail("two paths share a terminal crossbar output");
+        sw.connect(in, path.exit);
+    }
+
+    for (int t = 0; t < numTiles; ++t) {
+        if (!(expect[static_cast<std::size_t>(t)] ==
+              switches_[static_cast<std::size_t>(t)]))
+            return fail("switch setting does not match routed paths");
+    }
+    return true;
+}
+
+void
+SnocConfig::clear()
+{
+    switches_ = {};
+    paths_.clear();
+}
+
+} // namespace stitch::core

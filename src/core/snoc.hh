@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The single-cycle reconfigurable compiler-scheduled inter-patch NoC
+ * (paper Section III-B).
+ *
+ * The network is a 4x4 mesh of pure crossbar switches — no buffers, no
+ * flow control, no routing logic. Each switch has six inputs (N, E, S,
+ * W, the local patch's output, the local register file) and six
+ * outputs (N, E, S, W, the local patch's input, the register
+ * writeback). The compiler presets every switch through its
+ * memory-mapped configuration register before the application starts;
+ * because each crossbar output can be driven by exactly one input,
+ * validity of a configuration is simply single-driver-per-output,
+ * which SnocConfig enforces at construction time.
+ */
+
+#ifndef STITCH_CORE_SNOC_HH
+#define STITCH_CORE_SNOC_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/snoc_timing.hh"
+
+namespace stitch::core
+{
+
+/** Ports of an inter-patch NoC switch (used for inputs and outputs). */
+enum class SnocPort : std::uint8_t
+{
+    North = 0,
+    East,
+    South,
+    West,
+    Patch, ///< input side: from the local patch's output;
+           ///< output side: into the local patch's input
+    Reg,   ///< input side: operands from the local register file;
+           ///< output side: result writeback to the register file
+};
+
+inline constexpr int numSnocPorts = 6;
+
+/** Printable port name. */
+const char *snocPortName(SnocPort p);
+
+/** The mesh direction opposite to `p` (North <-> South etc.). */
+SnocPort oppositePort(SnocPort p);
+
+/** Neighbour of `t` in mesh direction `d`, or -1 at the mesh edge. */
+TileId neighbourOf(TileId t, SnocPort d);
+
+/** Direction from tile `a` to an adjacent tile `b`. */
+SnocPort directionTo(TileId a, TileId b);
+
+/**
+ * A routed point-to-point connection through the mesh: the ordered
+ * tiles it traverses plus its entry/exit ports.
+ */
+struct SnocPath
+{
+    TileId from = -1;      ///< tile whose patch/REG sources the data
+    TileId to = -1;        ///< tile whose patch/REG sinks the data
+    SnocPort entry = SnocPort::Patch; ///< input port used at `from`
+    SnocPort exit = SnocPort::Patch;  ///< output port used at `to`
+    std::vector<TileId> tiles;        ///< from .. to, inclusive
+
+    /** Number of mesh links traversed. */
+    int hops() const { return static_cast<int>(tiles.size()) - 1; }
+};
+
+/**
+ * One switch's crossbar setting: for each output port, the input port
+ * driving it (or none). This is the value written to the tile's
+ * memory-mapped crossbar configuration register.
+ */
+class SwitchConfig
+{
+  public:
+    SwitchConfig() { drivers_.fill(-1); }
+
+    /** Connect input `in` to output `out`; fatal on double drive. */
+    void connect(SnocPort in, SnocPort out);
+
+    /** True if output `out` has no driver yet. */
+    bool
+    outputFree(SnocPort out) const
+    {
+        return drivers_[static_cast<std::size_t>(out)] < 0;
+    }
+
+    /** Driver of output `out`, if any. */
+    std::optional<SnocPort> driverOf(SnocPort out) const;
+
+    /**
+     * Pack into the configuration-register format: 3 bits per output
+     * (0-5 = driving input, 7 = undriven), 18 bits total.
+     */
+    std::uint32_t packRegister() const;
+
+    /** Inverse of packRegister(). */
+    static SwitchConfig unpackRegister(std::uint32_t bits);
+
+    bool operator==(const SwitchConfig &) const = default;
+
+  private:
+    std::array<std::int8_t, numSnocPorts> drivers_;
+};
+
+/**
+ * The full inter-patch network configuration: 16 switch settings plus
+ * the list of logical paths routed through them.
+ *
+ * addPath() performs the compiler-time routing (Dijkstra over the
+ * port graph with unit link weights, per Algorithm 1's FindPath) and
+ * claims crossbar outputs; it fails cleanly when no contention-free
+ * route exists.
+ */
+class SnocConfig
+{
+  public:
+    /**
+     * Route a connection from `from`'s `entry` input to `to`'s `exit`
+     * output. Typical uses:
+     *  - operand/forward path: entry=Patch at the local tile,
+     *    exit=Patch at the remote tile;
+     *  - result return path: entry=Patch at the remote tile,
+     *    exit=Reg at the local tile.
+     *
+     * @return the routed path, or std::nullopt if no free route.
+     */
+    std::optional<SnocPath> addPath(TileId from, SnocPort entry,
+                                    TileId to, SnocPort exit);
+
+    /**
+     * Convenience: route a complete fusion (forward + return) between
+     * the tile hosting the local patch and the tile hosting the
+     * remote patch, enforcing the round-trip hop limit and the
+     * 200 MHz critical-path budget for the given patch kinds.
+     *
+     * @return {forward, back} paths, or std::nullopt. On failure the
+     *         configuration is left unchanged (atomic).
+     */
+    std::optional<std::pair<SnocPath, SnocPath>>
+    addFusion(TileId local, PatchKind localKind, TileId remote,
+              PatchKind remoteKind);
+
+    const SwitchConfig &switchAt(TileId t) const
+    {
+        return switches_[static_cast<std::size_t>(t)];
+    }
+
+    const std::vector<SnocPath> &paths() const { return paths_; }
+
+    /** All 16 packed configuration-register values. */
+    std::array<std::uint32_t, numTiles> packRegisters() const;
+
+    /**
+     * Check the global invariant (single driver per output and path
+     * consistency). Always true for configurations built through
+     * addPath; exposed for property tests.
+     */
+    bool validate(std::string *why = nullptr) const;
+
+    void clear();
+
+  private:
+    std::array<SwitchConfig, numTiles> switches_{};
+    std::vector<SnocPath> paths_;
+};
+
+} // namespace stitch::core
+
+#endif // STITCH_CORE_SNOC_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * RTL-derived timing and area constants (paper Table IV) and the
+ * critical-path model of Section VI-D.
+ *
+ * The paper synthesizes the patches and the inter-patch NoC switch at
+ * 40 nm and reports: {AT-MA} 1.38 ns, {AT-AS} 1.12 ns, {AT-SA}
+ * 1.02 ns, switch 0.17 ns, and 0.3 ns of clockless-repeater wire per
+ * 3 hops. A fused execution's critical path is
+ *
+ *   switch + local patch + switch + hops*(wire+switch)
+ *          + remote patch + hops*(wire+switch) + switch
+ *
+ * which for the worst legal case (AT-MA fused with AT-AS, 3 hops each
+ * way) is 4.63 ns — hence the 200 MHz clock and the at-most-six-hop
+ * rule (3 mesh hops out + 3 back).
+ */
+
+#ifndef STITCH_CORE_SNOC_TIMING_HH
+#define STITCH_CORE_SNOC_TIMING_HH
+
+#include "core/patch_config.hh"
+
+namespace stitch::core
+{
+
+/** 40 nm synthesis constants (paper Table IV). */
+namespace rtl
+{
+inline constexpr double switchDelayNs = 0.17;
+inline constexpr double wirePerHopNs = 0.1;     ///< 0.3 ns per 3 hops
+inline constexpr double clockPeriodNs = 5.0;    ///< 200 MHz
+inline constexpr int maxFusionHops = 6;         ///< round trip, Section VI-D
+
+inline constexpr double patchAtmaAreaUm2 = 4152.0;
+inline constexpr double patchAtasAreaUm2 = 2096.0;
+inline constexpr double patchAtsaAreaUm2 = 2157.0;
+inline constexpr double switchAreaUm2 = 7423.0;
+} // namespace rtl
+
+/** Combinational delay of one patch flavour (ns). */
+constexpr double
+patchDelayNs(PatchKind k)
+{
+    switch (k) {
+      case PatchKind::ATMA: return 1.38;
+      case PatchKind::ATAS: return 1.12;
+      case PatchKind::ATSA: return 1.02;
+    }
+    return 0.0;
+}
+
+/** Synthesized area of one patch flavour (um^2, Table IV). */
+constexpr double
+patchAreaUm2(PatchKind k)
+{
+    switch (k) {
+      case PatchKind::ATMA: return rtl::patchAtmaAreaUm2;
+      case PatchKind::ATAS: return rtl::patchAtasAreaUm2;
+      case PatchKind::ATSA: return rtl::patchAtsaAreaUm2;
+    }
+    return 0.0;
+}
+
+/** Critical path of an unfused custom instruction on `kind` (ns). */
+constexpr double
+singleCriticalPathNs(PatchKind kind)
+{
+    // REG -> switch -> patch -> switch -> REG.
+    return 2 * rtl::switchDelayNs + patchDelayNs(kind);
+}
+
+/**
+ * Critical path of a fused custom instruction (ns).
+ *
+ * @param hopsThere mesh hops from the local to the remote patch
+ * @param hopsBack  mesh hops of the return (result) route
+ */
+constexpr double
+fusedCriticalPathNs(PatchKind local, PatchKind remote, int hopsThere,
+                    int hopsBack)
+{
+    return 3 * rtl::switchDelayNs + patchDelayNs(local) +
+           patchDelayNs(remote) +
+           (hopsThere + hopsBack) *
+               (rtl::wirePerHopNs + rtl::switchDelayNs);
+}
+
+/** True if the path delay fits inside the 200 MHz clock period. */
+constexpr bool
+fitsClock(double pathNs)
+{
+    return pathNs <= rtl::clockPeriodNs;
+}
+
+/** Frequency (MHz) implied by a critical path. */
+constexpr double
+pathFrequencyMhz(double pathNs)
+{
+    return 1000.0 / pathNs;
+}
+
+} // namespace stitch::core
+
+#endif // STITCH_CORE_SNOC_TIMING_HH

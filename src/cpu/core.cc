@@ -1,0 +1,306 @@
+#include "cpu/core.hh"
+
+#include "common/logging.hh"
+#include "mem/addrmap.hh"
+
+namespace stitch::cpu
+{
+
+using isa::Instr;
+using isa::Opcode;
+
+Core::Core(TileId id, mem::TileMemory &memory, CustomHandler *custom,
+           MessageHub *hub)
+    : id_(id), mem_(memory), custom_(custom), hub_(hub)
+{
+}
+
+void
+Core::loadProgram(const isa::Program &prog)
+{
+    prog_ = prog;
+
+    wordToIndex_.assign(prog_.wordCount(), -1);
+    for (std::size_t i = 0; i < prog_.code().size(); ++i)
+        wordToIndex_[prog_.wordAddrOf(i)] =
+            static_cast<std::int32_t>(i);
+    execCounts_.assign(prog_.code().size(), 0);
+
+    for (const auto &seg : prog_.data()) {
+        if (mem::isSpmAddr(seg.base)) {
+            for (std::size_t i = 0; i < seg.bytes.size(); i += 4) {
+                Word w = 0;
+                for (std::size_t b = 0; b < 4 && i + b < seg.bytes.size();
+                     ++b)
+                    w |= static_cast<Word>(seg.bytes[i + b]) << (8 * b);
+                mem_.spmStoreWord(seg.base + static_cast<Addr>(i), w);
+            }
+        } else {
+            mem_.backing().writeBlock(seg.base, seg.bytes);
+        }
+    }
+
+    mem_.flushCaches();
+    regs_.fill(0);
+    pc_ = 0;
+    time_ = 0;
+    retired_ = 0;
+    halted_ = prog_.code().empty();
+}
+
+void
+Core::setReg(RegId r, Word v)
+{
+    STITCH_ASSERT(r >= 0 && r < numRegs);
+    if (r != 0)
+        regs_[static_cast<std::size_t>(r)] = v;
+}
+
+void
+Core::branchTo(std::int32_t targetWord)
+{
+    if (targetWord < 0 ||
+        static_cast<Addr>(targetWord) >= prog_.wordCount())
+        fatal("branch to word ", targetWord, " outside program ",
+              prog_.name());
+    pc_ = static_cast<Addr>(targetWord);
+    time_ += 1; // taken control-flow penalty
+    stats_.inc("branches_taken");
+}
+
+StepResult
+Core::step()
+{
+    if (halted_)
+        return StepResult::Halted;
+
+    STITCH_ASSERT(pc_ < wordToIndex_.size(), "PC past end of program");
+    std::int32_t idx = wordToIndex_[pc_];
+    STITCH_ASSERT(idx >= 0, "PC on a non-boundary word");
+    const Instr &in = prog_.code()[static_cast<std::size_t>(idx)];
+
+    StepResult result = execute(in);
+    if (result == StepResult::Ok || result == StepResult::Halted) {
+        ++retired_;
+        ++execCounts_[static_cast<std::size_t>(idx)];
+        stats_.inc("instructions");
+    }
+    return result;
+}
+
+StepResult
+Core::execute(const Instr &in)
+{
+    const Addr thisPc = pc_;
+    const Addr nextPc = pc_ + static_cast<Addr>(in.wordSize());
+
+    // Fetch: the base cycle, plus I-cache miss stalls.
+    time_ += 1;
+    time_ += mem_.fetch(thisPc, in.wordSize());
+
+    auto rs = [&](RegId r) {
+        return regs_[static_cast<std::size_t>(r)];
+    };
+    auto simm = [&] { return static_cast<Word>(in.imm); };
+
+    pc_ = nextPc;
+
+    switch (in.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Halt:
+        halted_ = true;
+        return StepResult::Halted;
+
+      case Opcode::Add: setReg(in.rd0, rs(in.rs0) + rs(in.rs1)); break;
+      case Opcode::Sub: setReg(in.rd0, rs(in.rs0) - rs(in.rs1)); break;
+      case Opcode::And: setReg(in.rd0, rs(in.rs0) & rs(in.rs1)); break;
+      case Opcode::Or: setReg(in.rd0, rs(in.rs0) | rs(in.rs1)); break;
+      case Opcode::Xor: setReg(in.rd0, rs(in.rs0) ^ rs(in.rs1)); break;
+      case Opcode::Sll:
+        setReg(in.rd0, rs(in.rs0) << (rs(in.rs1) & 31u));
+        break;
+      case Opcode::Srl:
+        setReg(in.rd0, rs(in.rs0) >> (rs(in.rs1) & 31u));
+        break;
+      case Opcode::Sra:
+        setReg(in.rd0, static_cast<Word>(
+            static_cast<SWord>(rs(in.rs0)) >>
+            static_cast<SWord>(rs(in.rs1) & 31u)));
+        break;
+      case Opcode::Mul:
+        setReg(in.rd0, rs(in.rs0) * rs(in.rs1));
+        time_ += 3; // iterative multiplier, 4 cycles total
+        stats_.inc("muls");
+        break;
+      case Opcode::Slt:
+        setReg(in.rd0, static_cast<SWord>(rs(in.rs0)) <
+                               static_cast<SWord>(rs(in.rs1))
+                           ? 1
+                           : 0);
+        break;
+      case Opcode::Sltu:
+        setReg(in.rd0, rs(in.rs0) < rs(in.rs1) ? 1 : 0);
+        break;
+
+      case Opcode::Addi: setReg(in.rd0, rs(in.rs0) + simm()); break;
+      case Opcode::Andi: setReg(in.rd0, rs(in.rs0) & simm()); break;
+      case Opcode::Ori: setReg(in.rd0, rs(in.rs0) | simm()); break;
+      case Opcode::Xori: setReg(in.rd0, rs(in.rs0) ^ simm()); break;
+      case Opcode::Slli:
+        setReg(in.rd0, rs(in.rs0) << (simm() & 31u));
+        break;
+      case Opcode::Srli:
+        setReg(in.rd0, rs(in.rs0) >> (simm() & 31u));
+        break;
+      case Opcode::Srai:
+        setReg(in.rd0, static_cast<Word>(
+            static_cast<SWord>(rs(in.rs0)) >>
+            static_cast<SWord>(simm() & 31u)));
+        break;
+      case Opcode::Slti:
+        setReg(in.rd0, static_cast<SWord>(rs(in.rs0)) <
+                               static_cast<SWord>(simm())
+                           ? 1
+                           : 0);
+        break;
+      case Opcode::Lui:
+        setReg(in.rd0, static_cast<Word>(in.imm) << 11);
+        break;
+
+      case Opcode::Lw: {
+        auto res = mem_.loadWord(rs(in.rs0) + simm());
+        setReg(in.rd0, res.value);
+        time_ += res.extraCycles;
+        stats_.inc("loads");
+        break;
+      }
+      case Opcode::Lb: {
+        auto res = mem_.loadByte(rs(in.rs0) + simm());
+        setReg(in.rd0, res.value);
+        time_ += res.extraCycles;
+        stats_.inc("loads");
+        break;
+      }
+      case Opcode::Sw: {
+        Addr a = rs(in.rs0) + simm();
+        if (mem::isXbarConfigAddr(a)) {
+            xbarReg_ = rs(in.rs1);
+            break;
+        }
+        time_ += mem_.storeWord(a, rs(in.rs1));
+        stats_.inc("stores");
+        break;
+      }
+      case Opcode::Sb:
+        time_ += mem_.storeByte(rs(in.rs0) + simm(),
+                                static_cast<std::uint8_t>(rs(in.rs1)));
+        stats_.inc("stores");
+        break;
+
+      case Opcode::Beq:
+        if (rs(in.rs0) == rs(in.rs1))
+            branchTo(static_cast<std::int32_t>(thisPc) + in.imm);
+        break;
+      case Opcode::Bne:
+        if (rs(in.rs0) != rs(in.rs1))
+            branchTo(static_cast<std::int32_t>(thisPc) + in.imm);
+        break;
+      case Opcode::Blt:
+        if (static_cast<SWord>(rs(in.rs0)) <
+            static_cast<SWord>(rs(in.rs1)))
+            branchTo(static_cast<std::int32_t>(thisPc) + in.imm);
+        break;
+      case Opcode::Bge:
+        if (static_cast<SWord>(rs(in.rs0)) >=
+            static_cast<SWord>(rs(in.rs1)))
+            branchTo(static_cast<std::int32_t>(thisPc) + in.imm);
+        break;
+      case Opcode::Bltu:
+        if (rs(in.rs0) < rs(in.rs1))
+            branchTo(static_cast<std::int32_t>(thisPc) + in.imm);
+        break;
+      case Opcode::Bgeu:
+        if (rs(in.rs0) >= rs(in.rs1))
+            branchTo(static_cast<std::int32_t>(thisPc) + in.imm);
+        break;
+
+      case Opcode::Jal:
+        setReg(in.rd0, nextPc);
+        branchTo(in.imm);
+        break;
+      case Opcode::Jalr: {
+        Word target = rs(in.rs0) + simm();
+        setReg(in.rd0, nextPc);
+        branchTo(static_cast<std::int32_t>(target));
+        break;
+      }
+
+      case Opcode::Send: {
+        if (!hub_)
+            fatal("SEND executed on a core without a message hub");
+        auto dst = static_cast<TileId>(rs(in.rs1));
+        time_ += hub_->send(id_, dst, in.imm, rs(in.rs0), time_);
+        stats_.inc("msgs_sent");
+        break;
+      }
+      case Opcode::Recv: {
+        if (!hub_)
+            fatal("RECV executed on a core without a message hub");
+        auto src = static_cast<TileId>(rs(in.rs0));
+        auto msg = hub_->tryRecv(id_, src, in.imm);
+        if (!msg) {
+            // Roll the PC back; the scheduler will retry once time
+            // has advanced past a sender.
+            pc_ = thisPc;
+            time_ -= 1; // undo the base cycle; nothing retired
+            return StepResult::Blocked;
+        }
+        setReg(in.rd0, msg->first);
+        if (msg->second > time_)
+            time_ = msg->second;
+        stats_.inc("msgs_received");
+        break;
+      }
+
+      case Opcode::Cust: {
+        if (!custom_)
+            fatal("CUST executed on a core without a custom handler");
+        if (in.cfg >= prog_.iseTable().size())
+            fatal("CUST cfg index ", in.cfg, " outside ISE table of ",
+                  prog_.name());
+        std::array<Word, 4> operands = {rs(in.rs0), rs(in.rs1),
+                                        rs(in.rs2), rs(in.rs3)};
+        auto res = custom_->executeCustom(
+            id_, prog_.iseTable()[in.cfg], operands);
+        if (res.writeRd0)
+            setReg(in.rd0, res.rd0);
+        if (res.writeRd1)
+            setReg(in.rd1, res.rd1);
+        stats_.inc("custom_instructions");
+        break;
+      }
+
+      case Opcode::NumOpcodes:
+        STITCH_PANIC("executed NumOpcodes");
+    }
+
+    return StepResult::Ok;
+}
+
+Cycles
+Core::runToHalt(std::uint64_t maxInstructions)
+{
+    while (!halted_) {
+        StepResult r = step();
+        if (r == StepResult::Blocked)
+            fatal("standalone core ", id_, " blocked on RECV in ",
+                  prog_.name());
+        if (retired_ > maxInstructions)
+            fatal("program ", prog_.name(), " exceeded ",
+                  maxInstructions, " instructions; runaway loop?");
+    }
+    return time_;
+}
+
+} // namespace stitch::cpu

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The in-order, single-issue SW32 core of one Stitch tile.
+ *
+ * Timing model (paper Table II: ARM in-order single-issue, 200 MHz):
+ * every instruction costs one cycle, plus I-cache/D-cache miss stalls
+ * (30-cycle DRAM), plus 3 extra cycles for MUL, plus 1 extra cycle for
+ * taken control flow. A CUST instruction executes in a single cycle
+ * regardless of fusion — the whole point of the compiler-scheduled
+ * sNoC — but occupies two instruction words in the I-cache.
+ *
+ * The core is deliberately ignorant of patches and of the NoC: custom
+ * instructions and messages are delegated through the CustomHandler
+ * and MessageHub interfaces so that a single Core can be driven
+ * standalone (kernel studies, Fig. 11) or inside the 16-tile system
+ * (application studies, Fig. 12).
+ */
+
+#ifndef STITCH_CPU_CORE_HH
+#define STITCH_CPU_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/patch.hh"
+#include "isa/program.hh"
+#include "mem/tile_memory.hh"
+
+namespace stitch::cpu
+{
+
+/** Executes CUST instructions on behalf of a core. */
+class CustomHandler
+{
+  public:
+    virtual ~CustomHandler() = default;
+
+    /**
+     * Execute the custom instruction described by `blob` (a packed
+     * core::FusedConfig) with the four register operands `in`.
+     */
+    virtual core::CustResult executeCustom(TileId tile,
+                                           std::uint64_t blob,
+                                           const std::array<Word, 4> &in)
+        = 0;
+};
+
+/** Message-passing fabric seen by a core's SEND/RECV instructions. */
+class MessageHub
+{
+  public:
+    virtual ~MessageHub() = default;
+
+    /** Inject a one-word message; returns injection overhead cycles. */
+    virtual Cycles send(TileId src, TileId dst, int tag, Word value,
+                        Cycles now) = 0;
+
+    /**
+     * Try to consume a message addressed to (dst from src, tag).
+     * @return value and its arrival time, or nullopt if not yet sent.
+     */
+    virtual std::optional<std::pair<Word, Cycles>>
+    tryRecv(TileId dst, TileId src, int tag) = 0;
+};
+
+/** Outcome of Core::step(). */
+enum class StepResult
+{
+    Ok,      ///< an instruction retired
+    Halted,  ///< HALT retired; the core is done
+    Blocked, ///< RECV found no message; retry after time advances
+};
+
+/** One tile's processor. */
+class Core
+{
+  public:
+    /**
+     * @param id     tile id (used as the message-passing rank)
+     * @param memory the tile's private memory system
+     * @param custom CUST executor; may be null iff the program has
+     *               no custom instructions
+     * @param hub    message fabric; may be null iff the program has
+     *               no SEND/RECV
+     */
+    Core(TileId id, mem::TileMemory &memory, CustomHandler *custom,
+         MessageHub *hub);
+
+    /**
+     * Load `prog`: decoded code, data segments into backing memory,
+     * and the ISE table. Resets PC, registers, time and caches.
+     */
+    void loadProgram(const isa::Program &prog);
+
+    /** Execute one instruction (or discover a block/halt). */
+    StepResult step();
+
+    /** Run standalone until HALT; fatal on block. */
+    Cycles runToHalt(std::uint64_t maxInstructions = 400'000'000ull);
+
+    bool halted() const { return halted_; }
+    TileId id() const { return id_; }
+
+    Cycles time() const { return time_; }
+    void setTime(Cycles t) { time_ = t; }
+
+    std::uint64_t instructionsRetired() const { return retired_; }
+
+    Word reg(RegId r) const
+    {
+        return regs_[static_cast<std::size_t>(r)];
+    }
+    void setReg(RegId r, Word v);
+
+    mem::TileMemory &memory() { return mem_; }
+    StatGroup &stats() { return stats_; }
+
+    /** Last value stored to the crossbar configuration register. */
+    std::uint32_t xbarConfigReg() const { return xbarReg_; }
+
+    /**
+     * Per-instruction basic-block execution counts from the last run,
+     * used by the compiler's profiler. Indexed by instruction index.
+     */
+    const std::vector<std::uint64_t> &executionCounts() const
+    {
+        return execCounts_;
+    }
+
+    const isa::Program &program() const { return prog_; }
+
+  private:
+    StepResult execute(const isa::Instr &in);
+    void branchTo(std::int32_t targetWord);
+
+    TileId id_;
+    mem::TileMemory &mem_;
+    CustomHandler *custom_;
+    MessageHub *hub_;
+
+    isa::Program prog_;
+    std::vector<std::int32_t> wordToIndex_; ///< word addr -> instr idx
+    std::vector<std::uint64_t> execCounts_;
+
+    std::array<Word, numRegs> regs_{};
+    Addr pc_ = 0; ///< word address
+    Cycles time_ = 0;
+    std::uint64_t retired_ = 0;
+    bool halted_ = true;
+    std::uint32_t xbarReg_ = 0;
+
+    StatGroup stats_;
+};
+
+} // namespace stitch::cpu
+
+#endif // STITCH_CPU_CORE_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Glue between a core's CUST instructions and the patch model for
+ * single-tile runs (kernel studies, compiler measurement).
+ *
+ * Fused configurations execute functionally here too — the remote
+ * patch is evaluated combinationally as the sNoC guarantees — but the
+ * remote LMAU is disabled (the mapper never emits remote SPM
+ * accesses; see compiler/mapper.hh).
+ */
+
+#ifndef STITCH_CPU_PATCH_HANDLER_HH
+#define STITCH_CPU_PATCH_HANDLER_HH
+
+#include "core/patch.hh"
+#include "cpu/core.hh"
+#include "mem/tile_memory.hh"
+
+namespace stitch::cpu
+{
+
+/** SpmPort backed by a tile's scratchpad. */
+class TileSpmPort : public core::SpmPort
+{
+  public:
+    explicit TileSpmPort(mem::TileMemory &memory) : mem_(memory) {}
+
+    Word
+    load(Addr a) override
+    {
+        return mem_.spmLoadWord(a);
+    }
+
+    void
+    store(Addr a, Word v) override
+    {
+        mem_.spmStoreWord(a, v);
+    }
+
+  private:
+    mem::TileMemory &mem_;
+};
+
+/**
+ * CustomHandler for a standalone tile hosting one patch of a known
+ * kind. Validates that the binary's configs were compiled for the
+ * patch flavour actually present.
+ */
+class LocalPatchHandler : public CustomHandler
+{
+  public:
+    LocalPatchHandler(core::PatchKind kind, mem::TileMemory &memory)
+        : kind_(kind), spm_(memory)
+    {}
+
+    core::CustResult
+    executeCustom(TileId, std::uint64_t blob,
+                  const std::array<Word, 4> &in) override
+    {
+        auto cfg = core::FusedConfig::unpackBlob(blob);
+        if (cfg.localKind != kind_) {
+            fatal("binary compiled for patch ",
+                  core::patchKindName(cfg.localKind),
+                  " but this tile hosts ", core::patchKindName(kind_));
+        }
+        return core::executeCustom(cfg, in, spm_, &remoteNull_);
+    }
+
+  private:
+    core::PatchKind kind_;
+    TileSpmPort spm_;
+    core::NullSpmPort remoteNull_;
+};
+
+} // namespace stitch::cpu
+
+#endif // STITCH_CPU_PATCH_HANDLER_HH

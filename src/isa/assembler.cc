@@ -1,0 +1,187 @@
+#include "isa/assembler.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace stitch::isa
+{
+
+Label
+Assembler::newLabel()
+{
+    labelTargets_.push_back(-1);
+    return Label{static_cast<int>(labelTargets_.size()) - 1};
+}
+
+void
+Assembler::bind(Label label)
+{
+    STITCH_ASSERT(label.id >= 0 &&
+                  label.id < static_cast<int>(labelTargets_.size()),
+                  "bind of unknown label");
+    STITCH_ASSERT(labelTargets_[static_cast<std::size_t>(label.id)] == -1,
+                  "label bound twice");
+    labelTargets_[static_cast<std::size_t>(label.id)] =
+        static_cast<int>(instrs_.size());
+}
+
+void
+Assembler::lui(RegId rd, std::int32_t v)
+{
+    Instr in;
+    in.op = Opcode::Lui;
+    in.rd0 = rd;
+    in.imm = v;
+    emit(in);
+}
+
+void
+Assembler::li(RegId rd, std::int32_t v)
+{
+    if (fitsSigned(v, 16)) {
+        addi(rd, reg::zero, v);
+        return;
+    }
+    // rd = (v >> 11) << 11, then OR in the low 11 bits. The lui field
+    // is 21 bits so the shifted upper part always fits.
+    auto upper = v >> 11;
+    auto lower = v & 0x7ff;
+    lui(rd, upper);
+    if (lower != 0)
+        ori(rd, rd, lower);
+}
+
+void
+Assembler::sw(RegId value, RegId base, std::int32_t off)
+{
+    Instr in;
+    in.op = Opcode::Sw;
+    in.rs1 = value;
+    in.rs0 = base;
+    in.imm = off;
+    emit(in);
+}
+
+void
+Assembler::sb(RegId value, RegId base, std::int32_t off)
+{
+    Instr in;
+    in.op = Opcode::Sb;
+    in.rs1 = value;
+    in.rs0 = base;
+    in.imm = off;
+    emit(in);
+}
+
+void
+Assembler::jal(RegId rd, Label target)
+{
+    Instr in;
+    in.op = Opcode::Jal;
+    in.rd0 = rd;
+    fixups_.push_back(Fixup{instrs_.size(), target.id, true});
+    emit(in);
+}
+
+void
+Assembler::send(RegId data, RegId dst, std::int32_t tag)
+{
+    Instr in;
+    in.op = Opcode::Send;
+    in.rs0 = data;
+    in.rs1 = dst;
+    in.imm = tag;
+    emit(in);
+}
+
+void
+Assembler::recv(RegId rd, RegId src, std::int32_t tag)
+{
+    Instr in;
+    in.op = Opcode::Recv;
+    in.rd0 = rd;
+    in.rs0 = src;
+    in.imm = tag;
+    emit(in);
+}
+
+void
+Assembler::halt()
+{
+    Instr in;
+    in.op = Opcode::Halt;
+    emit(in);
+}
+
+void
+Assembler::emit(const Instr &in)
+{
+    STITCH_ASSERT(!finished_, "emit after finish()");
+    instrs_.push_back(in);
+}
+
+void
+Assembler::emitR(Opcode op, RegId rd, RegId ra, RegId rb)
+{
+    Instr in;
+    in.op = op;
+    in.rd0 = rd;
+    in.rs0 = ra;
+    in.rs1 = rb;
+    emit(in);
+}
+
+void
+Assembler::emitI(Opcode op, RegId rd, RegId ra, std::int32_t v)
+{
+    Instr in;
+    in.op = op;
+    in.rd0 = rd;
+    in.rs0 = ra;
+    in.imm = v;
+    emit(in);
+}
+
+void
+Assembler::emitBranch(Opcode op, RegId ra, RegId rb, Label target)
+{
+    Instr in;
+    in.op = op;
+    in.rs0 = ra;
+    in.rs1 = rb;
+    fixups_.push_back(Fixup{instrs_.size(), target.id, false});
+    emit(in);
+}
+
+Program
+Assembler::finish()
+{
+    STITCH_ASSERT(!finished_, "finish() called twice");
+    finished_ = true;
+
+    Program p(name_);
+    for (const auto &in : instrs_)
+        p.append(in);
+
+    for (const auto &fix : fixups_) {
+        int target = labelTargets_[static_cast<std::size_t>(fix.labelId)];
+        if (target < 0)
+            fatal("unbound label referenced in ", name_);
+        // Labels bound past the last instruction point one past the end.
+        Addr target_wa =
+            static_cast<std::size_t>(target) < instrs_.size()
+                ? p.wordAddrOf(static_cast<std::size_t>(target))
+                : p.wordCount();
+        Addr self_wa = p.wordAddrOf(fix.instrIdx);
+        Instr &in = p.mutableCode()[fix.instrIdx];
+        if (fix.absolute) {
+            in.imm = static_cast<std::int32_t>(target_wa);
+        } else {
+            in.imm = static_cast<std::int32_t>(target_wa) -
+                     static_cast<std::int32_t>(self_wa);
+        }
+    }
+    return p;
+}
+
+} // namespace stitch::isa

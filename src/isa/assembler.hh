@@ -1,0 +1,180 @@
+/**
+ * @file
+ * An embedded assembler for SW32 with forward labels.
+ *
+ * Kernels in src/kernels/ are written against this builder API; it
+ * stands in for the gcc/gas front-end of the paper's tool chain
+ * (Figure 6). The compiler stages downstream of the front-end operate
+ * on the Program this assembler produces.
+ */
+
+#ifndef STITCH_ISA_ASSEMBLER_HH
+#define STITCH_ISA_ASSEMBLER_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace stitch::isa
+{
+
+/** Conventional register names (purely advisory; r0 is hard zero). */
+namespace reg
+{
+inline constexpr RegId zero = 0;
+inline constexpr RegId ra = 1;   ///< link register
+inline constexpr RegId sp = 2;   ///< stack pointer
+inline constexpr RegId a0 = 3;   ///< arguments / results a0..a5
+inline constexpr RegId a1 = 4;
+inline constexpr RegId a2 = 5;
+inline constexpr RegId a3 = 6;
+inline constexpr RegId a4 = 7;
+inline constexpr RegId a5 = 8;
+inline constexpr RegId t0 = 9;   ///< temporaries t0..t12
+inline constexpr RegId t1 = 10;
+inline constexpr RegId t2 = 11;
+inline constexpr RegId t3 = 12;
+inline constexpr RegId t4 = 13;
+inline constexpr RegId t5 = 14;
+inline constexpr RegId t6 = 15;
+inline constexpr RegId t7 = 16;
+inline constexpr RegId t8 = 17;
+inline constexpr RegId t9 = 18;
+inline constexpr RegId t10 = 19;
+inline constexpr RegId t11 = 20;
+inline constexpr RegId t12 = 21;
+inline constexpr RegId s0 = 22;  ///< saved s0..s9
+inline constexpr RegId s1 = 23;
+inline constexpr RegId s2 = 24;
+inline constexpr RegId s3 = 25;
+inline constexpr RegId s4 = 26;
+inline constexpr RegId s5 = 27;
+inline constexpr RegId s6 = 28;
+inline constexpr RegId s7 = 29;
+inline constexpr RegId s8 = 30;
+inline constexpr RegId s9 = 31;
+} // namespace reg
+
+/** Opaque handle to an assembler label. */
+struct Label
+{
+    int id = -1;
+};
+
+/**
+ * Builder of SW32 Programs. Usage:
+ * @code
+ *   Assembler a("fir");
+ *   Label loop = a.newLabel();
+ *   a.li(reg::t0, 0);
+ *   a.bind(loop);
+ *   ...
+ *   a.bne(reg::t0, reg::t1, loop);
+ *   a.halt();
+ *   Program p = a.finish();
+ * @endcode
+ */
+class Assembler
+{
+  public:
+    explicit Assembler(std::string name) : name_(std::move(name)) {}
+
+    /** Create a label that can be referenced before it is bound. */
+    Label newLabel();
+
+    /** Bind `label` to the current position. */
+    void bind(Label label);
+
+    // --- register-register ALU ------------------------------------
+    void add(RegId rd, RegId ra, RegId rb) { emitR(Opcode::Add, rd, ra, rb); }
+    void sub(RegId rd, RegId ra, RegId rb) { emitR(Opcode::Sub, rd, ra, rb); }
+    void and_(RegId rd, RegId ra, RegId rb) { emitR(Opcode::And, rd, ra, rb); }
+    void or_(RegId rd, RegId ra, RegId rb) { emitR(Opcode::Or, rd, ra, rb); }
+    void xor_(RegId rd, RegId ra, RegId rb) { emitR(Opcode::Xor, rd, ra, rb); }
+    void sll(RegId rd, RegId ra, RegId rb) { emitR(Opcode::Sll, rd, ra, rb); }
+    void srl(RegId rd, RegId ra, RegId rb) { emitR(Opcode::Srl, rd, ra, rb); }
+    void sra(RegId rd, RegId ra, RegId rb) { emitR(Opcode::Sra, rd, ra, rb); }
+    void mul(RegId rd, RegId ra, RegId rb) { emitR(Opcode::Mul, rd, ra, rb); }
+    void slt(RegId rd, RegId ra, RegId rb) { emitR(Opcode::Slt, rd, ra, rb); }
+    void sltu(RegId rd, RegId ra, RegId rb) { emitR(Opcode::Sltu, rd, ra, rb); }
+
+    // --- register-immediate ALU ------------------------------------
+    void addi(RegId rd, RegId ra, std::int32_t v) { emitI(Opcode::Addi, rd, ra, v); }
+    void andi(RegId rd, RegId ra, std::int32_t v) { emitI(Opcode::Andi, rd, ra, v); }
+    void ori(RegId rd, RegId ra, std::int32_t v) { emitI(Opcode::Ori, rd, ra, v); }
+    void xori(RegId rd, RegId ra, std::int32_t v) { emitI(Opcode::Xori, rd, ra, v); }
+    void slli(RegId rd, RegId ra, std::int32_t v) { emitI(Opcode::Slli, rd, ra, v); }
+    void srli(RegId rd, RegId ra, std::int32_t v) { emitI(Opcode::Srli, rd, ra, v); }
+    void srai(RegId rd, RegId ra, std::int32_t v) { emitI(Opcode::Srai, rd, ra, v); }
+    void slti(RegId rd, RegId ra, std::int32_t v) { emitI(Opcode::Slti, rd, ra, v); }
+
+    /** Load upper immediate: rd = v << 11 (21-bit field). */
+    void lui(RegId rd, std::int32_t v);
+
+    /** Pseudo: load any 32-bit constant (expands to lui/ori as needed). */
+    void li(RegId rd, std::int32_t v);
+
+    /** Pseudo: register move (addi rd, ra, 0). */
+    void mov(RegId rd, RegId ra) { addi(rd, ra, 0); }
+
+    // --- memory -----------------------------------------------------
+    void lw(RegId rd, RegId base, std::int32_t off) { emitI(Opcode::Lw, rd, base, off); }
+    void lb(RegId rd, RegId base, std::int32_t off) { emitI(Opcode::Lb, rd, base, off); }
+    void sw(RegId value, RegId base, std::int32_t off);
+    void sb(RegId value, RegId base, std::int32_t off);
+
+    // --- control flow ------------------------------------------------
+    void beq(RegId ra, RegId rb, Label target) { emitBranch(Opcode::Beq, ra, rb, target); }
+    void bne(RegId ra, RegId rb, Label target) { emitBranch(Opcode::Bne, ra, rb, target); }
+    void blt(RegId ra, RegId rb, Label target) { emitBranch(Opcode::Blt, ra, rb, target); }
+    void bge(RegId ra, RegId rb, Label target) { emitBranch(Opcode::Bge, ra, rb, target); }
+    void bltu(RegId ra, RegId rb, Label target) { emitBranch(Opcode::Bltu, ra, rb, target); }
+    void bgeu(RegId ra, RegId rb, Label target) { emitBranch(Opcode::Bgeu, ra, rb, target); }
+
+    /** Unconditional jump (jal r0). */
+    void jmp(Label target) { jal(reg::zero, target); }
+    void jal(RegId rd, Label target);
+    void jalr(RegId rd, RegId base, std::int32_t off) { emitI(Opcode::Jalr, rd, base, off); }
+
+    // --- message passing ----------------------------------------------
+    /** Send the word in `data` to tile held in register `dst`, with tag. */
+    void send(RegId data, RegId dst, std::int32_t tag);
+    /** Blocking receive of a word from tile in register `src`, with tag. */
+    void recv(RegId rd, RegId src, std::int32_t tag);
+
+    // --- misc -----------------------------------------------------------
+    void nop() { emit(Instr{}); }
+    void halt();
+
+    /** Raw emission (used by tests and the compiler's rewriter). */
+    void emit(const Instr &in);
+
+    /** Number of instructions emitted so far. */
+    std::size_t size() const { return instrs_.size(); }
+
+    /** Resolve labels and produce the Program. */
+    Program finish();
+
+  private:
+    struct Fixup
+    {
+        std::size_t instrIdx;
+        int labelId;
+        bool absolute; ///< jal targets are absolute word addresses
+    };
+
+    void emitR(Opcode op, RegId rd, RegId ra, RegId rb);
+    void emitI(Opcode op, RegId rd, RegId ra, std::int32_t v);
+    void emitBranch(Opcode op, RegId ra, RegId rb, Label target);
+
+    std::string name_;
+    std::vector<Instr> instrs_;
+    std::vector<int> labelTargets_;  ///< per label: instr index or -1
+    std::vector<Fixup> fixups_;
+    bool finished_ = false;
+};
+
+} // namespace stitch::isa
+
+#endif // STITCH_ISA_ASSEMBLER_HH

@@ -1,0 +1,318 @@
+#include "isa/isa.hh"
+
+#include <array>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace stitch::isa
+{
+
+namespace
+{
+
+struct OpInfo
+{
+    const char *name;
+    Format format;
+};
+
+constexpr int numOps = static_cast<int>(Opcode::NumOpcodes);
+
+const std::array<OpInfo, numOps> opTable = {{
+    {"nop",  Format::N},
+    {"halt", Format::N},
+    {"add",  Format::R},
+    {"sub",  Format::R},
+    {"and",  Format::R},
+    {"or",   Format::R},
+    {"xor",  Format::R},
+    {"sll",  Format::R},
+    {"srl",  Format::R},
+    {"sra",  Format::R},
+    {"mul",  Format::R},
+    {"slt",  Format::R},
+    {"sltu", Format::R},
+    {"addi", Format::I},
+    {"andi", Format::I},
+    {"ori",  Format::I},
+    {"xori", Format::I},
+    {"slli", Format::I},
+    {"srli", Format::I},
+    {"srai", Format::I},
+    {"slti", Format::I},
+    {"lui",  Format::J},
+    {"lw",   Format::I},
+    {"sw",   Format::S},
+    {"lb",   Format::I},
+    {"sb",   Format::S},
+    {"beq",  Format::B},
+    {"bne",  Format::B},
+    {"blt",  Format::B},
+    {"bge",  Format::B},
+    {"bltu", Format::B},
+    {"bgeu", Format::B},
+    {"jal",  Format::J},
+    {"jalr", Format::I},
+    {"send", Format::B},
+    {"recv", Format::I},
+    {"cust", Format::C},
+}};
+
+const OpInfo &
+info(Opcode op)
+{
+    auto idx = static_cast<int>(op);
+    STITCH_ASSERT(idx >= 0 && idx < numOps, "bad opcode ", idx);
+    return opTable[static_cast<std::size_t>(idx)];
+}
+
+} // namespace
+
+Format
+formatOf(Opcode op)
+{
+    return info(op).format;
+}
+
+const char *
+mnemonic(Opcode op)
+{
+    return info(op).name;
+}
+
+bool
+isMemOp(Opcode op)
+{
+    return op == Opcode::Lw || op == Opcode::Sw || op == Opcode::Lb ||
+           op == Opcode::Sb;
+}
+
+bool
+isControlOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Bltu:
+      case Opcode::Bgeu:
+      case Opcode::Jal:
+      case Opcode::Jalr:
+      case Opcode::Halt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isAluRegOp(Opcode op)
+{
+    auto v = static_cast<int>(op);
+    return v >= static_cast<int>(Opcode::Add) &&
+           v <= static_cast<int>(Opcode::Sltu);
+}
+
+bool
+isAluImmOp(Opcode op)
+{
+    auto v = static_cast<int>(op);
+    return v >= static_cast<int>(Opcode::Addi) &&
+           v <= static_cast<int>(Opcode::Slti);
+}
+
+namespace
+{
+
+void
+checkReg(RegId r)
+{
+    STITCH_ASSERT(r >= 0 && r < numRegs, "bad register r", r);
+}
+
+} // namespace
+
+int
+encode(const Instr &in, std::vector<Word> &out)
+{
+    const auto opfield = static_cast<std::uint32_t>(in.op);
+    Word w = insertBits(0, 26, 6, opfield);
+
+    switch (formatOf(in.op)) {
+      case Format::N:
+        out.push_back(w);
+        return 1;
+
+      case Format::R:
+        checkReg(in.rd0);
+        checkReg(in.rs0);
+        checkReg(in.rs1);
+        w = insertBits(w, 21, 5, static_cast<std::uint32_t>(in.rd0));
+        w = insertBits(w, 16, 5, static_cast<std::uint32_t>(in.rs0));
+        w = insertBits(w, 11, 5, static_cast<std::uint32_t>(in.rs1));
+        out.push_back(w);
+        return 1;
+
+      case Format::I:
+        checkReg(in.rd0);
+        checkReg(in.rs0);
+        if (!fitsSigned(in.imm, 16))
+            fatal("imm ", in.imm, " out of range for ", mnemonic(in.op));
+        w = insertBits(w, 21, 5, static_cast<std::uint32_t>(in.rd0));
+        w = insertBits(w, 16, 5, static_cast<std::uint32_t>(in.rs0));
+        w = insertBits(w, 0, 16, static_cast<std::uint32_t>(in.imm) &
+                                     0xffffu);
+        out.push_back(w);
+        return 1;
+
+      case Format::S:
+        checkReg(in.rs0);
+        checkReg(in.rs1);
+        if (!fitsSigned(in.imm, 16))
+            fatal("imm ", in.imm, " out of range for ", mnemonic(in.op));
+        w = insertBits(w, 21, 5, static_cast<std::uint32_t>(in.rs1));
+        w = insertBits(w, 16, 5, static_cast<std::uint32_t>(in.rs0));
+        w = insertBits(w, 0, 16, static_cast<std::uint32_t>(in.imm) &
+                                     0xffffu);
+        out.push_back(w);
+        return 1;
+
+      case Format::B:
+        checkReg(in.rs0);
+        checkReg(in.rs1);
+        if (!fitsSigned(in.imm, 16))
+            fatal("imm ", in.imm, " out of range for ", mnemonic(in.op));
+        w = insertBits(w, 21, 5, static_cast<std::uint32_t>(in.rs0));
+        w = insertBits(w, 16, 5, static_cast<std::uint32_t>(in.rs1));
+        w = insertBits(w, 0, 16, static_cast<std::uint32_t>(in.imm) &
+                                     0xffffu);
+        out.push_back(w);
+        return 1;
+
+      case Format::J:
+        checkReg(in.rd0);
+        if (!fitsSigned(in.imm, 21))
+            fatal("imm ", in.imm, " out of range for ", mnemonic(in.op));
+        w = insertBits(w, 21, 5, static_cast<std::uint32_t>(in.rd0));
+        w = insertBits(w, 0, 21, static_cast<std::uint32_t>(in.imm) &
+                                     0x1fffffu);
+        out.push_back(w);
+        return 1;
+
+      case Format::C: {
+        checkReg(in.rd0);
+        checkReg(in.rd1);
+        checkReg(in.rs0);
+        checkReg(in.rs1);
+        checkReg(in.rs2);
+        checkReg(in.rs3);
+        STITCH_ASSERT(fitsUnsigned(in.cfg, 12),
+                      "cfg index ", in.cfg, " exceeds 12 bits");
+        w = insertBits(w, 21, 5, static_cast<std::uint32_t>(in.rd0));
+        w = insertBits(w, 16, 5, static_cast<std::uint32_t>(in.rd1));
+        w = insertBits(w, 11, 5, static_cast<std::uint32_t>(in.rs0));
+        w = insertBits(w, 6, 5, static_cast<std::uint32_t>(in.rs1));
+        w = insertBits(w, 0, 6, extractBits(in.cfg, 0, 6));
+        Word w2 = 0;
+        w2 = insertBits(w2, 27, 5, static_cast<std::uint32_t>(in.rs2));
+        w2 = insertBits(w2, 22, 5, static_cast<std::uint32_t>(in.rs3));
+        w2 = insertBits(w2, 16, 6, extractBits(in.cfg, 6, 6));
+        out.push_back(w);
+        out.push_back(w2);
+        return 2;
+      }
+    }
+    STITCH_PANIC("unreachable");
+}
+
+Instr
+decode(const std::vector<Word> &words, std::size_t idx, int *consumed)
+{
+    STITCH_ASSERT(idx < words.size(), "decode past end of image");
+    const Word w = words[idx];
+    Instr in;
+    auto opfield = extractBits(w, 26, 6);
+    if (opfield >= static_cast<std::uint32_t>(Opcode::NumOpcodes))
+        fatal("undefined opcode field ", opfield);
+    in.op = static_cast<Opcode>(opfield);
+
+    int used = 1;
+    switch (formatOf(in.op)) {
+      case Format::N:
+        break;
+      case Format::R:
+        in.rd0 = static_cast<RegId>(extractBits(w, 21, 5));
+        in.rs0 = static_cast<RegId>(extractBits(w, 16, 5));
+        in.rs1 = static_cast<RegId>(extractBits(w, 11, 5));
+        break;
+      case Format::I:
+        in.rd0 = static_cast<RegId>(extractBits(w, 21, 5));
+        in.rs0 = static_cast<RegId>(extractBits(w, 16, 5));
+        in.imm = signExtend(extractBits(w, 0, 16), 16);
+        break;
+      case Format::S:
+        in.rs1 = static_cast<RegId>(extractBits(w, 21, 5));
+        in.rs0 = static_cast<RegId>(extractBits(w, 16, 5));
+        in.imm = signExtend(extractBits(w, 0, 16), 16);
+        break;
+      case Format::B:
+        in.rs0 = static_cast<RegId>(extractBits(w, 21, 5));
+        in.rs1 = static_cast<RegId>(extractBits(w, 16, 5));
+        in.imm = signExtend(extractBits(w, 0, 16), 16);
+        break;
+      case Format::J:
+        in.rd0 = static_cast<RegId>(extractBits(w, 21, 5));
+        in.imm = signExtend(extractBits(w, 0, 21), 21);
+        break;
+      case Format::C: {
+        STITCH_ASSERT(idx + 1 < words.size(),
+                      "truncated two-word CUST instruction");
+        const Word w2 = words[idx + 1];
+        in.rd0 = static_cast<RegId>(extractBits(w, 21, 5));
+        in.rd1 = static_cast<RegId>(extractBits(w, 16, 5));
+        in.rs0 = static_cast<RegId>(extractBits(w, 11, 5));
+        in.rs1 = static_cast<RegId>(extractBits(w, 6, 5));
+        in.rs2 = static_cast<RegId>(extractBits(w2, 27, 5));
+        in.rs3 = static_cast<RegId>(extractBits(w2, 22, 5));
+        in.cfg = static_cast<std::uint16_t>(
+            extractBits(w, 0, 6) | (extractBits(w2, 16, 6) << 6));
+        used = 2;
+        break;
+      }
+    }
+    if (consumed)
+        *consumed = used;
+    return in;
+}
+
+std::string
+toString(const Instr &in)
+{
+    const char *m = mnemonic(in.op);
+    switch (formatOf(in.op)) {
+      case Format::N:
+        return m;
+      case Format::R:
+        return strformat("%s r%d, r%d, r%d", m, in.rd0, in.rs0, in.rs1);
+      case Format::I:
+        if (in.op == Opcode::Lw || in.op == Opcode::Lb)
+            return strformat("%s r%d, %d(r%d)", m, in.rd0, in.imm, in.rs0);
+        return strformat("%s r%d, r%d, %d", m, in.rd0, in.rs0, in.imm);
+      case Format::S:
+        return strformat("%s r%d, %d(r%d)", m, in.rs1, in.imm, in.rs0);
+      case Format::B:
+        return strformat("%s r%d, r%d, %d", m, in.rs0, in.rs1, in.imm);
+      case Format::J:
+        return strformat("%s r%d, %d", m, in.rd0, in.imm);
+      case Format::C:
+        return strformat(
+            "%s (r%d,r%d) <- cfg%u (r%d,r%d,r%d,r%d)", m, in.rd0,
+            in.rd1, in.cfg, in.rs0, in.rs1, in.rs2, in.rs3);
+    }
+    STITCH_PANIC("unreachable");
+}
+
+} // namespace stitch::isa

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * SW32: the instruction set of the Stitch cores.
+ *
+ * SW32 is a small 32-bit RISC ISA standing in for the ARM-compatible
+ * Amber core of the paper. It has 32 registers (r0 hard-wired to zero),
+ * fixed 32-bit instruction words, and two extensions that carry the
+ * paper's contribution:
+ *
+ *  - CUST: a two-word custom instruction (paper Section III-A) with up
+ *    to four register sources and two register destinations. The 19-bit
+ *    patch control words it triggers are held in a per-program ISE
+ *    configuration table referenced by a 12-bit index (see
+ *    core/patch_config.hh for why the control bits live in a preset
+ *    table rather than inline).
+ *  - SEND/RECV: register-level message passing over the inter-core NoC
+ *    (the paper's MPI-lite layer [51]).
+ */
+
+#ifndef STITCH_ISA_ISA_HH
+#define STITCH_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace stitch::isa
+{
+
+/** Every SW32 opcode. Order is the binary encoding (6-bit field). */
+enum class Opcode : std::uint8_t
+{
+    Nop = 0,
+    Halt,
+
+    // Register-register ALU (R format)
+    Add, Sub, And, Or, Xor, Sll, Srl, Sra, Mul, Slt, Sltu,
+
+    // Register-immediate ALU (I format)
+    Addi, Andi, Ori, Xori, Slli, Srli, Srai, Slti,
+
+    // Upper immediate (J format: rd0 + 21-bit immediate)
+    Lui,
+
+    // Memory (I format loads, S format stores)
+    Lw, Sw, Lb, Sb,
+
+    // Control flow (B format branches, J format jal, I format jalr)
+    Beq, Bne, Blt, Bge, Bltu, Bgeu, Jal, Jalr,
+
+    // Message passing (B format send, I format recv)
+    Send, Recv,
+
+    // Two-word custom (patch) instruction
+    Cust,
+
+    NumOpcodes
+};
+
+/** Operand layout of an opcode's binary encoding. */
+enum class Format
+{
+    N, ///< no operands (nop, halt)
+    R, ///< rd0, rs0, rs1
+    I, ///< rd0, rs0, imm16  (also jalr, recv)
+    S, ///< rs1 (value), rs0 (base), imm16
+    B, ///< rs0, rs1, imm16  (branches: signed word offset; send)
+    J, ///< rd0, imm21       (jal: absolute word address; lui)
+    C, ///< two words: rd0, rd1, rs0..rs3, cfg12
+};
+
+/** Binary-encoding layout for `op`. */
+Format formatOf(Opcode op);
+
+/** Lower-case mnemonic for `op`. */
+const char *mnemonic(Opcode op);
+
+/**
+ * One decoded SW32 instruction.
+ *
+ * This is the IR that the assembler produces, the compiler rewrites,
+ * and the core executes; encode()/decode() map it to/from raw words.
+ * Unused fields are zero.
+ */
+struct Instr
+{
+    Opcode op = Opcode::Nop;
+
+    RegId rd0 = 0;  ///< first destination
+    RegId rd1 = 0;  ///< second destination (CUST only)
+    RegId rs0 = 0;  ///< first source / base address register
+    RegId rs1 = 0;  ///< second source / store value register
+    RegId rs2 = 0;  ///< third source (CUST only)
+    RegId rs3 = 0;  ///< fourth source (CUST only)
+
+    /**
+     * Immediate. Branches: signed word offset from this instruction's
+     * address. Jal: absolute word address. Send/Recv: message tag.
+     */
+    std::int32_t imm = 0;
+
+    /** CUST: index into the program's ISE configuration table. */
+    std::uint16_t cfg = 0;
+
+    /** Size of the instruction in 32-bit words (CUST is 2). */
+    int wordSize() const { return op == Opcode::Cust ? 2 : 1; }
+
+    bool operator==(const Instr &) const = default;
+};
+
+/** True for opcodes that read or write data memory. */
+bool isMemOp(Opcode op);
+
+/** True for opcodes that may redirect the PC. */
+bool isControlOp(Opcode op);
+
+/** True for the register-register ALU group. */
+bool isAluRegOp(Opcode op);
+
+/** True for the register-immediate ALU group. */
+bool isAluImmOp(Opcode op);
+
+/**
+ * Encode `in` into 32-bit words appended to `out`.
+ * @return number of words written (1, or 2 for CUST).
+ */
+int encode(const Instr &in, std::vector<Word> &out);
+
+/**
+ * Decode one instruction starting at words[idx].
+ * @return the decoded instruction; advances *consumed by 1 or 2.
+ */
+Instr decode(const std::vector<Word> &words, std::size_t idx,
+             int *consumed);
+
+/** Render one instruction as assembly text. */
+std::string toString(const Instr &in);
+
+} // namespace stitch::isa
+
+#endif // STITCH_ISA_ISA_HH

@@ -1,0 +1,111 @@
+#include "isa/program.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace stitch::isa
+{
+
+void
+Program::refreshLayout()
+{
+    wordCount_ = 0;
+    for (const auto &in : code_)
+        wordCount_ += static_cast<Addr>(in.wordSize());
+    wordAddrCache_.clear();
+}
+
+void
+Program::rebuildCache() const
+{
+    wordAddrCache_.clear();
+    wordAddrCache_.reserve(code_.size());
+    Addr at = 0;
+    for (const auto &in : code_) {
+        wordAddrCache_.push_back(at);
+        at += static_cast<Addr>(in.wordSize());
+    }
+}
+
+Addr
+Program::wordAddrOf(std::size_t idx) const
+{
+    if (wordAddrCache_.size() != code_.size())
+        rebuildCache();
+    STITCH_ASSERT(idx < wordAddrCache_.size());
+    return wordAddrCache_[idx];
+}
+
+std::size_t
+Program::indexOfWordAddr(Addr wa) const
+{
+    if (wordAddrCache_.size() != code_.size())
+        rebuildCache();
+    // Binary search over the monotonically increasing address cache.
+    std::size_t lo = 0, hi = wordAddrCache_.size();
+    while (lo < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (wordAddrCache_[mid] < wa)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo >= wordAddrCache_.size() || wordAddrCache_[lo] != wa)
+        fatal("word address ", wa, " is not an instruction boundary in ",
+              name_);
+    return lo;
+}
+
+void
+Program::addDataWords(Addr base, const std::vector<Word> &words)
+{
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(words.size() * 4);
+    for (Word w : words) {
+        bytes.push_back(static_cast<std::uint8_t>(w & 0xff));
+        bytes.push_back(static_cast<std::uint8_t>((w >> 8) & 0xff));
+        bytes.push_back(static_cast<std::uint8_t>((w >> 16) & 0xff));
+        bytes.push_back(static_cast<std::uint8_t>((w >> 24) & 0xff));
+    }
+    addData(base, std::move(bytes));
+}
+
+std::vector<Word>
+Program::encodeImage() const
+{
+    std::vector<Word> image;
+    image.reserve(wordCount_);
+    for (const auto &in : code_)
+        encode(in, image);
+    return image;
+}
+
+Program
+Program::fromImage(const std::string &name, const std::vector<Word> &image)
+{
+    Program p(name);
+    std::size_t idx = 0;
+    while (idx < image.size()) {
+        int used = 0;
+        Instr in = decode(image, idx, &used);
+        p.append(in);
+        idx += static_cast<std::size_t>(used);
+    }
+    return p;
+}
+
+std::string
+Program::listing() const
+{
+    std::ostringstream os;
+    os << "; program " << name_ << " (" << wordCount_ << " words)\n";
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+        os << strformat("%6u:  ", wordAddrOf(i)) << toString(code_[i])
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace stitch::isa

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A loadable SW32 program: code, initial data image, and the ISE
+ * configuration table referenced by CUST instructions.
+ */
+
+#ifndef STITCH_ISA_PROGRAM_HH
+#define STITCH_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace stitch::isa
+{
+
+/** A chunk of initialized data memory. */
+struct DataSegment
+{
+    Addr base = 0;
+    std::vector<std::uint8_t> bytes;
+};
+
+/**
+ * A complete kernel binary.
+ *
+ * Code is held in decoded form (the compiler's IR); encodeImage()
+ * produces the raw word image and fromImage() round-trips it back.
+ * CUST instructions reference entries of iseTable by index; each entry
+ * is a packed fused-configuration blob built by core/patch_config
+ * (the table plays the role of the paper's preset configuration state:
+ * control bits are fixed before the application launches, exactly like
+ * the memory-mapped crossbar configuration registers of Section
+ * III-B).
+ */
+class Program
+{
+  public:
+    Program() = default;
+    explicit Program(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+
+    /** Append an instruction; returns its word address. */
+    Addr
+    append(const Instr &in)
+    {
+        Addr at = wordCount_;
+        code_.push_back(in);
+        wordCount_ += static_cast<Addr>(in.wordSize());
+        return at;
+    }
+
+    /** All instructions in program order. */
+    const std::vector<Instr> &code() const { return code_; }
+
+    /** Mutable access for the compiler's rewriter. */
+    std::vector<Instr> &mutableCode() { return code_; }
+
+    /** Recompute cached word addresses after a rewrite. */
+    void refreshLayout();
+
+    /** Total size of the code image in words. */
+    Addr wordCount() const { return wordCount_; }
+
+    /** Word address of instruction index `idx`. */
+    Addr wordAddrOf(std::size_t idx) const;
+
+    /** Index of the instruction that starts at word address `wa`. */
+    std::size_t indexOfWordAddr(Addr wa) const;
+
+    /** Add an initialized data segment. */
+    void
+    addData(Addr base, std::vector<std::uint8_t> bytes)
+    {
+        data_.push_back(DataSegment{base, std::move(bytes)});
+    }
+
+    /** Convenience: add a segment of little-endian words. */
+    void addDataWords(Addr base, const std::vector<Word> &words);
+
+    const std::vector<DataSegment> &data() const { return data_; }
+
+    /** Append an ISE configuration blob; returns its table index. */
+    std::uint16_t
+    addIseConfig(std::uint64_t blob)
+    {
+        iseTable_.push_back(blob);
+        return static_cast<std::uint16_t>(iseTable_.size() - 1);
+    }
+
+    const std::vector<std::uint64_t> &iseTable() const { return iseTable_; }
+
+    /** Encode the code into its binary word image. */
+    std::vector<Word> encodeImage() const;
+
+    /** Decode a binary word image back into a Program (code only). */
+    static Program fromImage(const std::string &name,
+                             const std::vector<Word> &image);
+
+    /** Disassembly listing for debugging. */
+    std::string listing() const;
+
+  private:
+    std::string name_;
+    std::vector<Instr> code_;
+    std::vector<DataSegment> data_;
+    std::vector<std::uint64_t> iseTable_;
+    Addr wordCount_ = 0;
+    mutable std::vector<Addr> wordAddrCache_;
+    void rebuildCache() const;
+};
+
+} // namespace stitch::isa
+
+#endif // STITCH_ISA_PROGRAM_HH

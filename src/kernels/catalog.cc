@@ -1,0 +1,45 @@
+#include "kernels/catalog.hh"
+
+#include "common/logging.hh"
+
+namespace stitch::kernels
+{
+
+const std::vector<KernelFactory> &
+kernelCatalog()
+{
+    static const std::vector<KernelFactory> catalog = {
+        {"fft", buildFft},
+        {"ifft", buildIfft},
+        {"fir", buildFir},
+        {"filter", buildFilter},
+        {"update", buildUpdateFeature},
+        {"conv2d", buildConv2d},
+        {"conv2d10", buildConv2dSmall},
+        {"sobel", buildSobel},
+        {"pooling", buildPooling},
+        {"matmul", buildMatmul},
+        {"fc", buildFc},
+        {"dtw", buildDtw},
+        {"aes", buildAes},
+        {"histogram", buildHistogram},
+        {"svm", buildSvm},
+        {"astar", buildAstar},
+        {"crc", buildCrc},
+        {"viterbi", buildViterbi},
+        {"kmeans", buildKmeans},
+        {"iir", buildIir},
+    };
+    return catalog;
+}
+
+const KernelFactory &
+kernelByName(const std::string &name)
+{
+    for (const auto &factory : kernelCatalog())
+        if (factory.name == name)
+            return factory;
+    fatal("unknown kernel: ", name);
+}
+
+} // namespace stitch::kernels

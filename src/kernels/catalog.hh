@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The wearable kernel catalog: every kernel of the suite with its
+ * builder, addressable by name (used by Fig. 11 and the application
+ * graphs of Fig. 9).
+ */
+
+#ifndef STITCH_KERNELS_CATALOG_HH
+#define STITCH_KERNELS_CATALOG_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernels/kernel.hh"
+
+namespace stitch::kernels
+{
+
+// DSP kernels (dsp.cc)
+compiler::KernelInput buildFft(const PipelineShape &shape);
+compiler::KernelInput buildIfft(const PipelineShape &shape);
+compiler::KernelInput buildFir(const PipelineShape &shape);
+compiler::KernelInput buildFilter(const PipelineShape &shape);
+compiler::KernelInput buildUpdateFeature(const PipelineShape &shape);
+
+// Vision kernels (vision.cc)
+compiler::KernelInput buildConv2d(const PipelineShape &shape);
+compiler::KernelInput buildConv2dSized(const PipelineShape &shape, int dim);
+compiler::KernelInput buildConv2dSmall(const PipelineShape &shape);
+compiler::KernelInput buildSobel(const PipelineShape &shape);
+compiler::KernelInput buildPooling(const PipelineShape &shape);
+compiler::KernelInput buildMatmul(const PipelineShape &shape);
+compiler::KernelInput buildFc(const PipelineShape &shape);
+
+// Extended kernels (extra.cc)
+compiler::KernelInput buildViterbi(const PipelineShape &shape);
+compiler::KernelInput buildKmeans(const PipelineShape &shape);
+compiler::KernelInput buildIir(const PipelineShape &shape);
+
+// Misc kernels (misc.cc)
+compiler::KernelInput buildDtw(const PipelineShape &shape);
+compiler::KernelInput buildAes(const PipelineShape &shape);
+compiler::KernelInput buildHistogram(const PipelineShape &shape);
+compiler::KernelInput buildSvm(const PipelineShape &shape);
+compiler::KernelInput buildAstar(const PipelineShape &shape);
+compiler::KernelInput buildCrc(const PipelineShape &shape);
+
+/** A named kernel builder. */
+struct KernelFactory
+{
+    std::string name;
+    std::function<compiler::KernelInput(const PipelineShape &)> build;
+};
+
+/** All kernels, in the order used by the Fig. 11 study. */
+const std::vector<KernelFactory> &kernelCatalog();
+
+/** Lookup by name; fatal if unknown. */
+const KernelFactory &kernelByName(const std::string &name);
+
+} // namespace stitch::kernels
+
+#endif // STITCH_KERNELS_CATALOG_HH

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Signal-processing kernels: FFT, IFFT (+update post-pass), FIR,
+ * spectral filter, and the gesture app's update-feature kernel.
+ *
+ * All arrays live in the 4 KB scratchpad (paper Section III-C) and
+ * are addressed through the s2..s5 base registers, which are declared
+ * to the compiler as SPM pointers.
+ */
+
+#include "kernels/catalog.hh"
+
+#include "kernels/golden.hh"
+#include "mem/addrmap.hh"
+
+namespace stitch::kernels
+{
+
+using namespace isa::reg;
+
+namespace
+{
+
+constexpr auto spm = static_cast<std::int32_t>(mem::spmBase);
+
+/** Emit the in-place 64-point radix-2 DIT FFT body.
+ *  Expects s2=re, s3=im, s4=wre, s5=wim. Clobbers t0..t11, a3..a5. */
+void
+emitFft64(isa::Assembler &a)
+{
+    auto outer = a.newLabel();
+    auto iloop = a.newLabel();
+    auto jloop = a.newLabel();
+
+    a.li(t8, 8);    // len*4
+    a.li(t10, 128); // twiddle stride in bytes
+    a.bind(outer);
+    a.srli(t9, t8, 1); // half*4
+    a.li(a4, 0);       // i*4
+    a.bind(iloop);
+    a.li(a5, 0); // j*4
+    a.li(a3, 0); // twiddle byte offset
+    a.bind(jloop);
+    a.add(t0, a4, a5); // offset of element a
+    a.add(t1, t0, t9); // offset of element b
+    a.add(t2, s4, a3);
+    a.lw(t3, t2, 0); // wr
+    a.add(t2, s5, a3);
+    a.lw(t4, t2, 0); // wi
+    a.add(t2, s2, t1);
+    a.lw(t5, t2, 0); // br
+    a.add(t2, s3, t1);
+    a.lw(t6, t2, 0); // bi
+    a.mul(t7, t3, t5);
+    a.mul(t11, t4, t6);
+    a.sub(t7, t7, t11);
+    a.srai(t7, t7, 14); // tr
+    a.mul(t11, t3, t6);
+    a.mul(t3, t4, t5);
+    a.add(t11, t11, t3);
+    a.srai(t11, t11, 14); // ti
+    a.add(t2, s2, t0);
+    a.lw(t4, t2, 0); // ar
+    a.add(t2, s3, t0);
+    a.lw(t5, t2, 0); // ai
+    a.sub(t6, t4, t7);
+    a.add(t2, s2, t1);
+    a.sw(t6, t2, 0); // re[b] = ar - tr
+    a.sub(t6, t5, t11);
+    a.add(t2, s3, t1);
+    a.sw(t6, t2, 0); // im[b] = ai - ti
+    a.add(t6, t4, t7);
+    a.add(t2, s2, t0);
+    a.sw(t6, t2, 0); // re[a] = ar + tr
+    a.add(t6, t5, t11);
+    a.add(t2, s3, t0);
+    a.sw(t6, t2, 0); // im[a] = ai + ti
+    a.add(a3, a3, t10);
+    a.addi(a5, a5, 4);
+    a.blt(a5, t9, jloop);
+    a.add(a4, a4, t8);
+    a.addi(t2, zero, 256);
+    a.blt(a4, t2, iloop);
+    a.slli(t8, t8, 1);
+    a.srli(t10, t10, 1);
+    a.addi(t2, zero, 256);
+    a.bge(t2, t8, outer);
+}
+
+compiler::KernelInput
+buildFftLike(const std::string &name, const PipelineShape &shape,
+             bool inverse)
+{
+    KernelBuilder kb(name, shape);
+    auto &a = kb.a();
+
+    a.li(s2, spm);       // re[64]
+    a.li(s3, spm + 256); // im[64]
+    a.li(s4, spm + 512); // wre[32]
+    a.li(s5, spm + 640); // wim[32]
+
+    kb.beginSample();
+    emitFft64(a);
+
+    if (inverse) {
+        // Scale by 1/64 and accumulate Q14 magnitudes (the extra
+        // update processing that makes IFFT the longer kernel,
+        // Section V).
+        auto post = a.newLabel();
+        a.li(a4, 0);
+        a.li(a0, 0);
+        a.bind(post);
+        a.add(t2, s2, a4);
+        a.lw(t0, t2, 0);
+        a.srai(t0, t0, 6);
+        a.sw(t0, t2, 0);
+        a.add(t2, s3, a4);
+        a.lw(t1, t2, 0);
+        a.srai(t1, t1, 6);
+        a.sw(t1, t2, 0);
+        a.mul(t3, t0, t0);
+        a.mul(t4, t1, t1);
+        a.add(t3, t3, t4);
+        a.srai(t3, t3, 14);
+        a.add(a0, a0, t3);
+        a.addi(a4, a4, 4);
+        a.addi(t2, zero, 256);
+        a.blt(a4, t2, post);
+        // Update passes (exponential smoothing of magnitudes, one per
+        // sensor axis) — this extra processing is what makes the IFFT
+        // kernels longer than the FFT kernels (Section V).
+        auto passLoop = a.newLabel();
+        auto post2 = a.newLabel();
+        a.li(t8, 0);
+        a.bind(passLoop);
+        a.li(a4, 0);
+        a.bind(post2);
+        a.add(t2, s2, a4);
+        a.lw(t0, t2, 0);
+        a.add(t2, s3, a4);
+        a.lw(t1, t2, 0);
+        a.mul(t3, t0, t0);
+        a.mul(t4, t1, t1);
+        a.add(t3, t3, t4);
+        a.srai(t3, t3, 14); // mag
+        a.slli(t4, t0, 3);
+        a.sub(t4, t4, t0); // re*7
+        a.add(t4, t4, t3);
+        a.srai(t4, t4, 3);
+        a.add(t2, s2, a4);
+        a.sw(t4, t2, 0);
+        a.addi(a4, a4, 4);
+        a.addi(t2, zero, 256);
+        a.blt(a4, t2, post2);
+        a.addi(t8, t8, 1);
+        a.addi(t2, zero, 3);
+        a.blt(t8, t2, passLoop);
+        // Publish the accumulator for the output check.
+        a.li(t2, spm + 768);
+        a.sw(a0, t2, 0);
+    } else {
+        a.lw(a0, s2, 0);
+    }
+    kb.endSample(a0);
+
+    auto re = golden::fftInputRe();
+    auto im = golden::fftInputIm();
+    kb.addDataWords(mem::spmBase, toWords(re));
+    kb.addDataWords(mem::spmBase + 256, toWords(im));
+    kb.addDataWords(mem::spmBase + 512,
+                    toWords(fftTwiddlesRe(32)));
+    kb.addDataWords(mem::spmBase + 640,
+                    toWords(fftTwiddlesIm(32, inverse)));
+
+    std::vector<compiler::OutputRegion> outputs = {
+        {mem::spmBase, 512}};
+    if (inverse)
+        outputs.push_back({mem::spmBase + 768, 4});
+    return kb.finish({s2, s3, s4, s5}, outputs);
+}
+
+} // namespace
+
+compiler::KernelInput
+buildFft(const PipelineShape &shape)
+{
+    return buildFftLike("fft", shape, false);
+}
+
+compiler::KernelInput
+buildIfft(const PipelineShape &shape)
+{
+    return buildFftLike("ifft", shape, true);
+}
+
+compiler::KernelInput
+buildFir(const PipelineShape &shape)
+{
+    KernelBuilder kb("fir", shape);
+    auto &a = kb.a();
+
+    a.li(s2, spm);        // x[256]
+    a.li(s3, spm + 1024); // h[16]
+    a.li(s4, spm + 1088); // y[240]
+
+    kb.beginSample();
+    auto nloop = a.newLabel();
+    auto kloop = a.newLabel();
+    a.li(a4, 0); // n*4
+    a.bind(nloop);
+    a.li(a0, 0); // acc
+    a.li(a5, 0); // k*4
+    a.add(t0, s2, a4);
+    a.bind(kloop);
+    a.add(t2, t0, a5);
+    a.lw(t3, t2, 0); // x[n+k]
+    a.add(t2, s3, a5);
+    a.lw(t4, t2, 0); // h[k]
+    a.mul(t5, t3, t4);
+    a.add(a0, a0, t5);
+    a.addi(a5, a5, 4);
+    a.addi(t2, zero, 64);
+    a.blt(a5, t2, kloop);
+    a.srai(a0, a0, 14);
+    a.add(t2, s4, a4);
+    a.sw(a0, t2, 0);
+    a.addi(a4, a4, 4);
+    a.addi(t2, zero, 192); // 48 outputs: one sensor window
+    a.blt(a4, t2, nloop);
+    kb.endSample(a0);
+
+    kb.addDataWords(mem::spmBase, toWords(golden::firInput()));
+    kb.addDataWords(mem::spmBase + 1024, toWords(golden::firCoeffs()));
+    return kb.finish({s2, s3, s4},
+                     {{mem::spmBase + 1088, 192}});
+}
+
+compiler::KernelInput
+buildFilter(const PipelineShape &shape)
+{
+    KernelBuilder kb("filter", shape);
+    auto &a = kb.a();
+
+    a.li(s2, spm);       // s[64], in place
+    a.li(s3, spm + 256); // g[64]
+
+    kb.beginSample();
+    auto loop = a.newLabel();
+    a.li(a4, 0);
+    a.bind(loop);
+    a.add(t2, s2, a4);
+    a.lw(t0, t2, 0);
+    a.add(t2, s3, a4);
+    a.lw(t1, t2, 0);
+    a.mul(t0, t0, t1);
+    a.srai(t0, t0, 14);
+    // Branchless clamp to +/-32767 (min then max).
+    a.li(t3, 32767);
+    a.sub(t4, t0, t3);
+    a.srai(t5, t4, 31);
+    a.and_(t4, t4, t5);
+    a.add(t0, t3, t4);
+    a.add(t4, t0, t3);
+    a.srai(t5, t4, 31);
+    a.and_(t4, t4, t5);
+    a.sub(t0, t0, t4);
+    a.add(t2, s2, a4);
+    a.sw(t0, t2, 0);
+    a.addi(a4, a4, 4);
+    a.addi(t2, zero, 256);
+    a.blt(a4, t2, loop);
+    a.mov(a0, t0);
+    kb.endSample(a0);
+
+    kb.addDataWords(mem::spmBase, toWords(golden::filterInput()));
+    kb.addDataWords(mem::spmBase + 256, toWords(golden::filterGains()));
+    return kb.finish({s2, s3}, {{mem::spmBase, 256}});
+}
+
+compiler::KernelInput
+buildUpdateFeature(const PipelineShape &shape)
+{
+    KernelBuilder kb("update", shape);
+    auto &a = kb.a();
+
+    a.li(s2, spm);       // feat[64], in place
+    a.li(s3, spm + 256); // re[64]
+    a.li(s4, spm + 512); // im[64]
+
+    kb.beginSample();
+    auto loop = a.newLabel();
+    a.li(a4, 0);
+    a.bind(loop);
+    a.add(t2, s3, a4);
+    a.lw(t0, t2, 0);
+    a.add(t2, s4, a4);
+    a.lw(t1, t2, 0);
+    a.mul(t0, t0, t0);
+    a.mul(t1, t1, t1);
+    a.add(t0, t0, t1);
+    a.srai(t0, t0, 14); // mag
+    a.add(t2, s2, a4);
+    a.lw(t3, t2, 0);
+    a.slli(t4, t3, 3);
+    a.sub(t4, t4, t3); // feat*7
+    a.add(t4, t4, t0);
+    a.srai(t4, t4, 3);
+    a.add(t2, s2, a4);
+    a.sw(t4, t2, 0);
+    a.addi(a4, a4, 4);
+    a.addi(t2, zero, 256);
+    a.blt(a4, t2, loop);
+    a.mov(a0, t4);
+    kb.endSample(a0);
+
+    kb.addDataWords(mem::spmBase, toWords(golden::updateFeatureInit()));
+    kb.addDataWords(mem::spmBase + 256, toWords(golden::updateRe()));
+    kb.addDataWords(mem::spmBase + 512, toWords(golden::updateIm()));
+    return kb.finish({s2, s3, s4}, {{mem::spmBase, 256}});
+}
+
+} // namespace stitch::kernels

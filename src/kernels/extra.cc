@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Extended suite kernels: Viterbi trellis decoding (activity
+ * recognition back-ends), k-means assignment (unsupervised context
+ * clustering) and an IIR biquad cascade (sensor conditioning) — all
+ * common wearable workloads beyond the paper's headline set.
+ */
+
+#include "kernels/catalog.hh"
+
+#include "kernels/golden.hh"
+#include "mem/addrmap.hh"
+
+namespace stitch::kernels
+{
+
+using namespace isa::reg;
+
+namespace
+{
+constexpr auto spm = static_cast<std::int32_t>(mem::spmBase);
+} // namespace
+
+compiler::KernelInput
+buildViterbi(const PipelineShape &shape)
+{
+    KernelBuilder kb("viterbi", shape);
+    auto &a = kb.a();
+
+    a.li(s2, spm);       // trans[4][4]
+    a.li(s3, spm + 64);  // emit[4][4]
+    a.li(s4, spm + 128); // obs[32]
+    a.li(s5, spm + 256); // metric[4] then next[4] at +272
+
+    kb.beginSample();
+    // Reset the metrics each sample.
+    a.sw(zero, s5, 0);
+    a.sw(zero, s5, 4);
+    a.sw(zero, s5, 8);
+    a.sw(zero, s5, 12);
+
+    auto tloop = a.newLabel();
+    auto sloop = a.newLabel();
+    auto ploop = a.newLabel();
+    a.li(a4, 0); // t
+    a.bind(tloop);
+    a.slli(t0, a4, 2);
+    a.add(t0, s4, t0);
+    a.lw(a3, t0, 0); // obs[t]
+    a.slli(a3, a3, 2);
+
+    a.li(a5, 0); // state s
+    a.bind(sloop);
+    a.li(t8, 0);              // prev p
+    a.li(a0, -(1 << 28));     // best
+    a.bind(ploop);
+    // metric[p]: s5 + 4p
+    a.slli(t1, t8, 2);
+    a.add(t2, s5, t1);
+    a.lw(t3, t2, 0); // metric[p]
+    // trans[p][s]: s2 + 16p + 4s
+    a.slli(t4, t8, 4);
+    a.slli(t5, a5, 2);
+    a.add(t4, t4, t5);
+    a.add(t4, s2, t4);
+    a.lw(t5, t4, 0);
+    a.add(t3, t3, t5); // candidate
+    // branchless max into a0
+    a.sub(t6, a0, t3);
+    a.srai(t7, t6, 31);
+    a.and_(t6, t6, t7);
+    a.sub(a0, a0, t6);
+    a.addi(t8, t8, 1);
+    a.addi(t2, zero, 4);
+    a.blt(t8, t2, ploop);
+    // + emit[s][obs]
+    a.slli(t4, a5, 4);
+    a.add(t4, t4, a3);
+    a.add(t4, s3, t4);
+    a.lw(t5, t4, 0);
+    a.add(a0, a0, t5);
+    // next[s] at s5 + 16 + 4s
+    a.slli(t4, a5, 2);
+    a.add(t4, s5, t4);
+    a.sw(a0, t4, 16);
+    a.addi(a5, a5, 1);
+    a.addi(t2, zero, 4);
+    a.blt(a5, t2, sloop);
+    // metric = next
+    for (int s = 0; s < 4; ++s) {
+        a.lw(t1, s5, 16 + 4 * s);
+        a.sw(t1, s5, 4 * s);
+    }
+    a.addi(a4, a4, 1);
+    a.addi(t2, zero, 32);
+    a.blt(a4, t2, tloop);
+    a.lw(a0, s5, 0);
+    kb.endSample(a0);
+
+    kb.addDataWords(mem::spmBase, toWords(golden::viterbiTrans()));
+    kb.addDataWords(mem::spmBase + 64, toWords(golden::viterbiEmit()));
+    kb.addDataWords(mem::spmBase + 128, toWords(golden::viterbiObs()));
+    return kb.finish({s2, s3, s4, s5}, {{mem::spmBase + 256, 16}});
+}
+
+compiler::KernelInput
+buildKmeans(const PipelineShape &shape)
+{
+    KernelBuilder kb("kmeans", shape);
+    auto &a = kb.a();
+
+    a.li(s2, spm);       // points[64][2]
+    a.li(s3, spm + 512); // centroids[4][2]
+    a.li(s4, spm + 544); // assignment[64]
+
+    kb.beginSample();
+    auto iloop = a.newLabel();
+    auto jloop = a.newLabel();
+    a.li(a4, 0); // point index
+    a.bind(iloop);
+    a.slli(t0, a4, 3);
+    a.add(t0, s2, t0);
+    a.lw(a2, t0, 0); // px
+    a.lw(a3, t0, 4); // py
+
+    a.li(a5, 0);  // centroid j
+    a.li(a0, 0);  // best index
+    a.li(a1, 0);  // best distance (set on j == 0)
+    a.bind(jloop);
+    a.slli(t1, a5, 3);
+    a.add(t1, s3, t1);
+    a.lw(t2, t1, 0); // cx
+    a.lw(t3, t1, 4); // cy
+    a.sub(t2, a2, t2);
+    a.sub(t3, a3, t3);
+    a.mul(t2, t2, t2);
+    a.mul(t3, t3, t3);
+    a.add(t2, t2, t3); // d
+    // j == 0: adopt unconditionally (bestD starts undefined).
+    auto notFirst = a.newLabel();
+    a.bne(a5, zero, notFirst);
+    a.mov(a1, t2);
+    a.bind(notFirst);
+    // Branchless select when d < bestD.
+    a.slt(t4, t2, a1);   // cmp
+    a.sub(t4, zero, t4); // mask
+    a.sub(t5, t2, a1);
+    a.and_(t5, t5, t4);
+    a.add(a1, a1, t5); // bestD
+    a.sub(t5, a5, a0);
+    a.and_(t5, t5, t4);
+    a.add(a0, a0, t5); // bestJ
+    a.addi(a5, a5, 1);
+    a.addi(t1, zero, 4);
+    a.blt(a5, t1, jloop);
+
+    a.slli(t1, a4, 2);
+    a.add(t1, s4, t1);
+    a.sw(a0, t1, 0);
+    a.addi(a4, a4, 1);
+    a.addi(t1, zero, 64);
+    a.blt(a4, t1, iloop);
+    kb.endSample(a0);
+
+    kb.addDataWords(mem::spmBase, toWords(golden::kmeansPoints()));
+    kb.addDataWords(mem::spmBase + 512,
+                    toWords(golden::kmeansCentroids()));
+    return kb.finish({s2, s3, s4}, {{mem::spmBase + 544, 256}});
+}
+
+compiler::KernelInput
+buildIir(const PipelineShape &shape)
+{
+    KernelBuilder kb("iir", shape);
+    auto &a = kb.a();
+
+    a.li(s2, spm);        // x[128] (overwritten stage by stage)
+    a.li(s3, spm + 512);  // coeffs[2][5]
+    a.li(s4, spm + 1024); // y[128]
+
+    kb.beginSample();
+    auto stageLoop = a.newLabel();
+    auto nloop = a.newLabel();
+    a.li(t9, 0); // stage
+    a.mov(a1, s2); // stage input pointer
+    a.bind(stageLoop);
+    // load the 5 coefficients for this stage into a-regs/temps
+    a.slli(t0, t9, 2);
+    a.add(t0, t0, t9); // stage * 5
+    a.slli(t0, t0, 2); // * 4 bytes
+    a.add(t0, s3, t0);
+    a.lw(a2, t0, 0);  // b0
+    a.lw(a3, t0, 4);  // b1
+    a.lw(a4, t0, 8);  // b2
+    a.lw(a5, t0, 12); // a1
+    a.lw(t8, t0, 16); // a2
+    a.li(t4, 0); // x1
+    a.li(t5, 0); // x2
+    a.li(t6, 0); // y1
+    a.li(t7, 0); // y2
+    a.li(t0, 0); // n
+    a.bind(nloop);
+    a.slli(t1, t0, 2);
+    a.add(t2, a1, t1);
+    a.lw(t3, t2, 0); // x[n]
+    a.mul(a0, a2, t3);
+    a.mul(t2, a3, t4);
+    a.add(a0, a0, t2);
+    a.mul(t2, a4, t5);
+    a.add(a0, a0, t2);
+    a.mul(t2, a5, t6);
+    a.add(a0, a0, t2);
+    a.mul(t2, t8, t7);
+    a.add(a0, a0, t2);
+    a.srai(a0, a0, 14); // y
+    a.mov(t5, t4);
+    a.mov(t4, t3);
+    a.mov(t7, t6);
+    a.mov(t6, a0);
+    a.add(t2, s4, t1);
+    a.sw(a0, t2, 0);
+    a.addi(t0, t0, 1);
+    a.addi(t2, zero, 128);
+    a.blt(t0, t2, nloop);
+    a.mov(a1, s4); // next stage reads this stage's output
+    a.addi(t9, t9, 1);
+    a.addi(t2, zero, 2);
+    a.blt(t9, t2, stageLoop);
+    kb.endSample(a0);
+
+    kb.addDataWords(mem::spmBase, toWords(golden::iirInput()));
+    kb.addDataWords(mem::spmBase + 512, toWords(golden::iirCoeffs()));
+    return kb.finish({s2, s3, s4}, {{mem::spmBase + 1024, 512}});
+}
+
+} // namespace stitch::kernels

@@ -1,0 +1,753 @@
+#include "kernels/golden.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hh"
+#include "kernels/kernel.hh"
+
+namespace stitch::kernels::golden
+{
+
+namespace
+{
+
+Vec
+randomVec(std::uint64_t seed, std::size_t n, I32 lo, I32 hi)
+{
+    Rng rng(seed);
+    Vec out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(static_cast<I32>(rng.range(lo, hi)));
+    return out;
+}
+
+/** Branchless min as implemented by the kernels. */
+I32
+bmin(I32 x, I32 y)
+{
+    I32 d = x - y;
+    return y + (d & (d >> 31));
+}
+
+/** Branchless max. */
+I32
+bmax(I32 x, I32 y)
+{
+    I32 d = x - y;
+    return x - (d & (d >> 31));
+}
+
+/** Branchless abs. */
+I32
+babs(I32 x)
+{
+    I32 m = x >> 31;
+    return (x ^ m) - m;
+}
+
+} // namespace
+
+// ---- FFT ------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * Synthetic accelerometer/gyro window standing in for the paper's
+ * 128 Hz sensor traces: low-frequency gesture sinusoids plus jitter,
+ * kept within +/-2^9 so the final FFT stage's Q14 twiddle product
+ * stays inside 32 bits.
+ */
+Vec
+gestureWindow(std::uint64_t seed, double f1, double f2)
+{
+    Rng rng(seed);
+    Vec raw(64);
+    for (int i = 0; i < 64; ++i) {
+        double t = static_cast<double>(i);
+        double v = 280.0 * std::sin(2.0 * M_PI * f1 * t / 64.0) +
+                   140.0 * std::sin(2.0 * M_PI * f2 * t / 64.0 + 0.7);
+        v += static_cast<double>(rng.range(-60, 60));
+        raw[static_cast<std::size_t>(i)] =
+            static_cast<I32>(std::lround(v));
+    }
+    return raw;
+}
+
+} // namespace
+
+Vec
+fftInputRe()
+{
+    // Bit-reverse permuted for the DIT schedule.
+    Vec raw = gestureWindow(101, 3.0, 7.0);
+    auto order = bitReverseOrder(64);
+    Vec out(64);
+    for (int i = 0; i < 64; ++i)
+        out[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+            raw[static_cast<std::size_t>(i)];
+    return out;
+}
+
+Vec
+fftInputIm()
+{
+    Vec raw = gestureWindow(102, 2.0, 9.0);
+    auto order = bitReverseOrder(64);
+    Vec out(64);
+    for (int i = 0; i < 64; ++i)
+        out[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] =
+            raw[static_cast<std::size_t>(i)];
+    return out;
+}
+
+void
+fft64(Vec &re, Vec &im, bool inverse)
+{
+    Vec wre32 = fftTwiddlesRe(32);
+    Vec wim32 = fftTwiddlesIm(32, inverse);
+    for (int len = 2; len <= 64; len <<= 1) {
+        int half = len / 2;
+        int step = 32 / half;
+        for (int i = 0; i < 64; i += len) {
+            for (int j = 0; j < half; ++j) {
+                std::size_t a = static_cast<std::size_t>(i + j);
+                std::size_t b = a + static_cast<std::size_t>(half);
+                I32 wr = wre32[static_cast<std::size_t>(j * step)];
+                I32 wi = wim32[static_cast<std::size_t>(j * step)];
+                I32 br = re[b], bi = im[b];
+                I32 tr = (wr * br - wi * bi) >> 14;
+                I32 ti = (wr * bi + wi * br) >> 14;
+                I32 ar = re[a], ai = im[a];
+                re[b] = ar - tr;
+                im[b] = ai - ti;
+                re[a] = ar + tr;
+                im[a] = ai + ti;
+            }
+        }
+    }
+}
+
+I32
+ifftPost(Vec &re, Vec &im)
+{
+    I32 acc = 0;
+    for (std::size_t i = 0; i < 64; ++i) {
+        re[i] >>= 6;
+        im[i] >>= 6;
+        acc += (re[i] * re[i] + im[i] * im[i]) >> 14;
+    }
+    // The IFFT kernels "incorporate additional processing, such as
+    // another Update feature processing" (Section V): exponential
+    // smoothing of the time-domain magnitudes, once per sensor axis.
+    for (int pass = 0; pass < 3; ++pass) {
+        for (std::size_t i = 0; i < 64; ++i) {
+            I32 mag = (re[i] * re[i] + im[i] * im[i]) >> 14;
+            I32 f = re[i];
+            f = ((f * 7) + mag) >> 3;
+            re[i] = f;
+        }
+    }
+    return acc;
+}
+
+// ---- FIR ------------------------------------------------------------
+
+Vec
+firInput()
+{
+    return randomVec(201, 256, -8192, 8191);
+}
+
+Vec
+firCoeffs()
+{
+    return randomVec(202, 16, -4096, 4095);
+}
+
+Vec
+fir(const Vec &x, const Vec &h)
+{
+    Vec y(240);
+    for (std::size_t n = 0; n < 240; ++n) {
+        I32 acc = 0;
+        for (std::size_t k = 0; k < 16; ++k)
+            acc += h[k] * x[n + k];
+        y[n] = acc >> 14;
+    }
+    return y;
+}
+
+// ---- Filter -----------------------------------------------------------
+
+Vec
+filterInput()
+{
+    return randomVec(301, 64, -30000, 30000);
+}
+
+Vec
+filterGains()
+{
+    return randomVec(302, 64, 0, 20000);
+}
+
+void
+filter(Vec &s, const Vec &g)
+{
+    for (std::size_t i = 0; i < 64; ++i) {
+        I32 v = (s[i] * g[i]) >> 14;
+        v = bmin(v, 32767);
+        v = bmax(v, -32767);
+        s[i] = v;
+    }
+}
+
+// ---- Update feature -----------------------------------------------------
+
+Vec
+updateFeatureInit()
+{
+    return randomVec(401, 64, 0, 4096);
+}
+
+Vec
+updateRe()
+{
+    return randomVec(402, 64, -4096, 4095);
+}
+
+Vec
+updateIm()
+{
+    return randomVec(403, 64, -4096, 4095);
+}
+
+void
+updateFeature(Vec &feat, const Vec &re, const Vec &im)
+{
+    for (std::size_t i = 0; i < 64; ++i) {
+        I32 mag = (re[i] * re[i] + im[i] * im[i]) >> 14;
+        feat[i] = (feat[i] * 7 + mag) >> 3;
+    }
+}
+
+// ---- conv2d ------------------------------------------------------------
+
+Vec
+conv2dInput()
+{
+    return conv2dInputN(16);
+}
+
+Vec
+conv2dKernel()
+{
+    return randomVec(502, 9, -2048, 2047);
+}
+
+Vec
+conv2d(const Vec &in, const Vec &k)
+{
+    return conv2dN(in, k, 16);
+}
+
+// ---- Sobel ------------------------------------------------------------
+
+Vec
+sobelInput()
+{
+    return randomVec(601, 256, 0, 255);
+}
+
+Vec
+sobel(const Vec &in)
+{
+    Vec out(196);
+    auto at = [&](std::size_t r, std::size_t c) {
+        return in[r * 16 + c];
+    };
+    for (std::size_t r = 0; r < 14; ++r) {
+        for (std::size_t c = 0; c < 14; ++c) {
+            I32 gx = at(r, c + 2) - at(r, c) +
+                     ((at(r + 1, c + 2) - at(r + 1, c)) << 1) +
+                     at(r + 2, c + 2) - at(r + 2, c);
+            I32 gy = at(r + 2, c) - at(r, c) +
+                     ((at(r + 2, c + 1) - at(r, c + 1)) << 1) +
+                     at(r + 2, c + 2) - at(r, c + 2);
+            out[r * 14 + c] = babs(gx) + babs(gy);
+        }
+    }
+    return out;
+}
+
+// ---- Pooling -----------------------------------------------------------
+
+Vec
+poolingInput()
+{
+    return randomVec(701, 256, -10000, 10000);
+}
+
+Vec
+pooling(const Vec &in)
+{
+    Vec out(64);
+    for (std::size_t r = 0; r < 8; ++r) {
+        for (std::size_t c = 0; c < 8; ++c) {
+            I32 m = bmax(in[(2 * r) * 16 + 2 * c],
+                         in[(2 * r) * 16 + 2 * c + 1]);
+            m = bmax(m, in[(2 * r + 1) * 16 + 2 * c]);
+            m = bmax(m, in[(2 * r + 1) * 16 + 2 * c + 1]);
+            out[r * 8 + c] = m;
+        }
+    }
+    return out;
+}
+
+// ---- Matmul -------------------------------------------------------------
+
+Vec
+matmulA()
+{
+    return randomVec(801, 144, -1024, 1023);
+}
+
+Vec
+matmulB()
+{
+    return randomVec(802, 144, -1024, 1023);
+}
+
+Vec
+matmul(const Vec &a, const Vec &b)
+{
+    Vec c(144);
+    for (std::size_t i = 0; i < 12; ++i)
+        for (std::size_t j = 0; j < 12; ++j) {
+            I32 acc = 0;
+            for (std::size_t k = 0; k < 12; ++k)
+                acc += a[i * 12 + k] * b[k * 12 + j];
+            c[i * 12 + j] = acc >> 8;
+        }
+    return c;
+}
+
+// ---- FC -----------------------------------------------------------------
+
+Vec
+fcInput()
+{
+    return randomVec(901, 32, -2048, 2047);
+}
+
+Vec
+fcWeights()
+{
+    return randomVec(902, 512, -2048, 2047);
+}
+
+Vec
+fcBias()
+{
+    return randomVec(903, 16, -1000, 1000);
+}
+
+Vec
+fc(const Vec &x, const Vec &w, const Vec &b)
+{
+    Vec y(16);
+    for (std::size_t o = 0; o < 16; ++o) {
+        I32 acc = 0;
+        for (std::size_t i = 0; i < 32; ++i)
+            acc += w[o * 32 + i] * x[i];
+        I32 v = (acc >> 12) + b[o];
+        y[o] = v & ~(v >> 31); // branchless ReLU
+    }
+    return y;
+}
+
+// ---- DTW ----------------------------------------------------------------
+
+Vec
+dtwSeqA()
+{
+    return randomVec(1001, 32, -5000, 5000);
+}
+
+Vec
+dtwSeqB()
+{
+    return randomVec(1002, 32, -5000, 5000);
+}
+
+I32
+dtw(const Vec &a, const Vec &b)
+{
+    constexpr I32 inf = 1 << 28;
+    Vec prev(33, inf), cur(33, inf);
+    prev[0] = 0;
+    for (std::size_t i = 1; i <= 32; ++i) {
+        cur[0] = inf;
+        for (std::size_t j = 1; j <= 32; ++j) {
+            I32 cost = babs(a[i - 1] - b[j - 1]);
+            I32 best = bmin(bmin(prev[j], cur[j - 1]), prev[j - 1]);
+            cur[j] = cost + best;
+        }
+        std::swap(prev, cur);
+    }
+    return prev[32];
+}
+
+// ---- AES-like ------------------------------------------------------------
+
+Vec
+aesTable()
+{
+    return randomVec(1101, 256,
+                     std::numeric_limits<I32>::min() / 2,
+                     std::numeric_limits<I32>::max() / 2);
+}
+
+Vec
+aesRoundKeys()
+{
+    return randomVec(1102, 44,
+                     std::numeric_limits<I32>::min() / 2,
+                     std::numeric_limits<I32>::max() / 2);
+}
+
+Vec
+aesInput()
+{
+    return randomVec(1103, 8,
+                     std::numeric_limits<I32>::min() / 2,
+                     std::numeric_limits<I32>::max() / 2);
+}
+
+namespace
+{
+
+I32
+aesTerm(const Vec &table, I32 word, int byteShift, int rot)
+{
+    auto u = static_cast<std::uint32_t>(word);
+    std::uint32_t idx = (u >> byteShift) & 0xffu;
+    auto t = static_cast<std::uint32_t>(table[idx]);
+    if (rot > 0)
+        t = (t >> rot) | (t << (32 - rot));
+    return static_cast<I32>(t);
+}
+
+} // namespace
+
+Vec
+aesEncrypt(const Vec &blocks, const Vec &table, const Vec &rk)
+{
+    Vec out = blocks;
+    for (std::size_t block = 0; block < 2; ++block) {
+        I32 s0 = out[block * 4 + 0] ^ rk[0];
+        I32 s1 = out[block * 4 + 1] ^ rk[1];
+        I32 s2 = out[block * 4 + 2] ^ rk[2];
+        I32 s3 = out[block * 4 + 3] ^ rk[3];
+        for (int round = 1; round <= 10; ++round) {
+            I32 n0 = aesTerm(table, s0, 0, 0) ^
+                     aesTerm(table, s1, 8, 8) ^
+                     aesTerm(table, s2, 16, 16) ^
+                     aesTerm(table, s3, 24, 24) ^
+                     rk[static_cast<std::size_t>(round * 4 + 0)];
+            I32 n1 = aesTerm(table, s1, 0, 0) ^
+                     aesTerm(table, s2, 8, 8) ^
+                     aesTerm(table, s3, 16, 16) ^
+                     aesTerm(table, s0, 24, 24) ^
+                     rk[static_cast<std::size_t>(round * 4 + 1)];
+            I32 n2 = aesTerm(table, s2, 0, 0) ^
+                     aesTerm(table, s3, 8, 8) ^
+                     aesTerm(table, s0, 16, 16) ^
+                     aesTerm(table, s1, 24, 24) ^
+                     rk[static_cast<std::size_t>(round * 4 + 2)];
+            I32 n3 = aesTerm(table, s3, 0, 0) ^
+                     aesTerm(table, s0, 8, 8) ^
+                     aesTerm(table, s1, 16, 16) ^
+                     aesTerm(table, s2, 24, 24) ^
+                     rk[static_cast<std::size_t>(round * 4 + 3)];
+            s0 = n0;
+            s1 = n1;
+            s2 = n2;
+            s3 = n3;
+        }
+        out[block * 4 + 0] = s0;
+        out[block * 4 + 1] = s1;
+        out[block * 4 + 2] = s2;
+        out[block * 4 + 3] = s3;
+    }
+    return out;
+}
+
+// ---- Histogram --------------------------------------------------------
+
+Vec
+histogramInput()
+{
+    return randomVec(1201, 256, 0, 1023);
+}
+
+Vec
+histogram(const Vec &x)
+{
+    Vec bins(64, 0);
+    for (I32 v : x)
+        ++bins[static_cast<std::size_t>(v >> 4)];
+    return bins;
+}
+
+Vec
+conv2dInputN(int dim)
+{
+    return randomVec(501 + static_cast<std::uint64_t>(dim),
+                     static_cast<std::size_t>(dim * dim), 0, 255);
+}
+
+Vec
+conv2dN(const Vec &in, const Vec &k, int dim)
+{
+    int outDim = dim - 2;
+    Vec out(static_cast<std::size_t>(outDim * outDim));
+    for (int r = 0; r < outDim; ++r) {
+        for (int c = 0; c < outDim; ++c) {
+            I32 acc = 0;
+            for (int kr = 0; kr < 3; ++kr)
+                for (int kc = 0; kc < 3; ++kc)
+                    acc += in[static_cast<std::size_t>(
+                               (r + kr) * dim + c + kc)] *
+                           k[static_cast<std::size_t>(kr * 3 + kc)];
+            out[static_cast<std::size_t>(r * outDim + c)] = acc >> 12;
+        }
+    }
+    return out;
+}
+
+// ---- SVM ---------------------------------------------------------------
+
+Vec
+svmInput()
+{
+    return randomVec(1301, 64, -2048, 2047);
+}
+
+Vec
+svmWeights()
+{
+    return randomVec(1302, 512, -2048, 2047);
+}
+
+Vec
+svmBias()
+{
+    return randomVec(1303, 8, -10000, 10000);
+}
+
+Vec
+svmScores(const Vec &x, const Vec &w, const Vec &b)
+{
+    Vec scores(8);
+    for (std::size_t c = 0; c < 8; ++c) {
+        I32 acc = 0;
+        for (std::size_t i = 0; i < 64; ++i)
+            acc += w[c * 64 + i] * x[i];
+        scores[c] = (acc >> 12) + b[c];
+    }
+    return scores;
+}
+
+// ---- A* ------------------------------------------------------------------
+
+Vec
+astarCosts()
+{
+    return randomVec(1401, 256, 1, 64);
+}
+
+Vec
+astarDistances(const Vec &costs)
+{
+    constexpr I32 inf = 1 << 28;
+    Vec dist(256, inf);
+    dist[0] = 0;
+    for (int sweep = 0; sweep < 8; ++sweep) {
+        for (std::size_t r = 0; r < 16; ++r) {
+            for (std::size_t c = 0; c < 16; ++c) {
+                std::size_t i = r * 16 + c;
+                if (c > 0) {
+                    I32 nd = dist[i - 1] + costs[i];
+                    if (nd < dist[i])
+                        dist[i] = nd;
+                }
+                if (r > 0) {
+                    I32 nd = dist[i - 16] + costs[i];
+                    if (nd < dist[i])
+                        dist[i] = nd;
+                }
+            }
+        }
+    }
+    return dist;
+}
+
+// ---- CRC32 -----------------------------------------------------------
+
+Vec
+crcTable()
+{
+    Vec table(256);
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = static_cast<I32>(c);
+    }
+    return table;
+}
+
+Vec
+crcInput()
+{
+    return randomVec(1501, 256,
+                     std::numeric_limits<I32>::min() / 2,
+                     std::numeric_limits<I32>::max() / 2);
+}
+
+I32
+crc32(const Vec &words, const Vec &table)
+{
+    auto crc = static_cast<std::uint32_t>(-1);
+    for (I32 w : words) {
+        auto u = static_cast<std::uint32_t>(w);
+        for (int b = 0; b < 4; ++b) {
+            std::uint32_t idx = (crc ^ (u >> (8 * b))) & 0xffu;
+            crc = (crc >> 8) ^ static_cast<std::uint32_t>(table[idx]);
+        }
+    }
+    return static_cast<I32>(crc);
+}
+
+// ---- Viterbi --------------------------------------------------------
+
+Vec
+viterbiTrans()
+{
+    return randomVec(1601, 16, -500, 500);
+}
+
+Vec
+viterbiEmit()
+{
+    return randomVec(1602, 16, -500, 500);
+}
+
+Vec
+viterbiObs()
+{
+    return randomVec(1603, 32, 0, 3);
+}
+
+Vec
+viterbi(const Vec &trans, const Vec &emit, const Vec &obs)
+{
+    Vec metric(4, 0), next(4, 0);
+    for (std::size_t t = 0; t < 32; ++t) {
+        for (std::size_t s = 0; s < 4; ++s) {
+            I32 best = metric[0] + trans[0 * 4 + s];
+            for (std::size_t p = 1; p < 4; ++p)
+                best = bmax(best, metric[p] + trans[p * 4 + s]);
+            next[s] =
+                best +
+                emit[s * 4 + static_cast<std::size_t>(obs[t])];
+        }
+        metric = next;
+    }
+    return metric;
+}
+
+// ---- K-means ---------------------------------------------------------
+
+Vec
+kmeansPoints()
+{
+    return randomVec(1701, 128, -1000, 1000);
+}
+
+Vec
+kmeansCentroids()
+{
+    return randomVec(1702, 8, -1000, 1000);
+}
+
+Vec
+kmeansAssign(const Vec &pts, const Vec &cents)
+{
+    Vec assign(64);
+    for (std::size_t i = 0; i < 64; ++i) {
+        I32 px = pts[2 * i], py = pts[2 * i + 1];
+        I32 bestD = 0, bestJ = 0;
+        for (std::size_t j = 0; j < 4; ++j) {
+            I32 dx = px - cents[2 * j];
+            I32 dy = py - cents[2 * j + 1];
+            I32 d = dx * dx + dy * dy;
+            if (j == 0) {
+                bestD = d;
+                continue;
+            }
+            // Branchless select, mirroring the assembly: take the
+            // new distance/index when d < bestD.
+            I32 cmp = d < bestD ? 1 : 0; // slt
+            I32 m = -cmp;                // sub r0, cmp
+            bestD = bestD + ((d - bestD) & m);
+            bestJ = bestJ +
+                    ((static_cast<I32>(j) - bestJ) & m);
+        }
+        assign[i] = bestJ;
+    }
+    return assign;
+}
+
+// ---- IIR ------------------------------------------------------------
+
+Vec
+iirInput()
+{
+    return randomVec(1801, 128, -8192, 8191);
+}
+
+Vec
+iirCoeffs()
+{
+    return randomVec(1802, 10, -8192, 8191);
+}
+
+Vec
+iir(const Vec &x, const Vec &c)
+{
+    Vec out(128);
+    Vec in = x;
+    for (std::size_t stage = 0; stage < 2; ++stage) {
+        const I32 *k = &c[stage * 5];
+        I32 x1 = 0, x2 = 0, y1 = 0, y2 = 0;
+        for (std::size_t n = 0; n < 128; ++n) {
+            I32 acc = k[0] * in[n] + k[1] * x1 + k[2] * x2 +
+                      k[3] * y1 + k[4] * y2;
+            I32 y = acc >> 14;
+            x2 = x1;
+            x1 = in[n];
+            y2 = y1;
+            y1 = y;
+            out[n] = y;
+        }
+        in = out;
+    }
+    return out;
+}
+
+} // namespace stitch::kernels::golden

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * C++ reference models of every wearable kernel, mirroring the SW32
+ * implementations instruction for instruction (same fixed-point
+ * shifts, same branchless idioms). Unit tests run the assembly on the
+ * simulator and compare final memory against these models; the
+ * compiler driver separately checks every accelerated variant against
+ * the software run.
+ *
+ * Input data is produced by deterministic generators (fixed seeds) so
+ * the assembly builders and the tests observe identical inputs.
+ */
+
+#ifndef STITCH_KERNELS_GOLDEN_HH
+#define STITCH_KERNELS_GOLDEN_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace stitch::kernels::golden
+{
+
+using I32 = std::int32_t;
+using Vec = std::vector<I32>;
+
+// ---- FFT / IFFT -----------------------------------------------------
+
+/** 64-point inputs, already bit-reverse permuted. */
+Vec fftInputRe();
+Vec fftInputIm();
+
+/** In-place 64-point radix-2 DIT FFT with Q14 twiddles. */
+void fft64(Vec &re, Vec &im, bool inverse);
+
+/** The IFFT kernel's extra pass: scale by 1/64 and accumulate
+ *  Q14 magnitudes; returns the accumulator. */
+I32 ifftPost(Vec &re, Vec &im);
+
+// ---- FIR ------------------------------------------------------------
+
+Vec firInput();   ///< 256 samples
+Vec firCoeffs();  ///< 16 Q14 taps
+Vec fir(const Vec &x, const Vec &h); ///< 240 outputs, >>14
+
+// ---- Spectral filter -------------------------------------------------
+
+Vec filterInput(); ///< 64 bins
+Vec filterGains(); ///< 64 Q14 gains
+void filter(Vec &s, const Vec &g); ///< in place, clamped to +/-32767
+
+// ---- Update feature ---------------------------------------------------
+
+Vec updateFeatureInit(); ///< 64 features
+Vec updateRe();          ///< 64
+Vec updateIm();          ///< 64
+void updateFeature(Vec &feat, const Vec &re, const Vec &im);
+
+// ---- 2D convolution ----------------------------------------------------
+
+Vec conv2dInput();  ///< 16x16
+Vec conv2dKernel(); ///< 3x3 Q12
+Vec conv2d(const Vec &in, const Vec &k); ///< 14x14, >>12
+
+/** Size-parameterized variants (APP2's layers differ in size). */
+Vec conv2dInputN(int dim);
+Vec conv2dN(const Vec &in, const Vec &k, int dim);
+
+// ---- Sobel -------------------------------------------------------------
+
+Vec sobelInput(); ///< 16x16
+Vec sobel(const Vec &in); ///< 14x14 |gx|+|gy| (branchless abs)
+
+// ---- 2x2 max pooling -----------------------------------------------------
+
+Vec poolingInput(); ///< 16x16
+Vec pooling(const Vec &in); ///< 8x8 (branchless max)
+
+// ---- Matrix multiply -------------------------------------------------
+
+Vec matmulA(); ///< 12x12
+Vec matmulB(); ///< 12x12
+Vec matmul(const Vec &a, const Vec &b); ///< 12x12, >>8
+
+// ---- Fully connected + ReLU ----------------------------------------------
+
+Vec fcInput();   ///< 32
+Vec fcWeights(); ///< 16x32 Q12
+Vec fcBias();    ///< 16
+Vec fc(const Vec &x, const Vec &w, const Vec &b); ///< 16, >>12, ReLU
+
+// ---- DTW -------------------------------------------------------------
+
+Vec dtwSeqA(); ///< 32
+Vec dtwSeqB(); ///< 32
+I32 dtw(const Vec &a, const Vec &b); ///< branchless min / abs
+
+// ---- AES-like table cipher ------------------------------------------------
+
+Vec aesTable();    ///< 256-entry T-table
+Vec aesRoundKeys(); ///< 44 words
+Vec aesInput();    ///< 8 words (2 blocks)
+Vec aesEncrypt(const Vec &blocks, const Vec &table, const Vec &rk);
+
+// ---- Histogram --------------------------------------------------------
+
+Vec histogramInput(); ///< 256 samples in [0, 1023]
+Vec histogram(const Vec &x); ///< 64 bins
+
+// ---- SVM ---------------------------------------------------------------
+
+Vec svmInput();   ///< 64 features
+Vec svmWeights(); ///< 8x64 Q12
+Vec svmBias();    ///< 8
+/** Returns the 8 scores; scores[i] = (w_i . x) >> 12 + b_i. */
+Vec svmScores(const Vec &x, const Vec &w, const Vec &b);
+
+// ---- A* (grid relaxation) ----------------------------------------------
+
+Vec astarCosts(); ///< 16x16 positive costs
+/** Distance map after 8 forward relaxation sweeps (branchy min). */
+Vec astarDistances(const Vec &costs);
+
+// ---- CRC32 -----------------------------------------------------------
+
+Vec crcTable(); ///< 256 entries
+Vec crcInput(); ///< 256 words
+I32 crc32(const Vec &words, const Vec &table);
+
+// ---- Viterbi (4-state trellis, branchless max) ---------------------------
+
+namespace viterbi_detail
+{
+inline constexpr int states = 4;
+inline constexpr int steps = 32;
+} // namespace viterbi_detail
+
+Vec viterbiTrans(); ///< 4x4 transition scores
+Vec viterbiEmit();  ///< 4x4 emission scores
+Vec viterbiObs();   ///< 32 observations in [0,3]
+/** Final path metrics after 32 steps. */
+Vec viterbi(const Vec &trans, const Vec &emit, const Vec &obs);
+
+// ---- K-means assignment (branchless argmin) -----------------------------
+
+Vec kmeansPoints();    ///< 64 2-D points (x,y interleaved)
+Vec kmeansCentroids(); ///< 4 2-D centroids
+/** Nearest-centroid index per point. */
+Vec kmeansAssign(const Vec &pts, const Vec &cents);
+
+// ---- IIR biquad cascade ---------------------------------------------------
+
+Vec iirInput();  ///< 128 samples
+Vec iirCoeffs(); ///< 2 stages x 5 Q14 coefficients
+/** Output of the 2-stage cascade, >>14 per stage. */
+Vec iir(const Vec &x, const Vec &c);
+
+} // namespace stitch::kernels::golden
+
+#endif // STITCH_KERNELS_GOLDEN_HH

@@ -1,0 +1,131 @@
+#include "kernels/kernel.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace stitch::kernels
+{
+
+using namespace isa::reg;
+
+KernelBuilder::KernelBuilder(const std::string &name,
+                             const PipelineShape &shape)
+    : shape_(shape), asm_(name)
+{
+    loop_ = asm_.newLabel();
+}
+
+void
+KernelBuilder::beginSample()
+{
+    STITCH_ASSERT(!began_, "beginSample called twice");
+    began_ = true;
+    if (!shape_.standalone()) {
+        // Pipeline stages read their sample count from the comm
+        // table so one binary serves any run length.
+        asm_.lw(s0, zero,
+                static_cast<std::int32_t>(commSamplesAddr));
+        asm_.li(s1, 0);
+    } else if (shape_.samples > 1) {
+        asm_.li(s0, shape_.samples);
+        asm_.li(s1, 0);
+    }
+    asm_.bind(loop_);
+    for (int i = 0; i < shape_.numIn; ++i) {
+        asm_.lw(t12, zero,
+                static_cast<std::int32_t>(commInTableAddr) + 4 * i);
+        asm_.recv(t12, t12, 0);
+    }
+}
+
+void
+KernelBuilder::endSample(RegId resultReg)
+{
+    STITCH_ASSERT(began_ && !ended_, "endSample out of order");
+    ended_ = true;
+    for (int j = 0; j < shape_.numOut; ++j) {
+        asm_.lw(t12, zero,
+                static_cast<std::int32_t>(commOutTableAddr) + 4 * j);
+        asm_.send(resultReg, t12, 0);
+    }
+    if (!shape_.standalone() || shape_.samples > 1) {
+        asm_.addi(s1, s1, 1);
+        asm_.blt(s1, s0, loop_);
+    }
+    asm_.halt();
+}
+
+void
+KernelBuilder::addDataWords(Addr base, const std::vector<Word> &words)
+{
+    data_.emplace_back(base, words);
+}
+
+compiler::KernelInput
+KernelBuilder::finish(std::vector<RegId> spmBaseRegs,
+                      std::vector<compiler::OutputRegion> outputs)
+{
+    STITCH_ASSERT(ended_, "finish before endSample");
+    compiler::KernelInput input;
+    input.program = asm_.finish();
+    for (auto &[base, words] : data_)
+        input.program.addDataWords(base, words);
+    input.spmBaseRegs = std::move(spmBaseRegs);
+    input.outputs = std::move(outputs);
+    return input;
+}
+
+std::vector<Word>
+toWords(const std::vector<std::int32_t> &values)
+{
+    std::vector<Word> out;
+    out.reserve(values.size());
+    for (auto v : values)
+        out.push_back(static_cast<Word>(v));
+    return out;
+}
+
+std::vector<std::int32_t>
+fftTwiddlesRe(int half)
+{
+    std::vector<std::int32_t> out;
+    for (int k = 0; k < half; ++k) {
+        double angle = -2.0 * M_PI * k / (2.0 * half);
+        out.push_back(static_cast<std::int32_t>(
+            std::lround(std::cos(angle) * 16384.0)));
+    }
+    return out;
+}
+
+std::vector<std::int32_t>
+fftTwiddlesIm(int half, bool inverse)
+{
+    std::vector<std::int32_t> out;
+    for (int k = 0; k < half; ++k) {
+        double angle = -2.0 * M_PI * k / (2.0 * half);
+        double s = std::sin(angle) * (inverse ? -1.0 : 1.0);
+        out.push_back(static_cast<std::int32_t>(
+            std::lround(s * 16384.0)));
+    }
+    return out;
+}
+
+std::vector<int>
+bitReverseOrder(int n)
+{
+    int bits = 0;
+    while ((1 << bits) < n)
+        ++bits;
+    std::vector<int> order(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        int r = 0;
+        for (int b = 0; b < bits; ++b)
+            if (i & (1 << b))
+                r |= 1 << (bits - 1 - b);
+        order[static_cast<std::size_t>(i)] = r;
+    }
+    return order;
+}
+
+} // namespace stitch::kernels

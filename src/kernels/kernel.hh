@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Infrastructure shared by the wearable kernels (the workload suite
+ * standing in for the IoT benchmark kernels [38] of the paper).
+ *
+ * Kernels are SW32 programs built through the assembler eDSL. Each
+ * can be built standalone (one sample, no messages — Fig. 11 studies)
+ * or as a pipeline stage (N samples, RECV from upstream tiles and
+ * SEND to downstream tiles per the application graphs of Fig. 9).
+ * Stage wiring is table driven: tile ids live in a per-tile comm
+ * table written by the application runner, so binaries are placement
+ * independent.
+ *
+ * Register conventions:
+ *  - s0/s1: pipeline loop bounds/counter (builder owned)
+ *  - s2..s5: kernel base pointers (typically SPM arrays)
+ *  - t0..t12, a0..a5: kernel body scratch
+ *  - s6..s9 (r28..r31): reserved compiler scratch — never used here
+ */
+
+#ifndef STITCH_KERNELS_KERNEL_HH
+#define STITCH_KERNELS_KERNEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/driver.hh"
+#include "isa/assembler.hh"
+
+namespace stitch::kernels
+{
+
+/** Pipeline-stage shape of a kernel build. */
+struct PipelineShape
+{
+    int numIn = 0;   ///< upstream channels (recv per sample)
+    int numOut = 0;  ///< downstream channels (send per sample)
+    int samples = 1; ///< outer-loop iterations
+
+    bool standalone() const { return numIn == 0 && numOut == 0; }
+};
+
+/** Comm-table addresses (private DRAM; within a 16-bit immediate). */
+inline constexpr Addr commInTableAddr = 0x7000;  ///< word per channel
+inline constexpr Addr commOutTableAddr = 0x7100; ///< word per channel
+
+/** Pipeline sample count, read at stage start (poked by the
+ *  application runner; 0 still runs one sample, which is what the
+ *  compiler's standalone profiling and validation use). */
+inline constexpr Addr commSamplesAddr = 0x7200;
+
+/** Where kernel DRAM data lives (clear of the code window). */
+inline constexpr Addr dramDataBase = 0x20000;
+
+/**
+ * Assembler wrapper that adds the pipeline sample loop around a
+ * kernel body.
+ *
+ * Usage:
+ * @code
+ *   KernelBuilder kb("fir", shape);
+ *   ... setup (pointer loads) using kb.a() ...
+ *   kb.beginSample();
+ *   ... body ...
+ *   kb.endSample(resultReg);
+ *   compiler::KernelInput input = kb.finish(spmBaseRegs, outputs);
+ * @endcode
+ */
+class KernelBuilder
+{
+  public:
+    KernelBuilder(const std::string &name, const PipelineShape &shape);
+
+    /** The underlying assembler, for setup and body code. */
+    isa::Assembler &a() { return asm_; }
+
+    /** Start the per-sample region (binds the loop head, emits
+     *  RECVs). Call exactly once. */
+    void beginSample();
+
+    /** End the per-sample region: emit SENDs of `resultReg`, the
+     *  loop-back branch, and HALT. */
+    void endSample(RegId resultReg);
+
+    /** Attach an initialized data segment. */
+    void addDataWords(Addr base, const std::vector<Word> &words);
+
+    /** Produce the compiler input. */
+    compiler::KernelInput
+    finish(std::vector<RegId> spmBaseRegs,
+           std::vector<compiler::OutputRegion> outputs);
+
+  private:
+    PipelineShape shape_;
+    isa::Assembler asm_;
+    isa::Label loop_;
+    bool began_ = false;
+    bool ended_ = false;
+    std::vector<std::pair<Addr, std::vector<Word>>> data_;
+};
+
+/** Pack int32 values into data words. */
+std::vector<Word> toWords(const std::vector<std::int32_t> &values);
+
+/** Q14 fixed-point cosine/sine twiddle tables for a 2^k FFT. */
+std::vector<std::int32_t> fftTwiddlesRe(int half);
+std::vector<std::int32_t> fftTwiddlesIm(int half, bool inverse);
+
+/** Bit-reverse permutation of 0..n-1 (n a power of two). */
+std::vector<int> bitReverseOrder(int n);
+
+} // namespace stitch::kernels
+
+#endif // STITCH_KERNELS_KERNEL_HH

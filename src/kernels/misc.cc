@@ -1,0 +1,387 @@
+/**
+ * @file
+ * The remaining suite kernels: DTW (transportation context
+ * detection), an AES-like table cipher (encryption stages of APP3/4),
+ * histogram, linear SVM scoring, A*-style grid relaxation, and CRC32.
+ */
+
+#include "kernels/catalog.hh"
+
+#include "kernels/golden.hh"
+#include "mem/addrmap.hh"
+
+namespace stitch::kernels
+{
+
+using namespace isa::reg;
+
+namespace
+{
+constexpr auto spm = static_cast<std::int32_t>(mem::spmBase);
+} // namespace
+
+compiler::KernelInput
+buildDtw(const PipelineShape &shape)
+{
+    KernelBuilder kb("dtw", shape);
+    auto &a = kb.a();
+
+    a.li(s2, spm);       // a[32]
+    a.li(s3, spm + 128); // b[32]
+    a.li(s4, spm + 256); // prev[33]
+    a.li(s5, spm + 388); // cur[33]
+
+    kb.beginSample();
+    auto iloop = a.newLabel();
+    auto jloop = a.newLabel();
+    // Rebuild the DP boundary each sample: prev[0] = 0, rest = inf.
+    auto initLoop = a.newLabel();
+    a.li(t0, 1 << 28);
+    a.li(a5, 0);
+    a.bind(initLoop);
+    a.add(t1, s4, a5);
+    a.sw(t0, t1, 0);
+    a.add(t1, s5, a5);
+    a.sw(t0, t1, 0);
+    a.addi(a5, a5, 4);
+    a.addi(t1, zero, 132);
+    a.blt(a5, t1, initLoop);
+    a.sw(zero, s4, 0); // prev[0] = 0
+
+    a.li(a4, 0); // i
+    a.bind(iloop);
+    a.li(t0, 1 << 28);
+    a.sw(t0, s5, 0); // cur[0] = inf
+    a.slli(t1, a4, 2);
+    a.add(t1, s2, t1);
+    a.lw(a0, t1, 0); // a[i]
+    a.li(a5, 1);     // j
+    a.bind(jloop);
+    a.slli(t1, a5, 2);
+    a.addi(t2, t1, -4);
+    a.add(t2, s3, t2);
+    a.lw(t2, t2, 0); // b[j-1]
+    a.sub(t2, a0, t2);
+    a.srai(t3, t2, 31); // branchless abs -> cost
+    a.xor_(t2, t2, t3);
+    a.sub(t2, t2, t3);
+    a.add(t4, s4, t1);
+    a.lw(t5, t4, 0);  // prev[j]
+    a.lw(t6, t4, -4); // prev[j-1]
+    a.add(t4, s5, t1);
+    a.lw(t7, t4, -4); // cur[j-1]
+    // best = bmin(bmin(prev[j], cur[j-1]), prev[j-1])
+    a.sub(t8, t5, t7);
+    a.srai(t9, t8, 31);
+    a.and_(t8, t8, t9);
+    a.add(t5, t7, t8);
+    a.sub(t8, t5, t6);
+    a.srai(t9, t8, 31);
+    a.and_(t8, t8, t9);
+    a.add(t5, t6, t8);
+    a.add(t5, t5, t2);
+    a.add(t4, s5, t1);
+    a.sw(t5, t4, 0); // cur[j]
+    a.addi(a5, a5, 1);
+    a.addi(t1, zero, 33);
+    a.blt(a5, t1, jloop);
+    // swap prev/cur row pointers
+    a.mov(t1, s4);
+    a.mov(s4, s5);
+    a.mov(s5, t1);
+    a.addi(a4, a4, 1);
+    a.addi(t1, zero, 32);
+    a.blt(a4, t1, iloop);
+    a.lw(a0, s4, 128); // prev[32] = the DTW distance
+    a.li(t2, spm + 520);
+    a.sw(a0, t2, 0);
+    kb.endSample(a0);
+
+    kb.addDataWords(mem::spmBase, toWords(golden::dtwSeqA()));
+    kb.addDataWords(mem::spmBase + 128, toWords(golden::dtwSeqB()));
+    return kb.finish({s2, s3, s4, s5}, {{mem::spmBase + 520, 4}});
+}
+
+compiler::KernelInput
+buildAes(const PipelineShape &shape)
+{
+    KernelBuilder kb("aes", shape);
+    auto &a = kb.a();
+
+    a.li(s2, spm);        // T-table[256]
+    a.li(s3, spm + 1024); // round keys[44]
+    a.li(s4, spm + 1204); // blocks[8] (2 blocks), in place
+
+    // Emit one T-table term: acc ^= rot(T[(state >> bs) & 0xff]).
+    auto term = [&](RegId acc, RegId state, int byteShift, int rot,
+                    bool first) {
+        if (byteShift > 0) {
+            a.srli(t0, state, byteShift);
+            a.andi(t0, t0, 0xff);
+        } else {
+            a.andi(t0, state, 0xff);
+        }
+        a.slli(t0, t0, 2);
+        a.add(t0, s2, t0);
+        a.lw(t0, t0, 0);
+        if (rot > 0) {
+            a.srli(t1, t0, rot);
+            a.slli(t0, t0, 32 - rot);
+            a.or_(t0, t0, t1);
+        }
+        if (first)
+            a.mov(acc, t0);
+        else
+            a.xor_(acc, acc, t0);
+    };
+
+    kb.beginSample();
+    auto blockLoop = a.newLabel();
+    auto roundLoop = a.newLabel();
+    a.li(a4, 0); // block index
+    a.bind(blockLoop);
+    a.slli(t0, a4, 4);
+    a.add(t11, s4, t0); // &blocks[4*b] (kept across the rounds)
+    a.lw(a0, t11, 0);
+    a.lw(a1, t11, 4);
+    a.lw(a2, t11, 8);
+    a.lw(a3, t11, 12);
+    for (int j = 0; j < 4; ++j) {
+        a.lw(t1, s3, 4 * j);
+        a.xor_(j == 0 ? a0 : j == 1 ? a1 : j == 2 ? a2 : a3,
+               j == 0 ? a0 : j == 1 ? a1 : j == 2 ? a2 : a3, t1);
+    }
+    a.li(t8, 1);        // round counter
+    a.addi(t9, s3, 16); // round-key pointer
+    a.bind(roundLoop);
+    const RegId state[4] = {a0, a1, a2, a3};
+    const RegId next[4] = {t4, t5, t6, t7};
+    for (int j = 0; j < 4; ++j) {
+        term(next[j], state[j % 4], 0, 0, true);
+        term(next[j], state[(j + 1) % 4], 8, 8, false);
+        term(next[j], state[(j + 2) % 4], 16, 16, false);
+        term(next[j], state[(j + 3) % 4], 24, 24, false);
+        a.lw(t1, t9, 4 * j);
+        a.xor_(next[j], next[j], t1);
+    }
+    for (int j = 0; j < 4; ++j)
+        a.mov(state[j], next[j]);
+    a.addi(t9, t9, 16);
+    a.addi(t8, t8, 1);
+    a.addi(t1, zero, 11);
+    a.blt(t8, t1, roundLoop);
+    a.sw(a0, t11, 0);
+    a.sw(a1, t11, 4);
+    a.sw(a2, t11, 8);
+    a.sw(a3, t11, 12);
+    a.addi(a4, a4, 1);
+    a.addi(t1, zero, 2);
+    a.blt(a4, t1, blockLoop);
+    kb.endSample(a0);
+
+    kb.addDataWords(mem::spmBase, toWords(golden::aesTable()));
+    kb.addDataWords(mem::spmBase + 1024,
+                    toWords(golden::aesRoundKeys()));
+    kb.addDataWords(mem::spmBase + 1204, toWords(golden::aesInput()));
+    return kb.finish({s2, s3, s4}, {{mem::spmBase + 1204, 32}});
+}
+
+compiler::KernelInput
+buildHistogram(const PipelineShape &shape)
+{
+    KernelBuilder kb("histogram", shape);
+    auto &a = kb.a();
+
+    a.li(s2, spm); // bins[64]
+    a.li(s3, static_cast<std::int32_t>(dramDataBase)); // input[1024]
+
+    kb.beginSample();
+    // Clear the bins each sample so counts stay exact.
+    auto clearLoop = a.newLabel();
+    a.li(a5, 0);
+    a.bind(clearLoop);
+    a.add(t0, s2, a5);
+    a.sw(zero, t0, 0);
+    a.addi(a5, a5, 4);
+    a.addi(t0, zero, 256);
+    a.blt(a5, t0, clearLoop);
+
+    auto loop = a.newLabel();
+    a.li(a4, 0);
+    a.bind(loop);
+    a.slli(t0, a4, 2);
+    a.add(t0, s3, t0);
+    a.lw(t1, t0, 0); // cached (non-SPM) stream load
+    a.srli(t1, t1, 4);
+    a.slli(t1, t1, 2);
+    a.add(t1, s2, t1);
+    a.lw(t2, t1, 0);
+    a.addi(t2, t2, 1);
+    a.sw(t2, t1, 0);
+    a.addi(a4, a4, 1);
+    a.addi(t0, zero, 256);
+    a.blt(a4, t0, loop);
+    a.mov(a0, t2);
+    kb.endSample(a0);
+
+    kb.addDataWords(dramDataBase, toWords(golden::histogramInput()));
+    return kb.finish({s2}, {{mem::spmBase, 256}});
+}
+
+compiler::KernelInput
+buildSvm(const PipelineShape &shape)
+{
+    KernelBuilder kb("svm", shape);
+    auto &a = kb.a();
+
+    a.li(s2, spm);        // x[64]
+    a.li(s3, spm + 256);  // w[8][64]
+    a.li(s4, spm + 2304); // bias[8]
+    a.li(s5, spm + 2336); // scores[8]
+
+    kb.beginSample();
+    auto cloop = a.newLabel();
+    auto iloop = a.newLabel();
+    a.li(a4, 0); // class
+    a.bind(cloop);
+    a.li(a0, 0);
+    a.slli(t0, a4, 8); // class * 64 * 4
+    a.add(t0, s3, t0);
+    a.li(a5, 0);
+    a.bind(iloop);
+    a.slli(t1, a5, 2);
+    a.add(t2, t0, t1);
+    a.lw(t3, t2, 0);
+    a.add(t2, s2, t1);
+    a.lw(t4, t2, 0);
+    a.mul(t5, t3, t4);
+    a.add(a0, a0, t5);
+    a.addi(a5, a5, 1);
+    a.addi(t2, zero, 64);
+    a.blt(a5, t2, iloop);
+    a.srai(a0, a0, 12);
+    a.slli(t1, a4, 2);
+    a.add(t2, s4, t1);
+    a.lw(t3, t2, 0);
+    a.add(a0, a0, t3);
+    a.add(t2, s5, t1);
+    a.sw(a0, t2, 0);
+    a.addi(a4, a4, 1);
+    a.addi(t2, zero, 8);
+    a.blt(a4, t2, cloop);
+    kb.endSample(a0);
+
+    kb.addDataWords(mem::spmBase, toWords(golden::svmInput()));
+    kb.addDataWords(mem::spmBase + 256, toWords(golden::svmWeights()));
+    kb.addDataWords(mem::spmBase + 2304, toWords(golden::svmBias()));
+    return kb.finish({s2, s3, s4, s5}, {{mem::spmBase + 2336, 32}});
+}
+
+compiler::KernelInput
+buildAstar(const PipelineShape &shape)
+{
+    KernelBuilder kb("astar", shape);
+    auto &a = kb.a();
+
+    a.li(s2, spm);        // costs[16][16]
+    a.li(s3, spm + 1024); // dist[16][16]
+
+    kb.beginSample();
+    // Reset the distance map each sample.
+    auto initLoop = a.newLabel();
+    a.li(t0, 1 << 28);
+    a.li(a5, 0);
+    a.bind(initLoop);
+    a.add(t1, s3, a5);
+    a.sw(t0, t1, 0);
+    a.addi(a5, a5, 4);
+    a.addi(t1, zero, 1024);
+    a.blt(a5, t1, initLoop);
+    a.sw(zero, s3, 0); // dist[0] = 0
+
+    auto sweepLoop = a.newLabel();
+    auto cellLoop = a.newLabel();
+    a.li(t8, 0); // sweep
+    a.bind(sweepLoop);
+    a.li(a4, 1); // cell index (cell 0 is the source)
+    a.bind(cellLoop);
+    auto skipL = a.newLabel();
+    auto skipU = a.newLabel();
+    a.slli(t1, a4, 2);
+    a.add(t2, s3, t1);
+    a.lw(t3, t2, 0); // dist[i]
+    a.andi(t0, a4, 15);
+    a.beq(t0, zero, skipL); // no left neighbour in column 0
+    a.lw(t5, t2, -4);
+    a.add(t6, s2, t1);
+    a.lw(t7, t6, 0);
+    a.add(t5, t5, t7);
+    a.bge(t5, t3, skipL);
+    a.mov(t3, t5);
+    a.bind(skipL);
+    a.addi(t4, zero, 16);
+    a.blt(a4, t4, skipU); // no upper neighbour in row 0
+    a.lw(t5, t2, -64);
+    a.add(t6, s2, t1);
+    a.lw(t7, t6, 0);
+    a.add(t5, t5, t7);
+    a.bge(t5, t3, skipU);
+    a.mov(t3, t5);
+    a.bind(skipU);
+    a.sw(t3, t2, 0);
+    a.addi(a4, a4, 1);
+    a.addi(t4, zero, 256);
+    a.blt(a4, t4, cellLoop);
+    a.addi(t8, t8, 1);
+    a.addi(t4, zero, 8);
+    a.blt(t8, t4, sweepLoop);
+    a.lw(a0, s3, 1020); // dist[255]
+    kb.endSample(a0);
+
+    kb.addDataWords(mem::spmBase, toWords(golden::astarCosts()));
+    return kb.finish({s2, s3}, {{mem::spmBase + 1024, 1024}});
+}
+
+compiler::KernelInput
+buildCrc(const PipelineShape &shape)
+{
+    KernelBuilder kb("crc", shape);
+    auto &a = kb.a();
+
+    a.li(s2, spm);        // table[256]
+    a.li(s3, spm + 1024); // input[256]
+
+    kb.beginSample();
+    auto loop = a.newLabel();
+    a.li(a0, -1); // crc
+    a.li(a4, 0);
+    a.bind(loop);
+    a.slli(t0, a4, 2);
+    a.add(t0, s3, t0);
+    a.lw(t1, t0, 0); // input word
+    for (int b = 0; b < 4; ++b) {
+        if (b > 0)
+            a.srli(t2, t1, 8 * b);
+        else
+            a.mov(t2, t1);
+        a.xor_(t2, a0, t2);
+        a.andi(t2, t2, 0xff);
+        a.slli(t2, t2, 2);
+        a.add(t2, s2, t2);
+        a.lw(t2, t2, 0);
+        a.srli(a0, a0, 8);
+        a.xor_(a0, a0, t2);
+    }
+    a.addi(a4, a4, 1);
+    a.addi(t0, zero, 256);
+    a.blt(a4, t0, loop);
+    a.li(t2, spm + 2048);
+    a.sw(a0, t2, 0);
+    kb.endSample(a0);
+
+    kb.addDataWords(mem::spmBase, toWords(golden::crcTable()));
+    kb.addDataWords(mem::spmBase + 1024, toWords(golden::crcInput()));
+    return kb.finish({s2, s3}, {{mem::spmBase + 2048, 4}});
+}
+
+} // namespace stitch::kernels

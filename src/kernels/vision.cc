@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Vision / neural-network kernels: 2-D convolution, Sobel gradients,
+ * 2x2 max pooling, matrix multiply, and a fully-connected layer —
+ * the building blocks of the CNN image-recognition application (APP2,
+ * paper Figure 9).
+ */
+
+#include "kernels/catalog.hh"
+
+#include "common/table.hh"
+#include "kernels/golden.hh"
+#include "mem/addrmap.hh"
+
+namespace stitch::kernels
+{
+
+using namespace isa::reg;
+
+namespace
+{
+constexpr auto spm = static_cast<std::int32_t>(mem::spmBase);
+} // namespace
+
+compiler::KernelInput
+buildConv2dSized(const PipelineShape &shape, int dim)
+{
+    const int outDim = dim - 2;
+    const std::int32_t inBytes = dim * dim * 4;
+    const std::int32_t outBytes = outDim * outDim * 4;
+
+    KernelBuilder kb(strformat("conv2d%d", dim), shape);
+    auto &a = kb.a();
+
+    a.li(s2, spm);                 // in[dim][dim]
+    a.li(s3, spm + inBytes);       // k[3][3]
+    a.li(s4, spm + inBytes + 36);  // out[outDim][outDim]
+    a.li(s5, dim * 4);             // row stride in bytes
+
+    kb.beginSample();
+    auto rloop = a.newLabel();
+    auto cloop = a.newLabel();
+    a.li(a4, 0);       // row
+    a.mov(a1, s2);     // &in[r][0]
+    a.mov(a2, s4);     // &out[r][0]
+    a.bind(rloop);
+    a.li(a5, 0); // col
+    a.bind(cloop);
+    a.slli(t1, a5, 2);
+    a.add(t0, a1, t1); // &in[r][c]
+    a.li(a0, 0);
+    for (int kr = 0; kr < 3; ++kr) {
+        for (int kc = 0; kc < 3; ++kc) {
+            a.lw(t3, t0, kr * dim * 4 + kc * 4);
+            a.lw(t4, s3, (kr * 3 + kc) * 4);
+            a.mul(t5, t3, t4);
+            a.add(a0, a0, t5);
+        }
+    }
+    a.srai(a0, a0, 12);
+    a.add(t1, a2, t1);
+    a.sw(a0, t1, 0);
+    a.addi(a5, a5, 1);
+    a.addi(t2, zero, outDim);
+    a.blt(a5, t2, cloop);
+    a.add(a1, a1, s5);          // next input row
+    a.addi(a2, a2, outDim * 4); // next output row
+    a.addi(a4, a4, 1);
+    a.addi(t2, zero, outDim);
+    a.blt(a4, t2, rloop);
+    kb.endSample(a0);
+
+    kb.addDataWords(mem::spmBase, toWords(golden::conv2dInputN(dim)));
+    kb.addDataWords(mem::spmBase + static_cast<Addr>(inBytes),
+                    toWords(golden::conv2dKernel()));
+    return kb.finish(
+        {s2, s3, s4},
+        {{mem::spmBase + static_cast<Addr>(inBytes) + 36,
+          static_cast<Addr>(outBytes)}});
+}
+
+compiler::KernelInput
+buildConv2d(const PipelineShape &shape)
+{
+    return buildConv2dSized(shape, 16);
+}
+
+compiler::KernelInput
+buildConv2dSmall(const PipelineShape &shape)
+{
+    return buildConv2dSized(shape, 10);
+}
+
+compiler::KernelInput
+buildSobel(const PipelineShape &shape)
+{
+    KernelBuilder kb("sobel", shape);
+    auto &a = kb.a();
+
+    a.li(s2, spm);        // in[16][16]
+    a.li(s3, spm + 1024); // out[14][14]
+
+    kb.beginSample();
+    auto rloop = a.newLabel();
+    auto cloop = a.newLabel();
+    a.li(a4, 0);
+    a.bind(rloop);
+    a.li(a5, 0);
+    a.bind(cloop);
+    a.slli(t0, a4, 6);
+    a.slli(t1, a5, 2);
+    a.add(t0, t0, t1);
+    a.add(t0, s2, t0); // &in[r][c]
+
+    // gx
+    a.lw(t3, t0, 8);
+    a.lw(t4, t0, 0);
+    a.sub(t3, t3, t4);
+    a.lw(t5, t0, 72);
+    a.lw(t6, t0, 64);
+    a.sub(t5, t5, t6);
+    a.slli(t5, t5, 1);
+    a.add(t3, t3, t5);
+    a.lw(t5, t0, 136);
+    a.lw(t6, t0, 128);
+    a.sub(t5, t5, t6);
+    a.add(t3, t3, t5);
+    // gy
+    a.lw(t5, t0, 128);
+    a.lw(t6, t0, 0);
+    a.sub(t5, t5, t6);
+    a.lw(t7, t0, 132);
+    a.lw(t1, t0, 4);
+    a.sub(t7, t7, t1);
+    a.slli(t7, t7, 1);
+    a.add(t5, t5, t7);
+    a.lw(t7, t0, 136);
+    a.lw(t1, t0, 8);
+    a.sub(t7, t7, t1);
+    a.add(t5, t5, t7);
+    // |gx| + |gy| (branchless)
+    a.srai(t4, t3, 31);
+    a.xor_(t3, t3, t4);
+    a.sub(t3, t3, t4);
+    a.srai(t4, t5, 31);
+    a.xor_(t5, t5, t4);
+    a.sub(t5, t5, t4);
+    a.add(a0, t3, t5);
+
+    a.slli(t1, a4, 6);
+    a.slli(t2, a4, 3);
+    a.sub(t1, t1, t2);
+    a.slli(t2, a5, 2);
+    a.add(t1, t1, t2);
+    a.add(t1, s3, t1);
+    a.sw(a0, t1, 0);
+    a.addi(a5, a5, 1);
+    a.addi(t2, zero, 14);
+    a.blt(a5, t2, cloop);
+    a.addi(a4, a4, 1);
+    a.addi(t2, zero, 14);
+    a.blt(a4, t2, rloop);
+    kb.endSample(a0);
+
+    kb.addDataWords(mem::spmBase, toWords(golden::sobelInput()));
+    return kb.finish({s2, s3}, {{mem::spmBase + 1024, 784}});
+}
+
+compiler::KernelInput
+buildPooling(const PipelineShape &shape)
+{
+    KernelBuilder kb("pooling", shape);
+    auto &a = kb.a();
+
+    a.li(s2, spm);        // in[16][16]
+    a.li(s3, spm + 1024); // out[8][8]
+
+    kb.beginSample();
+    auto rloop = a.newLabel();
+    auto cloop = a.newLabel();
+    a.li(a4, 0);
+    a.bind(rloop);
+    a.li(a5, 0);
+    a.bind(cloop);
+    a.slli(t0, a4, 7); // 2r * 64 bytes
+    a.slli(t1, a5, 3); // 2c * 4 bytes
+    a.add(t0, t0, t1);
+    a.add(t0, s2, t0);
+    a.lw(t3, t0, 0);
+    for (int off : {4, 64, 68}) {
+        a.lw(t4, t0, off);
+        a.sub(t5, t3, t4); // branchless max
+        a.srai(t6, t5, 31);
+        a.and_(t5, t5, t6);
+        a.sub(t3, t3, t5);
+    }
+    a.slli(t1, a4, 5);
+    a.slli(t2, a5, 2);
+    a.add(t1, t1, t2);
+    a.add(t1, s3, t1);
+    a.sw(t3, t1, 0);
+    a.addi(a5, a5, 1);
+    a.addi(t2, zero, 8);
+    a.blt(a5, t2, cloop);
+    a.addi(a4, a4, 1);
+    a.addi(t2, zero, 8);
+    a.blt(a4, t2, rloop);
+    a.mov(a0, t3);
+    kb.endSample(a0);
+
+    kb.addDataWords(mem::spmBase, toWords(golden::poolingInput()));
+    return kb.finish({s2, s3}, {{mem::spmBase + 1024, 256}});
+}
+
+compiler::KernelInput
+buildMatmul(const PipelineShape &shape)
+{
+    KernelBuilder kb("matmul", shape);
+    auto &a = kb.a();
+
+    a.li(s2, spm);        // a[12][12]
+    a.li(s3, spm + 576);  // b[12][12]
+    a.li(s4, spm + 1152); // c[12][12]
+
+    kb.beginSample();
+    auto iloop = a.newLabel();
+    auto jloop = a.newLabel();
+    auto kloop = a.newLabel();
+    a.li(a4, 0); // i
+    a.bind(iloop);
+    a.li(a5, 0); // j
+    a.bind(jloop);
+    a.li(a0, 0);       // acc
+    a.slli(t0, a4, 5); // i*48 = i*32 + i*16
+    a.slli(t1, a4, 4);
+    a.add(t0, t0, t1);
+    a.add(t0, s2, t0); // &a[i][0]
+    a.slli(t1, a5, 2);
+    a.add(t1, s3, t1); // &b[0][j]
+    a.li(t8, 0);       // k
+    a.bind(kloop);
+    a.slli(t2, t8, 2);
+    a.add(t2, t0, t2);
+    a.lw(t3, t2, 0); // a[i][k]
+    a.lw(t4, t1, 0); // b[k][j]
+    a.mul(t5, t3, t4);
+    a.add(a0, a0, t5);
+    a.addi(t1, t1, 48);
+    a.addi(t8, t8, 1);
+    a.addi(t2, zero, 12);
+    a.blt(t8, t2, kloop);
+    a.srai(a0, a0, 8);
+    a.slli(t1, a4, 5);
+    a.slli(t2, a4, 4);
+    a.add(t1, t1, t2);
+    a.slli(t2, a5, 2);
+    a.add(t1, t1, t2);
+    a.add(t1, s4, t1);
+    a.sw(a0, t1, 0);
+    a.addi(a5, a5, 1);
+    a.addi(t2, zero, 12);
+    a.blt(a5, t2, jloop);
+    a.addi(a4, a4, 1);
+    a.addi(t2, zero, 12);
+    a.blt(a4, t2, iloop);
+    kb.endSample(a0);
+
+    kb.addDataWords(mem::spmBase, toWords(golden::matmulA()));
+    kb.addDataWords(mem::spmBase + 576, toWords(golden::matmulB()));
+    return kb.finish({s2, s3, s4}, {{mem::spmBase + 1152, 576}});
+}
+
+compiler::KernelInput
+buildFc(const PipelineShape &shape)
+{
+    KernelBuilder kb("fc", shape);
+    auto &a = kb.a();
+
+    a.li(s2, spm);        // x[32]
+    a.li(s3, spm + 128);  // w[16][32]
+    a.li(s4, spm + 2176); // bias[16]
+    a.li(s5, spm + 2240); // y[16]
+
+    kb.beginSample();
+    auto oloop = a.newLabel();
+    auto iloop = a.newLabel();
+    a.li(a4, 0); // output index
+    a.bind(oloop);
+    a.li(a0, 0);
+    a.slli(t0, a4, 7); // o * 32 * 4 bytes
+    a.add(t0, s3, t0); // &w[o][0]
+    a.li(a5, 0);
+    a.bind(iloop);
+    a.slli(t1, a5, 2);
+    a.add(t2, t0, t1);
+    a.lw(t3, t2, 0); // w[o][i]
+    a.add(t2, s2, t1);
+    a.lw(t4, t2, 0); // x[i]
+    a.mul(t5, t3, t4);
+    a.add(a0, a0, t5);
+    a.addi(a5, a5, 1);
+    a.addi(t2, zero, 32);
+    a.blt(a5, t2, iloop);
+    a.srai(a0, a0, 12);
+    a.slli(t1, a4, 2);
+    a.add(t2, s4, t1);
+    a.lw(t3, t2, 0);
+    a.add(a0, a0, t3);
+    // Branchless ReLU: v & ~(v >> 31).
+    a.srai(t3, a0, 31);
+    a.xori(t3, t3, -1);
+    a.and_(a0, a0, t3);
+    a.add(t2, s5, t1);
+    a.sw(a0, t2, 0);
+    a.addi(a4, a4, 1);
+    a.addi(t2, zero, 16);
+    a.blt(a4, t2, oloop);
+    kb.endSample(a0);
+
+    kb.addDataWords(mem::spmBase, toWords(golden::fcInput()));
+    kb.addDataWords(mem::spmBase + 128, toWords(golden::fcWeights()));
+    kb.addDataWords(mem::spmBase + 2176, toWords(golden::fcBias()));
+    return kb.finish({s2, s3, s4, s5}, {{mem::spmBase + 2240, 64}});
+}
+
+} // namespace stitch::kernels

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The SW32 physical address map.
+ *
+ * Each tile owns a private memory space (Stitch is message passing, so
+ * there is no shared memory and no coherence — paper Section III). The
+ * scratchpad is an extension of the address space whose accesses are
+ * never cached; the sequencer routes by address (Section III-C).
+ */
+
+#ifndef STITCH_MEM_ADDRMAP_HH
+#define STITCH_MEM_ADDRMAP_HH
+
+#include "common/types.hh"
+
+namespace stitch::mem
+{
+
+/** Cached DRAM space: [dramBase, dramBase + dramSize). */
+inline constexpr Addr dramBase = 0x00000000u;
+inline constexpr Addr dramSize = 512u * 1024u * 1024u;
+
+/** Code image base (instruction fetches hit the I-cache here). */
+inline constexpr Addr codeBase = 0x00010000u;
+
+/** Per-tile scratchpad window (4 KB, uncached, 1-cycle). */
+inline constexpr Addr spmBase = 0x80000000u;
+inline constexpr Addr spmSize = 4096u;
+
+/** Memory-mapped crossbar configuration register (paper Fig. 5). */
+inline constexpr Addr xbarConfigAddr = 0x90000000u;
+
+/** True if `a` lies inside the scratchpad window. */
+constexpr bool
+isSpmAddr(Addr a)
+{
+    return a >= spmBase && a < spmBase + spmSize;
+}
+
+/** True if `a` is the crossbar configuration register. */
+constexpr bool
+isXbarConfigAddr(Addr a)
+{
+    return a == xbarConfigAddr;
+}
+
+/** True if `a` lies in cached DRAM space. */
+constexpr bool
+isDramAddr(Addr a)
+{
+    return a < dramBase + dramSize;
+}
+
+} // namespace stitch::mem
+
+#endif // STITCH_MEM_ADDRMAP_HH

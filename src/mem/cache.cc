@@ -1,0 +1,101 @@
+#include "mem/cache.hh"
+
+#include "common/logging.hh"
+
+namespace stitch::mem
+{
+
+Cache::Cache(const CacheParams &params)
+    : params_(params)
+{
+    STITCH_ASSERT(params.blockBytes > 0 &&
+                  (params.blockBytes & (params.blockBytes - 1)) == 0,
+                  "block size must be a power of two");
+    STITCH_ASSERT(params.assoc > 0);
+    std::uint32_t blocks = params.sizeBytes / params.blockBytes;
+    STITCH_ASSERT(blocks % params.assoc == 0,
+                  "cache geometry does not divide evenly");
+    numSets_ = blocks / params.assoc;
+    STITCH_ASSERT((numSets_ & (numSets_ - 1)) == 0,
+                  "set count must be a power of two");
+    lines_.resize(static_cast<std::size_t>(numSets_) * params.assoc);
+}
+
+std::uint32_t
+Cache::setOf(Addr a) const
+{
+    return (a / params_.blockBytes) & (numSets_ - 1);
+}
+
+Addr
+Cache::tagOf(Addr a) const
+{
+    return a / params_.blockBytes / numSets_;
+}
+
+CacheAccessResult
+Cache::access(Addr a, bool isWrite)
+{
+    ++useClock_;
+    std::uint32_t set = setOf(a);
+    Addr tag = tagOf(a);
+    Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+
+    stats_.inc(isWrite ? "writes" : "reads");
+
+    // Hit path.
+    for (std::uint32_t way = 0; way < params_.assoc; ++way) {
+        Line &line = base[way];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock_;
+            line.dirty = line.dirty || isWrite;
+            stats_.inc("hits");
+            return CacheAccessResult{true, false};
+        }
+    }
+
+    // Miss: fill an invalid way if one exists, else the LRU way
+    // (write-allocate).
+    stats_.inc("misses");
+    Line *victim = nullptr;
+    for (std::uint32_t way = 0; way < params_.assoc; ++way) {
+        Line &line = base[way];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+
+    bool writeback = victim->valid && victim->dirty;
+    if (writeback)
+        stats_.inc("writebacks");
+    victim->valid = true;
+    victim->dirty = isWrite;
+    victim->tag = tag;
+    victim->lastUse = useClock_;
+    return CacheAccessResult{false, writeback};
+}
+
+bool
+Cache::probe(Addr a) const
+{
+    std::uint32_t set = setOf(a);
+    Addr tag = tagOf(a);
+    const Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
+    for (std::uint32_t way = 0; way < params_.assoc; ++way)
+        if (base[way].valid && base[way].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_)
+        line = Line{};
+    useClock_ = 0;
+}
+
+} // namespace stitch::mem

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Set-associative cache timing model (tags + LRU only).
+ *
+ * Stitch separates function from timing the way gem5's atomic mode
+ * does: data always lives in the tile's backing store; the cache model
+ * tracks tags and replacement to charge hit/miss latency. With a
+ * single in-order core per private memory this is exact.
+ */
+
+#ifndef STITCH_MEM_CACHE_HH
+#define STITCH_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace stitch::mem
+{
+
+/** Static configuration of one cache. */
+struct CacheParams
+{
+    std::uint32_t sizeBytes = 4096;
+    std::uint32_t assoc = 2;
+    std::uint32_t blockBytes = 64;
+};
+
+/** Result of a cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool writeback = false; ///< a dirty block was evicted
+};
+
+/**
+ * Tag store with true-LRU replacement and write-back/write-allocate
+ * policy (paper Table II: 2-way, 64 B blocks, LRU).
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /** Probe and update state for an access. */
+    CacheAccessResult access(Addr a, bool isWrite);
+
+    /** True if `a` currently hits without changing state. */
+    bool probe(Addr a) const;
+
+    /** Invalidate everything (program reload). */
+    void flush();
+
+    std::uint32_t numSets() const { return numSets_; }
+    const CacheParams &params() const { return params_; }
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint32_t setOf(Addr a) const;
+    Addr tagOf(Addr a) const;
+
+    CacheParams params_;
+    std::uint32_t numSets_;
+    std::vector<Line> lines_;    ///< numSets_ x assoc, row major
+    std::uint64_t useClock_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace stitch::mem
+
+#endif // STITCH_MEM_CACHE_HH

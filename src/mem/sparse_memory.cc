@@ -1,0 +1,64 @@
+#include "mem/sparse_memory.hh"
+
+namespace stitch::mem
+{
+
+SparseMemory::Page &
+SparseMemory::pageFor(Addr a)
+{
+    Addr key = a / pageBytes;
+    auto it = pages_.find(key);
+    if (it == pages_.end()) {
+        auto page = std::make_unique<Page>();
+        page->fill(0);
+        it = pages_.emplace(key, std::move(page)).first;
+    }
+    return *it->second;
+}
+
+const SparseMemory::Page *
+SparseMemory::pageForRead(Addr a) const
+{
+    auto it = pages_.find(a / pageBytes);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint8_t
+SparseMemory::readByte(Addr a) const
+{
+    const Page *p = pageForRead(a);
+    return p ? (*p)[a % pageBytes] : 0;
+}
+
+void
+SparseMemory::writeByte(Addr a, std::uint8_t v)
+{
+    pageFor(a)[a % pageBytes] = v;
+}
+
+Word
+SparseMemory::readWord(Addr a) const
+{
+    return static_cast<Word>(readByte(a)) |
+           (static_cast<Word>(readByte(a + 1)) << 8) |
+           (static_cast<Word>(readByte(a + 2)) << 16) |
+           (static_cast<Word>(readByte(a + 3)) << 24);
+}
+
+void
+SparseMemory::writeWord(Addr a, Word v)
+{
+    writeByte(a, static_cast<std::uint8_t>(v & 0xff));
+    writeByte(a + 1, static_cast<std::uint8_t>((v >> 8) & 0xff));
+    writeByte(a + 2, static_cast<std::uint8_t>((v >> 16) & 0xff));
+    writeByte(a + 3, static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+void
+SparseMemory::writeBlock(Addr base, const std::vector<std::uint8_t> &bytes)
+{
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        writeByte(base + static_cast<Addr>(i), bytes[i]);
+}
+
+} // namespace stitch::mem

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Sparse byte-addressable backing store for the 512 MB DRAM space.
+ */
+
+#ifndef STITCH_MEM_SPARSE_MEMORY_HH
+#define STITCH_MEM_SPARSE_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace stitch::mem
+{
+
+/**
+ * Page-granular sparse memory. Pages are allocated zero-filled on
+ * first touch, so a 512 MB space costs only what the program uses.
+ */
+class SparseMemory
+{
+  public:
+    static constexpr Addr pageBytes = 4096;
+
+    std::uint8_t readByte(Addr a) const;
+    void writeByte(Addr a, std::uint8_t v);
+
+    /** Little-endian word access; need not be aligned. */
+    Word readWord(Addr a) const;
+    void writeWord(Addr a, Word v);
+
+    /** Bulk initialization used by the program loader. */
+    void writeBlock(Addr base, const std::vector<std::uint8_t> &bytes);
+
+    /** Number of pages currently materialized. */
+    std::size_t pageCount() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<std::uint8_t, pageBytes>;
+
+    Page &pageFor(Addr a);
+    const Page *pageForRead(Addr a) const;
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace stitch::mem
+
+#endif // STITCH_MEM_SPARSE_MEMORY_HH

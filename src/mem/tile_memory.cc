@@ -1,0 +1,160 @@
+#include "mem/tile_memory.hh"
+
+#include "common/logging.hh"
+
+namespace stitch::mem
+{
+
+TileMemory::TileMemory(const MemParams &params)
+    : params_(params),
+      icache_(params.icache),
+      dcache_(params.dcache),
+      spm_(params.hasSpm ? spmSize : 0, 0)
+{
+}
+
+Cycles
+TileMemory::dcacheAccess(Addr a, bool isWrite)
+{
+    auto res = dcache_.access(a, isWrite);
+    Cycles extra = 0;
+    if (!res.hit)
+        extra += params_.dramCycles;
+    if (res.writeback)
+        extra += params_.dramCycles;
+    return extra;
+}
+
+std::uint8_t *
+TileMemory::spmBytePtr(Addr a)
+{
+    STITCH_ASSERT(!spm_.empty(), "SPM access on a tile without an SPM");
+    STITCH_ASSERT(isSpmAddr(a) && a + 3 < spmBase + spmSize,
+                  "SPM access out of range: ", a);
+    return &spm_[a - spmBase];
+}
+
+const std::uint8_t *
+TileMemory::spmBytePtr(Addr a) const
+{
+    return const_cast<TileMemory *>(this)->spmBytePtr(a);
+}
+
+MemResult
+TileMemory::loadWord(Addr a)
+{
+    if (isSpmAddr(a)) {
+        stats_.inc("spm_reads");
+        // SPM is 1-cycle, which is the base instruction cycle: no
+        // extra stall beyond it (spmCycles - 1).
+        return MemResult{spmLoadWord(a), params_.spmCycles - 1};
+    }
+    if (!isDramAddr(a))
+        fatal("load from unmapped address ", a);
+    Cycles extra = dcacheAccess(a, false);
+    return MemResult{dram_.readWord(a), extra};
+}
+
+MemResult
+TileMemory::loadByte(Addr a)
+{
+    if (isSpmAddr(a)) {
+        stats_.inc("spm_reads");
+        const std::uint8_t *p = &spm_[a - spmBase];
+        auto v = static_cast<Word>(
+            static_cast<std::int32_t>(static_cast<std::int8_t>(*p)));
+        return MemResult{v, params_.spmCycles - 1};
+    }
+    if (!isDramAddr(a))
+        fatal("load from unmapped address ", a);
+    Cycles extra = dcacheAccess(a, false);
+    auto v = static_cast<Word>(static_cast<std::int32_t>(
+        static_cast<std::int8_t>(dram_.readByte(a))));
+    return MemResult{v, extra};
+}
+
+Cycles
+TileMemory::storeWord(Addr a, Word v)
+{
+    if (isSpmAddr(a)) {
+        stats_.inc("spm_writes");
+        spmStoreWord(a, v);
+        return params_.spmCycles - 1;
+    }
+    if (!isDramAddr(a))
+        fatal("store to unmapped address ", a);
+    Cycles extra = dcacheAccess(a, true);
+    dram_.writeWord(a, v);
+    return extra;
+}
+
+Cycles
+TileMemory::storeByte(Addr a, std::uint8_t v)
+{
+    if (isSpmAddr(a)) {
+        stats_.inc("spm_writes");
+        spm_[a - spmBase] = v;
+        return params_.spmCycles - 1;
+    }
+    if (!isDramAddr(a))
+        fatal("store to unmapped address ", a);
+    Cycles extra = dcacheAccess(a, true);
+    dram_.writeByte(a, v);
+    return extra;
+}
+
+Cycles
+TileMemory::fetch(Addr wa, int words)
+{
+    Cycles extra = 0;
+    Addr first = codeBase + wa * 4;
+    Addr last = first + static_cast<Addr>(words - 1) * 4;
+    Addr block = params_.icache.blockBytes;
+    // One access per block touched (a two-word CUST can straddle).
+    for (Addr a = first / block * block; a <= last; a += block) {
+        auto res = icache_.access(a, false);
+        if (!res.hit)
+            extra += params_.dramCycles;
+    }
+    return extra;
+}
+
+Word
+TileMemory::spmLoadWord(Addr a) const
+{
+    const std::uint8_t *p = spmBytePtr(a);
+    return static_cast<Word>(p[0]) | (static_cast<Word>(p[1]) << 8) |
+           (static_cast<Word>(p[2]) << 16) |
+           (static_cast<Word>(p[3]) << 24);
+}
+
+void
+TileMemory::spmStoreWord(Addr a, Word v)
+{
+    std::uint8_t *p = spmBytePtr(a);
+    p[0] = static_cast<std::uint8_t>(v & 0xff);
+    p[1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+    p[2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+    p[3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
+}
+
+Word
+TileMemory::spmPeek(Addr offset) const
+{
+    return spmLoadWord(spmBase + offset);
+}
+
+void
+TileMemory::spmPoke(Addr offset, Word v)
+{
+    spmStoreWord(spmBase + offset, v);
+}
+
+void
+TileMemory::flushCaches()
+{
+    icache_.flush();
+    dcache_.flush();
+}
+
+} // namespace stitch::mem

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The per-tile memory system: private DRAM behind split I/D caches,
+ * plus the 4 KB scratchpad (paper Table II).
+ */
+
+#ifndef STITCH_MEM_TILE_MEMORY_HH
+#define STITCH_MEM_TILE_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/addrmap.hh"
+#include "mem/cache.hh"
+#include "mem/sparse_memory.hh"
+
+namespace stitch::mem
+{
+
+/** Memory-system configuration of one tile. */
+struct MemParams
+{
+    CacheParams icache{8192, 2, 64};  ///< 2-way 8 KB I-cache
+    CacheParams dcache{4096, 2, 64};  ///< 2-way 4 KB D-cache
+    bool hasSpm = true;               ///< Stitch tiles have the SPM;
+                                      ///< the baseline swaps it for a
+                                      ///< larger D-cache
+    Cycles dramCycles = 30;           ///< DRAM access latency
+    Cycles spmCycles = 1;             ///< SPM access latency
+};
+
+/** Value + additional stall cycles beyond the base instruction cycle. */
+struct MemResult
+{
+    Word value = 0;
+    Cycles extraCycles = 0;
+};
+
+/**
+ * One tile's memory. The sequencer role of Section III-C lives here:
+ * addresses are routed to the SPM window or the cached DRAM space.
+ */
+class TileMemory
+{
+  public:
+    explicit TileMemory(const MemParams &params = MemParams{});
+
+    /** Data-side accesses (loads charge latency, return data). */
+    MemResult loadWord(Addr a);
+    MemResult loadByte(Addr a);          ///< sign-extended
+    Cycles storeWord(Addr a, Word v);
+    Cycles storeByte(Addr a, std::uint8_t v);
+
+    /**
+     * Instruction-side access: charge the I-cache for fetching
+     * `words` instruction words starting at word address `wa`.
+     */
+    Cycles fetch(Addr wa, int words);
+
+    /** Zero-latency SPM port used by the patch LMAU (Section III-C). */
+    Word spmLoadWord(Addr a) const;
+    void spmStoreWord(Addr a, Word v);
+
+    /** Direct (no timing) backing-store access for loaders/checkers. */
+    SparseMemory &backing() { return dram_; }
+    const SparseMemory &backing() const { return dram_; }
+
+    /** Direct SPM image access for loaders/checkers. */
+    Word spmPeek(Addr offset) const;
+    void spmPoke(Addr offset, Word v);
+
+    /** Reset caches (fresh program run); memory contents persist. */
+    void flushCaches();
+
+    const MemParams &params() const { return params_; }
+    Cache &icache() { return icache_; }
+    Cache &dcache() { return dcache_; }
+    StatGroup &stats() { return stats_; }
+
+  private:
+    Cycles dcacheAccess(Addr a, bool isWrite);
+    std::uint8_t *spmBytePtr(Addr a);
+    const std::uint8_t *spmBytePtr(Addr a) const;
+
+    MemParams params_;
+    SparseMemory dram_;
+    Cache icache_;
+    Cache dcache_;
+    std::vector<std::uint8_t> spm_;
+    StatGroup stats_;
+};
+
+} // namespace stitch::mem
+
+#endif // STITCH_MEM_TILE_MEMORY_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Power, area and platform reference models (paper Sections V/VI-D).
+ *
+ * Anchored constants come from the paper's 40 nm Synopsys DC
+ * synthesis (Table I, Table III, Table IV, Figure 13) and from its
+ * measured reference platforms (TI SensorTag, ODROID XU3's quad
+ * Cortex-A7). Quantities the paper does not report directly are
+ * derived and labelled as such in code comments.
+ */
+
+#ifndef STITCH_POWER_POWER_MODEL_HH
+#define STITCH_POWER_POWER_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "core/arch.hh"
+#include "core/snoc_timing.hh"
+
+namespace stitch::power
+{
+
+/** Clock of the Stitch chip (Section VI-D). */
+inline constexpr double stitchClockMhz = 200.0;
+
+/** Total chip power at 200 MHz (Fig. 13 / Table I). */
+inline constexpr double stitchTotalMw = 139.5;
+
+/** Share of total power in patches + inter-patch NoC (Fig. 13). */
+inline constexpr double accelPowerShare = 0.23;
+
+/** Stitch w/o fusion average power (Table I): the sNoC repeaters and
+ *  remote patches stay idle. */
+inline constexpr double stitchNoFusionMw = 108.0;
+
+/** Accelerator areas (Table III), um^2. */
+inline constexpr double locusAccelAreaUm2 = 1288044.0;
+inline constexpr double stitchNoFusionAreaUm2 = 49872.0;
+inline constexpr double stitchAccelAreaUm2 = 168568.0;
+
+/** Accelerator share of chip area (Table III): 0.5%. */
+inline constexpr double stitchAccelAreaShare = 0.005;
+
+/** Reference platforms (Table I / Fig. 15, measured by the paper). */
+struct PlatformRef
+{
+    const char *name;
+    double gestureMs;   ///< time per gesture (APP1)
+    double powerMw;
+    double freqMhz;
+};
+
+inline constexpr PlatformRef sensorTagRef{"TI SensorTag (M3)", 577.0,
+                                          8.78, 48.0};
+inline constexpr PlatformRef cortexA7Ref{"quad Cortex-A7", 13.0,
+                                         469.0, 1200.0};
+inline constexpr PlatformRef paperStitchRef{"Stitch (paper)", 7.62,
+                                            139.5, 200.0};
+inline constexpr PlatformRef paperNoFusionRef{
+    "Stitch w/o fusion (paper)", 11.49, 108.0, 200.0};
+
+/** APP1 real-time deadline: 128 Hz sampling (Section V). */
+inline constexpr double gestureDeadlineMs = 7.81;
+
+/**
+ * Quad-A7 throughput relative to the 16-core 200 MHz baseline.
+ * Derived: the paper reports Stitch at 2.3X the baseline and 1.65X
+ * the A7, so A7 ~ 2.3/1.65 = 1.394X the baseline.
+ */
+inline constexpr double a7VsBaselineThroughput = 2.3 / 1.65;
+
+/** Chip-level power numbers per configuration. */
+double baselinePowerMw();       ///< cores only: total * (1 - 23%)
+double stitchPowerMw();         ///< full chip, fusion active
+double stitchNoFusionPowerMw(); ///< Table I
+double locusPowerMw(double freqMhz = 200.0); ///< derived estimate
+
+/** Total patch area of a placement (Table IV per-patch areas). */
+double patchesAreaUm2(const core::StitchArch &arch);
+
+/** Inter-patch NoC switch area (16 switches, Table IV). */
+double snocAreaUm2();
+
+/** Full chip area implied by the 0.5% accelerator share, mm^2. */
+double chipAreaMm2();
+
+/** One row of the Fig. 13 style breakdown. */
+struct BreakdownRow
+{
+    std::string component;
+    double value;  ///< mW or um^2
+    double share;  ///< of total
+    bool derived;  ///< true if not directly reported by the paper
+};
+
+/** Power breakdown of the Stitch chip (Fig. 13 left). */
+std::vector<BreakdownRow> powerBreakdown();
+
+/** Area breakdown of the accelerator fabric (Fig. 13 right). */
+std::vector<BreakdownRow> accelAreaBreakdown();
+
+/** Cycles -> milliseconds at the Stitch clock. */
+double cyclesToMs(double cycles);
+
+} // namespace stitch::power
+
+#endif // STITCH_POWER_POWER_MODEL_HH

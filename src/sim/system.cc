@@ -1,0 +1,217 @@
+#include "sim/system.hh"
+
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+
+namespace stitch::sim
+{
+
+System::System(const SystemParams &params)
+    : params_(params), noc_(params.noc)
+{
+    for (TileId t = 0; t < numTiles; ++t) {
+        Tile &tile = tiles_[static_cast<std::size_t>(t)];
+        tile.memory = std::make_unique<mem::TileMemory>(params_.mem);
+        tile.core = std::make_unique<cpu::Core>(t, *tile.memory, this,
+                                                this);
+        tile.spmPort =
+            std::make_unique<cpu::TileSpmPort>(*tile.memory);
+        if (params_.accel == AccelMode::Locus)
+            tile.locus = std::make_unique<core::LocusSfu>();
+    }
+}
+
+void
+System::loadProgram(TileId t, const compiler::RewrittenProgram &binary)
+{
+    STITCH_ASSERT(t >= 0 && t < numTiles);
+    Tile &tile = tiles_[static_cast<std::size_t>(t)];
+    tile.core->loadProgram(binary.program);
+    if (params_.accel == AccelMode::Locus)
+        tile.locus->installTable(binary.microTable);
+    else if (!binary.microTable.empty())
+        fatal("LOCUS binary loaded on a non-LOCUS system");
+    tile.loaded = true;
+    tile.blocked = false;
+}
+
+void
+System::setFusionPartner(TileId local, TileId remote)
+{
+    STITCH_ASSERT(params_.accel == AccelMode::Stitch,
+                  "fusion requires the Stitch fabric");
+    STITCH_ASSERT(local >= 0 && local < numTiles);
+    STITCH_ASSERT(remote >= 0 && remote < numTiles && remote != local);
+    tiles_[static_cast<std::size_t>(local)].fusionPartner = remote;
+}
+
+void
+System::configureSnoc(const core::SnocConfig &snoc)
+{
+    STITCH_ASSERT(params_.accel == AccelMode::Stitch,
+                  "the inter-patch NoC exists only in Stitch mode");
+    std::string why;
+    if (!snoc.validate(&why))
+        fatal("invalid sNoC configuration: ", why);
+    // Mirror the compiler's preset into the memory-mapped crossbar
+    // configuration registers (paper Section III-B): one store per
+    // tile before the application launches.
+    auto regs = snoc.packRegisters();
+    for (TileId t = 0; t < numTiles; ++t) {
+        isa::Assembler a("xbar-preset");
+        a.li(isa::reg::t0, static_cast<std::int32_t>(
+                               mem::xbarConfigAddr));
+        a.li(isa::reg::t1, static_cast<std::int32_t>(
+                               regs[static_cast<std::size_t>(t)]));
+        a.sw(isa::reg::t1, isa::reg::t0, 0);
+        a.halt();
+        Tile &tile = tiles_[static_cast<std::size_t>(t)];
+        tile.core->loadProgram(a.finish());
+        tile.core->runToHalt();
+        STITCH_ASSERT(tile.core->xbarConfigReg() ==
+                          regs[static_cast<std::size_t>(t)],
+                      "crossbar preset did not land");
+        tile.loaded = false;
+    }
+}
+
+void
+System::pokeWord(TileId tile, Addr addr, Word value)
+{
+    STITCH_ASSERT(tile >= 0 && tile < numTiles);
+    tiles_[static_cast<std::size_t>(tile)].memory->backing().writeWord(
+        addr, value);
+}
+
+cpu::Core &
+System::coreAt(TileId t)
+{
+    STITCH_ASSERT(t >= 0 && t < numTiles);
+    return *tiles_[static_cast<std::size_t>(t)].core;
+}
+
+mem::TileMemory &
+System::memoryAt(TileId t)
+{
+    STITCH_ASSERT(t >= 0 && t < numTiles);
+    return *tiles_[static_cast<std::size_t>(t)].memory;
+}
+
+core::CustResult
+System::executeCustom(TileId t, std::uint64_t blob,
+                      const std::array<Word, 4> &in)
+{
+    Tile &tile = tiles_[static_cast<std::size_t>(t)];
+
+    if (params_.accel == AccelMode::Locus)
+        return tile.locus->executeCustom(t, blob, in);
+    if (params_.accel == AccelMode::None)
+        fatal("CUST executed on the baseline system (tile ", t, ")");
+
+    auto cfg = core::FusedConfig::unpackBlob(blob);
+    auto kind = params_.arch.kindOf(t);
+    if (cfg.localKind != kind) {
+        fatal("tile ", t, " hosts ", core::patchKindName(kind),
+              " but the binary expects ",
+              core::patchKindName(cfg.localKind));
+    }
+    if (!cfg.usesRemote)
+        return core::executeCustom(cfg, in, *tile.spmPort, nullptr);
+
+    TileId partner = tile.fusionPartner;
+    if (partner < 0)
+        fatal("fused CUST on tile ", t, " without a stitched partner");
+    auto remoteKind = params_.arch.kindOf(partner);
+    if (cfg.remoteKind != remoteKind) {
+        fatal("tile ", t, " stitched to ",
+              core::patchKindName(remoteKind), " but binary expects ",
+              core::patchKindName(cfg.remoteKind));
+    }
+    // The mapper never places LMAU work on the remote patch, so the
+    // remote SPM port stays disabled (enforced by NullSpmPort).
+    return core::executeCustom(cfg, in, *tile.spmPort, &nullSpm_);
+}
+
+Cycles
+System::send(TileId src, TileId dst, int tag, Word value, Cycles now)
+{
+    sendSinceLastCheck_ = true;
+    return noc_.send(src, dst, tag, value, now);
+}
+
+std::optional<std::pair<Word, Cycles>>
+System::tryRecv(TileId dst, TileId src, int tag)
+{
+    return noc_.tryRecv(dst, src, tag);
+}
+
+RunStats
+System::run(std::uint64_t maxInstructions)
+{
+    RunStats stats;
+    std::uint64_t executed = 0;
+
+    while (true) {
+        // Pick the runnable (loaded, not halted, not blocked) core
+        // with the smallest local time.
+        TileId pick = -1;
+        for (TileId t = 0; t < numTiles; ++t) {
+            Tile &tile = tiles_[static_cast<std::size_t>(t)];
+            if (!tile.loaded || tile.core->halted() || tile.blocked)
+                continue;
+            if (pick < 0 ||
+                tile.core->time() <
+                    tiles_[static_cast<std::size_t>(pick)]
+                        .core->time())
+                pick = t;
+        }
+
+        if (pick < 0) {
+            // Nothing runnable: either done, or deadlocked.
+            bool anyBlocked = false;
+            for (auto &tile : tiles_)
+                anyBlocked = anyBlocked ||
+                             (tile.loaded && tile.blocked);
+            if (!anyBlocked)
+                break;
+            fatal("message-passing deadlock: every active core is "
+                  "blocked in RECV");
+        }
+
+        Tile &tile = tiles_[static_cast<std::size_t>(pick)];
+        sendSinceLastCheck_ = false;
+        auto result = tile.core->step();
+        ++executed;
+        if (executed > maxInstructions)
+            fatal("system exceeded ", maxInstructions,
+                  " instructions; runaway application?");
+
+        if (result == cpu::StepResult::Blocked)
+            tile.blocked = true;
+        if (sendSinceLastCheck_) {
+            // A message entered the network; blocked receivers may
+            // now be able to make progress.
+            for (auto &other : tiles_)
+                other.blocked = false;
+        }
+    }
+
+    for (TileId t = 0; t < numTiles; ++t) {
+        Tile &tile = tiles_[static_cast<std::size_t>(t)];
+        if (!tile.loaded)
+            continue;
+        TileStats &ts = stats.perTile[static_cast<std::size_t>(t)];
+        ts.loaded = true;
+        ts.cycles = tile.core->time();
+        ts.instructions = tile.core->instructionsRetired();
+        ts.customInstructions =
+            tile.core->stats().get("custom_instructions");
+        stats.makespan = std::max(stats.makespan, ts.cycles);
+        stats.instructions += ts.instructions;
+        stats.customInstructions += ts.customInstructions;
+    }
+    stats.messages = noc_.stats().get("packets");
+    return stats;
+}
+
+} // namespace stitch::sim

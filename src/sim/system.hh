@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The full 16-tile Stitch system simulator: cores, private memories,
+ * the inter-core NoC, the patches, and the preset inter-patch sNoC.
+ *
+ * Multi-core time is coordinated with an exact conservative
+ * discipline: the runnable core with the smallest local time executes
+ * next, so a RECV that finds no message can safely block — any future
+ * sender is already at a later local time.
+ */
+
+#ifndef STITCH_SIM_SYSTEM_HH
+#define STITCH_SIM_SYSTEM_HH
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "compiler/rewriter.hh"
+#include "core/arch.hh"
+#include "core/locus.hh"
+#include "core/snoc.hh"
+#include "cpu/core.hh"
+#include "cpu/patch_handler.hh"
+#include "mem/tile_memory.hh"
+#include "noc/noc_model.hh"
+
+namespace stitch::sim
+{
+
+/** Which accelerator fabric the system instantiates. */
+enum class AccelMode
+{
+    None,   ///< the 16-core message-passing baseline
+    Locus,  ///< per-core LOCUS SFUs
+    Stitch, ///< polymorphic patches + inter-patch sNoC
+};
+
+/** System-wide configuration. */
+struct SystemParams
+{
+    mem::MemParams mem;
+    noc::NocParams noc;
+    core::StitchArch arch = core::StitchArch::standard();
+    AccelMode accel = AccelMode::Stitch;
+};
+
+/** Per-tile activity of one run. */
+struct TileStats
+{
+    bool loaded = false;
+    Cycles cycles = 0; ///< local time at halt
+    std::uint64_t instructions = 0;
+    std::uint64_t customInstructions = 0;
+
+    /** Fraction of the makespan this tile spent executing. */
+    double
+    utilization(Cycles makespan) const
+    {
+        return makespan == 0 ? 0.0
+                             : static_cast<double>(cycles) /
+                                   static_cast<double>(makespan);
+    }
+};
+
+/** Per-run statistics. */
+struct RunStats
+{
+    Cycles makespan = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t customInstructions = 0;
+    std::uint64_t messages = 0;
+    std::array<TileStats, numTiles> perTile{};
+};
+
+/** The chip. */
+class System : public cpu::CustomHandler, public cpu::MessageHub
+{
+  public:
+    explicit System(const SystemParams &params = SystemParams{});
+
+    /** Load a binary onto a tile (resets that core). */
+    void loadProgram(TileId tile,
+                     const compiler::RewrittenProgram &binary);
+
+    /** Declare tile `local`'s patch fused with tile `remote`'s. */
+    void setFusionPartner(TileId local, TileId remote);
+
+    /** Preset the inter-patch NoC (validated; Stitch mode only). */
+    void configureSnoc(const core::SnocConfig &snoc);
+
+    /** Write one word into a tile's private memory (comm tables). */
+    void pokeWord(TileId tile, Addr addr, Word value);
+
+    /** Run every loaded core to completion. */
+    RunStats run(std::uint64_t maxInstructions = 2'000'000'000ull);
+
+    cpu::Core &coreAt(TileId t);
+    mem::TileMemory &memoryAt(TileId t);
+    noc::NocModel &noc() { return noc_; }
+    const SystemParams &params() const { return params_; }
+
+    // CustomHandler: dispatch CUST to the tile's patch or SFU.
+    core::CustResult executeCustom(TileId tile, std::uint64_t blob,
+                                   const std::array<Word, 4> &in)
+        override;
+
+    // MessageHub: delegate to the NoC, tracking unblocks.
+    Cycles send(TileId src, TileId dst, int tag, Word value,
+                Cycles now) override;
+    std::optional<std::pair<Word, Cycles>>
+    tryRecv(TileId dst, TileId src, int tag) override;
+
+  private:
+    struct Tile
+    {
+        std::unique_ptr<mem::TileMemory> memory;
+        std::unique_ptr<cpu::Core> core;
+        std::unique_ptr<cpu::TileSpmPort> spmPort;
+        std::unique_ptr<core::LocusSfu> locus;
+        TileId fusionPartner = -1;
+        bool loaded = false;
+        bool blocked = false;
+    };
+
+    SystemParams params_;
+    noc::NocModel noc_;
+    std::array<Tile, numTiles> tiles_;
+    core::NullSpmPort nullSpm_;
+    bool sendSinceLastCheck_ = false;
+};
+
+} // namespace stitch::sim
+
+#endif // STITCH_SIM_SYSTEM_HH

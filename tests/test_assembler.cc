@@ -1,0 +1,166 @@
+/** @file Assembler (label resolution, pseudo-ops) tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+
+namespace stitch::isa
+{
+namespace
+{
+
+using namespace reg;
+
+TEST(Assembler, BackwardBranchOffset)
+{
+    Assembler a("t");
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.addi(t0, t0, 1);   // word 0
+    a.bne(t0, t1, loop); // word 1 -> offset -1
+    a.halt();
+    Program p = a.finish();
+    EXPECT_EQ(p.code()[1].imm, -1);
+}
+
+TEST(Assembler, ForwardBranchOffset)
+{
+    Assembler a("t");
+    auto skip = a.newLabel();
+    a.beq(t0, t1, skip); // word 0
+    a.addi(t0, t0, 1);   // word 1
+    a.addi(t0, t0, 2);   // word 2
+    a.bind(skip);
+    a.halt(); // word 3
+    Program p = a.finish();
+    EXPECT_EQ(p.code()[0].imm, 3);
+}
+
+TEST(Assembler, BranchOverCustCountsWords)
+{
+    Assembler a("t");
+    auto skip = a.newLabel();
+    a.beq(t0, t1, skip); // word 0
+    Instr cust;
+    cust.op = Opcode::Cust;
+    a.emit(cust); // words 1-2
+    a.bind(skip);
+    a.halt(); // word 3
+    Program p = a.finish();
+    EXPECT_EQ(p.code()[0].imm, 3);
+}
+
+TEST(Assembler, JalTargetsAreAbsolute)
+{
+    Assembler a("t");
+    auto fn = a.newLabel();
+    a.jal(ra, fn); // word 0
+    a.halt();      // word 1
+    a.bind(fn);
+    a.addi(t0, t0, 1); // word 2
+    a.jalr(zero, ra, 0);
+    Program p = a.finish();
+    EXPECT_EQ(p.code()[0].op, Opcode::Jal);
+    EXPECT_EQ(p.code()[0].imm, 2);
+}
+
+TEST(Assembler, LabelBoundPastEnd)
+{
+    Assembler a("t");
+    auto end = a.newLabel();
+    a.beq(t0, t1, end); // word 0
+    a.addi(t0, t0, 1);  // word 1
+    a.bind(end);
+    Program p = a.finish();
+    EXPECT_EQ(p.code()[0].imm, 2);
+}
+
+TEST(Assembler, UnboundLabelIsFatal)
+{
+    Assembler a("t");
+    auto nowhere = a.newLabel();
+    a.jmp(nowhere);
+    EXPECT_THROW(a.finish(), FatalError);
+}
+
+TEST(Assembler, DoubleBindPanics)
+{
+    Assembler a("t");
+    auto l = a.newLabel();
+    a.bind(l);
+    EXPECT_DEATH(a.bind(l), "label bound twice");
+}
+
+TEST(Assembler, LiSmallImmediateIsOneInstr)
+{
+    Assembler a("t");
+    a.li(t0, 1234);
+    a.li(t1, -5);
+    Program p = a.finish();
+    ASSERT_EQ(p.code().size(), 2u);
+    EXPECT_EQ(p.code()[0].op, Opcode::Addi);
+    EXPECT_EQ(p.code()[0].imm, 1234);
+    EXPECT_EQ(p.code()[1].imm, -5);
+}
+
+TEST(Assembler, LiLargeImmediateExpandsToLuiOri)
+{
+    Assembler a("t");
+    a.li(t0, 0x12345678);
+    Program p = a.finish();
+    ASSERT_EQ(p.code().size(), 2u);
+    EXPECT_EQ(p.code()[0].op, Opcode::Lui);
+    EXPECT_EQ(p.code()[1].op, Opcode::Ori);
+    // Reconstruct: (imm << 11) | low11.
+    auto value = static_cast<Word>(p.code()[0].imm) << 11;
+    value |= static_cast<Word>(p.code()[1].imm);
+    EXPECT_EQ(value, 0x12345678u);
+}
+
+TEST(Assembler, LiSpmBaseIsSingleLui)
+{
+    Assembler a("t");
+    a.li(t0, static_cast<std::int32_t>(0x80000000u));
+    Program p = a.finish();
+    ASSERT_EQ(p.code().size(), 1u);
+    EXPECT_EQ(p.code()[0].op, Opcode::Lui);
+    EXPECT_EQ(static_cast<Word>(p.code()[0].imm) << 11, 0x80000000u);
+}
+
+TEST(Assembler, StoreOperandLayout)
+{
+    Assembler a("t");
+    a.sw(t3, s0, 12); // store value=t3 at s0+12
+    Program p = a.finish();
+    const Instr &in = p.code()[0];
+    EXPECT_EQ(in.op, Opcode::Sw);
+    EXPECT_EQ(in.rs1, t3);
+    EXPECT_EQ(in.rs0, s0);
+    EXPECT_EQ(in.imm, 12);
+}
+
+TEST(Assembler, SendRecvOperandLayout)
+{
+    Assembler a("t");
+    a.send(t0, t1, 7);
+    a.recv(t2, t3, 9);
+    Program p = a.finish();
+    EXPECT_EQ(p.code()[0].rs0, t0); // data
+    EXPECT_EQ(p.code()[0].rs1, t1); // destination tile
+    EXPECT_EQ(p.code()[0].imm, 7);
+    EXPECT_EQ(p.code()[1].rd0, t2);
+    EXPECT_EQ(p.code()[1].rs0, t3); // source tile
+    EXPECT_EQ(p.code()[1].imm, 9);
+}
+
+TEST(Assembler, FinishTwicePanics)
+{
+    Assembler a("t");
+    a.halt();
+    a.finish();
+    EXPECT_DEATH(a.finish(), "finish");
+}
+
+} // namespace
+} // namespace stitch::isa

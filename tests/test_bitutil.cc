@@ -1,0 +1,120 @@
+/** @file Unit and property tests for common/bitutil.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+#include "common/rng.hh"
+
+namespace stitch
+{
+namespace
+{
+
+TEST(BitUtil, ExtractBasic)
+{
+    EXPECT_EQ(extractBits(0xdeadbeefu, 0, 8), 0xefu);
+    EXPECT_EQ(extractBits(0xdeadbeefu, 8, 8), 0xbeu);
+    EXPECT_EQ(extractBits(0xdeadbeefu, 28, 4), 0xdu);
+    EXPECT_EQ(extractBits(0xffffffffu, 0, 32), 0xffffffffu);
+}
+
+TEST(BitUtil, InsertBasic)
+{
+    EXPECT_EQ(insertBits(0, 0, 8, 0xab), 0xabu);
+    EXPECT_EQ(insertBits(0, 8, 8, 0xab), 0xab00u);
+    EXPECT_EQ(insertBits(0xffffffffu, 8, 8, 0), 0xffff00ffu);
+}
+
+TEST(BitUtil, InsertMasksOverflowingField)
+{
+    // Bits beyond the field width must not leak.
+    EXPECT_EQ(insertBits(0, 0, 4, 0xff), 0xfu);
+}
+
+TEST(BitUtil, SignExtend)
+{
+    EXPECT_EQ(signExtend(0x8000u, 16), -32768);
+    EXPECT_EQ(signExtend(0x7fffu, 16), 32767);
+    EXPECT_EQ(signExtend(0xffffu, 16), -1);
+    EXPECT_EQ(signExtend(0x1u, 1), -1);
+    EXPECT_EQ(signExtend(0x0u, 1), 0);
+}
+
+TEST(BitUtil, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(32767, 16));
+    EXPECT_TRUE(fitsSigned(-32768, 16));
+    EXPECT_FALSE(fitsSigned(32768, 16));
+    EXPECT_FALSE(fitsSigned(-32769, 16));
+    EXPECT_TRUE(fitsSigned(0, 1));
+    EXPECT_TRUE(fitsSigned(-1, 1));
+    EXPECT_FALSE(fitsSigned(1, 1));
+}
+
+TEST(BitUtil, FitsUnsigned)
+{
+    EXPECT_TRUE(fitsUnsigned(255, 8));
+    EXPECT_FALSE(fitsUnsigned(256, 8));
+    EXPECT_TRUE(fitsUnsigned(0, 1));
+}
+
+TEST(BitUtil, PackerRoundTripFixedLayout)
+{
+    BitPacker p;
+    p.push(0x5, 3);
+    p.push(0x2, 2);
+    p.push(0x1ff, 9);
+    ASSERT_EQ(p.width(), 14);
+
+    BitUnpacker u(p.value());
+    EXPECT_EQ(u.pull(3), 0x5u);
+    EXPECT_EQ(u.pull(2), 0x2u);
+    EXPECT_EQ(u.pull(9), 0x1ffu);
+}
+
+/** Property: pack-then-unpack is identity for random field splits. */
+TEST(BitUtil, PackerRoundTripRandomized)
+{
+    Rng rng(7);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::vector<std::pair<std::uint32_t, int>> fields;
+        int total = 0;
+        BitPacker p;
+        while (total < 50) {
+            int width = static_cast<int>(rng.range(1, 12));
+            if (total + width > 64)
+                break;
+            auto value = static_cast<std::uint32_t>(
+                rng.next() & ((1ull << width) - 1));
+            fields.emplace_back(value, width);
+            p.push(value, width);
+            total += width;
+        }
+        BitUnpacker u(p.value());
+        for (auto [value, width] : fields)
+            EXPECT_EQ(u.pull(width), value);
+    }
+}
+
+/** Property: insert then extract returns the field. */
+TEST(BitUtil, InsertExtractRandomized)
+{
+    Rng rng(13);
+    for (int iter = 0; iter < 500; ++iter) {
+        int width = static_cast<int>(rng.range(1, 31));
+        int lo = static_cast<int>(rng.range(0, 32 - width));
+        auto base = static_cast<std::uint32_t>(rng.next());
+        auto field = static_cast<std::uint32_t>(
+            rng.next() & ((1ull << width) - 1));
+        auto combined = insertBits(base, lo, width, field);
+        EXPECT_EQ(extractBits(combined, lo, width), field);
+        // Bits outside the field are untouched.
+        std::uint32_t mask = ~(((width >= 32 ? 0xffffffffu
+                                             : ((1u << width) - 1u)))
+                               << lo);
+        EXPECT_EQ(combined & mask, base & mask);
+    }
+}
+
+} // namespace
+} // namespace stitch

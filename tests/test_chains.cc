@@ -1,0 +1,129 @@
+/** @file Operation-chain extraction and LCS mining tests. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compiler/chains.hh"
+#include "isa/assembler.hh"
+
+namespace stitch::compiler
+{
+namespace
+{
+
+using namespace isa::reg;
+using isa::Assembler;
+
+TEST(Chains, ExtractLinearChain)
+{
+    Assembler a("c");
+    a.add(t1, t0, t0);  // A
+    a.mul(t2, t1, t0);  // M
+    a.add(t3, t2, t0);  // A
+    a.srli(t4, t3, 2);  // S
+    a.halt();
+    auto prog = a.finish();
+    auto blocks = findBasicBlocks(prog, {});
+    Dfg dfg = Dfg::build(prog, blocks[0], {});
+    auto chains = extractChains(dfg);
+    ASSERT_EQ(chains.size(), 1u);
+    EXPECT_EQ(chains[0], "AMAS");
+}
+
+TEST(Chains, ExtractBranchingPaths)
+{
+    Assembler a("b");
+    a.add(t1, t0, t0); // A, feeds two consumers
+    a.mul(t2, t1, t0); // M
+    a.srli(t3, t1, 1); // S
+    a.halt();
+    auto prog = a.finish();
+    auto blocks = findBasicBlocks(prog, {});
+    Dfg dfg = Dfg::build(prog, blocks[0], {});
+    auto chains = extractChains(dfg);
+    std::set<std::string> set(chains.begin(), chains.end());
+    EXPECT_TRUE(set.count("AM"));
+    EXPECT_TRUE(set.count("AS"));
+}
+
+TEST(Chains, LoadsAppearAsT)
+{
+    Assembler a("t");
+    a.add(t1, s2, t0); // A
+    a.lw(t2, t1, 0);   // T
+    a.halt();
+    auto prog = a.finish();
+    auto blocks = findBasicBlocks(prog, {});
+    Dfg dfg = Dfg::build(prog, blocks[0], {s2});
+    auto chains = extractChains(dfg);
+    ASSERT_FALSE(chains.empty());
+    EXPECT_NE(chains[0].find("AT"), std::string::npos);
+}
+
+TEST(Mining, FindsTheSharedSubstring)
+{
+    std::vector<KernelChains> kernels = {
+        {"k1", {"ATMA"}},
+        {"k2", {"XATB"}},
+        {"k3", {"CCAT"}},
+        {"k4", {"MMMM"}},
+    };
+    auto stats = mineChains(kernels);
+    ASSERT_FALSE(stats.empty());
+    EXPECT_EQ(stats[0].chain, "AT");
+    EXPECT_EQ(stats[0].kernelsContaining, 3);
+    EXPECT_NEAR(stats[0].occurrenceRate, 0.75, 1e-9);
+}
+
+TEST(Mining, RemovalSplitsStrings)
+{
+    // After removing "AT", "MATS" leaves "M" and "S": the later
+    // rounds must not see phantom "MS" chains spanning the cut.
+    std::vector<KernelChains> kernels = {
+        {"k1", {"MATS"}},
+        {"k2", {"MATS"}},
+    };
+    auto stats = mineChains(kernels, 8, 2);
+    ASSERT_FALSE(stats.empty());
+    EXPECT_EQ(stats[0].chain, "MATS");
+    // Whole string shared first; nothing of length >= 2 remains.
+    EXPECT_EQ(stats.size(), 1u);
+}
+
+TEST(Mining, RoundsAreOrdered)
+{
+    std::vector<KernelChains> kernels = {
+        {"k1", {"AATT", "MM"}},
+        {"k2", {"AATT", "MM"}},
+        {"k3", {"AATT"}},
+    };
+    auto stats = mineChains(kernels);
+    ASSERT_GE(stats.size(), 2u);
+    EXPECT_EQ(stats[0].round, 1);
+    EXPECT_EQ(stats[1].round, 2);
+    EXPECT_EQ(stats[0].chain, "AATT");
+    EXPECT_EQ(stats[1].chain, "MM");
+    EXPECT_GT(stats[0].kernelsContaining,
+              stats[1].kernelsContaining);
+}
+
+TEST(Mining, EmptyInput)
+{
+    EXPECT_TRUE(mineChains({}).empty());
+    EXPECT_TRUE(mineChains({{"k", {}}}).empty());
+}
+
+TEST(Mining, MinLengthRespected)
+{
+    std::vector<KernelChains> kernels = {
+        {"k1", {"AB"}},
+        {"k2", {"BA"}},
+    };
+    // Only single characters are shared; with minLength 2 nothing
+    // qualifies.
+    EXPECT_TRUE(mineChains(kernels, 8, 2).empty());
+}
+
+} // namespace
+} // namespace stitch::compiler

@@ -1,0 +1,408 @@
+/** @file Core semantics and timing tests. */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "common/logging.hh"
+#include "cpu/core.hh"
+#include "isa/assembler.hh"
+#include "mem/addrmap.hh"
+
+namespace stitch
+{
+namespace
+{
+
+using namespace isa::reg;
+using isa::Assembler;
+
+/** Hub used to test SEND/RECV plumbing. */
+class RecordingHub : public cpu::MessageHub
+{
+  public:
+    Cycles
+    send(TileId src, TileId dst, int tag, Word value, Cycles) override
+    {
+        sent.push_back({src, dst, tag, value});
+        return 2;
+    }
+
+    std::optional<std::pair<Word, Cycles>>
+    tryRecv(TileId, TileId, int) override
+    {
+        if (!pending)
+            return std::nullopt;
+        auto out = *pending;
+        pending.reset();
+        return out;
+    }
+
+    struct Sent
+    {
+        TileId src;
+        TileId dst;
+        int tag;
+        Word value;
+    };
+    std::vector<Sent> sent;
+    std::optional<std::pair<Word, Cycles>> pending;
+};
+
+struct CoreFixture
+{
+    mem::TileMemory memory;
+    RecordingHub hub;
+    cpu::Core core{0, memory, nullptr, &hub};
+
+    Cycles
+    run(Assembler &a)
+    {
+        core.loadProgram(a.finish());
+        return core.runToHalt();
+    }
+};
+
+TEST(CoreSemantics, AluOps)
+{
+    CoreFixture f;
+    Assembler a("alu");
+    a.li(t0, 21);
+    a.li(t1, -3);
+    a.add(t2, t0, t1);
+    a.sub(t3, t0, t1);
+    a.and_(t4, t0, t1);
+    a.or_(t5, t0, t1);
+    a.xor_(t6, t0, t1);
+    a.mul(t7, t0, t1);
+    a.slt(t8, t1, t0);
+    a.sltu(t9, t1, t0); // -3 unsigned is huge
+    a.halt();
+    f.run(a);
+    EXPECT_EQ(f.core.reg(t2), 18u);
+    EXPECT_EQ(f.core.reg(t3), 24u);
+    EXPECT_EQ(f.core.reg(t4), (21u & 0xfffffffdu));
+    EXPECT_EQ(f.core.reg(t5), (21u | 0xfffffffdu));
+    EXPECT_EQ(f.core.reg(t6), (21u ^ 0xfffffffdu));
+    EXPECT_EQ(static_cast<SWord>(f.core.reg(t7)), -63);
+    EXPECT_EQ(f.core.reg(t8), 1u);
+    EXPECT_EQ(f.core.reg(t9), 0u);
+}
+
+TEST(CoreSemantics, Shifts)
+{
+    CoreFixture f;
+    Assembler a("sh");
+    a.li(t0, -16);
+    a.li(t1, 2);
+    a.sll(t2, t0, t1);
+    a.srl(t3, t0, t1);
+    a.sra(t4, t0, t1);
+    a.slli(t5, t0, 1);
+    a.srli(t6, t0, 28);
+    a.srai(t7, t0, 31);
+    a.halt();
+    f.run(a);
+    EXPECT_EQ(static_cast<SWord>(f.core.reg(t2)), -64);
+    EXPECT_EQ(f.core.reg(t3), 0xfffffff0u >> 2);
+    EXPECT_EQ(static_cast<SWord>(f.core.reg(t4)), -4);
+    EXPECT_EQ(static_cast<SWord>(f.core.reg(t5)), -32);
+    EXPECT_EQ(f.core.reg(t6), 0xfu);
+    EXPECT_EQ(f.core.reg(t7), 0xffffffffu);
+}
+
+TEST(CoreSemantics, ShiftAmountMasksToFiveBits)
+{
+    CoreFixture f;
+    Assembler a("shm");
+    a.li(t0, 1);
+    a.li(t1, 33); // 33 & 31 = 1
+    a.sll(t2, t0, t1);
+    a.halt();
+    f.run(a);
+    EXPECT_EQ(f.core.reg(t2), 2u);
+}
+
+TEST(CoreSemantics, R0IsHardZero)
+{
+    CoreFixture f;
+    Assembler a("z");
+    a.addi(zero, zero, 55);
+    a.add(t0, zero, zero);
+    a.halt();
+    f.run(a);
+    EXPECT_EQ(f.core.reg(zero), 0u);
+    EXPECT_EQ(f.core.reg(t0), 0u);
+}
+
+TEST(CoreSemantics, LoadStoreAndBytes)
+{
+    CoreFixture f;
+    Assembler a("mem");
+    a.li(t0, 0x2000);
+    a.li(t1, -77);
+    a.sw(t1, t0, 4);
+    a.lw(t2, t0, 4);
+    a.sb(t1, t0, 8);
+    a.lb(t3, t0, 8);
+    a.halt();
+    f.run(a);
+    EXPECT_EQ(static_cast<SWord>(f.core.reg(t2)), -77);
+    EXPECT_EQ(static_cast<SWord>(f.core.reg(t3)), -77);
+}
+
+TEST(CoreSemantics, SpmLoadStore)
+{
+    CoreFixture f;
+    Assembler a("spm");
+    a.li(t0, static_cast<std::int32_t>(mem::spmBase));
+    a.li(t1, 1234);
+    a.sw(t1, t0, 64);
+    a.lw(t2, t0, 64);
+    a.halt();
+    f.run(a);
+    EXPECT_EQ(f.core.reg(t2), 1234u);
+    EXPECT_EQ(f.memory.spmPeek(64), 1234u);
+}
+
+TEST(CoreSemantics, BranchLoop)
+{
+    CoreFixture f;
+    Assembler a("loop");
+    auto loop = a.newLabel();
+    a.li(t0, 0);
+    a.li(t1, 10);
+    a.bind(loop);
+    a.addi(t0, t0, 1);
+    a.blt(t0, t1, loop);
+    a.halt();
+    f.run(a);
+    EXPECT_EQ(f.core.reg(t0), 10u);
+}
+
+TEST(CoreSemantics, AllBranchConditions)
+{
+    CoreFixture f;
+    Assembler a("br");
+    // Each taken branch skips an addi that would poison the result.
+    auto mk = [&](auto emitBranch) {
+        auto skip = a.newLabel();
+        emitBranch(skip);
+        a.addi(s0, s0, 1); // executed only when NOT taken
+        a.bind(skip);
+    };
+    a.li(t0, -1);
+    a.li(t1, 1);
+    mk([&](isa::Label l) { a.beq(t0, t0, l); });  // taken
+    mk([&](isa::Label l) { a.bne(t0, t1, l); });  // taken
+    mk([&](isa::Label l) { a.blt(t0, t1, l); });  // taken (signed)
+    mk([&](isa::Label l) { a.bge(t1, t0, l); });  // taken
+    mk([&](isa::Label l) { a.bltu(t1, t0, l); }); // taken (unsigned)
+    mk([&](isa::Label l) { a.bgeu(t0, t1, l); }); // taken
+    mk([&](isa::Label l) { a.beq(t0, t1, l); });  // NOT taken
+    a.halt();
+    f.run(a);
+    EXPECT_EQ(f.core.reg(s0), 1u);
+}
+
+TEST(CoreSemantics, CallAndReturn)
+{
+    CoreFixture f;
+    Assembler a("call");
+    auto fn = a.newLabel();
+    auto end = a.newLabel();
+    a.li(t0, 1);
+    a.jal(ra, fn);
+    a.addi(t0, t0, 100);
+    a.jmp(end);
+    a.bind(fn);
+    a.addi(t0, t0, 10);
+    a.jalr(zero, ra, 0);
+    a.bind(end);
+    a.halt();
+    f.run(a);
+    EXPECT_EQ(f.core.reg(t0), 111u);
+}
+
+TEST(CoreSemantics, LuiBuildsUpperBits)
+{
+    CoreFixture f;
+    Assembler a("lui");
+    a.li(t0, 0x12345678);
+    a.halt();
+    f.run(a);
+    EXPECT_EQ(f.core.reg(t0), 0x12345678u);
+}
+
+TEST(CoreTiming, OneCyclePerSimpleInstr)
+{
+    CoreFixture f;
+    Assembler a("t");
+    for (int i = 0; i < 20; ++i)
+        a.addi(t0, t0, 1);
+    a.halt();
+    Cycles total = f.run(a);
+    // 21 instructions (84 bytes of code) + two cold I-cache lines.
+    EXPECT_EQ(total, 21u + 60u);
+}
+
+TEST(CoreTiming, MulTakesFourCycles)
+{
+    CoreFixture f;
+    Assembler a("t");
+    a.mul(t0, t1, t2);
+    a.halt();
+    EXPECT_EQ(f.run(a), 2u + 3u + 30u);
+}
+
+TEST(CoreTiming, TakenBranchPenalty)
+{
+    CoreFixture f1, f2;
+    Assembler taken("t1");
+    auto l1 = taken.newLabel();
+    taken.beq(zero, zero, l1);
+    taken.bind(l1);
+    taken.halt();
+
+    Assembler notTaken("t2");
+    auto l2 = notTaken.newLabel();
+    notTaken.bne(zero, zero, l2);
+    notTaken.bind(l2);
+    notTaken.halt();
+
+    EXPECT_EQ(f1.run(taken), f2.run(notTaken) + 1);
+}
+
+TEST(CoreTiming, DcacheMissStalls)
+{
+    CoreFixture f;
+    Assembler a("t");
+    a.li(t0, 0x4000);
+    a.lw(t1, t0, 0); // cold: +30
+    a.lw(t2, t0, 4); // hit
+    a.halt();
+    // 4 instrs + 30 icache + 30 dcache.
+    EXPECT_EQ(f.run(a), 4u + 30u + 30u);
+}
+
+TEST(CoreTiming, SpmAccessAddsNothing)
+{
+    CoreFixture f;
+    Assembler a("t");
+    a.li(t0, static_cast<std::int32_t>(mem::spmBase));
+    a.lw(t1, t0, 0);
+    a.halt();
+    EXPECT_EQ(f.run(a), 3u + 30u);
+}
+
+TEST(CoreMessaging, SendReachesHub)
+{
+    CoreFixture f;
+    Assembler a("s");
+    a.li(t0, 42);
+    a.li(t1, 7);
+    a.send(t0, t1, 3);
+    a.halt();
+    f.run(a);
+    ASSERT_EQ(f.hub.sent.size(), 1u);
+    EXPECT_EQ(f.hub.sent[0].dst, 7);
+    EXPECT_EQ(f.hub.sent[0].tag, 3);
+    EXPECT_EQ(f.hub.sent[0].value, 42u);
+}
+
+TEST(CoreMessaging, RecvBlocksWithoutMessage)
+{
+    CoreFixture f;
+    Assembler a("r");
+    a.recv(t0, zero, 0);
+    a.halt();
+    f.core.loadProgram(a.finish());
+    EXPECT_EQ(f.core.step(), cpu::StepResult::Blocked);
+    // Retrying after a message arrives succeeds and jumps time.
+    f.hub.pending = {Word{99}, Cycles{500}};
+    EXPECT_EQ(f.core.step(), cpu::StepResult::Ok);
+    EXPECT_EQ(f.core.reg(t0), 99u);
+    EXPECT_GE(f.core.time(), 500u);
+}
+
+TEST(CoreMessaging, BlockedRecvRetiresNothing)
+{
+    CoreFixture f;
+    Assembler a("r");
+    a.recv(t0, zero, 0);
+    a.halt();
+    f.core.loadProgram(a.finish());
+    f.core.step();
+    EXPECT_EQ(f.core.instructionsRetired(), 0u);
+}
+
+TEST(CoreMisc, XbarConfigRegisterCapturesStores)
+{
+    CoreFixture f;
+    Assembler a("x");
+    a.li(t0, static_cast<std::int32_t>(mem::xbarConfigAddr));
+    a.li(t1, 0x2d6bf);
+    a.sw(t1, t0, 0);
+    a.halt();
+    f.run(a);
+    EXPECT_EQ(f.core.xbarConfigReg(), 0x2d6bfu);
+}
+
+TEST(CoreMisc, ExecutionCountsProfileBlocks)
+{
+    CoreFixture f;
+    Assembler a("p");
+    auto loop = a.newLabel();
+    a.li(t0, 0);     // idx 0
+    a.li(t1, 5);     // idx 1
+    a.bind(loop);
+    a.addi(t0, t0, 1); // idx 2, runs 5 times
+    a.blt(t0, t1, loop);
+    a.halt();
+    f.run(a);
+    EXPECT_EQ(f.core.executionCounts()[0], 1u);
+    EXPECT_EQ(f.core.executionCounts()[2], 5u);
+}
+
+TEST(CoreMisc, RunawayLoopIsFatal)
+{
+    CoreFixture f;
+    Assembler a("inf");
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.jmp(loop);
+    f.core.loadProgram(a.finish());
+    EXPECT_THROW(f.core.runToHalt(1000), FatalError);
+}
+
+TEST(CoreMisc, CustWithoutHandlerIsFatal)
+{
+    mem::TileMemory memory;
+    cpu::Core core(0, memory, nullptr, nullptr);
+    isa::Assembler a("c");
+    isa::Instr cust;
+    cust.op = isa::Opcode::Cust;
+    a.emit(cust);
+    a.halt();
+    auto prog = a.finish();
+    prog.addIseConfig(0);
+    core.loadProgram(prog);
+    EXPECT_THROW(core.runToHalt(), FatalError);
+}
+
+TEST(CoreMisc, DataSegmentsLoadIntoSpmAndDram)
+{
+    mem::TileMemory memory;
+    cpu::Core core(0, memory, nullptr, nullptr);
+    isa::Assembler a("d");
+    a.halt();
+    auto prog = a.finish();
+    prog.addDataWords(0x2000, {0xaa, 0xbb});
+    prog.addDataWords(mem::spmBase + 8, {0xcc});
+    core.loadProgram(prog);
+    EXPECT_EQ(memory.backing().readWord(0x2004), 0xbbu);
+    EXPECT_EQ(memory.spmPeek(8), 0xccu);
+}
+
+} // namespace
+} // namespace stitch

@@ -1,0 +1,300 @@
+/** @file Basic-block partitioning, DFG construction, liveness and
+ *  SPM-pointer analysis tests. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/dfg.hh"
+#include "compiler/liveness.hh"
+#include "isa/assembler.hh"
+#include "mem/addrmap.hh"
+
+namespace stitch::compiler
+{
+namespace
+{
+
+using namespace isa::reg;
+using isa::Assembler;
+
+isa::Program
+loopProgram()
+{
+    Assembler a("loop");
+    auto loop = a.newLabel();
+    a.li(t0, 0);  // 0
+    a.li(t1, 8);  // 1
+    a.bind(loop);
+    a.addi(t0, t0, 1);   // 2
+    a.blt(t0, t1, loop); // 3
+    a.halt();            // 4
+    return a.finish();
+}
+
+TEST(BasicBlocks, LoopSplitsIntoThreeBlocks)
+{
+    auto prog = loopProgram();
+    auto blocks = findBasicBlocks(prog, {});
+    ASSERT_EQ(blocks.size(), 3u);
+    EXPECT_EQ(blocks[0].begin, 0u);
+    EXPECT_EQ(blocks[0].end, 2u);
+    EXPECT_EQ(blocks[1].begin, 2u);
+    EXPECT_EQ(blocks[1].end, 4u); // includes the branch
+    EXPECT_EQ(blocks[2].begin, 4u);
+}
+
+TEST(BasicBlocks, ExecCountsAttach)
+{
+    auto prog = loopProgram();
+    std::vector<std::uint64_t> counts = {1, 1, 8, 8, 1};
+    auto blocks = findBasicBlocks(prog, counts);
+    EXPECT_EQ(blocks[1].execCount, 8u);
+}
+
+TEST(BasicBlocks, JalTargetIsLeader)
+{
+    Assembler a("j");
+    auto fn = a.newLabel();
+    a.jal(ra, fn); // 0
+    a.halt();      // 1
+    a.bind(fn);
+    a.addi(t0, t0, 1); // 2
+    a.halt();          // 3
+    auto prog = a.finish();
+    auto blocks = findBasicBlocks(prog, {});
+    ASSERT_EQ(blocks.size(), 3u);
+    EXPECT_EQ(blocks[2].begin, 2u);
+}
+
+TEST(Dfg, DataflowEdgesAndOperands)
+{
+    Assembler a("d");
+    a.add(t2, t0, t1);  // n0
+    a.mul(t3, t2, t0);  // n1 reads n0
+    a.slli(t4, t3, 2);  // n2 reads n1
+    a.halt();
+    auto prog = a.finish();
+    auto blocks = findBasicBlocks(prog, {});
+    Dfg dfg = Dfg::build(prog, blocks[0], {});
+    ASSERT_EQ(dfg.size(), 4);
+    EXPECT_EQ(dfg.node(0).op, NodeOp::Alu);
+    EXPECT_EQ(dfg.node(1).op, NodeOp::Mul);
+    EXPECT_EQ(dfg.node(2).op, NodeOp::Shift);
+    // n1's lhs is n0; rhs is the live-in register t0.
+    EXPECT_EQ(dfg.node(1).operands[0].kind, OperandRef::Kind::Node);
+    EXPECT_EQ(dfg.node(1).operands[0].node, 0);
+    EXPECT_EQ(dfg.node(1).operands[1].kind, OperandRef::Kind::Reg);
+    EXPECT_EQ(dfg.node(1).operands[1].reg, t0);
+    // n2's shift amount is an immediate.
+    EXPECT_EQ(dfg.node(2).operands[1].kind, OperandRef::Kind::Imm);
+    EXPECT_EQ(dfg.node(2).operands[1].imm, 2);
+    // consumers
+    EXPECT_EQ(dfg.consumersOf(0), (std::vector<int>{1}));
+}
+
+TEST(Dfg, ReadsOfR0BecomeImmediateZero)
+{
+    Assembler a("z");
+    a.add(t0, zero, t1);
+    a.halt();
+    auto prog = a.finish();
+    Dfg dfg = Dfg::build(prog, findBasicBlocks(prog, {})[0], {});
+    EXPECT_EQ(dfg.node(0).operands[0].kind, OperandRef::Kind::Imm);
+    EXPECT_EQ(dfg.node(0).operands[0].imm, 0);
+}
+
+TEST(Dfg, SpmTaintPropagatesThroughAddressArithmetic)
+{
+    Assembler a("spm");
+    a.add(t1, s2, t0);  // n0: SPM pointer + offset
+    a.lw(t2, t1, 0);    // n1: SPM load
+    a.lw(t3, t0, 0);    // n2: plain cached load
+    a.halt();
+    auto prog = a.finish();
+    Dfg dfg = Dfg::build(prog, findBasicBlocks(prog, {})[0], {s2});
+    EXPECT_EQ(dfg.node(1).op, NodeOp::Load);
+    EXPECT_TRUE(dfg.node(1).isSpmMem);
+    EXPECT_EQ(dfg.node(2).op, NodeOp::Other);
+    EXPECT_TRUE(dfg.node(2).isMem);
+}
+
+TEST(Dfg, StoreNodeHasAddressAndData)
+{
+    Assembler a("st");
+    a.sw(t3, s2, 8);
+    a.halt();
+    auto prog = a.finish();
+    Dfg dfg = Dfg::build(prog, findBasicBlocks(prog, {})[0], {s2});
+    ASSERT_EQ(dfg.node(0).op, NodeOp::Store);
+    ASSERT_EQ(dfg.node(0).operands.size(), 3u);
+    EXPECT_EQ(dfg.node(0).operands[1].imm, 8);
+    EXPECT_EQ(dfg.node(0).operands[2].reg, t3);
+    EXPECT_FALSE(dfg.node(0).def.has_value());
+}
+
+TEST(Dfg, MemoryOrderingEdges)
+{
+    Assembler a("mo");
+    a.sw(t0, s2, 0); // n0 store
+    a.lw(t1, s2, 0); // n1 load after store: ordered
+    a.lw(t2, s2, 4); // n2 load: no edge from n1 (load-load)
+    a.halt();
+    auto prog = a.finish();
+    Dfg dfg = Dfg::build(prog, findBasicBlocks(prog, {})[0], {s2});
+    const auto &succ0 = dfg.orderSuccs()[0];
+    EXPECT_NE(std::find(succ0.begin(), succ0.end(), 1), succ0.end());
+    EXPECT_NE(std::find(succ0.begin(), succ0.end(), 2), succ0.end());
+    const auto &succ1 = dfg.orderSuccs()[1];
+    EXPECT_EQ(std::find(succ1.begin(), succ1.end(), 2), succ1.end());
+}
+
+TEST(Dfg, WarWawEdges)
+{
+    Assembler a("ww");
+    a.add(t1, t0, t0); // n0 defines t1
+    a.add(t2, t1, t0); // n1 reads t1
+    a.add(t1, t0, t0); // n2 redefines t1: WAW n0->n2, WAR n1->n2
+    a.halt();
+    auto prog = a.finish();
+    Dfg dfg = Dfg::build(prog, findBasicBlocks(prog, {})[0], {});
+    const auto &succ0 = dfg.orderSuccs()[0];
+    const auto &succ1 = dfg.orderSuccs()[1];
+    EXPECT_NE(std::find(succ0.begin(), succ0.end(), 2), succ0.end());
+    EXPECT_NE(std::find(succ1.begin(), succ1.end(), 2), succ1.end());
+    // n1 reads the OLD t1: its operand references n0, not n2.
+    EXPECT_EQ(dfg.node(1).operands[0].node, 0);
+}
+
+TEST(Dfg, EscapeWithoutLivenessIsConservative)
+{
+    Assembler a("esc");
+    a.add(t1, t0, t0);
+    a.halt();
+    auto prog = a.finish();
+    Dfg dfg = Dfg::build(prog, findBasicBlocks(prog, {})[0], {});
+    EXPECT_TRUE(dfg.defEscapesBlock(0));
+}
+
+TEST(Liveness, LoopScratchIsDead)
+{
+    // t2 is recomputed every iteration before use: dead at the back
+    // edge; t0 is the induction variable: live.
+    Assembler a("lv");
+    auto loop = a.newLabel();
+    a.li(t0, 0);
+    a.li(t1, 4);
+    a.bind(loop);
+    a.slli(t2, t0, 2);
+    a.addi(t0, t0, 1);
+    a.blt(t0, t1, loop);
+    a.halt();
+    auto prog = a.finish();
+    auto blocks = findBasicBlocks(prog, {});
+    auto outs = blockLiveOuts(prog, blocks);
+    ASSERT_EQ(blocks.size(), 3u);
+    EXPECT_TRUE(outs[1].count(t0));
+    EXPECT_TRUE(outs[1].count(t1));
+    EXPECT_FALSE(outs[1].count(t2));
+}
+
+TEST(Liveness, ValueReadAfterLoopIsLive)
+{
+    Assembler a("lv2");
+    auto loop = a.newLabel();
+    a.li(t0, 0);
+    a.bind(loop);
+    a.add(t2, t0, t0);
+    a.addi(t0, t0, 1);
+    a.slti(t3, t0, 4);
+    a.bne(t3, zero, loop);
+    a.sw(t2, s2, 0); // reads t2 after the loop
+    a.halt();
+    auto prog = a.finish();
+    auto blocks = findBasicBlocks(prog, {});
+    auto outs = blockLiveOuts(prog, blocks);
+    EXPECT_TRUE(outs[1].count(t2));
+}
+
+TEST(Liveness, JalrMakesEverythingLive)
+{
+    Assembler a("lv3");
+    a.add(t0, t1, t2);
+    a.jalr(zero, ra, 0);
+    auto prog = a.finish();
+    auto blocks = findBasicBlocks(prog, {});
+    auto outs = blockLiveOuts(prog, blocks);
+    EXPECT_TRUE(outs[0].count(t9));
+    EXPECT_TRUE(outs[0].count(s5));
+}
+
+TEST(SpmPointers, FlowAcrossBlocks)
+{
+    // The pointer is derived in one block and dereferenced in the
+    // next (the matmul row-pointer pattern).
+    Assembler a("sp");
+    auto loop = a.newLabel();
+    a.li(s2, static_cast<std::int32_t>(mem::spmBase));
+    a.li(t0, 0);
+    a.bind(loop);
+    a.add(t1, s2, t0); // pointer arithmetic
+    a.lw(t2, t1, 0);
+    a.addi(t0, t0, 4);
+    a.slti(t3, t0, 64);
+    a.bne(t3, zero, loop);
+    a.halt();
+    auto prog = a.finish();
+    auto blocks = findBasicBlocks(prog, {});
+    auto spmIns = blockSpmPointers(prog, blocks, {});
+    // The loop block (containing the lw) must see s2 as SPM.
+    bool found = false;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        for (std::size_t i = blocks[b].begin; i < blocks[b].end; ++i) {
+            if (prog.code()[i].op == isa::Opcode::Lw) {
+                EXPECT_TRUE(spmIns[b].count(s2));
+                found = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(SpmPointers, OverwritingKillsTheTaint)
+{
+    Assembler a("sp2");
+    a.li(s2, static_cast<std::int32_t>(mem::spmBase));
+    a.mul(s2, t0, t1); // s2 no longer a pointer
+    a.halt();
+    auto prog = a.finish();
+    auto blocks = findBasicBlocks(prog, {});
+    Dfg dfg = Dfg::build(prog, blocks[0], {});
+    // A load through the clobbered register must not be SPM.
+    Assembler b("sp3");
+    b.li(s2, static_cast<std::int32_t>(mem::spmBase));
+    b.mul(s2, t0, t1);
+    b.lw(t2, s2, 0);
+    b.halt();
+    auto prog2 = b.finish();
+    auto blocks2 = findBasicBlocks(prog2, {});
+    auto spmIns = blockSpmPointers(prog2, blocks2, {});
+    Dfg dfg2 = Dfg::build(
+        prog2, blocks2[0],
+        std::vector<RegId>(spmIns[0].begin(), spmIns[0].end()));
+    // Find the load node.
+    for (int i = 0; i < dfg2.size(); ++i) {
+        if (dfg2.node(i).isMem) {
+            EXPECT_FALSE(dfg2.node(i).isSpmMem);
+        }
+    }
+}
+
+TEST(Dfg, ToStringSmokes)
+{
+    Assembler a("ts");
+    a.add(t1, t0, t0);
+    a.halt();
+    auto prog = a.finish();
+    Dfg dfg = Dfg::build(prog, findBasicBlocks(prog, {})[0], {});
+    EXPECT_NE(dfg.toString().find("alu.add"), std::string::npos);
+}
+
+} // namespace
+} // namespace stitch::compiler

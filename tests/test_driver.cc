@@ -1,0 +1,118 @@
+/** @file End-to-end compiler-driver tests over the kernel catalog.
+ *
+ *  compileKernel() internally validates every variant's outputs
+ *  against the software run (fatal on mismatch), so simply compiling
+ *  each kernel is itself a strong correctness test; the assertions
+ *  below add shape checks on the results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/driver.hh"
+#include "kernels/catalog.hh"
+
+namespace stitch::compiler
+{
+namespace
+{
+
+class CompileEveryKernel
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CompileEveryKernel, AllVariantsValidateAndAreSane)
+{
+    auto input = kernels::kernelByName(GetParam()).build({});
+    auto compiled = compileKernel(GetParam(), input);
+
+    EXPECT_GT(compiled.softwareCycles, 0u);
+    EXPECT_FALSE(compiled.chainStrings.empty());
+    // 12 Stitch targets + LOCUS.
+    EXPECT_EQ(compiled.variants.size(), 13u);
+
+    for (const auto &v : compiled.variants) {
+        // Validation already ran inside compileKernel; cycles must be
+        // positive and no variant may be slower than software (the
+        // selector only accepts estimated-profitable rewrites, and
+        // measurement confirms).
+        EXPECT_GT(v.cycles, 0u);
+        EXPECT_LE(v.cycles, compiled.softwareCycles * 11 / 10)
+            << v.target.name();
+        EXPECT_NEAR(v.speedup,
+                    static_cast<double>(compiled.softwareCycles) /
+                        static_cast<double>(v.cycles),
+                    1e-9);
+    }
+
+    ASSERT_NE(compiled.bestSinglePatch(), nullptr);
+    ASSERT_NE(compiled.bestStitch(), nullptr);
+    ASSERT_NE(compiled.locusVariant(), nullptr);
+    // Stitched (single or fused) is at least as good as any single.
+    EXPECT_LE(compiled.bestStitch()->cycles,
+              compiled.bestSinglePatch()->cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, CompileEveryKernel,
+    ::testing::Values("fft", "ifft", "fir", "filter", "update",
+                      "conv2d", "conv2d10", "sobel", "pooling",
+                      "matmul", "fc", "dtw", "aes", "histogram",
+                      "svm", "astar", "crc", "viterbi", "kmeans", "iir"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });
+
+TEST(Driver, AllStitchTargetsEnumerates12)
+{
+    auto targets = allStitchTargets();
+    EXPECT_EQ(targets.size(), 12u);
+    int singles = 0, fused = 0;
+    for (const auto &t : targets) {
+        singles += t.type == AccelTarget::Type::SinglePatch;
+        fused += t.type == AccelTarget::Type::FusedPair;
+    }
+    EXPECT_EQ(singles, 3);
+    EXPECT_EQ(fused, 9);
+}
+
+TEST(Driver, FindLocatesExactTarget)
+{
+    auto input = kernels::kernelByName("fir").build({});
+    auto compiled = compileKernel("fir", input);
+    auto target = AccelTarget::fused(core::PatchKind::ATMA,
+                                     core::PatchKind::ATSA);
+    const auto *v = compiled.find(target);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->target, target);
+    EXPECT_EQ(compiled.find(AccelTarget::locus())->target.type,
+              AccelTarget::Type::Locus);
+}
+
+TEST(Driver, PipelineShapeCompilesAndProfilesStandalone)
+{
+    kernels::PipelineShape shape;
+    shape.numIn = 2;
+    shape.numOut = 1;
+    auto input = kernels::kernelByName("fft").build(shape);
+    auto compiled = compileKernel("fft-stage", input);
+    EXPECT_GT(compiled.softwareCycles, 0u);
+    EXPECT_GT(compiled.bestStitch()->speedup, 1.2);
+}
+
+TEST(Driver, MeasuredSpeedupsTrackThePaperShape)
+{
+    // Spot checks of the Fig. 11 shape: fft roughly doubles when
+    // stitched; astar barely moves.
+    auto fft = compileKernel(
+        "fft", kernels::kernelByName("fft").build({}));
+    EXPECT_GT(fft.bestStitch()->speedup, 1.8);
+    EXPECT_GT(fft.bestSinglePatch()->speedup, 1.5);
+
+    auto astar = compileKernel(
+        "astar", kernels::kernelByName("astar").build({}));
+    EXPECT_LT(astar.bestStitch()->speedup, 1.5);
+}
+
+} // namespace
+} // namespace stitch::compiler

@@ -1,0 +1,197 @@
+/** @file Encoder/decoder and Program-container tests for SW32. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "isa/isa.hh"
+#include "isa/program.hh"
+
+namespace stitch::isa
+{
+namespace
+{
+
+Instr
+sampleInstrFor(Opcode op, Rng &rng)
+{
+    Instr in;
+    in.op = op;
+    auto reg = [&] { return static_cast<RegId>(rng.range(0, 31)); };
+    switch (formatOf(op)) {
+      case Format::N:
+        break;
+      case Format::R:
+        in.rd0 = reg();
+        in.rs0 = reg();
+        in.rs1 = reg();
+        break;
+      case Format::I:
+        in.rd0 = reg();
+        in.rs0 = reg();
+        in.imm = static_cast<std::int32_t>(rng.range(-32768, 32767));
+        break;
+      case Format::S:
+      case Format::B:
+        in.rs0 = reg();
+        in.rs1 = reg();
+        in.imm = static_cast<std::int32_t>(rng.range(-32768, 32767));
+        break;
+      case Format::J:
+        in.rd0 = reg();
+        in.imm = static_cast<std::int32_t>(
+            rng.range(-(1 << 20), (1 << 20) - 1));
+        break;
+      case Format::C:
+        in.rd0 = reg();
+        in.rd1 = reg();
+        in.rs0 = reg();
+        in.rs1 = reg();
+        in.rs2 = reg();
+        in.rs3 = reg();
+        in.cfg = static_cast<std::uint16_t>(rng.range(0, 4095));
+        break;
+    }
+    return in;
+}
+
+class EncodeRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+/** Property: encode/decode is the identity for every opcode. */
+TEST_P(EncodeRoundTrip, AllFieldsSurvive)
+{
+    auto op = static_cast<Opcode>(GetParam());
+    Rng rng(1000 + GetParam());
+    for (int iter = 0; iter < 50; ++iter) {
+        Instr in = sampleInstrFor(op, rng);
+        std::vector<Word> image;
+        int words = encode(in, image);
+        EXPECT_EQ(words, in.wordSize());
+        ASSERT_EQ(image.size(), static_cast<std::size_t>(words));
+        int consumed = 0;
+        Instr back = decode(image, 0, &consumed);
+        EXPECT_EQ(consumed, words);
+        EXPECT_EQ(back, in);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, EncodeRoundTrip,
+    ::testing::Range(0, static_cast<int>(Opcode::NumOpcodes)),
+    [](const ::testing::TestParamInfo<int> &info) {
+        return mnemonic(static_cast<Opcode>(info.param));
+    });
+
+TEST(IsaEncode, ImmediateOutOfRangeIsFatal)
+{
+    Instr in;
+    in.op = Opcode::Addi;
+    in.imm = 40000;
+    std::vector<Word> image;
+    EXPECT_THROW(encode(in, image), FatalError);
+}
+
+TEST(IsaEncode, CustIsTwoWords)
+{
+    Instr in;
+    in.op = Opcode::Cust;
+    EXPECT_EQ(in.wordSize(), 2);
+    std::vector<Word> image;
+    EXPECT_EQ(encode(in, image), 2);
+}
+
+TEST(IsaDecode, UndefinedOpcodeIsFatal)
+{
+    std::vector<Word> image = {
+        static_cast<Word>(Opcode::NumOpcodes) << 26};
+    EXPECT_THROW(decode(image, 0, nullptr), FatalError);
+}
+
+TEST(IsaClassify, Groups)
+{
+    EXPECT_TRUE(isAluRegOp(Opcode::Add));
+    EXPECT_TRUE(isAluRegOp(Opcode::Sltu));
+    EXPECT_FALSE(isAluRegOp(Opcode::Addi));
+    EXPECT_TRUE(isAluImmOp(Opcode::Addi));
+    EXPECT_TRUE(isAluImmOp(Opcode::Slti));
+    EXPECT_FALSE(isAluImmOp(Opcode::Lui));
+    EXPECT_TRUE(isMemOp(Opcode::Lw));
+    EXPECT_TRUE(isMemOp(Opcode::Sb));
+    EXPECT_FALSE(isMemOp(Opcode::Add));
+    EXPECT_TRUE(isControlOp(Opcode::Beq));
+    EXPECT_TRUE(isControlOp(Opcode::Jal));
+    EXPECT_TRUE(isControlOp(Opcode::Halt));
+    EXPECT_FALSE(isControlOp(Opcode::Send));
+}
+
+TEST(Program, WordAddressing)
+{
+    Program p("t");
+    Instr add;
+    add.op = Opcode::Add;
+    Instr cust;
+    cust.op = Opcode::Cust;
+    EXPECT_EQ(p.append(add), 0u);
+    EXPECT_EQ(p.append(cust), 1u);
+    EXPECT_EQ(p.append(add), 3u); // CUST occupies two words
+    EXPECT_EQ(p.wordCount(), 4u);
+    EXPECT_EQ(p.wordAddrOf(0), 0u);
+    EXPECT_EQ(p.wordAddrOf(1), 1u);
+    EXPECT_EQ(p.wordAddrOf(2), 3u);
+    EXPECT_EQ(p.indexOfWordAddr(3), 2u);
+    EXPECT_THROW(p.indexOfWordAddr(2), FatalError); // mid-CUST
+}
+
+TEST(Program, ImageRoundTrip)
+{
+    Rng rng(99);
+    Program p("round");
+    for (int i = 0; i < 40; ++i) {
+        auto op = static_cast<Opcode>(
+            rng.range(0, static_cast<int>(Opcode::NumOpcodes) - 1));
+        p.append(sampleInstrFor(op, rng));
+    }
+    auto image = p.encodeImage();
+    EXPECT_EQ(image.size(), p.wordCount());
+    Program q = Program::fromImage("round", image);
+    ASSERT_EQ(q.code().size(), p.code().size());
+    for (std::size_t i = 0; i < p.code().size(); ++i)
+        EXPECT_EQ(q.code()[i], p.code()[i]) << "instr " << i;
+}
+
+TEST(Program, DataWordsAreLittleEndian)
+{
+    Program p("data");
+    p.addDataWords(0x100, {0x11223344u});
+    ASSERT_EQ(p.data().size(), 1u);
+    const auto &seg = p.data()[0];
+    EXPECT_EQ(seg.base, 0x100u);
+    ASSERT_EQ(seg.bytes.size(), 4u);
+    EXPECT_EQ(seg.bytes[0], 0x44);
+    EXPECT_EQ(seg.bytes[3], 0x11);
+}
+
+TEST(Program, ListingMentionsEveryMnemonic)
+{
+    Program p("list");
+    Instr mul;
+    mul.op = Opcode::Mul;
+    mul.rd0 = 3;
+    p.append(mul);
+    auto text = p.listing();
+    EXPECT_NE(text.find("mul"), std::string::npos);
+    EXPECT_NE(text.find("r3"), std::string::npos);
+}
+
+TEST(Program, IseTableIndices)
+{
+    Program p("ise");
+    EXPECT_EQ(p.addIseConfig(0xabc), 0u);
+    EXPECT_EQ(p.addIseConfig(0xdef), 1u);
+    EXPECT_EQ(p.iseTable()[1], 0xdefu);
+}
+
+} // namespace
+} // namespace stitch::isa

@@ -1,0 +1,239 @@
+/** @file ISE identification tests: enumeration, legality, I/O. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compiler/ise_ident.hh"
+#include "isa/assembler.hh"
+
+namespace stitch::compiler
+{
+namespace
+{
+
+using namespace isa::reg;
+using isa::Assembler;
+
+Dfg
+dfgOf(isa::Program &prog, std::vector<RegId> spmRegs = {})
+{
+    auto blocks = findBasicBlocks(prog, {});
+    // These straight-line snippets have no consumers after the block:
+    // analyze with an empty live-out set so outputs are driven purely
+    // by in-block dataflow.
+    static const std::set<RegId> emptyLive;
+    return Dfg::build(prog, blocks[0], spmRegs, &emptyLive);
+}
+
+bool
+hasCandidate(const std::vector<IseCandidate> &cands,
+             const std::vector<int> &nodes)
+{
+    for (const auto &c : cands)
+        if (c.nodes == nodes)
+            return true;
+    return false;
+}
+
+TEST(IseIdent, EnumeratesConnectedSubgraphs)
+{
+    Assembler a("c");
+    a.add(t2, t0, t1);  // n0
+    a.mul(t3, t2, t0);  // n1
+    a.slli(t4, t3, 2);  // n2
+    a.halt();
+    auto prog = a.finish();
+    Dfg dfg = dfgOf(prog);
+    auto cands = identifyCandidates(dfg);
+    EXPECT_TRUE(hasCandidate(cands, {0}));
+    EXPECT_TRUE(hasCandidate(cands, {0, 1}));
+    EXPECT_TRUE(hasCandidate(cands, {1, 2}));
+    EXPECT_TRUE(hasCandidate(cands, {0, 1, 2}));
+    // {0, 2} is not connected without 1.
+    EXPECT_FALSE(hasCandidate(cands, {0, 2}));
+}
+
+TEST(IseIdent, NoDuplicates)
+{
+    Assembler a("d");
+    a.add(t2, t0, t1);
+    a.add(t3, t2, t0);
+    a.add(t4, t3, t2);
+    a.halt();
+    auto prog = a.finish();
+    auto cands = identifyCandidates(dfgOf(prog));
+    std::set<std::vector<int>> seen;
+    for (const auto &c : cands)
+        EXPECT_TRUE(seen.insert(c.nodes).second) << "duplicate";
+}
+
+TEST(IseIdent, InputLimitEnforced)
+{
+    // A 5-input tree must be rejected as a whole.
+    Assembler a("io");
+    a.add(t5, t0, t1);  // n0: 2 inputs
+    a.add(t6, t2, t3);  // n1: 2 inputs
+    a.add(t7, t5, t6);  // n2
+    a.add(t8, t7, t4);  // n3: 5th input
+    a.halt();
+    auto prog = a.finish();
+    auto cands = identifyCandidates(dfgOf(prog));
+    EXPECT_TRUE(hasCandidate(cands, {0, 1, 2}));
+    EXPECT_FALSE(hasCandidate(cands, {0, 1, 2, 3}));
+}
+
+TEST(IseIdent, OutputLimitEnforced)
+{
+    // Three values all live out: any candidate bundling all three
+    // producers violates the 2-output constraint.
+    Assembler a("o");
+    a.add(t1, t0, t0); // n0
+    a.add(t2, t1, t0); // n1
+    a.add(t3, t1, t2); // n2
+    a.sw(t1, s0, 0);
+    a.sw(t2, s0, 4);
+    a.sw(t3, s0, 8);
+    a.halt();
+    auto prog = a.finish();
+    auto cands = identifyCandidates(dfgOf(prog));
+    EXPECT_FALSE(hasCandidate(cands, {0, 1, 2}));
+    EXPECT_TRUE(hasCandidate(cands, {0, 1}));
+}
+
+TEST(IseIdent, SinkingBlockedByInterveningReader)
+{
+    // A non-includable reader (send) between producer and consumer
+    // forbids sinking the producer past it.
+    Assembler a("s");
+    a.add(t1, t0, t0);  // n0
+    a.send(t1, t2, 0);  // n1: reads t1, not includable
+    a.add(t3, t1, t0);  // n2
+    a.halt();
+    auto prog = a.finish();
+    auto cands = identifyCandidates(dfgOf(prog));
+    EXPECT_FALSE(hasCandidate(cands, {0, 2}));
+    EXPECT_TRUE(hasCandidate(cands, {0}));
+    EXPECT_TRUE(hasCandidate(cands, {2}));
+}
+
+TEST(IseIdent, SinkingBlockedByMemoryOrdering)
+{
+    // A cached store between two SPM ops does not conflict (separate
+    // spaces), but a second SPM store does.
+    Assembler a("m");
+    a.lw(t1, s2, 0);  // n0: SPM load
+    a.sw(t0, s2, 0);  // n1: SPM store to the same space
+    a.add(t3, t1, t0); // n2
+    a.halt();
+    auto prog = a.finish();
+    auto cands = identifyCandidates(dfgOf(prog, {s2}));
+    // {n0, n2} would sink the load past the store: illegal.
+    EXPECT_FALSE(hasCandidate(cands, {0, 2}));
+}
+
+TEST(IseIdent, CachedAndSpmSpacesAreIndependent)
+{
+    Assembler a("m2");
+    a.lw(t1, s2, 0); // n0: SPM load
+    a.sw(t0, t4, 0); // n1: cached store (not includable)
+    a.add(t3, t1, t0); // n2
+    a.halt();
+    auto prog = a.finish();
+    auto cands = identifyCandidates(dfgOf(prog, {s2}));
+    EXPECT_TRUE(hasCandidate(cands, {0, 2}));
+}
+
+TEST(IseIdent, BaselineCyclesCountMulAsFour)
+{
+    Assembler a("b");
+    a.mul(t1, t0, t0);
+    a.add(t2, t1, t0);
+    a.halt();
+    auto prog = a.finish();
+    auto cands = identifyCandidates(dfgOf(prog));
+    for (const auto &c : cands) {
+        if (c.nodes == std::vector<int>{0, 1}) {
+            EXPECT_EQ(c.baselineCycles, 5u);
+        }
+    }
+}
+
+TEST(IseIdent, ExternalsAreDeduplicated)
+{
+    Assembler a("e");
+    a.add(t1, t0, t0); // same register twice: one external
+    a.halt();
+    auto prog = a.finish();
+    auto cands = identifyCandidates(dfgOf(prog));
+    ASSERT_TRUE(hasCandidate(cands, {0}));
+    for (const auto &c : cands) {
+        if (c.nodes == std::vector<int>{0}) {
+            EXPECT_EQ(c.externals.size(), 1u);
+        }
+    }
+}
+
+TEST(IseIdent, MaterializationsCountNonZeroImmediates)
+{
+    Assembler a("i");
+    a.addi(t1, t0, 5);
+    a.addi(t2, t1, 0);
+    a.halt();
+    auto prog = a.finish();
+    auto cands = identifyCandidates(dfgOf(prog));
+    for (const auto &c : cands) {
+        if (c.nodes == std::vector<int>{0}) {
+            EXPECT_EQ(c.materializations, 1);
+        }
+        if (c.nodes == std::vector<int>{1}) {
+            EXPECT_EQ(c.materializations, 0); // imm 0 rides r0
+        }
+    }
+}
+
+TEST(IseIdent, SizeCapRespected)
+{
+    Assembler a("cap");
+    for (int i = 0; i < 12; ++i)
+        a.add(t1, t1, t0);
+    a.halt();
+    auto prog = a.finish();
+    IseIdentParams params;
+    params.maxNodes = 3;
+    auto cands = identifyCandidates(dfgOf(prog), params);
+    for (const auto &c : cands)
+        EXPECT_LE(c.nodes.size(), 3u);
+}
+
+TEST(IseIdent, CandidateCapGuardsExplosion)
+{
+    Assembler a("big");
+    for (int i = 0; i < 30; ++i)
+        a.add(t1, t1, t0);
+    a.halt();
+    auto prog = a.finish();
+    IseIdentParams params;
+    params.maxCandidates = 50;
+    auto cands = identifyCandidates(dfgOf(prog), params);
+    EXPECT_LE(cands.size(), 50u);
+}
+
+TEST(IseIdent, StoreOnlyCandidateHasNoOutputs)
+{
+    Assembler a("so");
+    a.add(t1, s2, t0);
+    a.sw(t2, t1, 0);
+    a.halt();
+    auto prog = a.finish();
+    auto cands = identifyCandidates(dfgOf(prog, {s2}));
+    ASSERT_TRUE(hasCandidate(cands, {0, 1}));
+    for (const auto &c : cands) {
+        if (c.nodes == std::vector<int>{0, 1}) {
+            EXPECT_TRUE(c.outputs.empty());
+        }
+    }
+}
+
+} // namespace
+} // namespace stitch::compiler

@@ -1,0 +1,269 @@
+/** @file Golden-model tests: run each kernel's SW32 assembly on the
+ *  simulator and compare the final memory against the C++ reference
+ *  implementation. */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "kernels/catalog.hh"
+#include "kernels/golden.hh"
+#include "mem/addrmap.hh"
+
+namespace stitch::kernels
+{
+namespace
+{
+
+/** Run a standalone kernel build and expose its memory. */
+struct KernelRun
+{
+    explicit KernelRun(const std::string &name)
+        : core(0, memory, nullptr, nullptr)
+    {
+        auto input = kernelByName(name).build({});
+        core.loadProgram(input.program);
+        core.runToHalt();
+    }
+
+    std::vector<golden::I32>
+    spmWords(Addr offset, std::size_t count) const
+    {
+        std::vector<golden::I32> out;
+        for (std::size_t i = 0; i < count; ++i)
+            out.push_back(static_cast<golden::I32>(
+                memory.spmPeek(offset + static_cast<Addr>(4 * i))));
+        return out;
+    }
+
+    mem::TileMemory memory;
+    cpu::Core core;
+};
+
+TEST(KernelGolden, Fft)
+{
+    KernelRun run("fft");
+    auto re = golden::fftInputRe();
+    auto im = golden::fftInputIm();
+    golden::fft64(re, im, false);
+    EXPECT_EQ(run.spmWords(0, 64), re);
+    EXPECT_EQ(run.spmWords(256, 64), im);
+}
+
+TEST(KernelGolden, Ifft)
+{
+    KernelRun run("ifft");
+    auto re = golden::fftInputRe();
+    auto im = golden::fftInputIm();
+    golden::fft64(re, im, true);
+    golden::I32 acc = golden::ifftPost(re, im);
+    EXPECT_EQ(run.spmWords(0, 64), re);
+    EXPECT_EQ(run.spmWords(256, 64), im);
+    EXPECT_EQ(run.spmWords(768, 1)[0], acc);
+}
+
+TEST(KernelGolden, Fir)
+{
+    KernelRun run("fir");
+    auto y = golden::fir(golden::firInput(), golden::firCoeffs());
+    y.resize(48); // the kernel computes one 48-sample window
+    EXPECT_EQ(run.spmWords(1088, 48), y);
+}
+
+TEST(KernelGolden, Filter)
+{
+    KernelRun run("filter");
+    auto s = golden::filterInput();
+    golden::filter(s, golden::filterGains());
+    EXPECT_EQ(run.spmWords(0, 64), s);
+}
+
+TEST(KernelGolden, UpdateFeature)
+{
+    KernelRun run("update");
+    auto feat = golden::updateFeatureInit();
+    golden::updateFeature(feat, golden::updateRe(),
+                          golden::updateIm());
+    EXPECT_EQ(run.spmWords(0, 64), feat);
+}
+
+TEST(KernelGolden, Conv2d)
+{
+    KernelRun run("conv2d");
+    auto out = golden::conv2d(golden::conv2dInput(),
+                              golden::conv2dKernel());
+    EXPECT_EQ(run.spmWords(16 * 16 * 4 + 36, 196), out);
+}
+
+TEST(KernelGolden, Conv2dSmall)
+{
+    KernelRun run("conv2d10");
+    auto out = golden::conv2dN(golden::conv2dInputN(10),
+                               golden::conv2dKernel(), 10);
+    EXPECT_EQ(run.spmWords(10 * 10 * 4 + 36, 64), out);
+}
+
+TEST(KernelGolden, Sobel)
+{
+    KernelRun run("sobel");
+    auto out = golden::sobel(golden::sobelInput());
+    EXPECT_EQ(run.spmWords(1024, 196), out);
+}
+
+TEST(KernelGolden, Pooling)
+{
+    KernelRun run("pooling");
+    auto out = golden::pooling(golden::poolingInput());
+    EXPECT_EQ(run.spmWords(1024, 64), out);
+}
+
+TEST(KernelGolden, Matmul)
+{
+    KernelRun run("matmul");
+    auto c = golden::matmul(golden::matmulA(), golden::matmulB());
+    EXPECT_EQ(run.spmWords(1152, 144), c);
+}
+
+TEST(KernelGolden, Fc)
+{
+    KernelRun run("fc");
+    auto y = golden::fc(golden::fcInput(), golden::fcWeights(),
+                        golden::fcBias());
+    EXPECT_EQ(run.spmWords(2240, 16), y);
+}
+
+TEST(KernelGolden, Dtw)
+{
+    KernelRun run("dtw");
+    auto d = golden::dtw(golden::dtwSeqA(), golden::dtwSeqB());
+    EXPECT_EQ(run.spmWords(520, 1)[0], d);
+    EXPECT_GT(d, 0);
+}
+
+TEST(KernelGolden, Aes)
+{
+    KernelRun run("aes");
+    auto out = golden::aesEncrypt(golden::aesInput(),
+                                  golden::aesTable(),
+                                  golden::aesRoundKeys());
+    EXPECT_EQ(run.spmWords(1204, 8), out);
+    EXPECT_NE(out, golden::aesInput()); // it actually ciphered
+}
+
+TEST(KernelGolden, Histogram)
+{
+    KernelRun run("histogram");
+    auto bins = golden::histogram(golden::histogramInput());
+    EXPECT_EQ(run.spmWords(0, 64), bins);
+    golden::I32 total = 0;
+    for (auto b : bins)
+        total += b;
+    EXPECT_EQ(total, 256);
+}
+
+TEST(KernelGolden, Svm)
+{
+    KernelRun run("svm");
+    auto scores = golden::svmScores(golden::svmInput(),
+                                    golden::svmWeights(),
+                                    golden::svmBias());
+    EXPECT_EQ(run.spmWords(2336, 8), scores);
+}
+
+TEST(KernelGolden, Astar)
+{
+    KernelRun run("astar");
+    auto dist = golden::astarDistances(golden::astarCosts());
+    EXPECT_EQ(run.spmWords(1024, 256), dist);
+    // The corner is reachable.
+    EXPECT_LT(dist[255], 1 << 28);
+}
+
+TEST(KernelGolden, Crc)
+{
+    KernelRun run("crc");
+    auto crc = golden::crc32(golden::crcInput(), golden::crcTable());
+    EXPECT_EQ(run.spmWords(2048, 1)[0], crc);
+}
+
+TEST(KernelGolden, CrcTableMatchesKnownVector)
+{
+    // Standard CRC-32 sanity: table entry 1 of the reflected
+    // 0xEDB88320 polynomial.
+    auto table = golden::crcTable();
+    EXPECT_EQ(static_cast<Word>(table[0]), 0u);
+    EXPECT_EQ(static_cast<Word>(table[1]), 0x77073096u);
+    EXPECT_EQ(static_cast<Word>(table[255]), 0x2d02ef8du);
+}
+
+TEST(KernelGolden, Viterbi)
+{
+    KernelRun run("viterbi");
+    auto m = golden::viterbi(golden::viterbiTrans(),
+                             golden::viterbiEmit(),
+                             golden::viterbiObs());
+    EXPECT_EQ(run.spmWords(256, 4), m);
+}
+
+TEST(KernelGolden, Kmeans)
+{
+    KernelRun run("kmeans");
+    auto assign = golden::kmeansAssign(golden::kmeansPoints(),
+                                       golden::kmeansCentroids());
+    EXPECT_EQ(run.spmWords(544, 64), assign);
+    for (auto j : assign) {
+        EXPECT_GE(j, 0);
+        EXPECT_LT(j, 4);
+    }
+}
+
+TEST(KernelGolden, Iir)
+{
+    KernelRun run("iir");
+    auto y = golden::iir(golden::iirInput(), golden::iirCoeffs());
+    EXPECT_EQ(run.spmWords(1024, 128), y);
+}
+
+TEST(KernelCatalog, AllEntriesBuild)
+{
+    for (const auto &factory : kernelCatalog()) {
+        auto input = factory.build({});
+        EXPECT_FALSE(input.program.code().empty()) << factory.name;
+        EXPECT_FALSE(input.outputs.empty()) << factory.name;
+    }
+    EXPECT_EQ(kernelCatalog().size(), 20u);
+}
+
+TEST(KernelCatalog, UnknownNameIsFatal)
+{
+    EXPECT_THROW(kernelByName("nope"), FatalError);
+}
+
+TEST(KernelCatalog, NoKernelTouchesScratchRegisters)
+{
+    for (const auto &factory : kernelCatalog()) {
+        auto input = factory.build({1, 1, 2});
+        for (const auto &in : input.program.code()) {
+            EXPECT_LT(in.rd0, compiler::firstScratchReg)
+                << factory.name;
+            EXPECT_LT(in.rs0, compiler::firstScratchReg)
+                << factory.name;
+        }
+    }
+}
+
+TEST(KernelPipeline, SpmDataFitsTheScratchpad)
+{
+    for (const auto &factory : kernelCatalog()) {
+        auto input = factory.build({});
+        for (const auto &seg : input.program.data()) {
+            if (!mem::isSpmAddr(seg.base))
+                continue;
+            EXPECT_LE(seg.base + seg.bytes.size(),
+                      mem::spmBase + mem::spmSize)
+                << factory.name;
+        }
+    }
+}
+
+} // namespace
+} // namespace stitch::kernels

@@ -1,0 +1,409 @@
+/** @file Mapper tests: slot assignment, mux wiring, port matching,
+ *  fused splitting, and semantic cross-validation of the generated
+ *  19-bit configurations against the interpreted micro-DFG. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "compiler/driver.hh"
+#include "compiler/mapper.hh"
+#include "core/patch.hh"
+#include "isa/assembler.hh"
+#include "mem/addrmap.hh"
+
+namespace stitch::compiler
+{
+namespace
+{
+
+using namespace isa::reg;
+using core::PatchKind;
+using isa::Assembler;
+
+Dfg
+dfgOf(isa::Program &prog, std::vector<RegId> spmRegs = {})
+{
+    auto blocks = findBasicBlocks(prog, {});
+    static const std::set<RegId> emptyLive;
+    return Dfg::build(prog, blocks[0], spmRegs, &emptyLive);
+}
+
+const IseCandidate *
+candidateWith(const std::vector<IseCandidate> &cands,
+              const std::vector<int> &nodes)
+{
+    for (const auto &c : cands)
+        if (c.nodes == nodes)
+            return &c;
+    return nullptr;
+}
+
+class TestSpm : public core::SpmPort
+{
+  public:
+    Word
+    load(Addr a) override
+    {
+        return data[(a - mem::spmBase) / 4];
+    }
+
+    void
+    store(Addr a, Word v) override
+    {
+        data[(a - mem::spmBase) / 4] = v;
+    }
+
+    std::array<Word, 1024> data{};
+};
+
+/**
+ * The central property: executing the mapped FusedConfig on the patch
+ * datapath must equal interpreting the candidate's micro-DFG, for
+ * random operand values.
+ */
+void
+expectSemanticsMatch(const Dfg &dfg, const IseCandidate &cand,
+                     const MapResult &map, std::uint64_t seed,
+                     bool withSpm = false)
+{
+    ASSERT_TRUE(map.ok);
+    auto micro = buildMicroDfg(dfg, cand, map.portExternal,
+                               map.rd0Node, map.rd1Node);
+    Rng rng(seed);
+    for (int iter = 0; iter < 30; ++iter) {
+        std::array<Word, 4> in;
+        for (auto &v : in)
+            v = withSpm
+                    ? mem::spmBase +
+                          (static_cast<Word>(rng.next()) % 256) * 4
+                    : static_cast<Word>(rng.next());
+        if (withSpm)
+            in[1] = static_cast<Word>(rng.next()) % 64; // offsets
+
+        TestSpm spmA, spmB;
+        for (std::size_t i = 0; i < spmA.data.size(); ++i)
+            spmA.data[i] = spmB.data[i] =
+                static_cast<Word>(rng.next());
+
+        core::NullSpmPort nullSpm;
+        auto cfg = map.cfg;
+        auto hw = core::executeCustom(cfg, in, spmA,
+                                      cfg.usesRemote ? &nullSpm
+                                                     : nullptr);
+        auto sw = micro.evaluate(in, &spmB);
+        EXPECT_EQ(hw.writeRd0, sw.writeRd0);
+        EXPECT_EQ(hw.writeRd1, sw.writeRd1);
+        if (hw.writeRd0 && sw.writeRd0) {
+            EXPECT_EQ(hw.rd0, sw.rd0);
+        }
+        if (hw.writeRd1 && sw.writeRd1) {
+            EXPECT_EQ(hw.rd1, sw.rd1);
+        }
+        EXPECT_EQ(spmA.data, spmB.data);
+    }
+}
+
+TEST(Mapper, MulAddChainOnAtma)
+{
+    Assembler a("ma");
+    a.mul(t2, t0, t1);
+    a.add(t3, t2, t4);
+    a.sw(t3, s2, 0); // consume so t3 is an output
+    a.halt();
+    auto prog = a.finish();
+    Dfg dfg = dfgOf(prog, {s2});
+    auto cands = identifyCandidates(dfg);
+    const auto *cand = candidateWith(cands, {0, 1});
+    ASSERT_NE(cand, nullptr);
+
+    auto map = mapCandidate(dfg, *cand,
+                            AccelTarget::single(PatchKind::ATMA));
+    ASSERT_TRUE(map.ok);
+    EXPECT_EQ(map.cfg.localKind, PatchKind::ATMA);
+    EXPECT_FALSE(map.cfg.usesRemote);
+    expectSemanticsMatch(dfg, *cand, map, 11);
+
+    // The same chain cannot live on AT-AS (no multiplier).
+    EXPECT_FALSE(
+        mapCandidate(dfg, *cand,
+                     AccelTarget::single(PatchKind::ATAS))
+            .ok);
+}
+
+TEST(Mapper, AddShiftChainOnAtas)
+{
+    Assembler a("as");
+    a.add(t2, t0, t1);
+    a.srl(t3, t2, t4);
+    a.sw(t3, s2, 0);
+    a.halt();
+    auto prog = a.finish();
+    Dfg dfg = dfgOf(prog, {s2});
+    auto cands = identifyCandidates(dfg);
+    const auto *cand = candidateWith(cands, {0, 1});
+    ASSERT_NE(cand, nullptr);
+    auto map = mapCandidate(dfg, *cand,
+                            AccelTarget::single(PatchKind::ATAS));
+    ASSERT_TRUE(map.ok);
+    expectSemanticsMatch(dfg, *cand, map, 12);
+}
+
+TEST(Mapper, ShiftAddChainOnAtsaNotAtas)
+{
+    Assembler a("sa");
+    a.sll(t2, t0, t1);
+    a.add(t3, t2, t4);
+    a.sw(t3, s2, 0);
+    a.halt();
+    auto prog = a.finish();
+    Dfg dfg = dfgOf(prog, {s2});
+    auto cands = identifyCandidates(dfg);
+    const auto *cand = candidateWith(cands, {0, 1});
+    ASSERT_NE(cand, nullptr);
+    auto sa = mapCandidate(dfg, *cand,
+                           AccelTarget::single(PatchKind::ATSA));
+    ASSERT_TRUE(sa.ok);
+    expectSemanticsMatch(dfg, *cand, sa, 13);
+    // shift-then-add does not fit the add-then-shift patch.
+    EXPECT_FALSE(mapCandidate(dfg, *cand,
+                              AccelTarget::single(PatchKind::ATAS))
+                     .ok);
+}
+
+TEST(Mapper, AtLoadOnAnyKind)
+{
+    Assembler a("at");
+    a.add(t1, s2, t0);
+    a.lw(t2, t1, 0);
+    a.sw(t2, s3, 0);
+    a.halt();
+    auto prog = a.finish();
+    Dfg dfg = dfgOf(prog, {s2, s3});
+    auto cands = identifyCandidates(dfg);
+    const auto *cand = candidateWith(cands, {0, 1});
+    ASSERT_NE(cand, nullptr);
+    for (auto kind :
+         {PatchKind::ATMA, PatchKind::ATAS, PatchKind::ATSA}) {
+        auto map = mapCandidate(dfg, *cand,
+                                AccelTarget::single(kind));
+        ASSERT_TRUE(map.ok) << core::patchKindName(kind);
+        EXPECT_EQ(map.cfg.local.tMode, core::TMode::Load);
+        expectSemanticsMatch(dfg, *cand, map, 14, true);
+    }
+}
+
+TEST(Mapper, LoadMulAddOnAtma)
+{
+    // The conv2d inner pattern: SPM load feeding a MAC.
+    Assembler a("lma");
+    a.lw(t1, s2, 8);
+    a.mul(t2, t1, t3);
+    a.add(a0, a0, t2);
+    a.sw(a0, s3, 0);
+    a.halt();
+    auto prog = a.finish();
+    Dfg dfg = dfgOf(prog, {s2, s3});
+    auto cands = identifyCandidates(dfg);
+    const auto *cand = candidateWith(cands, {0, 1, 2});
+    ASSERT_NE(cand, nullptr);
+    auto map = mapCandidate(dfg, *cand,
+                            AccelTarget::single(PatchKind::ATMA));
+    ASSERT_TRUE(map.ok);
+    EXPECT_EQ(map.cfg.local.tMode, core::TMode::Load);
+    EXPECT_EQ(map.cfg.local.a1op, core::AluOp::Add); // base + 8
+    expectSemanticsMatch(dfg, *cand, map, 15, true);
+}
+
+TEST(Mapper, StoreDataMustBeExternal)
+{
+    // A store whose data is computed inside the candidate cannot be
+    // mapped (the LMAU's store data is hard-wired to in2).
+    Assembler a("sd");
+    a.add(t1, t0, t2); // data
+    a.sw(t1, s2, 0);   // store it
+    a.halt();
+    auto prog = a.finish();
+    Dfg dfg = dfgOf(prog, {s2});
+    auto cands = identifyCandidates(dfg);
+    const auto *cand = candidateWith(cands, {0, 1});
+    if (cand) {
+        for (auto kind :
+             {PatchKind::ATMA, PatchKind::ATAS, PatchKind::ATSA})
+            EXPECT_FALSE(
+                mapCandidate(dfg, *cand, AccelTarget::single(kind))
+                    .ok);
+    }
+}
+
+TEST(Mapper, FourNodeDiamondOnSinglePatch)
+{
+    // sub feeds both sra and and: the stage-1 broadcast handles it.
+    Assembler a("dia");
+    a.sub(t2, t0, t1);  // n0
+    a.srai(t3, t2, 31); // n1
+    a.and_(t4, t2, t3); // n2  (diamond join)
+    a.sw(t4, s2, 0);
+    a.halt();
+    auto prog = a.finish();
+    Dfg dfg = dfgOf(prog, {s2});
+    auto cands = identifyCandidates(dfg);
+    const auto *cand = candidateWith(cands, {0, 1, 2});
+    ASSERT_NE(cand, nullptr);
+    auto map = mapCandidate(dfg, *cand,
+                            AccelTarget::single(PatchKind::ATSA));
+    ASSERT_TRUE(map.ok);
+    expectSemanticsMatch(dfg, *cand, map, 16);
+    // LOCUS is chains-only: the diamond must be rejected.
+    EXPECT_FALSE(mapCandidate(dfg, *cand, AccelTarget::locus()).ok);
+}
+
+TEST(Mapper, FusedMulShiftNeedsTwoPatches)
+{
+    // mul -> srai has no single-patch home (AT-MA lacks a shifter).
+    Assembler a("fs");
+    a.mul(t2, t0, t1);
+    a.srai(t3, t2, 14);
+    a.sw(t3, s2, 0);
+    a.halt();
+    auto prog = a.finish();
+    Dfg dfg = dfgOf(prog, {s2});
+    auto cands = identifyCandidates(dfg);
+    const auto *cand = candidateWith(cands, {0, 1});
+    ASSERT_NE(cand, nullptr);
+
+    for (auto kind :
+         {PatchKind::ATMA, PatchKind::ATAS, PatchKind::ATSA})
+        EXPECT_FALSE(
+            mapCandidate(dfg, *cand, AccelTarget::single(kind)).ok);
+
+    auto fused = mapCandidate(
+        dfg, *cand,
+        AccelTarget::fused(PatchKind::ATMA, PatchKind::ATAS));
+    ASSERT_TRUE(fused.ok);
+    EXPECT_TRUE(fused.cfg.usesRemote);
+    EXPECT_EQ(fused.cfg.localKind, PatchKind::ATMA);
+    EXPECT_EQ(fused.cfg.remoteKind, PatchKind::ATAS);
+    expectSemanticsMatch(dfg, *cand, fused, 17);
+}
+
+TEST(Mapper, FusedRejectsRemoteMemory)
+{
+    // shift -> add -> SPM load: the load would have to execute on
+    // the remote patch, which the mapper forbids.
+    Assembler a("rm");
+    a.sll(t1, t0, t3);  // n0
+    a.add(t2, s2, t1);  // n1
+    a.lw(t4, t2, 0);    // n2
+    a.sw(t4, s3, 0);
+    a.halt();
+    auto prog = a.finish();
+    Dfg dfg = dfgOf(prog, {s2, s3});
+    auto cands = identifyCandidates(dfg);
+    const auto *cand = candidateWith(cands, {0, 1, 2});
+    ASSERT_NE(cand, nullptr);
+    EXPECT_FALSE(mapCandidate(dfg, *cand,
+                              AccelTarget::fused(PatchKind::ATSA,
+                                                 PatchKind::ATMA))
+                     .ok);
+}
+
+TEST(Mapper, LocusAcceptsChainsOnly)
+{
+    Assembler a("lc");
+    a.mul(t2, t0, t1);
+    a.add(t3, t2, t4);
+    a.srl(t5, t3, t0);
+    a.sw(t5, s2, 0);
+    a.halt();
+    auto prog = a.finish();
+    Dfg dfg = dfgOf(prog, {s2});
+    auto cands = identifyCandidates(dfg);
+    const auto *chain = candidateWith(cands, {0, 1, 2});
+    ASSERT_NE(chain, nullptr);
+    auto map = mapCandidate(dfg, *chain, AccelTarget::locus());
+    ASSERT_TRUE(map.ok);
+    EXPECT_TRUE(map.isLocus);
+    EXPECT_EQ(map.micro.size(), 3);
+}
+
+TEST(Mapper, LocusRejectsMemory)
+{
+    Assembler a("lm");
+    a.lw(t1, s2, 0);
+    a.add(t2, t1, t0);
+    a.sw(t2, s3, 0);
+    a.halt();
+    auto prog = a.finish();
+    Dfg dfg = dfgOf(prog, {s2, s3});
+    auto cands = identifyCandidates(dfg);
+    const auto *cand = candidateWith(cands, {0, 1});
+    ASSERT_NE(cand, nullptr);
+    EXPECT_FALSE(mapCandidate(dfg, *cand, AccelTarget::locus()).ok);
+}
+
+TEST(Mapper, TargetNames)
+{
+    EXPECT_EQ(AccelTarget::single(PatchKind::ATMA).name(), "{AT-MA}");
+    EXPECT_EQ(
+        AccelTarget::fused(PatchKind::ATAS, PatchKind::ATSA).name(),
+        "{AT-AS,AT-SA}");
+    EXPECT_EQ(AccelTarget::locus().name(), "LOCUS-SFU");
+}
+
+/** Property sweep: every profitable mapped candidate of a synthetic
+ *  block matches its micro-DFG semantics, across all targets. */
+class MapperCrossValidation : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MapperCrossValidation, RandomBlocks)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 3);
+    Assembler a("rand");
+    // Random straight-line compute over a few registers.
+    const RegId regs[] = {t0, t1, t2, t3, t4, t5};
+    for (int i = 0; i < 12; ++i) {
+        RegId rd = regs[rng.range(0, 5)];
+        RegId ra = regs[rng.range(0, 5)];
+        RegId rb = regs[rng.range(0, 5)];
+        switch (rng.range(0, 5)) {
+          case 0: a.add(rd, ra, rb); break;
+          case 1: a.sub(rd, ra, rb); break;
+          case 2: a.mul(rd, ra, rb); break;
+          case 3: a.xor_(rd, ra, rb); break;
+          case 4: a.slli(rd, ra, static_cast<std::int32_t>(
+                                     rng.range(1, 7)));
+                  break;
+          case 5: a.srai(rd, ra, static_cast<std::int32_t>(
+                                     rng.range(1, 7)));
+                  break;
+        }
+    }
+    a.halt();
+    auto prog = a.finish();
+    Dfg dfg = dfgOf(prog);
+    auto cands = identifyCandidates(dfg);
+    std::vector<AccelTarget> targets = allStitchTargets();
+    int mapped = 0;
+    for (const auto &cand : cands) {
+        for (const auto &target : targets) {
+            auto map = mapCandidate(dfg, cand, target);
+            if (!map.ok)
+                continue;
+            ++mapped;
+            expectSemanticsMatch(dfg, cand, map,
+                                 rng.next() | 1);
+            if (mapped > 60)
+                return; // plenty of evidence per seed
+        }
+    }
+    EXPECT_GT(mapped, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapperCrossValidation,
+                         ::testing::Range(0, 12));
+
+} // namespace
+} // namespace stitch::compiler

@@ -1,0 +1,241 @@
+/** @file Memory-system tests: sparse store, cache model, tile memory. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "mem/addrmap.hh"
+#include "mem/cache.hh"
+#include "mem/sparse_memory.hh"
+#include "mem/tile_memory.hh"
+
+namespace stitch::mem
+{
+namespace
+{
+
+TEST(SparseMemory, ZeroFilledOnFirstTouch)
+{
+    SparseMemory m;
+    EXPECT_EQ(m.readWord(0x1234), 0u);
+    EXPECT_EQ(m.pageCount(), 0u);
+}
+
+TEST(SparseMemory, WordRoundTrip)
+{
+    SparseMemory m;
+    m.writeWord(0x1000, 0xcafebabe);
+    EXPECT_EQ(m.readWord(0x1000), 0xcafebabeu);
+    EXPECT_EQ(m.readByte(0x1000), 0xbe); // little endian
+    EXPECT_EQ(m.readByte(0x1003), 0xca);
+}
+
+TEST(SparseMemory, CrossPageWord)
+{
+    SparseMemory m;
+    Addr a = SparseMemory::pageBytes - 2;
+    m.writeWord(a, 0x11223344);
+    EXPECT_EQ(m.readWord(a), 0x11223344u);
+    EXPECT_EQ(m.pageCount(), 2u);
+}
+
+TEST(SparseMemory, BlockWrite)
+{
+    SparseMemory m;
+    m.writeBlock(0x42, {1, 2, 3, 4, 5});
+    EXPECT_EQ(m.readByte(0x42), 1);
+    EXPECT_EQ(m.readByte(0x46), 5);
+}
+
+TEST(Cache, GeometryChecks)
+{
+    Cache c(CacheParams{4096, 2, 64});
+    EXPECT_EQ(c.numSets(), 32u);
+    EXPECT_DEATH(Cache(CacheParams{4096, 2, 48}),
+                 "power of two");
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(CacheParams{4096, 2, 64});
+    EXPECT_FALSE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x13c, false).hit); // same 64B block
+    EXPECT_FALSE(c.access(0x140, false).hit); // next block
+}
+
+TEST(Cache, LruEviction)
+{
+    CacheParams params{4096, 2, 64};
+    Cache c(params);
+    // Three blocks mapping to set 0: stride = numSets * block = 2048.
+    Addr a = 0, b = 2048, d = 4096;
+    c.access(a, false);
+    c.access(b, false);
+    c.access(a, false);        // a most recent
+    c.access(d, false);        // evicts b (LRU)
+    EXPECT_TRUE(c.probe(a));
+    EXPECT_FALSE(c.probe(b));
+    EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    Cache c(CacheParams{4096, 2, 64});
+    c.access(0, true); // dirty
+    c.access(2048, false);
+    auto res = c.access(4096, false); // evicts dirty block 0
+    EXPECT_TRUE(res.writeback);
+    EXPECT_EQ(c.stats().get("writebacks"), 1u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback)
+{
+    Cache c(CacheParams{4096, 2, 64});
+    c.access(0, false);
+    c.access(2048, false);
+    EXPECT_FALSE(c.access(4096, false).writeback);
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    Cache c(CacheParams{4096, 2, 64});
+    c.access(0x40, true);
+    c.flush();
+    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_FALSE(c.access(0x40, false).hit);
+}
+
+TEST(Cache, ProbeDoesNotDisturbState)
+{
+    Cache c(CacheParams{4096, 2, 64});
+    c.access(0, false);
+    c.access(2048, false);
+    // Many probes of the LRU way must not refresh it.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(c.probe(0));
+    c.access(4096, false);
+    EXPECT_FALSE(c.probe(0)); // 0 was still LRU
+}
+
+/** Property: the number of distinct blocks never exceeds capacity. */
+TEST(Cache, OccupancyNeverExceedsCapacity)
+{
+    CacheParams params{1024, 2, 64};
+    Cache c(params);
+    Rng rng(3);
+    std::uint64_t hits = 0, total = 0;
+    for (int i = 0; i < 4000; ++i) {
+        Addr a = static_cast<Addr>(rng.range(0, 65535)) & ~63u;
+        auto res = c.access(a, rng.range(0, 1) == 1);
+        hits += res.hit ? 1 : 0;
+        ++total;
+    }
+    EXPECT_EQ(c.stats().get("hits"), hits);
+    EXPECT_EQ(c.stats().get("reads") + c.stats().get("writes"), total);
+    // Working set of 1024 blocks vs 16-block cache: mostly misses.
+    EXPECT_LT(hits, total / 2);
+}
+
+TEST(AddrMap, Routing)
+{
+    EXPECT_TRUE(isSpmAddr(spmBase));
+    EXPECT_TRUE(isSpmAddr(spmBase + spmSize - 1));
+    EXPECT_FALSE(isSpmAddr(spmBase + spmSize));
+    EXPECT_FALSE(isSpmAddr(0));
+    EXPECT_TRUE(isDramAddr(0));
+    EXPECT_TRUE(isXbarConfigAddr(xbarConfigAddr));
+}
+
+TEST(TileMemory, SpmIsSingleCycle)
+{
+    TileMemory m;
+    EXPECT_EQ(m.storeWord(spmBase + 16, 0x55), 0u);
+    auto res = m.loadWord(spmBase + 16);
+    EXPECT_EQ(res.value, 0x55u);
+    EXPECT_EQ(res.extraCycles, 0u); // 1-cycle = base instruction cost
+}
+
+TEST(TileMemory, DramMissCostsThirtyCycles)
+{
+    TileMemory m;
+    auto res = m.loadWord(0x4000);
+    EXPECT_EQ(res.extraCycles, 30u);
+    res = m.loadWord(0x4000);
+    EXPECT_EQ(res.extraCycles, 0u); // now cached
+}
+
+TEST(TileMemory, DirtyEvictionAddsWritebackLatency)
+{
+    TileMemory m;
+    // D-cache: 4 KB, 2-way, 64 B -> set stride 2048.
+    m.storeWord(0x0, 1);  // miss (30)
+    m.loadWord(0x800);    // miss
+    auto extra = m.loadWord(0x1000).extraCycles; // evict dirty 0x0
+    EXPECT_EQ(extra, 60u); // fill + writeback
+}
+
+TEST(TileMemory, FetchStraddlesBlocks)
+{
+    TileMemory m;
+    // Word address 15 -> bytes 0x1003c..0x10043: straddles 64B line.
+    EXPECT_EQ(m.fetch(15, 2), 60u); // two cold lines
+    EXPECT_EQ(m.fetch(15, 2), 0u);  // both now resident
+}
+
+TEST(TileMemory, ByteAccessSignExtends)
+{
+    TileMemory m;
+    m.storeByte(0x2000, 0x80);
+    auto res = m.loadByte(0x2000);
+    EXPECT_EQ(res.value, 0xffffff80u);
+}
+
+TEST(TileMemory, SpmByteOps)
+{
+    TileMemory m;
+    m.storeByte(spmBase + 5, 0xff);
+    EXPECT_EQ(m.loadByte(spmBase + 5).value, 0xffffffffu);
+}
+
+TEST(TileMemory, SpmPeekPoke)
+{
+    TileMemory m;
+    m.spmPoke(8, 0xdead);
+    EXPECT_EQ(m.spmPeek(8), 0xdeadu);
+    EXPECT_EQ(m.spmLoadWord(spmBase + 8), 0xdeadu);
+}
+
+TEST(TileMemory, UnmappedAccessIsFatal)
+{
+    TileMemory m;
+    EXPECT_THROW(m.loadWord(0xa0000000u), FatalError);
+    EXPECT_THROW(m.storeWord(0xa0000000u, 0), FatalError);
+}
+
+TEST(TileMemory, SpmOutOfRangePanics)
+{
+    TileMemory m;
+    EXPECT_DEATH(m.spmLoadWord(spmBase + spmSize), "out of range");
+}
+
+TEST(TileMemory, NoSpmConfiguration)
+{
+    MemParams params;
+    params.hasSpm = false;
+    TileMemory m(params);
+    EXPECT_DEATH(m.spmLoadWord(spmBase), "without an SPM");
+}
+
+TEST(TileMemory, FlushPreservesMemoryContents)
+{
+    TileMemory m;
+    m.storeWord(0x3000, 77);
+    m.flushCaches();
+    auto res = m.loadWord(0x3000);
+    EXPECT_EQ(res.value, 77u);
+    EXPECT_EQ(res.extraCycles, 30u); // cold again
+}
+
+} // namespace
+} // namespace stitch::mem

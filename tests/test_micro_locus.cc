@@ -1,0 +1,151 @@
+/** @file Micro-DFG interpreter and LOCUS SFU tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/locus.hh"
+#include "core/micro.hh"
+#include "mem/addrmap.hh"
+
+namespace stitch::core
+{
+namespace
+{
+
+class VectorSpm : public SpmPort
+{
+  public:
+    Word
+    load(Addr a) override
+    {
+        return data[(a - mem::spmBase) / 4];
+    }
+
+    void
+    store(Addr a, Word v) override
+    {
+        data[(a - mem::spmBase) / 4] = v;
+    }
+
+    std::array<Word, 16> data{};
+};
+
+TEST(MicroDfg, PortReferences)
+{
+    EXPECT_EQ(microPortRef(0), -1);
+    EXPECT_EQ(microPortRef(3), -4);
+}
+
+TEST(MicroDfg, ChainEvaluation)
+{
+    // (in0 * in1 + in2) >> in3
+    MicroDfg dfg;
+    dfg.ops.push_back({MicroOp::Kind::Mul, AluOp::Pass, ShiftOp::Pass,
+                       microPortRef(0), microPortRef(1)});
+    dfg.ops.push_back({MicroOp::Kind::Alu, AluOp::Add, ShiftOp::Pass,
+                       0, microPortRef(2)});
+    dfg.ops.push_back({MicroOp::Kind::Shift, AluOp::Pass,
+                       ShiftOp::Srl, 1, microPortRef(3)});
+    dfg.rd0Op = 2;
+    auto res = dfg.evaluate({6, 7, 22, 2}, nullptr);
+    EXPECT_TRUE(res.writeRd0);
+    EXPECT_EQ(res.rd0, (6u * 7u + 22u) >> 2);
+    EXPECT_FALSE(res.writeRd1);
+}
+
+TEST(MicroDfg, TwoOutputs)
+{
+    MicroDfg dfg;
+    dfg.ops.push_back({MicroOp::Kind::Alu, AluOp::Add, ShiftOp::Pass,
+                       microPortRef(0), microPortRef(1)});
+    dfg.ops.push_back({MicroOp::Kind::Alu, AluOp::Xor, ShiftOp::Pass,
+                       0, microPortRef(2)});
+    dfg.rd0Op = 1;
+    dfg.rd1Op = 0;
+    auto res = dfg.evaluate({1, 2, 0xf, 0}, nullptr);
+    EXPECT_EQ(res.rd0, 3u ^ 0xfu);
+    EXPECT_EQ(res.rd1, 3u);
+}
+
+TEST(MicroDfg, LoadStore)
+{
+    VectorSpm spm;
+    spm.data[2] = 55;
+    MicroDfg dfg;
+    dfg.ops.push_back({MicroOp::Kind::Load, AluOp::Pass,
+                       ShiftOp::Pass, microPortRef(0), -1});
+    dfg.ops.push_back({MicroOp::Kind::Alu, AluOp::Add, ShiftOp::Pass,
+                       0, microPortRef(1)});
+    dfg.ops.push_back({MicroOp::Kind::Store, AluOp::Pass,
+                       ShiftOp::Pass, microPortRef(0), 1});
+    dfg.rd0Op = 1;
+    EXPECT_TRUE(dfg.usesMemory());
+    auto res = dfg.evaluate({mem::spmBase + 8, 1, 0, 0}, &spm);
+    EXPECT_EQ(res.rd0, 56u);
+    EXPECT_EQ(spm.data[2], 56u);
+}
+
+TEST(MicroDfg, MemoryWithoutPortPanics)
+{
+    MicroDfg dfg;
+    dfg.ops.push_back({MicroOp::Kind::Load, AluOp::Pass,
+                       ShiftOp::Pass, microPortRef(0), -1});
+    EXPECT_DEATH(dfg.evaluate({0, 0, 0, 0}, nullptr), "SPM");
+}
+
+TEST(LocusSfu, ExecutesInstalledConfig)
+{
+    LocusSfu sfu;
+    MicroDfg dfg;
+    dfg.ops.push_back({MicroOp::Kind::Alu, AluOp::Sub, ShiftOp::Pass,
+                       microPortRef(0), microPortRef(1)});
+    dfg.rd0Op = 0;
+    auto blob = sfu.addConfig(dfg);
+    auto res = sfu.executeCustom(0, blob, {10, 4, 0, 0});
+    EXPECT_EQ(res.rd0, 6u);
+}
+
+TEST(LocusSfu, InstallTableReplaces)
+{
+    LocusSfu sfu;
+    MicroDfg a;
+    a.ops.push_back({MicroOp::Kind::Alu, AluOp::Add, ShiftOp::Pass,
+                     microPortRef(0), microPortRef(1)});
+    a.rd0Op = 0;
+    sfu.addConfig(a);
+    MicroDfg b = a;
+    b.ops[0].aluOp = AluOp::Xor;
+    sfu.installTable({b});
+    auto res = sfu.executeCustom(0, 0, {6, 3, 0, 0});
+    EXPECT_EQ(res.rd0, 5u);
+}
+
+TEST(LocusSfu, RejectsMemoryIses)
+{
+    LocusSfu sfu;
+    MicroDfg dfg;
+    dfg.ops.push_back({MicroOp::Kind::Load, AluOp::Pass,
+                       ShiftOp::Pass, microPortRef(0), -1});
+    EXPECT_DEATH(sfu.addConfig(dfg), "load/store");
+}
+
+TEST(LocusSfu, RejectsOversizedIses)
+{
+    LocusSfu sfu;
+    MicroDfg dfg;
+    for (int i = 0; i < LocusParams{}.maxOps + 1; ++i)
+        dfg.ops.push_back({MicroOp::Kind::Alu, AluOp::Add,
+                           ShiftOp::Pass, microPortRef(0),
+                           microPortRef(1)});
+    EXPECT_DEATH(sfu.addConfig(dfg), "capacity");
+}
+
+TEST(LocusSfu, BadIndexPanics)
+{
+    LocusSfu sfu;
+    EXPECT_DEATH(sfu.executeCustom(0, 3, {0, 0, 0, 0}),
+                 "out of range");
+}
+
+} // namespace
+} // namespace stitch::core

@@ -1,0 +1,126 @@
+/** @file Inter-core NoC model tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "noc/noc_model.hh"
+
+namespace stitch::noc
+{
+namespace
+{
+
+TEST(Noc, BaseLatencyFormula)
+{
+    NocModel noc;
+    // hops * (5-stage router + 1-cycle link) + 4 serialization +
+    // 2 inject + 2 eject (paper Table II parameters).
+    EXPECT_EQ(noc.baseLatency(0, 0), 2u + 4u + 2u);
+    EXPECT_EQ(noc.baseLatency(0, 1), 2u + 6u + 4u + 2u);
+    EXPECT_EQ(noc.baseLatency(0, 15), 2u + 6u * 6u + 4u + 2u);
+}
+
+TEST(Noc, UncontendedDeliveryMatchesBaseLatency)
+{
+    NocModel noc;
+    noc.send(0, 5, 0, 42, 100);
+    auto msg = noc.tryRecv(5, 0, 0);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->first, 42u);
+    EXPECT_EQ(msg->second, 100 + noc.baseLatency(0, 5));
+}
+
+TEST(Noc, TagAndSourceMatching)
+{
+    NocModel noc;
+    noc.send(1, 4, 7, 111, 0);
+    noc.send(2, 4, 7, 222, 0);
+    EXPECT_FALSE(noc.tryRecv(4, 3, 7).has_value());
+    EXPECT_FALSE(noc.tryRecv(4, 1, 8).has_value());
+    EXPECT_EQ(noc.tryRecv(4, 2, 7)->first, 222u);
+    EXPECT_EQ(noc.tryRecv(4, 1, 7)->first, 111u);
+    EXPECT_FALSE(noc.tryRecv(4, 1, 7).has_value());
+}
+
+TEST(Noc, FifoPerSourceTagPair)
+{
+    NocModel noc;
+    noc.send(0, 3, 0, 1, 0);
+    noc.send(0, 3, 0, 2, 10);
+    noc.send(0, 3, 0, 3, 20);
+    EXPECT_EQ(noc.tryRecv(3, 0, 0)->first, 1u);
+    EXPECT_EQ(noc.tryRecv(3, 0, 0)->first, 2u);
+    EXPECT_EQ(noc.tryRecv(3, 0, 0)->first, 3u);
+}
+
+TEST(Noc, LinkContentionSerializes)
+{
+    NocModel noc;
+    // Two messages injected simultaneously over the same first link
+    // (0 -> 1): the second queues behind the first's 5 flits.
+    noc.send(0, 3, 0, 1, 0);
+    noc.send(0, 3, 1, 2, 0);
+    auto first = noc.tryRecv(3, 0, 0);
+    auto second = noc.tryRecv(3, 0, 1);
+    ASSERT_TRUE(first && second);
+    EXPECT_EQ(second->second - first->second, 5u);
+    EXPECT_GT(noc.stats().get("link_stall_cycles"), 0u);
+}
+
+TEST(Noc, DisjointPathsDoNotContend)
+{
+    NocModel noc;
+    noc.send(0, 1, 0, 1, 0);
+    noc.send(4, 5, 0, 2, 0);
+    EXPECT_EQ(noc.tryRecv(1, 0, 0)->second,
+              noc.tryRecv(5, 4, 0)->second);
+}
+
+TEST(Noc, ArrivalsMonotonicPerSenderPair)
+{
+    NocModel noc;
+    Cycles prev = 0;
+    for (int i = 0; i < 10; ++i) {
+        noc.send(0, 15, 0, static_cast<Word>(i),
+                 static_cast<Cycles>(i));
+        auto msg = noc.tryRecv(15, 0, 0);
+        ASSERT_TRUE(msg.has_value());
+        EXPECT_GT(msg->second, prev);
+        prev = msg->second;
+    }
+}
+
+TEST(Noc, SelfSendWorks)
+{
+    NocModel noc;
+    noc.send(6, 6, 0, 9, 50);
+    auto msg = noc.tryRecv(6, 6, 0);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->second, 50 + noc.baseLatency(6, 6));
+}
+
+TEST(Noc, InvalidDestinationIsFatal)
+{
+    NocModel noc;
+    EXPECT_THROW(noc.send(0, 16, 0, 0, 0), FatalError);
+    EXPECT_THROW(noc.send(0, -1, 0, 0, 0), FatalError);
+}
+
+TEST(Noc, ResetDropsEverything)
+{
+    NocModel noc;
+    noc.send(0, 1, 0, 5, 0);
+    EXPECT_TRUE(noc.hasPendingMessages());
+    noc.reset();
+    EXPECT_FALSE(noc.hasPendingMessages());
+    EXPECT_FALSE(noc.tryRecv(1, 0, 0).has_value());
+}
+
+TEST(Noc, SenderOnlyPaysInjection)
+{
+    NocModel noc;
+    EXPECT_EQ(noc.send(0, 15, 0, 0, 0), NocParams{}.nicInject);
+}
+
+} // namespace
+} // namespace stitch::noc

@@ -1,0 +1,319 @@
+/** @file Polymorphic-patch datapath and control-word tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/patch.hh"
+#include "mem/addrmap.hh"
+
+namespace stitch::core
+{
+namespace
+{
+
+/** Simple in-memory SPM for patch tests. */
+class VectorSpm : public SpmPort
+{
+  public:
+    Word
+    load(Addr a) override
+    {
+        return data[(a - mem::spmBase) / 4];
+    }
+
+    void
+    store(Addr a, Word v) override
+    {
+        data[(a - mem::spmBase) / 4] = v;
+    }
+
+    std::array<Word, 64> data{};
+};
+
+TEST(PatchCtl, PacksToExactly19Bits)
+{
+    EXPECT_EQ(PatchCtl::ctlBits, 19);
+    PatchCtl ctl;
+    EXPECT_LT(ctl.pack(), 1u << 19);
+}
+
+TEST(PatchCtl, RoundTripRandomized)
+{
+    Rng rng(5);
+    for (int iter = 0; iter < 500; ++iter) {
+        PatchCtl ctl;
+        ctl.a1op = static_cast<AluOp>(rng.range(0, 7));
+        ctl.tMode = static_cast<TMode>(rng.range(0, 2));
+        ctl.u1Lhs = static_cast<U1Lhs>(rng.range(0, 3));
+        ctl.u1Rhs = static_cast<U1Rhs>(rng.range(0, 3));
+        ctl.u2Lhs = static_cast<U2Lhs>(rng.range(0, 1));
+        ctl.u2Rhs = static_cast<U2Rhs>(rng.range(0, 3));
+        ctl.aop2 = static_cast<AluOp>(rng.range(0, 7));
+        ctl.sop = static_cast<ShiftOp>(rng.range(0, 3));
+        ctl.outCfg = static_cast<OutCfg>(rng.range(0, 3));
+        EXPECT_EQ(PatchCtl::unpack(ctl.pack()), ctl);
+    }
+}
+
+TEST(FusedConfig, BlobRoundTrip)
+{
+    Rng rng(6);
+    for (int iter = 0; iter < 200; ++iter) {
+        FusedConfig cfg;
+        cfg.localKind = static_cast<PatchKind>(rng.range(0, 2));
+        cfg.local = PatchCtl::unpack(
+            static_cast<std::uint32_t>(rng.range(0, (1 << 19) - 1)));
+        cfg.usesRemote = rng.range(0, 1) == 1;
+        if (cfg.usesRemote) {
+            cfg.remoteKind = static_cast<PatchKind>(rng.range(0, 2));
+            cfg.remote = PatchCtl::unpack(static_cast<std::uint32_t>(
+                rng.range(0, (1 << 19) - 1)));
+            cfg.writeLocalToRd1 = rng.range(0, 1) == 1;
+        }
+        // Guard against enum values outside their field range from
+        // the raw unpack above.
+        auto blob = cfg.packBlob();
+        EXPECT_EQ(FusedConfig::unpackBlob(blob), cfg);
+    }
+}
+
+TEST(FusedConfig, LinkControlBits)
+{
+    FusedConfig cfg;
+    EXPECT_EQ(cfg.linkControlBits(), 19);
+    cfg.usesRemote = true;
+    EXPECT_EQ(cfg.linkControlBits(), 38);
+}
+
+TEST(PatchTemplate, StageClasses)
+{
+    auto atma = patchTemplate(PatchKind::ATMA);
+    EXPECT_EQ(atma.stage1[0], OpClass::A);
+    EXPECT_EQ(atma.stage1[1], OpClass::T);
+    EXPECT_EQ(atma.stage2[0], OpClass::M);
+    EXPECT_EQ(atma.stage2[1], OpClass::A);
+    EXPECT_EQ(patchTemplate(PatchKind::ATAS).stage2[0], OpClass::A);
+    EXPECT_EQ(patchTemplate(PatchKind::ATAS).stage2[1], OpClass::S);
+    EXPECT_EQ(patchTemplate(PatchKind::ATSA).stage2[0], OpClass::S);
+}
+
+TEST(AluEval, AllOps)
+{
+    EXPECT_EQ(aluEval(AluOp::Add, 5, 3), 8u);
+    EXPECT_EQ(aluEval(AluOp::Sub, 5, 3), 2u);
+    EXPECT_EQ(aluEval(AluOp::And, 6, 3), 2u);
+    EXPECT_EQ(aluEval(AluOp::Or, 6, 3), 7u);
+    EXPECT_EQ(aluEval(AluOp::Xor, 6, 3), 5u);
+    EXPECT_EQ(aluEval(AluOp::Slt, static_cast<Word>(-1), 0), 1u);
+    EXPECT_EQ(aluEval(AluOp::Sltu, static_cast<Word>(-1), 0), 0u);
+    EXPECT_EQ(aluEval(AluOp::Pass, 9, 1), 9u);
+}
+
+TEST(ShiftEval, AllOps)
+{
+    EXPECT_EQ(shiftEval(ShiftOp::Sll, 1, 4), 16u);
+    EXPECT_EQ(shiftEval(ShiftOp::Srl, 0x80000000u, 31), 1u);
+    EXPECT_EQ(shiftEval(ShiftOp::Sra, 0x80000000u, 31), 0xffffffffu);
+    EXPECT_EQ(shiftEval(ShiftOp::Pass, 7, 3), 7u);
+    EXPECT_EQ(shiftEval(ShiftOp::Sll, 1, 33), 2u); // amount & 31
+}
+
+/** {AT}: a1 = in0 + in1, LMAU loads SPM[a1]. */
+TEST(PatchExec, AtLoadChain)
+{
+    VectorSpm spm;
+    spm.data[5] = 777;
+    PatchCtl ctl;
+    ctl.a1op = AluOp::Add;
+    ctl.tMode = TMode::Load;
+    ctl.outCfg = OutCfg::S1;
+    std::array<Word, 4> in = {mem::spmBase, 20, 0, 0};
+    auto res = patchExecute(PatchKind::ATMA, ctl, in, spm);
+    EXPECT_TRUE(res.didLoad);
+    EXPECT_EQ(res.s1, 777u);
+}
+
+/** {AT} store: SPM[in0+in1] = in2. */
+TEST(PatchExec, AtStoreChain)
+{
+    VectorSpm spm;
+    PatchCtl ctl;
+    ctl.a1op = AluOp::Add;
+    ctl.tMode = TMode::Store;
+    ctl.outCfg = OutCfg::None;
+    std::array<Word, 4> in = {mem::spmBase, 8, 4242, 0};
+    auto res = patchExecute(PatchKind::ATSA, ctl, in, spm);
+    EXPECT_TRUE(res.didStore);
+    EXPECT_EQ(spm.data[2], 4242u);
+}
+
+/** {MA}: mul then add on the AT-MA patch. */
+TEST(PatchExec, MulAddChain)
+{
+    NullSpmPort spm;
+    PatchCtl ctl;
+    ctl.a1op = AluOp::Pass; // s1out = in0
+    ctl.tMode = TMode::Off;
+    ctl.u1Lhs = U1Lhs::In1; // mul(in1, in2)
+    ctl.u1Rhs = U1Rhs::In2;
+    ctl.u2Lhs = U2Lhs::U1Out;
+    ctl.u2Rhs = U2Rhs::In3; // + in3
+    ctl.aop2 = AluOp::Add;
+    ctl.outCfg = OutCfg::S2;
+    std::array<Word, 4> in = {0, 6, 7, 100};
+    auto res = patchExecute(PatchKind::ATMA, ctl, in, spm);
+    EXPECT_EQ(res.s2, 6u * 7u + 100u);
+}
+
+/** {AS}: add then shift on the AT-AS patch. */
+TEST(PatchExec, AddShiftChain)
+{
+    NullSpmPort spm;
+    PatchCtl ctl;
+    ctl.u1Lhs = U1Lhs::In1;
+    ctl.u1Rhs = U1Rhs::In2;
+    ctl.aop2 = AluOp::Add;
+    ctl.u2Lhs = U2Lhs::U1Out;
+    ctl.u2Rhs = U2Rhs::In3;
+    ctl.sop = ShiftOp::Srl;
+    ctl.outCfg = OutCfg::S2;
+    std::array<Word, 4> in = {0, 40, 24, 3};
+    auto res = patchExecute(PatchKind::ATAS, ctl, in, spm);
+    EXPECT_EQ(res.s2, (40u + 24u) >> 3);
+}
+
+/** {SA}: shift then add on the AT-SA patch. */
+TEST(PatchExec, ShiftAddChain)
+{
+    NullSpmPort spm;
+    PatchCtl ctl;
+    ctl.u1Lhs = U1Lhs::In1;
+    ctl.u1Rhs = U1Rhs::In2;
+    ctl.sop = ShiftOp::Sll;
+    ctl.u2Lhs = U2Lhs::U1Out;
+    ctl.u2Rhs = U2Rhs::In3;
+    ctl.aop2 = AluOp::Add;
+    ctl.outCfg = OutCfg::S2;
+    std::array<Word, 4> in = {0, 3, 2, 5};
+    auto res = patchExecute(PatchKind::ATSA, ctl, in, spm);
+    EXPECT_EQ(res.s2, (3u << 2) + 5u);
+}
+
+/** The {AA} intermediate connection: stage-1 ALU feeds stage-2 ALU
+ *  directly via the S1Out bypass (paper Section III-A). */
+TEST(PatchExec, AaChainViaBypass)
+{
+    NullSpmPort spm;
+    PatchCtl ctl;
+    ctl.a1op = AluOp::Add; // in0 + in1
+    ctl.tMode = TMode::Off;
+    ctl.u2Lhs = U2Lhs::S1Out;
+    ctl.u2Rhs = U2Rhs::In2;
+    ctl.aop2 = AluOp::Xor;
+    ctl.outCfg = OutCfg::S2;
+    std::array<Word, 4> in = {0xf0, 0x0f, 0xff, 0};
+    auto res = patchExecute(PatchKind::ATMA, ctl, in, spm);
+    EXPECT_EQ(res.s2, (0xf0u + 0x0fu) ^ 0xffu);
+}
+
+TEST(PatchExec, BothOutputs)
+{
+    VectorSpm spm;
+    spm.data[0] = 50;
+    FusedConfig cfg;
+    cfg.localKind = PatchKind::ATMA;
+    cfg.local.a1op = AluOp::Pass;
+    cfg.local.tMode = TMode::Load; // s1 = SPM[in0]
+    cfg.local.u1Lhs = U1Lhs::S1Out;
+    cfg.local.u1Rhs = U1Rhs::In1; // mul(s1, in1)
+    cfg.local.u2Lhs = U2Lhs::U1Out;
+    cfg.local.u2Rhs = U2Rhs::In2;
+    cfg.local.aop2 = AluOp::Add;
+    cfg.local.outCfg = OutCfg::Both;
+    std::array<Word, 4> in = {mem::spmBase, 3, 4, 0};
+    auto res = executeCustom(cfg, in, spm, nullptr);
+    EXPECT_TRUE(res.writeRd0);
+    EXPECT_TRUE(res.writeRd1);
+    EXPECT_EQ(res.rd0, 50u * 3u + 4u); // stage 2
+    EXPECT_EQ(res.rd1, 50u);           // stage 1
+}
+
+/** Fused execution: local result flows to the remote patch's in0. */
+TEST(PatchExec, FusedForwarding)
+{
+    VectorSpm spm;
+    spm.data[3] = 21;
+    FusedConfig cfg;
+    cfg.usesRemote = true;
+    cfg.localKind = PatchKind::ATMA;
+    cfg.local.a1op = AluOp::Add; // address in0+in1
+    cfg.local.tMode = TMode::Load;
+    cfg.local.outCfg = OutCfg::S1; // forward the loaded value
+    cfg.remoteKind = PatchKind::ATAS;
+    cfg.remote.a1op = AluOp::Pass; // s1out = F
+    cfg.remote.u1Lhs = U1Lhs::S1Out;
+    cfg.remote.u1Rhs = U1Rhs::In2; // F + in2
+    cfg.remote.aop2 = AluOp::Add;
+    cfg.remote.u2Lhs = U2Lhs::U1Out;
+    cfg.remote.u2Rhs = U2Rhs::In3; // << in3
+    cfg.remote.sop = ShiftOp::Sll;
+    cfg.remote.outCfg = OutCfg::S2;
+
+    NullSpmPort remoteSpm;
+    std::array<Word, 4> in = {mem::spmBase, 12, 9, 1};
+    auto res = executeCustom(cfg, in, spm, &remoteSpm);
+    EXPECT_TRUE(res.writeRd0);
+    EXPECT_EQ(res.rd0, (21u + 9u) << 1);
+    EXPECT_FALSE(res.writeRd1);
+}
+
+TEST(PatchExec, FusedWriteLocalToRd1)
+{
+    VectorSpm spm;
+    NullSpmPort remoteSpm;
+    FusedConfig cfg;
+    cfg.usesRemote = true;
+    cfg.localKind = PatchKind::ATAS;
+    cfg.local.a1op = AluOp::Add;
+    cfg.local.tMode = TMode::Off;
+    cfg.local.outCfg = OutCfg::S1;
+    cfg.remoteKind = PatchKind::ATSA;
+    cfg.remote.a1op = AluOp::Pass;
+    cfg.remote.outCfg = OutCfg::S1;
+    cfg.writeLocalToRd1 = true;
+    std::array<Word, 4> in = {30, 12, 0, 0};
+    auto res = executeCustom(cfg, in, spm, &remoteSpm);
+    EXPECT_TRUE(res.writeRd1);
+    EXPECT_EQ(res.rd1, 42u);
+    EXPECT_EQ(res.rd0, 42u); // remote passed it through
+}
+
+TEST(PatchExec, FusedWithoutRemoteSpmPortPanics)
+{
+    VectorSpm spm;
+    FusedConfig cfg;
+    cfg.usesRemote = true;
+    std::array<Word, 4> in = {};
+    EXPECT_DEATH(executeCustom(cfg, in, spm, nullptr), "remote");
+}
+
+TEST(PatchExec, NullSpmPortRejectsAccess)
+{
+    NullSpmPort spm;
+    PatchCtl ctl;
+    ctl.tMode = TMode::Load;
+    std::array<Word, 4> in = {};
+    EXPECT_THROW(patchExecute(PatchKind::ATMA, ctl, in, spm),
+                 FatalError);
+}
+
+TEST(PatchKindNames, Stable)
+{
+    EXPECT_STREQ(patchKindName(PatchKind::ATMA), "AT-MA");
+    EXPECT_STREQ(patchKindName(PatchKind::ATAS), "AT-AS");
+    EXPECT_STREQ(patchKindName(PatchKind::ATSA), "AT-SA");
+}
+
+} // namespace
+} // namespace stitch::core

@@ -1,0 +1,106 @@
+/** @file Power/area model tests against the paper's anchors. */
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.hh"
+
+namespace stitch::power
+{
+namespace
+{
+
+TEST(Power, PaperAnchors)
+{
+    EXPECT_DOUBLE_EQ(stitchPowerMw(), 139.5);
+    EXPECT_DOUBLE_EQ(stitchNoFusionPowerMw(), 108.0);
+    EXPECT_NEAR(baselinePowerMw(), 139.5 * 0.77, 1e-9);
+}
+
+TEST(Power, PerfPerWattReproducesThePapersMath)
+{
+    // Paper: 2.3X speedup and 23% accelerator power => 1.77X
+    // performance/watt (Fig. 14).
+    double ratio = 2.3 / (stitchPowerMw() / baselinePowerMw());
+    EXPECT_NEAR(ratio, 1.77, 0.01);
+}
+
+TEST(Power, LocusEstimateScalesWithFrequency)
+{
+    double at200 = locusPowerMw(200.0);
+    double at400 = locusPowerMw(400.0);
+    EXPECT_GT(at200, baselinePowerMw());
+    EXPECT_NEAR(at400, 2.0 * at200, 1e-9);
+}
+
+TEST(Area, AcceleratorTotalsMatchTableIII)
+{
+    auto arch = core::StitchArch::standard();
+    double accel = patchesAreaUm2(arch) + snocAreaUm2();
+    EXPECT_NEAR(accel, stitchAccelAreaUm2, 600.0);
+    EXPECT_NEAR(patchesAreaUm2(arch), stitchNoFusionAreaUm2, 400.0);
+    // LOCUS area is 7.64x Stitch's (Table III).
+    EXPECT_NEAR(locusAccelAreaUm2 / stitchAccelAreaUm2, 7.64, 0.05);
+}
+
+TEST(Area, ChipAreaImpliedByHalfPercentShare)
+{
+    // 168,568 um^2 at 0.5% => ~33.7 mm^2 chip.
+    EXPECT_NEAR(chipAreaMm2(), 33.7, 0.2);
+}
+
+TEST(Breakdown, PowerSharesSumToOne)
+{
+    auto rows = powerBreakdown();
+    ASSERT_FALSE(rows.empty());
+    double total = 0, share = 0, accel = 0;
+    for (const auto &row : rows) {
+        total += row.value;
+        share += row.share;
+        if (row.component == "patches" ||
+            row.component == "inter-patch NoC")
+            accel += row.value;
+    }
+    EXPECT_NEAR(total, stitchTotalMw, 1e-6);
+    EXPECT_NEAR(share, 1.0, 1e-6);
+    EXPECT_NEAR(accel / total, accelPowerShare, 1e-6);
+}
+
+TEST(Breakdown, AreaRowsCoverAllPatchKindsAndSwitches)
+{
+    auto rows = accelAreaBreakdown();
+    ASSERT_EQ(rows.size(), 4u);
+    double total = 0;
+    for (const auto &row : rows)
+        total += row.value;
+    EXPECT_NEAR(total, stitchAccelAreaUm2, 600.0);
+    // Switches dominate the accelerator area (Table IV: 7423 each).
+    EXPECT_EQ(rows[3].component, "16x sNoC switch");
+    EXPECT_GT(rows[3].share, 0.5);
+}
+
+TEST(Platform, ReferenceConstants)
+{
+    EXPECT_DOUBLE_EQ(sensorTagRef.gestureMs, 577.0);
+    EXPECT_DOUBLE_EQ(cortexA7Ref.powerMw, 469.0);
+    EXPECT_DOUBLE_EQ(paperStitchRef.gestureMs, 7.62);
+    EXPECT_DOUBLE_EQ(gestureDeadlineMs, 7.81);
+    // Paper Table I: Stitch meets the deadline, the rest do not.
+    EXPECT_LT(paperStitchRef.gestureMs, gestureDeadlineMs);
+    EXPECT_GT(cortexA7Ref.gestureMs, gestureDeadlineMs);
+    EXPECT_GT(paperNoFusionRef.gestureMs, gestureDeadlineMs);
+}
+
+TEST(Platform, CyclesToMs)
+{
+    // 200 MHz: 1M cycles = 5 ms.
+    EXPECT_NEAR(cyclesToMs(1e6), 5.0, 1e-9);
+}
+
+TEST(Platform, A7DerivationIsConsistent)
+{
+    // a7VsBaseline * 1.65 == 2.3 by construction.
+    EXPECT_NEAR(a7VsBaselineThroughput * 1.65, 2.3, 1e-9);
+}
+
+} // namespace
+} // namespace stitch::power

@@ -1,0 +1,248 @@
+/** @file Randomized invariant sweeps across subsystems: the sNoC
+ *  router, the inter-core NoC, the stitcher, the patch datapath and
+ *  the instruction decoder. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "compiler/stitcher.hh"
+#include "core/patch.hh"
+#include "core/snoc.hh"
+#include "isa/isa.hh"
+#include "mem/addrmap.hh"
+#include "noc/noc_model.hh"
+
+namespace stitch
+{
+namespace
+{
+
+class PropertySeeds : public ::testing::TestWithParam<int>
+{
+  protected:
+    Rng
+    rng() const
+    {
+        return Rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 5);
+    }
+};
+
+/** Random fusion requests never corrupt the sNoC configuration. */
+TEST_P(PropertySeeds, SnocFuzzStaysValid)
+{
+    auto r = rng();
+    auto arch = core::StitchArch::standard();
+    core::SnocConfig snoc;
+    int accepted = 0;
+    for (int i = 0; i < 40; ++i) {
+        auto a = static_cast<TileId>(r.range(0, numTiles - 1));
+        auto b = static_cast<TileId>(r.range(0, numTiles - 1));
+        if (a == b)
+            continue;
+        auto routed =
+            snoc.addFusion(a, arch.kindOf(a), b, arch.kindOf(b));
+        std::string why;
+        ASSERT_TRUE(snoc.validate(&why)) << why;
+        if (!routed)
+            continue;
+        ++accepted;
+        // Accepted fusions respect the paper's constraints.
+        EXPECT_LE(routed->first.hops() + routed->second.hops(),
+                  core::rtl::maxFusionHops);
+        EXPECT_TRUE(core::fitsClock(core::fusedCriticalPathNs(
+            arch.kindOf(a), arch.kindOf(b), routed->first.hops(),
+            routed->second.hops())));
+        // Register round trip of every switch survives.
+        for (TileId t = 0; t < numTiles; ++t)
+            EXPECT_EQ(core::SwitchConfig::unpackRegister(
+                          snoc.switchAt(t).packRegister()),
+                      snoc.switchAt(t));
+    }
+    EXPECT_GT(accepted, 0);
+}
+
+/** Random NoC traffic: arrivals never beat the uncontended latency
+ *  and stay FIFO per (src, dst, tag). */
+TEST_P(PropertySeeds, NocTrafficRespectsLatencyAndOrder)
+{
+    auto r = rng();
+    noc::NocModel noc;
+    struct Sent
+    {
+        TileId src, dst;
+        int tag;
+        Word value;
+        Cycles inject;
+    };
+    std::vector<Sent> inflight;
+    Cycles now = 0;
+    for (int i = 0; i < 300; ++i) {
+        now += static_cast<Cycles>(r.range(0, 8));
+        Sent s;
+        s.src = static_cast<TileId>(r.range(0, numTiles - 1));
+        s.dst = static_cast<TileId>(r.range(0, numTiles - 1));
+        s.tag = static_cast<int>(r.range(0, 2));
+        s.value = static_cast<Word>(r.next());
+        s.inject = now;
+        noc.send(s.src, s.dst, s.tag, s.value, now);
+        inflight.push_back(s);
+    }
+    std::map<std::tuple<TileId, TileId, int>, Cycles> lastArrival;
+    for (const auto &s : inflight) {
+        auto msg = noc.tryRecv(s.dst, s.src, s.tag);
+        ASSERT_TRUE(msg.has_value());
+        // Values delivered FIFO per channel, so this matches.
+        EXPECT_EQ(msg->first, s.value);
+        EXPECT_GE(msg->second,
+                  s.inject + noc.baseLatency(s.src, s.dst));
+        auto key = std::make_tuple(s.src, s.dst, s.tag);
+        auto it = lastArrival.find(key);
+        if (it != lastArrival.end()) {
+            EXPECT_GT(msg->second, it->second);
+        }
+        lastArrival[key] = msg->second;
+    }
+    EXPECT_FALSE(noc.hasPendingMessages());
+}
+
+/** Random kernel profiles always yield structurally valid plans that
+ *  never regress the bottleneck. */
+TEST_P(PropertySeeds, StitcherPlansAreAlwaysValid)
+{
+    auto r = rng();
+    auto arch = core::StitchArch::standard();
+    const core::PatchKind kinds[] = {core::PatchKind::ATMA,
+                                     core::PatchKind::ATAS,
+                                     core::PatchKind::ATSA};
+
+    std::vector<compiler::KernelProfile> kernels;
+    int n = static_cast<int>(r.range(1, 16));
+    Cycles worstSw = 0;
+    for (int k = 0; k < n; ++k) {
+        compiler::KernelProfile p;
+        p.name = "k" + std::to_string(k);
+        p.swCycles = static_cast<Cycles>(r.range(100, 10000));
+        worstSw = std::max(worstSw, p.swCycles);
+        int options = static_cast<int>(r.range(0, 6));
+        for (int o = 0; o < options; ++o) {
+            compiler::AccelTarget target =
+                r.range(0, 1) == 0
+                    ? compiler::AccelTarget::single(
+                          kinds[r.range(0, 2)])
+                    : compiler::AccelTarget::fused(
+                          kinds[r.range(0, 2)],
+                          kinds[r.range(0, 2)]);
+            auto cycles = static_cast<Cycles>(
+                r.range(50, static_cast<std::int64_t>(p.swCycles)));
+            p.options.push_back({target, cycles});
+        }
+        kernels.push_back(std::move(p));
+    }
+
+    for (auto policy : {compiler::StitchPolicy::Greedy,
+                        compiler::StitchPolicy::SinglesOnly,
+                        compiler::StitchPolicy::Auto}) {
+        compiler::StitchOptions options;
+        options.policy = policy;
+        auto plan =
+            compiler::stitchApplication(kernels, arch, options);
+        ASSERT_EQ(plan.placements.size(), kernels.size());
+        EXPECT_LE(plan.bottleneckCycles(), worstSw);
+
+        std::set<TileId> tiles, patches;
+        for (std::size_t k = 0; k < plan.placements.size(); ++k) {
+            const auto &p = plan.placements[k];
+            ASSERT_GE(p.tile, 0);
+            ASSERT_LT(p.tile, numTiles);
+            EXPECT_TRUE(tiles.insert(p.tile).second);
+            if (!p.accel)
+                continue;
+            EXPECT_EQ(arch.kindOf(p.tile), p.accel->local);
+            EXPECT_TRUE(patches.insert(p.tile).second);
+            if (p.accel->type ==
+                compiler::AccelTarget::Type::FusedPair) {
+                EXPECT_EQ(arch.kindOf(p.remoteTile),
+                          p.accel->remote);
+                EXPECT_TRUE(patches.insert(p.remoteTile).second);
+            }
+            // The chosen cycles come from the kernel's option list.
+            bool known = false;
+            for (const auto &[target, cycles] :
+                 kernels[k].options)
+                known = known || (target == *p.accel &&
+                                  cycles == p.cycles);
+            EXPECT_TRUE(known);
+        }
+        std::string why;
+        EXPECT_TRUE(plan.snoc.validate(&why)) << why;
+    }
+}
+
+/** The patch datapath is total and deterministic over random valid
+ *  control words (no crash, no hidden state). */
+TEST_P(PropertySeeds, PatchDatapathIsTotalAndDeterministic)
+{
+    auto r = rng();
+
+    class Spm : public core::SpmPort
+    {
+      public:
+        Word
+        load(Addr a) override
+        {
+            return a * 2654435761u;
+        }
+        void store(Addr, Word) override {}
+    } spm;
+
+    for (int i = 0; i < 300; ++i) {
+        core::PatchCtl ctl;
+        ctl.a1op = static_cast<core::AluOp>(r.range(0, 7));
+        ctl.tMode = static_cast<core::TMode>(r.range(0, 2));
+        ctl.u1Lhs = static_cast<core::U1Lhs>(r.range(0, 3));
+        ctl.u1Rhs = static_cast<core::U1Rhs>(r.range(0, 3));
+        ctl.u2Lhs = static_cast<core::U2Lhs>(r.range(0, 1));
+        ctl.u2Rhs = static_cast<core::U2Rhs>(r.range(0, 3));
+        ctl.aop2 = static_cast<core::AluOp>(r.range(0, 7));
+        ctl.sop = static_cast<core::ShiftOp>(r.range(0, 3));
+        ctl.outCfg = static_cast<core::OutCfg>(r.range(0, 3));
+        auto kind = static_cast<core::PatchKind>(r.range(0, 2));
+        std::array<Word, 4> in;
+        for (auto &v : in)
+            v = static_cast<Word>(r.next());
+
+        auto first = core::patchExecute(kind, ctl, in, spm);
+        auto second = core::patchExecute(kind, ctl, in, spm);
+        EXPECT_EQ(first.s1, second.s1);
+        EXPECT_EQ(first.s2, second.s2);
+    }
+}
+
+/** Decoding any word with a valid opcode field yields an instruction
+ *  whose re-encoding decodes to itself (idempotent normal form). */
+TEST_P(PropertySeeds, DecoderNormalizes)
+{
+    auto r = rng();
+    for (int i = 0; i < 400; ++i) {
+        auto op = static_cast<std::uint32_t>(
+            r.range(0, static_cast<int>(isa::Opcode::NumOpcodes) - 1));
+        std::vector<Word> image = {
+            static_cast<Word>((op << 26) | (r.next() & 0x03ffffff)),
+            static_cast<Word>(r.next())};
+        int used = 0;
+        isa::Instr first = isa::decode(image, 0, &used);
+        std::vector<Word> reencoded;
+        isa::encode(first, reencoded);
+        ASSERT_EQ(static_cast<int>(reencoded.size()), used);
+        isa::Instr second = isa::decode(reencoded, 0, nullptr);
+        EXPECT_EQ(first, second);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeeds,
+                         ::testing::Range(0, 10));
+
+} // namespace
+} // namespace stitch

@@ -1,0 +1,223 @@
+/** @file Rewriter tests: semantics preservation, branch retargeting,
+ *  immediate-pool behaviour. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compiler/profiler.hh"
+#include "compiler/liveness.hh"
+#include "compiler/rewriter.hh"
+#include "cpu/patch_handler.hh"
+#include "isa/assembler.hh"
+#include "mem/addrmap.hh"
+
+namespace stitch::compiler
+{
+namespace
+{
+
+using namespace isa::reg;
+using core::PatchKind;
+using isa::Assembler;
+
+/** Compile one block's selections for a target and rewrite. */
+RewrittenProgram
+rewriteFor(const isa::Program &prog, const AccelTarget &target)
+{
+    auto profile = profileProgram(prog);
+    auto liveOuts = blockLiveOuts(prog, profile.blocks);
+    std::map<std::size_t, Dfg> dfgs;
+    std::map<std::size_t, std::vector<SelectedIse>> selections;
+    for (std::size_t bi : profile.hotBlocks) {
+        Dfg dfg = Dfg::build(prog, profile.blocks[bi], {s2, s3},
+                             &liveOuts[bi]);
+        auto sels =
+            selectIses(dfg, identifyCandidates(dfg), target);
+        if (!sels.empty()) {
+            selections.emplace(bi, std::move(sels));
+            dfgs.emplace(bi, std::move(dfg));
+        }
+    }
+    return rewriteProgram(prog, profile.blocks, selections, dfgs);
+}
+
+/** A hot loop computing a MAC over SPM data. */
+isa::Program
+macLoop()
+{
+    Assembler a("mac");
+    auto loop = a.newLabel();
+    a.li(s2, static_cast<std::int32_t>(mem::spmBase));
+    a.li(t0, 0);  // i
+    a.li(a0, 0);  // acc
+    a.bind(loop);
+    a.slli(t1, t0, 2);
+    a.add(t1, s2, t1);
+    a.lw(t2, t1, 0);
+    a.mul(t3, t2, t2);
+    a.add(a0, a0, t3);
+    a.addi(t0, t0, 1);
+    a.slti(t4, t0, 32);
+    a.bne(t4, zero, loop);
+    a.sw(a0, s2, 256);
+    a.halt();
+    auto prog = a.finish();
+    std::vector<Word> data;
+    for (Word i = 0; i < 32; ++i)
+        data.push_back(i * 3 + 1);
+    prog.addDataWords(mem::spmBase, data);
+    return prog;
+}
+
+Word
+runAndGetResult(const RewrittenProgram &binary,
+                std::optional<PatchKind> kind)
+{
+    mem::TileMemory memory;
+    std::unique_ptr<cpu::CustomHandler> handler;
+    if (kind)
+        handler = std::make_unique<cpu::LocalPatchHandler>(*kind,
+                                                           memory);
+    cpu::Core core(0, memory, handler.get(), nullptr);
+    core.loadProgram(binary.program);
+    core.runToHalt();
+    return memory.spmPeek(256);
+}
+
+TEST(Rewriter, MacLoopPreservesResultAndSpeedsUp)
+{
+    auto prog = macLoop();
+    RewrittenProgram software;
+    software.program = prog;
+    Word expect = runAndGetResult(software, std::nullopt);
+
+    auto rewritten =
+        rewriteFor(prog, AccelTarget::single(PatchKind::ATMA));
+    EXPECT_GT(rewritten.custCount, 0);
+    EXPECT_EQ(runAndGetResult(rewritten, PatchKind::ATMA), expect);
+
+    // Timing: the rewritten version must be faster.
+    mem::TileMemory m1, m2;
+    cpu::Core c1(0, m1, nullptr, nullptr);
+    c1.loadProgram(prog);
+    c1.runToHalt();
+    cpu::LocalPatchHandler h(PatchKind::ATMA, m2);
+    cpu::Core c2(0, m2, &h, nullptr);
+    c2.loadProgram(rewritten.program);
+    c2.runToHalt();
+    EXPECT_LT(c2.time(), c1.time());
+}
+
+TEST(Rewriter, BranchTargetsRemapped)
+{
+    auto prog = macLoop();
+    auto rewritten =
+        rewriteFor(prog, AccelTarget::single(PatchKind::ATMA));
+    // The rewritten loop must still iterate 32 times: check the
+    // dynamic instruction count implies looping.
+    mem::TileMemory memory;
+    cpu::LocalPatchHandler h(PatchKind::ATMA, memory);
+    cpu::Core core(0, memory, &h, nullptr);
+    core.loadProgram(rewritten.program);
+    core.runToHalt();
+    EXPECT_GT(core.instructionsRetired(), 32u);
+    EXPECT_EQ(core.stats().get("custom_instructions") % 32, 0u);
+}
+
+TEST(Rewriter, ImmediatePreambleIsHoisted)
+{
+    // The load displacement (+4) must be materialized once at entry,
+    // not inside the loop.
+    Assembler a("imm");
+    auto loop = a.newLabel();
+    a.li(s2, static_cast<std::int32_t>(mem::spmBase));
+    a.li(t0, 0);
+    a.li(a0, 0);
+    a.bind(loop);
+    a.slli(t1, t0, 2);
+    a.add(t1, s2, t1);
+    a.lw(t2, t1, 4);
+    a.add(a0, a0, t2);
+    a.addi(t0, t0, 1);
+    a.slti(t4, t0, 16);
+    a.bne(t4, zero, loop);
+    a.sw(a0, s2, 512);
+    a.halt();
+    auto prog = a.finish();
+    std::vector<Word> data(32, 5);
+    prog.addDataWords(mem::spmBase, data);
+
+    auto rewritten =
+        rewriteFor(prog, AccelTarget::single(PatchKind::ATMA));
+    ASSERT_GT(rewritten.custCount, 0);
+    // First instruction materializes the displacement into the
+    // scratch pool (addi sN, r0, 4).
+    const auto &first = rewritten.program.code()[0];
+    EXPECT_EQ(first.op, isa::Opcode::Addi);
+    EXPECT_GE(first.rd0, firstScratchReg);
+    EXPECT_EQ(first.imm, 4);
+
+    RewrittenProgram software;
+    software.program = prog;
+    mem::TileMemory m1;
+    cpu::Core c1(0, m1, nullptr, nullptr);
+    c1.loadProgram(prog);
+    c1.runToHalt();
+    mem::TileMemory m2;
+    cpu::LocalPatchHandler h(PatchKind::ATMA, m2);
+    cpu::Core c2(0, m2, &h, nullptr);
+    c2.loadProgram(rewritten.program);
+    c2.runToHalt();
+    EXPECT_EQ(m1.spmPeek(512), m2.spmPeek(512));
+}
+
+TEST(Rewriter, EmptySelectionsIsIdentityWithPreamble)
+{
+    Assembler a("id");
+    a.addi(t0, t0, 1);
+    a.halt();
+    auto prog = a.finish();
+    auto rewritten = rewriteProgram(prog, findBasicBlocks(prog, {}),
+                                    {}, {});
+    EXPECT_EQ(rewritten.custCount, 0);
+    EXPECT_EQ(rewritten.program.code().size(), prog.code().size());
+}
+
+TEST(Rewriter, LocusTargetBuildsMicroTable)
+{
+    auto prog = macLoop();
+    auto rewritten = rewriteFor(prog, AccelTarget::locus());
+    EXPECT_GT(rewritten.custCount, 0);
+    EXPECT_EQ(rewritten.microTable.size(),
+              rewritten.program.iseTable().size());
+    // Blobs index the micro table.
+    for (auto blob : rewritten.program.iseTable())
+        EXPECT_LT(blob, rewritten.microTable.size());
+}
+
+TEST(Rewriter, FusedTargetMarksFusedCusts)
+{
+    // mul -> srai requires fusion; ensure the counter sees it.
+    Assembler a("f");
+    auto loop = a.newLabel();
+    a.li(t0, 0);
+    a.li(a0, 1);
+    a.bind(loop);
+    a.mul(t2, a0, a0);
+    a.srai(a0, t2, 3);
+    a.addi(a0, a0, 7);
+    a.addi(t0, t0, 1);
+    a.slti(t4, t0, 50);
+    a.bne(t4, zero, loop);
+    a.li(s2, static_cast<std::int32_t>(mem::spmBase));
+    a.sw(a0, s2, 0);
+    a.halt();
+    auto prog = a.finish();
+    auto rewritten = rewriteFor(
+        prog, AccelTarget::fused(PatchKind::ATMA, PatchKind::ATAS));
+    EXPECT_GT(rewritten.fusedCustCount, 0);
+}
+
+} // namespace
+} // namespace stitch::compiler

@@ -1,0 +1,218 @@
+/** @file Compiler-scheduled inter-patch NoC tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/arch.hh"
+#include "core/snoc.hh"
+
+namespace stitch::core
+{
+namespace
+{
+
+TEST(SnocPorts, Opposites)
+{
+    EXPECT_EQ(oppositePort(SnocPort::North), SnocPort::South);
+    EXPECT_EQ(oppositePort(SnocPort::East), SnocPort::West);
+    EXPECT_EQ(oppositePort(SnocPort::South), SnocPort::North);
+    EXPECT_EQ(oppositePort(SnocPort::West), SnocPort::East);
+}
+
+TEST(SnocPorts, MeshNeighbours)
+{
+    EXPECT_EQ(neighbourOf(0, SnocPort::East), 1);
+    EXPECT_EQ(neighbourOf(0, SnocPort::South), 4);
+    EXPECT_EQ(neighbourOf(0, SnocPort::North), -1);
+    EXPECT_EQ(neighbourOf(0, SnocPort::West), -1);
+    EXPECT_EQ(neighbourOf(15, SnocPort::East), -1);
+    EXPECT_EQ(neighbourOf(5, SnocPort::North), 1);
+}
+
+TEST(SnocPorts, DirectionTo)
+{
+    EXPECT_EQ(directionTo(5, 6), SnocPort::East);
+    EXPECT_EQ(directionTo(6, 5), SnocPort::West);
+    EXPECT_EQ(directionTo(1, 5), SnocPort::South);
+    EXPECT_EQ(directionTo(5, 1), SnocPort::North);
+    EXPECT_DEATH(directionTo(0, 2), "not adjacent");
+}
+
+TEST(SwitchConfig, SingleDriverPerOutput)
+{
+    SwitchConfig sw;
+    EXPECT_TRUE(sw.outputFree(SnocPort::East));
+    sw.connect(SnocPort::Patch, SnocPort::East);
+    EXPECT_FALSE(sw.outputFree(SnocPort::East));
+    EXPECT_EQ(sw.driverOf(SnocPort::East), SnocPort::Patch);
+    // Reconnecting the same pair is idempotent.
+    sw.connect(SnocPort::Patch, SnocPort::East);
+    // A different driver is contention.
+    EXPECT_THROW(sw.connect(SnocPort::North, SnocPort::East),
+                 FatalError);
+}
+
+TEST(SwitchConfig, RegisterRoundTrip)
+{
+    Rng rng(17);
+    for (int iter = 0; iter < 100; ++iter) {
+        SwitchConfig sw;
+        for (int out = 0; out < numSnocPorts; ++out) {
+            if (rng.range(0, 1) == 0)
+                continue;
+            sw.connect(static_cast<SnocPort>(rng.range(0, 5)),
+                       static_cast<SnocPort>(out));
+        }
+        EXPECT_EQ(SwitchConfig::unpackRegister(sw.packRegister()), sw);
+    }
+}
+
+TEST(SnocConfig, StraightLinePath)
+{
+    SnocConfig snoc;
+    // Paper Figure 5: patch_2 to patch_10 through patch_6's bypass
+    // (0-based tiles 1 -> 9 via 5).
+    auto path = snoc.addPath(1, SnocPort::Patch, 9, SnocPort::Patch);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(path->hops(), 2);
+    EXPECT_EQ(path->tiles, (std::vector<TileId>{1, 5, 9}));
+    // The bypass tile's switch connects North input to South output.
+    EXPECT_EQ(snoc.switchAt(5).driverOf(SnocPort::South),
+              SnocPort::North);
+    EXPECT_EQ(snoc.switchAt(9).driverOf(SnocPort::Patch),
+              SnocPort::North);
+    std::string why;
+    EXPECT_TRUE(snoc.validate(&why)) << why;
+}
+
+TEST(SnocConfig, LocalPath)
+{
+    SnocConfig snoc;
+    auto path = snoc.addPath(3, SnocPort::Patch, 3, SnocPort::Reg);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(path->hops(), 0);
+    EXPECT_EQ(snoc.switchAt(3).driverOf(SnocPort::Reg),
+              SnocPort::Patch);
+    EXPECT_TRUE(snoc.validate());
+}
+
+TEST(SnocConfig, RoutesAroundOccupiedLinks)
+{
+    SnocConfig snoc;
+    // Occupy the direct 1 -> 5 link.
+    ASSERT_TRUE(snoc.addPath(1, SnocPort::Patch, 5, SnocPort::Patch));
+    // 1 -> 9 can no longer go straight down; it must detour but
+    // still arrive.
+    auto path = snoc.addPath(1, SnocPort::Reg, 9, SnocPort::Reg);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_GE(path->hops(), 2);
+    EXPECT_TRUE(snoc.validate());
+}
+
+TEST(SnocConfig, FailsCleanlyWhenDestinationPortTaken)
+{
+    SnocConfig snoc;
+    ASSERT_TRUE(snoc.addPath(0, SnocPort::Patch, 2, SnocPort::Patch));
+    auto before = snoc.packRegisters();
+    EXPECT_FALSE(snoc.addPath(3, SnocPort::Patch, 2, SnocPort::Patch));
+    EXPECT_EQ(snoc.packRegisters(), before); // unchanged on failure
+}
+
+TEST(SnocConfig, AddFusionCreatesBothDirections)
+{
+    SnocConfig snoc;
+    auto routed = snoc.addFusion(1, PatchKind::ATAS, 9,
+                                 PatchKind::ATAS);
+    ASSERT_TRUE(routed.has_value());
+    EXPECT_EQ(routed->first.from, 1);
+    EXPECT_EQ(routed->first.to, 9);
+    EXPECT_EQ(routed->second.from, 9);
+    EXPECT_EQ(routed->second.to, 1);
+    EXPECT_EQ(routed->second.exit, SnocPort::Reg);
+    EXPECT_TRUE(snoc.validate());
+}
+
+TEST(SnocConfig, FusionRespectsHopLimit)
+{
+    SnocConfig snoc;
+    // Tiles 0 and 15 are 6 hops apart: a 12-hop round trip breaks
+    // both the six-hop rule and the clock budget.
+    EXPECT_FALSE(snoc.addFusion(0, PatchKind::ATMA, 15,
+                                PatchKind::ATMA));
+    // Failure must leave no residue.
+    EXPECT_EQ(snoc.paths().size(), 0u);
+    auto regs = snoc.packRegisters();
+    for (auto r : regs)
+        EXPECT_EQ(SwitchConfig::unpackRegister(r), SwitchConfig{});
+}
+
+TEST(SnocConfig, FusionAtMaxDistanceWorks)
+{
+    SnocConfig snoc;
+    // Distance 3 => 3 + 3 hops, exactly the paper's worst case.
+    auto routed = snoc.addFusion(0, PatchKind::ATMA, 3,
+                                 PatchKind::ATAS);
+    ASSERT_TRUE(routed.has_value());
+    EXPECT_EQ(routed->first.hops() + routed->second.hops(), 6);
+}
+
+TEST(SnocConfig, ManyFusionsStayValid)
+{
+    SnocConfig snoc;
+    auto arch = StitchArch::standard();
+    int routed = 0;
+    // Stitch neighbouring pairs row by row: (0,1), (2,3), ...
+    for (TileId t = 0; t < numTiles; t += 2) {
+        if (snoc.addFusion(t, arch.kindOf(t), t + 1,
+                           arch.kindOf(t + 1)))
+            ++routed;
+    }
+    EXPECT_EQ(routed, 8);
+    std::string why;
+    EXPECT_TRUE(snoc.validate(&why)) << why;
+    EXPECT_EQ(snoc.paths().size(), 16u);
+}
+
+TEST(SnocConfig, ClearResets)
+{
+    SnocConfig snoc;
+    ASSERT_TRUE(snoc.addFusion(1, PatchKind::ATAS, 9,
+                               PatchKind::ATAS));
+    snoc.clear();
+    EXPECT_TRUE(snoc.paths().empty());
+    EXPECT_TRUE(snoc.validate());
+}
+
+TEST(StitchArchTest, StandardPlacementMatchesPaperMix)
+{
+    auto arch = StitchArch::standard();
+    EXPECT_EQ(arch.countOf(PatchKind::ATMA), 8);
+    EXPECT_EQ(arch.countOf(PatchKind::ATAS), 4);
+    EXPECT_EQ(arch.countOf(PatchKind::ATSA), 4);
+    // The paper's worked example: patch_2 and patch_10 (1-based) are
+    // both {AT-AS} with patch_6 between them.
+    EXPECT_EQ(arch.kindOf(1), PatchKind::ATAS);
+    EXPECT_EQ(arch.kindOf(9), PatchKind::ATAS);
+    EXPECT_EQ(arch.tilesOf(PatchKind::ATSA).size(), 4u);
+}
+
+TEST(StitchArchTest, EveryNonMaTileHasAnMaNeighbour)
+{
+    auto arch = StitchArch::standard();
+    for (TileId t = 0; t < numTiles; ++t) {
+        if (arch.kindOf(t) == PatchKind::ATMA)
+            continue;
+        bool hasMa = false;
+        for (auto d : {SnocPort::North, SnocPort::East,
+                       SnocPort::South, SnocPort::West}) {
+            TileId n = neighbourOf(t, d);
+            if (n >= 0 && arch.kindOf(n) == PatchKind::ATMA)
+                hasMa = true;
+        }
+        EXPECT_TRUE(hasMa) << "tile " << t;
+    }
+}
+
+} // namespace
+} // namespace stitch::core

@@ -1,0 +1,232 @@
+/** @file Stitching-algorithm (paper Algorithm 1) tests. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compiler/stitcher.hh"
+
+namespace stitch::compiler
+{
+namespace
+{
+
+using core::PatchKind;
+
+KernelProfile
+profile(const std::string &name, Cycles sw,
+        std::vector<std::pair<AccelTarget, Cycles>> options)
+{
+    KernelProfile p;
+    p.name = name;
+    p.swCycles = sw;
+    p.options = std::move(options);
+    return p;
+}
+
+void
+expectValidPlan(const StitchPlan &plan,
+                const core::StitchArch &arch, std::size_t kernels)
+{
+    ASSERT_EQ(plan.placements.size(), kernels);
+    std::set<TileId> tiles;
+    std::set<TileId> usedPatches;
+    for (const auto &p : plan.placements) {
+        ASSERT_GE(p.tile, 0);
+        ASSERT_LT(p.tile, numTiles);
+        EXPECT_TRUE(tiles.insert(p.tile).second)
+            << "two kernels on tile " << p.tile;
+        if (!p.accel)
+            continue;
+        // Kind compatibility.
+        EXPECT_EQ(arch.kindOf(p.tile), p.accel->local);
+        EXPECT_TRUE(usedPatches.insert(p.tile).second);
+        if (p.accel->type == AccelTarget::Type::FusedPair) {
+            EXPECT_EQ(arch.kindOf(p.remoteTile), p.accel->remote);
+            EXPECT_TRUE(usedPatches.insert(p.remoteTile).second);
+            EXPECT_LE(p.forwardHops + p.backHops,
+                      core::rtl::maxFusionHops);
+        }
+    }
+    std::string why;
+    EXPECT_TRUE(plan.snoc.validate(&why)) << why;
+}
+
+TEST(Stitcher, BottleneckGetsTheBestOption)
+{
+    auto arch = core::StitchArch::standard();
+    std::vector<KernelProfile> kernels = {
+        profile("slow", 1000,
+                {{AccelTarget::single(PatchKind::ATMA), 400}}),
+        profile("fast", 100,
+                {{AccelTarget::single(PatchKind::ATMA), 50}}),
+    };
+    auto plan = stitchApplication(kernels, arch);
+    expectValidPlan(plan, arch, 2);
+    ASSERT_TRUE(plan.placements[0].accel.has_value());
+    EXPECT_EQ(plan.placements[0].cycles, 400u);
+    EXPECT_EQ(plan.bottleneckCycles(), 400u);
+}
+
+TEST(Stitcher, FusionAllocatesTwoPatchesAndRoutes)
+{
+    auto arch = core::StitchArch::standard();
+    std::vector<KernelProfile> kernels = {
+        profile("heavy", 1000,
+                {{AccelTarget::fused(PatchKind::ATAS,
+                                     PatchKind::ATSA),
+                  300},
+                 {AccelTarget::single(PatchKind::ATAS), 600}}),
+    };
+    auto plan = stitchApplication(kernels, arch);
+    expectValidPlan(plan, arch, 1);
+    ASSERT_TRUE(plan.placements[0].accel.has_value());
+    EXPECT_EQ(plan.placements[0].accel->type,
+              AccelTarget::Type::FusedPair);
+    EXPECT_EQ(plan.placements[0].cycles, 300u);
+    EXPECT_FALSE(plan.snoc.paths().empty());
+}
+
+TEST(Stitcher, PatchExhaustionFallsBackToOtherKinds)
+{
+    // Five identical kernels all wanting the (single) best pair of
+    // which only four exist: the fifth must settle for another
+    // option, the paper's APP2 story.
+    auto arch = core::StitchArch::standard();
+    std::vector<KernelProfile> kernels;
+    for (int i = 0; i < 5; ++i) {
+        kernels.push_back(profile(
+            "conv" + std::to_string(i), 1000,
+            {{AccelTarget::fused(PatchKind::ATAS, PatchKind::ATMA),
+              300},
+             {AccelTarget::fused(PatchKind::ATSA, PatchKind::ATMA),
+              400}}));
+    }
+    auto plan = stitchApplication(kernels, arch);
+    expectValidPlan(plan, arch, 5);
+    int fast = 0, slower = 0;
+    for (const auto &p : plan.placements) {
+        ASSERT_TRUE(p.accel.has_value());
+        fast += p.cycles == 300;
+        slower += p.cycles == 400;
+    }
+    EXPECT_EQ(fast, 4);   // all four {AT-AS} locals
+    EXPECT_EQ(slower, 1); // the fifth takes the {AT-SA} pair
+}
+
+TEST(Stitcher, NoFusionModeUsesSinglesOnly)
+{
+    auto arch = core::StitchArch::standard();
+    std::vector<KernelProfile> kernels = {
+        profile("k", 1000,
+                {{AccelTarget::fused(PatchKind::ATMA,
+                                     PatchKind::ATMA),
+                  200},
+                 {AccelTarget::single(PatchKind::ATMA), 500}}),
+    };
+    StitchOptions options;
+    options.allowFusion = false;
+    auto plan = stitchApplication(kernels, arch, options);
+    ASSERT_TRUE(plan.placements[0].accel.has_value());
+    EXPECT_EQ(plan.placements[0].accel->type,
+              AccelTarget::Type::SinglePatch);
+    EXPECT_EQ(plan.placements[0].cycles, 500u);
+}
+
+TEST(Stitcher, AutoPolicyPrefersSinglesWhenFusionStarves)
+{
+    // Eight equal kernels; fusing halves coverage. Singles win.
+    auto arch = core::StitchArch::standard();
+    std::vector<KernelProfile> kernels;
+    for (int i = 0; i < 16; ++i) {
+        kernels.push_back(profile(
+            "k" + std::to_string(i), 1000,
+            {{AccelTarget::fused(PatchKind::ATMA, PatchKind::ATMA),
+              400},
+             {AccelTarget::single(PatchKind::ATMA), 500},
+             {AccelTarget::single(PatchKind::ATAS), 550},
+             {AccelTarget::single(PatchKind::ATSA), 550}}));
+    }
+    auto plan = stitchApplication(kernels, arch);
+    // Fused-first would leave 8 kernels at 1000; singles-first
+    // leaves none above 550.
+    EXPECT_LE(plan.bottleneckCycles(), 550u);
+}
+
+TEST(Stitcher, GreedyPolicyMatchesAlgorithmOne)
+{
+    // Same scenario, forced to the paper's literal greedy: fusion
+    // for each successive bottleneck until patches run out.
+    auto arch = core::StitchArch::standard();
+    std::vector<KernelProfile> kernels;
+    for (int i = 0; i < 16; ++i) {
+        kernels.push_back(profile(
+            "k" + std::to_string(i), 1000,
+            {{AccelTarget::fused(PatchKind::ATMA, PatchKind::ATMA),
+              400},
+             {AccelTarget::single(PatchKind::ATMA), 500}}));
+    }
+    StitchOptions options;
+    options.policy = StitchPolicy::Greedy;
+    auto plan = stitchApplication(kernels, arch, options);
+    expectValidPlan(plan, arch, 16);
+    EXPECT_EQ(plan.bottleneckCycles(), 1000u); // starved kernels
+}
+
+TEST(Stitcher, UnimprovableBottleneckStops)
+{
+    auto arch = core::StitchArch::standard();
+    std::vector<KernelProfile> kernels = {
+        profile("stuck", 1000, {}), // no options at all
+        profile("other", 100,
+                {{AccelTarget::single(PatchKind::ATMA), 50}}),
+    };
+    auto plan = stitchApplication(kernels, arch);
+    expectValidPlan(plan, arch, 2);
+    // Algorithm 1 returns once the bottleneck cannot improve; the
+    // light kernel keeps its software cycles.
+    EXPECT_EQ(plan.bottleneckCycles(), 1000u);
+    EXPECT_FALSE(plan.placements[1].accel.has_value());
+}
+
+TEST(Stitcher, SixteenKernelsSixteenTiles)
+{
+    auto arch = core::StitchArch::standard();
+    std::vector<KernelProfile> kernels;
+    for (int i = 0; i < 16; ++i) {
+        kernels.push_back(profile(
+            "k" + std::to_string(i), 500 + 10 * i,
+            {{AccelTarget::single(PatchKind::ATMA), 300},
+             {AccelTarget::single(PatchKind::ATAS), 350},
+             {AccelTarget::single(PatchKind::ATSA), 350}}));
+    }
+    auto plan = stitchApplication(kernels, arch);
+    expectValidPlan(plan, arch, 16);
+}
+
+TEST(Stitcher, DescribeMentionsKernelsAndTargets)
+{
+    auto arch = core::StitchArch::standard();
+    std::vector<KernelProfile> kernels = {
+        profile("fftX", 1000,
+                {{AccelTarget::fused(PatchKind::ATMA,
+                                     PatchKind::ATAS),
+                  300}}),
+    };
+    auto plan = stitchApplication(kernels, arch);
+    auto text = plan.describe(kernels, arch);
+    EXPECT_NE(text.find("fftX"), std::string::npos);
+    EXPECT_NE(text.find("AT-MA"), std::string::npos);
+    EXPECT_NE(text.find("hops"), std::string::npos);
+}
+
+TEST(Stitcher, TooManyKernelsPanics)
+{
+    auto arch = core::StitchArch::standard();
+    std::vector<KernelProfile> kernels(17);
+    EXPECT_DEATH(stitchApplication(kernels, arch),
+                 "more kernels than tiles");
+}
+
+} // namespace
+} // namespace stitch::compiler

@@ -1,0 +1,358 @@
+/** @file Multi-tile system tests: scheduling, messaging, fused
+ *  execution through the preset sNoC. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/rewriter.hh"
+#include "isa/assembler.hh"
+#include "mem/addrmap.hh"
+#include "sim/system.hh"
+
+namespace stitch::sim
+{
+namespace
+{
+
+using namespace isa::reg;
+using isa::Assembler;
+
+compiler::RewrittenProgram
+wrap(isa::Program prog)
+{
+    compiler::RewrittenProgram binary;
+    binary.program = std::move(prog);
+    return binary;
+}
+
+TEST(System, PingPong)
+{
+    SystemParams params;
+    params.accel = AccelMode::None;
+    System system(params);
+
+    Assembler a("ping");
+    a.li(t0, 42);
+    a.li(t1, 1); // partner tile
+    a.send(t0, t1, 0);
+    a.recv(t2, t1, 0);
+    a.li(t3, 0x2000);
+    a.sw(t2, t3, 0);
+    a.halt();
+
+    Assembler b("pong");
+    b.li(t1, 0);
+    b.recv(t2, t1, 0);
+    b.addi(t2, t2, 1);
+    b.send(t2, t1, 0);
+    b.halt();
+
+    system.loadProgram(0, wrap(a.finish()));
+    system.loadProgram(1, wrap(b.finish()));
+    auto stats = system.run();
+    EXPECT_EQ(system.memoryAt(0).backing().readWord(0x2000), 43u);
+    EXPECT_EQ(stats.messages, 2u);
+    EXPECT_GT(stats.makespan, 0u);
+}
+
+TEST(System, SixteenTileRing)
+{
+    SystemParams params;
+    params.accel = AccelMode::None;
+    System system(params);
+
+    for (TileId t = 0; t < numTiles; ++t) {
+        Assembler a("ring");
+        if (t == 0) {
+            a.li(t0, 1);
+            a.li(t1, 1);
+            a.send(t0, t1, 0); // kick off
+            a.li(t1, 15);
+            a.recv(t2, t1, 0); // wait for the token to return
+        } else {
+            a.li(t1, t - 1);
+            a.recv(t2, t1, 0);
+            a.addi(t2, t2, 1);
+            a.li(t1, (t + 1) % numTiles);
+            a.send(t2, t1, 0);
+        }
+        a.li(t3, 0x2000);
+        a.sw(t2, t3, 0);
+        a.halt();
+        system.loadProgram(t, wrap(a.finish()));
+    }
+    system.run();
+    // The token accumulated one increment per hop.
+    EXPECT_EQ(system.memoryAt(0).backing().readWord(0x2000), 16u);
+}
+
+TEST(System, PerTileStatsAccumulate)
+{
+    SystemParams params;
+    params.accel = AccelMode::None;
+    System system(params);
+    Assembler a("w");
+    for (int i = 0; i < 10; ++i)
+        a.addi(t0, t0, 1);
+    a.halt();
+    system.loadProgram(3, wrap(a.finish()));
+    auto stats = system.run();
+    EXPECT_TRUE(stats.perTile[3].loaded);
+    EXPECT_FALSE(stats.perTile[0].loaded);
+    EXPECT_EQ(stats.perTile[3].instructions, 11u);
+    EXPECT_EQ(stats.perTile[3].cycles, stats.makespan);
+    EXPECT_DOUBLE_EQ(stats.perTile[3].utilization(stats.makespan),
+                     1.0);
+    EXPECT_EQ(stats.instructions, 11u);
+}
+
+TEST(System, DeadlockIsDetected)
+{
+    SystemParams params;
+    params.accel = AccelMode::None;
+    System system(params);
+    Assembler a("d0");
+    a.li(t1, 1);
+    a.recv(t2, t1, 0);
+    a.halt();
+    Assembler b("d1");
+    b.li(t1, 0);
+    b.recv(t2, t1, 0);
+    b.halt();
+    system.loadProgram(0, wrap(a.finish()));
+    system.loadProgram(1, wrap(b.finish()));
+    EXPECT_THROW(system.run(), FatalError);
+}
+
+TEST(System, ConservativeTimingOrdersMessages)
+{
+    // A slow producer and a fast consumer: the consumer's final time
+    // must include the wait.
+    SystemParams params;
+    params.accel = AccelMode::None;
+    System system(params);
+
+    Assembler slow("slow");
+    auto loop = slow.newLabel();
+    slow.li(t0, 0);
+    slow.li(t1, 1000);
+    slow.bind(loop);
+    slow.addi(t0, t0, 1);
+    slow.blt(t0, t1, loop);
+    slow.li(t1, 1);
+    slow.send(t0, t1, 0);
+    slow.halt();
+
+    Assembler fast("fast");
+    fast.li(t1, 0);
+    fast.recv(t2, t1, 0);
+    fast.halt();
+
+    system.loadProgram(0, wrap(slow.finish()));
+    system.loadProgram(1, wrap(fast.finish()));
+    system.run();
+    EXPECT_GT(system.coreAt(1).time(), 2000u);
+    EXPECT_EQ(system.coreAt(1).reg(t2), 1000u);
+}
+
+TEST(System, CustOnBaselineIsFatal)
+{
+    SystemParams params;
+    params.accel = AccelMode::None;
+    System system(params);
+    Assembler a("c");
+    isa::Instr cust;
+    cust.op = isa::Opcode::Cust;
+    a.emit(cust);
+    a.halt();
+    auto prog = a.finish();
+    prog.addIseConfig(0);
+    system.loadProgram(0, wrap(std::move(prog)));
+    EXPECT_THROW(system.run(), FatalError);
+}
+
+TEST(System, StitchExecutesLocalCust)
+{
+    SystemParams params;
+    params.accel = AccelMode::Stitch;
+    System system(params);
+
+    // Tile 0 hosts {AT-MA}: run a mul-add custom instruction.
+    core::FusedConfig cfg;
+    cfg.localKind = core::PatchKind::ATMA;
+    cfg.local.a1op = core::AluOp::Pass;
+    cfg.local.u1Lhs = core::U1Lhs::In1;
+    cfg.local.u1Rhs = core::U1Rhs::In2;
+    cfg.local.u2Lhs = core::U2Lhs::U1Out;
+    cfg.local.u2Rhs = core::U2Rhs::In3;
+    cfg.local.aop2 = core::AluOp::Add;
+    cfg.local.outCfg = core::OutCfg::S2;
+
+    Assembler a("cust");
+    a.li(t0, 6);
+    a.li(t1, 7);
+    a.li(t2, 100);
+    isa::Instr cust;
+    cust.op = isa::Opcode::Cust;
+    cust.rd0 = t4;
+    cust.rs0 = zero;
+    cust.rs1 = t0;
+    cust.rs2 = t1;
+    cust.rs3 = t2;
+    cust.cfg = 0;
+    a.emit(cust);
+    a.halt();
+    auto prog = a.finish();
+    prog.addIseConfig(cfg.packBlob());
+
+    system.loadProgram(0, wrap(std::move(prog)));
+    system.run();
+    EXPECT_EQ(system.coreAt(0).reg(t4), 6u * 7u + 100u);
+}
+
+TEST(System, KindMismatchIsFatal)
+{
+    SystemParams params;
+    System system(params); // Stitch
+    core::FusedConfig cfg;
+    cfg.localKind = core::PatchKind::ATAS; // tile 0 is ATMA
+    Assembler a("mm");
+    isa::Instr cust;
+    cust.op = isa::Opcode::Cust;
+    cust.cfg = 0;
+    a.emit(cust);
+    a.halt();
+    auto prog = a.finish();
+    prog.addIseConfig(cfg.packBlob());
+    system.loadProgram(0, wrap(std::move(prog)));
+    EXPECT_THROW(system.run(), FatalError);
+}
+
+TEST(System, FusedCustNeedsAPartner)
+{
+    System system(SystemParams{});
+    core::FusedConfig cfg;
+    cfg.localKind = core::PatchKind::ATMA;
+    cfg.usesRemote = true;
+    cfg.remoteKind = core::PatchKind::ATAS;
+    Assembler a("f");
+    isa::Instr cust;
+    cust.op = isa::Opcode::Cust;
+    cust.cfg = 0;
+    a.emit(cust);
+    a.halt();
+    auto prog = a.finish();
+    prog.addIseConfig(cfg.packBlob());
+    system.loadProgram(0, wrap(std::move(prog)));
+    EXPECT_THROW(system.run(), FatalError); // no partner set
+}
+
+TEST(System, FusedCustExecutesThroughPartner)
+{
+    System system(SystemParams{});
+    // Tile 0 {AT-MA} fused with tile 1 {AT-AS}: (in1*in2) >> in3.
+    core::FusedConfig cfg;
+    cfg.localKind = core::PatchKind::ATMA;
+    cfg.local.a1op = core::AluOp::Pass;
+    cfg.local.u1Lhs = core::U1Lhs::In1;
+    cfg.local.u1Rhs = core::U1Rhs::In2;
+    cfg.local.u2Lhs = core::U2Lhs::U1Out;
+    cfg.local.u2Rhs = core::U2Rhs::In3;
+    cfg.local.aop2 = core::AluOp::Pass;
+    cfg.local.outCfg = core::OutCfg::S2;
+    cfg.usesRemote = true;
+    cfg.remoteKind = core::PatchKind::ATAS;
+    cfg.remote.a1op = core::AluOp::Pass; // s1 = F
+    cfg.remote.u1Lhs = core::U1Lhs::S1Out;
+    cfg.remote.aop2 = core::AluOp::Pass;
+    cfg.remote.u2Lhs = core::U2Lhs::U1Out;
+    cfg.remote.u2Rhs = core::U2Rhs::In3;
+    cfg.remote.sop = core::ShiftOp::Srl;
+    cfg.remote.outCfg = core::OutCfg::S2;
+
+    Assembler a("ff");
+    a.li(t0, 40);
+    a.li(t1, 12);
+    a.li(t2, 4);
+    isa::Instr cust;
+    cust.op = isa::Opcode::Cust;
+    cust.rd0 = t5;
+    cust.rs0 = zero;
+    cust.rs1 = t0;
+    cust.rs2 = t1;
+    cust.rs3 = t2;
+    cust.cfg = 0;
+    a.emit(cust);
+    a.halt();
+    auto prog = a.finish();
+    prog.addIseConfig(cfg.packBlob());
+
+    core::SnocConfig snoc;
+    ASSERT_TRUE(snoc.addFusion(0, core::PatchKind::ATMA, 1,
+                               core::PatchKind::ATAS));
+    system.configureSnoc(snoc);
+    system.loadProgram(0, wrap(std::move(prog)));
+    system.setFusionPartner(0, 1);
+    system.run();
+    EXPECT_EQ(system.coreAt(0).reg(t5), (40u * 12u) >> 4);
+}
+
+TEST(System, ConfigureSnocWritesCrossbarRegisters)
+{
+    System system(SystemParams{});
+    core::SnocConfig snoc;
+    ASSERT_TRUE(snoc.addFusion(1, core::PatchKind::ATAS, 9,
+                               core::PatchKind::ATAS));
+    system.configureSnoc(snoc);
+    auto regs = snoc.packRegisters();
+    // Spot check: the bypass tile's register landed via the
+    // memory-mapped store path.
+    EXPECT_EQ(system.coreAt(5).xbarConfigReg(), regs[5]);
+}
+
+TEST(System, LocusModeRunsLocusBinaries)
+{
+    SystemParams params;
+    params.accel = AccelMode::Locus;
+    System system(params);
+
+    core::MicroDfg dfg;
+    dfg.ops.push_back({core::MicroOp::Kind::Alu, core::AluOp::Add,
+                       core::ShiftOp::Pass, core::microPortRef(0),
+                       core::microPortRef(1)});
+    dfg.rd0Op = 0;
+
+    Assembler a("l");
+    a.li(t0, 30);
+    a.li(t1, 12);
+    isa::Instr cust;
+    cust.op = isa::Opcode::Cust;
+    cust.rd0 = t5;
+    cust.rs0 = t0;
+    cust.rs1 = t1;
+    cust.cfg = 0;
+    a.emit(cust);
+    a.halt();
+    auto prog = a.finish();
+    prog.addIseConfig(0);
+
+    compiler::RewrittenProgram binary;
+    binary.program = std::move(prog);
+    binary.microTable.push_back(dfg);
+    system.loadProgram(0, binary);
+    system.run();
+    EXPECT_EQ(system.coreAt(0).reg(t5), 42u);
+}
+
+TEST(System, LocusBinaryOnStitchSystemIsFatal)
+{
+    System system(SystemParams{});
+    compiler::RewrittenProgram binary;
+    Assembler a("x");
+    a.halt();
+    binary.program = a.finish();
+    binary.microTable.push_back({});
+    EXPECT_THROW(system.loadProgram(0, binary), FatalError);
+}
+
+} // namespace
+} // namespace stitch::sim

@@ -1,0 +1,95 @@
+/** @file RTL timing/area model tests against the paper's Table IV /
+ *  Section VI-D numbers. */
+
+#include <gtest/gtest.h>
+
+#include "core/arch.hh"
+#include "core/snoc_timing.hh"
+
+namespace stitch::core
+{
+namespace
+{
+
+TEST(Timing, TableIvDelays)
+{
+    EXPECT_DOUBLE_EQ(patchDelayNs(PatchKind::ATMA), 1.38);
+    EXPECT_DOUBLE_EQ(patchDelayNs(PatchKind::ATAS), 1.12);
+    EXPECT_DOUBLE_EQ(patchDelayNs(PatchKind::ATSA), 1.02);
+    EXPECT_DOUBLE_EQ(rtl::switchDelayNs, 0.17);
+    // "3 hops: 0.3 ns".
+    EXPECT_DOUBLE_EQ(3 * rtl::wirePerHopNs, 0.3);
+}
+
+TEST(Timing, SinglePatchCriticalPath)
+{
+    // Paper: "single {AT-SA} including the NoC overhead: 2 x 0.17".
+    EXPECT_NEAR(singleCriticalPathNs(PatchKind::ATSA), 1.36, 1e-9);
+    EXPECT_NEAR(singleCriticalPathNs(PatchKind::ATMA), 1.72, 1e-9);
+}
+
+TEST(Timing, PaperWorstCaseCriticalPathIs4p63ns)
+{
+    // switch + AT-MA + switch + 3 hops (wire+switch each) + AT-AS +
+    // 3 hops + switch = 4.63 ns (paper Section VI-D).
+    double ns = fusedCriticalPathNs(PatchKind::ATMA, PatchKind::ATAS,
+                                    3, 3);
+    EXPECT_NEAR(ns, 4.63, 1e-9);
+    EXPECT_TRUE(fitsClock(ns));
+}
+
+TEST(Timing, SevenHopRoundTripMissesTheClock)
+{
+    double ns = fusedCriticalPathNs(PatchKind::ATMA, PatchKind::ATMA,
+                                    4, 3);
+    EXPECT_GT(ns, rtl::clockPeriodNs);
+    EXPECT_FALSE(fitsClock(ns));
+}
+
+TEST(Timing, BestCaseFusionIsWellInsideTheClock)
+{
+    double ns = fusedCriticalPathNs(PatchKind::ATSA, PatchKind::ATSA,
+                                    1, 1);
+    EXPECT_LT(ns, rtl::clockPeriodNs / 2 + 1.0);
+    EXPECT_TRUE(fitsClock(ns));
+}
+
+TEST(Timing, FrequencyDerivation)
+{
+    EXPECT_NEAR(pathFrequencyMhz(5.0), 200.0, 1e-9);
+    EXPECT_GT(pathFrequencyMhz(4.63), 200.0);
+}
+
+TEST(Area, TableIvPatchAreas)
+{
+    EXPECT_DOUBLE_EQ(patchAreaUm2(PatchKind::ATMA), 4152.0);
+    EXPECT_DOUBLE_EQ(patchAreaUm2(PatchKind::ATAS), 2096.0);
+    EXPECT_DOUBLE_EQ(patchAreaUm2(PatchKind::ATSA), 2157.0);
+    EXPECT_DOUBLE_EQ(rtl::switchAreaUm2, 7423.0);
+}
+
+TEST(Area, ChipAccumulationMatchesTableIII)
+{
+    // 8 {AT-MA} + 4 {AT-AS} + 4 {AT-SA} + 16 switches should land
+    // close to the paper's 168,568 um^2 total accelerator area.
+    auto arch = StitchArch::standard();
+    double total = 0;
+    for (TileId t = 0; t < numTiles; ++t)
+        total += patchAreaUm2(arch.kindOf(t));
+    total += numTiles * rtl::switchAreaUm2;
+    EXPECT_NEAR(total, 168568.0, 600.0);
+}
+
+TEST(Area, PatchOnlyAreaMatchesNoFusionRow)
+{
+    // Without fusion the accelerator area is just the patches:
+    // paper Table III reports 49,872 um^2.
+    auto arch = StitchArch::standard();
+    double total = 0;
+    for (TileId t = 0; t < numTiles; ++t)
+        total += patchAreaUm2(arch.kindOf(t));
+    EXPECT_NEAR(total, 49872.0, 400.0);
+}
+
+} // namespace
+} // namespace stitch::core

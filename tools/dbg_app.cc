@@ -1,0 +1,23 @@
+#include <cstdio>
+#include "apps/app_runner.hh"
+using namespace stitch;
+int main(int argc, char** argv) {
+    apps::AppRunner runner;
+    auto appsAll = apps::allApps();
+    for (auto &app : appsAll) {
+        if (argc > 1 && app.name.find(argv[1]) == std::string::npos) continue;
+        auto res = runner.run(app, apps::AppMode::Stitch);
+        std::printf("%s Stitch perSample=%.0f\n", app.name.c_str(), res.perSampleCycles());
+        // reconstruct profiles for printing
+        for (int k = 0; k < (int)app.stageKernels.size(); ++k) {
+            kernels::PipelineShape shape{app.inDegree(k), app.outDegree(k), 1};
+            auto &ck = runner.compiledFor(app.stageKernels[k], shape);
+            auto &p = res.plan.placements[k];
+            std::printf("  %-10s tile%-2d sw=%6llu planned=%6llu %s\n",
+                app.stageKernels[k].c_str(), p.tile,
+                (unsigned long long)ck.softwareCycles,
+                (unsigned long long)p.cycles,
+                p.accel ? p.accel->name().c_str() : "software");
+        }
+    }
+}

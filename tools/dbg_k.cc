@@ -1,0 +1,32 @@
+#include <cstdio>
+#include "kernels/catalog.hh"
+#include "compiler/profiler.hh"
+#include "compiler/ise_ident.hh"
+#include "compiler/selector.hh"
+#include "compiler/liveness.hh"
+using namespace stitch;
+using namespace stitch::compiler;
+int main(int argc, char** argv) {
+    auto input = kernels::kernelByName(argv[1]).build({});
+    auto prof = profileProgram(input.program);
+    auto lo = blockLiveOuts(input.program, prof.blocks);
+    std::printf("cycles=%llu hot=%zu\n", (unsigned long long)prof.totalCycles, prof.hotBlocks.size());
+    for (auto bi : prof.hotBlocks) {
+        auto &bb = prof.blocks[bi];
+        std::printf("== block %zu [%zu,%zu) count=%llu size=%zu\n", bi, bb.begin, bb.end,
+                    (unsigned long long)bb.execCount, bb.size());
+        Dfg dfg = Dfg::build(input.program, bb, input.spmBaseRegs, &lo[bi]);
+        auto cands = identifyCandidates(dfg);
+        std::printf("candidates=%zu\n", cands.size());
+        if (argc > 2) std::printf("%s", dfg.toString().c_str());
+        for (auto target : {AccelTarget::single(core::PatchKind::ATMA),
+                            AccelTarget::fused(core::PatchKind::ATMA, core::PatchKind::ATAS),
+                            AccelTarget::locus()}) {
+            auto sels = selectIses(dfg, cands, target);
+            long long saved = 0; for (auto &s : sels) saved += s.savedPerExec;
+            std::printf("target %-18s: %zu sels, saved/exec=%lld:", target.name().c_str(), sels.size(), saved);
+            for (auto &s : sels) { std::printf(" ["); for (int n : s.cand.nodes) std::printf("%d ", n); std::printf("s%lld]", (long long)s.savedPerExec); }
+            std::printf("\n");
+        }
+    }
+}

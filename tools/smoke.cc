@@ -1,0 +1,25 @@
+#include <cstdio>
+#include "kernels/catalog.hh"
+#include "kernels/golden.hh"
+#include "compiler/driver.hh"
+using namespace stitch;
+int main(int argc, char**argv) {
+    const char* pick = argc > 1 ? argv[1] : nullptr;
+    for (const auto &factory : kernels::kernelCatalog()) {
+        if (pick && factory.name != pick) continue;
+        auto input = factory.build(kernels::PipelineShape{});
+        auto compiled = compiler::compileKernel(factory.name, input);
+        std::printf("%-10s sw=%8llu", factory.name.c_str(),
+                    (unsigned long long)compiled.softwareCycles);
+        auto *sp = compiled.bestSinglePatch();
+        auto *st = compiled.bestStitch();
+        auto *lo = compiled.locusVariant();
+        std::printf("  locus=%.2f  patch=%.2f(%s)  stitch=%.2f(%s)\n",
+                    lo?lo->speedup:0.0, sp?sp->speedup:0.0,
+                    sp?sp->target.name().c_str():"-",
+                    st?st->speedup:0.0,
+                    st?st->target.name().c_str():"-");
+        std::fflush(stdout);
+    }
+    return 0;
+}

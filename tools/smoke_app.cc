@@ -1,0 +1,30 @@
+#include <cstdio>
+#include "apps/app_runner.hh"
+using namespace stitch;
+int main(int argc, char** argv) {
+    apps::AppRunner runner;
+    for (auto &app : apps::allApps()) {
+        if (argc > 1 && app.name.find(argv[1]) == std::string::npos) continue;
+        double base = 0;
+        for (auto mode : {apps::AppMode::Baseline, apps::AppMode::Locus,
+                          apps::AppMode::StitchNoFusion, apps::AppMode::Stitch}) {
+            auto res = runner.run(app, mode);
+            if (mode == apps::AppMode::Baseline) base = res.perSampleCycles();
+            std::printf("%-14s %-18s perSample=%10.0f boost=%.2f msgs=%llu\n",
+                        app.name.c_str(), appModeName(mode), res.perSampleCycles(),
+                        base / res.perSampleCycles(),
+                        (unsigned long long)res.stats.messages);
+            std::fflush(stdout);
+            if (mode == apps::AppMode::Stitch && res.hasPlan) {
+                // print fusion summary
+                int fused = 0, single = 0;
+                for (auto &p : res.plan.placements) {
+                    if (!p.accel) continue;
+                    if (p.accel->type == compiler::AccelTarget::Type::FusedPair) fused++;
+                    else single++;
+                }
+                std::printf("   plan: %d single, %d fused\n", single, fused);
+            }
+        }
+    }
+}
