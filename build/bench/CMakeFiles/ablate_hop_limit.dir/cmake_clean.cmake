@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_hop_limit.dir/ablate_hop_limit.cc.o"
+  "CMakeFiles/ablate_hop_limit.dir/ablate_hop_limit.cc.o.d"
+  "ablate_hop_limit"
+  "ablate_hop_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_hop_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

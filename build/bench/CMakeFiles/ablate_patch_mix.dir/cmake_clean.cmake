@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_patch_mix.dir/ablate_patch_mix.cc.o"
+  "CMakeFiles/ablate_patch_mix.dir/ablate_patch_mix.cc.o.d"
+  "ablate_patch_mix"
+  "ablate_patch_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_patch_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

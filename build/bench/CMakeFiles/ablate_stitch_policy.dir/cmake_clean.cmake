@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_stitch_policy.dir/ablate_stitch_policy.cc.o"
+  "CMakeFiles/ablate_stitch_policy.dir/ablate_stitch_policy.cc.o.d"
+  "ablate_stitch_policy"
+  "ablate_stitch_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_stitch_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

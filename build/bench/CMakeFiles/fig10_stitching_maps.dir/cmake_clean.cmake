@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_stitching_maps.dir/fig10_stitching_maps.cc.o"
+  "CMakeFiles/fig10_stitching_maps.dir/fig10_stitching_maps.cc.o.d"
+  "fig10_stitching_maps"
+  "fig10_stitching_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_stitching_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

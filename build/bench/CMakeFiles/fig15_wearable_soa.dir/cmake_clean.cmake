@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_wearable_soa.dir/fig15_wearable_soa.cc.o"
+  "CMakeFiles/fig15_wearable_soa.dir/fig15_wearable_soa.cc.o.d"
+  "fig15_wearable_soa"
+  "fig15_wearable_soa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_wearable_soa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3a_chain_mining.dir/sec3a_chain_mining.cc.o"
+  "CMakeFiles/sec3a_chain_mining.dir/sec3a_chain_mining.cc.o.d"
+  "sec3a_chain_mining"
+  "sec3a_chain_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3a_chain_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

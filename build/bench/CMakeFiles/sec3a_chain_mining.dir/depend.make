@@ -1,0 +1,2 @@
+# Empty dependencies file for sec3a_chain_mining.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3c_spm_ablation.dir/sec3c_spm_ablation.cc.o"
+  "CMakeFiles/sec3c_spm_ablation.dir/sec3c_spm_ablation.cc.o.d"
+  "sec3c_spm_ablation"
+  "sec3c_spm_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3c_spm_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

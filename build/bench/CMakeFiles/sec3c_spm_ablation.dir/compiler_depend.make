@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec3c_spm_ablation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_gesture.cc" "bench/CMakeFiles/table1_gesture.dir/table1_gesture.cc.o" "gcc" "bench/CMakeFiles/table1_gesture.dir/table1_gesture.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/stitch_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/stitch_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/stitch_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stitch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/stitch_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/stitch_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/stitch_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/stitch_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/stitch_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stitch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stitch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

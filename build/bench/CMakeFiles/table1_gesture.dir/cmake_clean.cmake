@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_gesture.dir/table1_gesture.cc.o"
+  "CMakeFiles/table1_gesture.dir/table1_gesture.cc.o.d"
+  "table1_gesture"
+  "table1_gesture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_gesture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

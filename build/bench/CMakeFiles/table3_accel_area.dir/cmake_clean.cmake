@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_accel_area.dir/table3_accel_area.cc.o"
+  "CMakeFiles/table3_accel_area.dir/table3_accel_area.cc.o.d"
+  "table3_accel_area"
+  "table3_accel_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_accel_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_vision.dir/cnn_vision.cpp.o"
+  "CMakeFiles/cnn_vision.dir/cnn_vision.cpp.o.d"
+  "cnn_vision"
+  "cnn_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

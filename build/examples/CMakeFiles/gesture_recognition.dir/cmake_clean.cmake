@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gesture_recognition.dir/gesture_recognition.cpp.o"
+  "CMakeFiles/gesture_recognition.dir/gesture_recognition.cpp.o.d"
+  "gesture_recognition"
+  "gesture_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gesture_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

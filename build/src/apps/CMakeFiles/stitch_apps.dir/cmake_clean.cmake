@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stitch_apps.dir/app_runner.cc.o"
+  "CMakeFiles/stitch_apps.dir/app_runner.cc.o.d"
+  "CMakeFiles/stitch_apps.dir/apps.cc.o"
+  "CMakeFiles/stitch_apps.dir/apps.cc.o.d"
+  "libstitch_apps.a"
+  "libstitch_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stitch_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stitch_common.dir/logging.cc.o"
+  "CMakeFiles/stitch_common.dir/logging.cc.o.d"
+  "CMakeFiles/stitch_common.dir/table.cc.o"
+  "CMakeFiles/stitch_common.dir/table.cc.o.d"
+  "libstitch_common.a"
+  "libstitch_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stitch_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/chains.cc" "src/compiler/CMakeFiles/stitch_compiler.dir/chains.cc.o" "gcc" "src/compiler/CMakeFiles/stitch_compiler.dir/chains.cc.o.d"
+  "/root/repo/src/compiler/dfg.cc" "src/compiler/CMakeFiles/stitch_compiler.dir/dfg.cc.o" "gcc" "src/compiler/CMakeFiles/stitch_compiler.dir/dfg.cc.o.d"
+  "/root/repo/src/compiler/driver.cc" "src/compiler/CMakeFiles/stitch_compiler.dir/driver.cc.o" "gcc" "src/compiler/CMakeFiles/stitch_compiler.dir/driver.cc.o.d"
+  "/root/repo/src/compiler/ise_ident.cc" "src/compiler/CMakeFiles/stitch_compiler.dir/ise_ident.cc.o" "gcc" "src/compiler/CMakeFiles/stitch_compiler.dir/ise_ident.cc.o.d"
+  "/root/repo/src/compiler/liveness.cc" "src/compiler/CMakeFiles/stitch_compiler.dir/liveness.cc.o" "gcc" "src/compiler/CMakeFiles/stitch_compiler.dir/liveness.cc.o.d"
+  "/root/repo/src/compiler/mapper.cc" "src/compiler/CMakeFiles/stitch_compiler.dir/mapper.cc.o" "gcc" "src/compiler/CMakeFiles/stitch_compiler.dir/mapper.cc.o.d"
+  "/root/repo/src/compiler/profiler.cc" "src/compiler/CMakeFiles/stitch_compiler.dir/profiler.cc.o" "gcc" "src/compiler/CMakeFiles/stitch_compiler.dir/profiler.cc.o.d"
+  "/root/repo/src/compiler/rewriter.cc" "src/compiler/CMakeFiles/stitch_compiler.dir/rewriter.cc.o" "gcc" "src/compiler/CMakeFiles/stitch_compiler.dir/rewriter.cc.o.d"
+  "/root/repo/src/compiler/selector.cc" "src/compiler/CMakeFiles/stitch_compiler.dir/selector.cc.o" "gcc" "src/compiler/CMakeFiles/stitch_compiler.dir/selector.cc.o.d"
+  "/root/repo/src/compiler/stitcher.cc" "src/compiler/CMakeFiles/stitch_compiler.dir/stitcher.cc.o" "gcc" "src/compiler/CMakeFiles/stitch_compiler.dir/stitcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stitch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/stitch_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/stitch_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stitch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/stitch_cpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stitch_compiler.dir/chains.cc.o"
+  "CMakeFiles/stitch_compiler.dir/chains.cc.o.d"
+  "CMakeFiles/stitch_compiler.dir/dfg.cc.o"
+  "CMakeFiles/stitch_compiler.dir/dfg.cc.o.d"
+  "CMakeFiles/stitch_compiler.dir/driver.cc.o"
+  "CMakeFiles/stitch_compiler.dir/driver.cc.o.d"
+  "CMakeFiles/stitch_compiler.dir/ise_ident.cc.o"
+  "CMakeFiles/stitch_compiler.dir/ise_ident.cc.o.d"
+  "CMakeFiles/stitch_compiler.dir/liveness.cc.o"
+  "CMakeFiles/stitch_compiler.dir/liveness.cc.o.d"
+  "CMakeFiles/stitch_compiler.dir/mapper.cc.o"
+  "CMakeFiles/stitch_compiler.dir/mapper.cc.o.d"
+  "CMakeFiles/stitch_compiler.dir/profiler.cc.o"
+  "CMakeFiles/stitch_compiler.dir/profiler.cc.o.d"
+  "CMakeFiles/stitch_compiler.dir/rewriter.cc.o"
+  "CMakeFiles/stitch_compiler.dir/rewriter.cc.o.d"
+  "CMakeFiles/stitch_compiler.dir/selector.cc.o"
+  "CMakeFiles/stitch_compiler.dir/selector.cc.o.d"
+  "CMakeFiles/stitch_compiler.dir/stitcher.cc.o"
+  "CMakeFiles/stitch_compiler.dir/stitcher.cc.o.d"
+  "libstitch_compiler.a"
+  "libstitch_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stitch_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

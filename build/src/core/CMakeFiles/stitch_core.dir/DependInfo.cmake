@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/micro.cc" "src/core/CMakeFiles/stitch_core.dir/micro.cc.o" "gcc" "src/core/CMakeFiles/stitch_core.dir/micro.cc.o.d"
+  "/root/repo/src/core/ops.cc" "src/core/CMakeFiles/stitch_core.dir/ops.cc.o" "gcc" "src/core/CMakeFiles/stitch_core.dir/ops.cc.o.d"
+  "/root/repo/src/core/patch.cc" "src/core/CMakeFiles/stitch_core.dir/patch.cc.o" "gcc" "src/core/CMakeFiles/stitch_core.dir/patch.cc.o.d"
+  "/root/repo/src/core/patch_config.cc" "src/core/CMakeFiles/stitch_core.dir/patch_config.cc.o" "gcc" "src/core/CMakeFiles/stitch_core.dir/patch_config.cc.o.d"
+  "/root/repo/src/core/snoc.cc" "src/core/CMakeFiles/stitch_core.dir/snoc.cc.o" "gcc" "src/core/CMakeFiles/stitch_core.dir/snoc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stitch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

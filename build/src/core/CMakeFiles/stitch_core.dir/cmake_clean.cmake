@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stitch_core.dir/micro.cc.o"
+  "CMakeFiles/stitch_core.dir/micro.cc.o.d"
+  "CMakeFiles/stitch_core.dir/ops.cc.o"
+  "CMakeFiles/stitch_core.dir/ops.cc.o.d"
+  "CMakeFiles/stitch_core.dir/patch.cc.o"
+  "CMakeFiles/stitch_core.dir/patch.cc.o.d"
+  "CMakeFiles/stitch_core.dir/patch_config.cc.o"
+  "CMakeFiles/stitch_core.dir/patch_config.cc.o.d"
+  "CMakeFiles/stitch_core.dir/snoc.cc.o"
+  "CMakeFiles/stitch_core.dir/snoc.cc.o.d"
+  "libstitch_core.a"
+  "libstitch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stitch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

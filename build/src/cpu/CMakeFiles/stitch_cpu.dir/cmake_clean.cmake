@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stitch_cpu.dir/core.cc.o"
+  "CMakeFiles/stitch_cpu.dir/core.cc.o.d"
+  "libstitch_cpu.a"
+  "libstitch_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stitch_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

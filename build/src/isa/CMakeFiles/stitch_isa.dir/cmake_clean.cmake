@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stitch_isa.dir/assembler.cc.o"
+  "CMakeFiles/stitch_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/stitch_isa.dir/isa.cc.o"
+  "CMakeFiles/stitch_isa.dir/isa.cc.o.d"
+  "CMakeFiles/stitch_isa.dir/program.cc.o"
+  "CMakeFiles/stitch_isa.dir/program.cc.o.d"
+  "libstitch_isa.a"
+  "libstitch_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stitch_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/catalog.cc" "src/kernels/CMakeFiles/stitch_kernels.dir/catalog.cc.o" "gcc" "src/kernels/CMakeFiles/stitch_kernels.dir/catalog.cc.o.d"
+  "/root/repo/src/kernels/dsp.cc" "src/kernels/CMakeFiles/stitch_kernels.dir/dsp.cc.o" "gcc" "src/kernels/CMakeFiles/stitch_kernels.dir/dsp.cc.o.d"
+  "/root/repo/src/kernels/extra.cc" "src/kernels/CMakeFiles/stitch_kernels.dir/extra.cc.o" "gcc" "src/kernels/CMakeFiles/stitch_kernels.dir/extra.cc.o.d"
+  "/root/repo/src/kernels/golden.cc" "src/kernels/CMakeFiles/stitch_kernels.dir/golden.cc.o" "gcc" "src/kernels/CMakeFiles/stitch_kernels.dir/golden.cc.o.d"
+  "/root/repo/src/kernels/kernel.cc" "src/kernels/CMakeFiles/stitch_kernels.dir/kernel.cc.o" "gcc" "src/kernels/CMakeFiles/stitch_kernels.dir/kernel.cc.o.d"
+  "/root/repo/src/kernels/misc.cc" "src/kernels/CMakeFiles/stitch_kernels.dir/misc.cc.o" "gcc" "src/kernels/CMakeFiles/stitch_kernels.dir/misc.cc.o.d"
+  "/root/repo/src/kernels/vision.cc" "src/kernels/CMakeFiles/stitch_kernels.dir/vision.cc.o" "gcc" "src/kernels/CMakeFiles/stitch_kernels.dir/vision.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/stitch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/stitch_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/stitch_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/stitch_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/stitch_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stitch_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

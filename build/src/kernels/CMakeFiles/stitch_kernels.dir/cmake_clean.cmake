@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stitch_kernels.dir/catalog.cc.o"
+  "CMakeFiles/stitch_kernels.dir/catalog.cc.o.d"
+  "CMakeFiles/stitch_kernels.dir/dsp.cc.o"
+  "CMakeFiles/stitch_kernels.dir/dsp.cc.o.d"
+  "CMakeFiles/stitch_kernels.dir/extra.cc.o"
+  "CMakeFiles/stitch_kernels.dir/extra.cc.o.d"
+  "CMakeFiles/stitch_kernels.dir/golden.cc.o"
+  "CMakeFiles/stitch_kernels.dir/golden.cc.o.d"
+  "CMakeFiles/stitch_kernels.dir/kernel.cc.o"
+  "CMakeFiles/stitch_kernels.dir/kernel.cc.o.d"
+  "CMakeFiles/stitch_kernels.dir/misc.cc.o"
+  "CMakeFiles/stitch_kernels.dir/misc.cc.o.d"
+  "CMakeFiles/stitch_kernels.dir/vision.cc.o"
+  "CMakeFiles/stitch_kernels.dir/vision.cc.o.d"
+  "libstitch_kernels.a"
+  "libstitch_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stitch_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

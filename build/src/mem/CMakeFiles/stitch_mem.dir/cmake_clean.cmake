@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stitch_mem.dir/cache.cc.o"
+  "CMakeFiles/stitch_mem.dir/cache.cc.o.d"
+  "CMakeFiles/stitch_mem.dir/sparse_memory.cc.o"
+  "CMakeFiles/stitch_mem.dir/sparse_memory.cc.o.d"
+  "CMakeFiles/stitch_mem.dir/tile_memory.cc.o"
+  "CMakeFiles/stitch_mem.dir/tile_memory.cc.o.d"
+  "libstitch_mem.a"
+  "libstitch_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stitch_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stitch_noc.dir/noc_model.cc.o"
+  "CMakeFiles/stitch_noc.dir/noc_model.cc.o.d"
+  "libstitch_noc.a"
+  "libstitch_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stitch_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

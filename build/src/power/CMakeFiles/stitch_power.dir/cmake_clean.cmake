@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stitch_power.dir/power_model.cc.o"
+  "CMakeFiles/stitch_power.dir/power_model.cc.o.d"
+  "libstitch_power.a"
+  "libstitch_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stitch_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

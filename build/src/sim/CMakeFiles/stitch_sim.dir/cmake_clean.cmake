@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stitch_sim.dir/system.cc.o"
+  "CMakeFiles/stitch_sim.dir/system.cc.o.d"
+  "libstitch_sim.a"
+  "libstitch_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stitch_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstitch_sim.a"
+)

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cc" "tests/CMakeFiles/stitch_tests.dir/test_apps.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_apps.cc.o.d"
+  "/root/repo/tests/test_assembler.cc" "tests/CMakeFiles/stitch_tests.dir/test_assembler.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_assembler.cc.o.d"
+  "/root/repo/tests/test_bitutil.cc" "tests/CMakeFiles/stitch_tests.dir/test_bitutil.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_bitutil.cc.o.d"
+  "/root/repo/tests/test_chains.cc" "tests/CMakeFiles/stitch_tests.dir/test_chains.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_chains.cc.o.d"
+  "/root/repo/tests/test_cpu.cc" "tests/CMakeFiles/stitch_tests.dir/test_cpu.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_cpu.cc.o.d"
+  "/root/repo/tests/test_dfg.cc" "tests/CMakeFiles/stitch_tests.dir/test_dfg.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_dfg.cc.o.d"
+  "/root/repo/tests/test_driver.cc" "tests/CMakeFiles/stitch_tests.dir/test_driver.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_driver.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/stitch_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/stitch_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_ise.cc" "tests/CMakeFiles/stitch_tests.dir/test_ise.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_ise.cc.o.d"
+  "/root/repo/tests/test_kernels.cc" "tests/CMakeFiles/stitch_tests.dir/test_kernels.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_kernels.cc.o.d"
+  "/root/repo/tests/test_mapper.cc" "tests/CMakeFiles/stitch_tests.dir/test_mapper.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_mapper.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/stitch_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_micro_locus.cc" "tests/CMakeFiles/stitch_tests.dir/test_micro_locus.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_micro_locus.cc.o.d"
+  "/root/repo/tests/test_noc.cc" "tests/CMakeFiles/stitch_tests.dir/test_noc.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_noc.cc.o.d"
+  "/root/repo/tests/test_patch.cc" "tests/CMakeFiles/stitch_tests.dir/test_patch.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_patch.cc.o.d"
+  "/root/repo/tests/test_power.cc" "tests/CMakeFiles/stitch_tests.dir/test_power.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_power.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/stitch_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_rewriter.cc" "tests/CMakeFiles/stitch_tests.dir/test_rewriter.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_rewriter.cc.o.d"
+  "/root/repo/tests/test_snoc.cc" "tests/CMakeFiles/stitch_tests.dir/test_snoc.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_snoc.cc.o.d"
+  "/root/repo/tests/test_stitcher.cc" "tests/CMakeFiles/stitch_tests.dir/test_stitcher.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_stitcher.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/stitch_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_timing_area.cc" "tests/CMakeFiles/stitch_tests.dir/test_timing_area.cc.o" "gcc" "tests/CMakeFiles/stitch_tests.dir/test_timing_area.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/stitch_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/stitch_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/stitch_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/stitch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/stitch_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/stitch_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/stitch_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/stitch_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/stitch_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stitch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stitch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

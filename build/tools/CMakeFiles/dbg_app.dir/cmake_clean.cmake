@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbg_app.dir/dbg_app.cc.o"
+  "CMakeFiles/dbg_app.dir/dbg_app.cc.o.d"
+  "dbg_app"
+  "dbg_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbg_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

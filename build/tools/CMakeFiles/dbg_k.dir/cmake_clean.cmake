@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbg_k.dir/dbg_k.cc.o"
+  "CMakeFiles/dbg_k.dir/dbg_k.cc.o.d"
+  "dbg_k"
+  "dbg_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbg_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

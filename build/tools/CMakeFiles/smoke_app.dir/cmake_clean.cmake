@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoke_app.dir/smoke_app.cc.o"
+  "CMakeFiles/smoke_app.dir/smoke_app.cc.o.d"
+  "smoke_app"
+  "smoke_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoke_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stitchc.dir/stitchc.cc.o"
+  "CMakeFiles/stitchc.dir/stitchc.cc.o.d"
+  "stitchc"
+  "stitchc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stitchc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
