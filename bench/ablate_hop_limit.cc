@@ -14,9 +14,9 @@ using namespace stitch::bench;
 using core::PatchKind;
 
 int
-main()
+main(int argc, char **argv)
 {
-    detail::setInformEnabled(false);
+    bench::initObs(argc, argv);
     printHeader("Ablation A1",
                 "fusion hop budget vs clock and reachability");
 

@@ -38,9 +38,9 @@ mixArch(int ma, int as, int sa)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    detail::setInformEnabled(false);
+    bench::initObs(argc, argv);
     printHeader("Ablation A2", "patch-mix sweep (Stitch mode)");
 
     struct Mix

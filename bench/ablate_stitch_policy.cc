@@ -12,9 +12,9 @@ using namespace stitch;
 using namespace stitch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    detail::setInformEnabled(false);
+    bench::initObs(argc, argv);
     printHeader("Ablation A4",
                 "stitching policy: Algorithm-1 greedy vs "
                 "singles-only vs auto");

@@ -15,16 +15,58 @@
 #define STITCH_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 
 #include "apps/app_runner.hh"
 #include "common/table.hh"
 #include "kernels/catalog.hh"
+#include "obs/cli.hh"
 #include "power/power_model.hh"
+#include "sim/report.hh"
 
 namespace stitch::bench
 {
+
+/** Observability switches shared by every bench invocation. */
+inline obs::CliOptions &
+obsFlags()
+{
+    static obs::CliOptions flags;
+    return flags;
+}
+
+/** Write the --report/--stats artifacts describing app run `res`. */
+inline void
+writeObsArtifacts(const apps::AppRunResult &res)
+{
+    const auto &flags = obsFlags();
+    if (!flags.reportPath.empty()) {
+        auto doc = sim::runReport(res.stats);
+        if (!res.statsDump.isNull())
+            doc.set("stats", res.statsDump);
+        obs::writeJsonFile(flags.reportPath, doc);
+    }
+    if (!flags.statsPath.empty())
+        obs::writeJsonFile(flags.statsPath, res.statsDump);
+}
+
+/**
+ * First call of every bench main(): pick up the observability
+ * switches (--trace/--report/--stats/--verbose; other args are
+ * ignored) and apply them. inform() is silent unless --verbose, so
+ * benches no longer hand-disable status output. The report/stats
+ * files describe the last application run the bench performed.
+ */
+inline void
+initObs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        obsFlags().parse(argv[i]);
+    obsFlags().begin();
+    std::atexit([] { obsFlags().end(); });
+}
 
 /** Kernel list of the Fig. 11 study, in display order. */
 inline const std::vector<std::string> &
@@ -73,8 +115,10 @@ appResult(const apps::AppSpec &app, apps::AppMode mode)
     std::string key =
         app.name + "/" + apps::appModeName(mode);
     auto it = cache.find(key);
-    if (it == cache.end())
+    if (it == cache.end()) {
         it = cache.emplace(key, appRunner().run(app, mode)).first;
+        writeObsArtifacts(it->second);
+    }
     return it->second;
 }
 

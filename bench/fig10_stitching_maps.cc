@@ -12,9 +12,9 @@ using namespace stitch;
 using namespace stitch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    detail::setInformEnabled(false);
+    bench::initObs(argc, argv);
     printHeader("Figure 10", "patch stitching per application");
 
     auto arch = core::StitchArch::standard();

@@ -14,9 +14,9 @@ using namespace stitch;
 using namespace stitch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    detail::setInformEnabled(false);
+    bench::initObs(argc, argv);
     printHeader("Figure 11",
                 "normalized kernel speedup vs software-only");
 

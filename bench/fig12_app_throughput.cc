@@ -15,9 +15,9 @@ using namespace stitch;
 using namespace stitch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    detail::setInformEnabled(false);
+    bench::initObs(argc, argv);
     printHeader("Figure 12",
                 "application throughput vs the 16-core baseline");
 

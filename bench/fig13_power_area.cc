@@ -12,9 +12,9 @@ using namespace stitch;
 using namespace stitch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    detail::setInformEnabled(false);
+    bench::initObs(argc, argv);
     printHeader("Figure 13", "power and area breakdown");
 
     std::printf("\nPower at 200 MHz (total %.1f mW):\n",

@@ -16,9 +16,9 @@ using namespace stitch;
 using namespace stitch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    detail::setInformEnabled(false);
+    bench::initObs(argc, argv);
     printHeader("Figure 15",
                 "Stitch vs quad Cortex-A7 (state-of-the-art "
                 "wearables)");

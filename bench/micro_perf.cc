@@ -116,7 +116,6 @@ BENCHMARK(BM_SnocFusionRouting)->Unit(benchmark::kMicrosecond);
 void
 BM_SystemSimulation(benchmark::State &state)
 {
-    stitch::detail::setInformEnabled(false);
     apps::AppRunner runner(2, 4);
     auto app = apps::app3SvmEncrypt();
     // Warm the compile cache outside the timed region.

@@ -13,9 +13,9 @@ using namespace stitch;
 using namespace stitch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    detail::setInformEnabled(false);
+    bench::initObs(argc, argv);
     printHeader("Section III-A", "operation-chain mining (LCS)");
 
     std::vector<compiler::KernelChains> inputs;

@@ -98,9 +98,9 @@ runWith(const isa::Program &prog, bool spmConfig)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    detail::setInformEnabled(false);
+    bench::initObs(argc, argv);
     printHeader("Section III-C",
                 "4 KB D$ + 4 KB SPM vs 8 KB D$ (software only)");
 

@@ -18,9 +18,9 @@ using namespace stitch;
 using namespace stitch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    detail::setInformEnabled(false);
+    bench::initObs(argc, argv);
     printHeader("Table I",
                 "gesture recognition across architectures (APP1)");
 

@@ -9,9 +9,9 @@ using namespace stitch;
 using namespace stitch::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    detail::setInformEnabled(false);
+    bench::initObs(argc, argv);
     printHeader("Table III", "accelerator area cost");
 
     auto arch = core::StitchArch::standard();

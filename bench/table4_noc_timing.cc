@@ -13,9 +13,9 @@ using namespace stitch::bench;
 using core::PatchKind;
 
 int
-main()
+main(int argc, char **argv)
 {
-    detail::setInformEnabled(false);
+    bench::initObs(argc, argv);
     printHeader("Table IV", "component delay and area (40 nm)");
 
     TextTable table({"component", "delay ns", "area um^2"});

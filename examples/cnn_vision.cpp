@@ -19,7 +19,6 @@ using namespace stitch;
 int
 main()
 {
-    detail::setInformEnabled(false);
     auto app = apps::app2Cnn();
     apps::AppRunner runner(4, 12);
 

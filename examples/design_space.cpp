@@ -21,7 +21,6 @@ using core::PatchKind;
 int
 main()
 {
-    detail::setInformEnabled(false);
 
     // ---- 1. A custom floorplan: shift-heavy corners, MA spine.
     core::StitchArch custom{{

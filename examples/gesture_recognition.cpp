@@ -17,7 +17,6 @@ using namespace stitch;
 int
 main()
 {
-    detail::setInformEnabled(false);
     std::printf("Building and compiling the gesture pipeline "
                 "(FIR -> 6x FFT -> update -> filter -> 6x IFFT -> "
                 "SVM)...\n\n");

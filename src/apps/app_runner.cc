@@ -154,7 +154,8 @@ AppRunner::run(const AppSpec &app, AppMode mode)
 
     // Simulate a short and a long run; the marginal cost of the
     // extra samples is the steady-state throughput.
-    auto simulate = [&](int nSamples) -> sim::RunStats {
+    auto simulate = [&](int nSamples,
+                        obs::Json *statsOut) -> sim::RunStats {
         sim::System system(sysParams);
         if (result.hasPlan)
             system.configureSnoc(result.plan.snoc);
@@ -195,11 +196,14 @@ AppRunner::run(const AppSpec &app, AppMode mode)
                             kernels::commSamplesAddr,
                             static_cast<Word>(nSamples));
 
-        return system.run();
+        auto stats = system.run();
+        if (statsOut)
+            *statsOut = system.registry().toJson(/*skipZero=*/true);
+        return stats;
     };
 
-    sim::RunStats shortRun = simulate(samplesShort_);
-    result.stats = simulate(samplesLong_);
+    sim::RunStats shortRun = simulate(samplesShort_, nullptr);
+    result.stats = simulate(samplesLong_, &result.statsDump);
     result.marginalCycles =
         static_cast<double>(result.stats.makespan -
                             shortRun.makespan) /

@@ -19,6 +19,7 @@
 #include "apps/apps.hh"
 #include "compiler/stitcher.hh"
 #include "kernels/catalog.hh"
+#include "obs/json.hh"
 #include "sim/system.hh"
 
 namespace stitch::apps
@@ -52,6 +53,13 @@ struct AppRunResult
 
     bool hasPlan = false;
     compiler::StitchPlan plan; ///< valid for the Stitch modes
+
+    /**
+     * The long run's stats-registry tree (zero counters omitted),
+     * captured before the System is torn down so harnesses can embed
+     * it in reports (sim/report.hh).
+     */
+    obs::Json statsDump;
 };
 
 /** Compiles, stitches, places, and simulates applications. */

@@ -10,7 +10,7 @@ namespace detail
 
 namespace
 {
-bool informOn = true;
+Verbosity level = Verbosity::Silent;
 } // namespace
 
 void
@@ -33,16 +33,16 @@ informImpl(const std::string &msg)
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 
-void
-setInformEnabled(bool enabled)
+Verbosity
+verbosity()
 {
-    informOn = enabled;
+    return level;
 }
 
-bool
-informEnabled()
+void
+setVerbosity(Verbosity v)
 {
-    return informOn;
+    level = v;
 }
 
 } // namespace detail

@@ -8,7 +8,9 @@
  * panic()  — an internal invariant was violated (a simulator bug);
  *            aborts the process.
  * warn()   — something is suspicious but the simulation continues.
- * inform() — plain status output.
+ * inform() — plain status output, gated on the process verbosity
+ *            level (silent by default; tools raise it with
+ *            --verbose, see obs::Registry::setVerbosity).
  */
 
 #ifndef STITCH_COMMON_LOGGING_HH
@@ -20,6 +22,18 @@
 
 namespace stitch
 {
+
+/**
+ * Process-wide status-output level. Silent is the default: library
+ * code stays quiet unless a harness opts into status chatter, so
+ * benches and tools no longer disable inform() by hand.
+ */
+enum class Verbosity
+{
+    Silent = 0, ///< warnings and errors only
+    Info = 1,   ///< inform() status lines
+    Debug = 2,  ///< reserved for future debug chatter
+};
 
 /** Exception thrown by fatal(): a user-correctable error. */
 class FatalError : public std::runtime_error
@@ -48,9 +62,9 @@ formatMessage(Args &&...args)
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
-/** Enable/disable inform() output (benches silence it). */
-void setInformEnabled(bool enabled);
-bool informEnabled();
+/** Current / new process verbosity (exposed via obs::Registry). */
+Verbosity verbosity();
+void setVerbosity(Verbosity v);
 
 } // namespace detail
 
@@ -70,12 +84,12 @@ warn(Args &&...args)
     detail::warnImpl(detail::formatMessage(std::forward<Args>(args)...));
 }
 
-/** Report status on stdout (suppressible). */
+/** Report status on stdout (emitted at Verbosity::Info and above). */
 template <typename... Args>
 void
 inform(Args &&...args)
 {
-    if (detail::informEnabled())
+    if (detail::verbosity() >= Verbosity::Info)
         detail::informImpl(detail::formatMessage(std::forward<Args>(args)...));
 }
 

@@ -14,13 +14,32 @@
 namespace stitch
 {
 
+/** One named statistic's storage; obtained via StatGroup::counter(). */
+using Counter = std::uint64_t;
+
 /**
  * A bag of named 64-bit counters. Components own one and expose it via
- * a stats() accessor; harnesses aggregate and print them.
+ * a stats() accessor; harnesses aggregate and print them (usually
+ * through an obs::Registry).
+ *
+ * Hot paths should not pay a string lookup per increment: fetch a
+ * Counter& handle once (construction time) with counter() and bump it
+ * directly. Handles stay valid for the StatGroup's lifetime — the
+ * backing map is node-based, and reset() zeroes values in place.
  */
 class StatGroup
 {
   public:
+    /**
+     * Stable reference to counter `name`, created at zero if absent.
+     * Cache the reference; increments through it are a single add.
+     */
+    Counter &
+    counter(const std::string &name)
+    {
+        return counters_[name];
+    }
+
     /** Add delta to counter `name`, creating it at zero if absent. */
     void
     inc(const std::string &name, std::uint64_t delta = 1)

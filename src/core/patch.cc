@@ -122,6 +122,8 @@ executeCustom(const FusedConfig &cfg, const std::array<Word, 4> &in,
     CustResult out;
     PatchResult local = patchExecute(cfg.localKind, cfg.local, in,
                                      localSpm);
+    out.spmLoads += local.didLoad ? 1 : 0;
+    out.spmStores += local.didStore ? 1 : 0;
 
     if (!cfg.usesRemote) {
         switch (cfg.local.outCfg) {
@@ -147,10 +149,13 @@ executeCustom(const FusedConfig &cfg, const std::array<Word, 4> &in,
 
     STITCH_ASSERT(remoteSpm,
                   "fused execution requires the remote tile's SPM port");
+    out.usedRemote = true;
     Word forward = local.primary(cfg.local.outCfg);
     std::array<Word, 4> remoteIn = {forward, in[1], in[2], in[3]};
     PatchResult remote = patchExecute(cfg.remoteKind, cfg.remote,
                                       remoteIn, *remoteSpm);
+    out.spmLoads += remote.didLoad ? 1 : 0;
+    out.spmStores += remote.didStore ? 1 : 0;
 
     switch (cfg.remote.outCfg) {
       case OutCfg::None:

@@ -72,6 +72,13 @@ struct CustResult
     Word rd1 = 0;
     bool writeRd0 = false;
     bool writeRd1 = false;
+
+    // Datapath activity of this execution, reported so the system
+    // level can aggregate patch/sNoC counters and power activity
+    // without re-decoding the configuration.
+    bool usedRemote = false; ///< operands crossed the sNoC
+    std::uint8_t spmLoads = 0;  ///< LMAU loads performed (0..2)
+    std::uint8_t spmStores = 0; ///< LMAU stores performed (0..2)
 };
 
 /**

@@ -227,6 +227,30 @@ SnocConfig::addFusion(TileId local, PatchKind localKind, TileId remote,
     return std::nullopt;
 }
 
+const SnocPath *
+SnocConfig::findPath(TileId from, SnocPort entry, TileId to,
+                     SnocPort exit) const
+{
+    for (const auto &path : paths_) {
+        if (path.from == from && path.entry == entry &&
+            path.to == to && path.exit == exit)
+            return &path;
+    }
+    return nullptr;
+}
+
+int
+SnocConfig::fusionHops(TileId local, TileId remote) const
+{
+    const SnocPath *forward =
+        findPath(local, SnocPort::Patch, remote, SnocPort::Patch);
+    const SnocPath *back =
+        findPath(remote, SnocPort::Patch, local, SnocPort::Reg);
+    if (!forward || !back)
+        return 0;
+    return forward->hops() + back->hops();
+}
+
 std::array<std::uint32_t, numTiles>
 SnocConfig::packRegisters() const
 {

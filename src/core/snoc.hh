@@ -154,6 +154,21 @@ class SnocConfig
 
     const std::vector<SnocPath> &paths() const { return paths_; }
 
+    /**
+     * The registered path from `from`'s `entry` to `to`'s `exit`, or
+     * null. Used by the observability layer to attribute fused-CUST
+     * sNoC hops at simulation time.
+     */
+    const SnocPath *findPath(TileId from, SnocPort entry, TileId to,
+                             SnocPort exit) const;
+
+    /**
+     * Round-trip hop count of the fusion routed between `local` and
+     * `remote` (forward Patch→Patch plus return Patch→Reg), or 0 when
+     * no such fusion is registered.
+     */
+    int fusionHops(TileId local, TileId remote) const;
+
     /** All 16 packed configuration-register values. */
     std::array<std::uint32_t, numTiles> packRegisters() const;
 

@@ -2,17 +2,48 @@
 
 #include "common/logging.hh"
 #include "mem/addrmap.hh"
+#include "obs/trace.hh"
 
 namespace stitch::cpu
 {
 
 using isa::Instr;
 using isa::Opcode;
+using obs::Tracer;
 
 Core::Core(TileId id, mem::TileMemory &memory, CustomHandler *custom,
            MessageHub *hub)
-    : id_(id), mem_(memory), custom_(custom), hub_(hub)
+    : id_(id), mem_(memory), custom_(custom), hub_(hub),
+      instrCount_(stats_.counter("instructions")),
+      imissStall_(stats_.counter("imiss_stall_cycles")),
+      dmissStall_(stats_.counter("dmiss_stall_cycles")),
+      recvWait_(stats_.counter("recv_wait_cycles"))
 {
+    mem_.setTraceTile(id);
+}
+
+void
+Core::traceFlushExec(Cycles upTo)
+{
+    if (upTo > execStart_)
+        Tracer::instance().slice(Tracer::pidTiles, id_, "exec",
+                                 execStart_, upTo);
+    execStart_ = upTo;
+}
+
+void
+Core::chargeStall(Cycles cycles, Counter &bucket, const char *label)
+{
+    if (cycles == 0)
+        return;
+    bucket += cycles;
+    if (Tracer::enabled()) {
+        traceFlushExec(time_);
+        Tracer::instance().slice(Tracer::pidTiles, id_, label, time_,
+                                 time_ + cycles);
+        execStart_ = time_ + cycles;
+    }
+    time_ += cycles;
 }
 
 void
@@ -41,10 +72,16 @@ Core::loadProgram(const isa::Program &prog)
     }
 
     mem_.flushCaches();
+    // Stats describe one program's run: a reload (e.g. after the
+    // crossbar-preset stub) must not leak its counters into the next
+    // run's report. Handles stay valid; values zero in place.
+    stats_.reset();
+    mem_.resetStats();
     regs_.fill(0);
     pc_ = 0;
     time_ = 0;
     retired_ = 0;
+    execStart_ = 0;
     halted_ = prog_.code().empty();
 }
 
@@ -83,7 +120,7 @@ Core::step()
     if (result == StepResult::Ok || result == StepResult::Halted) {
         ++retired_;
         ++execCounts_[static_cast<std::size_t>(idx)];
-        stats_.inc("instructions");
+        ++instrCount_;
     }
     return result;
 }
@@ -96,7 +133,8 @@ Core::execute(const Instr &in)
 
     // Fetch: the base cycle, plus I-cache miss stalls.
     time_ += 1;
-    time_ += mem_.fetch(thisPc, in.wordSize());
+    chargeStall(mem_.fetch(thisPc, in.wordSize(), time_), imissStall_,
+                "stall imiss");
 
     auto rs = [&](RegId r) {
         return regs_[static_cast<std::size_t>(r)];
@@ -110,6 +148,8 @@ Core::execute(const Instr &in)
         break;
       case Opcode::Halt:
         halted_ = true;
+        if (Tracer::enabled())
+            traceFlushExec(time_);
         return StepResult::Halted;
 
       case Opcode::Add: setReg(in.rd0, rs(in.rs0) + rs(in.rs1)); break;
@@ -169,16 +209,16 @@ Core::execute(const Instr &in)
         break;
 
       case Opcode::Lw: {
-        auto res = mem_.loadWord(rs(in.rs0) + simm());
+        auto res = mem_.loadWord(rs(in.rs0) + simm(), time_);
         setReg(in.rd0, res.value);
-        time_ += res.extraCycles;
+        chargeStall(res.extraCycles, dmissStall_, "stall dmem");
         stats_.inc("loads");
         break;
       }
       case Opcode::Lb: {
-        auto res = mem_.loadByte(rs(in.rs0) + simm());
+        auto res = mem_.loadByte(rs(in.rs0) + simm(), time_);
         setReg(in.rd0, res.value);
-        time_ += res.extraCycles;
+        chargeStall(res.extraCycles, dmissStall_, "stall dmem");
         stats_.inc("loads");
         break;
       }
@@ -188,13 +228,17 @@ Core::execute(const Instr &in)
             xbarReg_ = rs(in.rs1);
             break;
         }
-        time_ += mem_.storeWord(a, rs(in.rs1));
+        chargeStall(mem_.storeWord(a, rs(in.rs1), time_), dmissStall_,
+                    "stall dmem");
         stats_.inc("stores");
         break;
       }
       case Opcode::Sb:
-        time_ += mem_.storeByte(rs(in.rs0) + simm(),
-                                static_cast<std::uint8_t>(rs(in.rs1)));
+        chargeStall(mem_.storeByte(rs(in.rs0) + simm(),
+                                   static_cast<std::uint8_t>(
+                                       rs(in.rs1)),
+                                   time_),
+                    dmissStall_, "stall dmem");
         stats_.inc("stores");
         break;
 
@@ -240,6 +284,11 @@ Core::execute(const Instr &in)
         if (!hub_)
             fatal("SEND executed on a core without a message hub");
         auto dst = static_cast<TileId>(rs(in.rs1));
+        if (Tracer::enabled())
+            Tracer::instance().instant(
+                Tracer::pidTiles, id_, "SEND", time_,
+                {{"dst", static_cast<std::uint64_t>(dst)},
+                 {"tag", static_cast<std::uint64_t>(in.imm)}});
         time_ += hub_->send(id_, dst, in.imm, rs(in.rs0), time_);
         stats_.inc("msgs_sent");
         break;
@@ -257,8 +306,24 @@ Core::execute(const Instr &in)
             return StepResult::Blocked;
         }
         setReg(in.rd0, msg->first);
-        if (msg->second > time_)
-            time_ = msg->second;
+        if (msg->second > time_) {
+            Cycles arrival = msg->second;
+            recvWait_ += arrival - time_;
+            if (Tracer::enabled()) {
+                traceFlushExec(time_);
+                Tracer::instance().slice(
+                    Tracer::pidTiles, id_, "wait recv", time_, arrival,
+                    {{"src", static_cast<std::uint64_t>(src)},
+                     {"tag", static_cast<std::uint64_t>(in.imm)}});
+                execStart_ = arrival;
+            }
+            time_ = arrival;
+        }
+        if (Tracer::enabled())
+            Tracer::instance().instant(
+                Tracer::pidTiles, id_, "RECV", time_,
+                {{"src", static_cast<std::uint64_t>(src)},
+                 {"tag", static_cast<std::uint64_t>(in.imm)}});
         stats_.inc("msgs_received");
         break;
       }
@@ -269,6 +334,10 @@ Core::execute(const Instr &in)
         if (in.cfg >= prog_.iseTable().size())
             fatal("CUST cfg index ", in.cfg, " outside ISE table of ",
                   prog_.name());
+        if (Tracer::enabled())
+            Tracer::instance().instant(
+                Tracer::pidTiles, id_, "CUST", time_,
+                {{"cfg", static_cast<std::uint64_t>(in.cfg)}});
         std::array<Word, 4> operands = {rs(in.rs0), rs(in.rs1),
                                         rs(in.rs2), rs(in.rs3)};
         auto res = custom_->executeCustom(

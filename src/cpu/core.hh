@@ -136,6 +136,17 @@ class Core
     StepResult execute(const isa::Instr &in);
     void branchTo(std::int32_t targetWord);
 
+    /**
+     * Tracing: close the running coalesced "exec" slice at `upTo` and
+     * start the next one there. Adjacent instructions merge into one
+     * slice; stalls and waits split it.
+     */
+    void traceFlushExec(Cycles upTo);
+
+    /** Account (and trace) a stall of `cycles` starting now. */
+    void chargeStall(Cycles cycles, Counter &bucket,
+                     const char *label);
+
     TileId id_;
     mem::TileMemory &mem_;
     CustomHandler *custom_;
@@ -153,6 +164,15 @@ class Core
     std::uint32_t xbarReg_ = 0;
 
     StatGroup stats_;
+
+    // Cached counter handles (per-instruction hot path; see
+    // StatGroup::counter). Declared after stats_: they bind to it.
+    Counter &instrCount_;
+    Counter &imissStall_;
+    Counter &dmissStall_;
+    Counter &recvWait_;
+
+    Cycles execStart_ = 0; ///< begin of the open traced exec slice
 };
 
 } // namespace stitch::cpu

@@ -1,12 +1,19 @@
 #include "mem/cache.hh"
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace stitch::mem
 {
 
 Cache::Cache(const CacheParams &params)
-    : params_(params)
+    : params_(params),
+      reads_(stats_.counter("reads")),
+      writes_(stats_.counter("writes")),
+      hits_(stats_.counter("hits")),
+      misses_(stats_.counter("misses")),
+      refills_(stats_.counter("refills")),
+      writebacks_(stats_.counter("writebacks"))
 {
     STITCH_ASSERT(params.blockBytes > 0 &&
                   (params.blockBytes & (params.blockBytes - 1)) == 0,
@@ -34,14 +41,14 @@ Cache::tagOf(Addr a) const
 }
 
 CacheAccessResult
-Cache::access(Addr a, bool isWrite)
+Cache::access(Addr a, bool isWrite, Cycles now)
 {
     ++useClock_;
     std::uint32_t set = setOf(a);
     Addr tag = tagOf(a);
     Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
 
-    stats_.inc(isWrite ? "writes" : "reads");
+    ++(isWrite ? writes_ : reads_);
 
     // Hit path.
     for (std::uint32_t way = 0; way < params_.assoc; ++way) {
@@ -49,14 +56,14 @@ Cache::access(Addr a, bool isWrite)
         if (line.valid && line.tag == tag) {
             line.lastUse = useClock_;
             line.dirty = line.dirty || isWrite;
-            stats_.inc("hits");
+            ++hits_;
             return CacheAccessResult{true, false};
         }
     }
 
     // Miss: fill an invalid way if one exists, else the LRU way
     // (write-allocate).
-    stats_.inc("misses");
+    ++misses_;
     Line *victim = nullptr;
     for (std::uint32_t way = 0; way < params_.assoc; ++way) {
         Line &line = base[way];
@@ -69,13 +76,32 @@ Cache::access(Addr a, bool isWrite)
     }
 
     bool writeback = victim->valid && victim->dirty;
+    if (victim->valid)
+        ++refills_;
     if (writeback)
-        stats_.inc("writebacks");
+        ++writebacks_;
+    if (obs::Tracer::enabled() && traceTile_ >= 0) {
+        auto &tracer = obs::Tracer::instance();
+        tracer.instant(obs::Tracer::pidTiles, traceTile_,
+                       traceMiss_.c_str(), now, {{"addr", a}});
+        if (writeback)
+            tracer.instant(obs::Tracer::pidTiles, traceTile_,
+                           traceWriteback_.c_str(), now,
+                           {{"addr", a}});
+    }
     victim->valid = true;
     victim->dirty = isWrite;
     victim->tag = tag;
     victim->lastUse = useClock_;
     return CacheAccessResult{false, writeback};
+}
+
+void
+Cache::setTraceContext(int tile, const char *name)
+{
+    traceTile_ = tile;
+    traceMiss_ = std::string(name) + " miss";
+    traceWriteback_ = std::string(name) + " writeback";
 }
 
 bool

@@ -12,6 +12,7 @@
 #define STITCH_MEM_CACHE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
@@ -44,8 +45,19 @@ class Cache
   public:
     explicit Cache(const CacheParams &params);
 
-    /** Probe and update state for an access. */
-    CacheAccessResult access(Addr a, bool isWrite);
+    /**
+     * Probe and update state for an access. `now` is the accessing
+     * core's local time; it timestamps miss/refill trace events and
+     * may be zero when no one is tracing (standalone tools).
+     */
+    CacheAccessResult access(Addr a, bool isWrite, Cycles now = 0);
+
+    /**
+     * Attach this cache to a tile's trace track. `name` ("icache",
+     * "dcache") labels the emitted miss events; untagged caches never
+     * trace.
+     */
+    void setTraceContext(int tile, const char *name);
 
     /** True if `a` currently hits without changing state. */
     bool probe(Addr a) const;
@@ -75,6 +87,19 @@ class Cache
     std::vector<Line> lines_;    ///< numSets_ x assoc, row major
     std::uint64_t useClock_ = 0;
     StatGroup stats_;
+
+    // Cached counter handles: access() runs per load/store, so it
+    // must not pay a map lookup per event (see StatGroup::counter).
+    Counter &reads_;
+    Counter &writes_;
+    Counter &hits_;
+    Counter &misses_;
+    Counter &refills_;
+    Counter &writebacks_;
+
+    int traceTile_ = -1; ///< tile track for miss events; -1 = off
+    std::string traceMiss_;
+    std::string traceWriteback_;
 };
 
 } // namespace stitch::mem

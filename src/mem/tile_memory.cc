@@ -9,14 +9,23 @@ TileMemory::TileMemory(const MemParams &params)
     : params_(params),
       icache_(params.icache),
       dcache_(params.dcache),
-      spm_(params.hasSpm ? spmSize : 0, 0)
+      spm_(params.hasSpm ? spmSize : 0, 0),
+      spmReads_(stats_.counter("spm_reads")),
+      spmWrites_(stats_.counter("spm_writes"))
 {
 }
 
-Cycles
-TileMemory::dcacheAccess(Addr a, bool isWrite)
+void
+TileMemory::setTraceTile(int tile)
 {
-    auto res = dcache_.access(a, isWrite);
+    icache_.setTraceContext(tile, "icache");
+    dcache_.setTraceContext(tile, "dcache");
+}
+
+Cycles
+TileMemory::dcacheAccess(Addr a, bool isWrite, Cycles now)
+{
+    auto res = dcache_.access(a, isWrite, now);
     Cycles extra = 0;
     if (!res.hit)
         extra += params_.dramCycles;
@@ -41,25 +50,25 @@ TileMemory::spmBytePtr(Addr a) const
 }
 
 MemResult
-TileMemory::loadWord(Addr a)
+TileMemory::loadWord(Addr a, Cycles now)
 {
     if (isSpmAddr(a)) {
-        stats_.inc("spm_reads");
+        ++spmReads_;
         // SPM is 1-cycle, which is the base instruction cycle: no
         // extra stall beyond it (spmCycles - 1).
         return MemResult{spmLoadWord(a), params_.spmCycles - 1};
     }
     if (!isDramAddr(a))
         fatal("load from unmapped address ", a);
-    Cycles extra = dcacheAccess(a, false);
+    Cycles extra = dcacheAccess(a, false, now);
     return MemResult{dram_.readWord(a), extra};
 }
 
 MemResult
-TileMemory::loadByte(Addr a)
+TileMemory::loadByte(Addr a, Cycles now)
 {
     if (isSpmAddr(a)) {
-        stats_.inc("spm_reads");
+        ++spmReads_;
         const std::uint8_t *p = &spm_[a - spmBase];
         auto v = static_cast<Word>(
             static_cast<std::int32_t>(static_cast<std::int8_t>(*p)));
@@ -67,44 +76,44 @@ TileMemory::loadByte(Addr a)
     }
     if (!isDramAddr(a))
         fatal("load from unmapped address ", a);
-    Cycles extra = dcacheAccess(a, false);
+    Cycles extra = dcacheAccess(a, false, now);
     auto v = static_cast<Word>(static_cast<std::int32_t>(
         static_cast<std::int8_t>(dram_.readByte(a))));
     return MemResult{v, extra};
 }
 
 Cycles
-TileMemory::storeWord(Addr a, Word v)
+TileMemory::storeWord(Addr a, Word v, Cycles now)
 {
     if (isSpmAddr(a)) {
-        stats_.inc("spm_writes");
+        ++spmWrites_;
         spmStoreWord(a, v);
         return params_.spmCycles - 1;
     }
     if (!isDramAddr(a))
         fatal("store to unmapped address ", a);
-    Cycles extra = dcacheAccess(a, true);
+    Cycles extra = dcacheAccess(a, true, now);
     dram_.writeWord(a, v);
     return extra;
 }
 
 Cycles
-TileMemory::storeByte(Addr a, std::uint8_t v)
+TileMemory::storeByte(Addr a, std::uint8_t v, Cycles now)
 {
     if (isSpmAddr(a)) {
-        stats_.inc("spm_writes");
+        ++spmWrites_;
         spm_[a - spmBase] = v;
         return params_.spmCycles - 1;
     }
     if (!isDramAddr(a))
         fatal("store to unmapped address ", a);
-    Cycles extra = dcacheAccess(a, true);
+    Cycles extra = dcacheAccess(a, true, now);
     dram_.writeByte(a, v);
     return extra;
 }
 
 Cycles
-TileMemory::fetch(Addr wa, int words)
+TileMemory::fetch(Addr wa, int words, Cycles now)
 {
     Cycles extra = 0;
     Addr first = codeBase + wa * 4;
@@ -112,7 +121,7 @@ TileMemory::fetch(Addr wa, int words)
     Addr block = params_.icache.blockBytes;
     // One access per block touched (a two-word CUST can straddle).
     for (Addr a = first / block * block; a <= last; a += block) {
-        auto res = icache_.access(a, false);
+        auto res = icache_.access(a, false, now);
         if (!res.hit)
             extra += params_.dramCycles;
     }
@@ -155,6 +164,14 @@ TileMemory::flushCaches()
 {
     icache_.flush();
     dcache_.flush();
+}
+
+void
+TileMemory::resetStats()
+{
+    stats_.reset();
+    icache_.stats().reset();
+    dcache_.stats().reset();
 }
 
 } // namespace stitch::mem

@@ -48,17 +48,24 @@ class TileMemory
   public:
     explicit TileMemory(const MemParams &params = MemParams{});
 
-    /** Data-side accesses (loads charge latency, return data). */
-    MemResult loadWord(Addr a);
-    MemResult loadByte(Addr a);          ///< sign-extended
-    Cycles storeWord(Addr a, Word v);
-    Cycles storeByte(Addr a, std::uint8_t v);
+    /**
+     * Data-side accesses (loads charge latency, return data). `now`
+     * is the accessing core's local time, used only to timestamp
+     * cache trace events; callers without a clock may omit it.
+     */
+    MemResult loadWord(Addr a, Cycles now = 0);
+    MemResult loadByte(Addr a, Cycles now = 0); ///< sign-extended
+    Cycles storeWord(Addr a, Word v, Cycles now = 0);
+    Cycles storeByte(Addr a, std::uint8_t v, Cycles now = 0);
 
     /**
      * Instruction-side access: charge the I-cache for fetching
      * `words` instruction words starting at word address `wa`.
      */
-    Cycles fetch(Addr wa, int words);
+    Cycles fetch(Addr wa, int words, Cycles now = 0);
+
+    /** Tag this memory's caches with their tile's trace track. */
+    void setTraceTile(int tile);
 
     /** Zero-latency SPM port used by the patch LMAU (Section III-C). */
     Word spmLoadWord(Addr a) const;
@@ -75,13 +82,16 @@ class TileMemory
     /** Reset caches (fresh program run); memory contents persist. */
     void flushCaches();
 
+    /** Zero this memory's and both caches' counters (fresh run). */
+    void resetStats();
+
     const MemParams &params() const { return params_; }
     Cache &icache() { return icache_; }
     Cache &dcache() { return dcache_; }
     StatGroup &stats() { return stats_; }
 
   private:
-    Cycles dcacheAccess(Addr a, bool isWrite);
+    Cycles dcacheAccess(Addr a, bool isWrite, Cycles now);
     std::uint8_t *spmBytePtr(Addr a);
     const std::uint8_t *spmBytePtr(Addr a) const;
 
@@ -91,6 +101,8 @@ class TileMemory
     Cache dcache_;
     std::vector<std::uint8_t> spm_;
     StatGroup stats_;
+    Counter &spmReads_;  ///< cached handles; see StatGroup::counter
+    Counter &spmWrites_;
 };
 
 } // namespace stitch::mem

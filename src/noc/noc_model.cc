@@ -1,15 +1,28 @@
 #include "noc/noc_model.hh"
 
 #include "common/logging.hh"
+#include "common/table.hh"
+#include "obs/trace.hh"
 
 namespace stitch::noc
 {
 
 NocModel::NocModel(const NocParams &params)
     : params_(params),
-      linkFree_(static_cast<std::size_t>(numTiles) * 4, 0),
-      rxQueues_(static_cast<std::size_t>(numTiles))
+      linkFree_(static_cast<std::size_t>(numLinks), 0),
+      linkBusy_(static_cast<std::size_t>(numLinks), 0),
+      rxQueues_(static_cast<std::size_t>(numTiles)),
+      packets_(stats_.counter("packets")),
+      delivered_(stats_.counter("delivered")),
+      linkStalls_(stats_.counter("link_stall_cycles"))
 {
+}
+
+std::string
+NocModel::linkName(int link)
+{
+    static const char *dirs[] = {"N", "E", "S", "W"};
+    return strformat("t%d%s", link / 4, dirs[link % 4]);
 }
 
 int
@@ -61,7 +74,7 @@ NocModel::send(TileId src, TileId dst, int tag, Word value, Cycles now)
     STITCH_ASSERT(src >= 0 && src < numTiles, "bad source tile ", src);
     if (dst < 0 || dst >= numTiles)
         fatal("SEND to invalid tile ", dst);
-    stats_.inc("packets");
+    ++packets_;
 
     Cycles head = now + params_.nicInject;
     if (src != dst) {
@@ -71,15 +84,28 @@ NocModel::send(TileId src, TileId dst, int tag, Word value, Cycles now)
             Cycles start = head;
             auto &freeAt = linkFree_[static_cast<std::size_t>(link)];
             if (freeAt > start) {
-                stats_.inc("link_stall_cycles", freeAt - start);
+                linkStalls_ += freeAt - start;
                 start = freeAt;
             }
             freeAt = start + static_cast<Cycles>(params_.dataFlits);
+            linkBusy_[static_cast<std::size_t>(link)] +=
+                static_cast<Cycles>(params_.dataFlits);
             head = start + params_.routerStages + params_.linkCycles;
         }
     }
     Cycles arrival = head + static_cast<Cycles>(params_.dataFlits - 1) +
                      params_.nicEject;
+
+    if (obs::Tracer::enabled()) {
+        // One slice per packet on the source tile's NoC row, spanning
+        // injection to arrival at the destination NIC.
+        obs::Tracer::instance().slice(
+            obs::Tracer::pidNoc, src,
+            src == dst ? "pkt local" : "pkt", now, arrival,
+            {{"src", static_cast<std::uint64_t>(src)},
+             {"dst", static_cast<std::uint64_t>(dst)},
+             {"tag", static_cast<std::uint64_t>(tag)}});
+    }
 
     rxQueues_[static_cast<std::size_t>(dst)].push_back(
         Message{src, tag, value, arrival});
@@ -98,7 +124,7 @@ NocModel::tryRecv(TileId dst, TileId src, int tag)
         if (it->src == src && it->tag == tag) {
             auto out = std::make_pair(it->value, it->arrival);
             queue.erase(it);
-            stats_.inc("delivered");
+            ++delivered_;
             return out;
         }
     }
@@ -110,6 +136,8 @@ NocModel::reset()
 {
     for (auto &f : linkFree_)
         f = 0;
+    for (auto &b : linkBusy_)
+        b = 0;
     for (auto &q : rxQueues_)
         q.clear();
 }

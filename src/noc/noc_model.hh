@@ -24,6 +24,7 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
@@ -60,6 +61,22 @@ class NocModel : public cpu::MessageHub
     /** Uncontended end-to-end latency between two tiles. */
     Cycles baseLatency(TileId src, TileId dst) const;
 
+    /** Directed links modelled (4 per tile; edge links stay idle). */
+    static constexpr int numLinks = numTiles * 4;
+
+    /**
+     * Cycles each directed link spent carrying flits, indexed by the
+     * internal link id (tile * 4 + direction). Divide by the run's
+     * makespan for link utilization.
+     */
+    const std::vector<Cycles> &linkBusyCycles() const
+    {
+        return linkBusy_;
+    }
+
+    /** Human-readable "t3→t7" label of a link id. */
+    static std::string linkName(int link);
+
     /** Drop all queued messages and link reservations. */
     void reset();
 
@@ -86,8 +103,12 @@ class NocModel : public cpu::MessageHub
 
     NocParams params_;
     std::vector<Cycles> linkFree_; ///< next free cycle per link
+    std::vector<Cycles> linkBusy_; ///< flit-carrying cycles per link
     std::vector<std::deque<Message>> rxQueues_; ///< per destination
     StatGroup stats_;
+    Counter &packets_;    ///< cached handles; see StatGroup::counter
+    Counter &delivered_;
+    Counter &linkStalls_;
 };
 
 } // namespace stitch::noc

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared command-line switches of the observability layer, so every
+ * harness (tools, benches) spells them identically:
+ *
+ *   --trace=FILE    record a Chrome trace_event JSON (see trace.hh)
+ *   --report=FILE   write the versioned run report (sim/report.hh)
+ *   --stats=FILE    dump the stats-registry tree as JSON
+ *   --verbose       raise status output to Verbosity::Info
+ *
+ * Writing the report/stats files needs simulation results, so only
+ * the paths are collected here; the harness decides which run they
+ * describe.
+ */
+
+#ifndef STITCH_OBS_CLI_HH
+#define STITCH_OBS_CLI_HH
+
+#include <cstring>
+#include <string>
+
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+
+namespace stitch::obs
+{
+
+/** Parsed observability switches of one harness invocation. */
+struct CliOptions
+{
+    std::string tracePath;
+    std::string reportPath;
+    std::string statsPath;
+    bool verbose = false;
+
+    /** Consume one argv entry; true iff it was an obs switch. */
+    bool
+    parse(const char *arg)
+    {
+        auto keyed = [&](const char *prefix, std::string *out) {
+            std::size_t n = std::strlen(prefix);
+            if (std::strncmp(arg, prefix, n) != 0)
+                return false;
+            *out = arg + n;
+            return true;
+        };
+        if (keyed("--trace=", &tracePath))
+            return true;
+        if (keyed("--report=", &reportPath))
+            return true;
+        if (keyed("--stats=", &statsPath))
+            return true;
+        if (!std::strcmp(arg, "--verbose")) {
+            verbose = true;
+            return true;
+        }
+        return false;
+    }
+
+    /** Apply the switches: verbosity now, tracing from here on. */
+    void
+    begin() const
+    {
+        if (verbose)
+            Registry::setVerbosity(Verbosity::Info);
+        if (!tracePath.empty())
+            Tracer::instance().start(tracePath);
+    }
+
+    /** Close an open trace (call once on harness exit). */
+    void
+    end() const
+    {
+        if (Tracer::enabled())
+            Tracer::instance().stop();
+    }
+};
+
+} // namespace stitch::obs
+
+#endif // STITCH_OBS_CLI_HH

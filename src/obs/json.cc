@@ -1,0 +1,420 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace stitch::obs
+{
+
+bool
+Json::asBool() const
+{
+    STITCH_ASSERT(kind_ == Kind::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+std::uint64_t
+Json::asUint() const
+{
+    if (kind_ == Kind::Double) {
+        STITCH_ASSERT(double_ >= 0 && double_ == std::floor(double_),
+                      "JSON number is not an exact non-negative int");
+        return static_cast<std::uint64_t>(double_);
+    }
+    STITCH_ASSERT(kind_ == Kind::Int, "JSON value is not an integer");
+    return int_;
+}
+
+double
+Json::asDouble() const
+{
+    if (kind_ == Kind::Int)
+        return static_cast<double>(int_);
+    STITCH_ASSERT(kind_ == Kind::Double, "JSON value is not a number");
+    return double_;
+}
+
+const std::string &
+Json::asString() const
+{
+    STITCH_ASSERT(kind_ == Kind::String, "JSON value is not a string");
+    return str_;
+}
+
+void
+Json::push(Json v)
+{
+    STITCH_ASSERT(kind_ == Kind::Array, "push on a non-array");
+    array_.push_back(std::move(v));
+}
+
+std::size_t
+Json::size() const
+{
+    return kind_ == Kind::Array ? array_.size() : object_.size();
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    STITCH_ASSERT(kind_ == Kind::Array && i < array_.size(),
+                  "JSON array index out of range");
+    return array_[i];
+}
+
+void
+Json::set(const std::string &key, Json v)
+{
+    STITCH_ASSERT(kind_ == Kind::Object || kind_ == Kind::Null,
+                  "set on a non-object");
+    kind_ = Kind::Object;
+    for (auto &kv : object_) {
+        if (kv.first == key) {
+            kv.second = std::move(v);
+            return;
+        }
+    }
+    object_.emplace_back(key, std::move(v));
+}
+
+bool
+Json::has(const std::string &key) const
+{
+    for (const auto &kv : object_)
+        if (kv.first == key)
+            return true;
+    return false;
+}
+
+const Json &
+Json::get(const std::string &key) const
+{
+    for (const auto &kv : object_)
+        if (kv.first == key)
+            return kv.second;
+    fatal("JSON object has no key '", key, "'");
+}
+
+namespace
+{
+
+void
+escapeInto(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void
+newlineIndent(std::string &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    char buf[32];
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Int:
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(int_));
+        out += buf;
+        break;
+      case Kind::Double:
+        if (std::isfinite(double_)) {
+            std::snprintf(buf, sizeof buf, "%.9g", double_);
+            out += buf;
+        } else {
+            out += "null"; // JSON has no inf/nan
+        }
+        break;
+      case Kind::String:
+        escapeInto(out, str_);
+        break;
+      case Kind::Array:
+        out.push_back('[');
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newlineIndent(out, indent, depth + 1);
+            array_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!array_.empty())
+            newlineIndent(out, indent, depth);
+        out.push_back(']');
+        break;
+      case Kind::Object:
+        out.push_back('{');
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            newlineIndent(out, indent, depth + 1);
+            escapeInto(out, object_[i].first);
+            out.push_back(':');
+            if (indent > 0)
+                out.push_back(' ');
+            object_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!object_.empty())
+            newlineIndent(out, indent, depth);
+        out.push_back('}');
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over the generated subset. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Json
+    run()
+    {
+        Json v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fatal("trailing characters after JSON value at byte ",
+                  pos_);
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fatal("unexpected end of JSON input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fatal("expected '", c, "' at byte ", pos_, ", got '",
+                  text_[pos_], "'");
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(const char *w)
+    {
+        std::size_t n = std::string(w).size();
+        if (text_.compare(pos_, n, w) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fatal("unterminated JSON string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fatal("unterminated escape in JSON string");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'n': out.push_back('\n'); break;
+              case 't': out.push_back('\t'); break;
+              case 'r': out.push_back('\r'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fatal("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fatal("bad hex digit in \\u escape");
+                }
+                // We only emit \u for control characters; reject the
+                // rest rather than implementing UTF-16 surrogates.
+                if (code > 0x7f)
+                    fatal("non-ASCII \\u escape unsupported");
+                out.push_back(static_cast<char>(code));
+                break;
+              }
+              default:
+                fatal("bad escape character '", e, "'");
+            }
+        }
+    }
+
+    Json
+    number()
+    {
+        std::size_t start = pos_;
+        bool isInt = true;
+        if (consume('-'))
+            isInt = false; // counters are unsigned; treat as double
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            if (!std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                isInt = false;
+            ++pos_;
+        }
+        std::string tok = text_.substr(start, pos_ - start);
+        if (tok.empty() || tok == "-")
+            fatal("malformed JSON number at byte ", start);
+        if (isInt)
+            return Json(static_cast<std::uint64_t>(
+                std::stoull(tok)));
+        return Json(std::stod(tok));
+    }
+
+    Json
+    value()
+    {
+        char c = peek();
+        if (c == '{') {
+            ++pos_;
+            Json obj = Json::object();
+            if (consume('}'))
+                return obj;
+            while (true) {
+                std::string key = (skipWs(), string());
+                expect(':');
+                obj.set(key, value());
+                if (consume('}'))
+                    return obj;
+                expect(',');
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            Json arr = Json::array();
+            if (consume(']'))
+                return arr;
+            while (true) {
+                arr.push(value());
+                if (consume(']'))
+                    return arr;
+                expect(',');
+            }
+        }
+        if (c == '"')
+            return Json(string());
+        skipWs();
+        if (consumeWord("true"))
+            return Json(true);
+        if (consumeWord("false"))
+            return Json(false);
+        if (consumeWord("null"))
+            return Json();
+        return number();
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+void
+writeJsonFile(const std::string &path, const Json &doc)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open ", path, " for writing");
+    std::string text = doc.dump(2);
+    std::fputs(text.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+}
+
+} // namespace stitch::obs

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Minimal JSON document model with a writer and a strict parser.
+ *
+ * The observability layer emits machine-readable artifacts (the stats
+ * registry dump, the run report) and the tests parse them back, so we
+ * need both directions but only the JSON subset we generate: objects,
+ * arrays, strings, numbers, booleans and null. No dependency beyond
+ * the standard library; numbers are stored as double plus an exact
+ * integer flag so 64-bit counters survive a round trip.
+ */
+
+#ifndef STITCH_OBS_JSON_HH
+#define STITCH_OBS_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace stitch::obs
+{
+
+/** One JSON value (recursive). Objects keep insertion order. */
+class Json
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Int,    ///< exact 64-bit (unsigned range used by counters)
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    Json() = default;
+    Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Json(std::uint64_t v) : kind_(Kind::Int), int_(v) {}
+    Json(int v)
+        : kind_(Kind::Int), int_(static_cast<std::uint64_t>(v))
+    {}
+    Json(double v) : kind_(Kind::Double), double_(v) {}
+    Json(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+    Json(const char *s) : kind_(Kind::String), str_(s) {}
+
+    static Json array() { Json j; j.kind_ = Kind::Array; return j; }
+    static Json object() { Json j; j.kind_ = Kind::Object; return j; }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    bool asBool() const;
+    std::uint64_t asUint() const;
+    double asDouble() const; ///< Int values convert implicitly
+    const std::string &asString() const;
+
+    /** Array access. */
+    void push(Json v);
+    std::size_t size() const;
+    const Json &at(std::size_t i) const;
+
+    /** Object access. set() replaces; get() fatals when missing. */
+    void set(const std::string &key, Json v);
+    bool has(const std::string &key) const;
+    const Json &get(const std::string &key) const;
+    const std::vector<std::pair<std::string, Json>> &items() const
+    {
+        return object_;
+    }
+
+    /** Serialize; indent > 0 pretty-prints with that many spaces. */
+    std::string dump(int indent = 0) const;
+
+    /** Strict parse; fatal()s on malformed input. */
+    static Json parse(const std::string &text);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::uint64_t int_ = 0;
+    double double_ = 0.0;
+    std::string str_;
+    std::vector<Json> array_;
+    std::vector<std::pair<std::string, Json>> object_;
+};
+
+/** Pretty-print `doc` to `path` (trailing newline); fatal on I/O. */
+void writeJsonFile(const std::string &path, const Json &doc);
+
+} // namespace stitch::obs
+
+#endif // STITCH_OBS_JSON_HH

@@ -1,0 +1,94 @@
+#include "obs/registry.hh"
+
+#include <vector>
+
+namespace stitch::obs
+{
+
+void
+Registry::add(const std::string &path, const StatGroup &group)
+{
+    if (path.empty())
+        fatal("stats registry path must not be empty");
+    auto [it, inserted] = groups_.emplace(path, &group);
+    (void)it;
+    if (!inserted)
+        fatal("stats registry path '", path, "' already registered");
+}
+
+void
+Registry::remove(const std::string &path)
+{
+    groups_.erase(path);
+}
+
+const StatGroup *
+Registry::find(const std::string &path) const
+{
+    auto it = groups_.find(path);
+    return it == groups_.end() ? nullptr : it->second;
+}
+
+namespace
+{
+
+/** Walk/create the nested object for a dotted path. */
+Json &
+nodeFor(Json &root, const std::string &path)
+{
+    Json *at = &root;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t dot = path.find('.', start);
+        std::string seg = path.substr(
+            start, dot == std::string::npos ? dot : dot - start);
+        if (!at->has(seg))
+            at->set(seg, Json::object());
+        // set() keeps the node in place; re-fetch a mutable pointer.
+        at = const_cast<Json *>(&at->get(seg));
+        if (dot == std::string::npos)
+            return *at;
+        start = dot + 1;
+    }
+}
+
+} // namespace
+
+Json
+Registry::toJson(bool skipZero) const
+{
+    Json root = Json::object();
+    for (const auto &[path, group] : groups_) {
+        Json &node = nodeFor(root, path);
+        for (const auto &[name, value] : group->all()) {
+            if (skipZero && value == 0)
+                continue;
+            if (node.has(name) && node.get(name).isObject())
+                fatal("stats counter '", path, ".", name,
+                      "' collides with a registered sub-group");
+            node.set(name, Json(value));
+        }
+    }
+    return root;
+}
+
+void
+Registry::printTable(std::FILE *out) const
+{
+    std::vector<std::pair<std::string, Counter>> rows;
+    std::size_t width = 0;
+    for (const auto &[path, group] : groups_) {
+        for (const auto &[name, value] : group->all()) {
+            if (value == 0)
+                continue;
+            rows.emplace_back(path + "." + name, value);
+            width = std::max(width, rows.back().first.size());
+        }
+    }
+    for (const auto &[label, value] : rows)
+        std::fprintf(out, "%-*s  %llu\n", static_cast<int>(width),
+                     label.c_str(),
+                     static_cast<unsigned long long>(value));
+}
+
+} // namespace stitch::obs

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Hierarchical statistics registry, the gem5 `stats` dump grown for
+ * the Stitch simulator: components register their StatGroup under a
+ * dotted path ("tile3.dcache", "noc") and harnesses dump the whole
+ * tree as a JSON document or an aligned text table instead of walking
+ * accessors by hand.
+ *
+ * The registry holds non-owning pointers: the registering component
+ * must outlive the registry or remove itself. sim::System owns one
+ * registry per instantiated chip and registers every tile's groups.
+ *
+ * The process-wide verbosity level also lives here (it routes
+ * inform(): silent by default, raised by --verbose in the tools), so
+ * harnesses no longer hand-disable status output.
+ */
+
+#ifndef STITCH_OBS_REGISTRY_HH
+#define STITCH_OBS_REGISTRY_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "obs/json.hh"
+
+namespace stitch::obs
+{
+
+/** Dotted-path StatGroup directory with JSON and table dumps. */
+class Registry
+{
+  public:
+    /** Register `group` under `path`; fatal on a duplicate path. */
+    void add(const std::string &path, const StatGroup &group);
+
+    /** Drop the registration at `path` (no-op when absent). */
+    void remove(const std::string &path);
+
+    /** Group registered at `path`, or null. */
+    const StatGroup *find(const std::string &path) const;
+
+    std::size_t size() const { return groups_.size(); }
+
+    /**
+     * The whole tree as nested JSON: path segments become nested
+     * objects, counters become integer members.
+     * @param skipZero omit counters whose value is zero
+     */
+    Json toJson(bool skipZero = false) const;
+
+    /** Flat "path.counter  value" table, sorted, zeros skipped. */
+    void printTable(std::FILE *out = stdout) const;
+
+    /** Process-wide status verbosity (see Verbosity in logging.hh). */
+    static Verbosity verbosity() { return detail::verbosity(); }
+    static void setVerbosity(Verbosity v) { detail::setVerbosity(v); }
+
+  private:
+    std::map<std::string, const StatGroup *> groups_;
+};
+
+} // namespace stitch::obs
+
+#endif // STITCH_OBS_REGISTRY_HH

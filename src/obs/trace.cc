@@ -1,0 +1,118 @@
+#include "obs/trace.hh"
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace stitch::obs
+{
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::start(const std::string &path)
+{
+    if (enabledFlag_)
+        fatal("tracer already recording; stop() the previous trace");
+    out_ = std::fopen(path.c_str(), "w");
+    if (!out_)
+        fatal("cannot open trace file '", path, "'");
+    first_ = true;
+    events_ = 0;
+    std::fputs("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[", out_);
+    enabledFlag_ = true;
+    emitHeader();
+}
+
+void
+Tracer::stop()
+{
+    if (!enabledFlag_)
+        return;
+    enabledFlag_ = false;
+    std::fputs("\n]}\n", out_);
+    std::fclose(out_);
+    out_ = nullptr;
+}
+
+void
+Tracer::emitHeader()
+{
+    metadata(pidTiles, 0, "process_name", "tiles");
+    metadata(pidNoc, 0, "process_name", "noc");
+    metadata(pidSnoc, 0, "process_name", "snoc");
+    for (TileId t = 0; t < numTiles; ++t) {
+        metadata(pidTiles, t, "thread_name", strformat("tile%d", t));
+        metadata(pidNoc, t, "thread_name",
+                 strformat("from tile%d", t));
+        metadata(pidSnoc, t, "thread_name",
+                 strformat("patch%d", t));
+    }
+}
+
+void
+Tracer::metadata(int pid, int tid, const char *what,
+                 const std::string &name)
+{
+    if (!first_)
+        std::fputc(',', out_);
+    first_ = false;
+    std::fprintf(out_,
+                 "\n{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d,"
+                 "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                 what, pid, tid, name.c_str());
+}
+
+void
+Tracer::event(char ph, int pid, int tid, const char *name, Cycles ts,
+              Cycles dur, std::initializer_list<Arg> args)
+{
+    if (!first_)
+        std::fputc(',', out_);
+    first_ = false;
+    ++events_;
+    std::fprintf(out_,
+                 "\n{\"name\":\"%s\",\"ph\":\"%c\",\"pid\":%d,"
+                 "\"tid\":%d,\"ts\":%llu",
+                 name, ph, pid, tid,
+                 static_cast<unsigned long long>(ts));
+    if (ph == 'X')
+        std::fprintf(out_, ",\"dur\":%llu",
+                     static_cast<unsigned long long>(dur));
+    if (ph == 'i')
+        std::fputs(",\"s\":\"t\"", out_);
+    if (args.size() > 0) {
+        std::fputs(",\"args\":{", out_);
+        bool firstArg = true;
+        for (const Arg &a : args) {
+            std::fprintf(out_, "%s\"%s\":%llu", firstArg ? "" : ",",
+                         a.key,
+                         static_cast<unsigned long long>(a.value));
+            firstArg = false;
+        }
+        std::fputc('}', out_);
+    }
+    std::fputc('}', out_);
+}
+
+void
+Tracer::slice(int pid, int tid, const char *name, Cycles start,
+              Cycles end, std::initializer_list<Arg> args)
+{
+    if (end <= start)
+        return; // zero-length slices only clutter the viewer
+    event('X', pid, tid, name, start, end - start, args);
+}
+
+void
+Tracer::instant(int pid, int tid, const char *name, Cycles ts,
+                std::initializer_list<Arg> args)
+{
+    event('i', pid, tid, name, ts, 0, args);
+}
+
+} // namespace stitch::obs

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Cycle-level event tracer emitting Chrome trace_event JSON, loadable
+ * in chrome://tracing or Perfetto (https://ui.perfetto.dev).
+ *
+ * One process-wide tracer: simulation hooks across cpu/mem/noc/sim
+ * test the inline Tracer::enabled() flag (one predictable branch) and
+ * pay the formatting cost only when a harness opened a trace with
+ * --trace=FILE. Events stream straight to the file, so arbitrarily
+ * long runs trace in O(1) memory.
+ *
+ * Track model: pid 1 ("tiles") carries one thread per tile with
+ * coalesced exec slices, stall/wait slices and CUST/SEND/RECV
+ * instants; pid 2 ("noc") carries per-source-tile packet slices
+ * (src→dst, spanning injection to arrival); pid 3 ("snoc") carries
+ * fused custom-instruction transfers with their hop counts.
+ *
+ * Timestamps are simulated cycles written in the `ts` microsecond
+ * field verbatim: 1 µs in the viewer == 1 cycle.
+ */
+
+#ifndef STITCH_OBS_TRACE_HH
+#define STITCH_OBS_TRACE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+
+#include "common/types.hh"
+
+namespace stitch::obs
+{
+
+/** Streaming Chrome trace_event writer. */
+class Tracer
+{
+  public:
+    /** Well-known track (process) ids. */
+    static constexpr int pidTiles = 1;
+    static constexpr int pidNoc = 2;
+    static constexpr int pidSnoc = 3;
+
+    /** One small integer event argument. */
+    struct Arg
+    {
+        const char *key;
+        std::uint64_t value;
+    };
+
+    static Tracer &instance();
+
+    /** Hot-path guard: true between start() and stop(). */
+    static bool enabled() { return enabledFlag_; }
+
+    /** Open `path` and start recording; fatal if already recording. */
+    void start(const std::string &path);
+
+    /** Finish the JSON document and close the file. */
+    void stop();
+
+    /** Duration event [start, end) on a track. */
+    void slice(int pid, int tid, const char *name, Cycles start,
+               Cycles end, std::initializer_list<Arg> args = {});
+
+    /** Zero-duration marker. */
+    void instant(int pid, int tid, const char *name, Cycles ts,
+                 std::initializer_list<Arg> args = {});
+
+    std::uint64_t eventCount() const { return events_; }
+
+  private:
+    void emitHeader();
+    void metadata(int pid, int tid, const char *what,
+                  const std::string &name);
+    void event(char ph, int pid, int tid, const char *name, Cycles ts,
+               Cycles dur, std::initializer_list<Arg> args);
+
+    static inline bool enabledFlag_ = false;
+
+    std::FILE *out_ = nullptr;
+    bool first_ = true;
+    std::uint64_t events_ = 0;
+};
+
+} // namespace stitch::obs
+
+#endif // STITCH_OBS_TRACE_HH

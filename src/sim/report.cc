@@ -1,0 +1,85 @@
+#include "sim/report.hh"
+
+#include "noc/noc_model.hh"
+
+namespace stitch::sim
+{
+
+namespace
+{
+
+obs::Json
+tileJson(TileId t, const TileStats &ts, Cycles makespan)
+{
+    obs::Json j = obs::Json::object();
+    j.set("tile", static_cast<std::uint64_t>(t));
+    j.set("loaded", ts.loaded);
+    if (!ts.loaded)
+        return j; // stale counters from an unloaded tile say nothing
+    j.set("cycles", ts.cycles);
+    j.set("utilization", ts.utilization(makespan));
+    j.set("instructions", ts.instructions);
+    j.set("custom_instructions", ts.customInstructions);
+    j.set("fused_custom_instructions", ts.fusedCustomInstructions);
+    j.set("imiss_stall_cycles", ts.imissStallCycles);
+    j.set("dmiss_stall_cycles", ts.dmissStallCycles);
+    j.set("recv_wait_cycles", ts.recvWaitCycles);
+    j.set("msgs_sent", ts.msgsSent);
+    j.set("msgs_received", ts.msgsReceived);
+    return j;
+}
+
+} // namespace
+
+obs::Json
+runReport(const RunStats &stats, const obs::Registry *registry)
+{
+    obs::Json doc = obs::Json::object();
+    doc.set("schema", runReportSchema);
+    doc.set("version", runReportVersion);
+
+    obs::Json totals = obs::Json::object();
+    totals.set("makespan_cycles", stats.makespan);
+    totals.set("instructions", stats.instructions);
+    totals.set("custom_instructions", stats.customInstructions);
+    totals.set("fused_custom_instructions",
+               stats.fusedCustomInstructions);
+    totals.set("snoc_hops", stats.snocHops);
+    totals.set("messages", stats.messages);
+    doc.set("totals", totals);
+
+    obs::Json tiles = obs::Json::array();
+    for (TileId t = 0; t < numTiles; ++t)
+        tiles.push(tileJson(t,
+                            stats.perTile[static_cast<std::size_t>(t)],
+                            stats.makespan));
+    doc.set("tiles", tiles);
+
+    obs::Json links = obs::Json::array();
+    for (std::size_t l = 0; l < stats.linkBusyCycles.size(); ++l) {
+        if (stats.linkBusyCycles[l] == 0)
+            continue; // idle links would swamp the document
+        obs::Json lj = obs::Json::object();
+        lj.set("link", noc::NocModel::linkName(static_cast<int>(l)));
+        lj.set("busy_cycles", stats.linkBusyCycles[l]);
+        lj.set("utilization",
+               stats.linkUtilization(static_cast<int>(l)));
+        links.push(lj);
+    }
+    obs::Json nocj = obs::Json::object();
+    nocj.set("links", links);
+    doc.set("noc", nocj);
+
+    if (registry)
+        doc.set("stats", registry->toJson(/*skipZero=*/true));
+    return doc;
+}
+
+void
+writeRunReport(const std::string &path, const RunStats &stats,
+               const obs::Registry *registry)
+{
+    obs::writeJsonFile(path, runReport(stats, registry));
+}
+
+} // namespace stitch::sim

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Machine-readable run reports: a versioned JSON document summarizing
+ * one System::run() — makespan, per-tile stall/idle breakdowns,
+ * message and custom-instruction histograms, NoC link utilization —
+ * optionally carrying the full stats-registry dump. Harnesses write it
+ * with --report=FILE; downstream tooling keys on schema/version
+ * instead of scraping stdout tables.
+ */
+
+#ifndef STITCH_SIM_REPORT_HH
+#define STITCH_SIM_REPORT_HH
+
+#include <string>
+
+#include "obs/json.hh"
+#include "obs/registry.hh"
+#include "sim/system.hh"
+
+namespace stitch::sim
+{
+
+inline constexpr const char *runReportSchema = "stitch-run-report";
+inline constexpr int runReportVersion = 1;
+
+/**
+ * Build the report document for one run. When `registry` is non-null
+ * (pass &system.registry()) the component counter tree is embedded
+ * under "stats".
+ */
+obs::Json runReport(const RunStats &stats,
+                    const obs::Registry *registry = nullptr);
+
+/** Pretty-print runReport() to `path`; fatal on I/O failure. */
+void writeRunReport(const std::string &path, const RunStats &stats,
+                    const obs::Registry *registry = nullptr);
+
+} // namespace stitch::sim
+
+#endif // STITCH_SIM_REPORT_HH

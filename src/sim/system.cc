@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "isa/assembler.hh"
+#include "obs/trace.hh"
 
 namespace stitch::sim
 {
@@ -18,7 +19,29 @@ System::System(const SystemParams &params)
             std::make_unique<cpu::TileSpmPort>(*tile.memory);
         if (params_.accel == AccelMode::Locus)
             tile.locus = std::make_unique<core::LocusSfu>();
+
+        std::string prefix = "tile" + std::to_string(t) + ".";
+        registry_.add(prefix + "core", tile.core->stats());
+        registry_.add(prefix + "mem", tile.memory->stats());
+        registry_.add(prefix + "icache",
+                      tile.memory->icache().stats());
+        registry_.add(prefix + "dcache",
+                      tile.memory->dcache().stats());
+
+        auto &ps = patchStats_[static_cast<std::size_t>(t)];
+        auto &pc = patchCounters_[static_cast<std::size_t>(t)];
+        pc.custs = &ps.counter("custom_instructions");
+        pc.fused = &ps.counter("fused_custom_instructions");
+        pc.spmLoads = &ps.counter("spm_loads");
+        pc.spmStores = &ps.counter("spm_stores");
+        if (params_.accel == AccelMode::Stitch)
+            registry_.add(prefix + "patch", ps);
     }
+    registry_.add("noc", noc_.stats());
+    snocFused_ = &snocStats_.counter("fused_transfers");
+    snocHops_ = &snocStats_.counter("hops");
+    if (params_.accel == AccelMode::Stitch)
+        registry_.add("snoc", snocStats_);
 }
 
 void
@@ -33,6 +56,9 @@ System::loadProgram(TileId t, const compiler::RewrittenProgram &binary)
         fatal("LOCUS binary loaded on a non-LOCUS system");
     tile.loaded = true;
     tile.blocked = false;
+    // Same per-run discipline as the core's own counters (see
+    // Core::loadProgram): a reloaded tile reports only its new run.
+    patchStats_[static_cast<std::size_t>(t)].reset();
 }
 
 void
@@ -73,6 +99,9 @@ System::configureSnoc(const core::SnocConfig &snoc)
                       "crossbar preset did not land");
         tile.loaded = false;
     }
+    // Kept so fused-CUST trace events can attribute their routed sNoC
+    // hop counts at simulation time.
+    snocCfg_ = snoc;
 }
 
 void
@@ -115,21 +144,47 @@ System::executeCustom(TileId t, std::uint64_t blob,
               " but the binary expects ",
               core::patchKindName(cfg.localKind));
     }
-    if (!cfg.usesRemote)
-        return core::executeCustom(cfg, in, *tile.spmPort, nullptr);
 
-    TileId partner = tile.fusionPartner;
-    if (partner < 0)
-        fatal("fused CUST on tile ", t, " without a stitched partner");
-    auto remoteKind = params_.arch.kindOf(partner);
-    if (cfg.remoteKind != remoteKind) {
-        fatal("tile ", t, " stitched to ",
-              core::patchKindName(remoteKind), " but binary expects ",
-              core::patchKindName(cfg.remoteKind));
+    core::CustResult res;
+    TileId partner = -1;
+    if (!cfg.usesRemote) {
+        res = core::executeCustom(cfg, in, *tile.spmPort, nullptr);
+    } else {
+        partner = tile.fusionPartner;
+        if (partner < 0)
+            fatal("fused CUST on tile ", t,
+                  " without a stitched partner");
+        auto remoteKind = params_.arch.kindOf(partner);
+        if (cfg.remoteKind != remoteKind) {
+            fatal("tile ", t, " stitched to ",
+                  core::patchKindName(remoteKind),
+                  " but binary expects ",
+                  core::patchKindName(cfg.remoteKind));
+        }
+        // The mapper never places LMAU work on the remote patch, so
+        // the remote SPM port stays disabled (NullSpmPort enforces).
+        res = core::executeCustom(cfg, in, *tile.spmPort, &nullSpm_);
     }
-    // The mapper never places LMAU work on the remote patch, so the
-    // remote SPM port stays disabled (enforced by NullSpmPort).
-    return core::executeCustom(cfg, in, *tile.spmPort, &nullSpm_);
+
+    auto &pc = patchCounters_[static_cast<std::size_t>(t)];
+    ++*pc.custs;
+    *pc.spmLoads += res.spmLoads;
+    *pc.spmStores += res.spmStores;
+    if (res.usedRemote) {
+        ++*pc.fused;
+        ++*snocFused_;
+        auto hops = static_cast<std::uint64_t>(
+            snocCfg_.fusionHops(t, partner));
+        *snocHops_ += hops;
+        if (obs::Tracer::enabled()) {
+            obs::Tracer::instance().instant(
+                obs::Tracer::pidSnoc, t, "fused CUST",
+                tile.core->time(),
+                {{"remote", static_cast<std::uint64_t>(partner)},
+                 {"hops", hops}});
+        }
+    }
+    return res;
 }
 
 Cycles
@@ -201,16 +256,27 @@ System::run(std::uint64_t maxInstructions)
         if (!tile.loaded)
             continue;
         TileStats &ts = stats.perTile[static_cast<std::size_t>(t)];
+        const StatGroup &cs = tile.core->stats();
+        const StatGroup &ps = patchStats_[static_cast<std::size_t>(t)];
         ts.loaded = true;
         ts.cycles = tile.core->time();
         ts.instructions = tile.core->instructionsRetired();
-        ts.customInstructions =
-            tile.core->stats().get("custom_instructions");
+        ts.customInstructions = cs.get("custom_instructions");
+        ts.fusedCustomInstructions =
+            ps.get("fused_custom_instructions");
+        ts.imissStallCycles = cs.get("imiss_stall_cycles");
+        ts.dmissStallCycles = cs.get("dmiss_stall_cycles");
+        ts.recvWaitCycles = cs.get("recv_wait_cycles");
+        ts.msgsSent = cs.get("msgs_sent");
+        ts.msgsReceived = cs.get("msgs_received");
         stats.makespan = std::max(stats.makespan, ts.cycles);
         stats.instructions += ts.instructions;
         stats.customInstructions += ts.customInstructions;
+        stats.fusedCustomInstructions += ts.fusedCustomInstructions;
     }
+    stats.snocHops = snocStats_.get("hops");
     stats.messages = noc_.stats().get("packets");
+    stats.linkBusyCycles = noc_.linkBusyCycles();
     return stats;
 }
 

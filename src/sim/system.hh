@@ -25,6 +25,7 @@
 #include "cpu/patch_handler.hh"
 #include "mem/tile_memory.hh"
 #include "noc/noc_model.hh"
+#include "obs/registry.hh"
 
 namespace stitch::sim
 {
@@ -53,14 +54,25 @@ struct TileStats
     Cycles cycles = 0; ///< local time at halt
     std::uint64_t instructions = 0;
     std::uint64_t customInstructions = 0;
+    std::uint64_t fusedCustomInstructions = 0; ///< CUSTs over the sNoC
+    Cycles imissStallCycles = 0;
+    Cycles dmissStallCycles = 0;
+    Cycles recvWaitCycles = 0; ///< RECV waiting on in-flight messages
+    std::uint64_t msgsSent = 0;
+    std::uint64_t msgsReceived = 0;
 
-    /** Fraction of the makespan this tile spent executing. */
+    /**
+     * Fraction of the makespan this tile spent executing. A tile that
+     * never ran has no meaningful utilization: report 0 rather than
+     * divide stale cycles by another run's makespan.
+     */
     double
     utilization(Cycles makespan) const
     {
-        return makespan == 0 ? 0.0
-                             : static_cast<double>(cycles) /
-                                   static_cast<double>(makespan);
+        return !loaded || makespan == 0
+                   ? 0.0
+                   : static_cast<double>(cycles) /
+                         static_cast<double>(makespan);
     }
 };
 
@@ -68,10 +80,26 @@ struct TileStats
 struct RunStats
 {
     Cycles makespan = 0;
-    std::uint64_t instructions = 0;
+    std::uint64_t instructions = 0; ///< sum over loaded tiles only
     std::uint64_t customInstructions = 0;
+    std::uint64_t fusedCustomInstructions = 0;
+    std::uint64_t snocHops = 0; ///< mesh links crossed by fused CUSTs
     std::uint64_t messages = 0;
     std::array<TileStats, numTiles> perTile{};
+
+    /** Busy cycles of every inter-core NoC link (see NocModel). */
+    std::vector<Cycles> linkBusyCycles;
+
+    /** Busy fraction of NoC link `link` over the makespan. */
+    double
+    linkUtilization(int link) const
+    {
+        auto i = static_cast<std::size_t>(link);
+        return makespan == 0 || i >= linkBusyCycles.size()
+                   ? 0.0
+                   : static_cast<double>(linkBusyCycles[i]) /
+                         static_cast<double>(makespan);
+    }
 };
 
 /** The chip. */
@@ -101,6 +129,12 @@ class System : public cpu::CustomHandler, public cpu::MessageHub
     noc::NocModel &noc() { return noc_; }
     const SystemParams &params() const { return params_; }
 
+    /**
+     * Every component's StatGroup under its dotted path
+     * ("tile3.dcache", "noc", ...); valid for this System's lifetime.
+     */
+    const obs::Registry &registry() const { return registry_; }
+
     // CustomHandler: dispatch CUST to the tile's patch or SFU.
     core::CustResult executeCustom(TileId tile, std::uint64_t blob,
                                    const std::array<Word, 4> &in)
@@ -124,11 +158,28 @@ class System : public cpu::CustomHandler, public cpu::MessageHub
         bool blocked = false;
     };
 
+    /** Cached handles into one tile's patch StatGroup. */
+    struct PatchCounters
+    {
+        Counter *custs = nullptr;
+        Counter *fused = nullptr;
+        Counter *spmLoads = nullptr;
+        Counter *spmStores = nullptr;
+    };
+
     SystemParams params_;
     noc::NocModel noc_;
     std::array<Tile, numTiles> tiles_;
     core::NullSpmPort nullSpm_;
     bool sendSinceLastCheck_ = false;
+
+    core::SnocConfig snocCfg_; ///< preset kept for hop attribution
+    std::array<StatGroup, numTiles> patchStats_;
+    std::array<PatchCounters, numTiles> patchCounters_;
+    StatGroup snocStats_;
+    Counter *snocFused_ = nullptr;
+    Counter *snocHops_ = nullptr;
+    obs::Registry registry_;
 };
 
 } // namespace stitch::sim

@@ -1,0 +1,240 @@
+/** @file Observability-layer tests: stats registry, JSON round-trip,
+ *  run reports, and the event tracer (parity + golden ping-pong
+ *  trace). */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "compiler/rewriter.hh"
+#include "isa/assembler.hh"
+#include "obs/json.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+#include "sim/report.hh"
+#include "sim/system.hh"
+
+namespace stitch::obs
+{
+namespace
+{
+
+using namespace isa::reg;
+using isa::Assembler;
+
+compiler::RewrittenProgram
+wrap(isa::Program prog)
+{
+    compiler::RewrittenProgram binary;
+    binary.program = std::move(prog);
+    return binary;
+}
+
+/** Load/run the 2-tile ping-pong of test_system.cc. */
+sim::RunStats
+runPingPong(sim::System &system)
+{
+    Assembler a("ping");
+    a.li(t0, 42);
+    a.li(t1, 1);
+    a.send(t0, t1, 0);
+    a.recv(t2, t1, 0);
+    a.li(t3, 0x2000);
+    a.sw(t2, t3, 0);
+    a.halt();
+
+    Assembler b("pong");
+    b.li(t1, 0);
+    b.recv(t2, t1, 0);
+    b.addi(t2, t2, 1);
+    b.send(t2, t1, 0);
+    b.halt();
+
+    system.loadProgram(0, wrap(a.finish()));
+    system.loadProgram(1, wrap(b.finish()));
+    return system.run();
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+TEST(Registry, PathsAreUnique)
+{
+    Registry registry;
+    StatGroup a, b;
+    registry.add("tile0.core", a);
+    EXPECT_THROW(registry.add("tile0.core", b), FatalError);
+    EXPECT_THROW(registry.add("", a), FatalError);
+    EXPECT_EQ(registry.size(), 1u);
+    EXPECT_EQ(registry.find("tile0.core"), &a);
+    EXPECT_EQ(registry.find("tile0.dcache"), nullptr);
+
+    registry.remove("tile0.core");
+    EXPECT_EQ(registry.find("tile0.core"), nullptr);
+    registry.add("tile0.core", b); // path free again after remove
+}
+
+TEST(Registry, JsonDumpRoundTrip)
+{
+    Registry registry;
+    StatGroup core, dcache, noc;
+    core.counter("instructions") = 1234;
+    core.counter("idle") = 0;
+    dcache.counter("misses") = 7;
+    noc.counter("packets") = 99;
+    registry.add("tile3.core", core);
+    registry.add("tile3.dcache", dcache);
+    registry.add("noc", noc);
+
+    Json parsed = Json::parse(registry.toJson().dump(2));
+    EXPECT_EQ(parsed.get("tile3").get("core").get("instructions")
+                  .asUint(),
+              1234u);
+    EXPECT_EQ(parsed.get("tile3").get("core").get("idle").asUint(),
+              0u);
+    EXPECT_EQ(parsed.get("tile3").get("dcache").get("misses").asUint(),
+              7u);
+    EXPECT_EQ(parsed.get("noc").get("packets").asUint(), 99u);
+
+    Json skipped = Json::parse(registry.toJson(true).dump());
+    EXPECT_FALSE(skipped.get("tile3").get("core").has("idle"));
+}
+
+TEST(Report, RoundTripCarriesBreakdownAndLoadedFlags)
+{
+    sim::SystemParams params;
+    params.accel = sim::AccelMode::None;
+    sim::System system(params);
+    auto stats = runPingPong(system);
+
+    Json parsed = Json::parse(
+        sim::runReport(stats, &system.registry()).dump(2));
+    EXPECT_EQ(parsed.get("schema").asString(), "stitch-run-report");
+    EXPECT_EQ(parsed.get("version").asUint(),
+              static_cast<std::uint64_t>(sim::runReportVersion));
+    EXPECT_EQ(parsed.get("totals").get("makespan_cycles").asUint(),
+              stats.makespan);
+    EXPECT_EQ(parsed.get("totals").get("messages").asUint(), 2u);
+
+    // Loaded tiles carry the stall breakdown; unloaded tiles carry
+    // only their loaded=false marker (and zero utilization).
+    const Json &tiles = parsed.get("tiles");
+    ASSERT_EQ(tiles.size(), static_cast<std::size_t>(numTiles));
+    EXPECT_TRUE(tiles.at(0).get("loaded").asBool());
+    EXPECT_TRUE(tiles.at(0).has("recv_wait_cycles"));
+    EXPECT_EQ(tiles.at(0).get("msgs_sent").asUint(), 1u);
+    EXPECT_FALSE(tiles.at(2).get("loaded").asBool());
+    EXPECT_FALSE(tiles.at(2).has("cycles"));
+    EXPECT_EQ(stats.perTile[2].utilization(stats.makespan), 0.0);
+
+    // The embedded registry dump matches the report's own numbers.
+    EXPECT_EQ(parsed.get("stats").get("noc").get("packets").asUint(),
+              2u);
+}
+
+TEST(Report, AggregatesExcludeUnloadedTiles)
+{
+    sim::SystemParams params;
+    params.accel = sim::AccelMode::None;
+    sim::System system(params);
+    auto stats = runPingPong(system);
+
+    std::uint64_t loadedInstructions = 0;
+    for (const auto &ts : stats.perTile)
+        if (ts.loaded)
+            loadedInstructions += ts.instructions;
+    EXPECT_EQ(stats.instructions, loadedInstructions);
+    EXPECT_GT(stats.instructions, 0u);
+}
+
+TEST(Tracer, OnOffParity)
+{
+    ASSERT_FALSE(Tracer::enabled());
+    sim::SystemParams params;
+    params.accel = sim::AccelMode::None;
+
+    sim::System off(params);
+    auto offStats = runPingPong(off);
+
+    std::string path = testing::TempDir() + "parity_trace.json";
+    Tracer::instance().start(path);
+    sim::System on(params);
+    auto onStats = runPingPong(on);
+    Tracer::instance().stop();
+    ASSERT_FALSE(Tracer::enabled());
+    std::remove(path.c_str());
+
+    EXPECT_EQ(onStats.makespan, offStats.makespan);
+    EXPECT_EQ(onStats.instructions, offStats.instructions);
+    EXPECT_EQ(onStats.messages, offStats.messages);
+    for (int t = 0; t < numTiles; ++t) {
+        auto i = static_cast<std::size_t>(t);
+        EXPECT_EQ(onStats.perTile[i].cycles, offStats.perTile[i].cycles)
+            << "tile " << t;
+        EXPECT_EQ(onStats.perTile[i].recvWaitCycles,
+                  offStats.perTile[i].recvWaitCycles)
+            << "tile " << t;
+    }
+}
+
+TEST(Tracer, PingPongGoldenEvents)
+{
+    std::string path = testing::TempDir() + "pingpong_trace.json";
+    Tracer::instance().start(path);
+    ASSERT_TRUE(Tracer::enabled());
+    sim::SystemParams params;
+    params.accel = sim::AccelMode::None;
+    sim::System system(params);
+    runPingPong(system);
+    Tracer::instance().stop();
+
+    Json doc = Json::parse(slurp(path));
+    std::remove(path.c_str());
+    const Json &events = doc.get("traceEvents");
+
+    // The golden event sequence of the 2-tile ping-pong: both sides
+    // send once and receive once, and both packets cross the NoC.
+    int sends[2] = {0, 0}, recvs[2] = {0, 0}, pkts = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const Json &e = events.at(i);
+        const std::string &name = e.get("name").asString();
+        auto tid = e.get("tid").asUint();
+        if (name == "SEND" && tid < 2)
+            ++sends[tid];
+        if (name == "RECV" && tid < 2)
+            ++recvs[tid];
+        if (name == "pkt" && e.get("pid").asUint() == Tracer::pidNoc)
+            ++pkts;
+        if (name == "SEND" && tid == 0) {
+            // tile0's SEND carries its destination and tag.
+            EXPECT_EQ(e.get("args").get("dst").asUint(), 1u);
+            EXPECT_EQ(e.get("args").get("tag").asUint(), 0u);
+        }
+    }
+    EXPECT_EQ(sends[0], 1);
+    EXPECT_EQ(sends[1], 1);
+    EXPECT_EQ(recvs[0], 1);
+    EXPECT_EQ(recvs[1], 1);
+    EXPECT_EQ(pkts, 2);
+}
+
+TEST(Tracer, StartWhileRecordingIsFatal)
+{
+    std::string path = testing::TempDir() + "dup_trace.json";
+    Tracer::instance().start(path);
+    EXPECT_THROW(Tracer::instance().start(path), FatalError);
+    Tracer::instance().stop();
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace stitch::obs

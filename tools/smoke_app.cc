@@ -1,30 +1,87 @@
+/**
+ * @file
+ * smoke_app — run every (or one matching) application under all four
+ * architecture modes and print per-sample cycles and boosts.
+ *
+ * Usage:
+ *   smoke_app [name-filter] [--trace=FILE] [--report=FILE]
+ *             [--stats=FILE] [--verbose]
+ *
+ * --trace records the whole invocation; --report and --stats describe
+ * the last application run executed (filter to one app for a focused
+ * report, e.g. `smoke_app APP1 --report=r.json`).
+ */
+
 #include <cstdio>
+#include <string>
+
 #include "apps/app_runner.hh"
+#include "obs/cli.hh"
+#include "sim/report.hh"
+
 using namespace stitch;
-int main(int argc, char** argv) {
+
+int
+main(int argc, char **argv)
+{
+    obs::CliOptions obsOpts;
+    std::string filter;
+    for (int i = 1; i < argc; ++i) {
+        if (!obsOpts.parse(argv[i]))
+            filter = argv[i];
+    }
+    obsOpts.begin();
+
     apps::AppRunner runner;
+    const apps::AppRunResult *last = nullptr;
+    static apps::AppRunResult lastStorage;
     for (auto &app : apps::allApps()) {
-        if (argc > 1 && app.name.find(argv[1]) == std::string::npos) continue;
+        if (!filter.empty() &&
+            app.name.find(filter) == std::string::npos)
+            continue;
         double base = 0;
-        for (auto mode : {apps::AppMode::Baseline, apps::AppMode::Locus,
-                          apps::AppMode::StitchNoFusion, apps::AppMode::Stitch}) {
+        for (auto mode :
+             {apps::AppMode::Baseline, apps::AppMode::Locus,
+              apps::AppMode::StitchNoFusion, apps::AppMode::Stitch}) {
             auto res = runner.run(app, mode);
-            if (mode == apps::AppMode::Baseline) base = res.perSampleCycles();
-            std::printf("%-14s %-18s perSample=%10.0f boost=%.2f msgs=%llu\n",
-                        app.name.c_str(), appModeName(mode), res.perSampleCycles(),
-                        base / res.perSampleCycles(),
-                        (unsigned long long)res.stats.messages);
+            if (mode == apps::AppMode::Baseline)
+                base = res.perSampleCycles();
+            std::printf(
+                "%-14s %-18s perSample=%10.0f boost=%.2f msgs=%llu\n",
+                app.name.c_str(), appModeName(mode),
+                res.perSampleCycles(),
+                base / res.perSampleCycles(),
+                static_cast<unsigned long long>(res.stats.messages));
             std::fflush(stdout);
             if (mode == apps::AppMode::Stitch && res.hasPlan) {
-                // print fusion summary
                 int fused = 0, single = 0;
                 for (auto &p : res.plan.placements) {
-                    if (!p.accel) continue;
-                    if (p.accel->type == compiler::AccelTarget::Type::FusedPair) fused++;
-                    else single++;
+                    if (!p.accel)
+                        continue;
+                    if (p.accel->type ==
+                        compiler::AccelTarget::Type::FusedPair)
+                        fused++;
+                    else
+                        single++;
                 }
-                std::printf("   plan: %d single, %d fused\n", single, fused);
+                std::printf("   plan: %d single, %d fused\n", single,
+                            fused);
             }
+            lastStorage = res;
+            last = &lastStorage;
         }
     }
+
+    obsOpts.end();
+    if (last) {
+        if (!obsOpts.reportPath.empty()) {
+            auto doc = sim::runReport(last->stats);
+            if (!last->statsDump.isNull())
+                doc.set("stats", last->statsDump);
+            obs::writeJsonFile(obsOpts.reportPath, doc);
+        }
+        if (!obsOpts.statsPath.empty())
+            obs::writeJsonFile(obsOpts.statsPath, last->statsDump);
+    }
+    return 0;
 }

@@ -4,12 +4,17 @@
  *
  * Usage:
  *   stitchc <kernel> [--listing] [--dfg] [--configs]
+ *           [--trace=FILE] [--report=FILE] [--stats=FILE] [--verbose]
  *
  *   <kernel>    a catalog kernel name (see `stitchc --list`)
  *   --listing   disassemble the best stitched binary
  *   --dfg       dump the hot-block dataflow graphs
  *   --configs   decode every 19-bit patch configuration the binary
  *               carries (the paper's control words, human readable)
+ *
+ * The observability switches re-run the best stitched binary on a
+ * standalone tile: --trace records its Chrome trace, --report /
+ * --stats write that run's JSON report and counter dump.
  *
  * Always prints the measured speedup of every acceleration target.
  */
@@ -21,18 +26,22 @@
 #include "compiler/driver.hh"
 #include "compiler/liveness.hh"
 #include "compiler/profiler.hh"
+#include "cpu/patch_handler.hh"
 #include "kernels/catalog.hh"
+#include "obs/cli.hh"
+#include "sim/report.hh"
 
 using namespace stitch;
 
 int
 main(int argc, char **argv)
 {
-    detail::setInformEnabled(false);
-
+    obs::CliOptions obsOpts;
     bool listing = false, dfg = false, configs = false;
     std::string kernel;
     for (int i = 1; i < argc; ++i) {
+        if (obsOpts.parse(argv[i]))
+            continue;
         if (!std::strcmp(argv[i], "--listing"))
             listing = true;
         else if (!std::strcmp(argv[i], "--dfg"))
@@ -47,10 +56,13 @@ main(int argc, char **argv)
             kernel = argv[i];
         }
     }
+    if (obsOpts.verbose)
+        obs::Registry::setVerbosity(Verbosity::Info);
     if (kernel.empty()) {
         std::fprintf(stderr,
                      "usage: stitchc <kernel> [--listing] [--dfg] "
-                     "[--configs] | --list\n");
+                     "[--configs] [--trace=FILE] [--report=FILE] "
+                     "[--stats=FILE] [--verbose] | --list\n");
         return 2;
     }
 
@@ -116,6 +128,44 @@ main(int argc, char **argv)
                                                 : "");
             }
         }
+    }
+
+    if (!obsOpts.tracePath.empty() || !obsOpts.reportPath.empty() ||
+        !obsOpts.statsPath.empty()) {
+        // Observed re-run of the best stitched binary on a standalone
+        // tile (the measurement runs above stay untraced so the trace
+        // covers exactly one execution).
+        if (!obsOpts.tracePath.empty())
+            obs::Tracer::instance().start(obsOpts.tracePath);
+        mem::TileMemory memory{mem::MemParams{}};
+        cpu::LocalPatchHandler handler(best->target.local, memory);
+        cpu::Core core(0, memory, &handler, nullptr);
+        obs::Registry registry;
+        registry.add("tile0.core", core.stats());
+        registry.add("tile0.mem", memory.stats());
+        registry.add("tile0.icache", memory.icache().stats());
+        registry.add("tile0.dcache", memory.dcache().stats());
+        core.loadProgram(best->binary.program);
+        core.runToHalt();
+        obsOpts.end();
+
+        sim::RunStats stats;
+        const StatGroup &cs = core.stats();
+        auto &ts = stats.perTile[0];
+        ts.loaded = true;
+        ts.cycles = core.time();
+        ts.instructions = core.instructionsRetired();
+        ts.customInstructions = cs.get("custom_instructions");
+        ts.imissStallCycles = cs.get("imiss_stall_cycles");
+        ts.dmissStallCycles = cs.get("dmiss_stall_cycles");
+        stats.makespan = ts.cycles;
+        stats.instructions = ts.instructions;
+        stats.customInstructions = ts.customInstructions;
+        if (!obsOpts.reportPath.empty())
+            sim::writeRunReport(obsOpts.reportPath, stats, &registry);
+        if (!obsOpts.statsPath.empty())
+            obs::writeJsonFile(obsOpts.statsPath,
+                               registry.toJson(/*skipZero=*/true));
     }
     return 0;
 }
