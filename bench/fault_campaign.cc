@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Robustness campaign: sweep deterministic fault scenarios over one
+ * application pipeline and tabulate how the system degrades.
+ *
+ * For every hard fault (each of the 16 patches dead, each of the 24
+ * sNoC mesh links down) the campaign runs the scenario twice:
+ *
+ *  - "naive": the healthy stitch plan is kept and executed on the
+ *    faulty hardware. A plan that routes over a dead link is rejected
+ *    up front (ConfigError); a CUST that lands on a dead patch
+ *    surfaces as Termination::Fault with a structured PatchFault.
+ *  - "re-stitched": stitchApplication is given the ArchHealth mask of
+ *    the scenario and degrades around the broken resource (fused ->
+ *    single-patch -> software-only). These runs must all complete.
+ *
+ * Soft faults (message drop / delay, transient CUST bit flips) keep
+ * the healthy plan; the table reports how the run ended (a dropped
+ * message deadlocks its consumer — visible as blocked-tile
+ * diagnostics) and what was injected.
+ *
+ * Usage: fault_campaign [--app=APP3] [--out=DIR] [obs switches]
+ * With --out=DIR a run report embedding the degraded stitch plan is
+ * written per scenario. Exits non-zero if any re-stitched run fails
+ * to complete.
+ */
+
+#include <cctype>
+#include <filesystem>
+
+#include "bench/bench_common.hh"
+
+using namespace stitch;
+using namespace stitch::bench;
+
+namespace
+{
+
+struct Scenario
+{
+    std::string name;
+    fault::FaultPlan plan;
+    bool hard = false; ///< has a compile-time work-around
+};
+
+std::string
+slug(const std::string &name)
+{
+    std::string s = name;
+    for (char &c : s)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return s;
+}
+
+void
+countPlacements(const compiler::StitchPlan &plan, int *fused,
+                int *software)
+{
+    *fused = 0;
+    *software = 0;
+    for (const auto &p : plan.placements) {
+        if (!p.accel)
+            ++*software;
+        else if (p.accel->type ==
+                 compiler::AccelTarget::Type::FusedPair)
+            ++*fused;
+    }
+}
+
+void
+writeScenarioReport(const std::string &dir, const std::string &name,
+                    const apps::AppRunResult &res)
+{
+    obs::Json doc = sim::runReport(res.stats);
+    doc.set("scenario", name);
+    if (res.hasPlan)
+        doc.set("stitch_plan", sim::stitchPlanJson(res.plan));
+    if (!res.statsDump.isNull())
+        doc.set("stats", res.statsDump);
+    obs::writeJsonFile(dir + "/" + slug(name) + ".json", doc);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::initObs(argc, argv);
+
+    std::string outDir;
+    std::string appName = "APP3";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--out=", 0) == 0)
+            outDir = arg.substr(6);
+        else if (arg.rfind("--app=", 0) == 0)
+            appName = arg.substr(6);
+    }
+    if (!outDir.empty())
+        std::filesystem::create_directories(outDir);
+
+    const apps::AppSpec *app = nullptr;
+    static const auto all = apps::allApps();
+    for (const auto &candidate : all)
+        if (candidate.name.rfind(appName, 0) == 0) // prefix match
+            app = &candidate;
+    if (!app) {
+        std::fprintf(stderr, "unknown app '%s'\n", appName.c_str());
+        return 1;
+    }
+
+    printHeader("Fault campaign",
+                strformat("graceful degradation of %s under "
+                          "single-fault scenarios",
+                          app->name.c_str())
+                    .c_str());
+
+    apps::AppRunner runner(4, 12);
+
+    // The reference: all patches and links healthy.
+    auto healthy = runner.run(*app, apps::AppMode::Stitch);
+    STITCH_ASSERT(healthy.stats.termination ==
+                  fault::Termination::Completed);
+    double healthyCycles = healthy.perSampleCycles();
+    if (!outDir.empty())
+        writeScenarioReport(outDir, "healthy", healthy);
+
+    std::vector<Scenario> scenarios;
+    for (TileId t = 0; t < numTiles; ++t)
+        scenarios.push_back({strformat("patch%d dead", t),
+                             fault::FaultPlan::patchFailure(t), true});
+    for (const auto &link : fault::allSnocLinks())
+        scenarios.push_back({"link " + link.name() + " down",
+                             fault::FaultPlan::linkFailure(link),
+                             true});
+    scenarios.push_back(
+        {"msg drop p=0.01", fault::FaultPlan::messageDrop(0.01, 7),
+         false});
+    scenarios.push_back(
+        {"msg delay p=0.05 +32cy",
+         fault::FaultPlan::messageDelay(0.05, 32, 7), false});
+    scenarios.push_back(
+        {"cust flip p=0.001", fault::FaultPlan::bitFlips(0.001, 7),
+         false});
+
+    TextTable table({"scenario", "naive", "re-stitched", "bottleneck",
+                     "cyc/sample", "slowdown", "fused", "sw-only",
+                     "injected"});
+    int fusedH = 0, swH = 0;
+    countPlacements(healthy.plan, &fusedH, &swH);
+    table.addRow({"healthy", "completed", "-",
+                  strformat("%llu",
+                            static_cast<unsigned long long>(
+                                healthy.plan.bottleneckCycles())),
+                  strformat("%.1f", healthyCycles), "1.00",
+                  strformat("%d", fusedH), strformat("%d", swH), ""});
+
+    int failures = 0;
+    for (const auto &scenario : scenarios) {
+        // Naive: healthy plan, faulty hardware.
+        std::string naive;
+        runner.setHealth(fault::ArchHealth::healthy());
+        runner.setFaultPlan(scenario.plan);
+        try {
+            auto res = runner.run(*app, apps::AppMode::Stitch);
+            naive = fault::terminationName(res.stats.termination);
+            if (!scenario.hard) {
+                // Soft faults have no compile-time work-around; the
+                // naive run *is* the scenario result.
+                std::string injected;
+                if (res.stats.messagesDropped)
+                    injected += strformat(
+                        "%llu dropped ",
+                        static_cast<unsigned long long>(
+                            res.stats.messagesDropped));
+                if (res.stats.messagesDelayed)
+                    injected += strformat(
+                        "%llu delayed ",
+                        static_cast<unsigned long long>(
+                            res.stats.messagesDelayed));
+                if (res.stats.custBitFlips)
+                    injected += strformat(
+                        "%llu flips",
+                        static_cast<unsigned long long>(
+                            res.stats.custBitFlips));
+                bool done = res.stats.termination ==
+                            fault::Termination::Completed;
+                double cycles = res.perSampleCycles();
+                table.addRow(
+                    {scenario.name, naive, "-",
+                     strformat("%llu",
+                               static_cast<unsigned long long>(
+                                   res.plan.bottleneckCycles())),
+                     done ? strformat("%.1f", cycles) : "-",
+                     done ? strformat("%.2f", cycles / healthyCycles)
+                          : "-",
+                     "", "", injected});
+                if (!outDir.empty())
+                    writeScenarioReport(outDir, scenario.name, res);
+                continue;
+            }
+        } catch (const fault::ConfigError &) {
+            naive = "rejected";
+        }
+
+        // Re-stitched: the stitcher degrades around the fault.
+        runner.setHealth(fault::ArchHealth::fromPlan(scenario.plan));
+        runner.setFaultPlan(scenario.plan);
+        auto res = runner.run(*app, apps::AppMode::Stitch);
+        bool done =
+            res.stats.termination == fault::Termination::Completed;
+        if (!done)
+            ++failures;
+        int fused = 0, software = 0;
+        countPlacements(res.plan, &fused, &software);
+        double cycles = res.perSampleCycles();
+        table.addRow(
+            {scenario.name, naive,
+             fault::terminationName(res.stats.termination),
+             strformat("%llu", static_cast<unsigned long long>(
+                                   res.plan.bottleneckCycles())),
+             done ? strformat("%.1f", cycles) : "-",
+             done ? strformat("%.2f", cycles / healthyCycles) : "-",
+             strformat("%d", fused), strformat("%d", software), ""});
+        if (!outDir.empty())
+            writeScenarioReport(outDir, scenario.name, res);
+    }
+    table.print();
+
+    std::printf("\n%zu scenarios; every hard fault re-stitched %s.\n",
+                scenarios.size(),
+                failures == 0 ? "and completed"
+                              : "BUT SOME FAILED TO COMPLETE");
+    if (failures) {
+        std::fprintf(stderr, "%d re-stitched runs did not complete\n",
+                     failures);
+        return 1;
+    }
+    return 0;
+}

@@ -72,6 +72,7 @@ AppRunner::run(const AppSpec &app, AppMode mode)
         static_cast<std::size_t>(stages));
 
     sim::SystemParams sysParams;
+    sysParams.faults = faults_;
     switch (mode) {
       case AppMode::Baseline:
         sysParams.accel = sim::AccelMode::None;
@@ -128,7 +129,7 @@ AppRunner::run(const AppSpec &app, AppMode mode)
         stitchOpts.policy = policy_;
         sysParams.arch = arch_;
         result.plan = compiler::stitchApplication(
-            profiles, sysParams.arch, stitchOpts);
+            profiles, sysParams.arch, health_, stitchOpts);
         result.hasPlan = true;
 
         for (int k = 0; k < stages; ++k) {
@@ -204,10 +205,17 @@ AppRunner::run(const AppSpec &app, AppMode mode)
 
     sim::RunStats shortRun = simulate(samplesShort_, nullptr);
     result.stats = simulate(samplesLong_, &result.statsDump);
-    result.marginalCycles =
-        static_cast<double>(result.stats.makespan -
-                            shortRun.makespan) /
-        static_cast<double>(samplesLong_ - samplesShort_);
+    if (shortRun.termination == fault::Termination::Completed &&
+        result.stats.termination == fault::Termination::Completed) {
+        result.marginalCycles =
+            static_cast<double>(result.stats.makespan -
+                                shortRun.makespan) /
+            static_cast<double>(samplesLong_ - samplesShort_);
+    } else {
+        // An aborted run has no steady state; leave the marginal cost
+        // at zero and let callers key on stats.termination.
+        result.marginalCycles = 0.0;
+    }
     return result;
 }
 

@@ -88,11 +88,23 @@ class AppRunner
         policy_ = policy;
     }
 
+    /**
+     * Stitch around known-bad hardware: the stitcher skips dead
+     * patches and routes fusions away from failed links. The default
+     * all-healthy mask reproduces the unconstrained plan exactly.
+     */
+    void setHealth(const fault::ArchHealth &health) { health_ = health; }
+
+    /** Inject run-time faults (forwarded to SystemParams::faults). */
+    void setFaultPlan(const fault::FaultPlan &plan) { faults_ = plan; }
+
   private:
     int samplesShort_;
     int samplesLong_;
     core::StitchArch arch_ = core::StitchArch::standard();
     compiler::StitchPolicy policy_ = compiler::StitchPolicy::Auto;
+    fault::ArchHealth health_ = fault::ArchHealth::healthy();
+    fault::FaultPlan faults_;
     std::map<std::string, std::unique_ptr<compiler::CompiledKernel>>
         cache_;
 };

@@ -62,28 +62,30 @@ struct State
     core::SnocConfig snoc;
 };
 
-/** Free tiles whose patch is of `kind` and unused. */
+/** Free tiles whose patch is of `kind`, healthy, and unused. */
 std::vector<TileId>
 freeLocalTiles(const State &st, const core::StitchArch &arch,
-               core::PatchKind kind)
+               const fault::ArchHealth &health, core::PatchKind kind)
 {
     std::vector<TileId> out;
     for (TileId t = 0; t < numTiles; ++t)
         if (!st.tileClaimed[static_cast<std::size_t>(t)] &&
             !st.patchUsed[static_cast<std::size_t>(t)] &&
+            health.patchOk[static_cast<std::size_t>(t)] &&
             arch.kindOf(t) == kind)
             out.push_back(t);
     return out;
 }
 
-/** Tiles whose patch is of `kind` and unused (tile may be claimed). */
+/** Healthy unused patches of `kind` (tile may be claimed). */
 std::vector<TileId>
 freePatchTiles(const State &st, const core::StitchArch &arch,
-               core::PatchKind kind)
+               const fault::ArchHealth &health, core::PatchKind kind)
 {
     std::vector<TileId> out;
     for (TileId t = 0; t < numTiles; ++t)
         if (!st.patchUsed[static_cast<std::size_t>(t)] &&
+            health.patchOk[static_cast<std::size_t>(t)] &&
             arch.kindOf(t) == kind)
             out.push_back(t);
     return out;
@@ -91,11 +93,12 @@ freePatchTiles(const State &st, const core::StitchArch &arch,
 
 /** Attempt to allocate `option` for kernel `k`; true on success. */
 bool
-tryAllocate(State &st, const core::StitchArch &arch, std::size_t k,
+tryAllocate(State &st, const core::StitchArch &arch,
+            const fault::ArchHealth &health, std::size_t k,
             const AccelTarget &option, Cycles optionCycles)
 {
     if (option.type == AccelTarget::Type::SinglePatch) {
-        auto tiles = freeLocalTiles(st, arch, option.local);
+        auto tiles = freeLocalTiles(st, arch, health, option.local);
         if (tiles.empty())
             return false;
         TileId t = tiles.front();
@@ -116,8 +119,8 @@ tryAllocate(State &st, const core::StitchArch &arch, std::size_t k,
     }
 
     if (option.type == AccelTarget::Type::FusedPair) {
-        auto locals = freeLocalTiles(st, arch, option.local);
-        auto remotes = freePatchTiles(st, arch, option.remote);
+        auto locals = freeLocalTiles(st, arch, health, option.local);
+        auto remotes = freePatchTiles(st, arch, health, option.remote);
 
         // FindPath of Algorithm 1: consider pairs in increasing
         // distance and take the first with a contention-free route
@@ -163,8 +166,9 @@ namespace
 /** One stitching pass under a fixed policy. */
 StitchPlan
 stitchPass(const std::vector<KernelProfile> &kernels,
-           const core::StitchArch &arch, const StitchOptions &options,
-           bool singlesOnly);
+           const core::StitchArch &arch,
+           const fault::ArchHealth &health,
+           const StitchOptions &options, bool singlesOnly);
 
 } // namespace
 
@@ -173,17 +177,29 @@ stitchApplication(const std::vector<KernelProfile> &kernels,
                   const core::StitchArch &arch,
                   const StitchOptions &options)
 {
+    return stitchApplication(kernels, arch,
+                             fault::ArchHealth::healthy(), options);
+}
+
+StitchPlan
+stitchApplication(const std::vector<KernelProfile> &kernels,
+                  const core::StitchArch &arch,
+                  const fault::ArchHealth &health,
+                  const StitchOptions &options)
+{
     bool fusion = options.allowFusion;
     switch (options.policy) {
       case StitchPolicy::Greedy:
-        return stitchPass(kernels, arch, options, !fusion);
+        return stitchPass(kernels, arch, health, options, !fusion);
       case StitchPolicy::SinglesOnly:
-        return stitchPass(kernels, arch, options, true);
+        return stitchPass(kernels, arch, health, options, true);
       case StitchPolicy::Auto: {
-        StitchPlan singles = stitchPass(kernels, arch, options, true);
+        StitchPlan singles =
+            stitchPass(kernels, arch, health, options, true);
         if (!fusion)
             return singles;
-        StitchPlan greedy = stitchPass(kernels, arch, options, false);
+        StitchPlan greedy =
+            stitchPass(kernels, arch, health, options, false);
         return greedy.bottleneckCycles() <= singles.bottleneckCycles()
                    ? greedy
                    : singles;
@@ -197,13 +213,19 @@ namespace
 
 StitchPlan
 stitchPass(const std::vector<KernelProfile> &kernels,
-           const core::StitchArch &arch, const StitchOptions &options,
-           bool singlesOnly)
+           const core::StitchArch &arch,
+           const fault::ArchHealth &health,
+           const StitchOptions &options, bool singlesOnly)
 {
     STITCH_ASSERT(static_cast<int>(kernels.size()) <= numTiles,
                   "more kernels than tiles");
 
     State st;
+    // Failed links become unroutable before any FindPath runs, so
+    // every fusion the pass accepts is realizable on the degraded
+    // mesh; with a healthy mask this is a no-op and the pass is
+    // bit-for-bit the seed algorithm.
+    health.applyTo(st.snoc);
     st.placements.resize(kernels.size());
     st.cycles.resize(kernels.size());
     st.checked.resize(kernels.size());
@@ -213,7 +235,8 @@ stitchPass(const std::vector<KernelProfile> &kernels,
 
     auto patchesRemain = [&] {
         for (TileId t = 0; t < numTiles; ++t)
-            if (!st.patchUsed[static_cast<std::size_t>(t)])
+            if (!st.patchUsed[static_cast<std::size_t>(t)] &&
+                health.patchOk[static_cast<std::size_t>(t)])
                 return true;
         return false;
     };
@@ -256,7 +279,8 @@ stitchPass(const std::vector<KernelProfile> &kernels,
 
         bool progressed = false;
         for (const auto &[cycles, target] : viable) {
-            if (tryAllocate(st, arch, bottleneck, target, cycles)) {
+            if (tryAllocate(st, arch, health, bottleneck, target,
+                            cycles)) {
                 progressed = true;
                 break;
             }

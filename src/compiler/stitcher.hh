@@ -17,6 +17,7 @@
 #include "compiler/mapper.hh"
 #include "core/arch.hh"
 #include "core/snoc.hh"
+#include "fault/fault.hh"
 
 namespace stitch::compiler
 {
@@ -88,6 +89,21 @@ struct StitchOptions
 StitchPlan
 stitchApplication(const std::vector<KernelProfile> &kernels,
                   const core::StitchArch &arch,
+                  const StitchOptions &options = StitchOptions{});
+
+/**
+ * Degraded-mode stitching: like the overload above, but only patches
+ * marked healthy in `health` may be allocated and only healthy sNoC
+ * links may carry fused operands. Kernels whose options become
+ * unroutable fall back from fused to single-patch to software-only
+ * placement; a fully healthy mask reproduces the healthy plan
+ * bit-for-bit. Dead patches do not stop their tile hosting a
+ * software-only kernel — the core still runs.
+ */
+StitchPlan
+stitchApplication(const std::vector<KernelProfile> &kernels,
+                  const core::StitchArch &arch,
+                  const fault::ArchHealth &health,
                   const StitchOptions &options = StitchOptions{});
 
 } // namespace stitch::compiler

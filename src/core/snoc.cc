@@ -158,6 +158,8 @@ SnocConfig::addPath(TileId from, SnocPort entry, TileId to, SnocPort exit)
             TileId n = neighbourOf(t, d);
             if (n < 0 || dist[static_cast<std::size_t>(n)] >= 0)
                 continue;
+            if (!linkUp(t, d))
+                continue;
             if (!switches_[static_cast<std::size_t>(t)].outputFree(d))
                 continue;
             dist[static_cast<std::size_t>(n)] =
@@ -227,6 +229,28 @@ SnocConfig::addFusion(TileId local, PatchKind localKind, TileId remote,
     return std::nullopt;
 }
 
+void
+SnocConfig::disableLink(TileId t, SnocPort d)
+{
+    STITCH_ASSERT(t >= 0 && t < numTiles);
+    STITCH_ASSERT(d == SnocPort::North || d == SnocPort::East ||
+                      d == SnocPort::South || d == SnocPort::West,
+                  "only mesh links can fail");
+    TileId n = neighbourOf(t, d);
+    STITCH_ASSERT(n >= 0, "cannot disable a link off the mesh edge");
+    linkDown_[static_cast<std::size_t>(t)]
+             [static_cast<std::size_t>(d)] = true;
+    linkDown_[static_cast<std::size_t>(n)]
+             [static_cast<std::size_t>(oppositePort(d))] = true;
+}
+
+bool
+SnocConfig::linkUp(TileId t, SnocPort d) const
+{
+    return !linkDown_[static_cast<std::size_t>(t)]
+                     [static_cast<std::size_t>(d)];
+}
+
 const SnocPath *
 SnocConfig::findPath(TileId from, SnocPort entry, TileId to,
                      SnocPort exit) const
@@ -284,6 +308,9 @@ SnocConfig::validate(std::string *why) const
             TileId n = path.tiles[i + 1];
             if (tileDistance(t, n) != 1)
                 return fail("path hops between non-adjacent tiles");
+            if (!linkUp(t, directionTo(t, n)))
+                return fail(detail::formatMessage(
+                    "path routed over failed link t", t, "-t", n));
             SnocPort out = directionTo(t, n);
             SnocPort in =
                 i == 0 ? path.entry
@@ -318,6 +345,7 @@ SnocConfig::clear()
 {
     switches_ = {};
     paths_.clear();
+    linkDown_ = {};
 }
 
 } // namespace stitch::core

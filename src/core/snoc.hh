@@ -173,9 +173,33 @@ class SnocConfig
     std::array<std::uint32_t, numTiles> packRegisters() const;
 
     /**
-     * Check the global invariant (single driver per output and path
-     * consistency). Always true for configurations built through
-     * addPath; exposed for property tests.
+     * Mark the undirected mesh link out of `t` in direction `d` as
+     * failed: addPath will route around it and validate() rejects any
+     * registered path crossing it. Both directions of the physical
+     * link go down. Used by the fault model's ArchHealth to make the
+     * stitcher re-stitch around broken wires.
+     */
+    void disableLink(TileId t, SnocPort d);
+
+    /** True unless the link out of `t` toward `d` was disabled. */
+    bool linkUp(TileId t, SnocPort d) const;
+
+    /** Any disableLink() calls recorded on this configuration? */
+    bool
+    hasDisabledLinks() const
+    {
+        for (const auto &row : linkDown_)
+            for (bool down : row)
+                if (down)
+                    return true;
+        return false;
+    }
+
+    /**
+     * Check the global invariant (single driver per output, path
+     * consistency, no path over a disabled link). Always true for
+     * configurations built through addPath; exposed for property
+     * tests.
      */
     bool validate(std::string *why = nullptr) const;
 
@@ -184,6 +208,9 @@ class SnocConfig
   private:
     std::array<SwitchConfig, numTiles> switches_{};
     std::vector<SnocPath> paths_;
+
+    /** Failed mesh out-links, indexed [tile][direction N/E/S/W]. */
+    std::array<std::array<bool, 4>, numTiles> linkDown_{};
 };
 
 } // namespace stitch::core

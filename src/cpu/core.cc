@@ -82,6 +82,7 @@ Core::loadProgram(const isa::Program &prog)
     time_ = 0;
     retired_ = 0;
     execStart_ = 0;
+    pendingRecv_.reset();
     halted_ = prog_.code().empty();
 }
 
@@ -303,8 +304,10 @@ Core::execute(const Instr &in)
             // has advanced past a sender.
             pc_ = thisPc;
             time_ -= 1; // undo the base cycle; nothing retired
+            pendingRecv_ = PendingRecv{src, in.imm};
             return StepResult::Blocked;
         }
+        pendingRecv_.reset();
         setReg(in.rd0, msg->first);
         if (msg->second > time_) {
             Cycles arrival = msg->second;
@@ -365,7 +368,7 @@ Core::runToHalt(std::uint64_t maxInstructions)
         if (r == StepResult::Blocked)
             fatal("standalone core ", id_, " blocked on RECV in ",
                   prog_.name());
-        if (retired_ > maxInstructions)
+        if (!halted_ && retired_ >= maxInstructions)
             fatal("program ", prog_.name(), " exceeded ",
                   maxInstructions, " instructions; runaway loop?");
     }

@@ -104,6 +104,26 @@ class Core
     bool halted() const { return halted_; }
     TileId id() const { return id_; }
 
+    /** Word address of the next instruction (diagnostics). */
+    Addr pc() const { return pc_; }
+
+    /** The message a blocked RECV is waiting on. */
+    struct PendingRecv
+    {
+        TileId src = -1;
+        int tag = 0;
+    };
+
+    /**
+     * Set while the last step() returned Blocked: which (src, tag)
+     * the stalled RECV polls for. The scheduler uses it to wake only
+     * matching receivers and to report blocked state on deadlock.
+     */
+    const std::optional<PendingRecv> &pendingRecv() const
+    {
+        return pendingRecv_;
+    }
+
     Cycles time() const { return time_; }
     void setTime(Cycles t) { time_ = t; }
 
@@ -162,6 +182,7 @@ class Core
     std::uint64_t retired_ = 0;
     bool halted_ = true;
     std::uint32_t xbarReg_ = 0;
+    std::optional<PendingRecv> pendingRecv_;
 
     StatGroup stats_;
 

@@ -1,0 +1,280 @@
+#include "fault/fault.hh"
+
+#include <sstream>
+
+namespace stitch::fault
+{
+
+const char *
+terminationName(Termination t)
+{
+    switch (t) {
+      case Termination::Completed: return "completed";
+      case Termination::Deadlock: return "deadlock";
+      case Termination::InstructionLimit: return "instruction-limit";
+      case Termination::Fault: return "fault";
+    }
+    STITCH_PANIC("bad Termination");
+}
+
+PatchFaultError::PatchFaultError(PatchFault fault)
+    : SimError(detail::formatMessage(
+          "patch fault: CUST on tile ", fault.tile, " hit dead ",
+          core::patchKindName(fault.kind), " patch ", fault.patch,
+          " (", fault.reason, ")")),
+      fault_(std::move(fault))
+{}
+
+std::string
+SnocLink::name() const
+{
+    TileId n = core::neighbourOf(tile, dir);
+    std::ostringstream os;
+    os << "t" << tile << "-t" << n;
+    return os.str();
+}
+
+std::vector<SnocLink>
+allSnocLinks()
+{
+    // East and South out-links of every tile cover each undirected
+    // mesh link exactly once.
+    std::vector<SnocLink> links;
+    for (TileId t = 0; t < numTiles; ++t) {
+        for (core::SnocPort d :
+             {core::SnocPort::East, core::SnocPort::South}) {
+            if (core::neighbourOf(t, d) >= 0)
+                links.push_back({t, d});
+        }
+    }
+    return links;
+}
+
+bool
+FaultPlan::anyFault() const
+{
+    return anyHardFault() || msgDropProb > 0.0 || msgDelayProb > 0.0 ||
+           custFlipProb > 0.0;
+}
+
+bool
+FaultPlan::anyHardFault() const
+{
+    for (bool dead : patchDead)
+        if (dead)
+            return true;
+    return !snocLinksDown.empty();
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::ostringstream os;
+    const char *sep = "";
+    for (TileId t = 0; t < numTiles; ++t) {
+        if (patchDead[static_cast<std::size_t>(t)]) {
+            os << sep << "patch" << t << " dead";
+            sep = ", ";
+        }
+    }
+    for (const auto &link : snocLinksDown) {
+        os << sep << "link " << link.name() << " down";
+        sep = ", ";
+    }
+    if (msgDropProb > 0.0) {
+        os << sep << "msg drop p=" << msgDropProb;
+        sep = ", ";
+    }
+    if (msgDelayProb > 0.0) {
+        os << sep << "msg delay p=" << msgDelayProb << " +"
+           << msgDelayCycles << "cy";
+        sep = ", ";
+    }
+    if (custFlipProb > 0.0) {
+        os << sep << "cust bit-flip p=" << custFlipProb;
+        sep = ", ";
+    }
+    if (os.str().empty())
+        return "healthy";
+    return os.str();
+}
+
+void
+FaultPlan::validate() const
+{
+    auto prob = [](double p, const char *what) {
+        if (!(p >= 0.0 && p <= 1.0))
+            throw ConfigError(detail::formatMessage(
+                what, " probability ", p, " outside [0, 1]"));
+    };
+    prob(msgDropProb, "message-drop");
+    prob(msgDelayProb, "message-delay");
+    prob(custFlipProb, "cust bit-flip");
+    for (const auto &link : snocLinksDown) {
+        if (link.tile < 0 || link.tile >= numTiles)
+            throw ConfigError(detail::formatMessage(
+                "failed sNoC link names tile ", link.tile,
+                " outside the mesh"));
+        if (link.dir != core::SnocPort::North &&
+            link.dir != core::SnocPort::East &&
+            link.dir != core::SnocPort::South &&
+            link.dir != core::SnocPort::West)
+            throw ConfigError(
+                "failed sNoC link direction is not a mesh port");
+        if (core::neighbourOf(link.tile, link.dir) < 0)
+            throw ConfigError(detail::formatMessage(
+                "failed sNoC link ", "t", link.tile, "/",
+                core::snocPortName(link.dir),
+                " points off the mesh edge"));
+    }
+    if (msgDelayProb > 0.0 && msgDelayCycles == 0)
+        throw ConfigError(
+            "message-delay fault armed with a zero-cycle delay");
+}
+
+FaultPlan
+FaultPlan::patchFailure(TileId t)
+{
+    STITCH_ASSERT(t >= 0 && t < numTiles);
+    FaultPlan plan;
+    plan.patchDead[static_cast<std::size_t>(t)] = true;
+    return plan;
+}
+
+FaultPlan
+FaultPlan::linkFailure(const SnocLink &link)
+{
+    FaultPlan plan;
+    plan.snocLinksDown.push_back(link);
+    return plan;
+}
+
+FaultPlan
+FaultPlan::messageDrop(double prob, std::uint64_t seed)
+{
+    FaultPlan plan;
+    plan.msgDropProb = prob;
+    plan.seed = seed;
+    return plan;
+}
+
+FaultPlan
+FaultPlan::messageDelay(double prob, Cycles extra, std::uint64_t seed)
+{
+    FaultPlan plan;
+    plan.msgDelayProb = prob;
+    plan.msgDelayCycles = extra;
+    plan.seed = seed;
+    return plan;
+}
+
+FaultPlan
+FaultPlan::bitFlips(double prob, std::uint64_t seed)
+{
+    FaultPlan plan;
+    plan.custFlipProb = prob;
+    plan.seed = seed;
+    return plan;
+}
+
+ArchHealth
+ArchHealth::healthy()
+{
+    ArchHealth h;
+    h.patchOk.fill(true);
+    return h;
+}
+
+ArchHealth
+ArchHealth::fromPlan(const FaultPlan &plan)
+{
+    ArchHealth h = healthy();
+    for (TileId t = 0; t < numTiles; ++t)
+        if (plan.patchDead[static_cast<std::size_t>(t)])
+            h.patchOk[static_cast<std::size_t>(t)] = false;
+    h.linksDown = plan.snocLinksDown;
+    return h;
+}
+
+bool
+ArchHealth::allHealthy() const
+{
+    for (bool ok : patchOk)
+        if (!ok)
+            return false;
+    return linksDown.empty();
+}
+
+void
+ArchHealth::applyTo(core::SnocConfig &snoc) const
+{
+    for (const auto &link : linksDown)
+        snoc.disableLink(link.tile, link.dir);
+}
+
+namespace
+{
+
+/** splitmix64: a counter-based generator; full 64-bit avalanche. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Uniform double in [0, 1) from stream `stream` at index `n`. */
+double
+uniform(std::uint64_t seed, std::uint64_t stream, std::uint64_t n)
+{
+    std::uint64_t bits = mix64(mix64(seed ^ (stream << 32)) + n);
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t streamDrop = 1;
+constexpr std::uint64_t streamDelay = 2;
+constexpr std::uint64_t streamFlip = 3;
+constexpr std::uint64_t streamFlipBit = 4;
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultPlan &plan) : plan_(plan)
+{
+    plan_.validate();
+}
+
+bool
+FaultInjector::dropMessage()
+{
+    if (plan_.msgDropProb <= 0.0)
+        return false;
+    return uniform(plan_.seed, streamDrop, dropCount_++) <
+           plan_.msgDropProb;
+}
+
+Cycles
+FaultInjector::messageDelay()
+{
+    if (plan_.msgDelayProb <= 0.0)
+        return 0;
+    return uniform(plan_.seed, streamDelay, delayCount_++) <
+                   plan_.msgDelayProb
+               ? plan_.msgDelayCycles
+               : 0;
+}
+
+std::optional<int>
+FaultInjector::custFlipBit()
+{
+    if (plan_.custFlipProb <= 0.0)
+        return std::nullopt;
+    std::uint64_t n = flipCount_++;
+    if (uniform(plan_.seed, streamFlip, n) >= plan_.custFlipProb)
+        return std::nullopt;
+    return static_cast<int>(
+        mix64(mix64(plan_.seed ^ (streamFlipBit << 32)) + n) % 32);
+}
+
+} // namespace stitch::fault

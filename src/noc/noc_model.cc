@@ -71,6 +71,13 @@ NocModel::baseLatency(TileId src, TileId dst) const
 Cycles
 NocModel::send(TileId src, TileId dst, int tag, Word value, Cycles now)
 {
+    return send(src, dst, tag, value, now, 0);
+}
+
+Cycles
+NocModel::send(TileId src, TileId dst, int tag, Word value, Cycles now,
+               Cycles extraLatency)
+{
     STITCH_ASSERT(src >= 0 && src < numTiles, "bad source tile ", src);
     if (dst < 0 || dst >= numTiles)
         fatal("SEND to invalid tile ", dst);
@@ -94,7 +101,7 @@ NocModel::send(TileId src, TileId dst, int tag, Word value, Cycles now)
         }
     }
     Cycles arrival = head + static_cast<Cycles>(params_.dataFlits - 1) +
-                     params_.nicEject;
+                     params_.nicEject + extraLatency;
 
     if (obs::Tracer::enabled()) {
         // One slice per packet on the source tile's NoC row, spanning

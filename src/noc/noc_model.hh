@@ -55,6 +55,14 @@ class NocModel : public cpu::MessageHub
     Cycles send(TileId src, TileId dst, int tag, Word value,
                 Cycles now) override;
 
+    /**
+     * Like send(), but the packet arrives `extraLatency` cycles late.
+     * The fault layer uses this to model transient congestion or a
+     * glitching router; zero is exactly the plain send().
+     */
+    Cycles send(TileId src, TileId dst, int tag, Word value,
+                Cycles now, Cycles extraLatency);
+
     std::optional<std::pair<Word, Cycles>>
     tryRecv(TileId dst, TileId src, int tag) override;
 

@@ -37,6 +37,43 @@ runReport(const RunStats &stats, const obs::Registry *registry)
     obs::Json doc = obs::Json::object();
     doc.set("schema", runReportSchema);
     doc.set("version", runReportVersion);
+    doc.set("termination",
+            fault::terminationName(stats.termination));
+
+    if (!stats.blockedTiles.empty()) {
+        obs::Json blocked = obs::Json::array();
+        for (const auto &diag : stats.blockedTiles) {
+            obs::Json bj = obs::Json::object();
+            bj.set("tile", diag.tile);
+            bj.set("waiting_src", diag.waitingSrc);
+            bj.set("waiting_tag", diag.waitingTag);
+            bj.set("pc", static_cast<std::uint64_t>(diag.pc));
+            bj.set("local_time", diag.time);
+            blocked.push(bj);
+        }
+        doc.set("blocked_tiles", blocked);
+    }
+
+    if (!stats.faultMessage.empty())
+        doc.set("fault_message", stats.faultMessage);
+
+    if (stats.patchFault) {
+        obs::Json fj = obs::Json::object();
+        fj.set("tile", stats.patchFault->tile);
+        fj.set("patch", stats.patchFault->patch);
+        fj.set("kind", core::patchKindName(stats.patchFault->kind));
+        fj.set("reason", stats.patchFault->reason);
+        doc.set("patch_fault", fj);
+    }
+
+    if (stats.messagesDropped || stats.messagesDelayed ||
+        stats.custBitFlips) {
+        obs::Json inj = obs::Json::object();
+        inj.set("messages_dropped", stats.messagesDropped);
+        inj.set("messages_delayed", stats.messagesDelayed);
+        inj.set("cust_bit_flips", stats.custBitFlips);
+        doc.set("injected_faults", inj);
+    }
 
     obs::Json totals = obs::Json::object();
     totals.set("makespan_cycles", stats.makespan);
@@ -72,6 +109,54 @@ runReport(const RunStats &stats, const obs::Registry *registry)
 
     if (registry)
         doc.set("stats", registry->toJson(/*skipZero=*/true));
+    return doc;
+}
+
+obs::Json
+stitchPlanJson(const compiler::StitchPlan &plan)
+{
+    obs::Json doc = obs::Json::object();
+    doc.set("bottleneck_cycles", plan.bottleneckCycles());
+
+    obs::Json placements = obs::Json::array();
+    for (std::size_t k = 0; k < plan.placements.size(); ++k) {
+        const auto &p = plan.placements[k];
+        obs::Json pj = obs::Json::object();
+        pj.set("kernel", static_cast<std::uint64_t>(k));
+        pj.set("tile", p.tile);
+        pj.set("cycles", p.cycles);
+        if (!p.accel) {
+            pj.set("mode", "software");
+        } else {
+            switch (p.accel->type) {
+              case compiler::AccelTarget::Type::SinglePatch:
+                pj.set("mode", "single");
+                pj.set("patch", core::patchKindName(p.accel->local));
+                break;
+              case compiler::AccelTarget::Type::FusedPair:
+                pj.set("mode", "fused");
+                pj.set("patch", core::patchKindName(p.accel->local));
+                pj.set("remote_patch",
+                       core::patchKindName(p.accel->remote));
+                pj.set("remote_tile", p.remoteTile);
+                pj.set("forward_hops", p.forwardHops);
+                pj.set("back_hops", p.backHops);
+                break;
+              case compiler::AccelTarget::Type::Locus:
+                pj.set("mode", "locus");
+                break;
+            }
+        }
+        placements.push(pj);
+    }
+    doc.set("placements", placements);
+
+    // The packed crossbar registers pin down the routed sNoC exactly;
+    // two plans are the same configuration iff these match.
+    obs::Json regs = obs::Json::array();
+    for (std::uint32_t r : plan.snoc.packRegisters())
+        regs.push(static_cast<std::uint64_t>(r));
+    doc.set("snoc_registers", regs);
     return doc;
 }
 

@@ -13,6 +13,7 @@
 
 #include <string>
 
+#include "compiler/stitcher.hh"
 #include "obs/json.hh"
 #include "obs/registry.hh"
 #include "sim/system.hh"
@@ -21,7 +22,9 @@ namespace stitch::sim
 {
 
 inline constexpr const char *runReportSchema = "stitch-run-report";
-inline constexpr int runReportVersion = 1;
+
+/** v2 adds "termination" plus deadlock/fault diagnostics. */
+inline constexpr int runReportVersion = 2;
 
 /**
  * Build the report document for one run. When `registry` is non-null
@@ -34,6 +37,14 @@ obs::Json runReport(const RunStats &stats,
 /** Pretty-print runReport() to `path`; fatal on I/O failure. */
 void writeRunReport(const std::string &path, const RunStats &stats,
                     const obs::Registry *registry = nullptr);
+
+/**
+ * JSON view of a stitch plan (per-kernel placement, fusion routes,
+ * bottleneck cycles). Fault campaigns embed it next to the run
+ * report so a degraded scenario's placement is inspectable from
+ * artifacts.
+ */
+obs::Json stitchPlanJson(const compiler::StitchPlan &plan);
 
 } // namespace stitch::sim
 

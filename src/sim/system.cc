@@ -7,9 +7,51 @@
 namespace stitch::sim
 {
 
-System::System(const SystemParams &params)
-    : params_(params), noc_(params.noc)
+namespace
 {
+
+/**
+ * Eager parameter validation: a malformed configuration is a typed
+ * error at construction, not a mysterious crash mid-run.
+ */
+void
+validateParams(const SystemParams &params)
+{
+    auto bad = [](auto &&...msg) {
+        throw fault::ConfigError(
+            detail::formatMessage("invalid SystemParams: ",
+                                  std::forward<decltype(msg)>(msg)...));
+    };
+    auto checkCache = [&](const mem::CacheParams &c, const char *name) {
+        if (c.blockBytes == 0 ||
+            (c.blockBytes & (c.blockBytes - 1)) != 0)
+            bad(name, " block size ", c.blockBytes,
+                " is not a power of two");
+        if (c.assoc < 1)
+            bad(name, " needs at least one way");
+        if (c.sizeBytes < c.blockBytes * c.assoc)
+            bad(name, " of ", c.sizeBytes,
+                " bytes cannot hold one set of ", c.assoc, " ways");
+    };
+    checkCache(params.mem.icache, "icache");
+    checkCache(params.mem.dcache, "dcache");
+    if (params.noc.dataFlits < 1)
+        bad("a packet needs at least one flit");
+    if (params.noc.routerStages < 1)
+        bad("routers need at least one pipeline stage");
+    params.faults.validate(); // throws ConfigError itself
+    if (params.faults.anyHardFault() &&
+        params.accel != AccelMode::Stitch)
+        bad("patch / sNoC-link faults require the Stitch fabric");
+}
+
+} // namespace
+
+System::System(const SystemParams &params)
+    : params_(params), noc_(params.noc), injector_(/*deferred*/)
+{
+    validateParams(params_);
+    injector_ = fault::FaultInjector(params_.faults);
     for (TileId t = 0; t < numTiles; ++t) {
         Tile &tile = tiles_[static_cast<std::size_t>(t)];
         tile.memory = std::make_unique<mem::TileMemory>(params_.mem);
@@ -42,6 +84,12 @@ System::System(const SystemParams &params)
     snocHops_ = &snocStats_.counter("hops");
     if (params_.accel == AccelMode::Stitch)
         registry_.add("snoc", snocStats_);
+
+    msgsDropped_ = &faultStats_.counter("messages_dropped");
+    msgsDelayed_ = &faultStats_.counter("messages_delayed");
+    bitFlips_ = &faultStats_.counter("cust_bit_flips");
+    if (injector_.active())
+        registry_.add("fault", faultStats_);
 }
 
 void
@@ -53,7 +101,8 @@ System::loadProgram(TileId t, const compiler::RewrittenProgram &binary)
     if (params_.accel == AccelMode::Locus)
         tile.locus->installTable(binary.microTable);
     else if (!binary.microTable.empty())
-        fatal("LOCUS binary loaded on a non-LOCUS system");
+        throw fault::BinaryMismatchError(
+            "LOCUS binary loaded on a non-LOCUS system");
     tile.loaded = true;
     tile.blocked = false;
     // Same per-run discipline as the core's own counters (see
@@ -78,7 +127,25 @@ System::configureSnoc(const core::SnocConfig &snoc)
                   "the inter-patch NoC exists only in Stitch mode");
     std::string why;
     if (!snoc.validate(&why))
-        fatal("invalid sNoC configuration: ", why);
+        throw fault::ConfigError("invalid sNoC configuration: " + why);
+    // A preset that routes operands over a failed mesh link cannot
+    // work on this hardware: reject it here, where the caller can
+    // still re-stitch with the matching ArchHealth, rather than
+    // corrupting fused CUSTs mid-run.
+    for (const auto &link : params_.faults.snocLinksDown) {
+        TileId n = core::neighbourOf(link.tile, link.dir);
+        for (const auto &path : snoc.paths()) {
+            for (std::size_t i = 0; i + 1 < path.tiles.size(); ++i) {
+                TileId a = path.tiles[i];
+                TileId b = path.tiles[i + 1];
+                if ((a == link.tile && b == n) ||
+                    (a == n && b == link.tile))
+                    throw fault::ConfigError(detail::formatMessage(
+                        "sNoC preset routes a path over failed link ",
+                        link.name()));
+            }
+        }
+    }
     // Mirror the compiler's preset into the memory-mapped crossbar
     // configuration registers (paper Section III-B): one store per
     // tile before the application launches.
@@ -135,15 +202,32 @@ System::executeCustom(TileId t, std::uint64_t blob,
     if (params_.accel == AccelMode::Locus)
         return tile.locus->executeCustom(t, blob, in);
     if (params_.accel == AccelMode::None)
-        fatal("CUST executed on the baseline system (tile ", t, ")");
+        throw fault::BinaryMismatchError(detail::formatMessage(
+            "CUST executed on the baseline system (tile ", t, ")"));
 
     auto cfg = core::FusedConfig::unpackBlob(blob);
     auto kind = params_.arch.kindOf(t);
     if (cfg.localKind != kind) {
-        fatal("tile ", t, " hosts ", core::patchKindName(kind),
-              " but the binary expects ",
-              core::patchKindName(cfg.localKind));
+        throw fault::BinaryMismatchError(detail::formatMessage(
+            "tile ", t, " hosts ", core::patchKindName(kind),
+            " but the binary expects ",
+            core::patchKindName(cfg.localKind)));
     }
+
+    // A hard-failed patch raises a structured fault instead of
+    // silently corrupting; System::run converts it into
+    // Termination::Fault so the harness can re-stitch around the
+    // dead patch and fall back to the preserved software body.
+    auto diePatch = [&](TileId patch, const char *reason) {
+        fault::PatchFault pf;
+        pf.tile = t;
+        pf.patch = patch;
+        pf.kind = params_.arch.kindOf(patch);
+        pf.reason = reason;
+        throw fault::PatchFaultError(std::move(pf));
+    };
+    if (injector_.patchDead(t))
+        diePatch(t, "local patch failed");
 
     core::CustResult res;
     TileId partner = -1;
@@ -152,18 +236,41 @@ System::executeCustom(TileId t, std::uint64_t blob,
     } else {
         partner = tile.fusionPartner;
         if (partner < 0)
-            fatal("fused CUST on tile ", t,
-                  " without a stitched partner");
+            throw fault::BinaryMismatchError(detail::formatMessage(
+                "fused CUST on tile ", t,
+                " without a stitched partner"));
         auto remoteKind = params_.arch.kindOf(partner);
         if (cfg.remoteKind != remoteKind) {
-            fatal("tile ", t, " stitched to ",
-                  core::patchKindName(remoteKind),
-                  " but binary expects ",
-                  core::patchKindName(cfg.remoteKind));
+            throw fault::BinaryMismatchError(detail::formatMessage(
+                "tile ", t, " stitched to ",
+                core::patchKindName(remoteKind),
+                " but binary expects ",
+                core::patchKindName(cfg.remoteKind)));
         }
+        if (injector_.patchDead(partner))
+            diePatch(partner, "fused partner patch failed");
         // The mapper never places LMAU work on the remote patch, so
         // the remote SPM port stays disabled (NullSpmPort enforces).
         res = core::executeCustom(cfg, in, *tile.spmPort, &nullSpm_);
+    }
+
+    // Transient bit flips: the datapath produced a value, but one
+    // output bit toggled in flight. The run continues — detecting the
+    // corruption is the application's (or validation's) problem,
+    // exactly like real silicon.
+    if (auto bit = injector_.custFlipBit();
+        bit && (res.writeRd0 || res.writeRd1)) {
+        if (res.writeRd0)
+            res.rd0 ^= Word{1} << *bit;
+        else
+            res.rd1 ^= Word{1} << *bit;
+        ++*bitFlips_;
+        if (obs::Tracer::enabled()) {
+            obs::Tracer::instance().instant(
+                obs::Tracer::pidTiles, t, "FAULT bit-flip",
+                tile.core->time(),
+                {{"bit", static_cast<std::uint64_t>(*bit)}});
+        }
     }
 
     auto &pc = patchCounters_[static_cast<std::size_t>(t)];
@@ -190,7 +297,29 @@ System::executeCustom(TileId t, std::uint64_t blob,
 Cycles
 System::send(TileId src, TileId dst, int tag, Word value, Cycles now)
 {
-    sendSinceLastCheck_ = true;
+    if (injector_.active()) {
+        if (injector_.dropMessage()) {
+            // The packet dies in the network. The sender has already
+            // paid its injection overhead and moves on (asynchronous
+            // send); only the receiver can notice, as a deadlock the
+            // run loop will diagnose.
+            ++*msgsDropped_;
+            if (obs::Tracer::enabled()) {
+                obs::Tracer::instance().instant(
+                    obs::Tracer::pidNoc, src, "FAULT pkt dropped",
+                    now,
+                    {{"dst", static_cast<std::uint64_t>(dst)},
+                     {"tag", static_cast<std::uint64_t>(tag)}});
+            }
+            return noc_.params().nicInject;
+        }
+        Cycles extra = injector_.messageDelay();
+        if (extra > 0)
+            ++*msgsDelayed_;
+        sentThisStep_.push_back({src, dst, tag});
+        return noc_.send(src, dst, tag, value, now, extra);
+    }
+    sentThisStep_.push_back({src, dst, tag});
     return noc_.send(src, dst, tag, value, now);
 }
 
@@ -205,6 +334,9 @@ System::run(std::uint64_t maxInstructions)
 {
     RunStats stats;
     std::uint64_t executed = 0;
+    // Injected-fault counters describe one run, like the per-tile
+    // patch counters (handles stay valid; values zero in place).
+    faultStats_.reset();
 
     while (true) {
         // Pick the runnable (loaded, not halted, not blocked) core
@@ -222,32 +354,84 @@ System::run(std::uint64_t maxInstructions)
         }
 
         if (pick < 0) {
-            // Nothing runnable: either done, or deadlocked.
-            bool anyBlocked = false;
-            for (auto &tile : tiles_)
-                anyBlocked = anyBlocked ||
-                             (tile.loaded && tile.blocked);
-            if (!anyBlocked)
-                break;
-            fatal("message-passing deadlock: every active core is "
-                  "blocked in RECV");
+            // Nothing runnable: either done, or deadlocked. A
+            // deadlock is a termination with per-tile diagnostics,
+            // not an abort — partial stats stay inspectable.
+            for (TileId t = 0; t < numTiles; ++t) {
+                Tile &tile = tiles_[static_cast<std::size_t>(t)];
+                if (!tile.loaded || !tile.blocked)
+                    continue;
+                BlockedTileDiag diag;
+                diag.tile = t;
+                if (const auto &pending = tile.core->pendingRecv()) {
+                    diag.waitingSrc = pending->src;
+                    diag.waitingTag = pending->tag;
+                }
+                diag.pc = tile.core->pc();
+                diag.time = tile.core->time();
+                if (obs::Tracer::enabled()) {
+                    obs::Tracer::instance().instant(
+                        obs::Tracer::pidTiles, t, "DEADLOCK blocked",
+                        diag.time,
+                        {{"src", static_cast<std::uint64_t>(
+                                     diag.waitingSrc)},
+                         {"tag", static_cast<std::uint64_t>(
+                                     diag.waitingTag)}});
+                }
+                stats.blockedTiles.push_back(diag);
+            }
+            if (!stats.blockedTiles.empty())
+                stats.termination = fault::Termination::Deadlock;
+            break;
+        }
+
+        if (executed >= maxInstructions) {
+            // The step budget ran out with work remaining: report a
+            // bounded, non-fatal termination (exactly
+            // maxInstructions steps were attempted).
+            stats.termination = fault::Termination::InstructionLimit;
+            break;
         }
 
         Tile &tile = tiles_[static_cast<std::size_t>(pick)];
-        sendSinceLastCheck_ = false;
-        auto result = tile.core->step();
+        sentThisStep_.clear();
+        cpu::StepResult result;
+        try {
+            result = tile.core->step();
+        } catch (const fault::PatchFaultError &err) {
+            stats.termination = fault::Termination::Fault;
+            stats.patchFault = err.fault();
+            stats.faultMessage = err.what();
+            warn(err.what());
+            break;
+        } catch (const FatalError &err) {
+            // A core tripped over state an injected fault corrupted
+            // (e.g. a flipped CUST output used as an address). With
+            // injection active that is a run outcome, not simulator
+            // misuse; without, it is a real bug — re-raise.
+            if (!injector_.active())
+                throw;
+            stats.termination = fault::Termination::Fault;
+            stats.faultMessage = detail::formatMessage(
+                "tile ", pick, " crashed: ", err.what());
+            warn(stats.faultMessage);
+            break;
+        }
         ++executed;
-        if (executed > maxInstructions)
-            fatal("system exceeded ", maxInstructions,
-                  " instructions; runaway application?");
 
         if (result == cpu::StepResult::Blocked)
             tile.blocked = true;
-        if (sendSinceLastCheck_) {
-            // A message entered the network; blocked receivers may
-            // now be able to make progress.
-            for (auto &other : tiles_)
-                other.blocked = false;
+        // Wake exactly the receivers whose pending RECV matches a
+        // message injected this step; everyone else would re-poll,
+        // fail, and re-block.
+        for (const auto &msg : sentThisStep_) {
+            Tile &rx = tiles_[static_cast<std::size_t>(msg.dst)];
+            if (!rx.blocked)
+                continue;
+            const auto &pending = rx.core->pendingRecv();
+            if (pending && pending->src == msg.src &&
+                pending->tag == msg.tag)
+                rx.blocked = false;
         }
     }
 
@@ -277,6 +461,9 @@ System::run(std::uint64_t maxInstructions)
     stats.snocHops = snocStats_.get("hops");
     stats.messages = noc_.stats().get("packets");
     stats.linkBusyCycles = noc_.linkBusyCycles();
+    stats.messagesDropped = faultStats_.get("messages_dropped");
+    stats.messagesDelayed = faultStats_.get("messages_delayed");
+    stats.custBitFlips = faultStats_.get("cust_bit_flips");
     return stats;
 }
 

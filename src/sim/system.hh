@@ -23,6 +23,7 @@
 #include "core/snoc.hh"
 #include "cpu/core.hh"
 #include "cpu/patch_handler.hh"
+#include "fault/fault.hh"
 #include "mem/tile_memory.hh"
 #include "noc/noc_model.hh"
 #include "obs/registry.hh"
@@ -45,6 +46,9 @@ struct SystemParams
     noc::NocParams noc;
     core::StitchArch arch = core::StitchArch::standard();
     AccelMode accel = AccelMode::Stitch;
+
+    /** Hardware faults to inject (default: none). */
+    fault::FaultPlan faults;
 };
 
 /** Per-tile activity of one run. */
@@ -76,9 +80,47 @@ struct TileStats
     }
 };
 
+/** One tile blocked in RECV when the run ended (diagnostics). */
+struct BlockedTileDiag
+{
+    TileId tile = -1;
+    TileId waitingSrc = -1; ///< SEND partner the RECV polls for
+    int waitingTag = 0;
+    Addr pc = 0;       ///< word address of the stalled RECV
+    Cycles time = 0;   ///< the tile's local time when it stalled
+};
+
 /** Per-run statistics. */
 struct RunStats
 {
+    /**
+     * How the run ended. Abnormal ends (deadlock, instruction limit,
+     * injected fault) are terminations, not exceptions: the partial
+     * stats below describe the run up to that point, and the
+     * diagnostics fields say why it stopped. Only misconfiguration
+     * (a binary the system cannot execute) still throws.
+     */
+    fault::Termination termination = fault::Termination::Completed;
+
+    /** Blocked-in-RECV tiles; non-empty iff termination==Deadlock. */
+    std::vector<BlockedTileDiag> blockedTiles;
+
+    /** The surfaced fault; set iff the fault was a dead patch. */
+    std::optional<fault::PatchFault> patchFault;
+
+    /**
+     * Why the run faulted; set iff termination==Fault. Covers dead
+     * patches and secondary damage (e.g. a flipped CUST output word
+     * feeding address arithmetic until a core accesses unmapped
+     * memory).
+     */
+    std::string faultMessage;
+
+    /** Injected-fault activity during the run. */
+    std::uint64_t messagesDropped = 0;
+    std::uint64_t messagesDelayed = 0;
+    std::uint64_t custBitFlips = 0;
+
     Cycles makespan = 0;
     std::uint64_t instructions = 0; ///< sum over loaded tiles only
     std::uint64_t customInstructions = 0;
@@ -106,6 +148,11 @@ struct RunStats
 class System : public cpu::CustomHandler, public cpu::MessageHub
 {
   public:
+    /**
+     * Validates `params` eagerly: malformed memory/NoC parameters or
+     * an invalid FaultPlan throw fault::ConfigError here rather than
+     * corrupting a run later.
+     */
     explicit System(const SystemParams &params = SystemParams{});
 
     /** Load a binary onto a tile (resets that core). */
@@ -121,7 +168,12 @@ class System : public cpu::CustomHandler, public cpu::MessageHub
     /** Write one word into a tile's private memory (comm tables). */
     void pokeWord(TileId tile, Addr addr, Word value);
 
-    /** Run every loaded core to completion. */
+    /**
+     * Run every loaded core until completion, deadlock, the step
+     * budget, or a surfaced hardware fault — see
+     * RunStats::termination. Never throws for those; it throws
+     * (typed) only for binaries the system cannot execute at all.
+     */
     RunStats run(std::uint64_t maxInstructions = 2'000'000'000ull);
 
     cpu::Core &coreAt(TileId t);
@@ -167,11 +219,20 @@ class System : public cpu::CustomHandler, public cpu::MessageHub
         Counter *spmStores = nullptr;
     };
 
+    /** A message injected during the current step (for wake-up). */
+    struct SentMessage
+    {
+        TileId src = -1;
+        TileId dst = -1;
+        int tag = 0;
+    };
+
     SystemParams params_;
     noc::NocModel noc_;
     std::array<Tile, numTiles> tiles_;
     core::NullSpmPort nullSpm_;
-    bool sendSinceLastCheck_ = false;
+    fault::FaultInjector injector_;
+    std::vector<SentMessage> sentThisStep_;
 
     core::SnocConfig snocCfg_; ///< preset kept for hop attribution
     std::array<StatGroup, numTiles> patchStats_;
@@ -179,6 +240,13 @@ class System : public cpu::CustomHandler, public cpu::MessageHub
     StatGroup snocStats_;
     Counter *snocFused_ = nullptr;
     Counter *snocHops_ = nullptr;
+
+    /** Injected-fault activity (registered as "fault" when armed). */
+    StatGroup faultStats_;
+    Counter *msgsDropped_ = nullptr;
+    Counter *msgsDelayed_ = nullptr;
+    Counter *bitFlips_ = nullptr;
+
     obs::Registry registry_;
 };
 

@@ -1,0 +1,501 @@
+/** @file Fault model tests: typed validation, deterministic
+ *  injection, termination semantics, and degraded re-stitching. */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "compiler/stitcher.hh"
+#include "fault/fault.hh"
+#include "isa/assembler.hh"
+#include "sim/report.hh"
+#include "sim/system.hh"
+
+namespace stitch::fault
+{
+namespace
+{
+
+using namespace isa::reg;
+using compiler::AccelTarget;
+using compiler::KernelProfile;
+using core::PatchKind;
+using isa::Assembler;
+
+compiler::RewrittenProgram
+wrap(isa::Program prog)
+{
+    compiler::RewrittenProgram binary;
+    binary.program = std::move(prog);
+    return binary;
+}
+
+/** The mul-add CUST of the System tests: rd = 6 * 7 + 100. */
+compiler::RewrittenProgram
+mulAddCust()
+{
+    core::FusedConfig cfg;
+    cfg.localKind = PatchKind::ATMA;
+    cfg.local.a1op = core::AluOp::Pass;
+    cfg.local.u1Lhs = core::U1Lhs::In1;
+    cfg.local.u1Rhs = core::U1Rhs::In2;
+    cfg.local.u2Lhs = core::U2Lhs::U1Out;
+    cfg.local.u2Rhs = core::U2Rhs::In3;
+    cfg.local.aop2 = core::AluOp::Add;
+    cfg.local.outCfg = core::OutCfg::S2;
+
+    Assembler a("cust");
+    a.li(t0, 6);
+    a.li(t1, 7);
+    a.li(t2, 100);
+    isa::Instr cust;
+    cust.op = isa::Opcode::Cust;
+    cust.rd0 = t4;
+    cust.rs0 = zero;
+    cust.rs1 = t0;
+    cust.rs2 = t1;
+    cust.rs3 = t2;
+    cust.cfg = 0;
+    a.emit(cust);
+    a.halt();
+    auto prog = a.finish();
+    prog.addIseConfig(cfg.packBlob());
+    return wrap(std::move(prog));
+}
+
+/** Two tiles sending each other one message (completes). */
+void
+loadPingPong(sim::System &system)
+{
+    Assembler a("ping");
+    a.li(t0, 42);
+    a.li(t1, 1);
+    a.send(t0, t1, 0);
+    a.recv(t2, t1, 0);
+    a.halt();
+    Assembler b("pong");
+    b.li(t1, 0);
+    b.recv(t2, t1, 0);
+    b.addi(t2, t2, 1);
+    b.send(t2, t1, 0);
+    b.halt();
+    system.loadProgram(0, wrap(a.finish()));
+    system.loadProgram(1, wrap(b.finish()));
+}
+
+KernelProfile
+profile(const std::string &name, Cycles sw,
+        std::vector<std::pair<AccelTarget, Cycles>> options)
+{
+    KernelProfile p;
+    p.name = name;
+    p.swCycles = sw;
+    p.options = std::move(options);
+    return p;
+}
+
+/** Sixteen kernels that all want an accelerator of any kind. */
+std::vector<KernelProfile>
+sixteenHungryKernels()
+{
+    std::vector<KernelProfile> kernels;
+    for (int i = 0; i < 16; ++i) {
+        std::string name = "k";
+        name += std::to_string(i);
+        kernels.push_back(profile(
+            name, 1000,
+            {{AccelTarget::fused(PatchKind::ATMA, PatchKind::ATAS),
+              300},
+             {AccelTarget::single(PatchKind::ATMA), 500},
+             {AccelTarget::single(PatchKind::ATAS), 550},
+             {AccelTarget::single(PatchKind::ATSA), 550}}));
+    }
+    return kernels;
+}
+
+// ---------------------------------------------------------------------
+// Plan validation and enumeration.
+// ---------------------------------------------------------------------
+
+TEST(FaultPlan, ValidatesProbabilities)
+{
+    FaultPlan plan;
+    plan.msgDropProb = 1.5;
+    EXPECT_THROW(plan.validate(), ConfigError);
+    plan = FaultPlan{};
+    plan.custFlipProb = -0.1;
+    EXPECT_THROW(plan.validate(), ConfigError);
+}
+
+TEST(FaultPlan, ValidatesDelayCycles)
+{
+    FaultPlan plan;
+    plan.msgDelayProb = 0.5; // armed, but zero extra cycles
+    EXPECT_THROW(plan.validate(), ConfigError);
+    plan.msgDelayCycles = 10;
+    EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlan, RejectsOffMeshLink)
+{
+    FaultPlan plan;
+    // Tile 3 sits on the east edge: no east neighbour.
+    plan.snocLinksDown.push_back({3, core::SnocPort::East});
+    EXPECT_THROW(plan.validate(), ConfigError);
+}
+
+TEST(FaultPlan, AllSnocLinksCoversTheMesh)
+{
+    auto links = allSnocLinks();
+    // A 4x4 mesh has 2 * 4 * 3 = 24 undirected links.
+    EXPECT_EQ(links.size(), 24u);
+    std::set<std::string> names;
+    for (const auto &link : links) {
+        EXPECT_TRUE(names.insert(link.name()).second)
+            << "duplicate link " << link.name();
+        FaultPlan plan = FaultPlan::linkFailure(link);
+        EXPECT_NO_THROW(plan.validate());
+    }
+}
+
+TEST(FaultInjector, SameSeedSameDecisions)
+{
+    auto plan = FaultPlan::messageDrop(0.3, 1234);
+    plan.custFlipProb = 0.25;
+    FaultInjector a(plan), b(plan);
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(a.dropMessage(), b.dropMessage());
+        EXPECT_EQ(a.custFlipBit(), b.custFlipBit());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Eager SystemParams validation.
+// ---------------------------------------------------------------------
+
+TEST(SystemValidation, RejectsBadCacheGeometry)
+{
+    sim::SystemParams params;
+    params.mem.icache.blockBytes = 48; // not a power of two
+    EXPECT_THROW(sim::System{params}, ConfigError);
+}
+
+TEST(SystemValidation, RejectsBadFaultPlan)
+{
+    sim::SystemParams params;
+    params.faults.msgDropProb = 2.0;
+    EXPECT_THROW(sim::System{params}, ConfigError);
+}
+
+TEST(SystemValidation, HardFaultsNeedThePatchFabric)
+{
+    sim::SystemParams params;
+    params.accel = sim::AccelMode::None;
+    params.faults = FaultPlan::patchFailure(3);
+    EXPECT_THROW(sim::System{params}, ConfigError);
+}
+
+// ---------------------------------------------------------------------
+// Termination semantics.
+// ---------------------------------------------------------------------
+
+TEST(Termination, DeadlockCarriesBlockedTileDiagnostics)
+{
+    sim::SystemParams params;
+    params.accel = sim::AccelMode::None;
+    sim::System system(params);
+    Assembler a("d0");
+    a.li(t1, 1);
+    a.recv(t2, t1, 7);
+    a.halt();
+    Assembler b("d1");
+    b.li(t1, 0);
+    b.recv(t2, t1, 9);
+    b.halt();
+    system.loadProgram(0, wrap(a.finish()));
+    system.loadProgram(1, wrap(b.finish()));
+
+    auto stats = system.run();
+    EXPECT_EQ(stats.termination, Termination::Deadlock);
+    ASSERT_EQ(stats.blockedTiles.size(), 2u);
+    EXPECT_EQ(stats.blockedTiles[0].tile, 0);
+    EXPECT_EQ(stats.blockedTiles[0].waitingSrc, 1);
+    EXPECT_EQ(stats.blockedTiles[0].waitingTag, 7);
+    EXPECT_EQ(stats.blockedTiles[1].tile, 1);
+    EXPECT_EQ(stats.blockedTiles[1].waitingSrc, 0);
+    EXPECT_EQ(stats.blockedTiles[1].waitingTag, 9);
+    EXPECT_GT(stats.instructions, 0u); // partial stats survive
+}
+
+TEST(Termination, InstructionLimitIsExactAndNonFatal)
+{
+    sim::SystemParams params;
+    params.accel = sim::AccelMode::None;
+    sim::System system(params);
+    Assembler a("loop");
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.addi(t0, t0, 1);
+    a.jmp(loop);
+    a.halt();
+    system.loadProgram(0, wrap(a.finish()));
+
+    auto stats = system.run(/*maxInstructions=*/100);
+    EXPECT_EQ(stats.termination, Termination::InstructionLimit);
+    EXPECT_EQ(stats.instructions, 100u); // the budget, not budget + 1
+}
+
+TEST(Termination, HaltingExactlyAtTheLimitCompletes)
+{
+    sim::SystemParams params;
+    params.accel = sim::AccelMode::None;
+    sim::System system(params);
+    Assembler a("tiny");
+    a.addi(t0, t0, 1);
+    a.addi(t0, t0, 1);
+    a.halt();
+    system.loadProgram(0, wrap(a.finish()));
+
+    auto stats = system.run(/*maxInstructions=*/3);
+    EXPECT_EQ(stats.termination, Termination::Completed);
+    EXPECT_EQ(stats.instructions, 3u);
+}
+
+// ---------------------------------------------------------------------
+// Run-time injection.
+// ---------------------------------------------------------------------
+
+TEST(Injection, DeadPatchSurfacesAsStructuredFault)
+{
+    sim::SystemParams params; // Stitch mode
+    params.faults = FaultPlan::patchFailure(0);
+    sim::System system(params);
+    system.loadProgram(0, mulAddCust());
+
+    auto stats = system.run();
+    EXPECT_EQ(stats.termination, Termination::Fault);
+    ASSERT_TRUE(stats.patchFault.has_value());
+    EXPECT_EQ(stats.patchFault->tile, 0);
+    EXPECT_EQ(stats.patchFault->patch, 0);
+    EXPECT_FALSE(stats.patchFault->reason.empty());
+    EXPECT_FALSE(stats.faultMessage.empty());
+}
+
+TEST(Injection, CertainBitFlipCorruptsExactlyOneBit)
+{
+    sim::SystemParams params;
+    params.faults = FaultPlan::bitFlips(1.0, 99);
+    sim::System system(params);
+    system.loadProgram(0, mulAddCust());
+
+    auto stats = system.run();
+    EXPECT_EQ(stats.termination, Termination::Completed);
+    EXPECT_EQ(stats.custBitFlips, 1u);
+    Word got = system.coreAt(0).reg(t4);
+    Word want = 6u * 7u + 100u;
+    EXPECT_NE(got, want);
+    EXPECT_EQ(std::popcount(got ^ want), 1);
+}
+
+TEST(Injection, CertainDropDeadlocksTheReceiver)
+{
+    sim::SystemParams params;
+    params.accel = sim::AccelMode::None;
+    params.faults = FaultPlan::messageDrop(1.0, 5);
+    sim::System system(params);
+    loadPingPong(system);
+
+    auto stats = system.run();
+    EXPECT_EQ(stats.termination, Termination::Deadlock);
+    EXPECT_GE(stats.messagesDropped, 1u);
+    EXPECT_FALSE(stats.blockedTiles.empty());
+}
+
+TEST(Injection, DelayedMessagesStillArrive)
+{
+    Cycles baseline = 0;
+    {
+        sim::SystemParams params;
+        params.accel = sim::AccelMode::None;
+        sim::System system(params);
+        loadPingPong(system);
+        auto stats = system.run();
+        EXPECT_EQ(stats.termination, Termination::Completed);
+        baseline = stats.makespan;
+    }
+    sim::SystemParams params;
+    params.accel = sim::AccelMode::None;
+    params.faults = FaultPlan::messageDelay(1.0, 500, 5);
+    sim::System system(params);
+    loadPingPong(system);
+
+    auto stats = system.run();
+    EXPECT_EQ(stats.termination, Termination::Completed);
+    EXPECT_EQ(stats.messagesDelayed, 2u);
+    EXPECT_GE(stats.makespan, baseline + 500);
+    EXPECT_EQ(system.coreAt(0).reg(t2), 43u);
+}
+
+TEST(Injection, SameSeedReproducesTheRun)
+{
+    auto once = [] {
+        sim::SystemParams params;
+        params.accel = sim::AccelMode::None;
+        params.faults = FaultPlan::messageDelay(0.5, 200, 77);
+        sim::System system(params);
+        loadPingPong(system);
+        return system.run();
+    };
+    auto a = once();
+    auto b = once();
+    EXPECT_EQ(a.termination, b.termination);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.messagesDelayed, b.messagesDelayed);
+    EXPECT_EQ(a.messagesDropped, b.messagesDropped);
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+TEST(Injection, ConfigureSnocRejectsPresetOverDeadLink)
+{
+    core::SnocConfig snoc;
+    ASSERT_TRUE(snoc.addFusion(0, PatchKind::ATMA, 1,
+                               PatchKind::ATAS));
+
+    sim::SystemParams params;
+    params.faults = FaultPlan::linkFailure({0, core::SnocPort::East});
+    sim::System system(params);
+    EXPECT_THROW(system.configureSnoc(snoc), ConfigError);
+}
+
+// ---------------------------------------------------------------------
+// sNoC routing around dead links.
+// ---------------------------------------------------------------------
+
+TEST(SnocHealth, RoutingDetoursAroundADisabledLink)
+{
+    core::SnocConfig snoc;
+    snoc.disableLink(0, core::SnocPort::East);
+    EXPECT_FALSE(snoc.linkUp(0, core::SnocPort::East));
+    EXPECT_FALSE(snoc.linkUp(1, core::SnocPort::West)); // undirected
+    auto path = snoc.addPath(0, core::SnocPort::Patch, 1,
+                             core::SnocPort::Patch);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(path->hops(), 3); // t0 -> t4 -> t5 -> t1
+    std::string why;
+    EXPECT_TRUE(snoc.validate(&why)) << why;
+}
+
+// ---------------------------------------------------------------------
+// Degraded re-stitching.
+// ---------------------------------------------------------------------
+
+TEST(Restitch, HealthyMaskReproducesThePlanBitForBit)
+{
+    auto arch = core::StitchArch::standard();
+    auto kernels = sixteenHungryKernels();
+    auto base = compiler::stitchApplication(kernels, arch);
+    auto masked = compiler::stitchApplication(kernels, arch,
+                                              ArchHealth::healthy());
+    ASSERT_EQ(base.placements.size(), masked.placements.size());
+    for (std::size_t i = 0; i < base.placements.size(); ++i) {
+        const auto &p = base.placements[i];
+        const auto &q = masked.placements[i];
+        EXPECT_EQ(p.tile, q.tile);
+        EXPECT_EQ(p.remoteTile, q.remoteTile);
+        EXPECT_EQ(p.cycles, q.cycles);
+        EXPECT_EQ(p.accel.has_value(), q.accel.has_value());
+    }
+    EXPECT_EQ(base.snoc.packRegisters(), masked.snoc.packRegisters());
+    EXPECT_EQ(base.bottleneckCycles(), masked.bottleneckCycles());
+}
+
+TEST(Restitch, EverySinglePatchFailureIsStitchedAround)
+{
+    auto arch = core::StitchArch::standard();
+    auto kernels = sixteenHungryKernels();
+    for (TileId dead = 0; dead < numTiles; ++dead) {
+        auto health =
+            ArchHealth::fromPlan(FaultPlan::patchFailure(dead));
+        auto plan = compiler::stitchApplication(kernels, arch, health);
+        ASSERT_EQ(plan.placements.size(), kernels.size());
+        for (const auto &p : plan.placements) {
+            if (!p.accel)
+                continue;
+            EXPECT_NE(p.tile, dead)
+                << "kernel placed on dead patch " << dead;
+            if (p.accel->type == AccelTarget::Type::FusedPair) {
+                EXPECT_NE(p.remoteTile, dead)
+                    << "fusion partner on dead patch " << dead;
+            }
+        }
+        std::string why;
+        EXPECT_TRUE(plan.snoc.validate(&why)) << why;
+    }
+}
+
+TEST(Restitch, EveryLinkFailureIsRoutedAround)
+{
+    auto arch = core::StitchArch::standard();
+    auto kernels = sixteenHungryKernels();
+    for (const auto &link : allSnocLinks()) {
+        auto health =
+            ArchHealth::fromPlan(FaultPlan::linkFailure(link));
+        auto plan = compiler::stitchApplication(kernels, arch, health);
+        // plan.snoc carries the link-down mask, so validate() proves
+        // no fusion path crosses the failed link.
+        std::string why;
+        EXPECT_TRUE(plan.snoc.validate(&why))
+            << link.name() << ": " << why;
+    }
+}
+
+TEST(Restitch, AllPatchesDeadFallsBackToSoftware)
+{
+    auto arch = core::StitchArch::standard();
+    auto kernels = sixteenHungryKernels();
+    ArchHealth health = ArchHealth::healthy();
+    health.patchOk.fill(false);
+    auto plan = compiler::stitchApplication(kernels, arch, health);
+    for (const auto &p : plan.placements)
+        EXPECT_FALSE(p.accel.has_value());
+    EXPECT_EQ(plan.bottleneckCycles(), 1000u);
+}
+
+// ---------------------------------------------------------------------
+// Reporting.
+// ---------------------------------------------------------------------
+
+TEST(Report, CarriesTerminationAndDiagnostics)
+{
+    sim::SystemParams params;
+    params.accel = sim::AccelMode::None;
+    params.faults = FaultPlan::messageDrop(1.0, 5);
+    sim::System system(params);
+    loadPingPong(system);
+    auto stats = system.run();
+
+    auto doc = sim::runReport(stats);
+    EXPECT_EQ(doc.get("termination").asString(), "deadlock");
+    ASSERT_TRUE(doc.has("blocked_tiles"));
+    ASSERT_TRUE(doc.has("injected_faults"));
+
+    // Round-trips through the serializer.
+    auto parsed = obs::Json::parse(doc.dump(2));
+    EXPECT_EQ(parsed.get("termination").asString(), "deadlock");
+}
+
+TEST(Report, StitchPlanJsonDescribesPlacements)
+{
+    auto arch = core::StitchArch::standard();
+    auto kernels = sixteenHungryKernels();
+    auto plan = compiler::stitchApplication(kernels, arch);
+    auto doc = sim::stitchPlanJson(plan);
+    EXPECT_TRUE(doc.has("bottleneck_cycles"));
+    EXPECT_TRUE(doc.has("snoc_registers"));
+    ASSERT_TRUE(doc.has("placements"));
+    EXPECT_EQ(doc.get("placements").size(), kernels.size());
+}
+
+} // namespace
+} // namespace stitch::fault

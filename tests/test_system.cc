@@ -120,7 +120,13 @@ TEST(System, DeadlockIsDetected)
     b.halt();
     system.loadProgram(0, wrap(a.finish()));
     system.loadProgram(1, wrap(b.finish()));
-    EXPECT_THROW(system.run(), FatalError);
+    auto stats = system.run();
+    EXPECT_EQ(stats.termination, fault::Termination::Deadlock);
+    ASSERT_EQ(stats.blockedTiles.size(), 2u);
+    EXPECT_EQ(stats.blockedTiles[0].tile, 0);
+    EXPECT_EQ(stats.blockedTiles[0].waitingSrc, 1);
+    EXPECT_EQ(stats.blockedTiles[1].tile, 1);
+    EXPECT_EQ(stats.blockedTiles[1].waitingSrc, 0);
 }
 
 TEST(System, ConservativeTimingOrdersMessages)
