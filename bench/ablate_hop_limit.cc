@@ -33,6 +33,10 @@ main(int argc, char **argv)
             for (TileId b = 0; b < numTiles; ++b)
                 if (a != b && tileDistance(a, b) <= maxDist)
                     ++reachable;
+        recordMetric(strformat("hops%d/max_mhz", hops),
+                     core::pathFrequencyMhz(ns));
+        recordMetric(strformat("hops%d/reachable_pairs", hops),
+                     reachable);
         table.addRow({strformat("%d%s", hops,
                                 hops == core::rtl::maxFusionHops
                                     ? " (paper)"

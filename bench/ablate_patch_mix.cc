@@ -70,6 +70,7 @@ main(int argc, char **argv)
             sum += boost;
             cells.push_back(strformat("%.2f", boost));
         }
+        recordMetric(std::string(mix.name) + "/avg_boost", sum / 4);
         cells.push_back(strformat("%.2f", sum / 4));
         table.addRow(cells);
         std::fflush(stdout);

@@ -42,6 +42,9 @@ main(int argc, char **argv)
         table.addRow(cells);
         std::fflush(stdout);
     }
+    recordMetric("average/greedy_boost", sums[0] / 4);
+    recordMetric("average/singles_only_boost", sums[1] / 4);
+    recordMetric("average/auto_boost", sums[2] / 4);
     table.addRow({"average", strformat("%.2f", sums[0] / 4),
                   strformat("%.2f", sums[1] / 4),
                   strformat("%.2f", sums[2] / 4)});

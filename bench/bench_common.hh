@@ -19,11 +19,15 @@
 #include <map>
 #include <string>
 
+#include <cstring>
+
 #include "apps/app_runner.hh"
 #include "common/table.hh"
 #include "kernels/catalog.hh"
 #include "obs/cli.hh"
 #include "power/power_model.hh"
+#include "prof/profile.hh"
+#include "prof/speedscope.hh"
 #include "sim/report.hh"
 
 namespace stitch::bench
@@ -37,35 +41,137 @@ obsFlags()
     return flags;
 }
 
+/** Schema of the --json metrics document every bench can emit. */
+inline constexpr const char *benchJsonSchema = "stitch-bench";
+inline constexpr int benchJsonVersion = 1;
+
+/** This invocation's --json=PATH (empty: no metrics file). */
+inline std::string &
+benchJsonPath()
+{
+    static std::string path;
+    return path;
+}
+
+/** Bench name stamped into the metrics document (argv[0] basename). */
+inline std::string &
+benchName()
+{
+    static std::string name = "bench";
+    return name;
+}
+
+/** Flat name -> value metric map collected over the bench's run. */
+inline obs::Json &
+benchMetrics()
+{
+    static obs::Json metrics = obs::Json::object();
+    return metrics;
+}
+
+/**
+ * Record one headline metric of the bench (a boost, a makespan, a
+ * mW figure). Metrics land in the --json document that the
+ * bench-trajectory harness (tools/trajectory.cc) aggregates and
+ * tools/report_diff compares across revisions; without --json the
+ * call is a cheap map insert.
+ */
+inline void
+recordMetric(const std::string &name, obs::Json value)
+{
+    benchMetrics().set(name, std::move(value));
+}
+
+/** Write the --json metrics document, if a path was given. */
+inline void
+writeBenchJson()
+{
+    if (benchJsonPath().empty())
+        return;
+    obs::Json doc = obs::Json::object();
+    doc.set("schema", benchJsonSchema);
+    doc.set("version", benchJsonVersion);
+    doc.set("bench", benchName());
+    doc.set("metrics", benchMetrics());
+    obs::writeJsonFile(benchJsonPath(), doc);
+}
+
+/** Consume a --json=PATH argument; true iff it was one. */
+inline bool
+parseJsonFlag(const char *arg)
+{
+    constexpr const char *prefix = "--json=";
+    if (std::strncmp(arg, prefix, std::strlen(prefix)) != 0)
+        return false;
+    benchJsonPath() = arg + std::strlen(prefix);
+    return true;
+}
+
 /** Write the --report/--stats artifacts describing app run `res`. */
 inline void
 writeObsArtifacts(const apps::AppRunResult &res)
 {
     const auto &flags = obsFlags();
+    bool wantProfile =
+        flags.profile || !flags.speedscopePath.empty();
+    prof::Profile profile;
+    if (wantProfile)
+        profile = prof::buildProfile(
+            res.stats, res.stageBindings,
+            static_cast<std::uint64_t>(res.samplesLong));
     if (!flags.reportPath.empty()) {
         auto doc = sim::runReport(res.stats);
         if (!res.statsDump.isNull())
             doc.set("stats", res.statsDump);
+        if (wantProfile) {
+            doc.set("profile", prof::profileJson(profile));
+            if (auto timeline = prof::samplerTimelineJson();
+                !timeline.isNull())
+                doc.set("profile_timeline", timeline);
+        }
         obs::writeJsonFile(flags.reportPath, doc);
     }
     if (!flags.statsPath.empty())
         obs::writeJsonFile(flags.statsPath, res.statsDump);
+    if (!flags.speedscopePath.empty())
+        prof::writeSpeedscope(flags.speedscopePath, profile);
 }
 
 /**
  * First call of every bench main(): pick up the observability
- * switches (--trace/--report/--stats/--verbose; other args are
+ * switches (--trace/--report/--stats/--profile/--speedscope/
+ * --verbose) plus the metrics sink (--json=PATH; other args are
  * ignored) and apply them. inform() is silent unless --verbose, so
- * benches no longer hand-disable status output. The report/stats
- * files describe the last application run the bench performed.
+ * benches no longer hand-disable status output. The report/stats/
+ * profile files describe the last application run the bench
+ * performed; the --json document carries every recordMetric() call.
  */
 inline void
 initObs(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i)
+    if (argc > 0) {
+        std::string path = argv[0];
+        auto slash = path.find_last_of('/');
+        benchName() = slash == std::string::npos
+                          ? path
+                          : path.substr(slash + 1);
+    }
+    for (int i = 1; i < argc; ++i) {
+        if (parseJsonFlag(argv[i]))
+            continue;
         obsFlags().parse(argv[i]);
+    }
     obsFlags().begin();
-    std::atexit([] { obsFlags().end(); });
+    // Touch every static the exit handler reads *before* registering
+    // it: function-local statics constructed after std::atexit are
+    // destroyed before the handler runs (reverse order), which made
+    // writeBenchJson() read a dead metrics map.
+    benchJsonPath();
+    benchMetrics();
+    std::atexit([] {
+        obsFlags().end();
+        writeBenchJson();
+    });
 }
 
 /** Kernel list of the Fig. 11 study, in display order. */

@@ -227,6 +227,9 @@ main(int argc, char **argv)
             writeScenarioReport(outDir, scenario.name, res);
     }
     table.print();
+    recordMetric("scenarios", static_cast<int>(scenarios.size()));
+    recordMetric("restitch_failures", failures);
+    recordMetric("healthy_cycles_per_sample", healthyCycles);
 
     std::printf("\n%zu scenarios; every hard fault re-stitched %s.\n",
                 scenarios.size(),

@@ -36,6 +36,9 @@ main(int argc, char **argv)
                     res.plan.describe(profiles, arch).c_str());
 
         int paths = static_cast<int>(res.plan.snoc.paths().size());
+        recordMetric(app.name + "/snoc_paths", paths);
+        recordMetric(app.name + "/bottleneck_cycles",
+                     res.plan.bottleneckCycles());
         std::string why;
         std::printf(
             "sNoC: %d preset paths, configuration %s\n", paths,

@@ -31,6 +31,7 @@ main(int argc, char **argv)
         locusSum += locus->speedup;
         patchSum += patch->speedup;
         stitchSum += stitched->speedup;
+        recordMetric(name + "/stitched_speedup", stitched->speedup);
         table.addRow({name, strformat("%.2f", locus->speedup),
                       strformat("%.2f", patch->speedup),
                       patch->target.name(),
@@ -38,6 +39,9 @@ main(int argc, char **argv)
                       stitched->target.name()});
     }
     auto n = static_cast<double>(fig11Kernels().size());
+    recordMetric("average/locus_speedup", locusSum / n);
+    recordMetric("average/patch_speedup", patchSum / n);
+    recordMetric("average/stitched_speedup", stitchSum / n);
     table.addRow({"geomean-ish avg", strformat("%.2f", locusSum / n),
                   strformat("%.2f", patchSum / n), "",
                   strformat("%.2f", stitchSum / n), ""});

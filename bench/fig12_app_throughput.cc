@@ -32,6 +32,9 @@ main(int argc, char **argv)
         sums[0] += locus;
         sums[1] += noFusion;
         sums[2] += full;
+        recordMetric(app.name + "/locus_boost", locus);
+        recordMetric(app.name + "/no_fusion_boost", noFusion);
+        recordMetric(app.name + "/stitch_boost", full);
 
         const auto &res = appResult(app, apps::AppMode::Stitch);
         int fused = 0;
@@ -44,6 +47,9 @@ main(int argc, char **argv)
                       strformat("%.2f", full),
                       strformat("%d", fused)});
     }
+    recordMetric("average/locus_boost", sums[0] / 4);
+    recordMetric("average/no_fusion_boost", sums[1] / 4);
+    recordMetric("average/stitch_boost", sums[2] / 4);
     table.addRow({"average", strformat("%.2f", sums[0] / 4),
                   strformat("%.2f", sums[1] / 4),
                   strformat("%.2f", sums[2] / 4), ""});

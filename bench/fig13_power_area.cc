@@ -20,11 +20,14 @@ main(int argc, char **argv)
     std::printf("\nPower at 200 MHz (total %.1f mW):\n",
                 power::stitchTotalMw);
     TextTable ptab({"component", "mW", "share", "source"});
-    for (const auto &row : power::powerBreakdown())
+    for (const auto &row : power::powerBreakdown()) {
         ptab.addRow({row.component, strformat("%.1f", row.value),
                      strformat("%.1f%%", row.share * 100),
                      row.derived ? "derived" : "paper-anchored"});
+        recordMetric("power/" + row.component + "_mw", row.value);
+    }
     ptab.print();
+    recordMetric("power/total_mw", power::stitchTotalMw);
 
     std::printf("\nAccelerator area (patches + inter-patch NoC):\n");
     TextTable atab({"component", "um^2", "share"});
@@ -32,8 +35,10 @@ main(int argc, char **argv)
     for (const auto &row : power::accelAreaBreakdown()) {
         atab.addRow({row.component, strformat("%.0f", row.value),
                      strformat("%.1f%%", row.share * 100)});
+        recordMetric("area/" + row.component + "_um2", row.value);
         total += row.value;
     }
+    recordMetric("area/accel_total_um2", total);
     atab.addRow({"total", strformat("%.0f", total), "100.0%"});
     atab.print();
 

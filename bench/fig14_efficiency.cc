@@ -35,10 +35,15 @@ main(int argc, char **argv)
         sums[0] += boost;
         sums[1] += perfWatt;
         sums[2] += perfArea;
+        recordMetric(app.name + "/perf_per_watt", perfWatt);
+        recordMetric(app.name + "/perf_per_area", perfArea);
         table.addRow({app.name, strformat("%.2f", boost),
                       strformat("%.2f", perfWatt),
                       strformat("%.2f", perfArea)});
     }
+    recordMetric("average/throughput_boost", sums[0] / 4);
+    recordMetric("average/perf_per_watt", sums[1] / 4);
+    recordMetric("average/perf_per_area", sums[2] / 4);
     table.addRow({"average", strformat("%.2f", sums[0] / 4),
                   strformat("%.2f", sums[1] / 4),
                   strformat("%.2f", sums[2] / 4)});

@@ -39,6 +39,8 @@ main(int argc, char **argv)
                       strformat("%.2fx", powerRatio),
                       strformat("%.2f", perfWatt)});
     }
+    recordMetric("average/throughput_vs_a7", sums[0] / 4);
+    recordMetric("average/perf_per_watt_vs_a7", sums[1] / 4);
     table.addRow({"average", strformat("%.2f", sums[0] / 4),
                   strformat("%.2fx", powerRatio),
                   strformat("%.2f", sums[1] / 4)});
@@ -69,6 +71,8 @@ main(int argc, char **argv)
         l.addRow({app.name, strformat("%.2f", perf),
                   strformat("%.2f", ppw)});
     }
+    recordMetric("average/vs_locus400_perf", lsum[0] / 4);
+    recordMetric("average/vs_locus400_perf_per_watt", lsum[1] / 4);
     l.addRow({"average", strformat("%.2f", lsum[0] / 4),
               strformat("%.2f", lsum[1] / 4)});
     l.print();

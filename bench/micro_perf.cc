@@ -127,6 +127,50 @@ BM_SystemSimulation(benchmark::State &state)
 }
 BENCHMARK(BM_SystemSimulation)->Unit(benchmark::kMillisecond);
 
+/**
+ * Capture every run's headline numbers into the shared stitch-bench
+ * metrics map, so `micro_perf --json=PATH` emits the same schema as
+ * the table/figure harnesses and the trajectory aggregator treats
+ * host-side throughput like any other tracked metric. Counters reach
+ * the reporter already rate-adjusted.
+ */
+class MetricCaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            std::string name = run.benchmark_name();
+            bench::recordMetric(name + "/real_time_ns",
+                                run.GetAdjustedRealTime());
+            for (const auto &[counter, value] : run.counters)
+                bench::recordMetric(name + "/" + counter,
+                                    value.value);
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bench::benchName() = "micro_perf";
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i)
+        if (i == 0 || !bench::parseJsonFlag(argv[i]))
+            args.push_back(argv[i]);
+    int filtered = static_cast<int>(args.size());
+    benchmark::Initialize(&filtered, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered, args.data()))
+        return 1;
+    MetricCaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    bench::writeBenchJson();
+    return 0;
+}

@@ -48,6 +48,9 @@ main(int argc, char **argv)
                 found = found || c.find(chain) != std::string::npos;
             holds += found;
         }
+        recordMetric(std::string(chain) + "_containment",
+                     100.0 * holds /
+                         static_cast<double>(inputs.size()));
         direct.addRow(
             {std::string("{") + chain + "}",
              strformat("%.1f%%", rate * 100),

@@ -148,6 +148,7 @@ main(int argc, char **argv)
     }
     table.print();
 
+    recordMetric("worst_degradation_pct", worst);
     std::printf(
         "\nPaper claim: only ~1.5%% average degradation when the "
         "4 KB D$ is replaced\nby a 4 KB SPM under an appropriate "

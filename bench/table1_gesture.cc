@@ -36,6 +36,10 @@ main(int argc, char **argv)
     double fullMs = power::cyclesToMs(fullCyc);
     double noFuseMs = power::cyclesToMs(noFuseCyc);
     double baseMs = power::cyclesToMs(baseCyc);
+    recordMetric("stitch_gesture_ms", fullMs);
+    recordMetric("no_fusion_gesture_ms", noFuseMs);
+    recordMetric("baseline_gesture_ms", baseMs);
+    recordMetric("stitch_vs_baseline_boost", baseMs / fullMs);
 
     TextTable table({"", "SensorTag", "Cortex-A7", "Stitch w/o fusion",
                      "Stitch"});

@@ -18,6 +18,11 @@ main(int argc, char **argv)
     double noFusion = power::patchesAreaUm2(arch);
     double full = noFusion + power::snocAreaUm2();
     double chip = power::chipAreaMm2() * 1e6;
+    recordMetric("stitch_area_um2", full);
+    recordMetric("no_fusion_area_um2", noFusion);
+    recordMetric("locus_area_um2", power::locusAccelAreaUm2);
+    recordMetric("locus_vs_stitch_area", power::locusAccelAreaUm2 /
+                                             full);
 
     TextTable table({"", "LOCUS", "Stitch w/o fusion", "Stitch"});
     table.addRow({"area um^2 (paper)", "1,288,044", "49,872",

@@ -45,9 +45,13 @@ main(int argc, char **argv)
             core::singleCriticalPathNs(PatchKind::ATSA));
     addPath("single {AT-MA} + 2 switches",
             core::singleCriticalPathNs(PatchKind::ATMA));
+    double worstNs = core::fusedCriticalPathNs(PatchKind::ATMA,
+                                               PatchKind::ATAS, 3, 3);
+    recordMetric("worst_legal_path_ns", worstNs);
+    recordMetric("worst_legal_path_mhz",
+                 core::pathFrequencyMhz(worstNs));
     addPath("{AT-MA,AT-AS} fused, 3+3 hops (paper worst case)",
-            core::fusedCriticalPathNs(PatchKind::ATMA,
-                                      PatchKind::ATAS, 3, 3));
+            worstNs);
     addPath("{AT-MA,AT-MA} fused, 4+3 hops (over the limit)",
             core::fusedCriticalPathNs(PatchKind::ATMA,
                                       PatchKind::ATMA, 4, 3));
@@ -81,6 +85,7 @@ main(int argc, char **argv)
             }
         }
     }
+    recordMetric("routable_pairs_checked", checked);
     std::printf(
         "Verified: all %d routable tile pairs meet the clock; pairs "
         "beyond 3 mesh\nhops are rejected by the router.\n",

@@ -203,6 +203,15 @@ AppRunner::run(const AppSpec &app, AppMode mode)
         return stats;
     };
 
+    result.samplesLong = samplesLong_;
+    for (int k = 0; k < stages; ++k)
+        result.stageBindings.emplace_back(
+            strformat(
+                "%s#%d",
+                app.stageKernels[static_cast<std::size_t>(k)].c_str(),
+                k),
+            tileOf[static_cast<std::size_t>(k)]);
+
     sim::RunStats shortRun = simulate(samplesShort_, nullptr);
     result.stats = simulate(samplesLong_, &result.statsDump);
     if (shortRun.termination == fault::Termination::Completed &&

@@ -54,6 +54,18 @@ struct AppRunResult
     bool hasPlan = false;
     compiler::StitchPlan plan; ///< valid for the Stitch modes
 
+    /** Samples the long (measured) run processed; lets profilers turn
+     *  stage cycles into items/cycle without re-deriving run config. */
+    int samplesLong = 0;
+
+    /**
+     * Stage name ("kernel#k") -> tile of the measured run, in stage
+     * order and for every mode (the plan only covers Stitch modes).
+     * This is all src/prof/ needs to attribute tiles to kernels, so
+     * apps stays free of a prof dependency.
+     */
+    std::vector<std::pair<std::string, TileId>> stageBindings;
+
     /**
      * The long run's stats-registry tree (zero counters omitted),
      * captured before the System is torn down so harnesses can embed

@@ -17,7 +17,9 @@ Core::Core(TileId id, mem::TileMemory &memory, CustomHandler *custom,
       instrCount_(stats_.counter("instructions")),
       imissStall_(stats_.counter("imiss_stall_cycles")),
       dmissStall_(stats_.counter("dmiss_stall_cycles")),
-      recvWait_(stats_.counter("recv_wait_cycles"))
+      recvWait_(stats_.counter("recv_wait_cycles")),
+      sendStall_(stats_.counter("send_stall_cycles")),
+      spmStall_(stats_.counter("spm_stall_cycles"))
 {
     mem_.setTraceTile(id);
 }
@@ -210,16 +212,24 @@ Core::execute(const Instr &in)
         break;
 
       case Opcode::Lw: {
-        auto res = mem_.loadWord(rs(in.rs0) + simm(), time_);
+        Addr a = rs(in.rs0) + simm();
+        auto res = mem_.loadWord(a, time_);
         setReg(in.rd0, res.value);
-        chargeStall(res.extraCycles, dmissStall_, "stall dmem");
+        // SPM wait cycles are their own attribution bucket: they are
+        // deterministic sequencer latency, not cache misses.
+        bool spm = mem::isSpmAddr(a);
+        chargeStall(res.extraCycles, spm ? spmStall_ : dmissStall_,
+                    spm ? "stall spm" : "stall dmem");
         stats_.inc("loads");
         break;
       }
       case Opcode::Lb: {
-        auto res = mem_.loadByte(rs(in.rs0) + simm(), time_);
+        Addr a = rs(in.rs0) + simm();
+        auto res = mem_.loadByte(a, time_);
         setReg(in.rd0, res.value);
-        chargeStall(res.extraCycles, dmissStall_, "stall dmem");
+        bool spm = mem::isSpmAddr(a);
+        chargeStall(res.extraCycles, spm ? spmStall_ : dmissStall_,
+                    spm ? "stall spm" : "stall dmem");
         stats_.inc("loads");
         break;
       }
@@ -229,19 +239,25 @@ Core::execute(const Instr &in)
             xbarReg_ = rs(in.rs1);
             break;
         }
-        chargeStall(mem_.storeWord(a, rs(in.rs1), time_), dmissStall_,
-                    "stall dmem");
+        bool spm = mem::isSpmAddr(a);
+        chargeStall(mem_.storeWord(a, rs(in.rs1), time_),
+                    spm ? spmStall_ : dmissStall_,
+                    spm ? "stall spm" : "stall dmem");
         stats_.inc("stores");
         break;
       }
-      case Opcode::Sb:
-        chargeStall(mem_.storeByte(rs(in.rs0) + simm(),
+      case Opcode::Sb: {
+        Addr a = rs(in.rs0) + simm();
+        bool spm = mem::isSpmAddr(a);
+        chargeStall(mem_.storeByte(a,
                                    static_cast<std::uint8_t>(
                                        rs(in.rs1)),
                                    time_),
-                    dmissStall_, "stall dmem");
+                    spm ? spmStall_ : dmissStall_,
+                    spm ? "stall spm" : "stall dmem");
         stats_.inc("stores");
         break;
+      }
 
       case Opcode::Beq:
         if (rs(in.rs0) == rs(in.rs1))
@@ -290,7 +306,8 @@ Core::execute(const Instr &in)
                 Tracer::pidTiles, id_, "SEND", time_,
                 {{"dst", static_cast<std::uint64_t>(dst)},
                  {"tag", static_cast<std::uint64_t>(in.imm)}});
-        time_ += hub_->send(id_, dst, in.imm, rs(in.rs0), time_);
+        chargeStall(hub_->send(id_, dst, in.imm, rs(in.rs0), time_),
+                    sendStall_, "stall send");
         stats_.inc("msgs_sent");
         break;
       }

@@ -14,6 +14,16 @@
  * and MessageHub interfaces so that a single Core can be driven
  * standalone (kernel studies, Fig. 11) or inside the 16-tile system
  * (application studies, Fig. 12).
+ *
+ * Cycle accounting is exact by construction — every addition to the
+ * local clock lands in exactly one counter class:
+ *
+ *   time == instructions + 3*muls + branches_taken
+ *         + imiss_stall_cycles + dmiss_stall_cycles
+ *         + spm_stall_cycles + send_stall_cycles + recv_wait_cycles
+ *
+ * The profiling layer (src/prof/) folds these into its attribution
+ * buckets and asserts the identity per tile.
  */
 
 #ifndef STITCH_CPU_CORE_HH
@@ -192,6 +202,8 @@ class Core
     Counter &imissStall_;
     Counter &dmissStall_;
     Counter &recvWait_;
+    Counter &sendStall_;
+    Counter &spmStall_;
 
     Cycles execStart_ = 0; ///< begin of the open traced exec slice
 };

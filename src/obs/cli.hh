@@ -3,23 +3,29 @@
  * Shared command-line switches of the observability layer, so every
  * harness (tools, benches) spells them identically:
  *
- *   --trace=FILE    record a Chrome trace_event JSON (see trace.hh)
- *   --report=FILE   write the versioned run report (sim/report.hh)
- *   --stats=FILE    dump the stats-registry tree as JSON
- *   --verbose       raise status output to Verbosity::Info
+ *   --trace=FILE      record a Chrome trace_event JSON (see trace.hh)
+ *   --report=FILE     write the versioned run report (sim/report.hh)
+ *   --stats=FILE      dump the stats-registry tree as JSON
+ *   --profile[=N]     cycle/energy attribution in the report (v3
+ *                     "profile" section); with =N also sample
+ *                     N-cycle interval timelines (obs/sampler.hh)
+ *   --speedscope=FILE speedscope-compatible export of the profile
+ *   --verbose         raise status output to Verbosity::Info
  *
- * Writing the report/stats files needs simulation results, so only
- * the paths are collected here; the harness decides which run they
- * describe.
+ * Writing the report/stats/profile files needs simulation results, so
+ * only the paths are collected here; the harness decides which run
+ * they describe.
  */
 
 #ifndef STITCH_OBS_CLI_HH
 #define STITCH_OBS_CLI_HH
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "obs/registry.hh"
+#include "obs/sampler.hh"
 #include "obs/trace.hh"
 
 namespace stitch::obs
@@ -31,7 +37,15 @@ struct CliOptions
     std::string tracePath;
     std::string reportPath;
     std::string statsPath;
+    std::string speedscopePath;
     bool verbose = false;
+
+    /** --profile given: build the attribution profile (src/prof/). */
+    bool profile = false;
+
+    /** --profile=N: sample N-cycle timeline windows (0 = aggregate
+     *  only; prof::defaultProfileInterval is the suggested window). */
+    Cycles profileInterval = 0;
 
     /** Consume one argv entry; true iff it was an obs switch. */
     bool
@@ -50,6 +64,18 @@ struct CliOptions
             return true;
         if (keyed("--stats=", &statsPath))
             return true;
+        if (keyed("--speedscope=", &speedscopePath))
+            return true;
+        if (!std::strcmp(arg, "--profile")) {
+            profile = true;
+            return true;
+        }
+        if (std::string interval; keyed("--profile=", &interval)) {
+            profile = true;
+            profileInterval = static_cast<Cycles>(
+                std::strtoull(interval.c_str(), nullptr, 10));
+            return true;
+        }
         if (!std::strcmp(arg, "--verbose")) {
             verbose = true;
             return true;
@@ -57,7 +83,8 @@ struct CliOptions
         return false;
     }
 
-    /** Apply the switches: verbosity now, tracing from here on. */
+    /** Apply the switches: verbosity now, tracing/sampling from here
+     *  on. */
     void
     begin() const
     {
@@ -65,14 +92,19 @@ struct CliOptions
             Registry::setVerbosity(Verbosity::Info);
         if (!tracePath.empty())
             Tracer::instance().start(tracePath);
+        if (profileInterval > 0)
+            Sampler::instance().start(profileInterval);
     }
 
-    /** Close an open trace (call once on harness exit). */
+    /** Close an open trace / sampler (call once on harness exit).
+     *  Sampler windows stay readable for the speedscope export. */
     void
     end() const
     {
         if (Tracer::enabled())
             Tracer::instance().stop();
+        if (Sampler::enabled())
+            Sampler::instance().stop();
     }
 };
 

@@ -1,0 +1,42 @@
+#include "obs/sampler.hh"
+
+#include "common/logging.hh"
+
+namespace stitch::obs
+{
+
+Sampler &
+Sampler::instance()
+{
+    static Sampler sampler;
+    return sampler;
+}
+
+void
+Sampler::start(Cycles interval)
+{
+    if (interval == 0)
+        fatal("sampler interval must be at least one cycle");
+    interval_ = interval;
+    seriesNames_.clear();
+    tracks_.clear();
+    enabledFlag_ = true;
+}
+
+void
+Sampler::stop()
+{
+    enabledFlag_ = false;
+}
+
+void
+Sampler::beginRun(const std::vector<std::string> &seriesNames)
+{
+    if (seriesNames.size() > static_cast<std::size_t>(maxSeries))
+        fatal("sampler supports at most ", maxSeries, " series, got ",
+              seriesNames.size());
+    seriesNames_ = seriesNames;
+    tracks_.clear();
+}
+
+} // namespace stitch::obs

@@ -23,6 +23,7 @@ Tracer::start(const std::string &path)
         fatal("cannot open trace file '", path, "'");
     first_ = true;
     events_ = 0;
+    tailWritten_ = false;
     std::fputs("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[", out_);
     enabledFlag_ = true;
     emitHeader();
@@ -34,9 +35,33 @@ Tracer::stop()
     if (!enabledFlag_)
         return;
     enabledFlag_ = false;
+    retractTail();
     std::fputs("\n]}\n", out_);
     std::fclose(out_);
     out_ = nullptr;
+}
+
+void
+Tracer::flush()
+{
+    if (!enabledFlag_ || tailWritten_)
+        return;
+    tailPos_ = std::ftell(out_);
+    std::fputs("\n]}\n", out_);
+    std::fflush(out_);
+    tailWritten_ = true;
+}
+
+void
+Tracer::retractTail()
+{
+    if (!tailWritten_)
+        return;
+    // Later events (and stop()'s final tail) overwrite the
+    // provisional one; they are never shorter than what they replace,
+    // so no stale bytes survive past the new end of the document.
+    std::fseek(out_, tailPos_, SEEK_SET);
+    tailWritten_ = false;
 }
 
 void
@@ -58,6 +83,7 @@ void
 Tracer::metadata(int pid, int tid, const char *what,
                  const std::string &name)
 {
+    retractTail();
     if (!first_)
         std::fputc(',', out_);
     first_ = false;
@@ -71,6 +97,7 @@ void
 Tracer::event(char ph, int pid, int tid, const char *name, Cycles ts,
               Cycles dur, std::initializer_list<Arg> args)
 {
+    retractTail();
     if (!first_)
         std::fputc(',', out_);
     first_ = false;

@@ -59,6 +59,16 @@ class Tracer
     /** Finish the JSON document and close the file. */
     void stop();
 
+    /**
+     * Make the on-disk trace a valid JSON document *without* ending
+     * the recording: writes the closing brackets and flushes, then
+     * rewinds over them before the next event. The simulator calls
+     * this on abnormal run terminations (deadlock, surfaced fault,
+     * instruction limit) so a trace truncated by a dying harness is
+     * still loadable in the viewer.
+     */
+    void flush();
+
     /** Duration event [start, end) on a track. */
     void slice(int pid, int tid, const char *name, Cycles start,
                Cycles end, std::initializer_list<Arg> args = {});
@@ -71,6 +81,7 @@ class Tracer
 
   private:
     void emitHeader();
+    void retractTail();
     void metadata(int pid, int tid, const char *what,
                   const std::string &name);
     void event(char ph, int pid, int tid, const char *name, Cycles ts,
@@ -81,6 +92,10 @@ class Tracer
     std::FILE *out_ = nullptr;
     bool first_ = true;
     std::uint64_t events_ = 0;
+
+    /** Set while flush()'s provisional tail sits at tailPos_. */
+    bool tailWritten_ = false;
+    long tailPos_ = 0;
 };
 
 } // namespace stitch::obs

@@ -108,4 +108,55 @@ cyclesToMs(double cycles)
     return cycles / (stitchClockMhz * 1e3);
 }
 
+EnergyModel
+EnergyModel::standard()
+{
+    // Convert the Fig. 13 chip power into a per-cycle energy budget:
+    // mW = pJ/cycle * MHz * 1e-3, so 139.5 mW at 200 MHz is 697.5 pJ
+    // per chip cycle. Split it with the same proportions as
+    // powerBreakdown(), then spread each component over the 16 tiles.
+    double chipPj = stitchTotalMw * 1e3 / stitchClockMhz;
+    double accelPj = chipPj * accelPowerShare;
+    double restPj = chipPj - accelPj;
+    double tileCorePj = restPj * (0.52 + 0.33) / numTiles;
+    double tileNocPj = restPj * 0.15 / numTiles;
+
+    // Activity factors within a tile's core+cache budget: a fully
+    // issuing pipeline pays the whole budget; ~35% of it (clock tree,
+    // leakage, the always-clocked NoC router slice) is paid whenever
+    // the tile is powered at all. Stall and blocked cycles keep only
+    // part of the datapath active. Derived, not paper-reported.
+    double active = tileCorePj * 0.65;
+    EnergyModel m;
+    m.tileIdlePj = tileCorePj * 0.35 + tileNocPj;
+    m.issueExtraPj = active;
+    m.stallExtraPj = active * 0.60;   // memory system busy, pipe gated
+    m.blockedExtraPj = active * 0.15; // only the NIC poll loop active
+    // The accelerator share splits between patches and the sNoC in
+    // proportion to synthesized area (Table IV), as in Fig. 13. A
+    // patch evaluates one CUST per cycle at full rate, so the
+    // per-CUST energy is the per-tile patch slice of that budget; a
+    // fused CUST also drives the remote patch's datapath (half the
+    // local energy: its sequencer and SPM port stay idle).
+    double patches = patchesAreaUm2(core::StitchArch::standard());
+    double snoc = snocAreaUm2();
+    double patchPj = accelPj * patches / (patches + snoc);
+    double snocPj = accelPj - patchPj;
+    m.custPj = patchPj / numTiles;
+    m.fusedExtraPj = m.custPj * 0.5;
+    m.snocHopPj = snocPj / numTiles;
+    // Inter-core packet: wormhole dynamic energy across routers and
+    // links, roughly two tiles' worth of the NoC per-cycle slice.
+    m.nocPacketPj = tileNocPj * 2.0;
+    return m;
+}
+
+double
+averagePowerMw(double energyPj, double cycles)
+{
+    return cycles <= 0.0
+               ? 0.0
+               : energyPj / cycles * stitchClockMhz * 1e-3;
+}
+
 } // namespace stitch::power

@@ -103,6 +103,43 @@ std::vector<BreakdownRow> accelAreaBreakdown();
 /** Cycles -> milliseconds at the Stitch clock. */
 double cyclesToMs(double cycles);
 
+/**
+ * Activity-scaled per-event energy constants (pJ), for attributing
+ * the Fig. 13 chip power to tiles and kernels from simulated activity
+ * counts. All values are *derived* from the paper's anchors — total
+ * chip power (139.5 mW at 200 MHz), the 23% accelerator share and the
+ * Table IV patch/sNoC synthesis areas — via the powerBreakdown()
+ * split; see standard() for the arithmetic. The model is additive:
+ *
+ *   tile energy = tileIdlePj  * makespan                (if loaded)
+ *               + issueExtraPj * (issue + cust cycles)
+ *               + stallExtraPj * (cache-miss + SPM stall cycles)
+ *               + blockedExtraPj * (SEND + RECV blocked cycles)
+ *               + custPj * CUSTs + fusedExtraPj * fused CUSTs
+ *               + snocHopPj * sNoC hops + nocPacketPj * msgs sent
+ *
+ * Unloaded tiles are clock-gated and contribute nothing. The rollup
+ * itself lives in src/prof/ (power stays free of sim dependencies).
+ */
+struct EnergyModel
+{
+    double tileIdlePj;     ///< per loaded-tile makespan cycle (clock
+                           ///< tree, leakage, always-on NoC router)
+    double issueExtraPj;   ///< extra per issue/CUST-base cycle
+    double stallExtraPj;   ///< extra per cache-miss/SPM stall cycle
+    double blockedExtraPj; ///< extra per SEND-/RECV-blocked cycle
+    double custPj;         ///< per CUST (local patch evaluation)
+    double fusedExtraPj;   ///< extra per fused CUST (remote patch)
+    double snocHopPj;      ///< per inter-patch mesh hop
+    double nocPacketPj;    ///< per inter-core NoC packet injected
+
+    /** The constants anchored to the paper's Fig. 13 numbers. */
+    static EnergyModel standard();
+};
+
+/** Average power of `energyPj` dissipated over `cycles` at 200 MHz. */
+double averagePowerMw(double energyPj, double cycles);
+
 } // namespace stitch::power
 
 #endif // STITCH_POWER_POWER_MODEL_HH

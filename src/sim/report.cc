@@ -21,11 +21,25 @@ tileJson(TileId t, const TileStats &ts, Cycles makespan)
     j.set("instructions", ts.instructions);
     j.set("custom_instructions", ts.customInstructions);
     j.set("fused_custom_instructions", ts.fusedCustomInstructions);
+    j.set("muls", ts.muls);
+    j.set("branches_taken", ts.branchesTaken);
     j.set("imiss_stall_cycles", ts.imissStallCycles);
     j.set("dmiss_stall_cycles", ts.dmissStallCycles);
+    j.set("spm_stall_cycles", ts.spmStallCycles);
+    j.set("send_stall_cycles", ts.sendStallCycles);
     j.set("recv_wait_cycles", ts.recvWaitCycles);
     j.set("msgs_sent", ts.msgsSent);
     j.set("msgs_received", ts.msgsReceived);
+    j.set("snoc_hops", ts.snocHops);
+
+    // The derived attribution partition: over a loaded tile these six
+    // buckets sum exactly to "cycles" (cpu/core.hh identity).
+    obs::Json buckets = obs::Json::object();
+    auto b = cycleBuckets(ts);
+    for (int i = 0; i < numCycleBuckets; ++i)
+        buckets.set(cycleBucketName(static_cast<CycleBucket>(i)),
+                    b[static_cast<std::size_t>(i)]);
+    j.set("buckets", buckets);
     return j;
 }
 

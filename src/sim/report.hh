@@ -23,8 +23,15 @@ namespace stitch::sim
 
 inline constexpr const char *runReportSchema = "stitch-run-report";
 
-/** v2 adds "termination" plus deadlock/fault diagnostics. */
-inline constexpr int runReportVersion = 2;
+/**
+ * v2 added "termination" plus deadlock/fault diagnostics. v3 adds the
+ * full per-tile cycle attribution (MUL/branch counts, SPM and SEND
+ * stall cycles, sNoC hops, and the derived "buckets" partition that
+ * sums exactly to each tile's cycles) and reserves the top-level
+ * "profile" key for the src/prof/ attribution section, which
+ * harnesses attach under --profile.
+ */
+inline constexpr int runReportVersion = 3;
 
 /**
  * Build the report document for one run. When `registry` is non-null

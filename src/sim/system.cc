@@ -2,10 +2,57 @@
 
 #include "common/logging.hh"
 #include "isa/assembler.hh"
+#include "obs/sampler.hh"
 #include "obs/trace.hh"
 
 namespace stitch::sim
 {
+
+const char *
+cycleBucketName(CycleBucket b)
+{
+    switch (b) {
+      case CycleBucket::Issue: return "issue";
+      case CycleBucket::CustExecute: return "cust_execute";
+      case CycleBucket::CacheMiss: return "cache_miss";
+      case CycleBucket::Spm: return "spm";
+      case CycleBucket::SendBlocked: return "send_blocked";
+      case CycleBucket::RecvBlocked: return "recv_blocked";
+    }
+    STITCH_PANIC("bad CycleBucket");
+}
+
+const std::vector<std::string> &
+cycleBucketNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (int b = 0; b < numCycleBuckets; ++b)
+            v.push_back(cycleBucketName(static_cast<CycleBucket>(b)));
+        return v;
+    }();
+    return names;
+}
+
+std::array<Cycles, numCycleBuckets>
+cycleBuckets(const TileStats &ts)
+{
+    std::array<Cycles, numCycleBuckets> b{};
+    // Every retired instruction (CUSTs included) costs one base
+    // cycle; MULs add 3 iterations, taken branches 1 bubble. CUST
+    // base cycles move to their own bucket.
+    b[static_cast<int>(CycleBucket::Issue)] =
+        ts.instructions - ts.customInstructions + 3 * ts.muls +
+        ts.branchesTaken;
+    b[static_cast<int>(CycleBucket::CustExecute)] =
+        ts.customInstructions;
+    b[static_cast<int>(CycleBucket::CacheMiss)] =
+        ts.imissStallCycles + ts.dmissStallCycles;
+    b[static_cast<int>(CycleBucket::Spm)] = ts.spmStallCycles;
+    b[static_cast<int>(CycleBucket::SendBlocked)] = ts.sendStallCycles;
+    b[static_cast<int>(CycleBucket::RecvBlocked)] = ts.recvWaitCycles;
+    return b;
+}
 
 namespace
 {
@@ -76,8 +123,21 @@ System::System(const SystemParams &params)
         pc.fused = &ps.counter("fused_custom_instructions");
         pc.spmLoads = &ps.counter("spm_loads");
         pc.spmStores = &ps.counter("spm_stores");
+        pc.snocHops = &ps.counter("snoc_hops");
         if (params_.accel == AccelMode::Stitch)
             registry_.add(prefix + "patch", ps);
+
+        StatGroup &cstats = tile.core->stats();
+        auto &cc = coreCounters_[static_cast<std::size_t>(t)];
+        cc.instructions = &cstats.counter("instructions");
+        cc.custs = &cstats.counter("custom_instructions");
+        cc.muls = &cstats.counter("muls");
+        cc.branches = &cstats.counter("branches_taken");
+        cc.imiss = &cstats.counter("imiss_stall_cycles");
+        cc.dmiss = &cstats.counter("dmiss_stall_cycles");
+        cc.spm = &cstats.counter("spm_stall_cycles");
+        cc.send = &cstats.counter("send_stall_cycles");
+        cc.recv = &cstats.counter("recv_wait_cycles");
     }
     registry_.add("noc", noc_.stats());
     snocFused_ = &snocStats_.counter("fused_transfers");
@@ -283,6 +343,7 @@ System::executeCustom(TileId t, std::uint64_t blob,
         auto hops = static_cast<std::uint64_t>(
             snocCfg_.fusionHops(t, partner));
         *snocHops_ += hops;
+        *pc.snocHops += hops;
         if (obs::Tracer::enabled()) {
             obs::Tracer::instance().instant(
                 obs::Tracer::pidSnoc, t, "fused CUST",
@@ -329,6 +390,36 @@ System::tryRecv(TileId dst, TileId src, int tag)
     return noc_.tryRecv(dst, src, tag);
 }
 
+std::array<Cycles, numCycleBuckets>
+System::bucketsNow(TileId t) const
+{
+    const auto &cc = coreCounters_[static_cast<std::size_t>(t)];
+    std::array<Cycles, numCycleBuckets> b{};
+    b[static_cast<int>(CycleBucket::Issue)] =
+        *cc.instructions - *cc.custs + 3 * *cc.muls + *cc.branches;
+    b[static_cast<int>(CycleBucket::CustExecute)] = *cc.custs;
+    b[static_cast<int>(CycleBucket::CacheMiss)] = *cc.imiss + *cc.dmiss;
+    b[static_cast<int>(CycleBucket::Spm)] = *cc.spm;
+    b[static_cast<int>(CycleBucket::SendBlocked)] = *cc.send;
+    b[static_cast<int>(CycleBucket::RecvBlocked)] = *cc.recv;
+    return b;
+}
+
+void
+System::sampleStep(TileId t)
+{
+    auto now = bucketsNow(t);
+    auto &last = sampledBuckets_[static_cast<std::size_t>(t)];
+    Cycles time = tiles_[static_cast<std::size_t>(t)].core->time();
+    auto &sampler = obs::Sampler::instance();
+    for (int b = 0; b < numCycleBuckets; ++b) {
+        auto i = static_cast<std::size_t>(b);
+        if (now[i] != last[i])
+            sampler.add(t, time, b, now[i] - last[i]);
+    }
+    last = now;
+}
+
 RunStats
 System::run(std::uint64_t maxInstructions)
 {
@@ -337,6 +428,16 @@ System::run(std::uint64_t maxInstructions)
     // Injected-fault counters describe one run, like the per-tile
     // patch counters (handles stay valid; values zero in place).
     faultStats_.reset();
+
+    const bool sampling = obs::Sampler::enabled();
+    if (sampling) {
+        obs::Sampler::instance().beginRun(cycleBucketNames());
+        // Baseline the deltas at the counters' current values (zero
+        // after loadProgram, but not if the same program runs twice).
+        for (TileId t = 0; t < numTiles; ++t)
+            sampledBuckets_[static_cast<std::size_t>(t)] =
+                bucketsNow(t);
+    }
 
     while (true) {
         // Pick the runnable (loaded, not halted, not blocked) core
@@ -418,6 +519,8 @@ System::run(std::uint64_t maxInstructions)
             break;
         }
         ++executed;
+        if (sampling)
+            sampleStep(pick);
 
         if (result == cpu::StepResult::Blocked)
             tile.blocked = true;
@@ -435,6 +538,13 @@ System::run(std::uint64_t maxInstructions)
         }
     }
 
+    // A run cut short (deadlock, fault, step budget) may never reach
+    // the harness's orderly Tracer::stop(): make the on-disk trace a
+    // valid JSON document now, at zero cost to completed runs.
+    if (stats.termination != fault::Termination::Completed &&
+        obs::Tracer::enabled())
+        obs::Tracer::instance().flush();
+
     for (TileId t = 0; t < numTiles; ++t) {
         Tile &tile = tiles_[static_cast<std::size_t>(t)];
         if (!tile.loaded)
@@ -448,11 +558,16 @@ System::run(std::uint64_t maxInstructions)
         ts.customInstructions = cs.get("custom_instructions");
         ts.fusedCustomInstructions =
             ps.get("fused_custom_instructions");
+        ts.muls = cs.get("muls");
+        ts.branchesTaken = cs.get("branches_taken");
         ts.imissStallCycles = cs.get("imiss_stall_cycles");
         ts.dmissStallCycles = cs.get("dmiss_stall_cycles");
+        ts.spmStallCycles = cs.get("spm_stall_cycles");
+        ts.sendStallCycles = cs.get("send_stall_cycles");
         ts.recvWaitCycles = cs.get("recv_wait_cycles");
         ts.msgsSent = cs.get("msgs_sent");
         ts.msgsReceived = cs.get("msgs_received");
+        ts.snocHops = ps.get("snoc_hops");
         stats.makespan = std::max(stats.makespan, ts.cycles);
         stats.instructions += ts.instructions;
         stats.customInstructions += ts.customInstructions;

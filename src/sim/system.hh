@@ -59,11 +59,17 @@ struct TileStats
     std::uint64_t instructions = 0;
     std::uint64_t customInstructions = 0;
     std::uint64_t fusedCustomInstructions = 0; ///< CUSTs over the sNoC
+    std::uint64_t muls = 0;          ///< each costs 3 extra cycles
+    std::uint64_t branchesTaken = 0; ///< each costs 1 extra cycle
     Cycles imissStallCycles = 0;
     Cycles dmissStallCycles = 0;
+    Cycles spmStallCycles = 0;  ///< core-side SPM sequencer waits
+    Cycles sendStallCycles = 0; ///< NoC injection overhead of SENDs
     Cycles recvWaitCycles = 0; ///< RECV waiting on in-flight messages
     std::uint64_t msgsSent = 0;
     std::uint64_t msgsReceived = 0;
+    std::uint64_t snocHops = 0; ///< mesh links this tile's fused CUSTs
+                                ///< crossed
 
     /**
      * Fraction of the makespan this tile spent executing. A tile that
@@ -79,6 +85,35 @@ struct TileStats
                          static_cast<double>(makespan);
     }
 };
+
+/**
+ * One cycle-attribution bucket of a tile's local time. The buckets
+ * partition every local cycle exactly (see the accounting identity in
+ * cpu/core.hh): summed over a loaded tile they equal TileStats::cycles
+ * bit-for-bit, which the profiling layer (src/prof/) asserts per run.
+ */
+enum class CycleBucket
+{
+    Issue,       ///< issue/execute cycles of ordinary instructions
+                 ///< (base cycle + MUL iterations + taken branches)
+    CustExecute, ///< single-cycle CUST evaluations on the patch fabric
+    CacheMiss,   ///< I-/D-cache miss stalls (DRAM behind the caches)
+    Spm,         ///< scratchpad sequencer waits on core LW/SW
+    SendBlocked, ///< NoC injection overhead paid by SEND
+    RecvBlocked, ///< RECV waiting on an in-flight message
+};
+
+inline constexpr int numCycleBuckets = 6;
+
+/** Printable bucket name ("issue", "cust_execute", ...). */
+const char *cycleBucketName(CycleBucket b);
+
+/** Names of all buckets, in enum order (sampler series order). */
+const std::vector<std::string> &cycleBucketNames();
+
+/** Derive the bucket partition of one tile's local cycles. */
+std::array<Cycles, numCycleBuckets>
+cycleBuckets(const TileStats &ts);
 
 /** One tile blocked in RECV when the run ended (diagnostics). */
 struct BlockedTileDiag
@@ -217,7 +252,32 @@ class System : public cpu::CustomHandler, public cpu::MessageHub
         Counter *fused = nullptr;
         Counter *spmLoads = nullptr;
         Counter *spmStores = nullptr;
+        Counter *snocHops = nullptr;
     };
+
+    /**
+     * Cached handles into one core's StatGroup, so the run loop's
+     * stat fill and the interval sampler never pay a per-step string
+     * lookup. Values reset in place on loadProgram; handles persist.
+     */
+    struct CoreCounters
+    {
+        Counter *instructions = nullptr;
+        Counter *custs = nullptr;
+        Counter *muls = nullptr;
+        Counter *branches = nullptr;
+        Counter *imiss = nullptr;
+        Counter *dmiss = nullptr;
+        Counter *spm = nullptr;
+        Counter *send = nullptr;
+        Counter *recv = nullptr;
+    };
+
+    /** Cumulative buckets of tile `t` right now (from CoreCounters). */
+    std::array<Cycles, numCycleBuckets> bucketsNow(TileId t) const;
+
+    /** Feed the stepped tile's new bucket cycles to the sampler. */
+    void sampleStep(TileId t);
 
     /** A message injected during the current step (for wake-up). */
     struct SentMessage
@@ -237,6 +297,11 @@ class System : public cpu::CustomHandler, public cpu::MessageHub
     core::SnocConfig snocCfg_; ///< preset kept for hop attribution
     std::array<StatGroup, numTiles> patchStats_;
     std::array<PatchCounters, numTiles> patchCounters_;
+    std::array<CoreCounters, numTiles> coreCounters_;
+
+    /** Sampler state: last seen cumulative buckets per tile. */
+    std::array<std::array<Cycles, numCycleBuckets>, numTiles>
+        sampledBuckets_{};
     StatGroup snocStats_;
     Counter *snocFused_ = nullptr;
     Counter *snocHops_ = nullptr;

@@ -227,6 +227,81 @@ TEST(Tracer, PingPongGoldenEvents)
     EXPECT_EQ(pkts, 2);
 }
 
+/**
+ * Abnormal terminations must leave a loadable trace even when the
+ * harness never reaches Tracer::stop(): the simulator flushes a
+ * provisional tail on deadlock / instruction-limit exits. Regression
+ * test for traces truncated by dying harnesses.
+ */
+TEST(Tracer, DeadlockedRunFlushesAValidTrace)
+{
+    std::string path = testing::TempDir() + "deadlock_trace.json";
+    Tracer::instance().start(path);
+
+    // tile0 RECVs from tile1, which never sends: guaranteed deadlock.
+    Assembler a("stuck");
+    a.li(t1, 1);
+    a.recv(t2, t1, 0);
+    a.halt();
+    sim::SystemParams params;
+    params.accel = sim::AccelMode::None;
+    sim::System system(params);
+    system.loadProgram(0, wrap(a.finish()));
+    auto stats = system.run();
+    ASSERT_EQ(stats.termination, fault::Termination::Deadlock);
+
+    // Parse the file as-is — no stop() yet, as if the process died.
+    Json doc = Json::parse(slurp(path));
+    EXPECT_GT(doc.get("traceEvents").size(), 0u);
+
+    // A clean stop afterwards must still produce a valid document.
+    Tracer::instance().stop();
+    Json closed = Json::parse(slurp(path));
+    EXPECT_EQ(closed.get("traceEvents").size(),
+              doc.get("traceEvents").size());
+    std::remove(path.c_str());
+}
+
+TEST(Tracer, InstructionLimitRunFlushesAValidTrace)
+{
+    std::string path = testing::TempDir() + "limit_trace.json";
+    Tracer::instance().start(path);
+
+    sim::SystemParams params;
+    params.accel = sim::AccelMode::None;
+    sim::System system(params);
+    auto stats = [&] {
+        Assembler a("ping");
+        a.li(t0, 42);
+        a.li(t1, 1);
+        a.send(t0, t1, 0);
+        a.recv(t2, t1, 0);
+        a.halt();
+        Assembler b("pong");
+        b.li(t1, 0);
+        b.recv(t2, t1, 0);
+        b.send(t2, t1, 0);
+        b.halt();
+        system.loadProgram(0, wrap(a.finish()));
+        system.loadProgram(1, wrap(b.finish()));
+        return system.run(3); // budget far below completion
+    }();
+    ASSERT_EQ(stats.termination, fault::Termination::InstructionLimit);
+
+    Json doc = Json::parse(slurp(path));
+    EXPECT_GE(doc.get("traceEvents").size(), 1u);
+
+    // The provisional tail must not break subsequent recording: a
+    // completed run appends its events after the retracted tail.
+    sim::System more(params);
+    runPingPong(more);
+    Tracer::instance().stop();
+    Json final = Json::parse(slurp(path));
+    EXPECT_GT(final.get("traceEvents").size(),
+              doc.get("traceEvents").size());
+    std::remove(path.c_str());
+}
+
 TEST(Tracer, StartWhileRecordingIsFatal)
 {
     std::string path = testing::TempDir() + "dup_trace.json";

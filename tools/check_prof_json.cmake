@@ -1,0 +1,51 @@
+# Test driver: run smoke_app under --profile with an interval and a
+# speedscope export, then assert (a) both artifacts are strict JSON,
+# (b) the report is version 3 and carries the "profile" attribution
+# section plus the interval timeline, and (c) the speedscope document
+# declares the official schema. Invoked by prof_artifacts_are_valid
+# with -DSMOKE_APP=... -DPYTHON=... -DOUT_DIR=...
+
+set(report "${OUT_DIR}/prof_report.json")
+set(speedscope "${OUT_DIR}/prof_speedscope.json")
+
+execute_process(
+    COMMAND "${SMOKE_APP}" APP1 "--report=${report}" "--profile=1000"
+            "--speedscope=${speedscope}"
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "smoke_app --profile failed with status ${rc}")
+endif()
+
+foreach(artifact IN ITEMS "${report}" "${speedscope}")
+    if(NOT EXISTS "${artifact}")
+        message(FATAL_ERROR "missing artifact ${artifact}")
+    endif()
+    execute_process(
+        COMMAND "${PYTHON}" -m json.tool "${artifact}"
+        RESULT_VARIABLE rc
+        OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "${artifact} is not valid JSON")
+    endif()
+endforeach()
+
+file(READ "${report}" report_text)
+if(NOT report_text MATCHES "\"version\": 3")
+    message(FATAL_ERROR "report is not version 3")
+endif()
+foreach(key IN ITEMS "\"profile\"" "\"profile_timeline\""
+                     "\"total_energy_pj\"" "\"limiting_stage\"")
+    if(NOT report_text MATCHES "${key}")
+        message(FATAL_ERROR "report lacks the ${key} section")
+    endif()
+endforeach()
+
+file(READ "${speedscope}" speedscope_text)
+if(NOT speedscope_text MATCHES
+   "speedscope.app/file-format-schema.json")
+    message(FATAL_ERROR "speedscope export lacks the format schema")
+endif()
+if(NOT speedscope_text MATCHES "\"type\": \"sampled\"")
+    message(FATAL_ERROR "speedscope export has no sampled profiles")
+endif()

@@ -5,11 +5,13 @@
  *
  * Usage:
  *   smoke_app [name-filter] [--trace=FILE] [--report=FILE]
- *             [--stats=FILE] [--verbose]
+ *             [--stats=FILE] [--profile[=N]] [--speedscope=FILE]
+ *             [--verbose]
  *
- * --trace records the whole invocation; --report and --stats describe
- * the last application run executed (filter to one app for a focused
- * report, e.g. `smoke_app APP1 --report=r.json`).
+ * --trace records the whole invocation; --report, --stats, --profile
+ * and --speedscope describe the last application run executed (filter
+ * to one app for a focused report, e.g. `smoke_app APP1
+ * --report=r.json --profile`).
  */
 
 #include <cstdio>
@@ -17,6 +19,8 @@
 
 #include "apps/app_runner.hh"
 #include "obs/cli.hh"
+#include "prof/profile.hh"
+#include "prof/speedscope.hh"
 #include "sim/report.hh"
 
 using namespace stitch;
@@ -74,14 +78,29 @@ main(int argc, char **argv)
 
     obsOpts.end();
     if (last) {
+        bool wantProfile =
+            obsOpts.profile || !obsOpts.speedscopePath.empty();
+        prof::Profile profile;
+        if (wantProfile)
+            profile = prof::buildProfile(
+                last->stats, last->stageBindings,
+                static_cast<std::uint64_t>(last->samplesLong));
         if (!obsOpts.reportPath.empty()) {
             auto doc = sim::runReport(last->stats);
             if (!last->statsDump.isNull())
                 doc.set("stats", last->statsDump);
+            if (wantProfile) {
+                doc.set("profile", prof::profileJson(profile));
+                if (auto timeline = prof::samplerTimelineJson();
+                    !timeline.isNull())
+                    doc.set("profile_timeline", timeline);
+            }
             obs::writeJsonFile(obsOpts.reportPath, doc);
         }
         if (!obsOpts.statsPath.empty())
             obs::writeJsonFile(obsOpts.statsPath, last->statsDump);
+        if (!obsOpts.speedscopePath.empty())
+            prof::writeSpeedscope(obsOpts.speedscopePath, profile);
     }
     return 0;
 }

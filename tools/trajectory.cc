@@ -1,0 +1,72 @@
+/**
+ * @file
+ * trajectory — merge per-bench --json metric documents into the
+ * single bench-trajectory aggregate (BENCH_stitch.json at the repo
+ * root). The aggregate is the unit the regression harness tracks
+ * across revisions: run `make bench-trajectory`, commit the file, and
+ * `report_diff old.json new.json` gates the delta.
+ *
+ * Usage:
+ *   trajectory OUT.json BENCH1.json [BENCH2.json ...]
+ *
+ * Every input must be a stitch-bench document (bench_common.hh
+ * schema); its metrics land under benches.<name>. Inputs that are
+ * missing on disk are skipped with a warning (a partial trajectory is
+ * still comparable over the benches it has), but malformed documents
+ * are fatal.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hh"
+
+using namespace stitch;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: trajectory OUT.json BENCH1.json "
+                     "[BENCH2.json ...]\n");
+        return 2;
+    }
+
+    obs::Json benches = obs::Json::object();
+    int merged = 0;
+    for (int i = 2; i < argc; ++i) {
+        std::ifstream in(argv[i]);
+        if (!in) {
+            std::fprintf(stderr,
+                         "trajectory: skipping missing '%s'\n",
+                         argv[i]);
+            continue;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        obs::Json doc = obs::Json::parse(text.str());
+        if (!doc.isObject() || !doc.has("schema") ||
+            doc.get("schema").asString() != "stitch-bench") {
+            std::fprintf(stderr,
+                         "trajectory: '%s' is not a stitch-bench "
+                         "document\n",
+                         argv[i]);
+            return 2;
+        }
+        benches.set(doc.get("bench").asString(),
+                    doc.get("metrics"));
+        ++merged;
+    }
+
+    obs::Json out = obs::Json::object();
+    out.set("schema", "stitch-bench-trajectory");
+    out.set("version", 1);
+    out.set("benches", benches);
+    obs::writeJsonFile(argv[1], out);
+    std::printf("trajectory: merged %d bench document%s into %s\n",
+                merged, merged == 1 ? "" : "s", argv[1]);
+    return merged > 0 ? 0 : 2;
+}
