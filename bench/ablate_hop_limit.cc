@@ -22,29 +22,44 @@ main(int argc, char **argv)
 
     TextTable table({"round-trip hops", "worst path ns", "max MHz",
                      "reachable pairs", "mesh distance"});
-    for (int hops = 2; hops <= 12; hops += 2) {
-        // Worst case: two AT-MA patches at the budget's distance.
-        double ns = core::fusedCriticalPathNs(
-            PatchKind::ATMA, PatchKind::ATMA, hops / 2,
-            hops - hops / 2);
-        int maxDist = hops / 2;
+    // Each hop budget is an independent sweep task (--jobs=N); rows
+    // merge in hop order so the table is identical for any N.
+    struct HopRow
+    {
+        int hops = 0;
+        double ns = 0;
         int reachable = 0;
+        int maxDist = 0;
+    };
+    sim::SweepRunner sweep(bench::jobsFlag());
+    auto rows = sweep.map(6, [&](int i) {
+        HopRow row;
+        row.hops = 2 + 2 * i;
+        // Worst case: two AT-MA patches at the budget's distance.
+        row.ns = core::fusedCriticalPathNs(
+            PatchKind::ATMA, PatchKind::ATMA, row.hops / 2,
+            row.hops - row.hops / 2);
+        row.maxDist = row.hops / 2;
         for (TileId a = 0; a < numTiles; ++a)
             for (TileId b = 0; b < numTiles; ++b)
-                if (a != b && tileDistance(a, b) <= maxDist)
-                    ++reachable;
-        recordMetric(strformat("hops%d/max_mhz", hops),
-                     core::pathFrequencyMhz(ns));
-        recordMetric(strformat("hops%d/reachable_pairs", hops),
-                     reachable);
-        table.addRow({strformat("%d%s", hops,
-                                hops == core::rtl::maxFusionHops
-                                    ? " (paper)"
-                                    : ""),
-                      strformat("%.2f", ns),
-                      strformat("%.0f", core::pathFrequencyMhz(ns)),
-                      strformat("%d/240", reachable),
-                      strformat("<= %d", maxDist)});
+                if (a != b && tileDistance(a, b) <= row.maxDist)
+                    ++row.reachable;
+        return row;
+    });
+    for (const HopRow &row : rows) {
+        recordMetric(strformat("hops%d/max_mhz", row.hops),
+                     core::pathFrequencyMhz(row.ns));
+        recordMetric(strformat("hops%d/reachable_pairs", row.hops),
+                     row.reachable);
+        table.addRow(
+            {strformat("%d%s", row.hops,
+                       row.hops == core::rtl::maxFusionHops
+                           ? " (paper)"
+                           : ""),
+             strformat("%.2f", row.ns),
+             strformat("%.0f", core::pathFrequencyMhz(row.ns)),
+             strformat("%d/240", row.reachable),
+             strformat("<= %d", row.maxDist)});
     }
     table.print();
 

@@ -57,23 +57,45 @@ main(int argc, char **argv)
     };
 
     TextTable table({"mix", "APP1", "APP2", "APP3", "APP4", "avg"});
-    for (const auto &mix : mixes) {
-        apps::AppRunner runner(4, 12);
-        runner.setArch(mix.arch);
-        std::vector<std::string> cells = {mix.name};
-        double sum = 0;
-        for (const auto &app : apps::allApps()) {
-            auto base = runner.run(app, apps::AppMode::Baseline);
-            auto full = runner.run(app, apps::AppMode::Stitch);
-            double boost = base.perSampleCycles() /
-                           full.perSampleCycles();
-            sum += boost;
-            cells.push_back(strformat("%.2f", boost));
-        }
-        recordMetric(std::string(mix.name) + "/avg_boost", sum / 4);
-        cells.push_back(strformat("%.2f", sum / 4));
-        table.addRow(cells);
-        std::fflush(stdout);
+
+    // One shared runner (thread-safe kernel cache); each mix is an
+    // independent sweep task carrying its arch in a private
+    // RunConfig. Rows come back in mix order, so the table and the
+    // recorded metrics are byte-identical for any --jobs value.
+    apps::AppRunner runner(4, 12);
+    runner.setScheduler(bench::schedulerFlag());
+    struct MixRow
+    {
+        std::vector<std::string> cells;
+        double avg = 0;
+    };
+    sim::SweepRunner sweep(bench::jobsFlag());
+    auto rows = sweep.map(
+        static_cast<int>(std::size(mixes)), [&](int i) {
+            const Mix &mix = mixes[static_cast<std::size_t>(i)];
+            apps::RunConfig cfg = runner.config();
+            cfg.arch = mix.arch;
+            MixRow row;
+            row.cells = {mix.name};
+            double sum = 0;
+            for (const auto &app : apps::allApps()) {
+                auto base =
+                    runner.run(app, apps::AppMode::Baseline, cfg);
+                auto full =
+                    runner.run(app, apps::AppMode::Stitch, cfg);
+                double boost = base.perSampleCycles() /
+                               full.perSampleCycles();
+                sum += boost;
+                row.cells.push_back(strformat("%.2f", boost));
+            }
+            row.avg = sum / 4;
+            row.cells.push_back(strformat("%.2f", row.avg));
+            return row;
+        });
+    for (std::size_t i = 0; i < std::size(mixes); ++i) {
+        recordMetric(std::string(mixes[i].name) + "/avg_boost",
+                     rows[i].avg);
+        table.addRow(rows[i].cells);
     }
     table.print();
 

@@ -27,20 +27,30 @@ main(int argc, char **argv)
         compiler::StitchPolicy::SinglesOnly,
         compiler::StitchPolicy::Auto};
 
-    for (const auto &app : apps::allApps()) {
-        std::vector<std::string> cells = {app.name};
+    // All (app, policy) cells are independent: sweep them over the
+    // worker pool through one shared runner, each cell with its
+    // policy in a private RunConfig, and tabulate in order.
+    apps::AppRunner runner(4, 12);
+    runner.setScheduler(bench::schedulerFlag());
+    const auto &allApps = apps::allApps();
+    const int numCells = static_cast<int>(allApps.size()) * 3;
+    sim::SweepRunner sweep(bench::jobsFlag());
+    auto boosts = sweep.map(numCells, [&](int i) {
+        const auto &app = allApps[static_cast<std::size_t>(i / 3)];
+        apps::RunConfig cfg = runner.config();
+        cfg.policy = policies[i % 3];
+        auto base = runner.run(app, apps::AppMode::Baseline, cfg);
+        auto full = runner.run(app, apps::AppMode::Stitch, cfg);
+        return base.perSampleCycles() / full.perSampleCycles();
+    });
+    for (std::size_t a = 0; a < allApps.size(); ++a) {
+        std::vector<std::string> cells = {allApps[a].name};
         for (int p = 0; p < 3; ++p) {
-            apps::AppRunner runner(4, 12);
-            runner.setPolicy(policies[p]);
-            auto base = runner.run(app, apps::AppMode::Baseline);
-            auto full = runner.run(app, apps::AppMode::Stitch);
-            double boost = base.perSampleCycles() /
-                           full.perSampleCycles();
+            double boost = boosts[a * 3 + static_cast<std::size_t>(p)];
             sums[p] += boost;
             cells.push_back(strformat("%.2f", boost));
         }
         table.addRow(cells);
-        std::fflush(stdout);
     }
     recordMetric("average/greedy_boost", sums[0] / 4);
     recordMetric("average/singles_only_boost", sums[1] / 4);

@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 
 #include <cstring>
 
@@ -29,6 +30,7 @@
 #include "prof/profile.hh"
 #include "prof/speedscope.hh"
 #include "sim/report.hh"
+#include "sim/sweep.hh"
 
 namespace stitch::bench
 {
@@ -107,6 +109,58 @@ parseJsonFlag(const char *arg)
     return true;
 }
 
+/**
+ * Worker count for scenario sweeps (--jobs=N, default 1). Benches
+ * hand it to sim::SweepRunner, which may force it back to 1 while
+ * tracing or profiling is active. --jobs=0 means one worker per
+ * hardware thread.
+ */
+inline int &
+jobsFlag()
+{
+    static int jobs = 1;
+    return jobs;
+}
+
+/** Consume a --jobs=N argument; true iff it was one. */
+inline bool
+parseJobsFlag(const char *arg)
+{
+    constexpr const char *prefix = "--jobs=";
+    if (std::strncmp(arg, prefix, std::strlen(prefix)) != 0)
+        return false;
+    int jobs = std::atoi(arg + std::strlen(prefix));
+    if (jobs == 0)
+        jobs = static_cast<int>(std::thread::hardware_concurrency());
+    jobsFlag() = jobs < 1 ? 1 : jobs;
+    return true;
+}
+
+/**
+ * System scheduler selected on the command line (--scheduler=step|
+ * slice; default slice). The step scheduler is the bit-identical
+ * reference — the escape hatch for debugging the event-driven path,
+ * and one half of the sched_parity_is_exact differential test.
+ */
+inline sim::SchedulerKind &
+schedulerFlag()
+{
+    static sim::SchedulerKind kind = sim::SchedulerKind::Slice;
+    return kind;
+}
+
+/** Consume a --scheduler=NAME argument; true iff it was one. */
+inline bool
+parseSchedulerFlag(const char *arg)
+{
+    constexpr const char *prefix = "--scheduler=";
+    if (std::strncmp(arg, prefix, std::strlen(prefix)) != 0)
+        return false;
+    schedulerFlag() =
+        sim::schedulerKindFromName(arg + std::strlen(prefix));
+    return true;
+}
+
 /** Write the --report/--stats artifacts describing app run `res`. */
 inline void
 writeObsArtifacts(const apps::AppRunResult &res)
@@ -157,7 +211,8 @@ initObs(int argc, char **argv)
                           : path.substr(slash + 1);
     }
     for (int i = 1; i < argc; ++i) {
-        if (parseJsonFlag(argv[i]))
+        if (parseJsonFlag(argv[i]) || parseJobsFlag(argv[i]) ||
+            parseSchedulerFlag(argv[i]))
             continue;
         obsFlags().parse(argv[i]);
     }
@@ -210,6 +265,9 @@ inline apps::AppRunner &
 appRunner()
 {
     static apps::AppRunner runner(4, 12);
+    // The flag may be parsed after the first use constructs the
+    // static; re-applying it per access keeps them in sync cheaply.
+    runner.setScheduler(schedulerFlag());
     return runner;
 }
 

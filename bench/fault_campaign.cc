@@ -19,10 +19,14 @@
  * message deadlocks its consumer — visible as blocked-tile
  * diagnostics) and what was injected.
  *
- * Usage: fault_campaign [--app=APP3] [--out=DIR] [obs switches]
+ * Usage: fault_campaign [--app=APP3] [--out=DIR] [--jobs=N]
+ * [--scheduler=step|slice] [obs switches]
  * With --out=DIR a run report embedding the degraded stitch plan is
- * written per scenario. Exits non-zero if any re-stitched run fails
- * to complete.
+ * written per scenario. Scenarios are independent, so --jobs=N
+ * evaluates them over a sim::SweepRunner worker pool; results are
+ * merged in scenario order, making the table and every report file
+ * byte-identical for any jobs value. Exits non-zero if any
+ * re-stitched run fails to complete.
  */
 
 #include <cctype>
@@ -117,6 +121,7 @@ main(int argc, char **argv)
                     .c_str());
 
     apps::AppRunner runner(4, 12);
+    runner.setScheduler(bench::schedulerFlag());
 
     // The reference: all patches and links healthy.
     auto healthy = runner.run(*app, apps::AppMode::Stitch);
@@ -156,73 +161,100 @@ main(int argc, char **argv)
                   strformat("%.1f", healthyCycles), "1.00",
                   strformat("%d", fusedH), strformat("%d", swH), ""});
 
-    int failures = 0;
-    for (const auto &scenario : scenarios) {
-        // Naive: healthy plan, faulty hardware.
-        std::string naive;
-        runner.setHealth(fault::ArchHealth::healthy());
-        runner.setFaultPlan(scenario.plan);
-        try {
-            auto res = runner.run(*app, apps::AppMode::Stitch);
-            naive = fault::terminationName(res.stats.termination);
-            if (!scenario.hard) {
-                // Soft faults have no compile-time work-around; the
-                // naive run *is* the scenario result.
-                std::string injected;
-                if (res.stats.messagesDropped)
-                    injected += strformat(
-                        "%llu dropped ",
-                        static_cast<unsigned long long>(
-                            res.stats.messagesDropped));
-                if (res.stats.messagesDelayed)
-                    injected += strformat(
-                        "%llu delayed ",
-                        static_cast<unsigned long long>(
-                            res.stats.messagesDelayed));
-                if (res.stats.custBitFlips)
-                    injected += strformat(
-                        "%llu flips",
-                        static_cast<unsigned long long>(
-                            res.stats.custBitFlips));
-                bool done = res.stats.termination ==
-                            fault::Termination::Completed;
-                double cycles = res.perSampleCycles();
-                table.addRow(
-                    {scenario.name, naive, "-",
-                     strformat("%llu",
-                               static_cast<unsigned long long>(
-                                   res.plan.bottleneckCycles())),
-                     done ? strformat("%.1f", cycles) : "-",
-                     done ? strformat("%.2f", cycles / healthyCycles)
-                          : "-",
-                     "", "", injected});
-                if (!outDir.empty())
-                    writeScenarioReport(outDir, scenario.name, res);
-                continue;
+    // Evaluate every scenario over the sweep pool. Each worker runs
+    // a private RunConfig through the shared (thread-safe) runner;
+    // the healthy reference above already compiled every kernel, so
+    // workers only stitch, place and simulate. Results come back in
+    // scenario order — tabulation and report writing stay serial and
+    // deterministic below.
+    struct ScenarioOutcome
+    {
+        std::string naive;  ///< how the healthy-plan run ended
+        bool soft = false;  ///< naive run *is* the scenario result
+        apps::AppRunResult res; ///< soft: naive run; hard: re-stitch
+    };
+    sim::SweepRunner sweep(bench::jobsFlag());
+    auto outcomes = sweep.map(
+        static_cast<int>(scenarios.size()),
+        [&](int i) -> ScenarioOutcome {
+            const Scenario &scenario =
+                scenarios[static_cast<std::size_t>(i)];
+            ScenarioOutcome out;
+            apps::RunConfig cfg = runner.config();
+            cfg.health = fault::ArchHealth::healthy();
+            cfg.faults = scenario.plan;
+            try {
+                // Naive: healthy plan, faulty hardware.
+                auto res =
+                    runner.run(*app, apps::AppMode::Stitch, cfg);
+                out.naive =
+                    fault::terminationName(res.stats.termination);
+                if (!scenario.hard) {
+                    // Soft faults have no compile-time work-around.
+                    out.soft = true;
+                    out.res = std::move(res);
+                    return out;
+                }
+            } catch (const fault::ConfigError &) {
+                out.naive = "rejected";
             }
-        } catch (const fault::ConfigError &) {
-            naive = "rejected";
-        }
+            // Re-stitched: the stitcher degrades around the fault.
+            cfg.health = fault::ArchHealth::fromPlan(scenario.plan);
+            out.res = runner.run(*app, apps::AppMode::Stitch, cfg);
+            return out;
+        });
 
-        // Re-stitched: the stitcher degrades around the fault.
-        runner.setHealth(fault::ArchHealth::fromPlan(scenario.plan));
-        runner.setFaultPlan(scenario.plan);
-        auto res = runner.run(*app, apps::AppMode::Stitch);
+    int failures = 0;
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const Scenario &scenario = scenarios[i];
+        const ScenarioOutcome &out = outcomes[i];
+        const apps::AppRunResult &res = out.res;
         bool done =
             res.stats.termination == fault::Termination::Completed;
-        if (!done)
-            ++failures;
-        int fused = 0, software = 0;
-        countPlacements(res.plan, &fused, &software);
         double cycles = res.perSampleCycles();
-        table.addRow(
-            {scenario.name, naive,
-             fault::terminationName(res.stats.termination),
-             strformat("%llu", static_cast<unsigned long long>(
-                                   res.plan.bottleneckCycles())),
-             done ? strformat("%.1f", cycles) : "-",
-             done ? strformat("%.2f", cycles / healthyCycles) : "-",
-             strformat("%d", fused), strformat("%d", software), ""});
+        if (out.soft) {
+            std::string injected;
+            if (res.stats.messagesDropped)
+                injected += strformat(
+                    "%llu dropped ",
+                    static_cast<unsigned long long>(
+                        res.stats.messagesDropped));
+            if (res.stats.messagesDelayed)
+                injected += strformat(
+                    "%llu delayed ",
+                    static_cast<unsigned long long>(
+                        res.stats.messagesDelayed));
+            if (res.stats.custBitFlips)
+                injected += strformat(
+                    "%llu flips",
+                    static_cast<unsigned long long>(
+                        res.stats.custBitFlips));
+            table.addRow(
+                {scenario.name, out.naive, "-",
+                 strformat("%llu",
+                           static_cast<unsigned long long>(
+                               res.plan.bottleneckCycles())),
+                 done ? strformat("%.1f", cycles) : "-",
+                 done ? strformat("%.2f", cycles / healthyCycles)
+                      : "-",
+                 "", "", injected});
+        } else {
+            if (!done)
+                ++failures;
+            int fused = 0, software = 0;
+            countPlacements(res.plan, &fused, &software);
+            table.addRow(
+                {scenario.name, out.naive,
+                 fault::terminationName(res.stats.termination),
+                 strformat("%llu",
+                           static_cast<unsigned long long>(
+                               res.plan.bottleneckCycles())),
+                 done ? strformat("%.1f", cycles) : "-",
+                 done ? strformat("%.2f", cycles / healthyCycles)
+                      : "-",
+                 strformat("%d", fused), strformat("%d", software),
+                 ""});
+        }
         if (!outDir.empty())
             writeScenarioReport(outDir, scenario.name, res);
     }

@@ -112,18 +112,29 @@ BM_SnocFusionRouting(benchmark::State &state)
 }
 BENCHMARK(BM_SnocFusionRouting)->Unit(benchmark::kMicrosecond);
 
-/** Sixteen-tile application simulation (APP3, baseline mode). */
+/**
+ * Sixteen-tile application simulation (APP3, baseline mode). The
+ * "mips" counter (millions of simulated instructions per host
+ * second) is the headline simulator-throughput number the bench
+ * trajectory tracks across revisions.
+ */
 void
 BM_SystemSimulation(benchmark::State &state)
 {
     apps::AppRunner runner(2, 4);
+    runner.setScheduler(bench::schedulerFlag());
     auto app = apps::app3SvmEncrypt();
     // Warm the compile cache outside the timed region.
     runner.run(app, apps::AppMode::Baseline);
+    std::uint64_t instructions = 0;
     for (auto _ : state) {
         auto res = runner.run(app, apps::AppMode::Baseline);
+        instructions += res.stats.instructions;
         benchmark::DoNotOptimize(res.stats.makespan);
     }
+    state.counters["mips"] = benchmark::Counter(
+        static_cast<double>(instructions) * 1e-6,
+        benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SystemSimulation)->Unit(benchmark::kMillisecond);
 
@@ -162,7 +173,8 @@ main(int argc, char **argv)
     bench::benchName() = "micro_perf";
     std::vector<char *> args;
     for (int i = 0; i < argc; ++i)
-        if (i == 0 || !bench::parseJsonFlag(argv[i]))
+        if (i == 0 || (!bench::parseJsonFlag(argv[i]) &&
+                       !bench::parseSchedulerFlag(argv[i])))
             args.push_back(argv[i]);
     int filtered = static_cast<int>(args.size());
     benchmark::Initialize(&filtered, args.data());

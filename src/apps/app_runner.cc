@@ -31,18 +31,45 @@ AppRunner::compiledFor(const std::string &kernel,
     std::string key = strformat("%s/%d/%d/%d", kernel.c_str(),
                                 shape.numIn, shape.numOut,
                                 shape.samples);
-    auto it = cache_.find(key);
-    if (it == cache_.end()) {
-        auto input = kernels::kernelByName(kernel).build(shape);
-        auto compiled = std::make_unique<compiler::CompiledKernel>(
-            compiler::compileKernel(kernel, input));
-        it = cache_.emplace(key, std::move(compiled)).first;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        auto it = cache_.find(key);
+        if (it != cache_.end())
+            return *it->second;
     }
+    // Compile outside the lock — it is the expensive step, and two
+    // workers compiling the same kernel is merely redundant work
+    // (the loser's copy is dropped), never wrong.
+    auto input = kernels::kernelByName(kernel).build(shape);
+    auto compiled = std::make_unique<compiler::CompiledKernel>(
+        compiler::compileKernel(kernel, input));
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    auto [it, inserted] = cache_.emplace(key, std::move(compiled));
+    (void)inserted;
     return *it->second;
+}
+
+RunConfig
+AppRunner::config() const
+{
+    RunConfig cfg;
+    cfg.arch = arch_;
+    cfg.policy = policy_;
+    cfg.health = health_;
+    cfg.faults = faults_;
+    cfg.scheduler = scheduler_;
+    return cfg;
 }
 
 AppRunResult
 AppRunner::run(const AppSpec &app, AppMode mode)
+{
+    return run(app, mode, config());
+}
+
+AppRunResult
+AppRunner::run(const AppSpec &app, AppMode mode,
+               const RunConfig &config)
 {
     const int stages = static_cast<int>(app.stageKernels.size());
     STITCH_ASSERT(stages <= numTiles, "application too wide");
@@ -72,7 +99,8 @@ AppRunner::run(const AppSpec &app, AppMode mode)
         static_cast<std::size_t>(stages));
 
     sim::SystemParams sysParams;
-    sysParams.faults = faults_;
+    sysParams.faults = config.faults;
+    sysParams.scheduler = config.scheduler;
     switch (mode) {
       case AppMode::Baseline:
         sysParams.accel = sim::AccelMode::None;
@@ -126,10 +154,10 @@ AppRunner::run(const AppSpec &app, AppMode mode)
 
         compiler::StitchOptions stitchOpts;
         stitchOpts.allowFusion = mode == AppMode::Stitch;
-        stitchOpts.policy = policy_;
-        sysParams.arch = arch_;
+        stitchOpts.policy = config.policy;
+        sysParams.arch = config.arch;
         result.plan = compiler::stitchApplication(
-            profiles, sysParams.arch, health_, stitchOpts);
+            profiles, sysParams.arch, config.health, stitchOpts);
         result.hasPlan = true;
 
         for (int k = 0; k < stages; ++k) {

@@ -14,6 +14,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "apps/apps.hh"
@@ -74,6 +75,22 @@ struct AppRunResult
     obs::Json statsDump;
 };
 
+/**
+ * Everything that varies between runs of the same runner: the
+ * ablation knobs (arch, policy), the fault scenario (health, faults)
+ * and the simulator scheduler. Sweep workers build one per task and
+ * pass it to the three-argument run() so concurrent scenarios never
+ * race on runner state.
+ */
+struct RunConfig
+{
+    core::StitchArch arch = core::StitchArch::standard();
+    compiler::StitchPolicy policy = compiler::StitchPolicy::Auto;
+    fault::ArchHealth health = fault::ArchHealth::healthy();
+    fault::FaultPlan faults;
+    sim::SchedulerKind scheduler = sim::SchedulerKind::Slice;
+};
+
 /** Compiles, stitches, places, and simulates applications. */
 class AppRunner
 {
@@ -82,10 +99,21 @@ class AppRunner
      *  `samplesLong` pipeline samples. */
     explicit AppRunner(int samplesShort = 4, int samplesLong = 12);
 
-    /** Run `app` under `mode`. */
+    /** Run `app` under `mode` with the setter-configured state. */
     AppRunResult run(const AppSpec &app, AppMode mode);
 
-    /** Compiled kernel for a stage shape (cached). */
+    /**
+     * Run `app` under `mode` with an explicit per-call configuration.
+     * Thread-safe: concurrent calls on one runner share the compiled
+     * kernel cache (internally locked) and touch no other state.
+     */
+    AppRunResult run(const AppSpec &app, AppMode mode,
+                     const RunConfig &config);
+
+    /** Snapshot of the setter-configured state as a RunConfig. */
+    RunConfig config() const;
+
+    /** Compiled kernel for a stage shape (cached, thread-safe). */
     const compiler::CompiledKernel &
     compiledFor(const std::string &kernel,
                 const kernels::PipelineShape &shape);
@@ -110,6 +138,13 @@ class AppRunner
     /** Inject run-time faults (forwarded to SystemParams::faults). */
     void setFaultPlan(const fault::FaultPlan &plan) { faults_ = plan; }
 
+    /** Select the simulator scheduler (SystemParams::scheduler). */
+    void
+    setScheduler(sim::SchedulerKind kind)
+    {
+        scheduler_ = kind;
+    }
+
   private:
     int samplesShort_;
     int samplesLong_;
@@ -117,6 +152,8 @@ class AppRunner
     compiler::StitchPolicy policy_ = compiler::StitchPolicy::Auto;
     fault::ArchHealth health_ = fault::ArchHealth::healthy();
     fault::FaultPlan faults_;
+    sim::SchedulerKind scheduler_ = sim::SchedulerKind::Slice;
+    std::mutex cacheMutex_; ///< guards cache_ across sweep workers
     std::map<std::string, std::unique_ptr<compiler::CompiledKernel>>
         cache_;
 };

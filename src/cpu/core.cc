@@ -19,7 +19,14 @@ Core::Core(TileId id, mem::TileMemory &memory, CustomHandler *custom,
       dmissStall_(stats_.counter("dmiss_stall_cycles")),
       recvWait_(stats_.counter("recv_wait_cycles")),
       sendStall_(stats_.counter("send_stall_cycles")),
-      spmStall_(stats_.counter("spm_stall_cycles"))
+      spmStall_(stats_.counter("spm_stall_cycles")),
+      branchesTaken_(stats_.counter("branches_taken")),
+      muls_(stats_.counter("muls")),
+      loads_(stats_.counter("loads")),
+      stores_(stats_.counter("stores")),
+      msgsSent_(stats_.counter("msgs_sent")),
+      msgsReceived_(stats_.counter("msgs_received")),
+      customInstrs_(stats_.counter("custom_instructions"))
 {
     mem_.setTraceTile(id);
 }
@@ -105,7 +112,7 @@ Core::branchTo(std::int32_t targetWord)
               prog_.name());
     pc_ = static_cast<Addr>(targetWord);
     time_ += 1; // taken control-flow penalty
-    stats_.inc("branches_taken");
+    ++branchesTaken_;
 }
 
 StepResult
@@ -174,7 +181,7 @@ Core::execute(const Instr &in)
       case Opcode::Mul:
         setReg(in.rd0, rs(in.rs0) * rs(in.rs1));
         time_ += 3; // iterative multiplier, 4 cycles total
-        stats_.inc("muls");
+        ++muls_;
         break;
       case Opcode::Slt:
         setReg(in.rd0, static_cast<SWord>(rs(in.rs0)) <
@@ -220,7 +227,7 @@ Core::execute(const Instr &in)
         bool spm = mem::isSpmAddr(a);
         chargeStall(res.extraCycles, spm ? spmStall_ : dmissStall_,
                     spm ? "stall spm" : "stall dmem");
-        stats_.inc("loads");
+        ++loads_;
         break;
       }
       case Opcode::Lb: {
@@ -230,7 +237,7 @@ Core::execute(const Instr &in)
         bool spm = mem::isSpmAddr(a);
         chargeStall(res.extraCycles, spm ? spmStall_ : dmissStall_,
                     spm ? "stall spm" : "stall dmem");
-        stats_.inc("loads");
+        ++loads_;
         break;
       }
       case Opcode::Sw: {
@@ -243,7 +250,7 @@ Core::execute(const Instr &in)
         chargeStall(mem_.storeWord(a, rs(in.rs1), time_),
                     spm ? spmStall_ : dmissStall_,
                     spm ? "stall spm" : "stall dmem");
-        stats_.inc("stores");
+        ++stores_;
         break;
       }
       case Opcode::Sb: {
@@ -255,7 +262,7 @@ Core::execute(const Instr &in)
                                    time_),
                     spm ? spmStall_ : dmissStall_,
                     spm ? "stall spm" : "stall dmem");
-        stats_.inc("stores");
+        ++stores_;
         break;
       }
 
@@ -308,7 +315,7 @@ Core::execute(const Instr &in)
                  {"tag", static_cast<std::uint64_t>(in.imm)}});
         chargeStall(hub_->send(id_, dst, in.imm, rs(in.rs0), time_),
                     sendStall_, "stall send");
-        stats_.inc("msgs_sent");
+        ++msgsSent_;
         break;
       }
       case Opcode::Recv: {
@@ -344,7 +351,7 @@ Core::execute(const Instr &in)
                 Tracer::pidTiles, id_, "RECV", time_,
                 {{"src", static_cast<std::uint64_t>(src)},
                  {"tag", static_cast<std::uint64_t>(in.imm)}});
-        stats_.inc("msgs_received");
+        ++msgsReceived_;
         break;
       }
 
@@ -366,7 +373,7 @@ Core::execute(const Instr &in)
             setReg(in.rd0, res.rd0);
         if (res.writeRd1)
             setReg(in.rd1, res.rd1);
-        stats_.inc("custom_instructions");
+        ++customInstrs_;
         break;
       }
 
@@ -375,6 +382,51 @@ Core::execute(const Instr &in)
     }
 
     return StepResult::Ok;
+}
+
+StepResult
+Core::runSlice(std::uint64_t budget, std::uint64_t &executed,
+               Cycles horizonTime, TileId horizonTile, bool relaxed)
+{
+    STITCH_ASSERT(!halted_, "slice dispatched to a halted core");
+    while (true) {
+        STITCH_ASSERT(pc_ < wordToIndex_.size(),
+                      "PC past end of program");
+        std::int32_t idx = wordToIndex_[pc_];
+        STITCH_ASSERT(idx >= 0, "PC on a non-boundary word");
+        const Instr &in = prog_.code()[static_cast<std::size_t>(idx)];
+
+        if (relaxed &&
+            (in.op == Opcode::Send || in.op == Opcode::Recv ||
+             in.op == Opcode::Cust) &&
+            (time_ > horizonTime ||
+             (time_ == horizonTime && id_ > horizonTile)))
+            // A globally visible operation while another tile holds
+            // the smaller key: yield unexecuted. The comm op runs on
+            // a later slice, once this core is the global minimum
+            // again — at the same local time, so in the same global
+            // order as under the step scheduler.
+            return StepResult::Ok;
+
+        StepResult result = execute(in);
+        ++executed; // every attempt consumes budget, blocked included
+        if (result == StepResult::Ok ||
+            result == StepResult::Halted) {
+            ++retired_;
+            ++execCounts_[static_cast<std::size_t>(idx)];
+            ++instrCount_;
+        }
+        if (result != StepResult::Ok)
+            return result; // halted or blocked in RECV
+        if (in.op == Opcode::Send)
+            return result; // wake-ups may change the run queue
+        if (executed >= budget)
+            return result; // instruction budget exhausted
+        if (!relaxed &&
+            (time_ > horizonTime ||
+             (time_ == horizonTime && id_ > horizonTile)))
+            return result; // another tile is now the global minimum
+    }
 }
 
 Cycles

@@ -108,6 +108,49 @@ class Core
     /** Execute one instruction (or discover a block/halt). */
     StepResult step();
 
+    /**
+     * Run-ahead slice for the event-driven scheduler (sim/sched.hh):
+     * execute instructions back-to-back without returning to the
+     * scheduler, stopping at the first boundary where another tile
+     * could (or must) run instead:
+     *
+     *  - a SEND retired: the scheduler has pending wake-ups to
+     *    deliver (a woken receiver may be the new global minimum);
+     *  - the core blocked in RECV or halted;
+     *  - `executed` reached `budget` (the run's instruction limit);
+     *  - the slice reached the horizon — the (time, id) key of the
+     *    next runnable tile, past which this core is no longer the
+     *    global minimum.
+     *
+     * The horizon's meaning depends on `relaxed` (the scheduler
+     * picks per run; see sim::SchedulerKind):
+     *
+     *  - relaxed = false (reference-exact): the slice ends as soon
+     *    as the local clock passes the horizon, reproducing the step
+     *    scheduler's total instruction interleaving exactly.
+     *  - relaxed = true: tile-private work (ALU, control flow,
+     *    private-memory traffic) runs ahead past the horizon freely —
+     *    it is invisible to every other tile — and only a SEND, RECV
+     *    or CUST yields, unexecuted, until the core again holds the
+     *    globally minimal key. Globally visible events therefore
+     *    execute in exactly the step scheduler's order, at the same
+     *    local times, so final stats and reports are bit-identical;
+     *    only the interleaving of private work in host time differs.
+     *
+     * `executed` is incremented per attempt (blocked RECV attempts
+     * included, matching System::run's per-step budget accounting)
+     * and stays correct if an injected fault throws mid-slice — the
+     * throwing attempt is not counted, exactly like the per-step
+     * path.
+     *
+     * Preconditions: !halted(), executed < budget, and this core is
+     * the globally minimal runnable (time, id) key. Pass
+     * `horizonTime = ~Cycles{0}` when no other tile is runnable.
+     */
+    StepResult runSlice(std::uint64_t budget, std::uint64_t &executed,
+                        Cycles horizonTime, TileId horizonTile,
+                        bool relaxed);
+
     /** Run standalone until HALT; fatal on block. */
     Cycles runToHalt(std::uint64_t maxInstructions = 400'000'000ull);
 
@@ -204,6 +247,13 @@ class Core
     Counter &recvWait_;
     Counter &sendStall_;
     Counter &spmStall_;
+    Counter &branchesTaken_;
+    Counter &muls_;
+    Counter &loads_;
+    Counter &stores_;
+    Counter &msgsSent_;
+    Counter &msgsReceived_;
+    Counter &customInstrs_;
 
     Cycles execStart_ = 0; ///< begin of the open traced exec slice
 };

@@ -38,8 +38,13 @@ std::uint8_t *
 TileMemory::spmBytePtr(Addr a)
 {
     STITCH_ASSERT(!spm_.empty(), "SPM access on a tile without an SPM");
-    STITCH_ASSERT(isSpmAddr(a) && a + 3 < spmBase + spmSize,
-                  "SPM access out of range: ", a);
+    // A user-level error, not an invariant: corrupted address
+    // arithmetic (e.g. an injected CUST bit flip feeding an SPM
+    // pointer) reaches here, and must terminate the run as a typed
+    // Fault like the unmapped-address paths below, not abort the
+    // process.
+    if (!(isSpmAddr(a) && a + 3 < spmBase + spmSize))
+        fatal("SPM access out of range: ", a);
     return &spm_[a - spmBase];
 }
 

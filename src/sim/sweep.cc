@@ -1,0 +1,23 @@
+#include "sim/sweep.hh"
+
+#include "common/logging.hh"
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
+
+namespace stitch::sim
+{
+
+SweepRunner::SweepRunner(int jobs) : jobs_(jobs < 1 ? 1 : jobs)
+{
+    if (jobs_ > 1 &&
+        (obs::Tracer::enabled() || obs::Sampler::enabled())) {
+        // The trace and profile sinks are process-wide single
+        // streams; interleaving scenarios would corrupt both. Serial
+        // keeps them coherent and identical to an untraced --jobs=1.
+        warn("sweep forced to --jobs=1: tracing/profiling write to "
+             "process-wide sinks");
+        jobs_ = 1;
+    }
+}
+
+} // namespace stitch::sim

@@ -54,6 +54,27 @@ cycleBuckets(const TileStats &ts)
     return b;
 }
 
+const char *
+schedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Step: return "step";
+      case SchedulerKind::Slice: return "slice";
+    }
+    STITCH_PANIC("bad SchedulerKind");
+}
+
+SchedulerKind
+schedulerKindFromName(const std::string &name)
+{
+    if (name == "step")
+        return SchedulerKind::Step;
+    if (name == "slice")
+        return SchedulerKind::Slice;
+    throw fault::ConfigError(detail::formatMessage(
+        "unknown scheduler '", name, "' (expected step or slice)"));
+}
+
 namespace
 {
 
@@ -420,17 +441,265 @@ System::sampleStep(TileId t)
     last = now;
 }
 
+void
+System::noteDeadlock(RunStats &stats)
+{
+    // Nothing runnable: either done, or deadlocked. A deadlock is a
+    // termination with per-tile diagnostics, not an abort — partial
+    // stats stay inspectable.
+    for (TileId t = 0; t < numTiles; ++t) {
+        Tile &tile = tiles_[static_cast<std::size_t>(t)];
+        if (!tile.loaded || !tile.blocked)
+            continue;
+        BlockedTileDiag diag;
+        diag.tile = t;
+        if (const auto &pending = tile.core->pendingRecv()) {
+            diag.waitingSrc = pending->src;
+            diag.waitingTag = pending->tag;
+        }
+        diag.pc = tile.core->pc();
+        diag.time = tile.core->time();
+        if (obs::Tracer::enabled()) {
+            obs::Tracer::instance().instant(
+                obs::Tracer::pidTiles, t, "DEADLOCK blocked",
+                diag.time,
+                {{"src",
+                  static_cast<std::uint64_t>(diag.waitingSrc)},
+                 {"tag",
+                  static_cast<std::uint64_t>(diag.waitingTag)}});
+        }
+        stats.blockedTiles.push_back(diag);
+    }
+    if (!stats.blockedTiles.empty())
+        stats.termination = fault::Termination::Deadlock;
+}
+
+void
+System::runStepLoop(RunStats &stats, std::uint64_t maxInstructions)
+{
+    std::uint64_t executed = 0;
+    const bool sampling = obs::Sampler::enabled();
+    TileId running = -1;
+
+    auto loop = [&] {
+        while (true) {
+            // Pick the runnable (loaded, not halted, not blocked)
+            // core with the smallest local time.
+            TileId pick = -1;
+            for (TileId t = 0; t < numTiles; ++t) {
+                Tile &tile = tiles_[static_cast<std::size_t>(t)];
+                if (!tile.loaded || tile.core->halted() ||
+                    tile.blocked)
+                    continue;
+                if (pick < 0 ||
+                    tile.core->time() <
+                        tiles_[static_cast<std::size_t>(pick)]
+                            .core->time())
+                    pick = t;
+            }
+
+            if (pick < 0) {
+                noteDeadlock(stats);
+                return;
+            }
+
+            if (executed >= maxInstructions) {
+                // The step budget ran out with work remaining:
+                // report a bounded, non-fatal termination (exactly
+                // maxInstructions steps were attempted).
+                stats.termination =
+                    fault::Termination::InstructionLimit;
+                return;
+            }
+
+            Tile &tile = tiles_[static_cast<std::size_t>(pick)];
+            running = pick;
+            cpu::StepResult result = tile.core->step();
+            ++executed;
+            if (sampling)
+                sampleStep(pick);
+
+            if (result == cpu::StepResult::Blocked)
+                tile.blocked = true;
+            // Wake exactly the receivers whose pending RECV matches
+            // a message injected this step; everyone else would
+            // re-poll, fail, and re-block. Steps without a SEND
+            // leave sentThisStep_ empty and skip the pass entirely.
+            if (!sentThisStep_.empty()) {
+                for (const auto &msg : sentThisStep_) {
+                    Tile &rx =
+                        tiles_[static_cast<std::size_t>(msg.dst)];
+                    if (!rx.blocked)
+                        continue;
+                    const auto &pending = rx.core->pendingRecv();
+                    if (pending && pending->src == msg.src &&
+                        pending->tag == msg.tag)
+                        rx.blocked = false;
+                }
+                sentThisStep_.clear();
+            }
+        }
+    };
+
+    // Injected faults surface as exceptions mid-step and become a
+    // Termination::Fault outcome; without an injector those
+    // exceptions indicate real misuse and must propagate, so the
+    // fast path runs with no exception frame at all.
+    if (!injector_.active()) {
+        loop();
+        return;
+    }
+    try {
+        loop();
+    } catch (const fault::PatchFaultError &err) {
+        stats.termination = fault::Termination::Fault;
+        stats.patchFault = err.fault();
+        stats.faultMessage = err.what();
+        warn(err.what());
+    } catch (const FatalError &err) {
+        // A core tripped over state an injected fault corrupted
+        // (e.g. a flipped CUST output used as an address). With
+        // injection active that is a run outcome, not simulator
+        // misuse.
+        stats.termination = fault::Termination::Fault;
+        stats.faultMessage = detail::formatMessage(
+            "tile ", running, " crashed: ", err.what());
+        warn(stats.faultMessage);
+    }
+}
+
+void
+System::runSliceLoop(RunStats &stats, std::uint64_t maxInstructions)
+{
+    std::uint64_t executed = 0;
+    const bool sampling = obs::Sampler::enabled();
+    // Relaxed run-ahead reorders only tile-private work, which is
+    // invisible in every completed run's stats. Fall back to the
+    // reference-exact interleaving whenever something can observe
+    // the total instruction order: the tracer (event file order),
+    // an active fault injector (partial stats at a Fault
+    // termination), or a meaningful instruction budget (which
+    // attempt is the cutoff). See DESIGN.md §10.
+    const bool relaxed = !obs::Tracer::enabled() &&
+                         !injector_.active() &&
+                         maxInstructions >= runawayInstructionBudget;
+    TileId running = -1;
+
+    queue_.clear();
+    for (TileId t = 0; t < numTiles; ++t) {
+        Tile &tile = tiles_[static_cast<std::size_t>(t)];
+        if (tile.loaded && !tile.core->halted() && !tile.blocked)
+            queue_.push(t, tile.core->time());
+    }
+
+    auto loop = [&] {
+        while (!queue_.empty()) {
+            if (executed >= maxInstructions) {
+                stats.termination =
+                    fault::Termination::InstructionLimit;
+                return;
+            }
+
+            TileId pick = queue_.top();
+            running = pick;
+            Tile &tile = tiles_[static_cast<std::size_t>(pick)];
+
+            cpu::StepResult result;
+            if (sampling) {
+                // Single-step dispatch under interval profiling:
+                // each step's bucket deltas must land in the window
+                // of that step's completion time, so slices collapse
+                // to length one and the timeline stays bit-identical
+                // to the reference scheduler's.
+                result = tile.core->step();
+                ++executed;
+                sampleStep(pick);
+            } else {
+                // Run ahead: the top core is the globally minimal
+                // (time, id) key, and stays safe to run without
+                // rescheduling until it retires a SEND, blocks,
+                // halts, exhausts the budget, or its clock passes
+                // the next-best queued key. The core stays at the
+                // heap top throughout — the slice ends exactly when
+                // it stops being the minimum, so afterwards one
+                // updateTop() restores the invariant instead of a
+                // pop+push round trip.
+                Cycles horizonTime = ~Cycles{0};
+                TileId horizonTile = numTiles;
+                if (queue_.size() > 1) {
+                    RunQueue::Entry next = queue_.second();
+                    horizonTime = next.time;
+                    horizonTile = next.tile;
+                }
+                result = tile.core->runSlice(maxInstructions,
+                                             executed, horizonTime,
+                                             horizonTile, relaxed);
+            }
+
+            if (result == cpu::StepResult::Blocked) {
+                tile.blocked = true;
+                queue_.pop();
+            } else if (tile.core->halted()) {
+                queue_.pop();
+            } else {
+                queue_.updateTop(tile.core->time());
+            }
+
+            // Deliver wake-ups (see runStepLoop); woken receivers
+            // re-enter the queue at the time they blocked.
+            if (!sentThisStep_.empty()) {
+                for (const auto &msg : sentThisStep_) {
+                    Tile &rx =
+                        tiles_[static_cast<std::size_t>(msg.dst)];
+                    if (!rx.blocked)
+                        continue;
+                    const auto &pending = rx.core->pendingRecv();
+                    if (pending && pending->src == msg.src &&
+                        pending->tag == msg.tag) {
+                        rx.blocked = false;
+                        queue_.push(msg.dst, rx.core->time());
+                    }
+                }
+                sentThisStep_.clear();
+            }
+        }
+        noteDeadlock(stats);
+    };
+
+    // Same hoisted exception discipline as runStepLoop: no frame on
+    // the no-injector fast path, one frame around the whole loop
+    // otherwise.
+    if (!injector_.active()) {
+        loop();
+        return;
+    }
+    try {
+        loop();
+    } catch (const fault::PatchFaultError &err) {
+        stats.termination = fault::Termination::Fault;
+        stats.patchFault = err.fault();
+        stats.faultMessage = err.what();
+        warn(err.what());
+    } catch (const FatalError &err) {
+        stats.termination = fault::Termination::Fault;
+        stats.faultMessage = detail::formatMessage(
+            "tile ", running, " crashed: ", err.what());
+        warn(stats.faultMessage);
+    }
+}
+
 RunStats
 System::run(std::uint64_t maxInstructions)
 {
     RunStats stats;
-    std::uint64_t executed = 0;
     // Injected-fault counters describe one run, like the per-tile
     // patch counters (handles stay valid; values zero in place).
     faultStats_.reset();
+    // A run cut short mid-step can leave stale send records behind;
+    // they must not wake anyone in the next run.
+    sentThisStep_.clear();
 
-    const bool sampling = obs::Sampler::enabled();
-    if (sampling) {
+    if (obs::Sampler::enabled()) {
         obs::Sampler::instance().beginRun(cycleBucketNames());
         // Baseline the deltas at the counters' current values (zero
         // after loadProgram, but not if the same program runs twice).
@@ -439,104 +708,10 @@ System::run(std::uint64_t maxInstructions)
                 bucketsNow(t);
     }
 
-    while (true) {
-        // Pick the runnable (loaded, not halted, not blocked) core
-        // with the smallest local time.
-        TileId pick = -1;
-        for (TileId t = 0; t < numTiles; ++t) {
-            Tile &tile = tiles_[static_cast<std::size_t>(t)];
-            if (!tile.loaded || tile.core->halted() || tile.blocked)
-                continue;
-            if (pick < 0 ||
-                tile.core->time() <
-                    tiles_[static_cast<std::size_t>(pick)]
-                        .core->time())
-                pick = t;
-        }
-
-        if (pick < 0) {
-            // Nothing runnable: either done, or deadlocked. A
-            // deadlock is a termination with per-tile diagnostics,
-            // not an abort — partial stats stay inspectable.
-            for (TileId t = 0; t < numTiles; ++t) {
-                Tile &tile = tiles_[static_cast<std::size_t>(t)];
-                if (!tile.loaded || !tile.blocked)
-                    continue;
-                BlockedTileDiag diag;
-                diag.tile = t;
-                if (const auto &pending = tile.core->pendingRecv()) {
-                    diag.waitingSrc = pending->src;
-                    diag.waitingTag = pending->tag;
-                }
-                diag.pc = tile.core->pc();
-                diag.time = tile.core->time();
-                if (obs::Tracer::enabled()) {
-                    obs::Tracer::instance().instant(
-                        obs::Tracer::pidTiles, t, "DEADLOCK blocked",
-                        diag.time,
-                        {{"src", static_cast<std::uint64_t>(
-                                     diag.waitingSrc)},
-                         {"tag", static_cast<std::uint64_t>(
-                                     diag.waitingTag)}});
-                }
-                stats.blockedTiles.push_back(diag);
-            }
-            if (!stats.blockedTiles.empty())
-                stats.termination = fault::Termination::Deadlock;
-            break;
-        }
-
-        if (executed >= maxInstructions) {
-            // The step budget ran out with work remaining: report a
-            // bounded, non-fatal termination (exactly
-            // maxInstructions steps were attempted).
-            stats.termination = fault::Termination::InstructionLimit;
-            break;
-        }
-
-        Tile &tile = tiles_[static_cast<std::size_t>(pick)];
-        sentThisStep_.clear();
-        cpu::StepResult result;
-        try {
-            result = tile.core->step();
-        } catch (const fault::PatchFaultError &err) {
-            stats.termination = fault::Termination::Fault;
-            stats.patchFault = err.fault();
-            stats.faultMessage = err.what();
-            warn(err.what());
-            break;
-        } catch (const FatalError &err) {
-            // A core tripped over state an injected fault corrupted
-            // (e.g. a flipped CUST output used as an address). With
-            // injection active that is a run outcome, not simulator
-            // misuse; without, it is a real bug — re-raise.
-            if (!injector_.active())
-                throw;
-            stats.termination = fault::Termination::Fault;
-            stats.faultMessage = detail::formatMessage(
-                "tile ", pick, " crashed: ", err.what());
-            warn(stats.faultMessage);
-            break;
-        }
-        ++executed;
-        if (sampling)
-            sampleStep(pick);
-
-        if (result == cpu::StepResult::Blocked)
-            tile.blocked = true;
-        // Wake exactly the receivers whose pending RECV matches a
-        // message injected this step; everyone else would re-poll,
-        // fail, and re-block.
-        for (const auto &msg : sentThisStep_) {
-            Tile &rx = tiles_[static_cast<std::size_t>(msg.dst)];
-            if (!rx.blocked)
-                continue;
-            const auto &pending = rx.core->pendingRecv();
-            if (pending && pending->src == msg.src &&
-                pending->tag == msg.tag)
-                rx.blocked = false;
-        }
-    }
+    if (params_.scheduler == SchedulerKind::Step)
+        runStepLoop(stats, maxInstructions);
+    else
+        runSliceLoop(stats, maxInstructions);
 
     // A run cut short (deadlock, fault, step budget) may never reach
     // the harness's orderly Tracer::stop(): make the on-disk trace a
@@ -545,6 +720,13 @@ System::run(std::uint64_t maxInstructions)
         obs::Tracer::enabled())
         obs::Tracer::instance().flush();
 
+    collectRunStats(stats);
+    return stats;
+}
+
+void
+System::collectRunStats(RunStats &stats)
+{
     for (TileId t = 0; t < numTiles; ++t) {
         Tile &tile = tiles_[static_cast<std::size_t>(t)];
         if (!tile.loaded)
@@ -579,7 +761,6 @@ System::run(std::uint64_t maxInstructions)
     stats.messagesDropped = faultStats_.get("messages_dropped");
     stats.messagesDelayed = faultStats_.get("messages_delayed");
     stats.custBitFlips = faultStats_.get("cust_bit_flips");
-    return stats;
 }
 
 } // namespace stitch::sim

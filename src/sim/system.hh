@@ -27,6 +27,7 @@
 #include "mem/tile_memory.hh"
 #include "noc/noc_model.hh"
 #include "obs/registry.hh"
+#include "sim/sched.hh"
 
 namespace stitch::sim
 {
@@ -39,6 +40,48 @@ enum class AccelMode
     Stitch, ///< polymorphic patches + inter-patch sNoC
 };
 
+/**
+ * How System::run dispatches work to the cores. Both schedulers
+ * implement the same conservative discipline and produce
+ * bit-identical RunStats, reports, traces and profiles; Step is the
+ * simple reference (one linear scan + one instruction per iteration),
+ * Slice the production path (indexed min-heap + run-ahead slices).
+ *
+ * The slice scheduler picks between two run-ahead regimes per run
+ * (see DESIGN.md §10 for the invariant proofs):
+ *
+ *  - relaxed (the fast path): a core runs ahead through tile-private
+ *    work (ALU, control flow, private-memory traffic) without limit;
+ *    only the globally visible operations — SEND, RECV, CUST — wait
+ *    until the core holds the globally minimal (time, id) key. The
+ *    global event order, and with it every message arrival, every
+ *    injected-fault stream and every final counter, is exactly the
+ *    step scheduler's.
+ *  - exact: the slice additionally ends as soon as the core's clock
+ *    passes the next-runnable tile's key, reproducing the step
+ *    scheduler's total instruction interleaving one-for-one. Chosen
+ *    automatically whenever something observes that total order:
+ *    cycle tracing (event file order), active fault injection
+ *    (partial stats at a Fault termination), or a finite instruction
+ *    budget (which attempt is the cutoff). Interval profiling
+ *    further drops to single-instruction dispatch so bucket deltas
+ *    land in the reference sample windows.
+ *
+ * The `sched_parity_is_exact` ctest and tests/test_sched.cc hold the
+ * two schedulers to byte-equality across all of these regimes.
+ */
+enum class SchedulerKind
+{
+    Step,  ///< reference: O(tiles) scan, one instruction per pick
+    Slice, ///< event-driven: O(log tiles) heap, run-ahead slices
+};
+
+/** Printable name ("step" / "slice"). */
+const char *schedulerKindName(SchedulerKind k);
+
+/** Parse a --scheduler= value; throws fault::ConfigError otherwise. */
+SchedulerKind schedulerKindFromName(const std::string &name);
+
 /** System-wide configuration. */
 struct SystemParams
 {
@@ -46,6 +89,9 @@ struct SystemParams
     noc::NocParams noc;
     core::StitchArch arch = core::StitchArch::standard();
     AccelMode accel = AccelMode::Stitch;
+
+    /** Run-loop dispatch strategy (results are identical either way). */
+    SchedulerKind scheduler = SchedulerKind::Slice;
 
     /** Hardware faults to inject (default: none). */
     fault::FaultPlan faults;
@@ -204,12 +250,23 @@ class System : public cpu::CustomHandler, public cpu::MessageHub
     void pokeWord(TileId tile, Addr addr, Word value);
 
     /**
+     * The default `maxInstructions` of run(): a runaway backstop,
+     * not a measurement feature. Passing anything smaller marks the
+     * budget as meaningful, which makes the slice scheduler use
+     * reference-exact interleaving so the cutoff lands on the very
+     * same instruction attempt as under the step scheduler.
+     */
+    static constexpr std::uint64_t runawayInstructionBudget =
+        2'000'000'000ull;
+
+    /**
      * Run every loaded core until completion, deadlock, the step
      * budget, or a surfaced hardware fault — see
      * RunStats::termination. Never throws for those; it throws
      * (typed) only for binaries the system cannot execute at all.
      */
-    RunStats run(std::uint64_t maxInstructions = 2'000'000'000ull);
+    RunStats run(
+        std::uint64_t maxInstructions = runawayInstructionBudget);
 
     cpu::Core &coreAt(TileId t);
     mem::TileMemory &memoryAt(TileId t);
@@ -279,6 +336,18 @@ class System : public cpu::CustomHandler, public cpu::MessageHub
     /** Feed the stepped tile's new bucket cycles to the sampler. */
     void sampleStep(TileId t);
 
+    /** The reference scheduler: linear scan, one instruction/pick. */
+    void runStepLoop(RunStats &stats, std::uint64_t maxInstructions);
+
+    /** The event-driven scheduler: run queue + run-ahead slices. */
+    void runSliceLoop(RunStats &stats, std::uint64_t maxInstructions);
+
+    /** Collect blocked-tile diagnostics when nothing is runnable. */
+    void noteDeadlock(RunStats &stats);
+
+    /** Fill the per-tile / chip-wide totals of a finished run. */
+    void collectRunStats(RunStats &stats);
+
     /** A message injected during the current step (for wake-up). */
     struct SentMessage
     {
@@ -293,6 +362,7 @@ class System : public cpu::CustomHandler, public cpu::MessageHub
     core::NullSpmPort nullSpm_;
     fault::FaultInjector injector_;
     std::vector<SentMessage> sentThisStep_;
+    RunQueue queue_; ///< runnable tiles of the slice scheduler
 
     core::SnocConfig snocCfg_; ///< preset kept for hop attribution
     std::array<StatGroup, numTiles> patchStats_;

@@ -55,7 +55,8 @@ directionOf(const std::string &name)
     if (contains("boost") || contains("speedup") ||
         contains("perf_per_") || contains("throughput") ||
         contains("items_per") || contains("instr/s") ||
-        contains("_mhz") || contains("utilization"))
+        contains("mips") || contains("_mhz") ||
+        contains("utilization"))
         return Direction::DownIsWorse;
     if (contains("cycle") || contains("_pj") || contains("_mw") ||
         contains("_ms") || contains("_ns") || contains("stall") ||

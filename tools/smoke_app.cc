@@ -4,17 +4,20 @@
  * architecture modes and print per-sample cycles and boosts.
  *
  * Usage:
- *   smoke_app [name-filter] [--trace=FILE] [--report=FILE]
- *             [--stats=FILE] [--profile[=N]] [--speedscope=FILE]
- *             [--verbose]
+ *   smoke_app [name-filter] [--scheduler=step|slice] [--trace=FILE]
+ *             [--report=FILE] [--stats=FILE] [--profile[=N]]
+ *             [--speedscope=FILE] [--verbose]
  *
  * --trace records the whole invocation; --report, --stats, --profile
  * and --speedscope describe the last application run executed (filter
  * to one app for a focused report, e.g. `smoke_app APP1
- * --report=r.json --profile`).
+ * --report=r.json --profile`). --scheduler=step selects the
+ * single-step reference scheduler (default: the event-driven slice
+ * scheduler; both produce identical results).
  */
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "apps/app_runner.hh"
@@ -30,13 +33,20 @@ main(int argc, char **argv)
 {
     obs::CliOptions obsOpts;
     std::string filter;
+    sim::SchedulerKind scheduler = sim::SchedulerKind::Slice;
     for (int i = 1; i < argc; ++i) {
-        if (!obsOpts.parse(argv[i]))
+        constexpr const char *schedPrefix = "--scheduler=";
+        if (std::strncmp(argv[i], schedPrefix,
+                         std::strlen(schedPrefix)) == 0)
+            scheduler = sim::schedulerKindFromName(
+                argv[i] + std::strlen(schedPrefix));
+        else if (!obsOpts.parse(argv[i]))
             filter = argv[i];
     }
     obsOpts.begin();
 
     apps::AppRunner runner;
+    runner.setScheduler(scheduler);
     const apps::AppRunResult *last = nullptr;
     static apps::AppRunResult lastStorage;
     for (auto &app : apps::allApps()) {
