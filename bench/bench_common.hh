@@ -18,11 +18,9 @@
 #include <cstdlib>
 #include <map>
 #include <string>
-#include <thread>
-
-#include <cstring>
 
 #include "apps/app_runner.hh"
+#include "common/cli.hh"
 #include "common/table.hh"
 #include "kernels/catalog.hh"
 #include "obs/cli.hh"
@@ -31,6 +29,7 @@
 #include "prof/speedscope.hh"
 #include "sim/report.hh"
 #include "sim/sweep.hh"
+#include "svc/artifacts.hh"
 
 namespace stitch::bench
 {
@@ -98,15 +97,20 @@ writeBenchJson()
     obs::writeJsonFile(benchJsonPath(), doc);
 }
 
+/** The shared --json/--jobs/--scheduler/--out flags (common/cli.hh);
+ *  initObs() feeds every argv entry through them first. */
+inline cli::CommonFlags &
+commonFlags()
+{
+    static cli::CommonFlags flags;
+    return flags;
+}
+
 /** Consume a --json=PATH argument; true iff it was one. */
 inline bool
 parseJsonFlag(const char *arg)
 {
-    constexpr const char *prefix = "--json=";
-    if (std::strncmp(arg, prefix, std::strlen(prefix)) != 0)
-        return false;
-    benchJsonPath() = arg + std::strlen(prefix);
-    return true;
+    return cli::keyedValue(arg, "--json=", &benchJsonPath());
 }
 
 /**
@@ -120,20 +124,6 @@ jobsFlag()
 {
     static int jobs = 1;
     return jobs;
-}
-
-/** Consume a --jobs=N argument; true iff it was one. */
-inline bool
-parseJobsFlag(const char *arg)
-{
-    constexpr const char *prefix = "--jobs=";
-    if (std::strncmp(arg, prefix, std::strlen(prefix)) != 0)
-        return false;
-    int jobs = std::atoi(arg + std::strlen(prefix));
-    if (jobs == 0)
-        jobs = static_cast<int>(std::thread::hardware_concurrency());
-    jobsFlag() = jobs < 1 ? 1 : jobs;
-    return true;
 }
 
 /**
@@ -153,11 +143,10 @@ schedulerFlag()
 inline bool
 parseSchedulerFlag(const char *arg)
 {
-    constexpr const char *prefix = "--scheduler=";
-    if (std::strncmp(arg, prefix, std::strlen(prefix)) != 0)
+    std::string name;
+    if (!cli::keyedValue(arg, "--scheduler=", &name))
         return false;
-    schedulerFlag() =
-        sim::schedulerKindFromName(arg + std::strlen(prefix));
+    schedulerFlag() = sim::schedulerKindFromName(name);
     return true;
 }
 
@@ -168,27 +157,20 @@ writeObsArtifacts(const apps::AppRunResult &res)
     const auto &flags = obsFlags();
     bool wantProfile =
         flags.profile || !flags.speedscopePath.empty();
-    prof::Profile profile;
-    if (wantProfile)
-        profile = prof::buildProfile(
-            res.stats, res.stageBindings,
-            static_cast<std::uint64_t>(res.samplesLong));
     if (!flags.reportPath.empty()) {
-        auto doc = sim::runReport(res.stats);
-        if (!res.statsDump.isNull())
-            doc.set("stats", res.statsDump);
-        if (wantProfile) {
-            doc.set("profile", prof::profileJson(profile));
-            if (auto timeline = prof::samplerTimelineJson();
-                !timeline.isNull())
-                doc.set("profile_timeline", timeline);
-        }
-        obs::writeJsonFile(flags.reportPath, doc);
+        svc::ReportOptions options;
+        options.profile = wantProfile;
+        obs::writeJsonFile(flags.reportPath,
+                           svc::appReportJson(res, options));
     }
     if (!flags.statsPath.empty())
         obs::writeJsonFile(flags.statsPath, res.statsDump);
     if (!flags.speedscopePath.empty())
-        prof::writeSpeedscope(flags.speedscopePath, profile);
+        prof::writeSpeedscope(
+            flags.speedscopePath,
+            prof::buildProfile(
+                res.stats, res.stageBindings,
+                static_cast<std::uint64_t>(res.samplesLong)));
 }
 
 /**
@@ -211,11 +193,15 @@ initObs(int argc, char **argv)
                           : path.substr(slash + 1);
     }
     for (int i = 1; i < argc; ++i) {
-        if (parseJsonFlag(argv[i]) || parseJobsFlag(argv[i]) ||
-            parseSchedulerFlag(argv[i]))
+        if (commonFlags().parse(argv[i]))
             continue;
         obsFlags().parse(argv[i]);
     }
+    benchJsonPath() = commonFlags().jsonPath;
+    jobsFlag() = cli::resolveJobs(commonFlags().jobs);
+    if (!commonFlags().scheduler.empty())
+        schedulerFlag() =
+            sim::schedulerKindFromName(commonFlags().scheduler);
     obsFlags().begin();
     // Touch every static the exit handler reads *before* registering
     // it: function-local statics constructed after std::atexit are

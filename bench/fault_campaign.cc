@@ -19,20 +19,26 @@
  * message deadlocks its consumer — visible as blocked-tile
  * diagnostics) and what was injected.
  *
+ * The campaign is a client of the simulation job engine (src/svc/):
+ * every scenario run is a svc::JobSpec submitted to one JobEngine,
+ * and the table is built from the engine's report + derived
+ * documents. A naive run that the stitcher rejects comes back as a
+ * Failed job with errorKind "config" — the "rejected" cell.
+ *
  * Usage: fault_campaign [--app=APP3] [--out=DIR] [--jobs=N]
  * [--scheduler=step|slice] [obs switches]
  * With --out=DIR a run report embedding the degraded stitch plan is
  * written per scenario. Scenarios are independent, so --jobs=N
- * evaluates them over a sim::SweepRunner worker pool; results are
- * merged in scenario order, making the table and every report file
+ * drains them over the engine's worker pool; jobs finish in submit
+ * order on the result side, making the table and every report file
  * byte-identical for any jobs value. Exits non-zero if any
  * re-stitched run fails to complete.
  */
 
 #include <cctype>
-#include <filesystem>
 
 #include "bench/bench_common.hh"
+#include "svc/engine.hh"
 
 using namespace stitch;
 using namespace stitch::bench;
@@ -45,6 +51,8 @@ struct Scenario
     std::string name;
     fault::FaultPlan plan;
     bool hard = false; ///< has a compile-time work-around
+    int naiveJob = -1;
+    int restitchJob = -1; ///< hard scenarios only
 };
 
 std::string
@@ -58,31 +66,22 @@ slug(const std::string &name)
 }
 
 void
-countPlacements(const compiler::StitchPlan &plan, int *fused,
-                int *software)
+writeScenarioReport(const std::string &dir, const std::string &name,
+                    const svc::JobResult &result)
 {
-    *fused = 0;
-    *software = 0;
-    for (const auto &p : plan.placements) {
-        if (!p.accel)
-            ++*software;
-        else if (p.accel->type ==
-                 compiler::AccelTarget::Type::FusedPair)
-            ++*fused;
-    }
+    obs::Json doc = result.report;
+    doc.set("scenario", name);
+    if (result.derived.has("stitch_plan"))
+        doc.set("stitch_plan", result.derived.get("stitch_plan"));
+    obs::writeJsonFile(dir + "/" + slug(name) + ".json", doc);
 }
 
-void
-writeScenarioReport(const std::string &dir, const std::string &name,
-                    const apps::AppRunResult &res)
+bool
+completed(const svc::JobResult &result)
 {
-    obs::Json doc = sim::runReport(res.stats);
-    doc.set("scenario", name);
-    if (res.hasPlan)
-        doc.set("stitch_plan", sim::stitchPlanJson(res.plan));
-    if (!res.statsDump.isNull())
-        doc.set("stats", res.statsDump);
-    obs::writeJsonFile(dir + "/" + slug(name) + ".json", doc);
+    return result.status == svc::JobResult::Status::Completed &&
+           result.derived.get("termination").asString() ==
+               "completed";
 }
 
 } // namespace
@@ -92,17 +91,13 @@ main(int argc, char **argv)
 {
     bench::initObs(argc, argv);
 
-    std::string outDir;
+    const std::string &outDir = bench::commonFlags().out;
     std::string appName = "APP3";
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg.rfind("--out=", 0) == 0)
-            outDir = arg.substr(6);
-        else if (arg.rfind("--app=", 0) == 0)
+        if (arg.rfind("--app=", 0) == 0)
             appName = arg.substr(6);
     }
-    if (!outDir.empty())
-        std::filesystem::create_directories(outDir);
 
     const apps::AppSpec *app = nullptr;
     static const auto all = apps::allApps();
@@ -120,140 +115,161 @@ main(int argc, char **argv)
                           app->name.c_str())
                     .c_str());
 
-    apps::AppRunner runner(4, 12);
-    runner.setScheduler(bench::schedulerFlag());
+    svc::EngineOptions engineOptions;
+    engineOptions.jobs = bench::jobsFlag();
+    svc::JobEngine engine(engineOptions);
 
-    // The reference: all patches and links healthy.
-    auto healthy = runner.run(*app, apps::AppMode::Stitch);
-    STITCH_ASSERT(healthy.stats.termination ==
-                  fault::Termination::Completed);
-    double healthyCycles = healthy.perSampleCycles();
+    svc::JobSpec base;
+    base.app = app->name;
+    base.mode = apps::AppMode::Stitch;
+    base.scheduler = bench::schedulerFlag();
+
+    // The reference: all patches and links healthy. Run it alone
+    // first so its compilation pass warms the shared kernel cache
+    // before the scenario fan-out.
+    svc::JobSpec healthySpec = base;
+    healthySpec.name = "healthy";
+    const int healthyJob = engine.submit(healthySpec);
+    engine.run();
+    const svc::JobResult &healthy = engine.result(healthyJob);
+    STITCH_ASSERT(completed(healthy));
+    double healthyCycles =
+        healthy.derived.get("per_sample_cycles").asDouble();
     if (!outDir.empty())
         writeScenarioReport(outDir, "healthy", healthy);
 
     std::vector<Scenario> scenarios;
     for (TileId t = 0; t < numTiles; ++t)
         scenarios.push_back({strformat("patch%d dead", t),
-                             fault::FaultPlan::patchFailure(t), true});
+                             fault::FaultPlan::patchFailure(t), true,
+                             -1, -1});
     for (const auto &link : fault::allSnocLinks())
         scenarios.push_back({"link " + link.name() + " down",
                              fault::FaultPlan::linkFailure(link),
-                             true});
-    scenarios.push_back(
-        {"msg drop p=0.01", fault::FaultPlan::messageDrop(0.01, 7),
-         false});
+                             true, -1, -1});
+    scenarios.push_back({"msg drop p=0.01",
+                         fault::FaultPlan::messageDrop(0.01, 7),
+                         false, -1, -1});
     scenarios.push_back(
         {"msg delay p=0.05 +32cy",
-         fault::FaultPlan::messageDelay(0.05, 32, 7), false});
-    scenarios.push_back(
-        {"cust flip p=0.001", fault::FaultPlan::bitFlips(0.001, 7),
-         false});
+         fault::FaultPlan::messageDelay(0.05, 32, 7), false, -1, -1});
+    scenarios.push_back({"cust flip p=0.001",
+                         fault::FaultPlan::bitFlips(0.001, 7), false,
+                         -1, -1});
+
+    // Submit every scenario run as one engine job: the naive run
+    // (healthy plan on faulty hardware) and, for hard faults, the
+    // re-stitched run (health mask derived from the fault plan).
+    for (auto &scenario : scenarios) {
+        svc::JobSpec naive = base;
+        naive.name = scenario.name + " (naive)";
+        naive.faults = scenario.plan;
+        naive.healthFromFaults = false;
+        scenario.naiveJob = engine.submit(naive);
+        if (scenario.hard) {
+            svc::JobSpec restitch = base;
+            restitch.name = scenario.name + " (re-stitched)";
+            restitch.faults = scenario.plan;
+            restitch.healthFromFaults = true;
+            scenario.restitchJob = engine.submit(restitch);
+        }
+    }
+    engine.run();
 
     TextTable table({"scenario", "naive", "re-stitched", "bottleneck",
                      "cyc/sample", "slowdown", "fused", "sw-only",
                      "injected"});
-    int fusedH = 0, swH = 0;
-    countPlacements(healthy.plan, &fusedH, &swH);
-    table.addRow({"healthy", "completed", "-",
-                  strformat("%llu",
-                            static_cast<unsigned long long>(
-                                healthy.plan.bottleneckCycles())),
-                  strformat("%.1f", healthyCycles), "1.00",
-                  strformat("%d", fusedH), strformat("%d", swH), ""});
-
-    // Evaluate every scenario over the sweep pool. Each worker runs
-    // a private RunConfig through the shared (thread-safe) runner;
-    // the healthy reference above already compiled every kernel, so
-    // workers only stitch, place and simulate. Results come back in
-    // scenario order — tabulation and report writing stay serial and
-    // deterministic below.
-    struct ScenarioOutcome
-    {
-        std::string naive;  ///< how the healthy-plan run ended
-        bool soft = false;  ///< naive run *is* the scenario result
-        apps::AppRunResult res; ///< soft: naive run; hard: re-stitch
-    };
-    sim::SweepRunner sweep(bench::jobsFlag());
-    auto outcomes = sweep.map(
-        static_cast<int>(scenarios.size()),
-        [&](int i) -> ScenarioOutcome {
-            const Scenario &scenario =
-                scenarios[static_cast<std::size_t>(i)];
-            ScenarioOutcome out;
-            apps::RunConfig cfg = runner.config();
-            cfg.health = fault::ArchHealth::healthy();
-            cfg.faults = scenario.plan;
-            try {
-                // Naive: healthy plan, faulty hardware.
-                auto res =
-                    runner.run(*app, apps::AppMode::Stitch, cfg);
-                out.naive =
-                    fault::terminationName(res.stats.termination);
-                if (!scenario.hard) {
-                    // Soft faults have no compile-time work-around.
-                    out.soft = true;
-                    out.res = std::move(res);
-                    return out;
-                }
-            } catch (const fault::ConfigError &) {
-                out.naive = "rejected";
-            }
-            // Re-stitched: the stitcher degrades around the fault.
-            cfg.health = fault::ArchHealth::fromPlan(scenario.plan);
-            out.res = runner.run(*app, apps::AppMode::Stitch, cfg);
-            return out;
-        });
+    table.addRow(
+        {"healthy", "completed", "-",
+         strformat("%llu",
+                   static_cast<unsigned long long>(
+                       healthy.derived.get("bottleneck_cycles")
+                           .asUint())),
+         strformat("%.1f", healthyCycles), "1.00",
+         strformat("%llu", static_cast<unsigned long long>(
+                               healthy.derived.get("fused").asUint())),
+         strformat("%llu",
+                   static_cast<unsigned long long>(
+                       healthy.derived.get("software").asUint())),
+         ""});
 
     int failures = 0;
-    for (std::size_t i = 0; i < scenarios.size(); ++i) {
-        const Scenario &scenario = scenarios[i];
-        const ScenarioOutcome &out = outcomes[i];
-        const apps::AppRunResult &res = out.res;
-        bool done =
-            res.stats.termination == fault::Termination::Completed;
-        double cycles = res.perSampleCycles();
-        if (out.soft) {
-            std::string injected;
-            if (res.stats.messagesDropped)
-                injected += strformat(
-                    "%llu dropped ",
-                    static_cast<unsigned long long>(
-                        res.stats.messagesDropped));
-            if (res.stats.messagesDelayed)
-                injected += strformat(
-                    "%llu delayed ",
-                    static_cast<unsigned long long>(
-                        res.stats.messagesDelayed));
-            if (res.stats.custBitFlips)
-                injected += strformat(
-                    "%llu flips",
-                    static_cast<unsigned long long>(
-                        res.stats.custBitFlips));
+    for (const auto &scenario : scenarios) {
+        const svc::JobResult &naive = engine.result(scenario.naiveJob);
+
+        // How the healthy-plan run ended: a stitcher rejection is a
+        // typed config failure, anything else reports its
+        // termination.
+        std::string naiveCell;
+        if (naive.status == svc::JobResult::Status::Completed)
+            naiveCell = naive.derived.get("termination").asString();
+        else if (naive.errorKind == "config")
+            naiveCell = "rejected";
+        else
+            naiveCell = "error";
+
+        // Soft scenarios *are* their naive run; hard scenarios
+        // tabulate the re-stitched outcome.
+        const svc::JobResult &res =
+            scenario.hard ? engine.result(scenario.restitchJob)
+                          : naive;
+        if (res.status != svc::JobResult::Status::Completed) {
+            ++failures;
+            table.addRow({scenario.name, naiveCell, "error", "-", "-",
+                          "-", "-", "-", res.error});
+            continue;
+        }
+
+        const bool done =
+            res.derived.get("termination").asString() == "completed";
+        const double cycles =
+            res.derived.get("per_sample_cycles").asDouble();
+        const std::string bottleneck = strformat(
+            "%llu", static_cast<unsigned long long>(
+                        res.derived.get("bottleneck_cycles").asUint()));
+        if (scenario.hard) {
+            if (!done)
+                ++failures;
             table.addRow(
-                {scenario.name, out.naive, "-",
+                {scenario.name, naiveCell,
+                 res.derived.get("termination").asString(),
+                 bottleneck, done ? strformat("%.1f", cycles) : "-",
+                 done ? strformat("%.2f", cycles / healthyCycles)
+                      : "-",
                  strformat("%llu",
                            static_cast<unsigned long long>(
-                               res.plan.bottleneckCycles())),
+                               res.derived.get("fused").asUint())),
+                 strformat("%llu",
+                           static_cast<unsigned long long>(
+                               res.derived.get("software").asUint())),
+                 ""});
+        } else {
+            std::string injected;
+            if (res.report.has("injected_faults")) {
+                const obs::Json &inj =
+                    res.report.get("injected_faults");
+                if (inj.get("messages_dropped").asUint())
+                    injected += strformat(
+                        "%llu dropped ",
+                        static_cast<unsigned long long>(
+                            inj.get("messages_dropped").asUint()));
+                if (inj.get("messages_delayed").asUint())
+                    injected += strformat(
+                        "%llu delayed ",
+                        static_cast<unsigned long long>(
+                            inj.get("messages_delayed").asUint()));
+                if (inj.get("cust_bit_flips").asUint())
+                    injected += strformat(
+                        "%llu flips",
+                        static_cast<unsigned long long>(
+                            inj.get("cust_bit_flips").asUint()));
+            }
+            table.addRow(
+                {scenario.name, naiveCell, "-", bottleneck,
                  done ? strformat("%.1f", cycles) : "-",
                  done ? strformat("%.2f", cycles / healthyCycles)
                       : "-",
                  "", "", injected});
-        } else {
-            if (!done)
-                ++failures;
-            int fused = 0, software = 0;
-            countPlacements(res.plan, &fused, &software);
-            table.addRow(
-                {scenario.name, out.naive,
-                 fault::terminationName(res.stats.termination),
-                 strformat("%llu",
-                           static_cast<unsigned long long>(
-                               res.plan.bottleneckCycles())),
-                 done ? strformat("%.1f", cycles) : "-",
-                 done ? strformat("%.2f", cycles / healthyCycles)
-                      : "-",
-                 strformat("%d", fused), strformat("%d", software),
-                 ""});
         }
         if (!outDir.empty())
             writeScenarioReport(outDir, scenario.name, res);

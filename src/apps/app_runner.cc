@@ -74,6 +74,17 @@ AppRunner::run(const AppSpec &app, AppMode mode,
     const int stages = static_cast<int>(app.stageKernels.size());
     STITCH_ASSERT(stages <= numTiles, "application too wide");
 
+    // Per-call measurement overrides (job specs); 0 = runner default.
+    const int samplesShort =
+        config.samplesShort > 0 ? config.samplesShort : samplesShort_;
+    const int samplesLong =
+        config.samplesLong > 0 ? config.samplesLong : samplesLong_;
+    if (!(samplesLong > samplesShort && samplesShort >= 1))
+        throw fault::ConfigError(detail::formatMessage(
+            "invalid sample window: short=", samplesShort,
+            " long=", samplesLong,
+            " (need 1 <= short < long)"));
+
     // Compile every stage (cached across stages and apps).
     std::vector<const compiler::CompiledKernel *> compiled;
     std::vector<kernels::PipelineShape> shapes;
@@ -90,7 +101,7 @@ AppRunner::run(const AppSpec &app, AppMode mode,
     // Decide placements and per-stage binaries.
     AppRunResult result;
     result.mode = mode;
-    result.samples = samplesLong_ - samplesShort_;
+    result.samples = samplesLong - samplesShort;
 
     std::vector<TileId> tileOf(static_cast<std::size_t>(stages));
     std::vector<const compiler::RewrittenProgram *> binaries(
@@ -225,13 +236,16 @@ AppRunner::run(const AppSpec &app, AppMode mode,
                             kernels::commSamplesAddr,
                             static_cast<Word>(nSamples));
 
-        auto stats = system.run();
+        auto stats = system.run(
+            config.maxInstructions > 0
+                ? config.maxInstructions
+                : sim::System::runawayInstructionBudget);
         if (statsOut)
             *statsOut = system.registry().toJson(/*skipZero=*/true);
         return stats;
     };
 
-    result.samplesLong = samplesLong_;
+    result.samplesLong = samplesLong;
     for (int k = 0; k < stages; ++k)
         result.stageBindings.emplace_back(
             strformat(
@@ -240,14 +254,14 @@ AppRunner::run(const AppSpec &app, AppMode mode,
                 k),
             tileOf[static_cast<std::size_t>(k)]);
 
-    sim::RunStats shortRun = simulate(samplesShort_, nullptr);
-    result.stats = simulate(samplesLong_, &result.statsDump);
+    sim::RunStats shortRun = simulate(samplesShort, nullptr);
+    result.stats = simulate(samplesLong, &result.statsDump);
     if (shortRun.termination == fault::Termination::Completed &&
         result.stats.termination == fault::Termination::Completed) {
         result.marginalCycles =
             static_cast<double>(result.stats.makespan -
                                 shortRun.makespan) /
-            static_cast<double>(samplesLong_ - samplesShort_);
+            static_cast<double>(samplesLong - samplesShort);
     } else {
         // An aborted run has no steady state; leave the marginal cost
         // at zero and let callers key on stats.termination.

@@ -89,6 +89,22 @@ struct RunConfig
     fault::ArchHealth health = fault::ArchHealth::healthy();
     fault::FaultPlan faults;
     sim::SchedulerKind scheduler = sim::SchedulerKind::Slice;
+
+    /**
+     * Per-run instruction budget; 0 keeps the runaway backstop. The
+     * service layer maps a job "timeout" onto this: a run that
+     * exhausts the budget ends with Termination::InstructionLimit in
+     * its report instead of hanging a worker forever.
+     */
+    std::uint64_t maxInstructions = 0;
+
+    /**
+     * Steady-state measurement points; 0 keeps the runner's
+     * constructor values. Job specs carry them so one shared engine
+     * runner can serve jobs with different measurement windows.
+     */
+    int samplesShort = 0;
+    int samplesLong = 0;
 };
 
 /** Compiles, stitches, places, and simulates applications. */

@@ -1,0 +1,45 @@
+#include "common/cli.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace stitch::cli
+{
+
+bool
+keyedValue(const char *arg, const char *prefix, std::string *out)
+{
+    std::size_t n = std::strlen(prefix);
+    if (std::strncmp(arg, prefix, n) != 0)
+        return false;
+    *out = arg + n;
+    return true;
+}
+
+int
+resolveJobs(int requested)
+{
+    if (requested == 0)
+        requested =
+            static_cast<int>(std::thread::hardware_concurrency());
+    return requested < 1 ? 1 : requested;
+}
+
+bool
+CommonFlags::parse(const char *arg)
+{
+    if (keyedValue(arg, "--json=", &jsonPath))
+        return true;
+    if (keyedValue(arg, "--out=", &out))
+        return true;
+    if (keyedValue(arg, "--scheduler=", &scheduler))
+        return true;
+    if (std::string value; keyedValue(arg, "--jobs=", &value)) {
+        jobs = resolveJobs(std::atoi(value.c_str()));
+        return true;
+    }
+    return false;
+}
+
+} // namespace stitch::cli

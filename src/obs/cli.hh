@@ -24,6 +24,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/cli.hh"
 #include "obs/registry.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
@@ -52,11 +53,7 @@ struct CliOptions
     parse(const char *arg)
     {
         auto keyed = [&](const char *prefix, std::string *out) {
-            std::size_t n = std::strlen(prefix);
-            if (std::strncmp(arg, prefix, n) != 0)
-                return false;
-            *out = arg + n;
-            return true;
+            return cli::keyedValue(arg, prefix, out);
         };
         if (keyed("--trace=", &tracePath))
             return true;

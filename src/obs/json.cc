@@ -1,10 +1,14 @@
 #include "obs/json.hh"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 
 namespace stitch::obs
 {
@@ -405,12 +409,32 @@ Json::parse(const std::string &text)
     return Parser(text).run();
 }
 
+std::FILE *
+openArtifactFile(const std::string &path)
+{
+    namespace fs = std::filesystem;
+    fs::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        fs::create_directories(p.parent_path(), ec);
+        if (ec)
+            throw fault::ConfigError(detail::formatMessage(
+                "cannot create directory '",
+                p.parent_path().string(), "' for artifact '", path,
+                "': ", ec.message()));
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        throw fault::ConfigError(detail::formatMessage(
+            "cannot open '", path,
+            "' for writing: ", std::strerror(errno)));
+    return f;
+}
+
 void
 writeJsonFile(const std::string &path, const Json &doc)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        fatal("cannot open ", path, " for writing");
+    std::FILE *f = openArtifactFile(path);
     std::string text = doc.dump(2);
     std::fputs(text.c_str(), f);
     std::fputc('\n', f);

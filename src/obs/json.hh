@@ -14,6 +14,7 @@
 #define STITCH_OBS_JSON_HH
 
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
@@ -91,7 +92,18 @@ class Json
     std::vector<std::pair<std::string, Json>> object_;
 };
 
-/** Pretty-print `doc` to `path` (trailing newline); fatal on I/O. */
+/**
+ * Open an artifact file for writing, creating missing parent
+ * directories first (a `--report=runs/today/r.json` should not
+ * silently produce nothing because `runs/today/` does not exist yet).
+ * Throws fault::ConfigError when the path cannot be created or
+ * opened, so harnesses surface a typed, actionable failure instead of
+ * exiting with an unwritten artifact.
+ */
+std::FILE *openArtifactFile(const std::string &path);
+
+/** Pretty-print `doc` to `path` (trailing newline); throws
+ *  fault::ConfigError when `path` cannot be created or written. */
 void writeJsonFile(const std::string &path, const Json &doc);
 
 } // namespace stitch::obs

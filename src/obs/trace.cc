@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/json.hh"
 
 namespace stitch::obs
 {
@@ -18,9 +19,7 @@ Tracer::start(const std::string &path)
 {
     if (enabledFlag_)
         fatal("tracer already recording; stop() the previous trace");
-    out_ = std::fopen(path.c_str(), "w");
-    if (!out_)
-        fatal("cannot open trace file '", path, "'");
+    out_ = openArtifactFile(path); // typed error on unwritable path
     first_ = true;
     events_ = 0;
     tailWritten_ = false;

@@ -1,0 +1,168 @@
+#include "svc/cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/logging.hh"
+#include "sim/report.hh"
+
+namespace stitch::svc
+{
+
+namespace fs = std::filesystem;
+
+std::string
+cacheStamp()
+{
+    return detail::formatMessage("job", jobSchemaVersion, "-report",
+                                 sim::runReportVersion, "-engine",
+                                 engineVersion);
+}
+
+ResultCache::ResultCache(std::string dir, std::size_t memEntries)
+    : dir_(std::move(dir)), memEntries_(memEntries)
+{}
+
+std::string
+ResultCache::diskPath(const std::string &key) const
+{
+    return dir_ + "/" + key + ".json";
+}
+
+void
+ResultCache::memInsert(const std::string &key,
+                       const CacheEntry &entry)
+{
+    if (memEntries_ == 0)
+        return;
+    if (auto it = index_.find(key); it != index_.end()) {
+        lru_.erase(it->second);
+        index_.erase(it);
+    }
+    lru_.push_front({key, entry});
+    index_[key] = lru_.begin();
+    while (lru_.size() > memEntries_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+    }
+}
+
+std::optional<CacheEntry>
+ResultCache::memLookup(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = index_.find(key); it != index_.end()) {
+        // Refresh recency.
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++stats_.memHits;
+        return it->second->entry;
+    }
+    return std::nullopt;
+}
+
+std::optional<CacheEntry>
+ResultCache::diskLookup(const JobSpec &spec)
+{
+    if (!diskEnabled()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        return std::nullopt;
+    }
+
+    const std::string key = spec.cacheKey();
+    const std::string path = diskPath(key);
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    // A stale, truncated or foreign file is a miss, never an error:
+    // the entry will simply be recomputed and overwritten.
+    bool invalid = false;
+    try {
+        obs::Json doc = obs::Json::parse(text);
+        auto strIs = [&](const char *k, const std::string &want) {
+            return doc.has(k) &&
+                   doc.get(k).kind() == obs::Json::Kind::String &&
+                   doc.get(k).asString() == want;
+        };
+        if (!doc.isObject() || !strIs("schema", cacheEntrySchema) ||
+            !doc.has("version") ||
+            doc.get("version").kind() != obs::Json::Kind::Int ||
+            doc.get("version").asUint() !=
+                static_cast<std::uint64_t>(cacheEntryVersion) ||
+            !strIs("stamp", cacheStamp()) || !doc.has("report") ||
+            !doc.has("derived")) {
+            invalid = true;
+        } else if (!doc.has("spec") ||
+                   doc.get("spec").dump() !=
+                       spec.canonicalJson().dump()) {
+            // Verify the stored spec echo against the request: a
+            // hash collision must degrade to a miss, not a wrong
+            // report.
+            warn("cache entry ", key,
+                 " echoes a different spec; treating as a miss");
+            invalid = true;
+        } else {
+            CacheEntry entry{doc.get("report"), doc.get("derived")};
+            std::lock_guard<std::mutex> lock(mutex_);
+            memInsert(key, entry);
+            ++stats_.diskHits;
+            return entry;
+        }
+    } catch (const FatalError &) {
+        invalid = true;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (invalid)
+        ++stats_.invalidated;
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+std::optional<CacheEntry>
+ResultCache::lookup(const JobSpec &spec)
+{
+    if (auto hit = memLookup(spec.cacheKey()))
+        return hit;
+    return diskLookup(spec);
+}
+
+void
+ResultCache::store(const JobSpec &spec, const CacheEntry &entry)
+{
+    const std::string key = spec.cacheKey();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        memInsert(key, entry);
+        ++stats_.stores;
+    }
+    if (!diskEnabled())
+        return;
+    obs::Json doc = obs::Json::object();
+    doc.set("schema", cacheEntrySchema);
+    doc.set("version", cacheEntryVersion);
+    doc.set("stamp", cacheStamp());
+    doc.set("key", key);
+    doc.set("spec", spec.canonicalJson());
+    doc.set("report", entry.report);
+    doc.set("derived", entry.derived);
+    obs::writeJsonFile(diskPath(key), doc); // creates dir_, typed err
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace stitch::svc

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Content-addressed result cache for simulation jobs.
+ *
+ * Identity is the job spec's canonical form (svc/job.hh): the cache
+ * key is its hash, and every stored entry echoes the canonical spec
+ * so a hit is verified byte-for-byte against what was asked for — a
+ * hash collision or a corrupted file degrades to a miss, never to a
+ * wrong report.
+ *
+ * Two layers share one interface: a bounded in-memory LRU (per
+ * engine, catches intra-batch duplicates) and an optional on-disk
+ * store (`<dir>/<key>.json`, survives processes — a re-submitted
+ * batch performs zero simulations). Entries carry a version stamp
+ * combining the job-schema, run-report and engine versions; a stamp
+ * mismatch invalidates the entry on read, so bumping any of the three
+ * retires every stale result at once.
+ */
+
+#ifndef STITCH_SVC_CACHE_HH
+#define STITCH_SVC_CACHE_HH
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "obs/json.hh"
+#include "svc/job.hh"
+
+namespace stitch::svc
+{
+
+inline constexpr const char *cacheEntrySchema = "stitch-cache-entry";
+inline constexpr int cacheEntryVersion = 1;
+
+/** Bumped whenever the engine changes what a stored result means
+ *  (independent of the job-schema and report versions). */
+inline constexpr int engineVersion = 1;
+
+/** The invalidation stamp every entry must match to be served. */
+std::string cacheStamp();
+
+/** One cached job outcome. */
+struct CacheEntry
+{
+    obs::Json report;  ///< the run report document
+    obs::Json derived; ///< svc::derivedJson() scalars
+};
+
+/**
+ * In-memory LRU + optional on-disk store (see file comment).
+ * Thread-safe: every method locks internally, so engine workers can
+ * probe and store concurrently. The memory phase (memLookup) is a
+ * map probe — cheap enough for the engine to call while holding its
+ * claim lock, which is what makes cache-hit attribution
+ * deterministic under any worker count.
+ */
+class ResultCache
+{
+  public:
+    /**
+     * @param dir         on-disk store directory; empty disables the
+     *                    disk layer. Created on first store.
+     * @param memEntries  LRU capacity; 0 disables the memory layer.
+     */
+    explicit ResultCache(std::string dir = "",
+                         std::size_t memEntries = 256);
+
+    /** Probe the memory layer only (refreshes recency). */
+    std::optional<CacheEntry> memLookup(const std::string &key);
+
+    /**
+     * Probe the disk layer (verifying stamp and spec echo; a hit is
+     * promoted into memory). File I/O and JSON parsing happen here —
+     * call without holding external locks.
+     */
+    std::optional<CacheEntry> diskLookup(const JobSpec &spec);
+
+    /** memLookup then diskLookup — the simple client entry point. */
+    std::optional<CacheEntry> lookup(const JobSpec &spec);
+
+    /** Store the outcome of `spec` in every enabled layer. */
+    void store(const JobSpec &spec, const CacheEntry &entry);
+
+    bool diskEnabled() const { return !dir_.empty(); }
+    bool memEnabled() const { return memEntries_ > 0; }
+    bool enabled() const { return diskEnabled() || memEnabled(); }
+    const std::string &dir() const { return dir_; }
+
+    /** Lookup/store activity since construction. */
+    struct Stats
+    {
+        std::uint64_t memHits = 0;
+        std::uint64_t diskHits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t stores = 0;
+        std::uint64_t invalidated = 0; ///< stale stamp / bad echo
+    };
+    Stats stats() const;
+
+  private:
+    std::string diskPath(const std::string &key) const;
+    void memInsert(const std::string &key, const CacheEntry &entry);
+
+    mutable std::mutex mutex_;
+    std::string dir_;
+    std::size_t memEntries_;
+    Stats stats_;
+
+    /** LRU: most-recent at the front; map values point into lru_. */
+    struct MemEntry
+    {
+        std::string key;
+        CacheEntry entry;
+    };
+    std::list<MemEntry> lru_;
+    std::map<std::string, std::list<MemEntry>::iterator> index_;
+};
+
+} // namespace stitch::svc
+
+#endif // STITCH_SVC_CACHE_HH

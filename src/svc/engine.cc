@@ -1,0 +1,344 @@
+#include "svc/engine.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.hh"
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
+#include "svc/artifacts.hh"
+
+namespace stitch::svc
+{
+
+using Clock = std::chrono::steady_clock;
+
+const char *
+jobStatusName(JobResult::Status status)
+{
+    switch (status) {
+    case JobResult::Status::Pending: return "pending";
+    case JobResult::Status::Running: return "running";
+    case JobResult::Status::Completed: return "completed";
+    case JobResult::Status::Failed: return "failed";
+    case JobResult::Status::Cancelled: return "cancelled";
+    }
+    return "?";
+}
+
+JobEngine::JobEngine(const EngineOptions &options)
+    : options_(options),
+      cache_(options.cacheDir, options.memCacheEntries)
+{
+    registry_.add("svc.jobs", jobStats_);
+    registry_.add("svc.cache", cacheStats_);
+    registry_.add("svc.queue", queueStats_);
+    registry_.add("svc.latency", latencyStats_);
+    // Materialize the counter set so reports carry stable keys even
+    // before the first job.
+    for (const char *name :
+         {"submitted", "completed", "failed", "cancelled",
+          "cache_hits", "simulated"})
+        jobStats_.counter(name);
+    queueStats_.counter("peak_depth");
+    for (const char *name : {"le_1ms", "le_10ms", "le_100ms", "le_1s",
+                             "le_10s", "gt_10s"})
+        latencyStats_.counter(name);
+}
+
+JobEngine::~JobEngine() = default;
+
+int
+JobEngine::submit(const JobSpec &spec)
+{
+    spec.validate();
+    const std::string key = spec.cacheKey();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int id = static_cast<int>(jobs_.size());
+    auto job = std::make_unique<Job>();
+    job->spec = spec;
+    job->result.key = key;
+    jobs_.push_back(std::move(job));
+    queue_.push({spec.priority, -id});
+    jobStats_.inc("submitted");
+    queueStats_.set("peak_depth",
+                    std::max<std::uint64_t>(
+                        queueStats_.get("peak_depth"), queue_.size()));
+    return id;
+}
+
+int
+JobEngine::submit(const obs::Json &doc)
+{
+    return submit(JobSpec::fromJson(doc));
+}
+
+bool
+JobEngine::cancel(int id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (id < 0 || id >= static_cast<int>(jobs_.size()))
+        return false;
+    JobResult &result = jobs_[static_cast<std::size_t>(id)]->result;
+    if (result.status != JobResult::Status::Pending)
+        return false;
+    result.status = JobResult::Status::Cancelled;
+    jobStats_.inc("cancelled");
+    return true;
+}
+
+void
+JobEngine::recordLatency(JobResult &result, Clock::time_point t0)
+{
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0)
+            .count();
+    result.latencyMs = ms;
+    const char *bucket = ms <= 1.0      ? "le_1ms"
+                         : ms <= 10.0   ? "le_10ms"
+                         : ms <= 100.0  ? "le_100ms"
+                         : ms <= 1e3    ? "le_1s"
+                         : ms <= 1e4    ? "le_10s"
+                                        : "gt_10s";
+    latencyStats_.inc(bucket);
+}
+
+void
+JobEngine::finishCompleted(Job &job, const CacheEntry &entry,
+                           bool cached, Clock::time_point t0)
+{
+    job.result.report = entry.report;
+    job.result.derived = entry.derived;
+    job.result.cached = cached;
+    job.result.status = JobResult::Status::Completed;
+    jobStats_.inc("completed");
+    jobStats_.inc(cached ? "cache_hits" : "simulated");
+    recordLatency(job.result, t0);
+}
+
+void
+JobEngine::finishFailed(Job &job, const std::string &kind,
+                        const std::string &message,
+                        Clock::time_point t0)
+{
+    job.result.error = message;
+    job.result.errorKind = kind;
+    job.result.status = JobResult::Status::Failed;
+    jobStats_.inc("failed");
+    recordLatency(job.result, t0);
+}
+
+bool
+JobEngine::claimAndRunOne()
+{
+    Job *claimed = nullptr;
+    const auto t0 = Clock::now();
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        while (!queue_.empty()) {
+            const int id = -queue_.top().second;
+            queue_.pop();
+            Job &job = *jobs_[static_cast<std::size_t>(id)];
+            if (job.result.status == JobResult::Status::Cancelled)
+                continue; // cancelled while queued; entry is stale
+            claimed = &job;
+            break;
+        }
+        if (!claimed)
+            return false;
+
+        Job &job = *claimed;
+        job.result.status = JobResult::Status::Running;
+
+        if (cache_.memEnabled() || cache_.diskEnabled()) {
+            // Resolve against the cache inside the claim critical
+            // section: attribution (hit vs simulate) becomes a pure
+            // function of submit order, independent of worker count.
+            if (auto hit = cache_.memLookup(job.result.key)) {
+                finishCompleted(job, *hit, /*cached=*/true, t0);
+                return true;
+            }
+            if (auto it = inflight_.find(job.result.key);
+                it != inflight_.end()) {
+                job.flight = it->second; // coalesce: wait below
+            } else {
+                job.flight = std::make_shared<Flight>();
+                job.flightOwner = true;
+                inflight_[job.result.key] = job.flight;
+            }
+        }
+    }
+
+    Job &job = *claimed;
+
+    if (job.flight && !job.flightOwner) {
+        // An identical spec is simulating right now; adopt its
+        // outcome instead of simulating twice.
+        std::unique_lock<std::mutex> flightLock(job.flight->mutex);
+        job.flight->cv.wait(flightLock,
+                            [&] { return job.flight->done; });
+        const bool failed = job.flight->failed;
+        const std::string error = job.flight->error;
+        const std::string kind = job.flight->errorKind;
+        const CacheEntry entry = job.flight->entry;
+        flightLock.unlock();
+
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (failed)
+            finishFailed(job, kind, error, t0);
+        else
+            finishCompleted(job, entry, /*cached=*/true, t0);
+        return true;
+    }
+
+    // This worker owns the simulation (or caching is fully disabled).
+    CacheEntry entry;
+    bool failed = false;
+    bool fromDisk = false;
+    std::string error, kind;
+    if (job.flightOwner) {
+        if (auto hit = cache_.diskLookup(job.spec)) {
+            entry = *hit;
+            fromDisk = true;
+        }
+    }
+    if (!fromDisk) {
+        try {
+            const apps::AppSpec &app = job.spec.resolveApp();
+            apps::AppRunResult res =
+                runner_.run(app, job.spec.mode, job.spec.runConfig());
+            ReportOptions reportOptions;
+            reportOptions.profile = job.spec.artifacts.profile;
+            reportOptions.energy = job.spec.artifacts.energy;
+            entry.report = appReportJson(res, reportOptions);
+            entry.derived = derivedJson(res);
+            if (cache_.memEnabled() || cache_.diskEnabled())
+                cache_.store(job.spec, entry);
+        } catch (const fault::ConfigError &e) {
+            failed = true;
+            kind = "config";
+            error = e.what();
+        } catch (const fault::BinaryMismatchError &e) {
+            failed = true;
+            kind = "mismatch";
+            error = e.what();
+        } catch (const fault::SimError &e) {
+            failed = true;
+            kind = "sim";
+            error = e.what();
+        } catch (const std::exception &e) {
+            failed = true;
+            kind = "internal";
+            error = e.what();
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (failed)
+            finishFailed(job, kind, error, t0);
+        else
+            finishCompleted(job, entry, /*cached=*/fromDisk, t0);
+    }
+
+    if (job.flightOwner) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            inflight_.erase(job.result.key);
+        }
+        std::lock_guard<std::mutex> flightLock(job.flight->mutex);
+        job.flight->failed = failed;
+        job.flight->error = error;
+        job.flight->errorKind = kind;
+        job.flight->entry = entry;
+        job.flight->done = true;
+        job.flight->cv.notify_all();
+    }
+    return true;
+}
+
+void
+JobEngine::run()
+{
+    int workers = options_.jobs;
+    if (workers < 1)
+        workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers < 1)
+        workers = 1;
+    if (workers > 1 &&
+        (obs::Tracer::enabled() || obs::Sampler::enabled())) {
+        // Same rule as sim::SweepRunner: the trace and profile sinks
+        // are process-wide single streams.
+        warn("job engine forced to --jobs=1: tracing/profiling write "
+             "to process-wide sinks");
+        workers = 1;
+    }
+
+    std::size_t pending = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending = queue_.size();
+    }
+    workers = std::min<int>(workers, static_cast<int>(pending));
+
+    if (workers <= 1) {
+        while (claimAndRunOne()) {}
+        return;
+    }
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+        pool.emplace_back([this] {
+            while (claimAndRunOne()) {}
+        });
+    for (auto &t : pool)
+        t.join();
+}
+
+int
+JobEngine::jobCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int>(jobs_.size());
+}
+
+const JobSpec &
+JobEngine::spec(int id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return jobs_.at(static_cast<std::size_t>(id))->spec;
+}
+
+const JobResult &
+JobEngine::result(int id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return jobs_.at(static_cast<std::size_t>(id))->result;
+}
+
+obs::Json
+JobEngine::serviceReportJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Mirror the cache's own counters into the registry group so the
+    // report is one coherent tree.
+    const ResultCache::Stats cs = cache_.stats();
+    cacheStats_.set("mem_hits", cs.memHits);
+    cacheStats_.set("disk_hits", cs.diskHits);
+    cacheStats_.set("misses", cs.misses);
+    cacheStats_.set("stores", cs.stores);
+    cacheStats_.set("invalidated", cs.invalidated);
+    queueStats_.set("depth", queue_.size());
+
+    obs::Json doc = obs::Json::object();
+    doc.set("schema", serviceReportSchema);
+    doc.set("version", serviceReportVersion);
+    doc.set("jobs", static_cast<std::uint64_t>(jobs_.size()));
+    doc.set("counters", registry_.toJson(/*skipZero=*/false));
+    return doc;
+}
+
+} // namespace stitch::svc

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * svc::JobEngine — the simulation job engine: a priority queue of
+ * validated JobSpecs drained by a worker pool, fronted by the
+ * content-addressed ResultCache.
+ *
+ * The engine generalizes sim::SweepRunner (same atomic-claim worker
+ * idiom, same lowest-index failure reporting discipline) from "run
+ * this vector of closures" to "run these described jobs": claims pop
+ * in (priority desc, submit order asc), each popped job is resolved
+ * against the cache *inside the claim critical section*, and
+ * duplicate in-flight specs coalesce onto one simulation
+ * (single-flight). Because resolution happens at claim time under the
+ * lock, which jobs simulate and which count as cache hits is a pure
+ * function of submit order and cache state — identical for any
+ * `--jobs` value.
+ *
+ * Failures stay typed: a worker maps the exception hierarchy
+ * (ConfigError / BinaryMismatchError / SimError / FatalError) to an
+ * error kind in the JobResult instead of tearing down the batch, so a
+ * mixed batch reports per-job outcomes. A job "timeout" is the
+ * spec's max_instructions budget — it ends in a *completed* report
+ * with Termination::InstructionLimit, never a worker hang.
+ */
+
+#ifndef STITCH_SVC_ENGINE_HH
+#define STITCH_SVC_ENGINE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "apps/app_runner.hh"
+#include "common/stats.hh"
+#include "obs/json.hh"
+#include "obs/registry.hh"
+#include "svc/cache.hh"
+#include "svc/job.hh"
+
+namespace stitch::svc
+{
+
+inline constexpr const char *serviceReportSchema =
+    "stitch-service-report";
+inline constexpr int serviceReportVersion = 1;
+
+/** Engine construction knobs. */
+struct EngineOptions
+{
+    /** Worker threads; 0 = hardware concurrency. Forced to 1 while
+     *  the process-wide trace/profile sinks are enabled. */
+    int jobs = 1;
+
+    /** On-disk cache directory; empty disables the disk layer. */
+    std::string cacheDir;
+
+    /** In-memory LRU capacity; 0 disables the memory layer (every
+     *  submission simulates — useful for measurement harnesses). */
+    std::size_t memCacheEntries = 256;
+};
+
+/** Outcome of one submitted job. */
+struct JobResult
+{
+    enum class Status
+    {
+        Pending,   ///< queued, not yet claimed
+        Running,   ///< claimed by a worker
+        Completed, ///< report + derived are valid
+        Failed,    ///< error + errorKind are valid
+        Cancelled, ///< cancelled before a worker claimed it
+    };
+
+    Status status = Status::Pending;
+
+    /** Completed without simulating: memory hit, disk hit, or
+     *  coalesced onto an identical in-flight job. */
+    bool cached = false;
+
+    std::string key;       ///< spec.cacheKey(), fixed at submit
+    std::string error;     ///< failure message (Status::Failed)
+    std::string errorKind; ///< config|mismatch|sim|internal
+    obs::Json report;      ///< svc::appReportJson document
+    obs::Json derived;     ///< svc::derivedJson scalars
+    double latencyMs = 0;  ///< claim-to-finish wall time
+};
+
+const char *jobStatusName(JobResult::Status status);
+
+/** Priority job queue + worker pool over one shared AppRunner and
+ *  ResultCache (see the file comment). */
+class JobEngine
+{
+  public:
+    explicit JobEngine(const EngineOptions &options = {});
+    ~JobEngine();
+
+    JobEngine(const JobEngine &) = delete;
+    JobEngine &operator=(const JobEngine &) = delete;
+
+    /**
+     * Validate and enqueue `spec`; returns the job id (dense,
+     * submit-ordered). Throws fault::ConfigError on an invalid spec —
+     * validation is eager, nothing invalid reaches a worker.
+     */
+    int submit(const JobSpec &spec);
+
+    /** Parse, validate and enqueue a stitch-job document. */
+    int submit(const obs::Json &doc);
+
+    /**
+     * Cancel a still-pending job. Returns false when the job was
+     * already claimed, finished, or cancelled; a running simulation is
+     * never interrupted.
+     */
+    bool cancel(int id);
+
+    /** Drain the queue with the configured worker pool; returns when
+     *  every non-cancelled job has finished. Re-entrant: submit more
+     *  jobs afterwards and call run() again. */
+    void run();
+
+    int jobCount() const;
+    const JobSpec &spec(int id) const;
+    const JobResult &result(int id) const;
+
+    ResultCache &cache() { return cache_; }
+    const EngineOptions &options() const { return options_; }
+
+    /**
+     * The service-level counters as a versioned document:
+     * submitted/completed/failed/cancelled, cache attribution
+     * (cache_hits vs simulated), queue depth, and claim-to-finish
+     * latency buckets.
+     */
+    obs::Json serviceReportJson() const;
+
+    /** The engine's counter registry (svc.jobs, svc.cache, svc.queue,
+     *  svc.latency) for embedding in larger dumps. */
+    const obs::Registry &registry() const { return registry_; }
+
+  private:
+    /** Coalescing point for identical in-flight specs: the claim
+     *  owner simulates and publishes; waiters block on `cv`. */
+    struct Flight
+    {
+        std::mutex mutex;
+        std::condition_variable cv;
+        bool done = false;
+        bool failed = false;
+        std::string error;
+        std::string errorKind;
+        CacheEntry entry;
+    };
+
+    struct Job
+    {
+        JobSpec spec;
+        JobResult result;
+        std::shared_ptr<Flight> flight; ///< set at claim time
+        bool flightOwner = false;
+    };
+
+    bool claimAndRunOne();
+    void finishCompleted(Job &job, const CacheEntry &entry,
+                         bool cached,
+                         std::chrono::steady_clock::time_point t0);
+    void finishFailed(Job &job, const std::string &kind,
+                      const std::string &message,
+                      std::chrono::steady_clock::time_point t0);
+    void recordLatency(JobResult &result,
+                       std::chrono::steady_clock::time_point t0);
+
+    EngineOptions options_;
+    ResultCache cache_;
+    apps::AppRunner runner_;
+
+    mutable std::mutex mutex_; ///< jobs_, queue_, inflight_, stats
+    std::vector<std::unique_ptr<Job>> jobs_;
+
+    /** Max-heap of (priority, -id): priority desc, submit order asc. */
+    std::priority_queue<std::pair<int, int>> queue_;
+
+    /** cacheKey -> in-flight simulation for single-flight dedup. */
+    std::map<std::string, std::shared_ptr<Flight>> inflight_;
+
+    StatGroup jobStats_; ///< svc.jobs
+    /** svc.cache / svc.queue: refreshed from live state inside the
+     *  const serviceReportJson(), hence mutable. */
+    mutable StatGroup cacheStats_;
+    mutable StatGroup queueStats_;
+    StatGroup latencyStats_; ///< svc.latency buckets
+    obs::Registry registry_;
+};
+
+} // namespace stitch::svc
+
+#endif // STITCH_SVC_ENGINE_HH

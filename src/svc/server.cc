@@ -1,0 +1,251 @@
+#include "svc/server.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "fault/fault.hh"
+
+namespace stitch::svc
+{
+
+namespace
+{
+
+/** write() until done; false on error/EPIPE. */
+bool
+writeAll(int fd, const void *data, std::size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** read() until `len` bytes; false on error/EOF. */
+bool
+readAll(int fd, void *data, std::size_t len)
+{
+    char *p = static_cast<char *>(data);
+    while (len > 0) {
+        ssize_t n = ::read(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false; // peer closed mid-frame
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+sendFrame(int fd, const std::string &payload)
+{
+    std::uint32_t len = htonl(
+        static_cast<std::uint32_t>(payload.size()));
+    return writeAll(fd, &len, sizeof len) &&
+           writeAll(fd, payload.data(), payload.size());
+}
+
+/** Receive one frame; false on I/O error, oversize, or EOF. */
+bool
+recvFrame(int fd, std::string &payload)
+{
+    std::uint32_t len = 0;
+    if (!readAll(fd, &len, sizeof len))
+        return false;
+    len = ntohl(len);
+    if (len > maxRequestBytes)
+        return false;
+    payload.resize(len);
+    return len == 0 || readAll(fd, payload.data(), len);
+}
+
+obs::Json
+errorResponse(const std::string &kind, const std::string &message)
+{
+    obs::Json doc = obs::Json::object();
+    doc.set("schema", responseSchema);
+    doc.set("version", responseVersion);
+    doc.set("status", "error");
+    doc.set("error_kind", kind);
+    doc.set("error", message);
+    return doc;
+}
+
+} // namespace
+
+obs::Json
+handleRequest(JobEngine &engine, const obs::Json &jobDoc)
+{
+    int id = -1;
+    try {
+        id = engine.submit(jobDoc);
+    } catch (const fault::ConfigError &e) {
+        return errorResponse("config", e.what());
+    } catch (const std::exception &e) {
+        return errorResponse("internal", e.what());
+    }
+    engine.run();
+
+    const JobResult &result = engine.result(id);
+    if (result.status != JobResult::Status::Completed)
+        return errorResponse(
+            result.errorKind.empty() ? "internal" : result.errorKind,
+            result.error.empty()
+                ? std::string("job ended ") +
+                      jobStatusName(result.status)
+                : result.error);
+
+    obs::Json doc = obs::Json::object();
+    doc.set("schema", responseSchema);
+    doc.set("version", responseVersion);
+    doc.set("status", "ok");
+    doc.set("cached", result.cached);
+    doc.set("key", result.key);
+    doc.set("report", result.report);
+    doc.set("derived", result.derived);
+    return doc;
+}
+
+Server::Server(JobEngine &engine, std::uint16_t port)
+    : engine_(engine)
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        throw fault::ConfigError(detail::formatMessage(
+            "stitchd: socket(): ", std::strerror(errno)));
+
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) < 0 ||
+        ::listen(listenFd_, 16) < 0) {
+        const std::string why = std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw fault::ConfigError(detail::formatMessage(
+            "stitchd: cannot listen on 127.0.0.1:", port, ": ",
+            why));
+    }
+
+    socklen_t addrLen = sizeof addr;
+    if (::getsockname(listenFd_,
+                      reinterpret_cast<sockaddr *>(&addr),
+                      &addrLen) == 0)
+        port_ = ntohs(addr.sin_port);
+    else
+        port_ = port;
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    if (listenFd_ >= 0) {
+        // shutdown() wakes a blocked accept(); close() alone may not.
+        ::shutdown(listenFd_, SHUT_RDWR);
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+}
+
+void
+Server::serve(int maxRequests)
+{
+    int served = 0;
+    while (!stopping_.load() &&
+           (maxRequests <= 0 || served < maxRequests)) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // listener closed (stop()) or broken
+        }
+        ++served;
+
+        std::string payload;
+        obs::Json response;
+        if (!recvFrame(fd, payload)) {
+            response = errorResponse(
+                "config", "malformed or oversized request frame");
+        } else {
+            try {
+                response =
+                    handleRequest(engine_, obs::Json::parse(payload));
+            } catch (const FatalError &e) {
+                // Json::parse fatals on malformed text.
+                response = errorResponse("config", e.what());
+            }
+        }
+        if (!sendFrame(fd, response.dump(2) + "\n"))
+            warn("stitchd: client hung up before the response");
+        ::close(fd);
+    }
+}
+
+obs::Json
+requestReport(const std::string &host, std::uint16_t port,
+              const obs::Json &jobDoc)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw fault::ConfigError(detail::formatMessage(
+            "stitchq: socket(): ", std::strerror(errno)));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw fault::ConfigError(detail::formatMessage(
+            "not an IPv4 address: ", host));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) < 0) {
+        const std::string why = std::strerror(errno);
+        ::close(fd);
+        throw fault::ConfigError(detail::formatMessage(
+            "cannot connect to ", host, ":", port, ": ", why));
+    }
+
+    std::string payload;
+    const bool ok = sendFrame(fd, jobDoc.dump()) &&
+                    recvFrame(fd, payload);
+    ::close(fd);
+    if (!ok)
+        throw fault::ConfigError(detail::formatMessage(
+            "request to ", host, ":", port,
+            " failed mid-frame"));
+    return obs::Json::parse(payload);
+}
+
+} // namespace stitch::svc

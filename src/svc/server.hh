@@ -1,0 +1,94 @@
+/**
+ * @file
+ * stitchd's serving loop as a library: a localhost TCP listener that
+ * reads one length-prefixed stitch-job document per request, drives
+ * it through a svc::JobEngine, and writes back a length-prefixed
+ * stitch-response document. Living in the library (rather than the
+ * stitchd main) lets a test run server and client in one process and
+ * assert on the round-trip.
+ *
+ * Wire format, both directions: a 4-byte big-endian payload length
+ * followed by that many bytes of UTF-8 JSON. One request per
+ * connection; the server answers and closes. Responses:
+ *
+ *   {"schema":"stitch-response","version":1,"status":"ok",
+ *    "cached":...,"key":"...","report":{...},"derived":{...}}
+ *   {"schema":"stitch-response","version":1,"status":"error",
+ *    "error_kind":"config","error":"..."}
+ *
+ * Malformed frames and invalid specs produce an error response, not a
+ * dropped connection — the daemon must survive bad clients.
+ */
+
+#ifndef STITCH_SVC_SERVER_HH
+#define STITCH_SVC_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hh"
+#include "svc/engine.hh"
+
+namespace stitch::svc
+{
+
+inline constexpr const char *responseSchema = "stitch-response";
+inline constexpr int responseVersion = 1;
+
+/** Upper bound on an accepted request frame; larger lengths are
+ *  rejected as malformed (a garbage length prefix must not make the
+ *  daemon try to allocate gigabytes). */
+inline constexpr std::uint32_t maxRequestBytes = 16u << 20;
+
+/** Localhost request-per-connection server over one JobEngine. */
+class Server
+{
+  public:
+    /**
+     * Bind and listen on 127.0.0.1:`port` (0 picks a free port; read
+     * it back with port()). Throws fault::ConfigError when the socket
+     * cannot be bound.
+     */
+    Server(JobEngine &engine, std::uint16_t port = 0);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** The bound port (useful after requesting port 0). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Accept-and-answer loop. Returns after `maxRequests` requests
+     * when positive, otherwise runs until stop(). Connection-level
+     * I/O errors are logged and skipped.
+     */
+    void serve(int maxRequests = 0);
+
+    /** Unblock serve() from another thread; idempotent. */
+    void stop();
+
+  private:
+    JobEngine &engine_;
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stopping_{false};
+};
+
+/** Build the response document for one job document — the pure part
+ *  of the serving loop (submit, run, format). Never throws; every
+ *  failure becomes a status:"error" response. */
+obs::Json handleRequest(JobEngine &engine, const obs::Json &jobDoc);
+
+/**
+ * Client side of the wire format: connect to `host`:`port`, send
+ * `jobDoc`, return the parsed response document. Throws
+ * fault::ConfigError on connection or framing failures.
+ */
+obs::Json requestReport(const std::string &host, std::uint16_t port,
+                        const obs::Json &jobDoc);
+
+} // namespace stitch::svc
+
+#endif // STITCH_SVC_SERVER_HH

@@ -289,6 +289,22 @@ TEST(SweepRunner, LowestIndexExceptionWins)
     }
 }
 
+TEST(SweepRunner, EveryTaskThrowingStillRethrowsIndexZero)
+{
+    // The degenerate concurrent case: all 32 tasks throw at once
+    // under 8 workers. The contract is unchanged — the lowest index
+    // wins, regardless of which worker failed first in wall time.
+    SweepRunner sweep(8);
+    try {
+        sweep.map(32, [](int i) -> int {
+            throw std::runtime_error("task " + std::to_string(i));
+        });
+        FAIL() << "map() swallowed the worker exceptions";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "task 0");
+    }
+}
+
 TEST(SweepRunner, ZeroAndNegativeJobsClampToSerial)
 {
     EXPECT_EQ(SweepRunner(0).jobs(), 1);

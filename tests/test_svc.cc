@@ -1,0 +1,532 @@
+/**
+ * @file
+ * Service-layer tests: the stitch-job schema (strict parsing,
+ * canonical form, cache key), the content-addressed ResultCache
+ * (LRU, disk persistence, stamp and spec-echo invalidation), the
+ * JobEngine (priority order, dedup, typed failures, cancellation,
+ * worker-count invariance) and the stitchd wire protocol
+ * (in-process localhost round-trip).
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hh"
+#include "svc/cache.hh"
+#include "svc/engine.hh"
+#include "svc/job.hh"
+#include "svc/server.hh"
+
+namespace stitch::svc
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Fresh scratch directory under the gtest temp root. */
+std::string
+scratchDir(const std::string &name)
+{
+    std::string dir = ::testing::TempDir() + "stitch_svc_" + name;
+    fs::remove_all(dir);
+    return dir;
+}
+
+obs::Json
+minimalJob(const std::string &app = "APP1-gesture")
+{
+    obs::Json doc = obs::Json::object();
+    doc.set("schema", jobSchema);
+    doc.set("version", jobSchemaVersion);
+    doc.set("app", app);
+    return doc;
+}
+
+/** A cheap spec (smallest legal sample window) for engine tests. */
+JobSpec
+cheapSpec(apps::AppMode mode = apps::AppMode::Baseline)
+{
+    JobSpec spec;
+    spec.app = "APP1-gesture";
+    spec.mode = mode;
+    spec.samplesShort = 1;
+    spec.samplesLong = 2;
+    return spec;
+}
+
+// ---------------------------------------------------------------- //
+// stitch-job schema
+
+TEST(JobSchema, MinimalDocMaterializesDefaults)
+{
+    JobSpec spec = JobSpec::fromJson(minimalJob());
+    EXPECT_EQ(spec.app, "APP1-gesture");
+    EXPECT_EQ(spec.mode, apps::AppMode::Stitch);
+    EXPECT_EQ(spec.policy, compiler::StitchPolicy::Auto);
+    EXPECT_EQ(spec.scheduler, sim::SchedulerKind::Slice);
+    EXPECT_EQ(spec.samplesShort, 4);
+    EXPECT_EQ(spec.samplesLong, 12);
+    EXPECT_EQ(spec.maxInstructions, 0u);
+    EXPECT_FALSE(spec.healthFromFaults);
+    EXPECT_FALSE(spec.artifacts.profile);
+}
+
+TEST(JobSchema, RoundTripsThroughToJson)
+{
+    obs::Json doc = minimalJob("APP3");
+    doc.set("name", "label");
+    doc.set("priority", 3);
+    doc.set("mode", "stitch_no_fusion");
+    doc.set("samples_short", 2);
+    doc.set("samples_long", 5);
+    obs::Json faults = obs::Json::object();
+    faults.set("patch_dead", obs::Json::array());
+    faults.set("msg_drop_prob", 0.25);
+    doc.set("faults", faults);
+
+    JobSpec spec = JobSpec::fromJson(doc);
+    EXPECT_EQ(spec.app, "APP3-svm-enc"); // prefix resolved
+    JobSpec again = JobSpec::fromJson(spec.toJson());
+    EXPECT_EQ(again.name, "label");
+    EXPECT_EQ(again.priority, 3);
+    EXPECT_EQ(spec.canonicalJson().dump(),
+              again.canonicalJson().dump());
+    EXPECT_EQ(spec.cacheKey(), again.cacheKey());
+}
+
+TEST(JobSchema, StrictParsingRejectsBadDocuments)
+{
+    // Unknown key (the typo guard).
+    obs::Json doc = minimalJob();
+    doc.set("schedular", "slice");
+    EXPECT_THROW(JobSpec::fromJson(doc), fault::ConfigError);
+
+    // Wrong schema stamp / version.
+    doc = minimalJob();
+    doc.set("schema", "stitch-jobs");
+    EXPECT_THROW(JobSpec::fromJson(doc), fault::ConfigError);
+    doc = minimalJob();
+    doc.set("version", 99);
+    EXPECT_THROW(JobSpec::fromJson(doc), fault::ConfigError);
+
+    // Missing / unknown / ambiguous app.
+    doc = minimalJob();
+    EXPECT_THROW(JobSpec::fromJson(obs::Json::object()),
+                 fault::ConfigError);
+    EXPECT_THROW(JobSpec::fromJson(minimalJob("nope")),
+                 fault::ConfigError);
+    EXPECT_THROW(JobSpec::fromJson(minimalJob("APP")),
+                 fault::ConfigError); // matches all four
+
+    // Wrong field types and bad values.
+    doc = minimalJob();
+    doc.set("mode", 3);
+    EXPECT_THROW(JobSpec::fromJson(doc), fault::ConfigError);
+    doc = minimalJob();
+    doc.set("mode", "turbo");
+    EXPECT_THROW(JobSpec::fromJson(doc), fault::ConfigError);
+    doc = minimalJob();
+    doc.set("priority", -1.0); // negative numbers parse as Double
+    EXPECT_THROW(JobSpec::fromJson(doc), fault::ConfigError);
+    doc = minimalJob();
+    doc.set("samples_short", 5);
+    doc.set("samples_long", 5); // need short < long
+    EXPECT_THROW(JobSpec::fromJson(doc), fault::ConfigError);
+}
+
+TEST(JobSchema, FaultPlanValidationIsEager)
+{
+    obs::Json doc = minimalJob();
+    obs::Json faults = obs::Json::object();
+    obs::Json dead = obs::Json::array();
+    dead.push(static_cast<std::uint64_t>(numTiles)); // off-mesh tile
+    faults.set("patch_dead", dead);
+    doc.set("faults", faults);
+    EXPECT_THROW(JobSpec::fromJson(doc), fault::ConfigError);
+
+    doc = minimalJob();
+    faults = obs::Json::object();
+    obs::Json links = obs::Json::array();
+    links.push("t0-t99");
+    faults.set("links_down", links);
+    doc.set("faults", faults);
+    EXPECT_THROW(JobSpec::fromJson(doc), fault::ConfigError);
+
+    doc = minimalJob();
+    faults = obs::Json::object();
+    faults.set("msg_drop_prob", 1.5); // not a probability
+    doc.set("faults", faults);
+    EXPECT_THROW(JobSpec::fromJson(doc), fault::ConfigError);
+}
+
+TEST(JobSchema, CacheKeyIgnoresPresentationFields)
+{
+    JobSpec a = cheapSpec();
+    JobSpec b = a;
+    b.name = "a different label";
+    b.priority = 42;
+    EXPECT_EQ(a.canonicalJson().dump(), b.canonicalJson().dump());
+    EXPECT_EQ(a.cacheKey(), b.cacheKey());
+
+    // Every simulation-relevant field must move the key.
+    JobSpec c = a;
+    c.policy = compiler::StitchPolicy::Greedy;
+    EXPECT_NE(a.cacheKey(), c.cacheKey());
+    JobSpec d = a;
+    d.faults = fault::FaultPlan::patchFailure(3);
+    EXPECT_NE(a.cacheKey(), d.cacheKey());
+    JobSpec e = a;
+    e.maxInstructions = 1000;
+    EXPECT_NE(a.cacheKey(), e.cacheKey());
+}
+
+TEST(JobSchema, HashBytesAvalanches)
+{
+    EXPECT_EQ(hashBytes("stitch"), hashBytes("stitch"));
+    EXPECT_NE(hashBytes("stitch"), hashBytes("stitcH"));
+    EXPECT_NE(hashBytes(""), hashBytes(std::string(1, '\0')));
+}
+
+// ---------------------------------------------------------------- //
+// ResultCache
+
+CacheEntry
+dummyEntry(const std::string &tag)
+{
+    CacheEntry entry;
+    entry.report = obs::Json::object();
+    entry.report.set("tag", tag);
+    entry.derived = obs::Json::object();
+    entry.derived.set("tag", tag);
+    return entry;
+}
+
+TEST(ResultCache, MemoryLayerRoundTripsAndTracksLru)
+{
+    ResultCache cache("", /*memEntries=*/1);
+    JobSpec a = cheapSpec();
+    JobSpec b = cheapSpec(apps::AppMode::Stitch);
+
+    EXPECT_FALSE(cache.lookup(a).has_value());
+    cache.store(a, dummyEntry("a"));
+    auto hit = cache.lookup(a);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->report.get("tag").asString(), "a");
+
+    // Capacity one: storing b evicts a.
+    cache.store(b, dummyEntry("b"));
+    EXPECT_FALSE(cache.lookup(a).has_value());
+    EXPECT_TRUE(cache.lookup(b).has_value());
+
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.memHits, 2u);
+    EXPECT_EQ(stats.stores, 2u);
+}
+
+TEST(ResultCache, DiskLayerPersistsAcrossInstances)
+{
+    const std::string dir = scratchDir("disk");
+    JobSpec spec = cheapSpec();
+    {
+        ResultCache cache(dir);
+        cache.store(spec, dummyEntry("persisted"));
+    }
+    ResultCache fresh(dir);
+    auto hit = fresh.lookup(spec);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->report.get("tag").asString(), "persisted");
+    EXPECT_EQ(fresh.stats().diskHits, 1u);
+    // The disk hit was promoted into memory.
+    EXPECT_TRUE(fresh.lookup(spec).has_value());
+    EXPECT_EQ(fresh.stats().memHits, 1u);
+}
+
+TEST(ResultCache, StaleStampInvalidatesEntry)
+{
+    const std::string dir = scratchDir("stamp");
+    JobSpec spec = cheapSpec();
+    ResultCache cache(dir);
+    cache.store(spec, dummyEntry("stale"));
+
+    // Doctor the stored stamp: a version bump must retire the entry.
+    const std::string path = dir + "/" + spec.cacheKey() + ".json";
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    const std::string stamp = cacheStamp();
+    auto at = text.find(stamp);
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, stamp.size(), "job0-report0-engine0");
+    std::ofstream(path) << text;
+
+    ResultCache fresh(dir);
+    EXPECT_FALSE(fresh.lookup(spec).has_value());
+    EXPECT_EQ(fresh.stats().invalidated, 1u);
+    EXPECT_EQ(fresh.stats().diskHits, 0u);
+}
+
+TEST(ResultCache, SpecEchoMismatchDegradesToMiss)
+{
+    const std::string dir = scratchDir("echo");
+    JobSpec a = cheapSpec();
+    JobSpec b = cheapSpec(apps::AppMode::Stitch);
+    ResultCache cache(dir);
+    cache.store(a, dummyEntry("a"));
+
+    // Simulate a hash collision: b's key file holds a's entry.
+    fs::copy_file(dir + "/" + a.cacheKey() + ".json",
+                  dir + "/" + b.cacheKey() + ".json");
+    ResultCache fresh(dir);
+    EXPECT_FALSE(fresh.lookup(b).has_value());
+    EXPECT_EQ(fresh.stats().invalidated, 1u);
+    // The honest entry still hits.
+    EXPECT_TRUE(fresh.lookup(a).has_value());
+}
+
+TEST(ResultCache, CorruptFileIsAMissNotAnError)
+{
+    const std::string dir = scratchDir("corrupt");
+    JobSpec spec = cheapSpec();
+    ResultCache cache(dir);
+    cache.store(spec, dummyEntry("x"));
+    std::ofstream(dir + "/" + spec.cacheKey() + ".json")
+        << "{ not json";
+    ResultCache fresh(dir);
+    EXPECT_FALSE(fresh.lookup(spec).has_value());
+    EXPECT_EQ(fresh.stats().invalidated, 1u);
+}
+
+// ---------------------------------------------------------------- //
+// JobEngine
+
+TEST(JobEngine, PriorityOrdersClaimsAndDuplicatesCoalesce)
+{
+    // One worker, two submissions of the same spec at different
+    // priorities: the high-priority job must be claimed first (and
+    // simulate); the earlier, low-priority one then hits the cache.
+    JobEngine engine;
+    const int low = engine.submit(cheapSpec());
+    JobSpec urgent = cheapSpec();
+    urgent.priority = 10;
+    const int high = engine.submit(urgent);
+    engine.run();
+
+    EXPECT_EQ(engine.result(high).status,
+              JobResult::Status::Completed);
+    EXPECT_FALSE(engine.result(high).cached);
+    EXPECT_EQ(engine.result(low).status,
+              JobResult::Status::Completed);
+    EXPECT_TRUE(engine.result(low).cached);
+    EXPECT_EQ(engine.result(low).report.dump(),
+              engine.result(high).report.dump());
+}
+
+TEST(JobEngine, TypedFailureDoesNotSinkTheBatch)
+{
+    // The naive half of a dead-link fault scenario: the healthy plan
+    // routes over the dead link, so the run is rejected with a
+    // ConfigError *inside the worker* — after submit-time validation
+    // passed. The batch must finish; the failure must be typed.
+    JobEngine engine;
+    JobSpec good = cheapSpec();
+    JobSpec naive;
+    naive.app = "APP3-svm-enc";
+    naive.mode = apps::AppMode::Stitch;
+    naive.samplesShort = 1;
+    naive.samplesLong = 2;
+    for (const auto &link : fault::allSnocLinks())
+        if (link.name() == "t9-t10")
+            naive.faults = fault::FaultPlan::linkFailure(link);
+    naive.healthFromFaults = false; // keep the healthy plan
+    const int ok = engine.submit(good);
+    const int bad = engine.submit(naive);
+    engine.run();
+
+    EXPECT_EQ(engine.result(ok).status, JobResult::Status::Completed);
+    ASSERT_EQ(engine.result(bad).status, JobResult::Status::Failed);
+    EXPECT_EQ(engine.result(bad).errorKind, "config");
+    EXPECT_FALSE(engine.result(bad).error.empty());
+
+    // Eager validation: an invalid spec never reaches the queue.
+    JobSpec invalid = cheapSpec();
+    invalid.app = "no-such-app";
+    EXPECT_THROW(engine.submit(invalid), fault::ConfigError);
+}
+
+TEST(JobEngine, CancelMidQueueSkipsTheJob)
+{
+    JobEngine engine;
+    const int first = engine.submit(cheapSpec());
+    JobSpec other = cheapSpec(apps::AppMode::Locus);
+    const int middle = engine.submit(other);
+    const int last = engine.submit(cheapSpec()); // dup of first
+    EXPECT_TRUE(engine.cancel(middle));
+    EXPECT_FALSE(engine.cancel(middle)); // already cancelled
+    engine.run();
+
+    EXPECT_EQ(engine.result(first).status,
+              JobResult::Status::Completed);
+    EXPECT_EQ(engine.result(middle).status,
+              JobResult::Status::Cancelled);
+    EXPECT_EQ(engine.result(last).status,
+              JobResult::Status::Completed);
+    EXPECT_FALSE(engine.cancel(first)); // finished jobs stay put
+
+    obs::Json report = engine.serviceReportJson();
+    const obs::Json &jobs =
+        report.get("counters").get("svc").get("jobs");
+    EXPECT_EQ(jobs.get("cancelled").asUint(), 1u);
+    EXPECT_EQ(jobs.get("completed").asUint(), 2u);
+    EXPECT_EQ(jobs.get("simulated").asUint(), 1u);
+    EXPECT_EQ(jobs.get("cache_hits").asUint(), 1u);
+}
+
+TEST(JobEngine, ResultsDoNotDependOnWorkerCount)
+{
+    auto runBatch = [](int workers) {
+        EngineOptions options;
+        options.jobs = workers;
+        JobEngine engine(options);
+        std::vector<int> ids;
+        ids.push_back(engine.submit(cheapSpec()));
+        ids.push_back(
+            engine.submit(cheapSpec(apps::AppMode::Stitch)));
+        ids.push_back(engine.submit(cheapSpec())); // duplicate
+        JobSpec app2 = cheapSpec();
+        app2.app = "APP2-cnn";
+        ids.push_back(engine.submit(app2));
+        engine.run();
+        std::vector<std::pair<std::string, bool>> out;
+        for (int id : ids) {
+            const JobResult &r = engine.result(id);
+            out.emplace_back(r.report.dump() + r.derived.dump(),
+                             r.cached);
+        }
+        return out;
+    };
+    auto serial = runBatch(1);
+    auto threaded = runBatch(4);
+    EXPECT_EQ(serial, threaded);
+}
+
+TEST(JobEngine, InstructionBudgetMapsToInstructionLimit)
+{
+    JobEngine engine;
+    JobSpec spec = cheapSpec();
+    spec.maxInstructions = 500; // far too few to finish a sample
+    const int id = engine.submit(spec);
+    engine.run();
+    const JobResult &result = engine.result(id);
+    ASSERT_EQ(result.status, JobResult::Status::Completed);
+    EXPECT_EQ(result.derived.get("termination").asString(),
+              "instruction-limit");
+}
+
+TEST(JobEngine, WarmDiskCacheSimulatesNothing)
+{
+    const std::string dir = scratchDir("engine_disk");
+    EngineOptions options;
+    options.cacheDir = dir;
+    auto counters = [](JobEngine &engine) {
+        obs::Json report = engine.serviceReportJson();
+        const obs::Json &jobs =
+            report.get("counters").get("svc").get("jobs");
+        return std::make_pair(jobs.get("simulated").asUint(),
+                              jobs.get("cache_hits").asUint());
+    };
+    std::string coldReport;
+    {
+        JobEngine engine(options);
+        const int id = engine.submit(cheapSpec());
+        engine.run();
+        coldReport = engine.result(id).report.dump();
+        EXPECT_EQ(counters(engine),
+                  std::make_pair(std::uint64_t{1}, std::uint64_t{0}));
+    }
+    {
+        JobEngine engine(options); // fresh process, warm disk
+        const int id = engine.submit(cheapSpec());
+        engine.run();
+        EXPECT_TRUE(engine.result(id).cached);
+        EXPECT_EQ(engine.result(id).report.dump(), coldReport);
+        EXPECT_EQ(counters(engine),
+                  std::make_pair(std::uint64_t{0}, std::uint64_t{1}));
+    }
+}
+
+// ---------------------------------------------------------------- //
+// stitchd wire protocol
+
+TEST(Server, LocalhostRoundTrip)
+{
+    EngineOptions options;
+    JobEngine engine(options);
+    Server server(engine, /*port=*/0);
+    ASSERT_GT(server.port(), 0);
+    std::thread loop([&] { server.serve(/*maxRequests=*/3); });
+
+    obs::Json job = minimalJob();
+    job.set("mode", "baseline");
+    job.set("samples_short", 1);
+    job.set("samples_long", 2);
+
+    obs::Json first = requestReport("127.0.0.1", server.port(), job);
+    EXPECT_EQ(first.get("status").asString(), "ok");
+    EXPECT_FALSE(first.get("cached").asBool());
+    EXPECT_EQ(first.get("report").get("schema").asString(),
+              "stitch-run-report");
+
+    // The same job again: served from the engine's cache, same bytes.
+    obs::Json second = requestReport("127.0.0.1", server.port(), job);
+    EXPECT_TRUE(second.get("cached").asBool());
+    EXPECT_EQ(first.get("report").dump(),
+              second.get("report").dump());
+
+    // A malformed job document answers with a typed error, and the
+    // daemon keeps serving.
+    obs::Json bad = minimalJob("no-such-app");
+    obs::Json error = requestReport("127.0.0.1", server.port(), bad);
+    EXPECT_EQ(error.get("status").asString(), "error");
+    EXPECT_EQ(error.get("error_kind").asString(), "config");
+
+    loop.join();
+}
+
+// ---------------------------------------------------------------- //
+// artifact writers (obs::openArtifactFile hardening)
+
+TEST(ArtifactWriter, CreatesMissingParentDirectories)
+{
+    const std::string dir = scratchDir("artifacts");
+    const std::string path = dir + "/nested/deeper/report.json";
+    obs::Json doc = obs::Json::object();
+    doc.set("ok", true);
+    obs::writeJsonFile(path, doc);
+    ASSERT_TRUE(fs::exists(path));
+    EXPECT_TRUE(obs::Json::parse([&] {
+                    std::ifstream in(path);
+                    return std::string(
+                        (std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+                }()).get("ok").asBool());
+}
+
+TEST(ArtifactWriter, UnwritablePathThrowsTypedError)
+{
+    // A path that routes *through a regular file* cannot be created.
+    const std::string dir = scratchDir("unwritable");
+    fs::create_directories(dir);
+    std::ofstream(dir + "/file") << "x";
+    obs::Json doc = obs::Json::object();
+    EXPECT_THROW(
+        obs::writeJsonFile(dir + "/file/sub/report.json", doc),
+        fault::ConfigError);
+}
+
+} // namespace
+} // namespace stitch::svc

@@ -17,14 +17,14 @@
  */
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include "apps/app_runner.hh"
+#include "common/cli.hh"
 #include "obs/cli.hh"
 #include "prof/profile.hh"
 #include "prof/speedscope.hh"
-#include "sim/report.hh"
+#include "svc/artifacts.hh"
 
 using namespace stitch;
 
@@ -32,17 +32,16 @@ int
 main(int argc, char **argv)
 {
     obs::CliOptions obsOpts;
+    cli::CommonFlags common;
     std::string filter;
-    sim::SchedulerKind scheduler = sim::SchedulerKind::Slice;
     for (int i = 1; i < argc; ++i) {
-        constexpr const char *schedPrefix = "--scheduler=";
-        if (std::strncmp(argv[i], schedPrefix,
-                         std::strlen(schedPrefix)) == 0)
-            scheduler = sim::schedulerKindFromName(
-                argv[i] + std::strlen(schedPrefix));
-        else if (!obsOpts.parse(argv[i]))
+        if (!common.parse(argv[i]) && !obsOpts.parse(argv[i]))
             filter = argv[i];
     }
+    sim::SchedulerKind scheduler =
+        common.scheduler.empty()
+            ? sim::SchedulerKind::Slice
+            : sim::schedulerKindFromName(common.scheduler);
     obsOpts.begin();
 
     apps::AppRunner runner;
@@ -90,27 +89,20 @@ main(int argc, char **argv)
     if (last) {
         bool wantProfile =
             obsOpts.profile || !obsOpts.speedscopePath.empty();
-        prof::Profile profile;
-        if (wantProfile)
-            profile = prof::buildProfile(
-                last->stats, last->stageBindings,
-                static_cast<std::uint64_t>(last->samplesLong));
         if (!obsOpts.reportPath.empty()) {
-            auto doc = sim::runReport(last->stats);
-            if (!last->statsDump.isNull())
-                doc.set("stats", last->statsDump);
-            if (wantProfile) {
-                doc.set("profile", prof::profileJson(profile));
-                if (auto timeline = prof::samplerTimelineJson();
-                    !timeline.isNull())
-                    doc.set("profile_timeline", timeline);
-            }
-            obs::writeJsonFile(obsOpts.reportPath, doc);
+            svc::ReportOptions options;
+            options.profile = wantProfile;
+            obs::writeJsonFile(obsOpts.reportPath,
+                               svc::appReportJson(*last, options));
         }
         if (!obsOpts.statsPath.empty())
             obs::writeJsonFile(obsOpts.statsPath, last->statsDump);
         if (!obsOpts.speedscopePath.empty())
-            prof::writeSpeedscope(obsOpts.speedscopePath, profile);
+            prof::writeSpeedscope(
+                obsOpts.speedscopePath,
+                prof::buildProfile(
+                    last->stats, last->stageBindings,
+                    static_cast<std::uint64_t>(last->samplesLong)));
     }
     return 0;
 }

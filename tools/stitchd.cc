@@ -1,0 +1,141 @@
+/**
+ * @file
+ * stitchd — the simulation job engine behind a localhost TCP socket.
+ *
+ * Usage:
+ *   stitchd [--port=P] [--port-file=FILE] [--cache=DIR] [--jobs=N]
+ *           [--max-requests=N] [--verbose]
+ *   stitchd --send=HOST:PORT JOB.json
+ *
+ * Serving mode binds 127.0.0.1 (--port=0 picks a free port; the
+ * chosen one is printed and, with --port-file, written to FILE so
+ * scripts can discover it) and answers one length-prefixed stitch-job
+ * document per connection with a length-prefixed stitch-response.
+ * Identical jobs hit the engine's result cache, so a daemon with
+ * --cache=DIR amortizes simulations across every client.
+ *
+ * --send is the bundled client: submit one job file to a running
+ * daemon and print the response to stdout (exit 1 on a status:"error"
+ * response) — no second binary or python needed for scripting.
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "fault/fault.hh"
+#include "obs/json.hh"
+#include "obs/registry.hh"
+#include "svc/server.hh"
+
+using namespace stitch;
+
+namespace
+{
+
+int
+sendMode(const std::string &target, const std::string &jobPath)
+{
+    const auto colon = target.rfind(':');
+    if (colon == std::string::npos) {
+        std::fprintf(stderr,
+                     "stitchd: --send expects HOST:PORT, got %s\n",
+                     target.c_str());
+        return 2;
+    }
+    const std::string host = target.substr(0, colon);
+    const int port = std::atoi(target.c_str() + colon + 1);
+
+    std::FILE *f = std::fopen(jobPath.c_str(), "rb");
+    if (!f) {
+        std::fprintf(stderr, "stitchd: cannot open %s: %s\n",
+                     jobPath.c_str(), std::strerror(errno));
+        return 2;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    obs::Json response = svc::requestReport(
+        host, static_cast<std::uint16_t>(port),
+        obs::Json::parse(text));
+    std::printf("%s\n", response.dump(2).c_str());
+    return response.get("status").asString() == "ok" ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    cli::CommonFlags common;
+    std::string cacheDir, portFile, sendTarget, jobPath;
+    int port = 0, maxRequests = 0;
+    std::string value;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (common.parse(arg) ||
+            cli::keyedValue(arg, "--cache=", &cacheDir) ||
+            cli::keyedValue(arg, "--port-file=", &portFile) ||
+            cli::keyedValue(arg, "--send=", &sendTarget))
+            continue;
+        if (cli::keyedValue(arg, "--port=", &value)) {
+            port = std::atoi(value.c_str());
+            continue;
+        }
+        if (cli::keyedValue(arg, "--max-requests=", &value)) {
+            maxRequests = std::atoi(value.c_str());
+            continue;
+        }
+        if (std::strcmp(arg, "--verbose") == 0) {
+            obs::Registry::setVerbosity(Verbosity::Info);
+            continue;
+        }
+        if (arg[0] == '-') {
+            std::fprintf(stderr, "stitchd: unknown flag %s\n", arg);
+            return 2;
+        }
+        jobPath = arg;
+    }
+
+    try {
+        if (!sendTarget.empty()) {
+            if (jobPath.empty()) {
+                std::fprintf(stderr,
+                             "stitchd: --send needs a JOB.json\n");
+                return 2;
+            }
+            return sendMode(sendTarget, jobPath);
+        }
+
+        svc::EngineOptions options;
+        options.jobs = cli::resolveJobs(common.jobs);
+        options.cacheDir = cacheDir;
+        svc::JobEngine engine(options);
+        svc::Server server(engine,
+                           static_cast<std::uint16_t>(port));
+
+        std::printf("stitchd: listening on 127.0.0.1:%u\n",
+                    static_cast<unsigned>(server.port()));
+        std::fflush(stdout);
+        if (!portFile.empty()) {
+            std::FILE *f = obs::openArtifactFile(portFile);
+            std::fprintf(f, "%u\n",
+                         static_cast<unsigned>(server.port()));
+            std::fclose(f);
+        }
+
+        server.serve(maxRequests);
+        return 0;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "stitchd: %s\n", e.what());
+        return 2;
+    }
+}
