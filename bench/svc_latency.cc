@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Service-level latency bench: drives a 24-job batch through an
+ * in-process svc::JobEngine (telemetry on) and reports the end-to-end
+ * and per-stage latency quantiles plus the cache hit rate — the
+ * numbers the ROADMAP's stitchd-fleet decision is gated on.
+ *
+ * The batch mixes the four catalog apps across modes and repeats each
+ * spec, so the single-flight and cache paths are exercised alongside
+ * real simulations. Metrics land in the bench trajectory
+ * (BENCH_stitch.json) as *_p50_ms / *_p99_ms (up is worse), hit_rate
+ * (down is worse) and a batch throughput figure (down is worse) —
+ * names tools/report_diff already knows how to gate.
+ */
+
+#include <chrono>
+
+#include "bench_common.hh"
+#include "svc/engine.hh"
+
+using namespace stitch;
+using namespace stitch::bench;
+
+namespace
+{
+
+svc::JobSpec
+jobFor(const std::string &app, apps::AppMode mode, int samples)
+{
+    svc::JobSpec spec;
+    spec.app = app;
+    spec.mode = mode;
+    spec.samplesShort = 1;
+    spec.samplesLong = samples;
+    return spec;
+}
+
+double
+quantileMs(const obs::Json &latency, const char *stage,
+           const char *key)
+{
+    if (!latency.has(stage) || !latency.get(stage).has(key))
+        return 0.0;
+    return latency.get(stage).get(key).asDouble();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    initObs(argc, argv);
+    printHeader("svc-latency",
+                "24-job engine batch: stage quantiles + cache rate");
+
+    svc::EngineOptions options;
+    options.jobs = jobsFlag();
+    options.telemetry = true;
+    svc::JobEngine engine(options);
+
+    // 12 distinct specs, each submitted twice: the second submission
+    // of every pair must complete from cache, pinning hit_rate at
+    // 0.5 while the quantiles track the simulated half.
+    const std::string appNames[] = {"APP1-gesture", "APP2-cnn",
+                                    "APP3-svm-enc",
+                                    "APP4-transport"};
+    const apps::AppMode modes[] = {apps::AppMode::Baseline,
+                                   apps::AppMode::Locus,
+                                   apps::AppMode::Stitch};
+    const auto wallStart = std::chrono::steady_clock::now();
+    for (int round = 0; round < 2; ++round)
+        for (const auto &app : appNames)
+            for (const auto mode : modes)
+                engine.submit(jobFor(app, mode, 2));
+    engine.run();
+    const double wallS =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wallStart)
+            .count();
+
+    const obs::Json report = engine.serviceReportJson();
+    const obs::Json &latency = report.get("latency");
+    const double hitRate = engine.cache().stats().hitRate();
+    const double throughput =
+        wallS > 0 ? static_cast<double>(engine.jobCount()) / wallS
+                  : 0.0;
+
+    TextTable table({"stage", "count", "p50ms", "p99ms", "maxms"});
+    for (const auto &[stage, hist] : latency.items())
+        table.addRow({stage,
+                      std::to_string(hist.get("count").asUint()),
+                      strformat("%.2f",
+                                hist.get("p50_ms").asDouble()),
+                      strformat("%.2f",
+                                hist.get("p99_ms").asDouble()),
+                      strformat("%.2f",
+                                hist.get("max_ms").asDouble())});
+    table.print();
+    std::printf("\ncache hit rate %.2f, %.1f jobs/s end to end\n",
+                hitRate, throughput);
+
+    recordMetric("e2e_p50_ms", quantileMs(latency, "e2e", "p50_ms"));
+    recordMetric("e2e_p99_ms", quantileMs(latency, "e2e", "p99_ms"));
+    recordMetric("queue_p99_ms",
+                 quantileMs(latency, "queue", "p99_ms"));
+    recordMetric("simulate_p50_ms",
+                 quantileMs(latency, "simulate", "p50_ms"));
+    recordMetric("simulate_p99_ms",
+                 quantileMs(latency, "simulate", "p99_ms"));
+    recordMetric("hit_rate", hitRate);
+    recordMetric("batch_throughput_jobs_s", throughput);
+    return 0;
+}

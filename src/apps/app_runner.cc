@@ -88,14 +88,17 @@ AppRunner::run(const AppSpec &app, AppMode mode,
     // Compile every stage (cached across stages and apps).
     std::vector<const compiler::CompiledKernel *> compiled;
     std::vector<kernels::PipelineShape> shapes;
-    for (int k = 0; k < stages; ++k) {
-        kernels::PipelineShape shape;
-        shape.numIn = app.inDegree(k);
-        shape.numOut = app.outDegree(k);
-        shapes.push_back(shape);
-        compiled.push_back(
-            &compiledFor(app.stageKernels[static_cast<std::size_t>(k)],
-                         shape));
+    {
+        telem::ScopedSpan span(config.trace, telem::Stage::Compile);
+        for (int k = 0; k < stages; ++k) {
+            kernels::PipelineShape shape;
+            shape.numIn = app.inDegree(k);
+            shape.numOut = app.outDegree(k);
+            shapes.push_back(shape);
+            compiled.push_back(&compiledFor(
+                app.stageKernels[static_cast<std::size_t>(k)],
+                shape));
+        }
     }
 
     // Decide placements and per-stage binaries.
@@ -167,8 +170,12 @@ AppRunner::run(const AppSpec &app, AppMode mode,
         stitchOpts.allowFusion = mode == AppMode::Stitch;
         stitchOpts.policy = config.policy;
         sysParams.arch = config.arch;
-        result.plan = compiler::stitchApplication(
-            profiles, sysParams.arch, config.health, stitchOpts);
+        {
+            telem::ScopedSpan span(config.trace,
+                                   telem::Stage::Stitch);
+            result.plan = compiler::stitchApplication(
+                profiles, sysParams.arch, config.health, stitchOpts);
+        }
         result.hasPlan = true;
 
         for (int k = 0; k < stages; ++k) {
@@ -254,8 +261,10 @@ AppRunner::run(const AppSpec &app, AppMode mode,
                 k),
             tileOf[static_cast<std::size_t>(k)]);
 
+    telem::ScopedSpan simSpan(config.trace, telem::Stage::Simulate);
     sim::RunStats shortRun = simulate(samplesShort, nullptr);
     result.stats = simulate(samplesLong, &result.statsDump);
+    simSpan.close();
     if (shortRun.termination == fault::Termination::Completed &&
         result.stats.termination == fault::Termination::Completed) {
         result.marginalCycles =

@@ -22,6 +22,7 @@
 #include "kernels/catalog.hh"
 #include "obs/json.hh"
 #include "sim/system.hh"
+#include "telem/span.hh"
 
 namespace stitch::apps
 {
@@ -105,6 +106,15 @@ struct RunConfig
      */
     int samplesShort = 0;
     int samplesLong = 0;
+
+    /**
+     * Request-scoped telemetry context (svc::JobEngine sets it when
+     * telemetry is on). The runner records compile/stitch/simulate
+     * spans through it — at *stage* granularity, never inside the
+     * simulator hot loop. The default disabled context costs one
+     * branch per stage; not part of the cache identity.
+     */
+    telem::TraceContext trace;
 };
 
 /** Compiles, stitches, places, and simulates applications. */

@@ -69,6 +69,7 @@ Tracer::emitHeader()
     metadata(pidTiles, 0, "process_name", "tiles");
     metadata(pidNoc, 0, "process_name", "noc");
     metadata(pidSnoc, 0, "process_name", "snoc");
+    metadata(pidSvc, 0, "process_name", "svc");
     for (TileId t = 0; t < numTiles; ++t) {
         metadata(pidTiles, t, "thread_name", strformat("tile%d", t));
         metadata(pidNoc, t, "thread_name",
@@ -76,6 +77,14 @@ Tracer::emitHeader()
         metadata(pidSnoc, t, "thread_name",
                  strformat("patch%d", t));
     }
+}
+
+void
+Tracer::nameTrack(int pid, int tid, const std::string &name)
+{
+    if (!enabledFlag_)
+        return;
+    metadata(pid, tid, "thread_name", name);
 }
 
 void

@@ -40,6 +40,9 @@ class Tracer
     static constexpr int pidTiles = 1;
     static constexpr int pidNoc = 2;
     static constexpr int pidSnoc = 3;
+    /** Service-layer job spans (telem::SpanSink exports); ts is wall
+     *  microseconds here, not simulated cycles. */
+    static constexpr int pidSvc = 4;
 
     /** One small integer event argument. */
     struct Arg
@@ -76,6 +79,10 @@ class Tracer
     /** Zero-duration marker. */
     void instant(int pid, int tid, const char *name, Cycles ts,
                  std::initializer_list<Arg> args = {});
+
+    /** Name a (pid, tid) lane — dynamic tracks (e.g. one lane per
+     *  service job) whose count the header cannot know up front. */
+    void nameTrack(int pid, int tid, const std::string &name);
 
     std::uint64_t eventCount() const { return events_; }
 

@@ -44,12 +44,15 @@ ResultCache::memInsert(const std::string &key,
     while (lru_.size() > memEntries_) {
         index_.erase(lru_.back().key);
         lru_.pop_back();
+        ++stats_.evictions;
     }
 }
 
 std::optional<CacheEntry>
-ResultCache::memLookup(const std::string &key)
+ResultCache::memLookup(const std::string &key,
+                       const telem::TraceContext &trace)
 {
+    telem::ScopedSpan span(trace, telem::Stage::CacheProbe);
     std::lock_guard<std::mutex> lock(mutex_);
     if (auto it = index_.find(key); it != index_.end()) {
         // Refresh recency.
@@ -61,8 +64,10 @@ ResultCache::memLookup(const std::string &key)
 }
 
 std::optional<CacheEntry>
-ResultCache::diskLookup(const JobSpec &spec)
+ResultCache::diskLookup(const JobSpec &spec,
+                        const telem::TraceContext &trace)
 {
+    telem::ScopedSpan span(trace, telem::Stage::CacheProbe);
     if (!diskEnabled()) {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.misses;
@@ -129,11 +134,12 @@ ResultCache::diskLookup(const JobSpec &spec)
 }
 
 std::optional<CacheEntry>
-ResultCache::lookup(const JobSpec &spec)
+ResultCache::lookup(const JobSpec &spec,
+                    const telem::TraceContext &trace)
 {
-    if (auto hit = memLookup(spec.cacheKey()))
+    if (auto hit = memLookup(spec.cacheKey(), trace))
         return hit;
-    return diskLookup(spec);
+    return diskLookup(spec, trace);
 }
 
 void
@@ -156,6 +162,17 @@ ResultCache::store(const JobSpec &spec, const CacheEntry &entry)
     doc.set("report", entry.report);
     doc.set("derived", entry.derived);
     obs::writeJsonFile(diskPath(key), doc); // creates dir_, typed err
+}
+
+double
+ResultCache::Stats::hitRate() const
+{
+    const std::uint64_t hits = memHits + diskHits;
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(hits) /
+                     static_cast<double>(lookups);
 }
 
 ResultCache::Stats

@@ -29,6 +29,7 @@
 
 #include "obs/json.hh"
 #include "svc/job.hh"
+#include "telem/span.hh"
 
 namespace stitch::svc
 {
@@ -69,18 +70,26 @@ class ResultCache
     explicit ResultCache(std::string dir = "",
                          std::size_t memEntries = 256);
 
-    /** Probe the memory layer only (refreshes recency). */
-    std::optional<CacheEntry> memLookup(const std::string &key);
+    /** Probe the memory layer only (refreshes recency). A live
+     *  `trace` context records the probe as a cache_probe span. */
+    std::optional<CacheEntry>
+    memLookup(const std::string &key,
+              const telem::TraceContext &trace = {});
 
     /**
      * Probe the disk layer (verifying stamp and spec echo; a hit is
      * promoted into memory). File I/O and JSON parsing happen here —
-     * call without holding external locks.
+     * call without holding external locks. A live `trace` context
+     * records the probe as a cache_probe span.
      */
-    std::optional<CacheEntry> diskLookup(const JobSpec &spec);
+    std::optional<CacheEntry>
+    diskLookup(const JobSpec &spec,
+               const telem::TraceContext &trace = {});
 
     /** memLookup then diskLookup — the simple client entry point. */
-    std::optional<CacheEntry> lookup(const JobSpec &spec);
+    std::optional<CacheEntry>
+    lookup(const JobSpec &spec,
+           const telem::TraceContext &trace = {});
 
     /** Store the outcome of `spec` in every enabled layer. */
     void store(const JobSpec &spec, const CacheEntry &entry);
@@ -98,6 +107,10 @@ class ResultCache
         std::uint64_t misses = 0;
         std::uint64_t stores = 0;
         std::uint64_t invalidated = 0; ///< stale stamp / bad echo
+        std::uint64_t evictions = 0;   ///< LRU capacity evictions
+
+        /** Hits over lookups (memory + disk), in [0, 1]. */
+        double hitRate() const;
     };
     Stats stats() const;
 

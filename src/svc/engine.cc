@@ -11,8 +11,6 @@
 namespace stitch::svc
 {
 
-using Clock = std::chrono::steady_clock;
-
 const char *
 jobStatusName(JobResult::Status status)
 {
@@ -30,6 +28,16 @@ JobEngine::JobEngine(const EngineOptions &options)
     : options_(options),
       cache_(options.cacheDir, options.memCacheEntries)
 {
+    // Trace ids must be unique within the engine (splitmix64 over the
+    // job index guarantees that) and unlikely to collide across
+    // engines; fold the wall clock in for the latter.
+    traceSeed_ = telem::traceIdFor(
+        static_cast<std::uint64_t>(
+            std::chrono::system_clock::now()
+                .time_since_epoch()
+                .count()),
+        reinterpret_cast<std::uintptr_t>(this));
+
     registry_.add("svc.jobs", jobStats_);
     registry_.add("svc.cache", cacheStats_);
     registry_.add("svc.queue", queueStats_);
@@ -48,19 +56,43 @@ JobEngine::JobEngine(const EngineOptions &options)
 
 JobEngine::~JobEngine() = default;
 
+telem::TraceContext
+JobEngine::contextFor(const Job &job, int worker) const
+{
+    telem::TraceContext ctx;
+    ctx.traceId = job.result.traceId;
+    ctx.jobId = job.id;
+    ctx.worker = worker;
+    ctx.sink = options_.telemetry
+                   ? const_cast<telem::SpanSink *>(&spanSink_)
+                   : nullptr;
+    return ctx;
+}
+
 int
 JobEngine::submit(const JobSpec &spec)
 {
+    const std::uint64_t t0 = spanSink_.nowUs();
     spec.validate();
     const std::string key = spec.cacheKey();
 
     std::lock_guard<std::mutex> lock(mutex_);
     const int id = static_cast<int>(jobs_.size());
     auto job = std::make_unique<Job>();
+    job->id = id;
     job->spec = spec;
     job->result.key = key;
+    job->result.traceId =
+        telem::traceIdFor(traceSeed_,
+                          static_cast<std::uint64_t>(id));
+    job->submitUs = spanSink_.nowUs();
+    if (options_.telemetry)
+        spanSink_.record({job->result.traceId, id,
+                          telem::Stage::Submit, t0, job->submitUs,
+                          /*worker=*/-1});
     jobs_.push_back(std::move(job));
     queue_.push({spec.priority, -id});
+    ++pendingPerBand_[spec.priority];
     jobStats_.inc("submitted");
     queueStats_.set("peak_depth",
                     std::max<std::uint64_t>(
@@ -80,21 +112,41 @@ JobEngine::cancel(int id)
     std::lock_guard<std::mutex> lock(mutex_);
     if (id < 0 || id >= static_cast<int>(jobs_.size()))
         return false;
-    JobResult &result = jobs_[static_cast<std::size_t>(id)]->result;
-    if (result.status != JobResult::Status::Pending)
+    Job &job = *jobs_[static_cast<std::size_t>(id)];
+    if (job.result.status != JobResult::Status::Pending)
         return false;
-    result.status = JobResult::Status::Cancelled;
+    job.result.status = JobResult::Status::Cancelled;
+    if (auto it = pendingPerBand_.find(job.spec.priority);
+        it != pendingPerBand_.end() && --it->second <= 0)
+        pendingPerBand_.erase(it);
     jobStats_.inc("cancelled");
     return true;
 }
 
 void
-JobEngine::recordLatency(JobResult &result, Clock::time_point t0)
+JobEngine::recordLatency(Job &job, std::uint64_t finishUs)
 {
-    const double ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - t0)
-            .count();
-    result.latencyMs = ms;
+    JobResult &result = job.result;
+    result.latencyMs =
+        static_cast<double>(finishUs - job.claimUs) / 1000.0;
+    result.queueMs =
+        static_cast<double>(job.claimUs - job.submitUs) / 1000.0;
+    result.e2eMs =
+        static_cast<double>(finishUs - job.submitUs) / 1000.0;
+
+    using telem::Stage;
+    stageHist_[static_cast<int>(Stage::Queue)].record(job.claimUs -
+                                                      job.submitUs);
+    stageHist_[static_cast<int>(Stage::Job)].record(finishUs -
+                                                    job.submitUs);
+    if (cache_.enabled())
+        stageHist_[static_cast<int>(Stage::CacheProbe)].record(
+            job.probeUs);
+    if (job.reportUs > 0)
+        stageHist_[static_cast<int>(Stage::Report)].record(
+            job.reportUs);
+
+    const double ms = result.latencyMs;
     const char *bucket = ms <= 1.0      ? "le_1ms"
                          : ms <= 10.0   ? "le_10ms"
                          : ms <= 100.0  ? "le_100ms"
@@ -106,37 +158,50 @@ JobEngine::recordLatency(JobResult &result, Clock::time_point t0)
 
 void
 JobEngine::finishCompleted(Job &job, const CacheEntry &entry,
-                           bool cached, Clock::time_point t0)
+                           bool cached)
 {
     job.result.report = entry.report;
     job.result.derived = entry.derived;
     job.result.cached = cached;
     job.result.status = JobResult::Status::Completed;
+    --runningJobs_;
     jobStats_.inc("completed");
     jobStats_.inc(cached ? "cache_hits" : "simulated");
-    recordLatency(job.result, t0);
+    recordLatency(job, spanSink_.nowUs());
 }
 
 void
 JobEngine::finishFailed(Job &job, const std::string &kind,
-                        const std::string &message,
-                        Clock::time_point t0)
+                        const std::string &message)
 {
     job.result.error = message;
     job.result.errorKind = kind;
     job.result.status = JobResult::Status::Failed;
+    --runningJobs_;
     jobStats_.inc("failed");
-    recordLatency(job.result, t0);
+    const std::uint64_t finishUs = spanSink_.nowUs();
+    recordLatency(job, finishUs);
+
+    ErrorRecord record;
+    record.jobId = job.id;
+    record.traceId = job.result.traceId;
+    record.kind = kind;
+    record.error = message;
+    record.atMs = static_cast<double>(finishUs) / 1000.0;
+    errorRing_.push_back(std::move(record));
+    while (errorRing_.size() > options_.errorRingEntries)
+        errorRing_.pop_front();
 }
 
 bool
-JobEngine::claimAndRunOne()
+JobEngine::claimAndRunOne(int worker)
 {
     Job *claimed = nullptr;
-    const auto t0 = Clock::now();
+    telem::TraceContext ctx;
 
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        const std::uint64_t claimStart = spanSink_.nowUs();
         while (!queue_.empty()) {
             const int id = -queue_.top().second;
             queue_.pop();
@@ -151,13 +216,29 @@ JobEngine::claimAndRunOne()
 
         Job &job = *claimed;
         job.result.status = JobResult::Status::Running;
+        job.claimUs = spanSink_.nowUs();
+        ++runningJobs_;
+        if (auto it = pendingPerBand_.find(job.spec.priority);
+            it != pendingPerBand_.end() && --it->second <= 0)
+            pendingPerBand_.erase(it);
+
+        ctx = contextFor(job, worker);
+        // The queue span closes the moment a worker picks the job up.
+        ctx.record(telem::Stage::Queue, job.submitUs, job.claimUs);
 
         if (cache_.memEnabled() || cache_.diskEnabled()) {
             // Resolve against the cache inside the claim critical
             // section: attribution (hit vs simulate) becomes a pure
             // function of submit order, independent of worker count.
-            if (auto hit = cache_.memLookup(job.result.key)) {
-                finishCompleted(job, *hit, /*cached=*/true, t0);
+            const std::uint64_t probeStart = spanSink_.nowUs();
+            auto hit = cache_.memLookup(job.result.key, ctx);
+            job.probeUs = spanSink_.nowUs() - probeStart;
+            if (hit) {
+                finishCompleted(job, *hit, /*cached=*/true);
+                ctx.record(telem::Stage::Claim, claimStart,
+                           spanSink_.nowUs());
+                ctx.record(telem::Stage::Job, job.submitUs,
+                           spanSink_.nowUs());
                 return true;
             }
             if (auto it = inflight_.find(job.result.key);
@@ -169,6 +250,8 @@ JobEngine::claimAndRunOne()
                 inflight_[job.result.key] = job.flight;
             }
         }
+        ctx.record(telem::Stage::Claim, claimStart,
+                   spanSink_.nowUs());
     }
 
     Job &job = *claimed;
@@ -187,9 +270,11 @@ JobEngine::claimAndRunOne()
 
         std::lock_guard<std::mutex> lock(mutex_);
         if (failed)
-            finishFailed(job, kind, error, t0);
+            finishFailed(job, kind, error);
         else
-            finishCompleted(job, entry, /*cached=*/true, t0);
+            finishCompleted(job, entry, /*cached=*/true);
+        ctx.record(telem::Stage::Job, job.submitUs,
+                   spanSink_.nowUs());
         return true;
     }
 
@@ -199,7 +284,10 @@ JobEngine::claimAndRunOne()
     bool fromDisk = false;
     std::string error, kind;
     if (job.flightOwner) {
-        if (auto hit = cache_.diskLookup(job.spec)) {
+        const std::uint64_t probeStart = spanSink_.nowUs();
+        auto hit = cache_.diskLookup(job.spec, ctx);
+        job.probeUs += spanSink_.nowUs() - probeStart;
+        if (hit) {
             entry = *hit;
             fromDisk = true;
         }
@@ -207,15 +295,22 @@ JobEngine::claimAndRunOne()
     if (!fromDisk) {
         try {
             const apps::AppSpec &app = job.spec.resolveApp();
+            apps::RunConfig runConfig = job.spec.runConfig();
+            runConfig.trace = ctx;
             apps::AppRunResult res =
-                runner_.run(app, job.spec.mode, job.spec.runConfig());
-            ReportOptions reportOptions;
-            reportOptions.profile = job.spec.artifacts.profile;
-            reportOptions.energy = job.spec.artifacts.energy;
-            entry.report = appReportJson(res, reportOptions);
-            entry.derived = derivedJson(res);
-            if (cache_.memEnabled() || cache_.diskEnabled())
-                cache_.store(job.spec, entry);
+                runner_.run(app, job.spec.mode, runConfig);
+            const std::uint64_t reportStart = spanSink_.nowUs();
+            {
+                telem::ScopedSpan span(ctx, telem::Stage::Report);
+                ReportOptions reportOptions;
+                reportOptions.profile = job.spec.artifacts.profile;
+                reportOptions.energy = job.spec.artifacts.energy;
+                entry.report = appReportJson(res, reportOptions);
+                entry.derived = derivedJson(res);
+                if (cache_.memEnabled() || cache_.diskEnabled())
+                    cache_.store(job.spec, entry);
+            }
+            job.reportUs = spanSink_.nowUs() - reportStart;
         } catch (const fault::ConfigError &e) {
             failed = true;
             kind = "config";
@@ -238,10 +333,11 @@ JobEngine::claimAndRunOne()
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (failed)
-            finishFailed(job, kind, error, t0);
+            finishFailed(job, kind, error);
         else
-            finishCompleted(job, entry, /*cached=*/fromDisk, t0);
+            finishCompleted(job, entry, /*cached=*/fromDisk);
     }
+    ctx.record(telem::Stage::Job, job.submitUs, spanSink_.nowUs());
 
     if (job.flightOwner) {
         {
@@ -284,15 +380,15 @@ JobEngine::run()
     workers = std::min<int>(workers, static_cast<int>(pending));
 
     if (workers <= 1) {
-        while (claimAndRunOne()) {}
+        while (claimAndRunOne(/*worker=*/0)) {}
         return;
     }
 
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(workers));
     for (int w = 0; w < workers; ++w)
-        pool.emplace_back([this] {
-            while (claimAndRunOne()) {}
+        pool.emplace_back([this, w] {
+            while (claimAndRunOne(w)) {}
         });
     for (auto &t : pool)
         t.join();
@@ -319,6 +415,68 @@ JobEngine::result(int id) const
     return jobs_.at(static_cast<std::size_t>(id))->result;
 }
 
+telem::TraceContext
+JobEngine::traceContext(int id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    telem::TraceContext ctx;
+    if (id < 0 || id >= static_cast<int>(jobs_.size()))
+        return ctx;
+    ctx.traceId =
+        jobs_[static_cast<std::size_t>(id)]->result.traceId;
+    ctx.jobId = id;
+    ctx.sink = options_.telemetry
+                   ? const_cast<telem::SpanSink *>(&spanSink_)
+                   : nullptr;
+    return ctx;
+}
+
+obs::Json
+JobEngine::latencyJson(bool includeSpanStages) const
+{
+    using telem::Stage;
+    // compile/stitch/simulate happen inside AppRunner and reach the
+    // engine only as spans; rebuild their histograms from the sink.
+    telem::Histogram fromSpans[telem::numStages];
+    if (includeSpanStages)
+        for (const telem::Span &span : spanSink_.snapshot())
+            switch (span.stage) {
+            case Stage::Compile:
+            case Stage::Stitch:
+            case Stage::Simulate:
+            case Stage::Respond:
+                fromSpans[static_cast<int>(span.stage)].record(
+                    span.durationUs());
+                break;
+            default:
+                break;
+            }
+
+    obs::Json doc = obs::Json::object();
+    auto add = [&](Stage stage, const telem::Histogram &hist,
+                   const char *label = nullptr) {
+        if (hist.count() == 0 && stage != Stage::Queue &&
+            stage != Stage::Job)
+            return; // quiet stages only pad the document
+        doc.set(label ? label : telem::stageName(stage),
+                hist.toJson());
+    };
+    add(Stage::Queue, stageHist_[static_cast<int>(Stage::Queue)]);
+    add(Stage::CacheProbe,
+        stageHist_[static_cast<int>(Stage::CacheProbe)]);
+    add(Stage::Compile,
+        fromSpans[static_cast<int>(Stage::Compile)]);
+    add(Stage::Stitch, fromSpans[static_cast<int>(Stage::Stitch)]);
+    add(Stage::Simulate,
+        fromSpans[static_cast<int>(Stage::Simulate)]);
+    add(Stage::Report, stageHist_[static_cast<int>(Stage::Report)]);
+    add(Stage::Respond,
+        fromSpans[static_cast<int>(Stage::Respond)]);
+    add(Stage::Job, stageHist_[static_cast<int>(Stage::Job)],
+        "e2e");
+    return doc;
+}
+
 obs::Json
 JobEngine::serviceReportJson() const
 {
@@ -331,13 +489,69 @@ JobEngine::serviceReportJson() const
     cacheStats_.set("misses", cs.misses);
     cacheStats_.set("stores", cs.stores);
     cacheStats_.set("invalidated", cs.invalidated);
+    cacheStats_.set("evictions", cs.evictions);
     queueStats_.set("depth", queue_.size());
 
     obs::Json doc = obs::Json::object();
     doc.set("schema", serviceReportSchema);
     doc.set("version", serviceReportVersion);
     doc.set("jobs", static_cast<std::uint64_t>(jobs_.size()));
+    doc.set("telemetry", options_.telemetry);
     doc.set("counters", registry_.toJson(/*skipZero=*/false));
+    doc.set("latency", latencyJson(options_.telemetry));
+    if (options_.telemetry)
+        doc.set("spans", spanSink_.rollupJson());
+    return doc;
+}
+
+obs::Json
+JobEngine::introspectionJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    obs::Json doc = obs::Json::object();
+    std::uint64_t depth = 0;
+    obs::Json bands = obs::Json::object();
+    for (const auto &[priority, count] : pendingPerBand_) {
+        depth += static_cast<std::uint64_t>(count);
+        bands.set(std::to_string(priority), count);
+    }
+    doc.set("queue_depth", depth);
+    doc.set("in_flight",
+            static_cast<std::uint64_t>(runningJobs_));
+    doc.set("per_band_backlog", std::move(bands));
+
+    obs::Json jobs = obs::Json::object();
+    for (const char *name :
+         {"submitted", "completed", "failed", "cancelled",
+          "cache_hits", "simulated"})
+        jobs.set(name, jobStats_.get(name));
+    doc.set("jobs", std::move(jobs));
+
+    const ResultCache::Stats cs = cache_.stats();
+    obs::Json cache = obs::Json::object();
+    cache.set("mem_hits", cs.memHits);
+    cache.set("disk_hits", cs.diskHits);
+    cache.set("misses", cs.misses);
+    cache.set("stores", cs.stores);
+    cache.set("invalidated", cs.invalidated);
+    cache.set("evictions", cs.evictions);
+    cache.set("hit_rate", cs.hitRate());
+    doc.set("cache", std::move(cache));
+
+    doc.set("latency", latencyJson(options_.telemetry));
+
+    obs::Json errors = obs::Json::array();
+    for (const ErrorRecord &record : errorRing_) {
+        obs::Json entry = obs::Json::object();
+        entry.set("job", record.jobId);
+        entry.set("trace_id", telem::traceIdHex(record.traceId));
+        entry.set("kind", record.kind);
+        entry.set("error", record.error);
+        entry.set("at_ms", record.atMs);
+        errors.push(std::move(entry));
+    }
+    doc.set("errors", std::move(errors));
     return doc;
 }
 

@@ -21,6 +21,18 @@
  * mixed batch reports per-job outcomes. A job "timeout" is the
  * spec's max_instructions budget — it ends in a *completed* report
  * with Termination::InstructionLimit, never a worker hang.
+ *
+ * Telemetry (src/telem/) sits at job granularity, never inside the
+ * simulator: every job gets a splitmix64 trace id at submit and the
+ * engine always timestamps submit/claim/finish, feeding log-linear
+ * latency histograms (queue wait, cache probe, report build,
+ * end-to-end) that serviceReportJson() summarizes as exact
+ * p50/p90/p99/max. With EngineOptions::telemetry on, the stages are
+ * additionally recorded as typed spans through a telem::SpanSink —
+ * propagated by explicit TraceContext through workers, the
+ * ResultCache and AppRunner — exportable per batch as a Chrome trace
+ * and a JSONL event log. With telemetry off nothing observable
+ * changes: per-job reports are byte-identical either way.
  */
 
 #ifndef STITCH_SVC_ENGINE_HH
@@ -29,6 +41,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -42,13 +55,17 @@
 #include "obs/registry.hh"
 #include "svc/cache.hh"
 #include "svc/job.hh"
+#include "telem/histogram.hh"
+#include "telem/span.hh"
 
 namespace stitch::svc
 {
 
 inline constexpr const char *serviceReportSchema =
     "stitch-service-report";
-inline constexpr int serviceReportVersion = 1;
+/** v2: latency histogram section (per-stage p50/p90/p99/max) and,
+ *  with telemetry on, the span rollup. v1 carried counters only. */
+inline constexpr int serviceReportVersion = 2;
 
 /** Engine construction knobs. */
 struct EngineOptions
@@ -63,6 +80,14 @@ struct EngineOptions
     /** In-memory LRU capacity; 0 disables the memory layer (every
      *  submission simulates — useful for measurement harnesses). */
     std::size_t memCacheEntries = 256;
+
+    /** Collect request-scoped spans (trace ids are assigned and the
+     *  latency histograms fill either way; this gates only the span
+     *  sink and its exports). */
+    bool telemetry = false;
+
+    /** Failed-job ring buffer depth for live introspection. */
+    std::size_t errorRingEntries = 32;
 };
 
 /** Outcome of one submitted job. */
@@ -88,10 +113,24 @@ struct JobResult
     std::string errorKind; ///< config|mismatch|sim|internal
     obs::Json report;      ///< svc::appReportJson document
     obs::Json derived;     ///< svc::derivedJson scalars
-    double latencyMs = 0;  ///< claim-to-finish wall time
+
+    std::uint64_t traceId = 0; ///< request-scoped id, set at submit
+    double latencyMs = 0;      ///< claim-to-finish wall time
+    double queueMs = 0;        ///< submit-to-claim wall time
+    double e2eMs = 0;          ///< submit-to-finish wall time
 };
 
 const char *jobStatusName(JobResult::Status status);
+
+/** One entry of the failed-job ring buffer (live introspection). */
+struct ErrorRecord
+{
+    int jobId = -1;
+    std::uint64_t traceId = 0;
+    std::string kind;
+    std::string error;
+    double atMs = 0; ///< ms since engine construction
+};
 
 /** Priority job queue + worker pool over one shared AppRunner and
  *  ResultCache (see the file comment). */
@@ -134,16 +173,36 @@ class JobEngine
     const EngineOptions &options() const { return options_; }
 
     /**
-     * The service-level counters as a versioned document:
+     * The service-level counters as a versioned document (v2):
      * submitted/completed/failed/cancelled, cache attribution
-     * (cache_hits vs simulated), queue depth, and claim-to-finish
-     * latency buckets.
+     * (cache_hits vs simulated), queue depth, the per-stage latency
+     * histograms (queue / cache_probe / compile / stitch / simulate /
+     * report / e2e with p50/p90/p99/max) and — with telemetry on —
+     * the span rollup.
      */
     obs::Json serviceReportJson() const;
+
+    /**
+     * Live state for the introspection endpoints: queue depth,
+     * in-flight jobs, per-priority-band backlog, cache hit/miss/evict
+     * rates and the last-N failed-job ring buffer.
+     */
+    obs::Json introspectionJson() const;
 
     /** The engine's counter registry (svc.jobs, svc.cache, svc.queue,
      *  svc.latency) for embedding in larger dumps. */
     const obs::Registry &registry() const { return registry_; }
+
+    /** True when request-scoped span collection is on. */
+    bool telemetryEnabled() const { return options_.telemetry; }
+
+    /** The span sink (empty unless telemetry is enabled). */
+    const telem::SpanSink &spanSink() const { return spanSink_; }
+
+    /** Context for recording engine-adjacent spans (e.g. stitchd's
+     *  respond stage) against job `id`; disabled when telemetry is
+     *  off or the id is unknown. */
+    telem::TraceContext traceContext(int id) const;
 
   private:
     /** Coalescing point for identical in-flight specs: the claim
@@ -161,21 +220,28 @@ class JobEngine
 
     struct Job
     {
+        int id = -1; ///< dense index into jobs_
         JobSpec spec;
         JobResult result;
         std::shared_ptr<Flight> flight; ///< set at claim time
         bool flightOwner = false;
+
+        std::uint64_t submitUs = 0; ///< enqueue time (sink epoch)
+        std::uint64_t claimUs = 0;  ///< worker claim time
+        /** Worker-measured stage durations folded into the latency
+         *  histograms at finish (µs). */
+        std::uint64_t probeUs = 0;
+        std::uint64_t reportUs = 0;
     };
 
-    bool claimAndRunOne();
+    bool claimAndRunOne(int worker);
     void finishCompleted(Job &job, const CacheEntry &entry,
-                         bool cached,
-                         std::chrono::steady_clock::time_point t0);
+                         bool cached);
     void finishFailed(Job &job, const std::string &kind,
-                      const std::string &message,
-                      std::chrono::steady_clock::time_point t0);
-    void recordLatency(JobResult &result,
-                       std::chrono::steady_clock::time_point t0);
+                      const std::string &message);
+    void recordLatency(Job &job, std::uint64_t finishUs);
+    telem::TraceContext contextFor(const Job &job, int worker) const;
+    obs::Json latencyJson(bool includeSpanStages) const;
 
     EngineOptions options_;
     ResultCache cache_;
@@ -189,6 +255,23 @@ class JobEngine
 
     /** cacheKey -> in-flight simulation for single-flight dedup. */
     std::map<std::string, std::shared_ptr<Flight>> inflight_;
+
+    /** priority -> still-pending jobs (live per-band backlog). */
+    std::map<int, int, std::greater<int>> pendingPerBand_;
+    int runningJobs_ = 0;
+
+    /** Engine-recorded latency histograms, guarded by mutex_:
+     *  indexed by telem::Stage (queue, cache_probe, report, job). */
+    telem::Histogram stageHist_[telem::numStages];
+
+    /** Last-N failed jobs, oldest first (guarded by mutex_). */
+    std::deque<ErrorRecord> errorRing_;
+
+    /** Span store + the wall-clock epoch all timestamps share. The
+     *  sink always exists (it is the clock); spans are appended only
+     *  when options_.telemetry is set. */
+    telem::SpanSink spanSink_;
+    std::uint64_t traceSeed_ = 0;
 
     StatGroup jobStats_; ///< svc.jobs
     /** svc.cache / svc.queue: refreshed from live state inside the

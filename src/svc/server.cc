@@ -92,9 +92,12 @@ errorResponse(const std::string &kind, const std::string &message)
 } // namespace
 
 obs::Json
-handleRequest(JobEngine &engine, const obs::Json &jobDoc)
+handleRequest(JobEngine &engine, const obs::Json &jobDoc,
+              int *jobIdOut)
 {
     int id = -1;
+    if (jobIdOut)
+        *jobIdOut = -1;
     try {
         id = engine.submit(jobDoc);
     } catch (const fault::ConfigError &e) {
@@ -102,16 +105,21 @@ handleRequest(JobEngine &engine, const obs::Json &jobDoc)
     } catch (const std::exception &e) {
         return errorResponse("internal", e.what());
     }
+    if (jobIdOut)
+        *jobIdOut = id;
     engine.run();
 
     const JobResult &result = engine.result(id);
-    if (result.status != JobResult::Status::Completed)
-        return errorResponse(
+    if (result.status != JobResult::Status::Completed) {
+        obs::Json doc = errorResponse(
             result.errorKind.empty() ? "internal" : result.errorKind,
             result.error.empty()
                 ? std::string("job ended ") +
                       jobStatusName(result.status)
                 : result.error);
+        doc.set("trace_id", telem::traceIdHex(result.traceId));
+        return doc;
+    }
 
     obs::Json doc = obs::Json::object();
     doc.set("schema", responseSchema);
@@ -119,9 +127,46 @@ handleRequest(JobEngine &engine, const obs::Json &jobDoc)
     doc.set("status", "ok");
     doc.set("cached", result.cached);
     doc.set("key", result.key);
+    doc.set("trace_id", telem::traceIdHex(result.traceId));
     doc.set("report", result.report);
     doc.set("derived", result.derived);
     return doc;
+}
+
+obs::Json
+introspectionResponse(JobEngine &engine, const std::string &cmd,
+                      double uptimeS, std::uint64_t served)
+{
+    auto stamp = [&](obs::Json &doc, const char *schema) {
+        doc.set("schema", schema);
+        doc.set("version", introspectionVersion);
+        doc.set("uptime_s", uptimeS);
+        doc.set("served", served);
+    };
+
+    if (cmd == "healthz") {
+        // Liveness only: answered from two counters, cheap enough to
+        // poll tightly.
+        obs::Json live = engine.introspectionJson();
+        obs::Json doc = obs::Json::object();
+        stamp(doc, "stitchd-healthz");
+        doc.set("status", "ok");
+        doc.set("queue_depth", live.get("queue_depth"));
+        doc.set("in_flight", live.get("in_flight"));
+        return doc;
+    }
+    if (cmd == "metrics") {
+        obs::Json doc = engine.introspectionJson();
+        stamp(doc, "stitchd-metrics");
+        return doc;
+    }
+    if (cmd == "statz") {
+        obs::Json doc = engine.introspectionJson();
+        stamp(doc, "stitchd-statz");
+        doc.set("service", engine.serviceReportJson());
+        return doc;
+    }
+    return errorResponse("config", "unknown cmd: " + cmd);
 }
 
 Server::Server(JobEngine &engine, std::uint16_t port)
@@ -191,25 +236,47 @@ Server::serve(int maxRequests)
             break; // listener closed (stop()) or broken
         }
         ++served;
+        ++served_;
 
         std::string payload;
         obs::Json response;
+        int jobId = -1;
         if (!recvFrame(fd, payload)) {
             response = errorResponse(
                 "config", "malformed or oversized request frame");
         } else {
             try {
-                response =
-                    handleRequest(engine_, obs::Json::parse(payload));
+                obs::Json doc = obs::Json::parse(payload);
+                if (doc.isObject() && doc.has("cmd"))
+                    response = introspectionResponse(
+                        engine_, doc.get("cmd").asString(),
+                        uptimeS(), served_);
+                else
+                    response = handleRequest(engine_, doc, &jobId);
             } catch (const FatalError &e) {
                 // Json::parse fatals on malformed text.
                 response = errorResponse("config", e.what());
             }
         }
-        if (!sendFrame(fd, response.dump(2) + "\n"))
-            warn("stitchd: client hung up before the response");
+        {
+            // Serialization + write-back is the respond stage; with
+            // telemetry off traceContext() returns a null-sink
+            // context and this is a no-op.
+            telem::ScopedSpan span(engine_.traceContext(jobId),
+                                   telem::Stage::Respond);
+            if (!sendFrame(fd, response.dump(2) + "\n"))
+                warn("stitchd: client hung up before the response");
+        }
         ::close(fd);
     }
+}
+
+double
+Server::uptimeS() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
 }
 
 obs::Json

@@ -18,12 +18,24 @@
  *
  * Malformed frames and invalid specs produce an error response, not a
  * dropped connection — the daemon must survive bad clients.
+ *
+ * A request whose document carries a "cmd" key is an introspection
+ * request, answered from live engine state without touching the job
+ * queue:
+ *
+ *   {"cmd":"healthz"}  -> stitchd-healthz  (liveness + uptime)
+ *   {"cmd":"metrics"}  -> stitchd-metrics  (queue depth, in-flight,
+ *                         per-band backlog, cache rates, latency
+ *                         quantiles, error ring)
+ *   {"cmd":"statz"}    -> stitchd-statz    (metrics + full service
+ *                         report: counters, histograms, span rollup)
  */
 
 #ifndef STITCH_SVC_SERVER_HH
 #define STITCH_SVC_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -35,6 +47,10 @@ namespace stitch::svc
 
 inline constexpr const char *responseSchema = "stitch-response";
 inline constexpr int responseVersion = 1;
+
+/** Version shared by the stitchd-healthz / stitchd-metrics /
+ *  stitchd-statz introspection documents. */
+inline constexpr int introspectionVersion = 1;
 
 /** Upper bound on an accepted request frame; larger lengths are
  *  rejected as malformed (a garbage length prefix must not make the
@@ -66,20 +82,49 @@ class Server
      */
     void serve(int maxRequests = 0);
 
-    /** Unblock serve() from another thread; idempotent. */
+    /**
+     * Unblock serve() from another thread or a signal handler;
+     * idempotent. Async-signal-safe: shutdown()/close() are on the
+     * safe list and the atomic exchange is lock-free. The request
+     * being answered when stop() lands still completes (the loop is
+     * single-threaded), which is the daemon's drain.
+     */
     void stop();
+
+    /** Requests answered since construction. */
+    std::uint64_t servedCount() const { return served_; }
+
+    /** Seconds since construction. */
+    double uptimeS() const;
 
   private:
     JobEngine &engine_;
     int listenFd_ = -1;
     std::uint16_t port_ = 0;
     std::atomic<bool> stopping_{false};
+    std::uint64_t served_ = 0;
+    std::chrono::steady_clock::time_point start_ =
+        std::chrono::steady_clock::now();
 };
 
 /** Build the response document for one job document — the pure part
  *  of the serving loop (submit, run, format). Never throws; every
- *  failure becomes a status:"error" response. */
-obs::Json handleRequest(JobEngine &engine, const obs::Json &jobDoc);
+ *  failure becomes a status:"error" response. When `jobIdOut` is
+ *  non-null it receives the submitted job id (-1 if submission
+ *  failed) so the caller can attribute the respond stage. */
+obs::Json handleRequest(JobEngine &engine, const obs::Json &jobDoc,
+                        int *jobIdOut = nullptr);
+
+/**
+ * Answer one introspection command ("healthz", "metrics" or "statz")
+ * from live engine state — the pure part of the cmd path, shared by
+ * the serve loop and in-process tests. An unknown command produces a
+ * status:"error" response document.
+ */
+obs::Json introspectionResponse(JobEngine &engine,
+                                const std::string &cmd,
+                                double uptimeS,
+                                std::uint64_t served);
 
 /**
  * Client side of the wire format: connect to `host`:`port`, send

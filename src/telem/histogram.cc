@@ -1,0 +1,65 @@
+#include "telem/histogram.hh"
+
+#include <cmath>
+
+namespace stitch::telem
+{
+
+std::uint64_t
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    if (q <= 0.0)
+        return min();
+    if (q >= 1.0)
+        return max_; // exact: tracked outside the buckets
+
+    // Rank of the order statistic we are after, 1-based.
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < numBuckets; ++i) {
+        seen += counts_[static_cast<std::size_t>(i)];
+        if (seen >= rank) {
+            // Highest value equivalent to the samples in this bucket,
+            // clamped to the exact extrema so a quantile never lies
+            // outside [min, max].
+            std::uint64_t v = bucketHi(i) - 1;
+            if (v > max_)
+                v = max_;
+            if (v < min_)
+                v = min_;
+            return v;
+        }
+    }
+    return max_;
+}
+
+obs::Json
+Histogram::toJson() const
+{
+    auto ms = [](std::uint64_t micros) {
+        return static_cast<double>(micros) / 1000.0;
+    };
+    obs::Json doc = obs::Json::object();
+    doc.set("count", count_);
+    doc.set("min_ms", ms(min()));
+    doc.set("mean_ms", mean() / 1000.0);
+    doc.set("p50_ms", ms(quantile(0.50)));
+    doc.set("p90_ms", ms(quantile(0.90)));
+    doc.set("p99_ms", ms(quantile(0.99)));
+    doc.set("max_ms", ms(max_));
+    return doc;
+}
+
+int
+Histogram::nonEmptyBuckets() const
+{
+    int n = 0;
+    for (int i = 0; i < numBuckets; ++i)
+        n += counts_[static_cast<std::size_t>(i)] != 0;
+    return n;
+}
+
+} // namespace stitch::telem

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Fixed-bucket log-linear latency histogram (HDR-style).
+ *
+ * The service layer needs p50/p99 over thousands of job latencies
+ * without keeping every sample: a histogram with a *fixed,
+ * deterministic* bucket geometry — values below 2^subBits land in
+ * unit-width buckets, every octave above is split into 2^(subBits-1)
+ * linear sub-buckets — so the worst-case relative quantile error is
+ * bounded by one sub-bucket (1/16 with the default geometry) and two
+ * histograms recorded on different machines or threads merge by plain
+ * element-wise addition. No allocation after construction, no
+ * dependence on the sample order, and identical geometry everywhere
+ * means merge is associative and commutative — the properties
+ * tests/test_telem.cc pins against a sorted-vector oracle.
+ *
+ * Values are recorded in integer microseconds; the JSON summary
+ * reports milliseconds (the unit the service counters and the bench
+ * trajectory already use).
+ */
+
+#ifndef STITCH_TELEM_HISTOGRAM_HH
+#define STITCH_TELEM_HISTOGRAM_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "obs/json.hh"
+
+namespace stitch::telem
+{
+
+/** Log-linear histogram over non-negative integer values (µs). */
+class Histogram
+{
+  public:
+    /** Sub-bucket resolution: 2^subBits unit buckets, then
+     *  2^(subBits-1) sub-buckets per octave — relative error is
+     *  bounded by 2^-(subBits-1) (6.25% with subBits = 5). */
+    static constexpr int subBits = 5;
+    static constexpr std::uint64_t linearMax = 1ull << subBits;
+    static constexpr int subPerOctave = 1 << (subBits - 1);
+
+    /** Octaves beyond the linear range covering the whole uint64
+     *  domain: bit widths subBits+1 .. 64. */
+    static constexpr int octaves = 64 - subBits;
+    static constexpr int numBuckets =
+        static_cast<int>(linearMax) + octaves * subPerOctave;
+
+    /** Bucket index of `value` (total over the uint64 domain). */
+    static constexpr int
+    bucketIndex(std::uint64_t value)
+    {
+        if (value < linearMax)
+            return static_cast<int>(value);
+        const int width = std::bit_width(value); // > subBits
+        const int octave = width - subBits - 1;  // 0-based
+        const int shift = octave + 1;
+        const int sub = static_cast<int>(value >> shift) -
+                        subPerOctave;
+        return static_cast<int>(linearMax) + octave * subPerOctave +
+               sub;
+    }
+
+    /** Inclusive lower bound of bucket `index`. */
+    static constexpr std::uint64_t
+    bucketLo(int index)
+    {
+        if (index < static_cast<int>(linearMax))
+            return static_cast<std::uint64_t>(index);
+        const int octave =
+            (index - static_cast<int>(linearMax)) / subPerOctave;
+        const int sub =
+            (index - static_cast<int>(linearMax)) % subPerOctave;
+        const int shift = octave + 1;
+        return static_cast<std::uint64_t>(subPerOctave + sub)
+               << shift;
+    }
+
+    /** Exclusive upper bound of bucket `index` (0 marks the domain
+     *  end of the last bucket). */
+    static constexpr std::uint64_t
+    bucketHi(int index)
+    {
+        if (index < static_cast<int>(linearMax))
+            return static_cast<std::uint64_t>(index) + 1;
+        const int octave =
+            (index - static_cast<int>(linearMax)) / subPerOctave;
+        const int shift = octave + 1;
+        return bucketLo(index) + (1ull << shift);
+    }
+
+    /** Record one sample (microseconds). */
+    void
+    record(std::uint64_t micros)
+    {
+        ++counts_[static_cast<std::size_t>(bucketIndex(micros))];
+        ++count_;
+        sum_ += micros;
+        if (micros < min_)
+            min_ = micros;
+        if (micros > max_)
+            max_ = micros;
+    }
+
+    /** Element-wise merge (associative and commutative; both sides
+     *  share the compile-time geometry by construction). */
+    void
+    merge(const Histogram &other)
+    {
+        for (int i = 0; i < numBuckets; ++i)
+            counts_[static_cast<std::size_t>(i)] +=
+                other.counts_[static_cast<std::size_t>(i)];
+        count_ += other.count_;
+        sum_ += other.sum_;
+        if (other.count_ > 0) {
+            if (other.min_ < min_)
+                min_ = other.min_;
+            if (other.max_ > max_)
+                max_ = other.max_;
+        }
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /**
+     * Value (µs) at quantile `q` in [0, 1]: the exclusive upper bound
+     * minus one of the bucket holding the sample of rank ceil(q *
+     * count) — every sample in that bucket is <= the returned value,
+     * and the true order statistic lives in the same bucket, so the
+     * error is bounded by one bucket width. q = 1 returns the exact
+     * tracked maximum; an empty histogram returns 0.
+     */
+    std::uint64_t quantile(double q) const;
+
+    /** {count, min/mean/p50/p90/p99/max in ms} summary document. */
+    obs::Json toJson() const;
+
+    /** Number of non-empty buckets (introspection/debug). */
+    int nonEmptyBuckets() const;
+
+  private:
+    std::array<std::uint64_t, numBuckets> counts_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~0ull;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace stitch::telem
+
+#endif // STITCH_TELEM_HISTOGRAM_HH

@@ -56,13 +56,14 @@ directionOf(const std::string &name)
         contains("perf_per_") || contains("throughput") ||
         contains("items_per") || contains("instr/s") ||
         contains("mips") || contains("_mhz") ||
-        contains("utilization"))
+        contains("utilization") || contains("hit_rate"))
         return Direction::DownIsWorse;
     if (contains("cycle") || contains("_pj") || contains("_mw") ||
         contains("_ms") || contains("_ns") || contains("stall") ||
         contains("makespan") || contains("energy") ||
         contains("_um2") || contains("degradation") ||
-        contains("failures") || contains("slack"))
+        contains("failures") || contains("slack") ||
+        contains("_p50") || contains("_p90") || contains("_p99"))
         return Direction::UpIsWorse;
     return Direction::Untracked;
 }

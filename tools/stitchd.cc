@@ -4,7 +4,7 @@
  *
  * Usage:
  *   stitchd [--port=P] [--port-file=FILE] [--cache=DIR] [--jobs=N]
- *           [--max-requests=N] [--verbose]
+ *           [--max-requests=N] [--report=FILE] [--verbose]
  *   stitchd --send=HOST:PORT JOB.json
  *
  * Serving mode binds 127.0.0.1 (--port=0 picks a free port; the
@@ -12,7 +12,14 @@
  * scripts can discover it) and answers one length-prefixed stitch-job
  * document per connection with a length-prefixed stitch-response.
  * Identical jobs hit the engine's result cache, so a daemon with
- * --cache=DIR amortizes simulations across every client.
+ * --cache=DIR amortizes simulations across every client. Requests
+ * carrying a "cmd" key ("healthz" / "metrics" / "statz") are answered
+ * from live engine state — see tools/stitchtop for a client.
+ *
+ * Shutdown is graceful: SIGINT/SIGTERM closes the listener (new
+ * connections are refused), the request in flight drains, and the
+ * daemon prints a final service report (also written to --report=FILE
+ * when given) before exiting 0.
  *
  * --send is the bundled client: submit one job file to a running
  * daemon and print the response to stdout (exit 1 on a status:"error"
@@ -20,6 +27,7 @@
  */
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +44,18 @@ using namespace stitch;
 
 namespace
 {
+
+/** Set once the Server exists so the signal handler can reach it.
+ *  Server::stop() is async-signal-safe (shutdown/close + a lock-free
+ *  atomic exchange). */
+svc::Server *gServer = nullptr;
+
+void
+onShutdownSignal(int)
+{
+    if (gServer)
+        gServer->stop();
+}
 
 int
 sendMode(const std::string &target, const std::string &jobPath)
@@ -76,7 +96,7 @@ int
 main(int argc, char **argv)
 {
     cli::CommonFlags common;
-    std::string cacheDir, portFile, sendTarget, jobPath;
+    std::string cacheDir, portFile, sendTarget, jobPath, reportPath;
     int port = 0, maxRequests = 0;
     std::string value;
     for (int i = 1; i < argc; ++i) {
@@ -84,6 +104,7 @@ main(int argc, char **argv)
         if (common.parse(arg) ||
             cli::keyedValue(arg, "--cache=", &cacheDir) ||
             cli::keyedValue(arg, "--port-file=", &portFile) ||
+            cli::keyedValue(arg, "--report=", &reportPath) ||
             cli::keyedValue(arg, "--send=", &sendTarget))
             continue;
         if (cli::keyedValue(arg, "--port=", &value)) {
@@ -118,9 +139,19 @@ main(int argc, char **argv)
         svc::EngineOptions options;
         options.jobs = cli::resolveJobs(common.jobs);
         options.cacheDir = cacheDir;
+        // The daemon always collects spans: quantiles for the
+        // compile/stitch/simulate stages must be there when a
+        // stitchtop attaches, not only after a restart.
+        options.telemetry = true;
         svc::JobEngine engine(options);
         svc::Server server(engine,
                            static_cast<std::uint16_t>(port));
+
+        gServer = &server;
+        struct sigaction sa{};
+        sa.sa_handler = onShutdownSignal;
+        ::sigaction(SIGINT, &sa, nullptr);
+        ::sigaction(SIGTERM, &sa, nullptr);
 
         std::printf("stitchd: listening on 127.0.0.1:%u\n",
                     static_cast<unsigned>(server.port()));
@@ -133,6 +164,17 @@ main(int argc, char **argv)
         }
 
         server.serve(maxRequests);
+        gServer = nullptr;
+
+        // Drained: emit the final service report.
+        obs::Json report = engine.serviceReportJson();
+        std::printf(
+            "stitchd: served %llu requests in %.1fs; final service "
+            "report follows\n%s\n",
+            static_cast<unsigned long long>(server.servedCount()),
+            server.uptimeS(), report.dump(2).c_str());
+        if (!reportPath.empty())
+            obs::writeJsonFile(reportPath, report);
         return 0;
     } catch (const FatalError &e) {
         std::fprintf(stderr, "stitchd: %s\n", e.what());

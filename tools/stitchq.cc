@@ -4,7 +4,8 @@
  *
  * Usage:
  *   stitchq BATCH.jsonl [--jobs=N] [--cache=DIR] [--out=DIR]
- *           [--summary=FILE] [--verbose]
+ *           [--summary=FILE] [--svc-trace=FILE] [--svc-events=FILE]
+ *           [--verbose]
  *
  * BATCH.jsonl holds one stitch-job document per line (blank lines and
  * `#` comment lines skipped). Every job is validated eagerly, queued
@@ -18,6 +19,13 @@
  * same spec, for any --jobs value. --summary writes a machine-
  * readable batch summary including the engine's service counters.
  * Exit status is 1 when any job was rejected or failed.
+ *
+ * --svc-trace / --svc-events turn on request-scoped telemetry and
+ * export the batch's service spans as a Chrome trace (one lane per
+ * job: queue/claim/cache_probe/compile/stitch/simulate/report slices
+ * under a job envelope) and a JSONL event log. Telemetry never
+ * changes the job reports themselves — with the flags absent the
+ * output is byte-identical.
  */
 
 #include <cerrno>
@@ -70,12 +78,15 @@ int
 main(int argc, char **argv)
 {
     std::string batchPath, cacheDir, summaryPath;
+    std::string svcTracePath, svcEventsPath;
     cli::CommonFlags common;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (common.parse(arg) ||
             cli::keyedValue(arg, "--cache=", &cacheDir) ||
-            cli::keyedValue(arg, "--summary=", &summaryPath))
+            cli::keyedValue(arg, "--summary=", &summaryPath) ||
+            cli::keyedValue(arg, "--svc-trace=", &svcTracePath) ||
+            cli::keyedValue(arg, "--svc-events=", &svcEventsPath))
             continue;
         if (std::strcmp(arg, "--verbose") == 0) {
             obs::Registry::setVerbosity(Verbosity::Info);
@@ -91,13 +102,16 @@ main(int argc, char **argv)
         std::fprintf(
             stderr,
             "usage: stitchq BATCH.jsonl [--jobs=N] [--cache=DIR] "
-            "[--out=DIR] [--summary=FILE]\n");
+            "[--out=DIR] [--summary=FILE] [--svc-trace=FILE] "
+            "[--svc-events=FILE]\n");
         return 2;
     }
 
     svc::EngineOptions options;
     options.jobs = cli::resolveJobs(common.jobs);
     options.cacheDir = cacheDir;
+    options.telemetry =
+        !svcTracePath.empty() || !svcEventsPath.empty();
     svc::JobEngine engine(options);
 
     std::vector<BatchRow> rows;
@@ -210,6 +224,16 @@ main(int argc, char **argv)
             jobCounters.get("cache_hits").asUint()),
         static_cast<unsigned long long>(
             jobCounters.get("failed").asUint()));
+
+    try {
+        if (!svcTracePath.empty())
+            engine.spanSink().writeChromeTrace(svcTracePath);
+        if (!svcEventsPath.empty())
+            engine.spanSink().writeJsonl(svcEventsPath);
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "stitchq: %s\n", e.what());
+        return 2;
+    }
 
     if (!summaryPath.empty()) {
         obs::Json doc = obs::Json::object();

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * stitchtop — live introspection client for a running stitchd.
+ *
+ * Usage:
+ *   stitchtop [HOST:PORT] [--port=P] [--cmd=metrics|healthz|statz]
+ *             [--interval=SEC] [--once] [--json]
+ *
+ * Polls the daemon's introspection endpoint (default: metrics every
+ * 2s against 127.0.0.1) and renders a refreshing table: uptime,
+ * queue depth, in-flight jobs, per-band backlog, cache hit/miss/evict
+ * rates, per-stage latency quantiles and the recent-error ring.
+ *
+ * --once answers a single poll and exits (non-zero when the daemon is
+ * unreachable or answers an error document); with --json the raw
+ * response document is printed instead of the table, which is the
+ * scriptable mode CI uses:
+ *
+ *   stitchtop 127.0.0.1:7441 --once --json | jq .jobs.completed
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "fault/fault.hh"
+#include "obs/json.hh"
+#include "svc/server.hh"
+
+using namespace stitch;
+
+namespace
+{
+
+double
+numField(const obs::Json &doc, const char *key)
+{
+    return doc.has(key) ? doc.get(key).asDouble() : 0.0;
+}
+
+std::string
+msCell(const obs::Json &hist, const char *key)
+{
+    if (!hist.has(key))
+        return "-";
+    return strformat("%.2f", hist.get(key).asDouble());
+}
+
+/** Render one metrics/statz document as the interactive view. */
+void
+renderTable(const obs::Json &doc, const std::string &target)
+{
+    std::printf("stitchtop — %s  (schema %s, uptime %.1fs, "
+                "served %llu)\n\n",
+                target.c_str(),
+                doc.has("schema") ? doc.get("schema").asString().c_str()
+                                  : "?",
+                numField(doc, "uptime_s"),
+                static_cast<unsigned long long>(
+                    doc.has("served") ? doc.get("served").asUint()
+                                      : 0));
+
+    std::string bands = "-";
+    if (doc.has("per_band_backlog") &&
+        doc.get("per_band_backlog").items().size() > 0) {
+        bands.clear();
+        for (const auto &[prio, count] :
+             doc.get("per_band_backlog").items())
+            bands += (bands.empty() ? "" : " ") + prio + ":" +
+                     std::to_string(count.asUint());
+    }
+    std::printf("queue depth %llu   in flight %llu   backlog %s\n",
+                static_cast<unsigned long long>(
+                    static_cast<std::uint64_t>(
+                        numField(doc, "queue_depth"))),
+                static_cast<unsigned long long>(
+                    static_cast<std::uint64_t>(
+                        numField(doc, "in_flight"))),
+                bands.c_str());
+
+    if (doc.has("jobs")) {
+        const obs::Json &jobs = doc.get("jobs");
+        std::printf("jobs: %llu submitted, %llu completed "
+                    "(%llu simulated, %llu cached), %llu failed, "
+                    "%llu cancelled\n",
+                    static_cast<unsigned long long>(
+                        jobs.get("submitted").asUint()),
+                    static_cast<unsigned long long>(
+                        jobs.get("completed").asUint()),
+                    static_cast<unsigned long long>(
+                        jobs.get("simulated").asUint()),
+                    static_cast<unsigned long long>(
+                        jobs.get("cache_hits").asUint()),
+                    static_cast<unsigned long long>(
+                        jobs.get("failed").asUint()),
+                    static_cast<unsigned long long>(
+                        jobs.get("cancelled").asUint()));
+    }
+    if (doc.has("cache")) {
+        const obs::Json &cache = doc.get("cache");
+        std::printf("cache: %.0f%% hit rate (%llu mem, %llu disk, "
+                    "%llu miss), %llu stores, %llu evictions, "
+                    "%llu invalidated\n",
+                    cache.get("hit_rate").asDouble() * 100.0,
+                    static_cast<unsigned long long>(
+                        cache.get("mem_hits").asUint()),
+                    static_cast<unsigned long long>(
+                        cache.get("disk_hits").asUint()),
+                    static_cast<unsigned long long>(
+                        cache.get("misses").asUint()),
+                    static_cast<unsigned long long>(
+                        cache.get("stores").asUint()),
+                    static_cast<unsigned long long>(
+                        cache.get("evictions").asUint()),
+                    static_cast<unsigned long long>(
+                        cache.get("invalidated").asUint()));
+    }
+
+    if (doc.has("latency")) {
+        std::printf("\n");
+        TextTable table({"stage", "count", "p50ms", "p90ms", "p99ms",
+                         "maxms"});
+        for (const auto &[stage, hist] : doc.get("latency").items())
+            table.addRow({stage,
+                          std::to_string(hist.get("count").asUint()),
+                          msCell(hist, "p50_ms"),
+                          msCell(hist, "p90_ms"),
+                          msCell(hist, "p99_ms"),
+                          msCell(hist, "max_ms")});
+        table.print();
+    }
+
+    if (doc.has("errors") && doc.get("errors").size() > 0) {
+        std::printf("\nrecent errors:\n");
+        const obs::Json &errors = doc.get("errors");
+        for (std::size_t i = 0; i < errors.size(); ++i) {
+            const obs::Json &e = errors.at(i);
+            std::printf("  job %llu [%s] %s: %s\n",
+                        static_cast<unsigned long long>(
+                            e.get("job").asUint()),
+                        e.get("trace_id").asString().c_str(),
+                        e.get("kind").asString().c_str(),
+                        e.get("error").asString().c_str());
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    int port = 0;
+    std::string cmd = "metrics";
+    double intervalS = 2.0;
+    bool once = false, json = false;
+    std::string value;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (cli::keyedValue(arg, "--cmd=", &cmd))
+            continue;
+        if (cli::keyedValue(arg, "--port=", &value)) {
+            port = std::atoi(value.c_str());
+            continue;
+        }
+        if (cli::keyedValue(arg, "--interval=", &value)) {
+            intervalS = std::atof(value.c_str());
+            continue;
+        }
+        if (std::strcmp(arg, "--once") == 0) {
+            once = true;
+            continue;
+        }
+        if (std::strcmp(arg, "--json") == 0) {
+            json = true;
+            continue;
+        }
+        if (arg[0] == '-') {
+            std::fprintf(stderr, "stitchtop: unknown flag %s\n",
+                         arg);
+            return 2;
+        }
+        // HOST:PORT positional.
+        const std::string target = arg;
+        const auto colon = target.rfind(':');
+        if (colon == std::string::npos) {
+            std::fprintf(stderr,
+                         "stitchtop: expected HOST:PORT, got %s\n",
+                         arg);
+            return 2;
+        }
+        host = target.substr(0, colon);
+        port = std::atoi(target.c_str() + colon + 1);
+    }
+
+    if (port <= 0) {
+        std::fprintf(
+            stderr,
+            "usage: stitchtop HOST:PORT [--cmd=metrics|healthz|"
+            "statz] [--interval=SEC] [--once] [--json]\n");
+        return 2;
+    }
+    if (cmd != "metrics" && cmd != "healthz" && cmd != "statz") {
+        std::fprintf(stderr, "stitchtop: unknown --cmd=%s\n",
+                     cmd.c_str());
+        return 2;
+    }
+
+    obs::Json request = obs::Json::object();
+    request.set("cmd", cmd);
+    const std::string target =
+        host + ":" + std::to_string(port);
+
+    for (;;) {
+        obs::Json doc;
+        try {
+            doc = svc::requestReport(
+                host, static_cast<std::uint16_t>(port), request);
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "stitchtop: %s\n", e.what());
+            return 1;
+        }
+        const bool isError =
+            doc.has("status") &&
+            doc.get("status").asString() == "error";
+
+        if (json) {
+            std::printf("%s\n", doc.dump(2).c_str());
+        } else {
+            if (!once)
+                std::printf("\x1b[2J\x1b[H"); // clear + home
+            if (isError)
+                std::printf("stitchtop: daemon error: %s\n",
+                            doc.get("error").asString().c_str());
+            else
+                renderTable(doc, target);
+            std::fflush(stdout);
+        }
+
+        if (once)
+            return isError ? 1 : 0;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(intervalS));
+    }
+}
