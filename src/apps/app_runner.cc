@@ -115,6 +115,7 @@ AppRunner::run(const AppSpec &app, AppMode mode,
     sim::SystemParams sysParams;
     sysParams.faults = config.faults;
     sysParams.scheduler = config.scheduler;
+    sysParams.abortFlag = config.abortFlag;
     switch (mode) {
       case AppMode::Baseline:
         sysParams.accel = sim::AccelMode::None;

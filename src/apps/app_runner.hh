@@ -12,6 +12,7 @@
 #ifndef STITCH_APPS_APP_RUNNER_HH
 #define STITCH_APPS_APP_RUNNER_HH
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -115,6 +116,14 @@ struct RunConfig
      * branch per stage; not part of the cache identity.
      */
     telem::TraceContext trace;
+
+    /**
+     * Cooperative deadline token (svc::JobEngine's watchdog sets it
+     * when the job's wall-clock deadline expires). Forwarded to
+     * SystemParams::abortFlag; a tripped flag surfaces as
+     * fault::DeadlineExceededError. Not part of the cache identity.
+     */
+    const std::atomic<bool> *abortFlag = nullptr;
 };
 
 /** Compiles, stitches, places, and simulates applications. */

@@ -82,6 +82,22 @@ class BinaryMismatchError : public SimError
     {}
 };
 
+/**
+ * A run abandoned because its wall-clock deadline expired (the
+ * service tier's per-job `deadline_ms`, distinct from the
+ * deterministic `max_instructions` budget). Raised cooperatively:
+ * the run loop polls an abort flag set by the engine watchdog and
+ * throws this instead of finishing the simulation; the engine maps
+ * it to the typed per-job outcome "deadline".
+ */
+class DeadlineExceededError : public SimError
+{
+  public:
+    explicit DeadlineExceededError(const std::string &what)
+        : SimError(what)
+    {}
+};
+
 /** Structured description of a patch that failed at run time. */
 struct PatchFault
 {

@@ -512,6 +512,16 @@ System::runStepLoop(RunStats &stats, std::uint64_t maxInstructions)
                 return;
             }
 
+            // Cooperative wall-clock cancellation: polled at a
+            // coarse stride so the deterministic fast path pays one
+            // predictable branch per step and no atomic traffic.
+            if (params_.abortFlag && (executed & 0xfff) == 0 &&
+                params_.abortFlag->load(std::memory_order_relaxed))
+                throw fault::DeadlineExceededError(
+                    detail::formatMessage(
+                        "run aborted by deadline watchdog after ",
+                        executed, " instructions"));
+
             Tile &tile = tiles_[static_cast<std::size_t>(pick)];
             running = pick;
             cpu::StepResult result = tile.core->step();
@@ -556,6 +566,10 @@ System::runStepLoop(RunStats &stats, std::uint64_t maxInstructions)
         stats.patchFault = err.fault();
         stats.faultMessage = err.what();
         warn(err.what());
+    } catch (const fault::DeadlineExceededError &) {
+        // A watchdog abort is a service-tier outcome, not a hardware
+        // fault of this run: let the engine type it as "deadline".
+        throw;
     } catch (const FatalError &err) {
         // A core tripped over state an injected fault corrupted
         // (e.g. a flipped CUST output used as an address). With
@@ -599,6 +613,15 @@ System::runSliceLoop(RunStats &stats, std::uint64_t maxInstructions)
                     fault::Termination::InstructionLimit;
                 return;
             }
+
+            // Deadline watchdog poll (see runStepLoop): once per
+            // dispatched slice, never inside Core::runSlice.
+            if (params_.abortFlag &&
+                params_.abortFlag->load(std::memory_order_relaxed))
+                throw fault::DeadlineExceededError(
+                    detail::formatMessage(
+                        "run aborted by deadline watchdog after ",
+                        executed, " instructions"));
 
             TileId pick = queue_.top();
             running = pick;
@@ -680,6 +703,10 @@ System::runSliceLoop(RunStats &stats, std::uint64_t maxInstructions)
         stats.patchFault = err.fault();
         stats.faultMessage = err.what();
         warn(err.what());
+    } catch (const fault::DeadlineExceededError &) {
+        // A watchdog abort is a service-tier outcome, not a hardware
+        // fault of this run: let the engine type it as "deadline".
+        throw;
     } catch (const FatalError &err) {
         stats.termination = fault::Termination::Fault;
         stats.faultMessage = detail::formatMessage(

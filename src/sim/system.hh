@@ -13,6 +13,7 @@
 #define STITCH_SIM_SYSTEM_HH
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -95,6 +96,15 @@ struct SystemParams
 
     /** Hardware faults to inject (default: none). */
     fault::FaultPlan faults;
+
+    /**
+     * Cooperative cancellation token (service tier): when non-null,
+     * the run loops poll it at dispatch granularity and raise
+     * fault::DeadlineExceededError once it reads true. Null (the
+     * default) costs one predictable branch per dispatch and keeps
+     * every run byte-identical to a token-free build.
+     */
+    const std::atomic<bool> *abortFlag = nullptr;
 };
 
 /** Per-tile activity of one run. */

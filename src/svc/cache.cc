@@ -21,7 +21,11 @@ cacheStamp()
 
 ResultCache::ResultCache(std::string dir, std::size_t memEntries)
     : dir_(std::move(dir)), memEntries_(memEntries)
-{}
+{
+    // A crashed predecessor may have left orphan temp files or torn
+    // entries behind; sweep them before serving a single lookup.
+    recoverDiskStore();
+}
 
 std::string
 ResultCache::diskPath(const std::string &key) const
@@ -143,6 +147,26 @@ ResultCache::lookup(const JobSpec &spec,
 }
 
 void
+ResultCache::noteWriteFailure(const std::string &why)
+{
+    // Called with mutex_ NOT held.
+    bool tripped = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.writeFailures;
+        if (++consecutiveWriteFailures_ >= writeFailureLimit &&
+            !degraded_.load(std::memory_order_relaxed)) {
+            degraded_.store(true, std::memory_order_relaxed);
+            tripped = true;
+        }
+    }
+    warn("cache store lost (", why, "); result kept in memory only");
+    if (tripped)
+        warn("cache degraded to memory-only mode after ",
+             writeFailureLimit, " consecutive disk write failures");
+}
+
+void
 ResultCache::store(const JobSpec &spec, const CacheEntry &entry)
 {
     const std::string key = spec.cacheKey();
@@ -151,7 +175,7 @@ ResultCache::store(const JobSpec &spec, const CacheEntry &entry)
         memInsert(key, entry);
         ++stats_.stores;
     }
-    if (!diskEnabled())
+    if (!diskEnabled() || memoryOnly())
         return;
     obs::Json doc = obs::Json::object();
     doc.set("schema", cacheEntrySchema);
@@ -161,7 +185,126 @@ ResultCache::store(const JobSpec &spec, const CacheEntry &entry)
     doc.set("spec", spec.canonicalJson());
     doc.set("report", entry.report);
     doc.set("derived", entry.derived);
-    obs::writeJsonFile(diskPath(key), doc); // creates dir_, typed err
+    const std::string text = doc.dump(2) + "\n";
+    const std::string finalPath = diskPath(key);
+    const std::uint64_t seq =
+        storeSeq_.fetch_add(1, std::memory_order_relaxed);
+
+    if (injector_ && injector_->failCacheWrite(seq)) {
+        // Chaos: the disk "returned EIO" — same path a real loss
+        // takes, so degradation and counters are exercised for real.
+        noteWriteFailure("injected write failure");
+        return;
+    }
+    if (injector_ && injector_->tearCacheWrite(seq)) {
+        // Chaos: crash between write and rename — leave a truncated
+        // file at the *final* path, the exact artifact the recovery
+        // scan and the read-side validation must survive.
+        try {
+            std::FILE *f = obs::openArtifactFile(finalPath);
+            std::fwrite(text.data(), 1, text.size() / 2, f);
+            std::fclose(f);
+        } catch (const FatalError &) {
+            // Even the tear failed; nothing observable either way.
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.tornWrites;
+        return;
+    }
+
+    // Atomic publish: write a private temp file, then rename it over
+    // the final path. A reader (or a crash) can only ever observe
+    // nothing or the complete entry — never a torn one. The seq in
+    // the temp name keeps concurrent writers of one key from
+    // clobbering each other's in-progress file.
+    const std::string tmpPath = detail::formatMessage(
+        dir_, "/", key, ".", seq, ".tmp");
+    try {
+        std::FILE *f = obs::openArtifactFile(tmpPath); // creates dir_
+        const std::size_t wrote =
+            std::fwrite(text.data(), 1, text.size(), f);
+        const bool flushed = std::fflush(f) == 0;
+        std::fclose(f);
+        if (wrote != text.size() || !flushed) {
+            std::error_code ec;
+            fs::remove(tmpPath, ec);
+            noteWriteFailure("short write to " + tmpPath);
+            return;
+        }
+        std::error_code ec;
+        fs::rename(tmpPath, finalPath, ec);
+        if (ec) {
+            fs::remove(tmpPath, ec);
+            noteWriteFailure("rename failed: " + ec.message());
+            return;
+        }
+    } catch (const FatalError &e) {
+        noteWriteFailure(e.what());
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    consecutiveWriteFailures_ = 0;
+}
+
+std::size_t
+ResultCache::recoverDiskStore()
+{
+    if (dir_.empty())
+        return 0;
+    std::error_code ec;
+    fs::directory_iterator it(dir_, ec);
+    if (ec)
+        return 0; // directory not created yet — nothing to recover
+    std::size_t actions = 0;
+    for (const auto &dirent : it) {
+        if (!dirent.is_regular_file(ec) || ec)
+            continue;
+        const fs::path &path = dirent.path();
+        const std::string name = path.filename().string();
+        if (name.size() > 4 &&
+            name.compare(name.size() - 4, 4, ".tmp") == 0) {
+            // Orphaned in-progress write from a crashed process; the
+            // rename never happened, so the entry never existed.
+            fs::remove(path, ec);
+            if (!ec) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.tmpSwept;
+                ++actions;
+            }
+            continue;
+        }
+        if (path.extension() != ".json")
+            continue; // quarantined files and strangers stay put
+        std::FILE *f = std::fopen(path.string().c_str(), "rb");
+        if (!f)
+            continue;
+        std::string text;
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+            text.append(buf, n);
+        std::fclose(f);
+        bool parses = false;
+        try {
+            obs::Json doc = obs::Json::parse(text);
+            parses = doc.isObject();
+        } catch (const FatalError &) {
+        }
+        if (parses)
+            continue;
+        // Torn or corrupt entry: move it aside where no lookup can
+        // ever read it, but keep the bytes for post-mortems.
+        fs::path aside = path;
+        aside += ".quarantine";
+        fs::rename(path, aside, ec);
+        if (ec)
+            fs::remove(path, ec); // rename failed; delete instead
+        warn("quarantined torn cache entry ", name);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.quarantined;
+        ++actions;
+    }
+    return actions;
 }
 
 double
@@ -179,7 +322,9 @@ ResultCache::Stats
 ResultCache::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    Stats out = stats_;
+    out.degraded = degraded_.load(std::memory_order_relaxed);
+    return out;
 }
 
 } // namespace stitch::svc

@@ -15,11 +15,23 @@
  * combining the job-schema, run-report and engine versions; a stamp
  * mismatch invalidates the entry on read, so bumping any of the three
  * retires every stale result at once.
+ *
+ * The disk layer is crash-safe: every store writes a private
+ * `<key>.<seq>.tmp` file and renames it over the final path, so a
+ * reader can never observe a half-written entry and a crash leaves
+ * at worst an orphaned temp file. recoverDiskStore() (run by the
+ * constructor) sweeps those orphans and quarantines any entry that
+ * no longer parses — renamed to `<name>.quarantine` so the evidence
+ * survives for post-mortems but can never be served. Disk write
+ * failures degrade, after a few consecutive losses, to memory-only
+ * mode (counted, logged once) instead of failing jobs whose results
+ * are perfectly good.
  */
 
 #ifndef STITCH_SVC_CACHE_HH
 #define STITCH_SVC_CACHE_HH
 
+#include <atomic>
 #include <cstddef>
 #include <list>
 #include <map>
@@ -28,6 +40,7 @@
 #include <string>
 
 #include "obs/json.hh"
+#include "svc/chaos.hh"
 #include "svc/job.hh"
 #include "telem/span.hh"
 
@@ -91,13 +104,54 @@ class ResultCache
     lookup(const JobSpec &spec,
            const telem::TraceContext &trace = {});
 
-    /** Store the outcome of `spec` in every enabled layer. */
+    /**
+     * Store the outcome of `spec` in every enabled layer. The disk
+     * write is atomic (temp file + rename) and *best-effort*: a
+     * failed write is counted and — after `writeFailureLimit`
+     * consecutive losses — degrades the cache to memory-only mode,
+     * but never throws (the job's result is good; only its
+     * persistence is lost).
+     */
     void store(const JobSpec &spec, const CacheEntry &entry);
+
+    /**
+     * Startup recovery scan of the disk store (no-op when the
+     * directory is absent): orphaned `*.tmp` files from a crashed
+     * writer are deleted, and entries that no longer parse as JSON
+     * objects are renamed to `<name>.quarantine` — kept for
+     * post-mortems, never served. Returns tmp-sweeps + quarantines.
+     * The constructor runs this; tests may re-run it after seeding
+     * torn files.
+     */
+    std::size_t recoverDiskStore();
+
+    /**
+     * Arm deterministic write-failure / torn-write injection (chaos
+     * campaign). Non-owning; the injector must outlive the cache.
+     * Decisions are keyed on the store ordinal, so a single-worker
+     * engine replays them exactly.
+     */
+    void
+    setFaultInjector(const ServiceFaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    /** Consecutive disk write failures that trip memory-only mode. */
+    static constexpr std::uint64_t writeFailureLimit = 3;
 
     bool diskEnabled() const { return !dir_.empty(); }
     bool memEnabled() const { return memEntries_ > 0; }
     bool enabled() const { return diskEnabled() || memEnabled(); }
     const std::string &dir() const { return dir_; }
+
+    /** True once disk *writes* have degraded to memory-only mode
+     *  (reads of entries already on disk keep working). */
+    bool
+    memoryOnly() const
+    {
+        return degraded_.load(std::memory_order_relaxed);
+    }
 
     /** Lookup/store activity since construction. */
     struct Stats
@@ -108,6 +162,11 @@ class ResultCache
         std::uint64_t stores = 0;
         std::uint64_t invalidated = 0; ///< stale stamp / bad echo
         std::uint64_t evictions = 0;   ///< LRU capacity evictions
+        std::uint64_t writeFailures = 0; ///< disk stores lost
+        std::uint64_t tornWrites = 0;  ///< injected torn entries left
+        std::uint64_t quarantined = 0; ///< entries quarantined on scan
+        std::uint64_t tmpSwept = 0;    ///< orphan tmp files removed
+        bool degraded = false;         ///< memory-only mode tripped
 
         /** Hits over lookups (memory + disk), in [0, 1]. */
         double hitRate() const;
@@ -117,11 +176,16 @@ class ResultCache
   private:
     std::string diskPath(const std::string &key) const;
     void memInsert(const std::string &key, const CacheEntry &entry);
+    void noteWriteFailure(const std::string &why);
 
     mutable std::mutex mutex_;
     std::string dir_;
     std::size_t memEntries_;
     Stats stats_;
+    std::atomic<bool> degraded_{false};
+    std::uint64_t consecutiveWriteFailures_ = 0; ///< under mutex_
+    std::atomic<std::uint64_t> storeSeq_{0}; ///< tmp names + chaos key
+    const ServiceFaultInjector *injector_ = nullptr;
 
     /** LRU: most-recent at the front; map values point into lru_. */
     struct MemEntry

@@ -1,0 +1,283 @@
+#include "svc/chaos.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace stitch::svc
+{
+
+namespace
+{
+
+/** splitmix64: a counter-based generator; full 64-bit avalanche. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Uniform double in [0, 1) from stream `stream` at key `n`. */
+double
+uniform(std::uint64_t seed, std::uint64_t stream, std::uint64_t n)
+{
+    std::uint64_t bits = mix64(mix64(seed ^ (stream << 32)) + n);
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+// Distinct stream ids per mechanism: arming one mechanism can never
+// perturb another's verdicts (same property fault/fault.cc keeps).
+constexpr std::uint64_t streamThrow = 1;
+constexpr std::uint64_t streamStall = 2;
+constexpr std::uint64_t streamCacheFail = 3;
+constexpr std::uint64_t streamCacheTear = 4;
+constexpr std::uint64_t streamConnReset = 5;
+constexpr std::uint64_t streamMalformed = 6;
+constexpr std::uint64_t streamBackoff = 7;
+
+/** Fold (job id, attempt) into one stream key without collisions for
+ *  any realistic attempt count. */
+std::uint64_t
+attemptKey(int jobId, int attempt)
+{
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                jobId))
+            << 16) ^
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+               attempt));
+}
+
+} // namespace
+
+bool
+ServiceFaultPlan::anyFault() const
+{
+    return anyWorkerFault() || anyCacheFault() || anyWireFault();
+}
+
+bool
+ServiceFaultPlan::anyWorkerFault() const
+{
+    return workerThrowProb > 0.0 || workerStallProb > 0.0;
+}
+
+bool
+ServiceFaultPlan::anyCacheFault() const
+{
+    return cacheWriteFailProb > 0.0 || cacheTornWriteProb > 0.0;
+}
+
+bool
+ServiceFaultPlan::anyWireFault() const
+{
+    return connResetProb > 0.0 || malformedFrameProb > 0.0;
+}
+
+std::string
+ServiceFaultPlan::describe() const
+{
+    std::ostringstream os;
+    const char *sep = "";
+    if (workerThrowProb > 0.0) {
+        os << sep << "worker throw p=" << workerThrowProb;
+        sep = ", ";
+    }
+    if (workerStallProb > 0.0) {
+        os << sep << "worker stall p=" << workerStallProb << " +"
+           << stallMs << "ms";
+        sep = ", ";
+    }
+    if (cacheWriteFailProb > 0.0) {
+        os << sep << "cache write-fail p=" << cacheWriteFailProb;
+        sep = ", ";
+    }
+    if (cacheTornWriteProb > 0.0) {
+        os << sep << "cache torn-write p=" << cacheTornWriteProb;
+        sep = ", ";
+    }
+    if (connResetProb > 0.0) {
+        os << sep << "conn reset p=" << connResetProb;
+        sep = ", ";
+    }
+    if (malformedFrameProb > 0.0) {
+        os << sep << "malformed frame p=" << malformedFrameProb;
+        sep = ", ";
+    }
+    if (os.str().empty())
+        return "healthy";
+    return os.str();
+}
+
+void
+ServiceFaultPlan::validate() const
+{
+    auto prob = [](double p, const char *what) {
+        if (!(p >= 0.0 && p <= 1.0))
+            throw fault::ConfigError(detail::formatMessage(
+                what, " probability ", p, " outside [0, 1]"));
+    };
+    prob(workerThrowProb, "worker-throw");
+    prob(workerStallProb, "worker-stall");
+    prob(cacheWriteFailProb, "cache-write-fail");
+    prob(cacheTornWriteProb, "cache-torn-write");
+    prob(connResetProb, "connection-reset");
+    prob(malformedFrameProb, "malformed-frame");
+    if (workerStallProb > 0.0 && stallMs == 0)
+        throw fault::ConfigError(
+            "worker-stall armed with a zero stall length");
+}
+
+ServiceFaultPlan
+ServiceFaultPlan::workerThrows(double prob, std::uint64_t seed)
+{
+    ServiceFaultPlan plan;
+    plan.seed = seed;
+    plan.workerThrowProb = prob;
+    return plan;
+}
+
+ServiceFaultPlan
+ServiceFaultPlan::workerStalls(double prob, std::uint64_t stallMs,
+                               std::uint64_t seed)
+{
+    ServiceFaultPlan plan;
+    plan.seed = seed;
+    plan.workerStallProb = prob;
+    plan.stallMs = stallMs;
+    return plan;
+}
+
+ServiceFaultPlan
+ServiceFaultPlan::cacheWriteFailures(double prob, std::uint64_t seed)
+{
+    ServiceFaultPlan plan;
+    plan.seed = seed;
+    plan.cacheWriteFailProb = prob;
+    return plan;
+}
+
+ServiceFaultPlan
+ServiceFaultPlan::tornCacheEntries(double prob, std::uint64_t seed)
+{
+    ServiceFaultPlan plan;
+    plan.seed = seed;
+    plan.cacheTornWriteProb = prob;
+    return plan;
+}
+
+ServiceFaultPlan
+ServiceFaultPlan::connectionResets(double prob, std::uint64_t seed)
+{
+    ServiceFaultPlan plan;
+    plan.seed = seed;
+    plan.connResetProb = prob;
+    return plan;
+}
+
+ServiceFaultPlan
+ServiceFaultPlan::malformedFrames(double prob, std::uint64_t seed)
+{
+    ServiceFaultPlan plan;
+    plan.seed = seed;
+    plan.malformedFrameProb = prob;
+    return plan;
+}
+
+ServiceFaultInjector::ServiceFaultInjector(
+    const ServiceFaultPlan &plan)
+    : plan_(plan)
+{
+    plan_.validate();
+}
+
+bool
+ServiceFaultInjector::throwOnAttempt(int jobId, int attempt) const
+{
+    if (plan_.workerThrowProb <= 0.0)
+        return false;
+    return uniform(plan_.seed, streamThrow,
+                   attemptKey(jobId, attempt)) < plan_.workerThrowProb;
+}
+
+std::uint64_t
+ServiceFaultInjector::stallUs(int jobId, int attempt) const
+{
+    if (plan_.workerStallProb <= 0.0)
+        return 0;
+    if (uniform(plan_.seed, streamStall, attemptKey(jobId, attempt)) >=
+        plan_.workerStallProb)
+        return 0;
+    return plan_.stallMs * 1000;
+}
+
+bool
+ServiceFaultInjector::failCacheWrite(std::uint64_t storeIndex) const
+{
+    if (plan_.cacheWriteFailProb <= 0.0)
+        return false;
+    return uniform(plan_.seed, streamCacheFail, storeIndex) <
+           plan_.cacheWriteFailProb;
+}
+
+bool
+ServiceFaultInjector::tearCacheWrite(std::uint64_t storeIndex) const
+{
+    if (plan_.cacheTornWriteProb <= 0.0)
+        return false;
+    return uniform(plan_.seed, streamCacheTear, storeIndex) <
+           plan_.cacheTornWriteProb;
+}
+
+bool
+ServiceFaultInjector::resetConnection(
+    std::uint64_t requestIndex) const
+{
+    if (plan_.connResetProb <= 0.0)
+        return false;
+    return uniform(plan_.seed, streamConnReset, requestIndex) <
+           plan_.connResetProb;
+}
+
+bool
+ServiceFaultInjector::malformFrame(std::uint64_t requestIndex) const
+{
+    if (plan_.malformedFrameProb <= 0.0)
+        return false;
+    return uniform(plan_.seed, streamMalformed, requestIndex) <
+           plan_.malformedFrameProb;
+}
+
+void
+RetryPolicy::validate() const
+{
+    if (maxAttempts < 1)
+        throw fault::ConfigError(detail::formatMessage(
+            "retry budget needs at least one attempt, got ",
+            maxAttempts));
+    if (!(baseDelayMs >= 0.0) || !(maxDelayMs >= 0.0))
+        throw fault::ConfigError("negative retry backoff delay");
+    if (!(multiplier >= 1.0))
+        throw fault::ConfigError(detail::formatMessage(
+            "retry backoff multiplier ", multiplier, " below 1"));
+}
+
+std::uint64_t
+RetryPolicy::delayUsAfter(std::uint64_t key, int attempt) const
+{
+    // Ceiling for this attempt: base * multiplier^(attempt-1), capped.
+    double ceilMs = baseDelayMs *
+                    std::pow(multiplier,
+                             static_cast<double>(attempt - 1));
+    if (ceilMs > maxDelayMs)
+        ceilMs = maxDelayMs;
+    // Full jitter, but from a keyed stream: reproducible per
+    // (seed, key, attempt), uncorrelated across keys.
+    double u = uniform(seed, streamBackoff,
+                       mix64(key) +
+                           static_cast<std::uint64_t>(attempt));
+    return static_cast<std::uint64_t>(u * ceilMs * 1000.0);
+}
+
+} // namespace stitch::svc

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Deterministic fault injection for the *service* tier — the mirror
+ * image, one level up, of fault/fault.hh for the simulated hardware.
+ * A ServiceFaultPlan arms failure modes of the job path itself:
+ *
+ *  - worker exceptions: an attempt throws InjectedFaultError instead
+ *    of simulating (a crashed worker thread's moral equivalent);
+ *  - worker stalls: an attempt sleeps long enough to trip the
+ *    engine's deadline watchdog (a wedged simulation);
+ *  - cache write failures: ResultCache::store() behaves as if the
+ *    disk returned EIO (degradation path);
+ *  - torn cache entries: store() leaves a truncated file behind, as
+ *    a crash between write and rename would (recovery-scan path);
+ *  - connection resets / malformed frames: the wire client corrupts
+ *    or abandons requests (server hardening path).
+ *
+ * Every decision is drawn from a *keyed* splitmix64 stream — a pure
+ * function of (seed, mechanism, identity) where identity is the job
+ * id + attempt, the store ordinal, or the request ordinal. Unlike
+ * fault/fault.hh's advancing counters (fine inside one deterministic
+ * System), keyed draws stay reproducible even when a worker pool
+ * claims jobs in a racy order: job 7's third attempt sees the same
+ * verdict whether one worker or eight are running.
+ *
+ * RetryPolicy lives here too: the deterministic jittered exponential
+ * backoff schedule shared by the engine's internal re-enqueue path
+ * and the stitchd --send wire client.
+ */
+
+#ifndef STITCH_SVC_CHAOS_HH
+#define STITCH_SVC_CHAOS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "fault/fault.hh"
+
+namespace stitch::svc
+{
+
+/**
+ * A chaos-injected transient failure. The engine treats it as the
+ * only *retryable* failure kind: real config/mismatch/sim errors are
+ * deterministic and retrying them would just burn the budget.
+ */
+class InjectedFaultError : public fault::SimError
+{
+  public:
+    explicit InjectedFaultError(const std::string &what)
+        : SimError(what)
+    {}
+};
+
+/**
+ * A deterministic service-tier fault scenario. Default-constructed
+ * plans inject nothing; named constructors build the chaos
+ * campaign's standard scenarios.
+ */
+struct ServiceFaultPlan
+{
+    /** Seeds the per-decision splitmix64 streams. */
+    std::uint64_t seed = 0;
+
+    /** Worker attempt throws InjectedFaultError before simulating. */
+    double workerThrowProb = 0.0;
+
+    /** Worker attempt stalls for `stallMs` before simulating. */
+    double workerStallProb = 0.0;
+    std::uint64_t stallMs = 0; ///< stall length per stalled attempt
+
+    /** ResultCache::store() disk write fails (as if EIO). */
+    double cacheWriteFailProb = 0.0;
+
+    /** store() leaves a truncated entry at the *final* path — the
+     *  torn file a crash between write and rename would leave. */
+    double cacheTornWriteProb = 0.0;
+
+    /** Wire client closes the socket mid-request (RST analogue). */
+    double connResetProb = 0.0;
+
+    /** Wire client sends a garbage frame instead of the job. */
+    double malformedFrameProb = 0.0;
+
+    /** True if any mechanism is armed. */
+    bool anyFault() const;
+
+    /** True if a worker-path mechanism (throw/stall) is armed. */
+    bool anyWorkerFault() const;
+
+    /** True if a cache-path mechanism is armed. */
+    bool anyCacheFault() const;
+
+    /** True if a wire-path mechanism is armed. */
+    bool anyWireFault() const;
+
+    /** Human-readable scenario summary ("worker throw p=0.3", ...). */
+    std::string describe() const;
+
+    /** Typed validation (probabilities in [0, 1], stall length). */
+    void validate() const;
+
+    static ServiceFaultPlan none() { return ServiceFaultPlan{}; }
+    static ServiceFaultPlan workerThrows(double prob,
+                                         std::uint64_t seed);
+    static ServiceFaultPlan workerStalls(double prob,
+                                         std::uint64_t stallMs,
+                                         std::uint64_t seed);
+    static ServiceFaultPlan cacheWriteFailures(double prob,
+                                               std::uint64_t seed);
+    static ServiceFaultPlan tornCacheEntries(double prob,
+                                             std::uint64_t seed);
+    static ServiceFaultPlan connectionResets(double prob,
+                                             std::uint64_t seed);
+    static ServiceFaultPlan malformedFrames(double prob,
+                                            std::uint64_t seed);
+};
+
+/**
+ * Draws the plan's decisions from keyed splitmix64 streams, one per
+ * mechanism. Stateless by design (every query is a pure function of
+ * plan + identity), so one injector can be shared by every worker
+ * without a lock and outcomes cannot depend on claim order.
+ */
+class ServiceFaultInjector
+{
+  public:
+    explicit ServiceFaultInjector(
+        const ServiceFaultPlan &plan = ServiceFaultPlan{});
+
+    const ServiceFaultPlan &plan() const { return plan_; }
+    bool active() const { return plan_.anyFault(); }
+
+    /** Should attempt `attempt` of job `jobId` throw? */
+    bool throwOnAttempt(int jobId, int attempt) const;
+
+    /** Stall (µs) before attempt `attempt` of job `jobId`; 0 = none. */
+    std::uint64_t stallUs(int jobId, int attempt) const;
+
+    /** Should the `storeIndex`-th cache store fail outright? */
+    bool failCacheWrite(std::uint64_t storeIndex) const;
+
+    /** Should the `storeIndex`-th cache store leave a torn entry? */
+    bool tearCacheWrite(std::uint64_t storeIndex) const;
+
+    /** Should the `requestIndex`-th wire request reset mid-send? */
+    bool resetConnection(std::uint64_t requestIndex) const;
+
+    /** Should the `requestIndex`-th wire request be garbage? */
+    bool malformFrame(std::uint64_t requestIndex) const;
+
+  private:
+    ServiceFaultPlan plan_;
+};
+
+/**
+ * Deterministic retry with jittered exponential backoff. Attempt n
+ * (1-based; attempt 1 is the original try) that fails retryably is
+ * followed, while n < maxAttempts, by a wait of
+ *
+ *     uniform[0, 1) * min(maxDelayMs, baseDelayMs * multiplier^(n-1))
+ *
+ * where the uniform draw is keyed on (seed, key, n) — "full jitter"
+ * in the AWS taxonomy, but reproducible: same policy, same key, same
+ * schedule. `key` is the job id (engine path) or the request ordinal
+ * (wire path).
+ */
+struct RetryPolicy
+{
+    int maxAttempts = 1;       ///< total attempts; 1 = never retry
+    double baseDelayMs = 2.0;  ///< first backoff ceiling
+    double maxDelayMs = 250.0; ///< backoff ceiling cap
+    double multiplier = 2.0;   ///< ceiling growth per attempt
+    std::uint64_t seed = 0;    ///< jitter stream seed
+
+    bool enabled() const { return maxAttempts > 1; }
+
+    /** Typed validation (attempts >= 1, delays/multiplier sane). */
+    void validate() const;
+
+    /** Jittered backoff (µs) after failed attempt `attempt`. */
+    std::uint64_t delayUsAfter(std::uint64_t key, int attempt) const;
+};
+
+} // namespace stitch::svc
+
+#endif // STITCH_SVC_CHAOS_HH

@@ -20,14 +20,18 @@ jobStatusName(JobResult::Status status)
     case JobResult::Status::Completed: return "completed";
     case JobResult::Status::Failed: return "failed";
     case JobResult::Status::Cancelled: return "cancelled";
+    case JobResult::Status::Shed: return "shed";
     }
     return "?";
 }
 
 JobEngine::JobEngine(const EngineOptions &options)
-    : options_(options),
+    : options_(options), injector_(options.chaos),
       cache_(options.cacheDir, options.memCacheEntries)
 {
+    options_.retry.validate();
+    if (injector_.active())
+        cache_.setFaultInjector(&injector_);
     // Trace ids must be unique within the engine (splitmix64 over the
     // job index guarantees that) and unlikely to collide across
     // engines; fold the wall clock in for the latter.
@@ -45,16 +49,34 @@ JobEngine::JobEngine(const EngineOptions &options)
     // Materialize the counter set so reports carry stable keys even
     // before the first job.
     for (const char *name :
-         {"submitted", "completed", "failed", "cancelled",
+         {"submitted", "completed", "failed", "cancelled", "shed",
           "cache_hits", "simulated"})
         jobStats_.counter(name);
     queueStats_.counter("peak_depth");
     for (const char *name : {"le_1ms", "le_10ms", "le_100ms", "le_1s",
                              "le_10s", "gt_10s"})
         latencyStats_.counter(name);
+    registry_.add("svc.resilience", resilienceStats_);
+    for (const char *name :
+         {"rejected", "shed", "retries", "retry_exhausted",
+          "injected_throws", "injected_stalls", "watchdog_trips",
+          "deadline_exceeded"})
+        resilienceStats_.counter(name);
 }
 
-JobEngine::~JobEngine() = default;
+JobEngine::~JobEngine()
+{
+    // run() joins the watchdog on every exit path; this is only the
+    // backstop against a future path that forgets.
+    if (watchdog_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            wdStop_ = true;
+        }
+        wdCv_.notify_all();
+        watchdog_.join();
+    }
+}
 
 telem::TraceContext
 JobEngine::contextFor(const Job &job, int worker) const
@@ -77,6 +99,45 @@ JobEngine::submit(const JobSpec &spec)
     const std::string key = spec.cacheKey();
 
     std::lock_guard<std::mutex> lock(mutex_);
+
+    if (options_.maxQueueDepth > 0 &&
+        static_cast<std::size_t>(pendingJobs_) >=
+            options_.maxQueueDepth) {
+        // Admission control. Shedding policy: the *lowest* pending
+        // band pays first, and only for a strictly higher-priority
+        // newcomer — an equal-or-lower one is rejected outright.
+        // Either way the outcome is typed, never a silent drop.
+        const int lowestBand = std::prev(pendingPerBand_.end())->first;
+        if (spec.priority <= lowestBand) {
+            resilienceStats_.inc("rejected");
+            throw OverloadedError(detail::formatMessage(
+                "queue full (", pendingJobs_, "/",
+                options_.maxQueueDepth,
+                " pending) and priority ", spec.priority,
+                " does not outrank band ", lowestBand));
+        }
+        // Shed the oldest pending job of the lowest band (dense ids
+        // are submit-ordered, so the first match is the oldest).
+        for (auto &victimPtr : jobs_) {
+            Job &victim = *victimPtr;
+            if (victim.result.status != JobResult::Status::Pending ||
+                victim.spec.priority != lowestBand)
+                continue;
+            victim.result.status = JobResult::Status::Shed;
+            victim.result.errorKind = "overloaded";
+            victim.result.error = detail::formatMessage(
+                "shed under overload by higher-priority job (band ",
+                lowestBand, " -> ", spec.priority, ")");
+            --pendingJobs_;
+            if (auto it = pendingPerBand_.find(lowestBand);
+                it != pendingPerBand_.end() && --it->second <= 0)
+                pendingPerBand_.erase(it);
+            jobStats_.inc("shed");
+            resilienceStats_.inc("shed");
+            break;
+        }
+    }
+
     const int id = static_cast<int>(jobs_.size());
     auto job = std::make_unique<Job>();
     job->id = id;
@@ -93,10 +154,12 @@ JobEngine::submit(const JobSpec &spec)
     jobs_.push_back(std::move(job));
     queue_.push({spec.priority, -id});
     ++pendingPerBand_[spec.priority];
+    ++pendingJobs_;
     jobStats_.inc("submitted");
     queueStats_.set("peak_depth",
                     std::max<std::uint64_t>(
-                        queueStats_.get("peak_depth"), queue_.size()));
+                        queueStats_.get("peak_depth"),
+                        static_cast<std::uint64_t>(pendingJobs_)));
     return id;
 }
 
@@ -116,6 +179,7 @@ JobEngine::cancel(int id)
     if (job.result.status != JobResult::Status::Pending)
         return false;
     job.result.status = JobResult::Status::Cancelled;
+    --pendingJobs_;
     if (auto it = pendingPerBand_.find(job.spec.priority);
         it != pendingPerBand_.end() && --it->second <= 0)
         pendingPerBand_.erase(it);
@@ -193,6 +257,127 @@ JobEngine::finishFailed(Job &job, const std::string &kind,
         errorRing_.pop_front();
 }
 
+/**
+ * The worker attempt loop: chaos injection, the simulation itself,
+ * the typed exception-to-kind mapping, and deterministic jittered
+ * retry of chaos-transient failures. Runs without mutex_ held.
+ */
+void
+JobEngine::runSimulation(Job &job, const telem::TraceContext &ctx,
+                         CacheEntry &entry, bool &failed,
+                         std::string &kind, std::string &error)
+{
+    for (int attempt = 1;; ++attempt) {
+        failed = false;
+        kind.clear();
+        error.clear();
+        try {
+            if (injector_.active()) {
+                // Stall first (a wedged worker), then maybe throw (a
+                // crashed one). The stall polls the abort flag so a
+                // deadline can cut it short — that is precisely how
+                // the watchdog scenario terminates.
+                std::uint64_t stall =
+                    injector_.stallUs(job.id, attempt);
+                if (stall > 0) {
+                    {
+                        std::lock_guard<std::mutex> lock(mutex_);
+                        resilienceStats_.inc("injected_stalls");
+                    }
+                    const std::uint64_t until =
+                        spanSink_.nowUs() + stall;
+                    while (spanSink_.nowUs() < until) {
+                        if (job.abortRequested.load(
+                                std::memory_order_relaxed))
+                            throw fault::DeadlineExceededError(
+                                detail::formatMessage(
+                                    "stalled worker aborted by the "
+                                    "deadline watchdog (attempt ",
+                                    attempt, ")"));
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(1));
+                    }
+                }
+                if (injector_.throwOnAttempt(job.id, attempt)) {
+                    {
+                        std::lock_guard<std::mutex> lock(mutex_);
+                        resilienceStats_.inc("injected_throws");
+                    }
+                    throw InjectedFaultError(detail::formatMessage(
+                        "injected worker fault (job ", job.id,
+                        ", attempt ", attempt, ")"));
+                }
+            }
+
+            const apps::AppSpec &app = job.spec.resolveApp();
+            apps::RunConfig runConfig = job.spec.runConfig();
+            runConfig.trace = ctx;
+            runConfig.abortFlag = &job.abortRequested;
+            apps::AppRunResult res =
+                runner_.run(app, job.spec.mode, runConfig);
+            const std::uint64_t reportStart = spanSink_.nowUs();
+            {
+                telem::ScopedSpan span(ctx, telem::Stage::Report);
+                ReportOptions reportOptions;
+                reportOptions.profile = job.spec.artifacts.profile;
+                reportOptions.energy = job.spec.artifacts.energy;
+                entry.report = appReportJson(res, reportOptions);
+                entry.derived = derivedJson(res);
+                if (cache_.memEnabled() || cache_.diskEnabled())
+                    cache_.store(job.spec, entry);
+            }
+            job.reportUs = spanSink_.nowUs() - reportStart;
+        } catch (const InjectedFaultError &e) {
+            // The only *retryable* kind: transient by construction.
+            if (attempt < options_.retry.maxAttempts) {
+                const std::uint64_t delay =
+                    options_.retry.delayUsAfter(
+                        static_cast<std::uint64_t>(job.id), attempt);
+                const std::uint64_t t0 = spanSink_.nowUs();
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(delay));
+                ctx.record(telem::Stage::Backoff, t0,
+                           spanSink_.nowUs());
+                std::lock_guard<std::mutex> lock(mutex_);
+                resilienceStats_.inc("retries");
+                stageHist_[static_cast<int>(telem::Stage::Backoff)]
+                    .record(delay);
+                continue;
+            }
+            failed = true;
+            kind = "injected";
+            error = e.what();
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (options_.retry.enabled())
+                resilienceStats_.inc("retry_exhausted");
+        } catch (const fault::DeadlineExceededError &e) {
+            failed = true;
+            kind = "deadline";
+            error = e.what();
+            std::lock_guard<std::mutex> lock(mutex_);
+            resilienceStats_.inc("deadline_exceeded");
+        } catch (const fault::ConfigError &e) {
+            failed = true;
+            kind = "config";
+            error = e.what();
+        } catch (const fault::BinaryMismatchError &e) {
+            failed = true;
+            kind = "mismatch";
+            error = e.what();
+        } catch (const fault::SimError &e) {
+            failed = true;
+            kind = "sim";
+            error = e.what();
+        } catch (const std::exception &e) {
+            failed = true;
+            kind = "internal";
+            error = e.what();
+        }
+        job.result.attempts = attempt;
+        return;
+    }
+}
+
 bool
 JobEngine::claimAndRunOne(int worker)
 {
@@ -206,8 +391,9 @@ JobEngine::claimAndRunOne(int worker)
             const int id = -queue_.top().second;
             queue_.pop();
             Job &job = *jobs_[static_cast<std::size_t>(id)];
-            if (job.result.status == JobResult::Status::Cancelled)
-                continue; // cancelled while queued; entry is stale
+            if (job.result.status == JobResult::Status::Cancelled ||
+                job.result.status == JobResult::Status::Shed)
+                continue; // cancelled/shed while queued; stale entry
             claimed = &job;
             break;
         }
@@ -217,7 +403,11 @@ JobEngine::claimAndRunOne(int worker)
         Job &job = *claimed;
         job.result.status = JobResult::Status::Running;
         job.claimUs = spanSink_.nowUs();
+        if (job.spec.deadlineMs > 0)
+            job.deadlineAtUs =
+                job.claimUs + job.spec.deadlineMs * 1000;
         ++runningJobs_;
+        --pendingJobs_;
         if (auto it = pendingPerBand_.find(job.spec.priority);
             it != pendingPerBand_.end() && --it->second <= 0)
             pendingPerBand_.erase(it);
@@ -292,43 +482,8 @@ JobEngine::claimAndRunOne(int worker)
             fromDisk = true;
         }
     }
-    if (!fromDisk) {
-        try {
-            const apps::AppSpec &app = job.spec.resolveApp();
-            apps::RunConfig runConfig = job.spec.runConfig();
-            runConfig.trace = ctx;
-            apps::AppRunResult res =
-                runner_.run(app, job.spec.mode, runConfig);
-            const std::uint64_t reportStart = spanSink_.nowUs();
-            {
-                telem::ScopedSpan span(ctx, telem::Stage::Report);
-                ReportOptions reportOptions;
-                reportOptions.profile = job.spec.artifacts.profile;
-                reportOptions.energy = job.spec.artifacts.energy;
-                entry.report = appReportJson(res, reportOptions);
-                entry.derived = derivedJson(res);
-                if (cache_.memEnabled() || cache_.diskEnabled())
-                    cache_.store(job.spec, entry);
-            }
-            job.reportUs = spanSink_.nowUs() - reportStart;
-        } catch (const fault::ConfigError &e) {
-            failed = true;
-            kind = "config";
-            error = e.what();
-        } catch (const fault::BinaryMismatchError &e) {
-            failed = true;
-            kind = "mismatch";
-            error = e.what();
-        } catch (const fault::SimError &e) {
-            failed = true;
-            kind = "sim";
-            error = e.what();
-        } catch (const std::exception &e) {
-            failed = true;
-            kind = "internal";
-            error = e.what();
-        }
-    }
+    if (!fromDisk)
+        runSimulation(job, ctx, entry, failed, kind, error);
 
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -355,9 +510,70 @@ JobEngine::claimAndRunOne(int worker)
     return true;
 }
 
+/**
+ * Deadline watchdog: wakes every watchdogPollMs, trips the abort
+ * flag of any running job past its deadline. Detection is *stuck
+ * worker* shaped — a worker that stops making progress (a stalled
+ * simulation, an injected stall) is asked to unwind cooperatively;
+ * the thread itself is never killed, so no lock or cache entry can
+ * be orphaned mid-update.
+ */
+void
+JobEngine::watchdogLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!wdStop_) {
+        const std::uint64_t now = spanSink_.nowUs();
+        for (auto &jobPtr : jobs_) {
+            Job &job = *jobPtr;
+            if (job.result.status != JobResult::Status::Running ||
+                job.deadlineAtUs == 0 || now < job.deadlineAtUs)
+                continue;
+            if (!job.abortRequested.exchange(
+                    true, std::memory_order_relaxed))
+                resilienceStats_.inc("watchdog_trips");
+        }
+        wdCv_.wait_for(
+            lock,
+            std::chrono::milliseconds(options_.watchdogPollMs));
+    }
+}
+
 void
 JobEngine::run()
 {
+    // Arm the watchdog only when this drain can need it: a pending
+    // job with a deadline (an armed chaos stall without a deadline
+    // just runs long — nothing to abort).
+    bool needWatchdog = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        wdStop_ = false;
+        for (const auto &jobPtr : jobs_)
+            if (jobPtr->result.status ==
+                    JobResult::Status::Pending &&
+                jobPtr->spec.deadlineMs > 0)
+                needWatchdog = true;
+    }
+    if (needWatchdog)
+        watchdog_ = std::thread([this] { watchdogLoop(); });
+
+    struct WatchdogJoin
+    {
+        JobEngine *engine;
+        ~WatchdogJoin()
+        {
+            if (!engine->watchdog_.joinable())
+                return;
+            {
+                std::lock_guard<std::mutex> lock(engine->mutex_);
+                engine->wdStop_ = true;
+            }
+            engine->wdCv_.notify_all();
+            engine->watchdog_.join();
+        }
+    } joiner{this};
+
     int workers = options_.jobs;
     if (workers < 1)
         workers = static_cast<int>(std::thread::hardware_concurrency());
@@ -375,7 +591,7 @@ JobEngine::run()
     std::size_t pending = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        pending = queue_.size();
+        pending = static_cast<std::size_t>(pendingJobs_);
     }
     workers = std::min<int>(workers, static_cast<int>(pending));
 
@@ -472,6 +688,8 @@ JobEngine::latencyJson(bool includeSpanStages) const
     add(Stage::Report, stageHist_[static_cast<int>(Stage::Report)]);
     add(Stage::Respond,
         fromSpans[static_cast<int>(Stage::Respond)]);
+    add(Stage::Backoff,
+        stageHist_[static_cast<int>(Stage::Backoff)]);
     add(Stage::Job, stageHist_[static_cast<int>(Stage::Job)],
         "e2e");
     return doc;
@@ -490,7 +708,13 @@ JobEngine::serviceReportJson() const
     cacheStats_.set("stores", cs.stores);
     cacheStats_.set("invalidated", cs.invalidated);
     cacheStats_.set("evictions", cs.evictions);
-    queueStats_.set("depth", queue_.size());
+    cacheStats_.set("write_failures", cs.writeFailures);
+    cacheStats_.set("torn_writes", cs.tornWrites);
+    cacheStats_.set("quarantined", cs.quarantined);
+    cacheStats_.set("tmp_swept", cs.tmpSwept);
+    cacheStats_.set("degraded", cs.degraded ? 1 : 0);
+    queueStats_.set("depth",
+                    static_cast<std::uint64_t>(pendingJobs_));
 
     obs::Json doc = obs::Json::object();
     doc.set("schema", serviceReportSchema);
@@ -523,10 +747,21 @@ JobEngine::introspectionJson() const
 
     obs::Json jobs = obs::Json::object();
     for (const char *name :
-         {"submitted", "completed", "failed", "cancelled",
+         {"submitted", "completed", "failed", "cancelled", "shed",
           "cache_hits", "simulated"})
         jobs.set(name, jobStats_.get(name));
     doc.set("jobs", std::move(jobs));
+
+    obs::Json admission = obs::Json::object();
+    admission.set("max_queue_depth",
+                  static_cast<std::uint64_t>(
+                      options_.maxQueueDepth));
+    for (const char *name :
+         {"rejected", "shed", "retries", "retry_exhausted",
+          "injected_throws", "injected_stalls", "watchdog_trips",
+          "deadline_exceeded"})
+        admission.set(name, resilienceStats_.get(name));
+    doc.set("resilience", std::move(admission));
 
     const ResultCache::Stats cs = cache_.stats();
     obs::Json cache = obs::Json::object();
@@ -537,6 +772,11 @@ JobEngine::introspectionJson() const
     cache.set("invalidated", cs.invalidated);
     cache.set("evictions", cs.evictions);
     cache.set("hit_rate", cs.hitRate());
+    cache.set("write_failures", cs.writeFailures);
+    cache.set("torn_writes", cs.tornWrites);
+    cache.set("quarantined", cs.quarantined);
+    cache.set("tmp_swept", cs.tmpSwept);
+    cache.set("degraded", cs.degraded);
     doc.set("cache", std::move(cache));
 
     doc.set("latency", latencyJson(options_.telemetry));

@@ -33,11 +33,34 @@
  * ResultCache and AppRunner — exportable per batch as a Chrome trace
  * and a JSONL event log. With telemetry off nothing observable
  * changes: per-job reports are byte-identical either way.
+ *
+ * Resilience (this PR's layer; see DESIGN.md §13):
+ *
+ *  - Admission control: EngineOptions::maxQueueDepth bounds the
+ *    pending queue. An over-limit submit either *sheds* the oldest
+ *    job of the lowest pending priority band (when the newcomer
+ *    outranks it — Status::Shed, typed, never a silent drop) or is
+ *    rejected with the typed OverloadedError.
+ *  - Deadlines: JobSpec::deadlineMs bounds claim-to-finish wall
+ *    time. A watchdog thread trips the job's cooperative abort flag
+ *    (SystemParams::abortFlag), the simulator unwinds with
+ *    fault::DeadlineExceededError, and the job fails typed as
+ *    "deadline" — the worker is never killed, only asked to stop.
+ *  - Retry: chaos-injected transient failures (InjectedFaultError)
+ *    are retried in place by the owning worker up to
+ *    EngineOptions::retry.maxAttempts, with deterministic jittered
+ *    exponential backoff recorded as Backoff spans/histogram.
+ *    Deterministic failures (config/mismatch/sim) never retry.
+ *  - Chaos: EngineOptions::chaos arms a ServiceFaultInjector shared
+ *    with the ResultCache; every injection is a pure function of
+ *    (plan, job id, attempt), so a single-worker engine replays a
+ *    scenario exactly.
  */
 
 #ifndef STITCH_SVC_ENGINE_HH
 #define STITCH_SVC_ENGINE_HH
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -47,6 +70,7 @@
 #include <mutex>
 #include <queue>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/app_runner.hh"
@@ -54,6 +78,7 @@
 #include "obs/json.hh"
 #include "obs/registry.hh"
 #include "svc/cache.hh"
+#include "svc/chaos.hh"
 #include "svc/job.hh"
 #include "telem/histogram.hh"
 #include "telem/span.hh"
@@ -88,6 +113,40 @@ struct EngineOptions
 
     /** Failed-job ring buffer depth for live introspection. */
     std::size_t errorRingEntries = 32;
+
+    /**
+     * Admission limit on *pending* jobs; 0 = unbounded (the seed
+     * behaviour). When the queue is full, a submit sheds the oldest
+     * job of the lowest pending band if the newcomer outranks it,
+     * and otherwise throws OverloadedError. Either way the outcome
+     * is typed — nothing is ever dropped silently.
+     */
+    std::size_t maxQueueDepth = 0;
+
+    /** Engine-side retry of chaos-transient failures (default: one
+     *  attempt, i.e. no retry — the seed behaviour). */
+    RetryPolicy retry;
+
+    /** Deterministic service-tier fault injection (default: none). */
+    ServiceFaultPlan chaos;
+
+    /** Deadline watchdog poll period (ms). Only consulted while a
+     *  claimed job carries a deadline. */
+    std::uint64_t watchdogPollMs = 5;
+};
+
+/**
+ * Typed admission-control rejection: the queue is at
+ * EngineOptions::maxQueueDepth and the submitted job does not
+ * outrank any pending band. Callers (stitchd maps it to the
+ * "overloaded" wire error) retry with backoff or surface it.
+ */
+class OverloadedError : public fault::SimError
+{
+  public:
+    explicit OverloadedError(const std::string &what)
+        : SimError(what)
+    {}
 };
 
 /** Outcome of one submitted job. */
@@ -100,6 +159,7 @@ struct JobResult
         Completed, ///< report + derived are valid
         Failed,    ///< error + errorKind are valid
         Cancelled, ///< cancelled before a worker claimed it
+        Shed,      ///< evicted by admission control under overload
     };
 
     Status status = Status::Pending;
@@ -108,16 +168,18 @@ struct JobResult
      *  coalesced onto an identical in-flight job. */
     bool cached = false;
 
-    std::string key;       ///< spec.cacheKey(), fixed at submit
-    std::string error;     ///< failure message (Status::Failed)
-    std::string errorKind; ///< config|mismatch|sim|internal
-    obs::Json report;      ///< svc::appReportJson document
-    obs::Json derived;     ///< svc::derivedJson scalars
+    std::string key;   ///< spec.cacheKey(), fixed at submit
+    std::string error; ///< failure message (Status::Failed/Shed)
+    /** config|mismatch|sim|internal|deadline|injected|overloaded */
+    std::string errorKind;
+    obs::Json report;  ///< svc::appReportJson document
+    obs::Json derived; ///< svc::derivedJson scalars
 
     std::uint64_t traceId = 0; ///< request-scoped id, set at submit
     double latencyMs = 0;      ///< claim-to-finish wall time
     double queueMs = 0;        ///< submit-to-claim wall time
     double e2eMs = 0;          ///< submit-to-finish wall time
+    int attempts = 1;          ///< worker attempts (retries + 1)
 };
 
 const char *jobStatusName(JobResult::Status status);
@@ -196,6 +258,14 @@ class JobEngine
     /** True when request-scoped span collection is on. */
     bool telemetryEnabled() const { return options_.telemetry; }
 
+    /** The chaos injector built from EngineOptions::chaos (inactive
+     *  for a default plan); shared with the ResultCache. */
+    const ServiceFaultInjector &
+    faultInjector() const
+    {
+        return injector_;
+    }
+
     /** The span sink (empty unless telemetry is enabled). */
     const telem::SpanSink &spanSink() const { return spanSink_; }
 
@@ -232,9 +302,23 @@ class JobEngine
          *  histograms at finish (µs). */
         std::uint64_t probeUs = 0;
         std::uint64_t reportUs = 0;
+
+        /** Absolute deadline (sink epoch µs); 0 = none. Set at claim
+         *  from spec.deadlineMs; the watchdog compares against it. */
+        std::uint64_t deadlineAtUs = 0;
+
+        /** Cooperative abort token: the watchdog sets it, the
+         *  simulator (via RunConfig::abortFlag) and the chaos stall
+         *  loop poll it. Jobs live behind unique_ptr, so the address
+         *  is stable for the simulation's whole life. */
+        std::atomic<bool> abortRequested{false};
     };
 
     bool claimAndRunOne(int worker);
+    void runSimulation(Job &job, const telem::TraceContext &ctx,
+                       CacheEntry &entry, bool &failed,
+                       std::string &kind, std::string &error);
+    void watchdogLoop();
     void finishCompleted(Job &job, const CacheEntry &entry,
                          bool cached);
     void finishFailed(Job &job, const std::string &kind,
@@ -244,6 +328,7 @@ class JobEngine
     obs::Json latencyJson(bool includeSpanStages) const;
 
     EngineOptions options_;
+    ServiceFaultInjector injector_; ///< stateless; shared with cache_
     ResultCache cache_;
     apps::AppRunner runner_;
 
@@ -258,7 +343,14 @@ class JobEngine
 
     /** priority -> still-pending jobs (live per-band backlog). */
     std::map<int, int, std::greater<int>> pendingPerBand_;
+    int pendingJobs_ = 0; ///< sum of pendingPerBand_ (admission test)
     int runningJobs_ = 0;
+
+    /** Deadline watchdog (started lazily by run(), joined at drain).
+     *  wdStop_/wdCv_ use mutex_; the loop holds it only to scan. */
+    std::thread watchdog_;
+    std::condition_variable wdCv_;
+    bool wdStop_ = false;
 
     /** Engine-recorded latency histograms, guarded by mutex_:
      *  indexed by telem::Stage (queue, cache_probe, report, job). */
@@ -278,7 +370,8 @@ class JobEngine
      *  const serviceReportJson(), hence mutable. */
     mutable StatGroup cacheStats_;
     mutable StatGroup queueStats_;
-    StatGroup latencyStats_; ///< svc.latency buckets
+    StatGroup latencyStats_;    ///< svc.latency buckets
+    StatGroup resilienceStats_; ///< svc.resilience (admission/retry)
     obs::Registry registry_;
 };
 

@@ -258,9 +258,10 @@ JobSpec::fromJson(const obs::Json &doc)
     if (!doc.isObject())
         throw ConfigError("stitch-job document is not a JSON object");
     checkKeys(doc, "stitch-job document",
-              {"schema", "version", "name", "priority", "app", "mode",
-               "policy", "scheduler", "samples_short", "samples_long",
-               "max_instructions", "health", "faults", "artifacts"});
+              {"schema", "version", "name", "priority", "deadline_ms",
+               "app", "mode", "policy", "scheduler", "samples_short",
+               "samples_long", "max_instructions", "health", "faults",
+               "artifacts"});
     if (!doc.has("schema") ||
         strField(doc.get("schema"), "schema") != jobSchema)
         throw ConfigError(detail::formatMessage(
@@ -278,6 +279,9 @@ JobSpec::fromJson(const obs::Json &doc)
     if (doc.has("priority"))
         spec.priority = static_cast<int>(
             uintField(doc.get("priority"), "priority"));
+    if (doc.has("deadline_ms"))
+        spec.deadlineMs =
+            uintField(doc.get("deadline_ms"), "deadline_ms");
     if (!doc.has("app"))
         throw ConfigError("stitch-job is missing the \"app\" field");
     spec.app = strField(doc.get("app"), "app");
@@ -413,6 +417,8 @@ JobSpec::toJson() const
         j.set("name", name);
     if (priority != 0)
         j.set("priority", priority);
+    if (deadlineMs != 0)
+        j.set("deadline_ms", deadlineMs);
     obs::Json canonical = canonicalJson();
     for (const auto &kv : canonical.items())
         if (kv.first != "schema" && kv.first != "version")

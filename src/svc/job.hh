@@ -59,6 +59,17 @@ struct JobSpec
     std::string name; ///< free-form label (report file naming)
     int priority = 0; ///< higher runs first; FIFO within a priority
 
+    /**
+     * Wall-clock deadline (ms) from claim to finish; 0 = none. Like
+     * priority, a *service* property, not a simulation property: two
+     * jobs differing only in deadline describe the same run and share
+     * one cache entry, so this is NOT part of the cache identity.
+     * Distinct from maxInstructions (a simulated-work budget): the
+     * deadline bounds real time, and an expired one terminates the
+     * job with the typed "deadline" failure kind.
+     */
+    std::uint64_t deadlineMs = 0;
+
     // The simulation itself — every field below is hashed.
     std::string app; ///< full catalog name (resolved at parse time)
     apps::AppMode mode = apps::AppMode::Stitch;

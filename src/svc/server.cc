@@ -5,6 +5,8 @@
 #include <cstring>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
+#include <thread>
 #include <unistd.h>
 
 #include "common/logging.hh"
@@ -16,13 +18,15 @@ namespace stitch::svc
 namespace
 {
 
-/** write() until done; false on error/EPIPE. */
+/** send() until done; false on error. MSG_NOSIGNAL: a peer that hung
+ *  up mid-response must surface as EPIPE (-> the "client hung up"
+ *  warning), never as a process-fatal SIGPIPE. */
 bool
 writeAll(int fd, const void *data, std::size_t len)
 {
     const char *p = static_cast<const char *>(data);
     while (len > 0) {
-        ssize_t n = ::write(fd, p, len);
+        ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -46,8 +50,10 @@ readAll(int fd, void *data, std::size_t len)
                 continue;
             return false;
         }
-        if (n == 0)
+        if (n == 0) {
+            errno = 0;    // clean EOF, not an I/O error
             return false; // peer closed mid-frame
+        }
         p += n;
         len -= static_cast<std::size_t>(n);
     }
@@ -63,18 +69,43 @@ sendFrame(int fd, const std::string &payload)
            writeAll(fd, payload.data(), payload.size());
 }
 
-/** Receive one frame; false on I/O error, oversize, or EOF. */
-bool
-recvFrame(int fd, std::string &payload)
+/** Typed outcome of one frame receive — the serve loop answers each
+ *  violation with a distinct protocol error instead of one generic
+ *  "malformed" (or, worse, a silent close). */
+enum class RecvStatus
 {
+    Ok,
+    Closed,   ///< EOF before a complete length prefix
+    Oversize, ///< length prefix beyond the configured frame cap
+    Short,    ///< peer hung up (or I/O error) mid-body
+    Timeout,  ///< SO_RCVTIMEO expired mid-read
+};
+
+struct RecvResult
+{
+    RecvStatus status = RecvStatus::Ok;
+    std::uint32_t announced = 0; ///< the length the prefix promised
+};
+
+RecvResult
+recvFrame(int fd, std::string &payload,
+          std::uint32_t maxBytes = maxRequestBytes)
+{
+    auto ioStatus = [] {
+        return (errno == EAGAIN || errno == EWOULDBLOCK)
+                   ? RecvStatus::Timeout
+                   : RecvStatus::Short;
+    };
     std::uint32_t len = 0;
     if (!readAll(fd, &len, sizeof len))
-        return false;
+        return {errno == 0 ? RecvStatus::Closed : ioStatus(), 0};
     len = ntohl(len);
-    if (len > maxRequestBytes)
-        return false;
+    if (len > maxBytes)
+        return {RecvStatus::Oversize, len};
     payload.resize(len);
-    return len == 0 || readAll(fd, payload.data(), len);
+    if (len > 0 && !readAll(fd, payload.data(), len))
+        return {ioStatus(), len};
+    return {RecvStatus::Ok, len};
 }
 
 obs::Json
@@ -100,6 +131,10 @@ handleRequest(JobEngine &engine, const obs::Json &jobDoc,
         *jobIdOut = -1;
     try {
         id = engine.submit(jobDoc);
+    } catch (const OverloadedError &e) {
+        // Admission-control rejection: the typed cue for the client
+        // to back off and retry (requestReportWithRetry does).
+        return errorResponse("overloaded", e.what());
     } catch (const fault::ConfigError &e) {
         return errorResponse("config", e.what());
     } catch (const std::exception &e) {
@@ -169,8 +204,9 @@ introspectionResponse(JobEngine &engine, const std::string &cmd,
     return errorResponse("config", "unknown cmd: " + cmd);
 }
 
-Server::Server(JobEngine &engine, std::uint16_t port)
-    : engine_(engine)
+Server::Server(JobEngine &engine, std::uint16_t port,
+               ServerOptions options)
+    : engine_(engine), options_(options)
 {
     listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listenFd_ < 0)
@@ -238,12 +274,52 @@ Server::serve(int maxRequests)
         ++served;
         ++served_;
 
+        if (options_.readTimeoutMs > 0) {
+            // A client that connects and stalls must not wedge the
+            // single-threaded serve loop forever.
+            timeval tv{};
+            tv.tv_sec = static_cast<time_t>(
+                options_.readTimeoutMs / 1000);
+            tv.tv_usec = static_cast<suseconds_t>(
+                (options_.readTimeoutMs % 1000) * 1000);
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv,
+                         sizeof tv);
+        }
+
         std::string payload;
         obs::Json response;
         int jobId = -1;
-        if (!recvFrame(fd, payload)) {
-            response = errorResponse(
-                "config", "malformed or oversized request frame");
+        const RecvResult recv =
+            recvFrame(fd, payload, options_.maxFrameBytes);
+        if (recv.status != RecvStatus::Ok) {
+            // Typed, best-effort reply: a peer that already hung up
+            // just loses the write, which is fine — nothing to
+            // answer a closed socket with.
+            switch (recv.status) {
+            case RecvStatus::Oversize:
+                response = errorResponse(
+                    "protocol",
+                    detail::formatMessage(
+                        "request frame of ", recv.announced,
+                        " bytes exceeds the ",
+                        options_.maxFrameBytes, "-byte limit"));
+                break;
+            case RecvStatus::Timeout:
+                response = errorResponse(
+                    "protocol",
+                    detail::formatMessage(
+                        "read timed out after ",
+                        options_.readTimeoutMs, " ms mid-request"));
+                break;
+            case RecvStatus::Closed:
+            case RecvStatus::Short:
+            default:
+                response = errorResponse(
+                    "protocol",
+                    "connection closed before a complete frame "
+                    "arrived");
+                break;
+            }
         } else {
             try {
                 obs::Json doc = obs::Json::parse(payload);
@@ -281,7 +357,9 @@ Server::uptimeS() const
 
 obs::Json
 requestReport(const std::string &host, std::uint16_t port,
-              const obs::Json &jobDoc)
+              const obs::Json &jobDoc,
+              const ServiceFaultInjector *chaos,
+              std::uint64_t requestIndex)
 {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0)
@@ -304,15 +382,74 @@ requestReport(const std::string &host, std::uint16_t port,
             "cannot connect to ", host, ":", port, ": ", why));
     }
 
+    if (chaos && chaos->resetConnection(requestIndex)) {
+        // Injected mid-frame disconnect: promise a 64-byte body,
+        // deliver 10, hang up. The server must answer *itself* with
+        // a typed protocol error — this side has nothing to read.
+        std::uint32_t len = htonl(64);
+        (void)writeAll(fd, &len, sizeof len);
+        (void)writeAll(fd, "0123456789", 10);
+        ::close(fd);
+        throw fault::ConfigError(detail::formatMessage(
+            "injected connection reset on request ", requestIndex));
+    }
+
+    const std::string body =
+        chaos && chaos->malformFrame(requestIndex)
+            ? std::string("\x7fnot json \x01\x02\x03 garbage")
+            : jobDoc.dump();
+
     std::string payload;
-    const bool ok = sendFrame(fd, jobDoc.dump()) &&
-                    recvFrame(fd, payload);
+    const bool ok = sendFrame(fd, body) &&
+                    recvFrame(fd, payload).status == RecvStatus::Ok;
     ::close(fd);
     if (!ok)
         throw fault::ConfigError(detail::formatMessage(
             "request to ", host, ":", port,
             " failed mid-frame"));
     return obs::Json::parse(payload);
+}
+
+obs::Json
+requestReportWithRetry(const std::string &host, std::uint16_t port,
+                       const obs::Json &jobDoc,
+                       const RetryPolicy &policy,
+                       std::uint64_t requestIndex,
+                       const ServiceFaultInjector *chaos,
+                       int *attemptsOut)
+{
+    policy.validate();
+    for (int attempt = 1;; ++attempt) {
+        if (attemptsOut)
+            *attemptsOut = attempt;
+        const bool lastAttempt = attempt >= policy.maxAttempts;
+        // Fold the attempt into the chaos key: a transient injected
+        // failure on attempt 1 must be a *fresh* draw on attempt 2,
+        // or no retry could ever succeed.
+        const std::uint64_t chaosKey =
+            requestIndex ^
+            (static_cast<std::uint64_t>(attempt - 1) << 32);
+        try {
+            obs::Json response = requestReport(host, port, jobDoc,
+                                               chaos, chaosKey);
+            const bool overloaded =
+                response.isObject() && response.has("error_kind") &&
+                response.get("error_kind").kind() ==
+                    obs::Json::Kind::String &&
+                response.get("error_kind").asString() ==
+                    "overloaded";
+            if (!overloaded || lastAttempt)
+                return response;
+        } catch (const fault::ConfigError &) {
+            // Transport-level failure (connect refused, mid-frame
+            // loss, injected reset): retryable until the budget is
+            // spent.
+            if (lastAttempt)
+                throw;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            policy.delayUsAfter(requestIndex, attempt)));
+    }
 }
 
 } // namespace stitch::svc

@@ -17,7 +17,14 @@
  *    "error_kind":"config","error":"..."}
  *
  * Malformed frames and invalid specs produce an error response, not a
- * dropped connection — the daemon must survive bad clients.
+ * dropped connection — the daemon must survive bad clients. Framing
+ * violations are *typed*: an oversized length prefix, a short read
+ * (mid-frame disconnect) and a read timeout each answer with an
+ * "protocol" error naming the violation, invalid JSON answers
+ * "config", and an admission-control rejection answers "overloaded"
+ * (the client's cue to back off and retry). Per-connection read
+ * timeouts (ServerOptions::readTimeoutMs) stop a stalled client from
+ * wedging the single-threaded serve loop.
  *
  * A request whose document carries a "cmd" key is an introspection
  * request, answered from live engine state without touching the job
@@ -52,10 +59,22 @@ inline constexpr int responseVersion = 1;
  *  stitchd-statz introspection documents. */
 inline constexpr int introspectionVersion = 1;
 
-/** Upper bound on an accepted request frame; larger lengths are
- *  rejected as malformed (a garbage length prefix must not make the
- *  daemon try to allocate gigabytes). */
+/** Default upper bound on an accepted request frame; larger lengths
+ *  are rejected as malformed (a garbage length prefix must not make
+ *  the daemon try to allocate gigabytes). */
 inline constexpr std::uint32_t maxRequestBytes = 16u << 20;
+
+/** Serving-loop hardening knobs. */
+struct ServerOptions
+{
+    /** Per-connection request frame cap (length-prefix bound). */
+    std::uint32_t maxFrameBytes = maxRequestBytes;
+
+    /** Per-connection receive timeout (SO_RCVTIMEO, ms); a client
+     *  that connects and stalls gets a typed "protocol" error
+     *  instead of wedging the serve loop. 0 = wait forever. */
+    std::uint64_t readTimeoutMs = 5000;
+};
 
 /** Localhost request-per-connection server over one JobEngine. */
 class Server
@@ -66,7 +85,8 @@ class Server
      * it back with port()). Throws fault::ConfigError when the socket
      * cannot be bound.
      */
-    Server(JobEngine &engine, std::uint16_t port = 0);
+    Server(JobEngine &engine, std::uint16_t port = 0,
+           ServerOptions options = {});
     ~Server();
 
     Server(const Server &) = delete;
@@ -97,8 +117,12 @@ class Server
     /** Seconds since construction. */
     double uptimeS() const;
 
+    /** The hardening knobs in effect. */
+    const ServerOptions &options() const { return options_; }
+
   private:
     JobEngine &engine_;
+    ServerOptions options_;
     int listenFd_ = -1;
     std::uint16_t port_ = 0;
     std::atomic<bool> stopping_{false};
@@ -130,9 +154,34 @@ obs::Json introspectionResponse(JobEngine &engine,
  * Client side of the wire format: connect to `host`:`port`, send
  * `jobDoc`, return the parsed response document. Throws
  * fault::ConfigError on connection or framing failures.
+ *
+ * An armed `chaos` injector corrupts the request deterministically
+ * (keyed on `requestIndex`): a malformed frame sends garbage JSON in
+ * a well-formed frame (the server must answer a typed "config"
+ * error), a connection reset promises a frame and hangs up mid-body
+ * (the server must answer itself a typed "protocol" error; this
+ * side throws fault::ConfigError). Null chaos is the seed behaviour.
  */
 obs::Json requestReport(const std::string &host, std::uint16_t port,
-                        const obs::Json &jobDoc);
+                        const obs::Json &jobDoc,
+                        const ServiceFaultInjector *chaos = nullptr,
+                        std::uint64_t requestIndex = 0);
+
+/**
+ * requestReport with a deterministic jittered retry loop: transport
+ * failures (connect/framing, including injected resets) and
+ * "overloaded" rejections back off per `policy` (keyed on
+ * `requestIndex`) and retry; any other response returns as-is. When
+ * the budget runs out the last transport error is rethrown / the
+ * last response returned. `attemptsOut`, when non-null, receives the
+ * attempts consumed.
+ */
+obs::Json requestReportWithRetry(
+    const std::string &host, std::uint16_t port,
+    const obs::Json &jobDoc, const RetryPolicy &policy,
+    std::uint64_t requestIndex = 0,
+    const ServiceFaultInjector *chaos = nullptr,
+    int *attemptsOut = nullptr);
 
 } // namespace stitch::svc
 

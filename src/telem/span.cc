@@ -24,6 +24,7 @@ stageName(Stage stage)
     case Stage::Simulate: return "simulate";
     case Stage::Report: return "report";
     case Stage::Respond: return "respond";
+    case Stage::Backoff: return "backoff";
     case Stage::Job: return "job";
     }
     return "?";

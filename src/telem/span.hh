@@ -47,6 +47,7 @@ enum class Stage
     Simulate,   ///< the short + long simulated runs (AppRunner)
     Report,     ///< report/derived document construction
     Respond,    ///< serializing + writing the wire response (stitchd)
+    Backoff,    ///< jittered retry wait before a re-enqueue/resend
     Job,        ///< the end-to-end envelope (submit → finish)
 };
 

@@ -4,13 +4,24 @@
  * canonical form, cache key), the content-addressed ResultCache
  * (LRU, disk persistence, stamp and spec-echo invalidation), the
  * JobEngine (priority order, dedup, typed failures, cancellation,
- * worker-count invariance) and the stitchd wire protocol
- * (in-process localhost round-trip).
+ * worker-count invariance, admission control) and the stitchd wire
+ * protocol (in-process localhost round-trip plus adversarial
+ * framing: oversize prefixes, mid-frame disconnects, garbage bytes,
+ * stalled clients — every violation must answer typed, never crash
+ * or wedge the daemon). Crash-safety of the disk cache (atomic
+ * writes, recovery scan, memory-only degradation) lives here too;
+ * the chaos-injection machinery itself is tested in test_chaos.cc.
  */
 
+#include <arpa/inet.h>
+#include <cstring>
 #include <filesystem>
+#include <functional>
 #include <fstream>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <thread>
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
@@ -184,6 +195,29 @@ TEST(JobSchema, CacheKeyIgnoresPresentationFields)
     EXPECT_NE(a.cacheKey(), e.cacheKey());
 }
 
+TEST(JobSchema, DeadlineRoundTripsButStaysOutOfCacheIdentity)
+{
+    obs::Json doc = minimalJob();
+    doc.set("deadline_ms", 250);
+    JobSpec spec = JobSpec::fromJson(doc);
+    EXPECT_EQ(spec.deadlineMs, 250u);
+    JobSpec again = JobSpec::fromJson(spec.toJson());
+    EXPECT_EQ(again.deadlineMs, 250u);
+
+    // A service property like priority: two jobs differing only in
+    // deadline describe the same simulation and share a cache entry.
+    JobSpec bare = JobSpec::fromJson(minimalJob());
+    EXPECT_EQ(bare.canonicalJson().dump(),
+              spec.canonicalJson().dump());
+    EXPECT_EQ(bare.cacheKey(), spec.cacheKey());
+
+    // ... and stays distinct from the max_instructions work budget,
+    // which IS simulation-relevant.
+    JobSpec budget = bare;
+    budget.maxInstructions = 777;
+    EXPECT_NE(bare.cacheKey(), budget.cacheKey());
+}
+
 TEST(JobSchema, HashBytesAvalanches)
 {
     EXPECT_EQ(hashBytes("stitch"), hashBytes("stitch"));
@@ -296,9 +330,116 @@ TEST(ResultCache, CorruptFileIsAMissNotAnError)
     cache.store(spec, dummyEntry("x"));
     std::ofstream(dir + "/" + spec.cacheKey() + ".json")
         << "{ not json";
+    // The startup recovery scan quarantines the unparseable entry,
+    // so the lookup is a plain miss — not an error, not a late
+    // invalidation.
     ResultCache fresh(dir);
+    EXPECT_EQ(fresh.stats().quarantined, 1u);
     EXPECT_FALSE(fresh.lookup(spec).has_value());
-    EXPECT_EQ(fresh.stats().invalidated, 1u);
+    EXPECT_EQ(fresh.stats().invalidated, 0u);
+}
+
+// ---------------------------------------------------------------- //
+// ResultCache crash safety (atomic writes, recovery, degradation)
+
+TEST(ResultCache, StoresAreAtomicAndLeaveNoTempFiles)
+{
+    const std::string dir = scratchDir("atomic");
+    ResultCache cache(dir);
+    cache.store(cheapSpec(), dummyEntry("a"));
+    cache.store(cheapSpec(apps::AppMode::Stitch), dummyEntry("b"));
+
+    int entries = 0;
+    for (const auto &e : fs::directory_iterator(dir)) {
+        EXPECT_EQ(e.path().extension(), ".json") << e.path();
+        ++entries;
+    }
+    EXPECT_EQ(entries, 2);
+}
+
+TEST(ResultCache, RecoveryScanSweepsOrphansAndQuarantinesTornEntries)
+{
+    const std::string dir = scratchDir("recover");
+    JobSpec good = cheapSpec();
+    {
+        ResultCache cache(dir);
+        cache.store(good, dummyEntry("good"));
+    }
+    // A crashed writer's leftovers: an orphaned temp file and an
+    // entry truncated mid-write at its *final* path.
+    std::ofstream(dir + "/deadbeef.0.tmp") << "{ \"partial\": ";
+    std::ofstream(dir + "/0123456789abcdef.json")
+        << "{ \"schema\": \"stitch-cache-en";
+
+    ResultCache fresh(dir);
+    const auto stats = fresh.stats();
+    EXPECT_EQ(stats.tmpSwept, 1u);
+    EXPECT_EQ(stats.quarantined, 1u);
+    EXPECT_FALSE(fs::exists(dir + "/deadbeef.0.tmp"));
+    EXPECT_FALSE(fs::exists(dir + "/0123456789abcdef.json"));
+    EXPECT_TRUE(
+        fs::exists(dir + "/0123456789abcdef.json.quarantine"));
+    // The healthy entry survived the scan and still serves.
+    EXPECT_TRUE(fresh.lookup(good).has_value());
+}
+
+TEST(ResultCache, WriteFailuresDegradeToMemoryOnlyMode)
+{
+    const std::string dir = scratchDir("degrade");
+    JobSpec early = cheapSpec();
+    {
+        ResultCache seeded(dir);
+        seeded.store(early, dummyEntry("early"));
+    }
+
+    const ServiceFaultPlan plan =
+        ServiceFaultPlan::cacheWriteFailures(1.0, 42);
+    const ServiceFaultInjector injector(plan);
+    ResultCache cache(dir);
+    cache.setFaultInjector(&injector);
+
+    JobSpec specs[3] = {cheapSpec(apps::AppMode::Stitch),
+                        cheapSpec(apps::AppMode::Locus), cheapSpec()};
+    specs[2].samplesLong = 3;
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_FALSE(cache.memoryOnly());
+        cache.store(specs[i], dummyEntry("x"));
+    }
+    // writeFailureLimit consecutive losses trip memory-only mode;
+    // nothing threw, nothing was written to disk.
+    EXPECT_TRUE(cache.memoryOnly());
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.writeFailures, ResultCache::writeFailureLimit);
+    EXPECT_TRUE(stats.degraded);
+    for (const auto &spec : specs)
+        EXPECT_FALSE(
+            fs::exists(dir + "/" + spec.cacheKey() + ".json"));
+
+    // Degraded means disk *writes* stop; the memory layer still
+    // round-trips and entries already on disk still read.
+    EXPECT_TRUE(cache.lookup(specs[0]).has_value());
+    EXPECT_TRUE(cache.lookup(early).has_value());
+}
+
+TEST(ResultCache, TornWriteInjectionLeavesQuarantinableEntry)
+{
+    const std::string dir = scratchDir("torn");
+    const ServiceFaultPlan plan =
+        ServiceFaultPlan::tornCacheEntries(1.0, 7);
+    const ServiceFaultInjector injector(plan);
+    JobSpec spec = cheapSpec();
+    {
+        ResultCache cache(dir);
+        cache.setFaultInjector(&injector);
+        cache.store(spec, dummyEntry("torn"));
+        EXPECT_EQ(cache.stats().tornWrites, 1u);
+    }
+    // The torn file sits at the final path — exactly what a crash
+    // between write and rename leaves. A restart must quarantine it.
+    ASSERT_TRUE(fs::exists(dir + "/" + spec.cacheKey() + ".json"));
+    ResultCache fresh(dir);
+    EXPECT_EQ(fresh.stats().quarantined, 1u);
+    EXPECT_FALSE(fresh.lookup(spec).has_value());
 }
 
 // ---------------------------------------------------------------- //
@@ -460,6 +601,75 @@ TEST(JobEngine, WarmDiskCacheSimulatesNothing)
 }
 
 // ---------------------------------------------------------------- //
+// Admission control
+
+TEST(JobEngine, FullQueueRejectsEqualPriorityWithTypedError)
+{
+    EngineOptions options;
+    options.maxQueueDepth = 2;
+    JobEngine engine(options);
+    engine.submit(cheapSpec());
+    engine.submit(cheapSpec(apps::AppMode::Stitch));
+    // Same band as the lowest pending job: no one to shed, typed
+    // rejection — never a silent drop.
+    EXPECT_THROW(engine.submit(cheapSpec(apps::AppMode::Locus)),
+                 OverloadedError);
+
+    engine.run();
+    obs::Json report = engine.serviceReportJson();
+    const obs::Json &res =
+        report.get("counters").get("svc").get("resilience");
+    EXPECT_EQ(res.get("rejected").asUint(), 1u);
+    EXPECT_EQ(res.get("shed").asUint(), 0u);
+}
+
+TEST(JobEngine, HigherPriorityShedsOldestLowestBandJob)
+{
+    EngineOptions options;
+    options.maxQueueDepth = 2;
+    JobEngine engine(options);
+    const int victim = engine.submit(cheapSpec());
+    const int survivor =
+        engine.submit(cheapSpec(apps::AppMode::Stitch));
+    JobSpec urgent = cheapSpec(apps::AppMode::Locus);
+    urgent.priority = 5;
+    const int vip = engine.submit(urgent); // sheds `victim`
+
+    const JobResult &shed = engine.result(victim);
+    EXPECT_EQ(shed.status, JobResult::Status::Shed);
+    EXPECT_EQ(shed.errorKind, "overloaded");
+    EXPECT_FALSE(shed.error.empty());
+
+    engine.run();
+    EXPECT_EQ(engine.result(survivor).status,
+              JobResult::Status::Completed);
+    EXPECT_EQ(engine.result(vip).status,
+              JobResult::Status::Completed);
+    // Shed stays shed — a later run() must not resurrect it.
+    EXPECT_EQ(engine.result(victim).status,
+              JobResult::Status::Shed);
+
+    obs::Json report = engine.serviceReportJson();
+    const obs::Json &res =
+        report.get("counters").get("svc").get("resilience");
+    EXPECT_EQ(res.get("shed").asUint(), 1u);
+    const obs::Json &jobs =
+        report.get("counters").get("svc").get("jobs");
+    EXPECT_EQ(jobs.get("shed").asUint(), 1u);
+}
+
+TEST(JobEngine, UnboundedQueueNeverRejects)
+{
+    JobEngine engine; // maxQueueDepth = 0: the seed behaviour
+    for (int i = 0; i < 16; ++i) {
+        JobSpec spec = cheapSpec();
+        spec.samplesLong = 2 + i % 3;
+        EXPECT_NO_THROW(engine.submit(spec));
+    }
+    engine.run();
+}
+
+// ---------------------------------------------------------------- //
 // stitchd wire protocol
 
 TEST(Server, LocalhostRoundTrip)
@@ -494,6 +704,181 @@ TEST(Server, LocalhostRoundTrip)
     EXPECT_EQ(error.get("status").asString(), "error");
     EXPECT_EQ(error.get("error_kind").asString(), "config");
 
+    loop.join();
+}
+
+// ---------------------------------------------------------------- //
+// stitchd frame hardening (adversarial clients)
+
+/** Raw TCP client for speaking *broken* protocol at the server. */
+int
+rawConnect(std::uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) < 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+rawWrite(int fd, const void *data, std::size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Read one length-prefixed response frame and parse it. */
+obs::Json
+rawReadResponse(int fd)
+{
+    auto readFully = [&](void *data, std::size_t len) {
+        char *p = static_cast<char *>(data);
+        while (len > 0) {
+            ssize_t n = ::read(fd, p, len);
+            if (n <= 0)
+                return false;
+            p += n;
+            len -= static_cast<std::size_t>(n);
+        }
+        return true;
+    };
+    std::uint32_t len = 0;
+    if (!readFully(&len, sizeof len))
+        return obs::Json();
+    len = ntohl(len);
+    std::string payload(len, '\0');
+    if (len > 0 && !readFully(payload.data(), len))
+        return obs::Json();
+    return obs::Json::parse(payload);
+}
+
+/** Run `client` against a fresh single-request server and return the
+ *  typed response it provoked. */
+obs::Json
+provokeResponse(ServerOptions options,
+                const std::function<void(int fd)> &client)
+{
+    EngineOptions engineOptions;
+    JobEngine engine(engineOptions);
+    Server server(engine, /*port=*/0, options);
+    std::thread loop([&] { server.serve(/*maxRequests=*/1); });
+    int fd = rawConnect(server.port());
+    EXPECT_GE(fd, 0);
+    client(fd);
+    obs::Json response = rawReadResponse(fd);
+    ::close(fd);
+    loop.join();
+    return response;
+}
+
+TEST(ServerHardening, OversizeLengthPrefixAnswersProtocolError)
+{
+    ServerOptions options;
+    options.maxFrameBytes = 1024;
+    obs::Json response = provokeResponse(options, [](int fd) {
+        std::uint32_t evil = htonl(1u << 30); // promises a gigabyte
+        rawWrite(fd, &evil, sizeof evil);
+    });
+    ASSERT_TRUE(response.isObject());
+    EXPECT_EQ(response.get("status").asString(), "error");
+    EXPECT_EQ(response.get("error_kind").asString(), "protocol");
+    EXPECT_NE(response.get("error").asString().find("1024"),
+              std::string::npos);
+}
+
+TEST(ServerHardening, MidFrameDisconnectAnswersProtocolError)
+{
+    // Promise 100 bytes, deliver 10, half-close. SHUT_WR lets this
+    // side still read the server's verdict.
+    obs::Json response = provokeResponse({}, [](int fd) {
+        std::uint32_t len = htonl(100);
+        rawWrite(fd, &len, sizeof len);
+        rawWrite(fd, "0123456789", 10);
+        ::shutdown(fd, SHUT_WR);
+    });
+    ASSERT_TRUE(response.isObject());
+    EXPECT_EQ(response.get("status").asString(), "error");
+    EXPECT_EQ(response.get("error_kind").asString(), "protocol");
+}
+
+TEST(ServerHardening, TruncatedPrefixAnswersProtocolError)
+{
+    obs::Json response = provokeResponse({}, [](int fd) {
+        rawWrite(fd, "\x00\x00", 2); // half a length prefix
+        ::shutdown(fd, SHUT_WR);
+    });
+    ASSERT_TRUE(response.isObject());
+    EXPECT_EQ(response.get("status").asString(), "error");
+    EXPECT_EQ(response.get("error_kind").asString(), "protocol");
+}
+
+TEST(ServerHardening, GarbageBytesInValidFrameAnswerConfigError)
+{
+    obs::Json response = provokeResponse({}, [](int fd) {
+        const std::string garbage = "\x7f\x01\x02 not json at all";
+        std::uint32_t len =
+            htonl(static_cast<std::uint32_t>(garbage.size()));
+        rawWrite(fd, &len, sizeof len);
+        rawWrite(fd, garbage.data(), garbage.size());
+    });
+    ASSERT_TRUE(response.isObject());
+    EXPECT_EQ(response.get("status").asString(), "error");
+    EXPECT_EQ(response.get("error_kind").asString(), "config");
+}
+
+TEST(ServerHardening, StalledClientTimesOutWithProtocolError)
+{
+    ServerOptions options;
+    options.readTimeoutMs = 50;
+    obs::Json response = provokeResponse(options, [](int) {
+        // Connect and say nothing: the serve loop must unwedge
+        // itself after readTimeoutMs and answer typed.
+    });
+    ASSERT_TRUE(response.isObject());
+    EXPECT_EQ(response.get("status").asString(), "error");
+    EXPECT_EQ(response.get("error_kind").asString(), "protocol");
+    EXPECT_NE(response.get("error").asString().find("timed out"),
+              std::string::npos);
+}
+
+TEST(ServerHardening, ServerKeepsServingAfterAdversarialConnection)
+{
+    EngineOptions engineOptions;
+    JobEngine engine(engineOptions);
+    Server server(engine, /*port=*/0);
+    std::thread loop([&] { server.serve(/*maxRequests=*/2); });
+
+    // Round 1: abusive client (mid-frame hangup, full close).
+    int fd = rawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    std::uint32_t len = htonl(64);
+    rawWrite(fd, &len, sizeof len);
+    rawWrite(fd, "abc", 3);
+    ::close(fd);
+
+    // Round 2: a well-behaved job sails through.
+    obs::Json job = minimalJob();
+    job.set("mode", "baseline");
+    job.set("samples_short", 1);
+    job.set("samples_long", 2);
+    obs::Json ok = requestReport("127.0.0.1", server.port(), job);
+    EXPECT_EQ(ok.get("status").asString(), "ok");
     loop.join();
 }
 

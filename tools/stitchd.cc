@@ -4,8 +4,18 @@
  *
  * Usage:
  *   stitchd [--port=P] [--port-file=FILE] [--cache=DIR] [--jobs=N]
- *           [--max-requests=N] [--report=FILE] [--verbose]
- *   stitchd --send=HOST:PORT JOB.json
+ *           [--max-requests=N] [--report=FILE] [--max-queue=N]
+ *           [--frame-limit=BYTES] [--read-timeout-ms=N] [--verbose]
+ *   stitchd --send=HOST:PORT JOB.json [--retries=N]
+ *           [--retry-base-ms=X] [--retry-seed=S]
+ *
+ * Resilience: --max-queue bounds the engine's pending queue
+ * (overload answers a typed "overloaded" error instead of queueing
+ * without bound), --frame-limit caps the accepted request frame, and
+ * --read-timeout-ms bounds how long a connected-but-silent client
+ * may hold the serve loop. --send retries transport failures and
+ * "overloaded" rejections with deterministic jittered exponential
+ * backoff when --retries is given.
  *
  * Serving mode binds 127.0.0.1 (--port=0 picks a free port; the
  * chosen one is printed and, with --port-file, written to FILE so
@@ -58,7 +68,8 @@ onShutdownSignal(int)
 }
 
 int
-sendMode(const std::string &target, const std::string &jobPath)
+sendMode(const std::string &target, const std::string &jobPath,
+         const svc::RetryPolicy &retry)
 {
     const auto colon = target.rfind(':');
     if (colon == std::string::npos) {
@@ -83,9 +94,9 @@ sendMode(const std::string &target, const std::string &jobPath)
         text.append(buf, n);
     std::fclose(f);
 
-    obs::Json response = svc::requestReport(
+    obs::Json response = svc::requestReportWithRetry(
         host, static_cast<std::uint16_t>(port),
-        obs::Json::parse(text));
+        obs::Json::parse(text), retry);
     std::printf("%s\n", response.dump(2).c_str());
     return response.get("status").asString() == "ok" ? 0 : 1;
 }
@@ -97,7 +108,9 @@ main(int argc, char **argv)
 {
     cli::CommonFlags common;
     std::string cacheDir, portFile, sendTarget, jobPath, reportPath;
-    int port = 0, maxRequests = 0;
+    int port = 0, maxRequests = 0, maxQueue = 0;
+    svc::ServerOptions serverOptions;
+    svc::RetryPolicy retry;
     std::string value;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -113,6 +126,33 @@ main(int argc, char **argv)
         }
         if (cli::keyedValue(arg, "--max-requests=", &value)) {
             maxRequests = std::atoi(value.c_str());
+            continue;
+        }
+        if (cli::keyedValue(arg, "--max-queue=", &value)) {
+            maxQueue = std::atoi(value.c_str());
+            continue;
+        }
+        if (cli::keyedValue(arg, "--frame-limit=", &value)) {
+            serverOptions.maxFrameBytes = static_cast<std::uint32_t>(
+                std::strtoul(value.c_str(), nullptr, 10));
+            continue;
+        }
+        if (cli::keyedValue(arg, "--read-timeout-ms=", &value)) {
+            serverOptions.readTimeoutMs = static_cast<std::uint64_t>(
+                std::strtoull(value.c_str(), nullptr, 10));
+            continue;
+        }
+        if (cli::keyedValue(arg, "--retries=", &value)) {
+            retry.maxAttempts = 1 + std::atoi(value.c_str());
+            continue;
+        }
+        if (cli::keyedValue(arg, "--retry-base-ms=", &value)) {
+            retry.baseDelayMs = std::atof(value.c_str());
+            continue;
+        }
+        if (cli::keyedValue(arg, "--retry-seed=", &value)) {
+            retry.seed = static_cast<std::uint64_t>(
+                std::strtoull(value.c_str(), nullptr, 10));
             continue;
         }
         if (std::strcmp(arg, "--verbose") == 0) {
@@ -133,19 +173,22 @@ main(int argc, char **argv)
                              "stitchd: --send needs a JOB.json\n");
                 return 2;
             }
-            return sendMode(sendTarget, jobPath);
+            retry.validate();
+            return sendMode(sendTarget, jobPath, retry);
         }
 
         svc::EngineOptions options;
         options.jobs = cli::resolveJobs(common.jobs);
         options.cacheDir = cacheDir;
+        options.maxQueueDepth = maxQueue;
         // The daemon always collects spans: quantiles for the
         // compile/stitch/simulate stages must be there when a
         // stitchtop attaches, not only after a restart.
         options.telemetry = true;
         svc::JobEngine engine(options);
         svc::Server server(engine,
-                           static_cast<std::uint16_t>(port));
+                           static_cast<std::uint16_t>(port),
+                           serverOptions);
 
         gServer = &server;
         struct sigaction sa{};

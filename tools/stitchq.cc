@@ -5,13 +5,18 @@
  * Usage:
  *   stitchq BATCH.jsonl [--jobs=N] [--cache=DIR] [--out=DIR]
  *           [--summary=FILE] [--svc-trace=FILE] [--svc-events=FILE]
- *           [--verbose]
+ *           [--max-queue=N] [--verbose]
  *
  * BATCH.jsonl holds one stitch-job document per line (blank lines and
  * `#` comment lines skipped). Every job is validated eagerly, queued
  * by priority, and drained by N workers against the content-addressed
  * result cache (--cache enables the on-disk layer, so re-running the
  * same batch performs zero simulations).
+ *
+ * --max-queue bounds the pending queue; lines that the engine refuses
+ * to admit (or sheds to admit a higher-priority line) show up as
+ * "rejected"/"shed" rows with error_kind "overloaded" rather than
+ * killing the batch.
  *
  * --out writes each job's run report to DIR/jobNNN.json — the same
  * builder and writer smoke_app uses, so a batch report is
@@ -30,6 +35,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -53,6 +59,7 @@ struct BatchRow
     int jobId = -1;   ///< engine id; -1 when rejected at parse time
     std::string name; ///< spec label (or "line N")
     std::string error;
+    std::string errorKind; ///< typed rejection ("config"/"overloaded")
 };
 
 std::string
@@ -79,7 +86,9 @@ main(int argc, char **argv)
 {
     std::string batchPath, cacheDir, summaryPath;
     std::string svcTracePath, svcEventsPath;
+    int maxQueue = 0;
     cli::CommonFlags common;
+    std::string value;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (common.parse(arg) ||
@@ -88,6 +97,10 @@ main(int argc, char **argv)
             cli::keyedValue(arg, "--svc-trace=", &svcTracePath) ||
             cli::keyedValue(arg, "--svc-events=", &svcEventsPath))
             continue;
+        if (cli::keyedValue(arg, "--max-queue=", &value)) {
+            maxQueue = std::atoi(value.c_str());
+            continue;
+        }
         if (std::strcmp(arg, "--verbose") == 0) {
             obs::Registry::setVerbosity(Verbosity::Info);
             continue;
@@ -103,13 +116,14 @@ main(int argc, char **argv)
             stderr,
             "usage: stitchq BATCH.jsonl [--jobs=N] [--cache=DIR] "
             "[--out=DIR] [--summary=FILE] [--svc-trace=FILE] "
-            "[--svc-events=FILE]\n");
+            "[--svc-events=FILE] [--max-queue=N]\n");
         return 2;
     }
 
     svc::EngineOptions options;
     options.jobs = cli::resolveJobs(common.jobs);
     options.cacheDir = cacheDir;
+    options.maxQueueDepth = maxQueue;
     options.telemetry =
         !svcTracePath.empty() || !svcEventsPath.empty();
     svc::JobEngine engine(options);
@@ -139,10 +153,16 @@ main(int argc, char **argv)
                 if (!spec.name.empty())
                     row.name = spec.name;
                 row.jobId = engine.submit(spec);
+            } catch (const svc::OverloadedError &e) {
+                // admission control said no: a typed, expected
+                // outcome under --max-queue, not a batch error.
+                row.error = e.what();
+                row.errorKind = "overloaded";
             } catch (const FatalError &e) {
                 // parse/validation failure: report it, keep going —
                 // a mixed batch must not die on one bad line.
                 row.error = e.what();
+                row.errorKind = "config";
             }
             rows.push_back(std::move(row));
         }
@@ -165,6 +185,7 @@ main(int argc, char **argv)
         if (row.jobId < 0) {
             anyFailed = true;
             entry.set("status", "rejected");
+            entry.set("error_kind", row.errorKind);
             entry.set("error", row.error);
             table.addRow({std::to_string(row.line), row.name, "-",
                           "-", "rejected", "-", "-", "-"});

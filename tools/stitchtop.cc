@@ -119,6 +119,47 @@ renderTable(const obs::Json &doc, const std::string &target)
                         cache.get("evictions").asUint()),
                     static_cast<unsigned long long>(
                         cache.get("invalidated").asUint()));
+        if (cache.has("degraded")) {
+            const bool degraded = cache.get("degraded").asBool();
+            const auto quarantined =
+                cache.get("quarantined").asUint();
+            const auto writeFailures =
+                cache.get("write_failures").asUint();
+            const auto tornWrites =
+                cache.get("torn_writes").asUint();
+            if (degraded || quarantined || writeFailures ||
+                tornWrites)
+                std::printf(
+                    "cache health: %s, %llu write failures, "
+                    "%llu torn writes, %llu quarantined\n",
+                    degraded ? "DEGRADED (memory-only)" : "ok",
+                    static_cast<unsigned long long>(writeFailures),
+                    static_cast<unsigned long long>(tornWrites),
+                    static_cast<unsigned long long>(quarantined));
+        }
+    }
+    if (doc.has("resilience")) {
+        const obs::Json &res = doc.get("resilience");
+        const auto field = [&](const char *key) {
+            return static_cast<unsigned long long>(
+                res.has(key) ? res.get(key).asUint() : 0);
+        };
+        const unsigned long long maxQueue =
+            field("max_queue_depth");
+        std::printf(
+            "resilience: queue cap %s, %llu rejected, %llu shed, "
+            "%llu retries (%llu exhausted), %llu watchdog trips, "
+            "%llu deadline exceeded\n",
+            maxQueue ? std::to_string(maxQueue).c_str()
+                     : "unbounded",
+            field("rejected"), field("shed"), field("retries"),
+            field("retry_exhausted"), field("watchdog_trips"),
+            field("deadline_exceeded"));
+        if (field("injected_throws") || field("injected_stalls"))
+            std::printf("chaos: %llu injected throws, "
+                        "%llu injected stalls\n",
+                        field("injected_throws"),
+                        field("injected_stalls"));
     }
 
     if (doc.has("latency")) {
