@@ -22,10 +22,17 @@
  * for any --jobs value; re-running with the same seeds reproduces the
  * table exactly.
  *
- * Usage: chaos_campaign [--jobs=N] [--json=FILE] [obs switches]
+ * Usage: chaos_campaign [--jobs=N] [--json=FILE] [--flight-dir=DIR]
+ *        [obs switches]
  * Exits non-zero if any scenario produced an *untyped* failure or a
  * scenario that must fully complete (healthy, retry-covered resets)
  * did not.
+ *
+ * --flight-dir arms every scenario engine's flight recorder: each
+ * typed failure the campaign provokes leaves a
+ * flight-<traceid>.jsonl black box in DIR (the artifact CI uploads
+ * when a chaos job goes red). Recording never touches outcome
+ * counts, so the table stays byte-identical with or without it.
  */
 
 #include <cstdint>
@@ -44,6 +51,15 @@ namespace
 {
 
 namespace fs = std::filesystem;
+
+/** --flight-dir: when set, every scenario engine records and dumps
+ *  per-job flight black boxes here. */
+std::string &
+flightDirFlag()
+{
+    static std::string dir;
+    return dir;
+}
 
 /** One campaign scenario: a fault plan plus the engine/client knobs
  *  it exercises. */
@@ -137,6 +153,10 @@ runEngineScenario(const Scenario &sc, const std::string &scratchDir)
     options.watchdogPollMs = 2;
     if (sc.useDisk)
         options.cacheDir = scratchDir;
+    if (!flightDirFlag().empty()) {
+        options.flightRecorder = true;
+        options.flightDir = flightDirFlag();
+    }
     svc::JobEngine engine(options);
 
     // In stall scenarios, arm the deadline only on jobs whose first
@@ -215,6 +235,10 @@ runWireScenario(const Scenario &sc)
     Outcome out;
     svc::EngineOptions options;
     options.jobs = 1;
+    if (!flightDirFlag().empty()) {
+        options.flightRecorder = true;
+        options.flightDir = flightDirFlag();
+    }
     svc::JobEngine engine(options);
     svc::Server server(engine);
     std::thread serveThread([&] { server.serve(); });
@@ -463,6 +487,10 @@ int
 main(int argc, char **argv)
 {
     bench::initObs(argc, argv);
+    for (int i = 1; i < argc; ++i)
+        if (cli::keyedValue(argv[i], "--flight-dir=",
+                            &flightDirFlag()))
+            fs::create_directories(flightDirFlag());
 
     const std::vector<Scenario> scenarios = buildScenarios();
     printHeader("Chaos campaign",

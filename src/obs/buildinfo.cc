@@ -1,0 +1,20 @@
+#include "obs/buildinfo.hh"
+
+#include "common/buildinfo.hh"
+
+namespace stitch::obs
+{
+
+Json
+buildInfoJson()
+{
+    Json doc = Json::object();
+    doc.set("git", buildinfo::gitDescribe);
+    doc.set("compiler", buildinfo::compilerId);
+    doc.set("compiler_version", buildinfo::compilerVersion);
+    doc.set("build_type", buildinfo::buildType);
+    doc.set("sanitize", buildinfo::sanitize);
+    return doc;
+}
+
+} // namespace stitch::obs

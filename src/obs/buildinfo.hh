@@ -1,0 +1,20 @@
+/**
+ * @file
+ * The generated build-provenance constants (common/buildinfo.hh) as
+ * one JSON document, ready to stamp into service-level artifacts.
+ */
+
+#ifndef STITCH_OBS_BUILDINFO_HH
+#define STITCH_OBS_BUILDINFO_HH
+
+#include "obs/json.hh"
+
+namespace stitch::obs
+{
+
+/** {git, compiler, compiler_version, build_type, sanitize}. */
+Json buildInfoJson();
+
+} // namespace stitch::obs
+
+#endif // STITCH_OBS_BUILDINFO_HH

@@ -4,9 +4,11 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "obs/buildinfo.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
 #include "svc/artifacts.hh"
+#include "telem/exposition.hh"
 
 namespace stitch::svc
 {
@@ -62,10 +64,40 @@ JobEngine::JobEngine(const EngineOptions &options)
           "injected_throws", "injected_stalls", "watchdog_trips",
           "deadline_exceeded"})
         resilienceStats_.counter(name);
+
+    // The continuous-telemetry organs. All off by default so batch
+    // behaviour (and its report bytes) are untouched; stitchd arms
+    // them all.
+    if (!options_.slo.empty())
+        slo_ = std::make_unique<telem::SloEngine>(options_.slo);
+    if (options_.flightRecorder || !options_.flightDir.empty()) {
+        telem::FlightOptions flightOptions;
+        flightOptions.eventsPerJob = options_.flightEventsPerJob;
+        flightOptions.dumpDir = options_.flightDir;
+        flight_ =
+            std::make_unique<telem::FlightRecorder>(flightOptions);
+        // Every span the sink closes lands in the trace's black box.
+        spanSink_.setObserver(
+            [this](const telem::Span &span) { flight_->span(span); });
+    }
+    if (options_.metricsIntervalMs > 0) {
+        collector_ = std::make_unique<telem::Collector>(
+            [this] { return metricsSnapshot(); },
+            options_.metricsIntervalMs, options_.metricsWindows,
+            [this](const telem::Window &window) {
+                if (slo_)
+                    slo_->observe(window);
+            });
+        collector_->start();
+    }
 }
 
 JobEngine::~JobEngine()
 {
+    // The collector samples *this; it must be parked before any
+    // member tears down.
+    if (collector_)
+        collector_->stop();
     // run() joins the watchdog on every exit path; this is only the
     // backstop against a future path that forgets.
     if (watchdog_.joinable()) {
@@ -134,6 +166,14 @@ JobEngine::submit(const JobSpec &spec)
                 pendingPerBand_.erase(it);
             jobStats_.inc("shed");
             resilienceStats_.inc("shed");
+            if (flight_) {
+                flight_->event(victim.result.traceId,
+                               spanSink_.nowUs(), "shed",
+                               victim.result.error);
+                const obs::Json build = obs::buildInfoJson();
+                flight_->dump(victim.result.traceId, "overloaded",
+                              victim.result.error, &build);
+            }
             break;
         }
     }
@@ -151,6 +191,13 @@ JobEngine::submit(const JobSpec &spec)
         spanSink_.record({job->result.traceId, id,
                           telem::Stage::Submit, t0, job->submitUs,
                           /*worker=*/-1});
+    if (flight_) {
+        flight_->attach(job->result.traceId, id);
+        flight_->event(job->result.traceId, job->submitUs,
+                       "submitted",
+                       detail::formatMessage("priority ",
+                                             spec.priority));
+    }
     jobs_.push_back(std::move(job));
     queue_.push({spec.priority, -id});
     ++pendingPerBand_[spec.priority];
@@ -232,6 +279,9 @@ JobEngine::finishCompleted(Job &job, const CacheEntry &entry,
     jobStats_.inc("completed");
     jobStats_.inc(cached ? "cache_hits" : "simulated");
     recordLatency(job, spanSink_.nowUs());
+    // A healthy landing: the black box has nothing left to tell.
+    if (flight_)
+        flight_->forget(job.result.traceId);
 }
 
 void
@@ -255,6 +305,14 @@ JobEngine::finishFailed(Job &job, const std::string &kind,
     errorRing_.push_back(std::move(record));
     while (errorRing_.size() > options_.errorRingEntries)
         errorRing_.pop_front();
+
+    // Every typed failure leaves a flight record behind.
+    if (flight_) {
+        flight_->event(job.result.traceId, finishUs, "failed",
+                       detail::formatMessage(kind, ": ", message));
+        const obs::Json build = obs::buildInfoJson();
+        flight_->dump(job.result.traceId, kind, message, &build);
+    }
 }
 
 /**
@@ -284,6 +342,11 @@ JobEngine::runSimulation(Job &job, const telem::TraceContext &ctx,
                         std::lock_guard<std::mutex> lock(mutex_);
                         resilienceStats_.inc("injected_stalls");
                     }
+                    if (flight_)
+                        flight_->event(
+                            job.result.traceId, spanSink_.nowUs(),
+                            "injected_stall",
+                            detail::formatMessage(stall, " us"));
                     const std::uint64_t until =
                         spanSink_.nowUs() + stall;
                     while (spanSink_.nowUs() < until) {
@@ -303,6 +366,12 @@ JobEngine::runSimulation(Job &job, const telem::TraceContext &ctx,
                         std::lock_guard<std::mutex> lock(mutex_);
                         resilienceStats_.inc("injected_throws");
                     }
+                    if (flight_)
+                        flight_->event(
+                            job.result.traceId, spanSink_.nowUs(),
+                            "injected_throw",
+                            detail::formatMessage("attempt ",
+                                                  attempt));
                     throw InjectedFaultError(detail::formatMessage(
                         "injected worker fault (job ", job.id,
                         ", attempt ", attempt, ")"));
@@ -338,6 +407,13 @@ JobEngine::runSimulation(Job &job, const telem::TraceContext &ctx,
                     std::chrono::microseconds(delay));
                 ctx.record(telem::Stage::Backoff, t0,
                            spanSink_.nowUs());
+                if (flight_)
+                    flight_->event(
+                        job.result.traceId, spanSink_.nowUs(),
+                        "retry",
+                        detail::formatMessage("attempt ", attempt,
+                                              " backed off ", delay,
+                                              " us"));
                 std::lock_guard<std::mutex> lock(mutex_);
                 resilienceStats_.inc("retries");
                 stageHist_[static_cast<int>(telem::Stage::Backoff)]
@@ -415,6 +491,10 @@ JobEngine::claimAndRunOne(int worker)
         ctx = contextFor(job, worker);
         // The queue span closes the moment a worker picks the job up.
         ctx.record(telem::Stage::Queue, job.submitUs, job.claimUs);
+        if (flight_)
+            flight_->event(job.result.traceId, job.claimUs,
+                           "claimed",
+                           detail::formatMessage("worker ", worker));
 
         if (cache_.memEnabled() || cache_.diskEnabled()) {
             // Resolve against the cache inside the claim critical
@@ -431,9 +511,16 @@ JobEngine::claimAndRunOne(int worker)
                            spanSink_.nowUs());
                 return true;
             }
+            if (flight_)
+                flight_->event(job.result.traceId,
+                               spanSink_.nowUs(), "cache_miss");
             if (auto it = inflight_.find(job.result.key);
                 it != inflight_.end()) {
                 job.flight = it->second; // coalesce: wait below
+                if (flight_)
+                    flight_->event(job.result.traceId,
+                                   spanSink_.nowUs(), "coalesced",
+                                   "waiting on in-flight twin");
             } else {
                 job.flight = std::make_shared<Flight>();
                 job.flightOwner = true;
@@ -530,8 +617,13 @@ JobEngine::watchdogLoop()
                 job.deadlineAtUs == 0 || now < job.deadlineAtUs)
                 continue;
             if (!job.abortRequested.exchange(
-                    true, std::memory_order_relaxed))
+                    true, std::memory_order_relaxed)) {
                 resilienceStats_.inc("watchdog_trips");
+                if (flight_)
+                    flight_->event(
+                        job.result.traceId, now, "watchdog_trip",
+                        "deadline passed; abort requested");
+            }
         }
         wdCv_.wait_for(
             lock,
@@ -695,6 +787,111 @@ JobEngine::latencyJson(bool includeSpanStages) const
     return doc;
 }
 
+telem::MetricSample
+JobEngine::metricsSnapshot() const
+{
+    telem::MetricSample sample;
+    sample.atUs = spanSink_.nowUs();
+    // The cache keeps its own lock; read it before taking ours.
+    const ResultCache::Stats cs = cache_.stats();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto counter = [&](std::string name, std::uint64_t value) {
+        sample.counters.emplace_back(std::move(name), value);
+    };
+    for (const char *name :
+         {"submitted", "completed", "failed", "cancelled", "shed",
+          "cache_hits", "simulated"})
+        counter(std::string("jobs_") + name, jobStats_.get(name));
+    counter("cache_mem_hits", cs.memHits);
+    counter("cache_disk_hits", cs.diskHits);
+    counter("cache_misses", cs.misses);
+    counter("cache_stores", cs.stores);
+    counter("cache_invalidated", cs.invalidated);
+    counter("cache_evictions", cs.evictions);
+    counter("cache_write_failures", cs.writeFailures);
+    counter("cache_torn_writes", cs.tornWrites);
+    counter("cache_quarantined", cs.quarantined);
+    counter("cache_tmp_swept", cs.tmpSwept);
+    for (const char *name :
+         {"rejected", "shed", "retries", "retry_exhausted",
+          "injected_throws", "injected_stalls", "watchdog_trips",
+          "deadline_exceeded"})
+        counter(std::string("resilience_") + name,
+                resilienceStats_.get(name));
+    if (slo_) {
+        counter("slo_violations", slo_->violations());
+        counter("slo_alerts", slo_->alertsRaised());
+    }
+    if (flight_)
+        counter("flight_dumps", flight_->dumps());
+
+    sample.gauges.emplace_back(
+        "queue_depth", static_cast<double>(pendingJobs_));
+    sample.gauges.emplace_back(
+        "in_flight", static_cast<double>(runningJobs_));
+    sample.gauges.emplace_back("cache_degraded",
+                               cs.degraded ? 1.0 : 0.0);
+    if (slo_)
+        sample.gauges.emplace_back(
+            "slo_alerts_active",
+            static_cast<double>(slo_->alertsActive()));
+
+    using telem::Stage;
+    // Engine-recorded stages only: snapshotting must stay cheap, so
+    // no span-sink scan here (compile/stitch/simulate remain report
+    // material, not scrape material).
+    sample.histograms.emplace_back(
+        "queue", stageHist_[static_cast<int>(Stage::Queue)]);
+    sample.histograms.emplace_back(
+        "cache_probe",
+        stageHist_[static_cast<int>(Stage::CacheProbe)]);
+    sample.histograms.emplace_back(
+        "report", stageHist_[static_cast<int>(Stage::Report)]);
+    sample.histograms.emplace_back(
+        "backoff", stageHist_[static_cast<int>(Stage::Backoff)]);
+    sample.histograms.emplace_back(
+        "e2e", stageHist_[static_cast<int>(Stage::Job)]);
+    return sample;
+}
+
+std::string
+JobEngine::expositionText(double uptimeS,
+                          std::uint64_t served) const
+{
+    telem::ExpositionExtras extras;
+    extras.uptimeS = uptimeS;
+    extras.served = served;
+    const obs::Json build = obs::buildInfoJson();
+    extras.buildInfo = &build;
+    obs::Json sloStatus;
+    if (slo_) {
+        sloStatus = slo_->statusJson();
+        extras.sloStatus = &sloStatus;
+    }
+    return telem::prometheusText(metricsSnapshot(), extras);
+}
+
+void
+JobEngine::recordProtocolFailure(const std::string &message)
+{
+    if (!flight_)
+        return;
+    std::uint64_t traceId = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // High bit keeps the synthetic index clear of job ids.
+        traceId = telem::traceIdFor(
+            traceSeed_,
+            (1ull << 63) | protocolFailures_++);
+    }
+    flight_->attach(traceId, /*jobId=*/-1);
+    flight_->event(traceId, spanSink_.nowUs(), "protocol_error",
+                   message);
+    const obs::Json build = obs::buildInfoJson();
+    flight_->dump(traceId, "protocol", message, &build);
+}
+
 obs::Json
 JobEngine::serviceReportJson() const
 {
@@ -725,6 +922,21 @@ JobEngine::serviceReportJson() const
     doc.set("latency", latencyJson(options_.telemetry));
     if (options_.telemetry)
         doc.set("spans", spanSink_.rollupJson());
+    // v3: provenance on every service report; the continuous-
+    // telemetry sections only when their organ is armed.
+    doc.set("build", obs::buildInfoJson());
+    if (slo_) {
+        obs::Json slo = obs::Json::object();
+        slo.set("objectives", slo_->statusJson());
+        slo.set("violations", slo_->violations());
+        slo.set("alerts_raised", slo_->alertsRaised());
+        slo.set("alerts_active", slo_->alertsActive());
+        doc.set("slo", std::move(slo));
+    }
+    if (collector_)
+        doc.set("series", collector_->series().toJson());
+    if (flight_)
+        doc.set("flight", flight_->statsJson());
     return doc;
 }
 
@@ -780,6 +992,19 @@ JobEngine::introspectionJson() const
     doc.set("cache", std::move(cache));
 
     doc.set("latency", latencyJson(options_.telemetry));
+
+    if (slo_) {
+        obs::Json slo = obs::Json::object();
+        slo.set("objectives", slo_->statusJson());
+        slo.set("violations", slo_->violations());
+        slo.set("alerts_raised", slo_->alertsRaised());
+        slo.set("alerts_active", slo_->alertsActive());
+        doc.set("slo", std::move(slo));
+    }
+    if (collector_)
+        doc.set("series", collector_->series().toJson());
+    if (flight_)
+        doc.set("flight", flight_->statsJson());
 
     obs::Json errors = obs::Json::array();
     for (const ErrorRecord &record : errorRing_) {

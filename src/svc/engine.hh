@@ -80,17 +80,22 @@
 #include "svc/cache.hh"
 #include "svc/chaos.hh"
 #include "svc/job.hh"
+#include "telem/flightrec.hh"
 #include "telem/histogram.hh"
+#include "telem/slo.hh"
 #include "telem/span.hh"
+#include "telem/timeseries.hh"
 
 namespace stitch::svc
 {
 
 inline constexpr const char *serviceReportSchema =
     "stitch-service-report";
-/** v2: latency histogram section (per-stage p50/p90/p99/max) and,
- *  with telemetry on, the span rollup. v1 carried counters only. */
-inline constexpr int serviceReportVersion = 2;
+/** v3: build provenance plus, when the continuous-telemetry layer
+ *  is armed, the SLO status, time-series summary and flight-recorder
+ *  sections. v2 added the latency histograms and span rollup; v1
+ *  carried counters only. */
+inline constexpr int serviceReportVersion = 3;
 
 /** Engine construction knobs. */
 struct EngineOptions
@@ -133,6 +138,31 @@ struct EngineOptions
     /** Deadline watchdog poll period (ms). Only consulted while a
      *  claimed job carries a deadline. */
     std::uint64_t watchdogPollMs = 5;
+
+    /**
+     * Continuous-telemetry collector interval (ms); 0 keeps the
+     * collector off — the batch default, under which reports and
+     * behaviour are byte-identical to the pre-telemetry engine.
+     * stitchd arms it (--metrics-interval-ms, default 1000).
+     */
+    std::uint64_t metricsIntervalMs = 0;
+
+    /** Time-series ring capacity (windows retained). */
+    std::size_t metricsWindows = 120;
+
+    /** SLO objectives evaluated per closed window; empty = no SLO
+     *  engine (and nothing SLO-shaped in reports). */
+    telem::SloConfig slo;
+
+    /** Arm the per-job flight recorder (rings record even without a
+     *  dump directory; implied by a non-empty flightDir). */
+    bool flightRecorder = false;
+
+    /** Flight-record dump directory; empty = record but never dump. */
+    std::string flightDir;
+
+    /** Event-ring depth per tracked job. */
+    std::size_t flightEventsPerJob = 64;
 };
 
 /**
@@ -269,6 +299,47 @@ class JobEngine
     /** The span sink (empty unless telemetry is enabled). */
     const telem::SpanSink &spanSink() const { return spanSink_; }
 
+    /**
+     * One cumulative snapshot of every engine counter, gauge and
+     * latency histogram — the continuous-telemetry sampling point,
+     * also usable directly (stitchq --metrics-out scrapes the drained
+     * engine once). Names follow the DESIGN.md §14 contract.
+     */
+    telem::MetricSample metricsSnapshot() const;
+
+    /**
+     * The Prometheus text exposition over a fresh snapshot, with SLO
+     * status and build provenance riding along. `uptimeS` < 0 omits
+     * the server-lifetime series (the non-daemon case).
+     */
+    std::string expositionText(double uptimeS = -1.0,
+                               std::uint64_t served = 0) const;
+
+    /** The collector's window ring; null when metricsIntervalMs is
+     *  0. */
+    const telem::Collector *collector() const
+    {
+        return collector_.get();
+    }
+
+    /** The SLO engine; null when no objectives were configured. */
+    const telem::SloEngine *slo() const { return slo_.get(); }
+
+    /** The flight recorder; null unless armed. */
+    const telem::FlightRecorder *flightRecorder() const
+    {
+        return flight_.get();
+    }
+
+    /**
+     * Record a request that failed before it could become a job (a
+     * framing violation, a malformed document): attaches a synthetic
+     * trace id and dumps a kind="protocol" flight record so even
+     * jobless failures leave a black box. No-op unless the flight
+     * recorder is armed.
+     */
+    void recordProtocolFailure(const std::string &message);
+
     /** Context for recording engine-adjacent spans (e.g. stitchd's
      *  respond stage) against job `id`; disabled when telemetry is
      *  off or the id is unknown. */
@@ -373,6 +444,18 @@ class JobEngine
     StatGroup latencyStats_;    ///< svc.latency buckets
     StatGroup resilienceStats_; ///< svc.resilience (admission/retry)
     obs::Registry registry_;
+
+    /** Continuous-telemetry organs (all optional; see
+     *  EngineOptions). Own locks each — never taken under mutex_
+     *  except flight event/dump appends, which nest safely (the
+     *  recorder calls nothing back). */
+    std::unique_ptr<telem::SloEngine> slo_;
+    std::unique_ptr<telem::FlightRecorder> flight_;
+    std::uint64_t protocolFailures_ = 0; ///< synthetic trace index
+    /** Declared last: destroyed (and its thread joined) first. The
+     *  destructor also stops it explicitly before members tear
+     *  down. */
+    std::unique_ptr<telem::Collector> collector_;
 };
 
 } // namespace stitch::svc

@@ -11,6 +11,8 @@
 
 #include "common/logging.hh"
 #include "fault/fault.hh"
+#include "obs/buildinfo.hh"
+#include "telem/exposition.hh"
 
 namespace stitch::svc
 {
@@ -188,6 +190,7 @@ introspectionResponse(JobEngine &engine, const std::string &cmd,
         doc.set("status", "ok");
         doc.set("queue_depth", live.get("queue_depth"));
         doc.set("in_flight", live.get("in_flight"));
+        doc.set("build", obs::buildInfoJson());
         return doc;
     }
     if (cmd == "metrics") {
@@ -199,6 +202,17 @@ introspectionResponse(JobEngine &engine, const std::string &cmd,
         obs::Json doc = engine.introspectionJson();
         stamp(doc, "stitchd-statz");
         doc.set("service", engine.serviceReportJson());
+        return doc;
+    }
+    if (cmd == "scrape") {
+        // Prometheus text exposition, carried in a JSON envelope so
+        // the one wire format serves both humans and scrapers
+        // (stitchtop --cmd=scrape unwraps it back to plain text).
+        obs::Json doc = obs::Json::object();
+        stamp(doc, "stitchd-scrape");
+        doc.set("content_type", telem::expositionContentType);
+        doc.set("exposition",
+                engine.expositionText(uptimeS, served));
         return doc;
     }
     return errorResponse("config", "unknown cmd: " + cmd);
@@ -320,6 +334,11 @@ Server::serve(int maxRequests)
                     "arrived");
                 break;
             }
+            // A framing violation never became a job, so no ring
+            // exists for it; the engine dumps a synthetic
+            // kind="protocol" flight record instead.
+            engine_.recordProtocolFailure(
+                response.get("error").asString());
         } else {
             try {
                 obs::Json doc = obs::Json::parse(payload);
@@ -332,6 +351,7 @@ Server::serve(int maxRequests)
             } catch (const FatalError &e) {
                 // Json::parse fatals on malformed text.
                 response = errorResponse("config", e.what());
+                engine_.recordProtocolFailure(e.what());
             }
         }
         {

@@ -30,12 +30,19 @@
  * request, answered from live engine state without touching the job
  * queue:
  *
- *   {"cmd":"healthz"}  -> stitchd-healthz  (liveness + uptime)
+ *   {"cmd":"healthz"}  -> stitchd-healthz  (liveness + uptime +
+ *                         build provenance)
  *   {"cmd":"metrics"}  -> stitchd-metrics  (queue depth, in-flight,
  *                         per-band backlog, cache rates, latency
  *                         quantiles, error ring)
  *   {"cmd":"statz"}    -> stitchd-statz    (metrics + full service
- *                         report: counters, histograms, span rollup)
+ *                         report: counters, histograms, span rollup,
+ *                         SLO status, time-series summary)
+ *   {"cmd":"scrape"}   -> stitchd-scrape   (the Prometheus text
+ *                         exposition in an "exposition" field, with
+ *                         its Content-Type alongside; see
+ *                         telem/exposition.hh for the naming
+ *                         contract)
  */
 
 #ifndef STITCH_SVC_SERVER_HH
@@ -140,8 +147,8 @@ obs::Json handleRequest(JobEngine &engine, const obs::Json &jobDoc,
                         int *jobIdOut = nullptr);
 
 /**
- * Answer one introspection command ("healthz", "metrics" or "statz")
- * from live engine state — the pure part of the cmd path, shared by
+ * Answer one introspection command ("healthz", "metrics", "statz" or
+ * "scrape") from live engine state — the pure part of the cmd path, shared by
  * the serve loop and in-process tests. An unknown command produces a
  * status:"error" response document.
  */

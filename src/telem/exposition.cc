@@ -1,0 +1,171 @@
+#include "telem/exposition.hh"
+
+#include <cstdio>
+
+namespace stitch::telem
+{
+
+namespace
+{
+
+/** Format a double the way Prometheus text wants it: plain decimal,
+ *  no exponent for the magnitudes we emit, trailing zeros trimmed. */
+std::string
+num(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", value);
+    std::string s = buf;
+    while (!s.empty() && s.back() == '0')
+        s.pop_back();
+    if (!s.empty() && s.back() == '.')
+        s.pop_back();
+    return s.empty() ? "0" : s;
+}
+
+/** Escape a label value (backslash, quote, newline). */
+std::string
+labelEscape(const std::string &value)
+{
+    std::string out;
+    for (char c : value) {
+        if (c == '\\' || c == '"')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+void
+header(std::string &out, const std::string &name, const char *type,
+       const std::string &help)
+{
+    out += "# HELP " + name + " " + help + "\n";
+    out += "# TYPE " + name + " " + std::string(type) + "\n";
+}
+
+void
+histogramText(std::string &out, const std::string &name,
+              const Histogram &hist)
+{
+    header(out, name, "histogram",
+           "per-stage latency in milliseconds");
+    // Cumulative buckets at the hi edge (ms) of every *non-empty*
+    // bucket: the geometry has 976 buckets and a scrape that emitted
+    // them all would dwarf the payload; non-empty edges preserve
+    // every quantile the histogram itself can answer.
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < Histogram::numBuckets; ++i) {
+        const std::uint64_t c = hist.bucketCount(i);
+        if (c == 0)
+            continue;
+        cumulative += c;
+        out += name + "_bucket{le=\"" +
+               num(static_cast<double>(Histogram::bucketHi(i)) /
+                   1000.0) +
+               "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " +
+           std::to_string(hist.count()) + "\n";
+    out += name + "_sum " +
+           num(static_cast<double>(hist.sum()) / 1000.0) + "\n";
+    out += name + "_count " + std::to_string(hist.count()) + "\n";
+}
+
+} // namespace
+
+std::string
+prometheusText(const MetricSample &sample,
+               const ExpositionExtras &extras)
+{
+    std::string out;
+    out.reserve(8192);
+
+    for (const auto &[name, value] : sample.counters) {
+        const std::string full = "stitch_" + name + "_total";
+        header(out, full, "counter", "service counter " + name);
+        out += full + " " + std::to_string(value) + "\n";
+    }
+    for (const auto &[name, value] : sample.gauges) {
+        const std::string full = "stitch_" + name;
+        header(out, full, "gauge", "service gauge " + name);
+        out += full + " " + num(value) + "\n";
+    }
+    for (const auto &[name, hist] : sample.histograms)
+        histogramText(out, "stitch_latency_" + name + "_ms", hist);
+
+    if (extras.uptimeS >= 0.0) {
+        header(out, "stitch_uptime_seconds", "gauge",
+               "seconds since the daemon started");
+        out += "stitch_uptime_seconds " + num(extras.uptimeS) + "\n";
+        header(out, "stitch_requests_served_total", "counter",
+               "wire requests answered since start");
+        out += "stitch_requests_served_total " +
+               std::to_string(extras.served) + "\n";
+    }
+
+    if (extras.sloStatus && extras.sloStatus->isArray()) {
+        const obs::Json &slos = *extras.sloStatus;
+        header(out, "stitch_slo_value", "gauge",
+               "last evaluated value per objective");
+        header(out, "stitch_slo_burn_rate_short", "gauge",
+               "short-window burn rate per objective");
+        header(out, "stitch_slo_burn_rate_long", "gauge",
+               "long-window burn rate per objective");
+        header(out, "stitch_slo_alerting", "gauge",
+               "1 while the objective's burn-rate alert is raised");
+        for (std::size_t i = 0; i < slos.size(); ++i) {
+            const obs::Json &o = slos.at(i);
+            const std::string label =
+                "{objective=\"" +
+                labelEscape(o.get("name").asString()) + "\"} ";
+            out += "stitch_slo_value" + label +
+                   num(o.get("value").asDouble()) + "\n";
+            out += "stitch_slo_burn_rate_short" + label +
+                   num(o.get("burn_short").asDouble()) + "\n";
+            out += "stitch_slo_burn_rate_long" + label +
+                   num(o.get("burn_long").asDouble()) + "\n";
+            out += "stitch_slo_alerting" + label +
+                   (o.get("alerting").asBool() ? "1" : "0") + "\n";
+        }
+    }
+
+    if (extras.buildInfo && extras.buildInfo->isObject()) {
+        header(out, "stitch_build_info", "gauge",
+               "build provenance as labels, value always 1");
+        std::string labels;
+        for (const auto &[key, value] :
+             extras.buildInfo->items()) {
+            if (value.kind() != obs::Json::Kind::String)
+                continue;
+            if (!labels.empty())
+                labels += ",";
+            labels +=
+                key + "=\"" + labelEscape(value.asString()) + "\"";
+        }
+        out += "stitch_build_info{" + labels + "} 1\n";
+    }
+    return out;
+}
+
+std::size_t
+expositionSeriesCount(const std::string &text)
+{
+    std::size_t count = 0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        if (eol > pos && text[pos] != '#')
+            ++count;
+        pos = eol + 1;
+    }
+    return count;
+}
+
+} // namespace stitch::telem

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Prometheus text exposition (format 0.0.4) over one MetricSample.
+ *
+ * Naming contract (DESIGN.md §14): every metric is prefixed
+ * "stitch_"; counters append "_total"; latency histograms are
+ * emitted as "stitch_latency_<stage>_ms" with cumulative
+ * `_bucket{le="..."}` series in milliseconds plus `_sum`/`_count`.
+ * The un-prefixed names are exactly the MetricSample names, which
+ * in turn map 1:1 onto the v2 service-report counter tree
+ * (`svc.jobs.submitted` -> `jobs_submitted` ->
+ * `stitch_jobs_submitted_total`), so a scraped end-of-run total and
+ * the final report can be compared key for key.
+ *
+ * SLO status rides along as stitch_slo_* gauges per objective
+ * (value, burn rates, alerting flag) and build provenance as the
+ * conventional `stitch_build_info{...} 1` info metric.
+ */
+
+#ifndef STITCH_TELEM_EXPOSITION_HH
+#define STITCH_TELEM_EXPOSITION_HH
+
+#include <string>
+
+#include "obs/json.hh"
+#include "telem/timeseries.hh"
+
+namespace stitch::telem
+{
+
+/** The Content-Type a Prometheus scraper expects for this text. */
+inline constexpr const char *expositionContentType =
+    "text/plain; version=0.0.4";
+
+/** Extra series not owned by the engine sample (server lifetime). */
+struct ExpositionExtras
+{
+    double uptimeS = -1.0;        ///< emitted when >= 0
+    std::uint64_t served = 0;     ///< emitted with uptimeS
+    const obs::Json *sloStatus = nullptr; ///< SloEngine::statusJson
+    const obs::Json *buildInfo = nullptr; ///< obs::buildInfoJson
+};
+
+/** Render `sample` (plus extras) as Prometheus exposition text. */
+std::string prometheusText(const MetricSample &sample,
+                           const ExpositionExtras &extras = {});
+
+/** Number of sample lines (non-comment, non-blank) in `text` —
+ *  the "how many series did we scrape" check CI asserts on. */
+std::size_t expositionSeriesCount(const std::string &text);
+
+} // namespace stitch::telem
+
+#endif // STITCH_TELEM_EXPOSITION_HH

@@ -1,0 +1,176 @@
+#include "telem/flightrec.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace stitch::telem
+{
+
+FlightRecorder::FlightRecorder(FlightOptions options)
+    : options_(std::move(options))
+{
+    if (options_.eventsPerJob == 0)
+        options_.eventsPerJob = 1;
+    if (options_.maxJobs == 0)
+        options_.maxJobs = 1;
+}
+
+void
+FlightRecorder::attach(std::uint64_t traceId, int jobId)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = rings_.try_emplace(traceId);
+    it->second.jobId = jobId;
+    if (!inserted)
+        return;
+    attachOrder_.push_back(traceId);
+    // forget()/dump() leave their ids behind in the eviction queue;
+    // compact it before stale entries can outnumber live rings.
+    if (attachOrder_.size() > 4 * options_.maxJobs) {
+        std::deque<std::uint64_t> live;
+        for (std::uint64_t id : attachOrder_)
+            if (rings_.count(id))
+                live.push_back(id);
+        attachOrder_ = std::move(live);
+    }
+    while (rings_.size() > options_.maxJobs &&
+           !attachOrder_.empty()) {
+        const std::uint64_t victim = attachOrder_.front();
+        attachOrder_.pop_front();
+        if (victim == traceId)
+            continue; // never evict the ring being attached
+        if (rings_.erase(victim) > 0)
+            ++evicted_;
+    }
+}
+
+void
+FlightRecorder::append(std::uint64_t traceId, Event event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = rings_.find(traceId);
+    if (it == rings_.end())
+        return; // never attached, or already dumped/forgotten
+    Ring &ring = it->second;
+    ring.events.push_back(std::move(event));
+    while (ring.events.size() > options_.eventsPerJob) {
+        ring.events.pop_front();
+        ++ring.dropped;
+        ++eventsDropped_;
+    }
+}
+
+void
+FlightRecorder::event(std::uint64_t traceId, std::uint64_t atUs,
+                      const std::string &what,
+                      const std::string &detail)
+{
+    Event e;
+    e.atUs = atUs;
+    e.what = what;
+    e.detail = detail;
+    append(traceId, std::move(e));
+}
+
+void
+FlightRecorder::span(const Span &span)
+{
+    Event e;
+    e.atUs = span.endUs;
+    e.isSpan = true;
+    e.stage = span.stage;
+    e.durUs = span.durationUs();
+    e.worker = span.worker;
+    append(span.traceId, std::move(e));
+}
+
+void
+FlightRecorder::forget(std::uint64_t traceId)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings_.erase(traceId);
+}
+
+std::string
+FlightRecorder::dump(std::uint64_t traceId, const std::string &kind,
+                     const std::string &error, const obs::Json *build)
+{
+    Ring ring;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = rings_.find(traceId);
+        if (it == rings_.end())
+            return "";
+        ring = std::move(it->second);
+        rings_.erase(it);
+        if (options_.dumpDir.empty())
+            return "";
+        ++dumps_;
+    }
+
+    const std::string path = options_.dumpDir + "/flight-" +
+                             traceIdHex(traceId) + ".jsonl";
+    std::FILE *out = obs::openArtifactFile(path);
+
+    obs::Json head = obs::Json::object();
+    head.set("schema", flightRecordSchema);
+    head.set("version", flightRecordVersion);
+    head.set("trace_id", traceIdHex(traceId));
+    head.set("job", ring.jobId);
+    head.set("kind", kind);
+    head.set("error", error);
+    head.set("events",
+             static_cast<std::uint64_t>(ring.events.size()));
+    head.set("events_dropped", ring.dropped);
+    if (build)
+        head.set("build", *build);
+    std::string line = head.dump();
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fputc('\n', out);
+
+    for (const Event &e : ring.events) {
+        obs::Json doc = obs::Json::object();
+        doc.set("at_us", e.atUs);
+        if (e.isSpan) {
+            doc.set("type", "span");
+            doc.set("stage", stageName(e.stage));
+            doc.set("dur_us", e.durUs);
+            if (e.worker >= 0)
+                doc.set("worker", e.worker);
+        } else {
+            doc.set("type", "state");
+            doc.set("what", e.what);
+            if (!e.detail.empty())
+                doc.set("detail", e.detail);
+        }
+        line = doc.dump();
+        std::fwrite(line.data(), 1, line.size(), out);
+        std::fputc('\n', out);
+    }
+    std::fclose(out);
+    return path;
+}
+
+std::uint64_t
+FlightRecorder::dumps() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dumps_;
+}
+
+obs::Json
+FlightRecorder::statsJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    obs::Json doc = obs::Json::object();
+    doc.set("tracked", static_cast<std::uint64_t>(rings_.size()));
+    doc.set("dumps", dumps_);
+    doc.set("evicted", evicted_);
+    doc.set("events_dropped", eventsDropped_);
+    doc.set("dir", options_.dumpDir);
+    return doc;
+}
+
+} // namespace stitch::telem

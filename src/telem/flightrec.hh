@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Per-job flight recorder: a bounded black-box ring of span closes
+ * and engine state transitions per trace id, dumped as a
+ * self-contained JSONL artifact the moment a job ends in a typed
+ * failure.
+ *
+ * The error ring (PR 6) answers "*that* a job failed"; the flight
+ * recorder answers "what was it doing". Every attached trace id
+ * owns a small event ring (state transitions recorded by the engine
+ * — submitted, claimed, cache probe, retries, watchdog trips — plus
+ * every span the SpanSink closes for that trace). Completion
+ * forgets the ring; a typed failure (deadline / overloaded / sim /
+ * injected / protocol / ...) dumps it to
+ * `<dir>/flight-<traceid>.jsonl`: one header line (schema, job,
+ * failure kind, build provenance) followed by one line per retained
+ * event, so a chaos-campaign or fleet failure is diagnosable from
+ * the artifact alone, hours later, with no daemon left to ask.
+ *
+ * Memory is bounded twice: per ring (`eventsPerJob`, oldest events
+ * dropped but counted) and across rings (`maxJobs`, oldest attached
+ * trace evicted). All methods are thread-safe behind one mutex —
+ * events arrive at job granularity, never inside the simulator.
+ */
+
+#ifndef STITCH_TELEM_FLIGHTREC_HH
+#define STITCH_TELEM_FLIGHTREC_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/json.hh"
+#include "telem/span.hh"
+
+namespace stitch::telem
+{
+
+inline constexpr const char *flightRecordSchema =
+    "stitch-flight-record";
+inline constexpr int flightRecordVersion = 1;
+
+/** Flight-recorder sizing and dump destination. */
+struct FlightOptions
+{
+    std::size_t eventsPerJob = 64;
+    std::size_t maxJobs = 256;
+    /** Dump directory; empty records rings but never writes — the
+     *  in-memory black box is still inspectable via statsJson(). */
+    std::string dumpDir;
+};
+
+class FlightRecorder
+{
+  public:
+    explicit FlightRecorder(FlightOptions options);
+
+    /** Start a ring for `traceId` (idempotent). */
+    void attach(std::uint64_t traceId, int jobId);
+
+    /** Record one engine state transition. */
+    void event(std::uint64_t traceId, std::uint64_t atUs,
+               const std::string &what,
+               const std::string &detail = "");
+
+    /** Record one closed span (wired as the SpanSink observer). */
+    void span(const Span &span);
+
+    /** Drop the ring (job completed healthy). */
+    void forget(std::uint64_t traceId);
+
+    /**
+     * Dump the ring as flight-<traceid>.jsonl under dumpDir and
+     * forget it. Returns the artifact path, or "" when no directory
+     * is configured or the trace was never attached. `build`, when
+     * non-null, is stamped into the header line.
+     */
+    std::string dump(std::uint64_t traceId, const std::string &kind,
+                     const std::string &error,
+                     const obs::Json *build = nullptr);
+
+    std::uint64_t dumps() const;
+
+    /** {tracked, dumps, evicted, events_dropped, dir} summary. */
+    obs::Json statsJson() const;
+
+    const FlightOptions &options() const { return options_; }
+
+  private:
+    struct Event
+    {
+        std::uint64_t atUs = 0;
+        bool isSpan = false;
+        Stage stage = Stage::Job; ///< isSpan only
+        std::uint64_t durUs = 0;  ///< isSpan only
+        int worker = -1;          ///< isSpan only
+        std::string what;         ///< state transitions only
+        std::string detail;
+    };
+
+    struct Ring
+    {
+        int jobId = -1;
+        std::deque<Event> events;
+        std::uint64_t dropped = 0; ///< ring-capacity casualties
+    };
+
+    void append(std::uint64_t traceId, Event event);
+
+    FlightOptions options_;
+    mutable std::mutex mutex_;
+    std::map<std::uint64_t, Ring> rings_;
+    std::deque<std::uint64_t> attachOrder_; ///< eviction queue
+    std::uint64_t dumps_ = 0;
+    std::uint64_t evicted_ = 0;
+    std::uint64_t eventsDropped_ = 0;
+};
+
+} // namespace stitch::telem
+
+#endif // STITCH_TELEM_FLIGHTREC_HH

@@ -36,6 +36,36 @@ Histogram::quantile(double q) const
     return max_;
 }
 
+Histogram
+Histogram::diffFrom(const Histogram &earlier) const
+{
+    Histogram delta;
+    for (int i = 0; i < numBuckets; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        delta.counts_[idx] = counts_[idx] - earlier.counts_[idx];
+        if (delta.counts_[idx] == 0)
+            continue;
+        const std::uint64_t lo = bucketLo(i);
+        const std::uint64_t hi = bucketHi(i) - 1;
+        if (lo < delta.min_)
+            delta.min_ = lo;
+        if (hi > delta.max_)
+            delta.max_ = hi;
+    }
+    delta.count_ = count_ - earlier.count_;
+    delta.sum_ = sum_ - earlier.sum_;
+    // The cumulative extrema are exact for the *latest* snapshot;
+    // when they fall inside the delta's bucket span they are tighter
+    // than the bucket bounds, so keep them.
+    if (delta.count_ > 0) {
+        if (min_ >= delta.min_ && min_ <= delta.max_)
+            delta.min_ = min_;
+        if (max_ <= delta.max_ && max_ >= delta.min_)
+            delta.max_ = max_;
+    }
+    return delta;
+}
+
 obs::Json
 Histogram::toJson() const
 {

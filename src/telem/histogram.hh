@@ -105,7 +105,11 @@ class Histogram
     }
 
     /** Element-wise merge (associative and commutative; both sides
-     *  share the compile-time geometry by construction). */
+     *  share the compile-time geometry by construction). Merging an
+     *  empty histogram — in either direction — is an identity:
+     *  counts/sum add zero and the min/max update is guarded on the
+     *  operand being non-empty, so the sentinel extrema of an empty
+     *  histogram never leak into a populated one. */
     void
     merge(const Histogram &other)
     {
@@ -123,6 +127,12 @@ class Histogram
     }
 
     std::uint64_t count() const { return count_; }
+    /** Samples in bucket `index` (exposition walks the geometry). */
+    std::uint64_t
+    bucketCount(int index) const
+    {
+        return counts_[static_cast<std::size_t>(index)];
+    }
     std::uint64_t sum() const { return sum_; }
     std::uint64_t min() const { return count_ ? min_ : 0; }
     std::uint64_t max() const { return max_; }
@@ -143,6 +153,19 @@ class Histogram
      * tracked maximum; an empty histogram returns 0.
      */
     std::uint64_t quantile(double q) const;
+
+    /**
+     * Element-wise difference against an `earlier` snapshot of the
+     * same monotonically-growing histogram: the per-window delta the
+     * time-series collector records. Bucket counts, total count and
+     * sum subtract exactly (they only ever grow); min/max cannot be
+     * recovered from cumulative extrema, so they are re-derived from
+     * the surviving buckets (lo of the lowest non-empty, hi-1 of the
+     * highest) — bucket-resolution, same error bound as quantile().
+     * Exact inverse of merge(): `a.diffFrom(b)` then merged back
+     * into `b` reproduces `a`'s buckets, count and sum.
+     */
+    Histogram diffFrom(const Histogram &earlier) const;
 
     /** {count, min/mean/p50/p90/p99/max in ms} summary document. */
     obs::Json toJson() const;

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Declarative service-level objectives with multi-window burn-rate
+ * alerting, evaluated per time-series window.
+ *
+ * An objective names a metric derivable from one telem::Window
+ * (e2e_p99_ms, error_rate, cache_hit_rate, throughput_jobs_s,
+ * queue_depth, ...), a comparison against a target, and an *error
+ * budget*: the fraction of windows allowed to violate the target.
+ * Each closed window is scored violating / ok, and the burn rate —
+ * violating fraction divided by budget — is computed over a short
+ * and a long trailing span. An alert raises when the short-window
+ * burn exceeds `burnFast` while the long window confirms
+ * (>= `burnSlow`): the classic multi-window rule, fast to trip on a
+ * real stall (one bad window out of two with the defaults) and
+ * immune to a single stray window once history accumulates.
+ *
+ * Objectives load from a stitch-slo v1 JSON document (stitchd
+ * --slo=FILE), fall back to built-in defaults, and surface
+ * everywhere a human or a scraper looks: statz/metrics, the final
+ * service report, the Prometheus exposition, and stitchtop's
+ * sparkline pane.
+ */
+
+#ifndef STITCH_TELEM_SLO_HH
+#define STITCH_TELEM_SLO_HH
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "telem/timeseries.hh"
+
+namespace stitch::telem
+{
+
+inline constexpr const char *sloSchema = "stitch-slo";
+inline constexpr int sloVersion = 1;
+
+/** One declarative objective. */
+struct SloObjective
+{
+    enum class Op
+    {
+        Le, ///< metric <= target is healthy
+        Ge, ///< metric >= target is healthy
+    };
+
+    std::string name;   ///< display name, e.g. "e2e_p99"
+    std::string metric; ///< window extractor key (see sloMetrics())
+    Op op = Op::Le;
+    double target = 0.0;
+    /** Error budget: allowed violating-window fraction, (0, 1]. */
+    double budget = 0.1;
+    int shortWindows = 2;
+    int longWindows = 12;
+    double burnFast = 5.0; ///< short-span burn-rate alert threshold
+    double burnSlow = 1.0; ///< long-span confirmation threshold
+
+    void validate() const; ///< throws fault::ConfigError
+
+    static SloObjective fromJson(const obs::Json &doc);
+    obs::Json toJson() const;
+};
+
+/** A named set of objectives (the --slo=FILE document). */
+struct SloConfig
+{
+    std::vector<SloObjective> objectives;
+
+    bool empty() const { return objectives.empty(); }
+
+    /** Parse a stitch-slo v1 document; validates every objective. */
+    static SloConfig fromJson(const obs::Json &doc);
+
+    /** The stitchd built-ins: e2e_p99 <= 250 ms, error_rate <= 1%,
+     *  cache_hit_rate >= 25% once traffic flows. */
+    static SloConfig defaults();
+
+    obs::Json toJson() const;
+};
+
+/** The window metrics an objective may reference. */
+const std::vector<std::string> &sloMetrics();
+
+/**
+ * Evaluates a set of objectives against the stream of closed
+ * windows. Thread-safe: observe() runs on the collector thread,
+ * statusJson() on whichever thread answers a scrape or statz.
+ */
+class SloEngine
+{
+  public:
+    explicit SloEngine(SloConfig config);
+
+    /** Score one closed window against every objective. */
+    void observe(const Window &window);
+
+    /** Per-objective status array: current value, burn rates, alert
+     *  state and a short value history (stitchtop's sparkline). */
+    obs::Json statusJson() const;
+
+    /** Total violating (objective, window) pairs so far. */
+    std::uint64_t violations() const;
+
+    /** Alert raise edges so far (ok -> alerting transitions). */
+    std::uint64_t alertsRaised() const;
+
+    /** Objectives currently in the alerting state. */
+    std::uint64_t alertsActive() const;
+
+    std::size_t objectiveCount() const { return states_.size(); }
+
+  private:
+    struct State
+    {
+        SloObjective objective;
+        std::deque<bool> violating; ///< trailing longWindows flags
+        std::deque<double> values;  ///< trailing values (sparkline)
+        std::uint64_t windows = 0;
+        std::uint64_t violations = 0;
+        std::uint64_t alertsRaised = 0;
+        bool alerting = false;
+        double lastValue = 0.0;
+        bool lastValid = false;
+        double burnShort = 0.0;
+        double burnLong = 0.0;
+    };
+
+    static double burnOver(const std::deque<bool> &flags, int span,
+                           double budget);
+
+    mutable std::mutex mutex_;
+    std::vector<State> states_;
+    std::uint64_t violations_ = 0;
+    std::uint64_t alertsRaised_ = 0;
+};
+
+/**
+ * Extract `metric` from a closed window. Returns false when the
+ * window carries no signal for it (e.g. a latency quantile over a
+ * window that finished zero jobs) — such windows are skipped, not
+ * scored, so an idle daemon neither violates nor burns budget.
+ */
+bool sloMetricValue(const std::string &metric, const Window &window,
+                    double *value);
+
+} // namespace stitch::telem
+
+#endif // STITCH_TELEM_SLO_HH

@@ -63,8 +63,18 @@ SpanSink::nowUs() const
 void
 SpanSink::record(const Span &span)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    spans_.push_back(span);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        spans_.push_back(span);
+    }
+    if (observer_)
+        observer_(span);
+}
+
+void
+SpanSink::setObserver(std::function<void(const Span &)> observer)
+{
+    observer_ = std::move(observer);
 }
 
 std::size_t

@@ -26,6 +26,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -90,6 +91,14 @@ class SpanSink
     /** Append one closed span (locks; call at span close only). */
     void record(const Span &span);
 
+    /**
+     * Secondary consumer of every span close (the flight recorder).
+     * Called after the append, outside the sink's lock — the
+     * observer takes its own lock and must never call back into the
+     * sink. Set once at engine construction, before any span flows.
+     */
+    void setObserver(std::function<void(const Span &)> observer);
+
     std::size_t count() const;
     std::vector<Span> snapshot() const;
     void clear();
@@ -112,6 +121,7 @@ class SpanSink
   private:
     mutable std::mutex mutex_;
     std::vector<Span> spans_;
+    std::function<void(const Span &)> observer_;
     std::chrono::steady_clock::time_point epoch_;
 };
 

@@ -185,6 +185,86 @@ TEST(Histogram, MergingAnEmptyHistogramIsIdentity)
     EXPECT_EQ(hist.toJson().dump(), before);
 }
 
+TEST(Histogram, MergeIdentityHoldsInBothDirections)
+{
+    // The other direction of the identity: folding a populated
+    // histogram *into* an empty one must be indistinguishable from
+    // the populated one itself — min/max must come across, not be
+    // clobbered by the empty side's sentinels.
+    Histogram hist;
+    hist.record(5);
+    hist.record(123456);
+    Histogram empty;
+    empty.merge(hist);
+    EXPECT_EQ(empty.toJson().dump(), hist.toJson().dump());
+    EXPECT_EQ(empty.min(), 5u);
+    EXPECT_EQ(empty.max(), 123456u);
+
+    // And merging two empties stays empty (all-zero summary).
+    Histogram a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.quantile(0.5), 0u);
+}
+
+TEST(Histogram, EmptyQuantileIsZeroForEveryQ)
+{
+    // Regression pin: quantile() on an empty histogram is 0 at every
+    // q, including the 0.0/1.0 edges — never a read of the ~0 min
+    // sentinel or a scan past the last bucket.
+    Histogram hist;
+    for (double q : {0.0, 0.001, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0})
+        EXPECT_EQ(hist.quantile(q), 0u) << "q=" << q;
+}
+
+TEST(Histogram, DiffFromRecoversTheIncrement)
+{
+    // The window algebra: cumulative snapshot at t0, more samples,
+    // snapshot at t1 — diffFrom must reproduce exactly the samples
+    // recorded in between.
+    std::uint64_t state = 99;
+    Histogram cumulative, incrementOracle;
+    for (int i = 0; i < 500; ++i)
+        cumulative.record(nextSample(state) % 100000);
+    const Histogram earlier = cumulative;
+    for (int i = 0; i < 300; ++i) {
+        const std::uint64_t v = nextSample(state) % 100000;
+        cumulative.record(v);
+        incrementOracle.record(v);
+    }
+
+    const Histogram delta = cumulative.diffFrom(earlier);
+    EXPECT_EQ(delta.count(), 300u);
+    EXPECT_EQ(delta.sum(), incrementOracle.sum());
+    for (double q : {0.5, 0.9, 0.99})
+        EXPECT_EQ(delta.quantile(q), incrementOracle.quantile(q))
+            << "q=" << q;
+    // Bucketed extrema: exact when the cumulative extremum falls in
+    // the delta's range, bucket-edge-bounded otherwise.
+    EXPECT_LE(delta.min(), incrementOracle.min());
+    EXPECT_GE(delta.max(), incrementOracle.max());
+}
+
+TEST(Histogram, DiffFromSelfAndFromEmptyAreTheEdgeCases)
+{
+    Histogram hist;
+    hist.record(42);
+    hist.record(9000);
+
+    // x - x = empty.
+    const Histogram none = hist.diffFrom(hist);
+    EXPECT_EQ(none.count(), 0u);
+    EXPECT_EQ(none.quantile(0.99), 0u);
+
+    // x - empty = x (count/sum/buckets; min/max are re-derived and
+    // tightened by the cumulative extrema, so they are exact here).
+    const Histogram all = hist.diffFrom(Histogram());
+    EXPECT_EQ(all.count(), 2u);
+    EXPECT_EQ(all.sum(), hist.sum());
+    EXPECT_EQ(all.min(), 42u);
+    EXPECT_EQ(all.max(), 9000u);
+}
+
 // ---------------------------------------------------------------- //
 // Trace ids
 
@@ -357,7 +437,7 @@ TEST(EngineTelemetry, DisabledTelemetryIsByteIdentical)
     EXPECT_GT(loud.spanSink().count(), 0u);
 }
 
-TEST(EngineTelemetry, ServiceReportV2CarriesQuantiles)
+TEST(EngineTelemetry, ServiceReportCarriesQuantiles)
 {
     EngineOptions options;
     options.telemetry = true;
@@ -367,7 +447,8 @@ TEST(EngineTelemetry, ServiceReportV2CarriesQuantiles)
     engine.run();
 
     obs::Json report = engine.serviceReportJson();
-    EXPECT_EQ(report.get("version").asUint(), 2u);
+    EXPECT_EQ(report.get("version").asUint(),
+              static_cast<std::uint64_t>(serviceReportVersion));
     // v1 consumers keep working: the counters subtree is intact.
     const obs::Json &jobs =
         report.get("counters").get("svc").get("jobs");
@@ -455,7 +536,8 @@ TEST(Introspection, MetricsAndHealthzRoundTrip)
 
     obs::Json statz = introspectionResponse(engine, "statz", 1.5, 3);
     EXPECT_EQ(statz.get("schema").asString(), "stitchd-statz");
-    EXPECT_EQ(statz.get("service").get("version").asUint(), 2u);
+    EXPECT_EQ(statz.get("service").get("version").asUint(),
+              static_cast<std::uint64_t>(serviceReportVersion));
 
     obs::Json bogus = introspectionResponse(engine, "nope", 0, 0);
     EXPECT_EQ(bogus.get("status").asString(), "error");

@@ -1,0 +1,17 @@
+# Test driver: golden-schema check on stitchd's introspection verbs.
+# The heavy lifting (starting a live daemon, driving jobs over the
+# wire, validating every `stitchtop --once --json` answer and the
+# flight-recorder artifact) needs a background process, so it lives
+# in check_stitchtop.py; this wrapper keeps the ctest registration
+# idiom uniform with the other check_*.cmake drivers. Invoked by
+# stitchtop_schema_golden with -DSTITCHD=... -DSTITCHTOP=...
+# -DPYTHON=... -DOUT_DIR=...
+
+execute_process(
+    COMMAND "${PYTHON}" "${CMAKE_CURRENT_LIST_DIR}/check_stitchtop.py"
+            "--stitchd=${STITCHD}" "--stitchtop=${STITCHTOP}"
+            "--out=${OUT_DIR}"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "check_stitchtop.py failed with status ${rc}")
+endif()

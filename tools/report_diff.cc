@@ -13,9 +13,10 @@
  * plain `report_diff old.json new.json`.
  *
  * Regression direction is inferred from the metric name: cycles,
- * stalls, energy, power, time and area grow *worse* upward; boosts,
- * speedups and throughputs grow worse downward. Unrecognized metrics
- * are reported but never gate.
+ * stalls, energy, power, time, area, SLO burn rates, violation and
+ * error-rate counts grow *worse* upward; boosts, speedups and
+ * throughputs grow worse downward. Unrecognized metrics are reported
+ * but never gate.
  */
 
 #include <algorithm>
@@ -63,7 +64,10 @@ directionOf(const std::string &name)
         contains("makespan") || contains("energy") ||
         contains("_um2") || contains("degradation") ||
         contains("failures") || contains("slack") ||
-        contains("_p50") || contains("_p90") || contains("_p99"))
+        contains("_p50") || contains("_p90") || contains("_p99") ||
+        contains("burn_rate") || contains("burn_short") ||
+        contains("burn_long") || contains("violations") ||
+        contains("error_rate"))
         return Direction::UpIsWorse;
     return Direction::Untracked;
 }

@@ -5,9 +5,19 @@
  * Usage:
  *   stitchd [--port=P] [--port-file=FILE] [--cache=DIR] [--jobs=N]
  *           [--max-requests=N] [--report=FILE] [--max-queue=N]
- *           [--frame-limit=BYTES] [--read-timeout-ms=N] [--verbose]
+ *           [--frame-limit=BYTES] [--read-timeout-ms=N]
+ *           [--metrics-interval-ms=N] [--slo=FILE]
+ *           [--flight-dir=DIR] [--verbose]
  *   stitchd --send=HOST:PORT JOB.json [--retries=N]
  *           [--retry-base-ms=X] [--retry-seed=S]
+ *
+ * Continuous telemetry (DESIGN.md §14): the daemon samples its
+ * counters every --metrics-interval-ms (default 1000; 0 disables),
+ * evaluates the --slo=FILE objectives (stitch-slo v1 JSON; built-in
+ * defaults otherwise) per closed window with multi-window burn-rate
+ * alerting, and keeps a per-job flight recorder whose rings dump to
+ * --flight-dir as flight-<traceid>.jsonl on every typed failure.
+ * {"cmd":"scrape"} answers the Prometheus text exposition.
  *
  * Resilience: --max-queue bounds the engine's pending queue
  * (overload answers a typed "overloaded" error instead of queueing
@@ -23,8 +33,9 @@
  * document per connection with a length-prefixed stitch-response.
  * Identical jobs hit the engine's result cache, so a daemon with
  * --cache=DIR amortizes simulations across every client. Requests
- * carrying a "cmd" key ("healthz" / "metrics" / "statz") are answered
- * from live engine state — see tools/stitchtop for a client.
+ * carrying a "cmd" key ("healthz" / "metrics" / "statz" / "scrape")
+ * are answered from live engine state — see tools/stitchtop for a
+ * client.
  *
  * Shutdown is graceful: SIGINT/SIGTERM closes the listener (new
  * connections are refused), the request in flight drains, and the
@@ -67,6 +78,23 @@ onShutdownSignal(int)
         gServer->stop();
 }
 
+std::string
+readFileText(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw fault::ConfigError(detail::formatMessage(
+            "stitchd: cannot open ", path, ": ",
+            std::strerror(errno)));
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
 int
 sendMode(const std::string &target, const std::string &jobPath,
          const svc::RetryPolicy &retry)
@@ -81,18 +109,7 @@ sendMode(const std::string &target, const std::string &jobPath,
     const std::string host = target.substr(0, colon);
     const int port = std::atoi(target.c_str() + colon + 1);
 
-    std::FILE *f = std::fopen(jobPath.c_str(), "rb");
-    if (!f) {
-        std::fprintf(stderr, "stitchd: cannot open %s: %s\n",
-                     jobPath.c_str(), std::strerror(errno));
-        return 2;
-    }
-    std::string text;
-    char buf[4096];
-    std::size_t n;
-    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
-        text.append(buf, n);
-    std::fclose(f);
+    const std::string text = readFileText(jobPath);
 
     obs::Json response = svc::requestReportWithRetry(
         host, static_cast<std::uint16_t>(port),
@@ -108,7 +125,9 @@ main(int argc, char **argv)
 {
     cli::CommonFlags common;
     std::string cacheDir, portFile, sendTarget, jobPath, reportPath;
+    std::string sloPath, flightDir;
     int port = 0, maxRequests = 0, maxQueue = 0;
+    std::uint64_t metricsIntervalMs = 1000;
     svc::ServerOptions serverOptions;
     svc::RetryPolicy retry;
     std::string value;
@@ -142,6 +161,14 @@ main(int argc, char **argv)
                 std::strtoull(value.c_str(), nullptr, 10));
             continue;
         }
+        if (cli::keyedValue(arg, "--metrics-interval-ms=", &value)) {
+            metricsIntervalMs = static_cast<std::uint64_t>(
+                std::strtoull(value.c_str(), nullptr, 10));
+            continue;
+        }
+        if (cli::keyedValue(arg, "--slo=", &sloPath) ||
+            cli::keyedValue(arg, "--flight-dir=", &flightDir))
+            continue;
         if (cli::keyedValue(arg, "--retries=", &value)) {
             retry.maxAttempts = 1 + std::atoi(value.c_str());
             continue;
@@ -185,6 +212,16 @@ main(int argc, char **argv)
         // compile/stitch/simulate stages must be there when a
         // stitchtop attaches, not only after a restart.
         options.telemetry = true;
+        // ...and always flies with the black box armed; the dump
+        // directory is opt-in.
+        options.flightRecorder = true;
+        options.flightDir = flightDir;
+        options.metricsIntervalMs = metricsIntervalMs;
+        options.slo = sloPath.empty()
+                          ? telem::SloConfig::defaults()
+                          : telem::SloConfig::fromJson(
+                                obs::Json::parse(
+                                    readFileText(sloPath)));
         svc::JobEngine engine(options);
         svc::Server server(engine,
                            static_cast<std::uint16_t>(port),

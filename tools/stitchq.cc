@@ -5,7 +5,7 @@
  * Usage:
  *   stitchq BATCH.jsonl [--jobs=N] [--cache=DIR] [--out=DIR]
  *           [--summary=FILE] [--svc-trace=FILE] [--svc-events=FILE]
- *           [--max-queue=N] [--verbose]
+ *           [--metrics-out=FILE] [--max-queue=N] [--verbose]
  *
  * BATCH.jsonl holds one stitch-job document per line (blank lines and
  * `#` comment lines skipped). Every job is validated eagerly, queued
@@ -31,6 +31,11 @@
  * under a job envelope) and a JSONL event log. Telemetry never
  * changes the job reports themselves — with the flags absent the
  * output is byte-identical.
+ *
+ * --metrics-out writes the drained engine's Prometheus text
+ * exposition (the same lines a stitchd {"cmd":"scrape"} answers, see
+ * DESIGN.md §14) to FILE — one end-of-batch scrape for pipelines
+ * that ingest batch runs into the same dashboards as the daemon.
  */
 
 #include <cerrno>
@@ -85,7 +90,7 @@ int
 main(int argc, char **argv)
 {
     std::string batchPath, cacheDir, summaryPath;
-    std::string svcTracePath, svcEventsPath;
+    std::string svcTracePath, svcEventsPath, metricsOutPath;
     int maxQueue = 0;
     cli::CommonFlags common;
     std::string value;
@@ -95,7 +100,8 @@ main(int argc, char **argv)
             cli::keyedValue(arg, "--cache=", &cacheDir) ||
             cli::keyedValue(arg, "--summary=", &summaryPath) ||
             cli::keyedValue(arg, "--svc-trace=", &svcTracePath) ||
-            cli::keyedValue(arg, "--svc-events=", &svcEventsPath))
+            cli::keyedValue(arg, "--svc-events=", &svcEventsPath) ||
+            cli::keyedValue(arg, "--metrics-out=", &metricsOutPath))
             continue;
         if (cli::keyedValue(arg, "--max-queue=", &value)) {
             maxQueue = std::atoi(value.c_str());
@@ -116,7 +122,8 @@ main(int argc, char **argv)
             stderr,
             "usage: stitchq BATCH.jsonl [--jobs=N] [--cache=DIR] "
             "[--out=DIR] [--summary=FILE] [--svc-trace=FILE] "
-            "[--svc-events=FILE] [--max-queue=N]\n");
+            "[--svc-events=FILE] [--metrics-out=FILE] "
+            "[--max-queue=N]\n");
         return 2;
     }
 
@@ -251,6 +258,12 @@ main(int argc, char **argv)
             engine.spanSink().writeChromeTrace(svcTracePath);
         if (!svcEventsPath.empty())
             engine.spanSink().writeJsonl(svcEventsPath);
+        if (!metricsOutPath.empty()) {
+            const std::string text = engine.expositionText();
+            std::FILE *f = obs::openArtifactFile(metricsOutPath);
+            std::fwrite(text.data(), 1, text.size(), f);
+            std::fclose(f);
+        }
     } catch (const FatalError &e) {
         std::fprintf(stderr, "stitchq: %s\n", e.what());
         return 2;

@@ -3,13 +3,21 @@
  * stitchtop — live introspection client for a running stitchd.
  *
  * Usage:
- *   stitchtop [HOST:PORT] [--port=P] [--cmd=metrics|healthz|statz]
+ *   stitchtop [HOST:PORT] [--port=P]
+ *             [--cmd=metrics|healthz|statz|scrape]
  *             [--interval=SEC] [--once] [--json]
  *
  * Polls the daemon's introspection endpoint (default: metrics every
  * 2s against 127.0.0.1) and renders a refreshing table: uptime,
  * queue depth, in-flight jobs, per-band backlog, cache hit/miss/evict
- * rates, per-stage latency quantiles and the recent-error ring.
+ * rates, per-stage latency quantiles, SLO burn-rate status (one
+ * sparkline per objective, alerting objectives flagged) and the
+ * recent-error ring.
+ *
+ * --cmd=scrape prints the daemon's Prometheus text exposition
+ * verbatim (with --json, the enclosing stitchd-scrape document), so
+ * `stitchtop HOST:PORT --cmd=scrape --once` is a scraper with no
+ * HTTP stack.
  *
  * --once answers a single poll and exits (non-zero when the daemon is
  * unreachable or answers an error document); with --json the raw
@@ -19,6 +27,7 @@
  *   stitchtop 127.0.0.1:7441 --once --json | jq .jobs.completed
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,6 +58,33 @@ msCell(const obs::Json &hist, const char *key)
     if (!hist.has(key))
         return "-";
     return strformat("%.2f", hist.get(key).asDouble());
+}
+
+/** Render an SLO objective's value history as a unicode sparkline
+ *  (scaled to its own min..max; flat history renders flat). */
+std::string
+sparkline(const obs::Json &history)
+{
+    static const char *blocks[] = {"▁", "▂", "▃", "▄",
+                                   "▅", "▆", "▇", "█"};
+    if (!history.isArray() || history.size() == 0)
+        return "(no data)";
+    double lo = history.at(0).asDouble(), hi = lo;
+    for (std::size_t i = 1; i < history.size(); ++i) {
+        const double v = history.at(i).asDouble();
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    std::string out;
+    for (std::size_t i = 0; i < history.size(); ++i) {
+        const double v = history.at(i).asDouble();
+        int level = hi > lo ? static_cast<int>((v - lo) /
+                                               (hi - lo) * 7.0)
+                            : 0;
+        level = std::max(0, std::min(7, level));
+        out += blocks[level];
+    }
+    return out;
 }
 
 /** Render one metrics/statz document as the interactive view. */
@@ -176,6 +212,36 @@ renderTable(const obs::Json &doc, const std::string &target)
         table.print();
     }
 
+    if (doc.has("slo")) {
+        const obs::Json &slo = doc.get("slo");
+        std::printf("\nslo (%llu violations, %llu alerts raised, "
+                    "%llu alerting now):\n",
+                    static_cast<unsigned long long>(
+                        slo.get("violations").asUint()),
+                    static_cast<unsigned long long>(
+                        slo.get("alerts_raised").asUint()),
+                    static_cast<unsigned long long>(
+                        slo.get("alerts_active").asUint()));
+        const obs::Json &objectives = slo.get("objectives");
+        for (std::size_t i = 0; i < objectives.size(); ++i) {
+            const obs::Json &o = objectives.at(i);
+            std::printf(
+                "  %-16s %s %s %-9s  value %-9s burn %.1f/%.1f  %s %s\n",
+                o.get("name").asString().c_str(),
+                o.get("metric").asString().c_str(),
+                o.get("op").asString() == "le" ? "<=" : ">=",
+                strformat("%g", o.get("target").asDouble()).c_str(),
+                o.get("value_valid").asBool()
+                    ? strformat("%.3g",
+                                o.get("value").asDouble()).c_str()
+                    : "-",
+                o.get("burn_short").asDouble(),
+                o.get("burn_long").asDouble(),
+                sparkline(o.get("history")).c_str(),
+                o.get("alerting").asBool() ? "ALERT" : "ok");
+        }
+    }
+
     if (doc.has("errors") && doc.get("errors").size() > 0) {
         std::printf("\nrecent errors:\n");
         const obs::Json &errors = doc.get("errors");
@@ -245,10 +311,11 @@ main(int argc, char **argv)
         std::fprintf(
             stderr,
             "usage: stitchtop HOST:PORT [--cmd=metrics|healthz|"
-            "statz] [--interval=SEC] [--once] [--json]\n");
+            "statz|scrape] [--interval=SEC] [--once] [--json]\n");
         return 2;
     }
-    if (cmd != "metrics" && cmd != "healthz" && cmd != "statz") {
+    if (cmd != "metrics" && cmd != "healthz" && cmd != "statz" &&
+        cmd != "scrape") {
         std::fprintf(stderr, "stitchtop: unknown --cmd=%s\n",
                      cmd.c_str());
         return 2;
@@ -280,6 +347,12 @@ main(int argc, char **argv)
             if (isError)
                 std::printf("stitchtop: daemon error: %s\n",
                             doc.get("error").asString().c_str());
+            else if (cmd == "scrape")
+                // The exposition is already a text format; unwrap
+                // the envelope and pass it through untouched.
+                std::fputs(
+                    doc.get("exposition").asString().c_str(),
+                    stdout);
             else
                 renderTable(doc, target);
             std::fflush(stdout);
