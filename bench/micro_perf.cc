@@ -38,6 +38,53 @@ BM_CoreInterpreter(benchmark::State &state)
 }
 BENCHMARK(BM_CoreInterpreter);
 
+/**
+ * Single-core dispatch throughput of the step interpreter, in the
+ * same "mips" units as the system-level benches so the two core
+ * dispatch regimes compare directly.
+ */
+void
+BM_CoreDispatch(benchmark::State &state)
+{
+    auto input = kernels::kernelByName("fir").build({});
+    mem::TileMemory memory;
+    cpu::Core core(0, memory, nullptr, nullptr);
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        core.loadProgram(input.program);
+        core.runToHalt();
+        instructions += core.instructionsRetired();
+    }
+    state.counters["mips"] = benchmark::Counter(
+        static_cast<double>(instructions) * 1e-6,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CoreDispatch);
+
+/**
+ * The same kernel through the translation-cached compiled backend.
+ * Each iteration reloads the program — which drops the translation
+ * cache — so this number includes translating every block from
+ * scratch, the cost a real run pays once per program load.
+ */
+void
+BM_CoreDispatchCompiled(benchmark::State &state)
+{
+    auto input = kernels::kernelByName("fir").build({});
+    mem::TileMemory memory;
+    cpu::Core core(0, memory, nullptr, nullptr);
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        core.loadProgram(input.program);
+        core.runToHaltCompiled();
+        instructions += core.instructionsRetired();
+    }
+    state.counters["mips_compiled"] = benchmark::Counter(
+        static_cast<double>(instructions) * 1e-6,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CoreDispatchCompiled);
+
 /** Full compile-and-measure of one kernel across all 13 targets. */
 void
 BM_CompileKernel(benchmark::State &state)
@@ -137,6 +184,32 @@ BM_SystemSimulation(benchmark::State &state)
         benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SystemSimulation)->Unit(benchmark::kMillisecond);
+
+/**
+ * The same sixteen-tile simulation under the compiled scheduler. Its
+ * "mips_compiled" counter is the headline number for the translation
+ * cache: the trajectory tracks it next to BM_SystemSimulation/mips,
+ * and the two runs are byte-identical by the parity tests.
+ */
+void
+BM_SystemSimulationCompiled(benchmark::State &state)
+{
+    apps::AppRunner runner(2, 4);
+    runner.setScheduler(sim::SchedulerKind::Compiled);
+    auto app = apps::app3SvmEncrypt();
+    // Warm the compile cache outside the timed region.
+    runner.run(app, apps::AppMode::Baseline);
+    std::uint64_t instructions = 0;
+    for (auto _ : state) {
+        auto res = runner.run(app, apps::AppMode::Baseline);
+        instructions += res.stats.instructions;
+        benchmark::DoNotOptimize(res.stats.makespan);
+    }
+    state.counters["mips_compiled"] = benchmark::Counter(
+        static_cast<double>(instructions) * 1e-6,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SystemSimulationCompiled)->Unit(benchmark::kMillisecond);
 
 /**
  * Capture every run's headline numbers into the shared stitch-bench

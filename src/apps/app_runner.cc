@@ -248,8 +248,11 @@ AppRunner::run(const AppSpec &app, AppMode mode,
             config.maxInstructions > 0
                 ? config.maxInstructions
                 : sim::System::runawayInstructionBudget);
-        if (statsOut)
+        if (statsOut) {
             *statsOut = system.registry().toJson(/*skipZero=*/true);
+            if (config.dumpTraces)
+                result.traceDump = system.dumpTraces();
+        }
         return stats;
     };
 

@@ -75,6 +75,13 @@ struct AppRunResult
      * it in reports (sim/report.hh).
      */
     obs::Json statsDump;
+
+    /**
+     * The long run's translated-trace dump (System::dumpTraces),
+     * captured iff RunConfig::dumpTraces is set. Empty unless the run
+     * used the compiled scheduler (smoke_app --dump-traces).
+     */
+    std::string traceDump;
 };
 
 /**
@@ -91,6 +98,12 @@ struct RunConfig
     fault::ArchHealth health = fault::ArchHealth::healthy();
     fault::FaultPlan faults;
     sim::SchedulerKind scheduler = sim::SchedulerKind::Slice;
+
+    /**
+     * Capture the long run's translation-cache dump into
+     * AppRunResult::traceDump (diagnostics; off the measurement path).
+     */
+    bool dumpTraces = false;
 
     /**
      * Per-run instruction budget; 0 keeps the runaway backstop. The

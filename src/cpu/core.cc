@@ -1,6 +1,7 @@
 #include "cpu/core.hh"
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 #include "mem/addrmap.hh"
 #include "obs/trace.hh"
 
@@ -66,6 +67,14 @@ Core::loadProgram(const isa::Program &prog)
             static_cast<std::int32_t>(i);
     execCounts_.assign(prog_.code().size(), 0);
 
+    // The translation cache indexes into this program's code: a
+    // reload drops every trace (tests assert this via traceCount())
+    // and unbinds the process-wide memo handle of the old image.
+    traces_.clear();
+    wordToTrace_.assign(prog_.wordCount(), -1);
+    jitMemo_.reset();
+    jitStats_ = jit::JitStats{};
+
     for (const auto &seg : prog_.data()) {
         if (mem::isSpmAddr(seg.base)) {
             for (std::size_t i = 0; i < seg.bytes.size(); i += 4) {
@@ -108,8 +117,11 @@ Core::branchTo(std::int32_t targetWord)
 {
     if (targetWord < 0 ||
         static_cast<Addr>(targetWord) >= prog_.wordCount())
-        fatal("branch to word ", targetWord, " outside program ",
-              prog_.name());
+        // Typed so every run loop can convert a wild branch into
+        // Termination::Fault instead of tearing down the whole run.
+        throw fault::ExecutionFaultError(detail::formatMessage(
+            "branch to word ", targetWord, " outside program ",
+            prog_.name()));
     pc_ = static_cast<Addr>(targetWord);
     time_ += 1; // taken control-flow penalty
     ++branchesTaken_;
@@ -121,9 +133,7 @@ Core::step()
     if (halted_)
         return StepResult::Halted;
 
-    STITCH_ASSERT(pc_ < wordToIndex_.size(), "PC past end of program");
-    std::int32_t idx = wordToIndex_[pc_];
-    STITCH_ASSERT(idx >= 0, "PC on a non-boundary word");
+    std::int32_t idx = instrIndexAt(pc_);
     const Instr &in = prog_.code()[static_cast<std::size_t>(idx)];
 
     StepResult result = execute(in);
@@ -390,10 +400,7 @@ Core::runSlice(std::uint64_t budget, std::uint64_t &executed,
 {
     STITCH_ASSERT(!halted_, "slice dispatched to a halted core");
     while (true) {
-        STITCH_ASSERT(pc_ < wordToIndex_.size(),
-                      "PC past end of program");
-        std::int32_t idx = wordToIndex_[pc_];
-        STITCH_ASSERT(idx >= 0, "PC on a non-boundary word");
+        std::int32_t idx = instrIndexAt(pc_);
         const Instr &in = prog_.code()[static_cast<std::size_t>(idx)];
 
         if (relaxed &&

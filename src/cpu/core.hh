@@ -31,12 +31,16 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
 #include "core/patch.hh"
 #include "isa/program.hh"
+#include "jit/memo.hh"
+#include "jit/trace.hh"
 #include "mem/tile_memory.hh"
 
 namespace stitch::cpu
@@ -151,8 +155,36 @@ class Core
                         Cycles horizonTime, TileId horizonTile,
                         bool relaxed);
 
+    /**
+     * Compiled-backend slice (sim's third scheduler; core_jit.cc):
+     * dispatch predecoded micro-op traces from the per-program
+     * translation cache instead of per-instruction fetch→switch,
+     * translating lazily on first entry. The same boundaries as
+     * runSlice apply — a retired SEND, block, halt, or the budget —
+     * and the run-ahead discipline is the relaxed one: tile-private
+     * traces run past the horizon freely, while SEND/RECV execute as
+     * single interpreter-oracle steps only while this core holds the
+     * globally minimal (time, id) key, and yield unexecuted
+     * otherwise. Every counter, stall cycle and register effect is
+     * byte-identical to the interpreter's, including partial trace
+     * executions cut short by a thrown fault (see DESIGN.md §15).
+     *
+     * Precondition (System::runCompiledLoop enforces by deoptimizing
+     * the whole run to the slice scheduler): tracer, sampler and
+     * fault injector off, and `budget` is the runaway backstop, not a
+     * meaningful cutoff — mid-trace budget overshoot falls back to
+     * single oracle steps so the final attempt still matches.
+     */
+    StepResult runCompiled(std::uint64_t budget,
+                           std::uint64_t &executed, Cycles horizonTime,
+                           TileId horizonTile);
+
     /** Run standalone until HALT; fatal on block. */
     Cycles runToHalt(std::uint64_t maxInstructions = 400'000'000ull);
+
+    /** runToHalt through the translation cache (bench/micro_perf). */
+    Cycles
+    runToHaltCompiled(std::uint64_t maxInstructions = 400'000'000ull);
 
     bool halted() const { return halted_; }
     TileId id() const { return id_; }
@@ -197,17 +229,53 @@ class Core
     /**
      * Per-instruction basic-block execution counts from the last run,
      * used by the compiler's profiler. Indexed by instruction index.
+     * Compiled-regime dispatches defer their counts per trace
+     * (jit::Trace::completions); reading materializes them — logical
+     * const, hence the cast.
      */
     const std::vector<std::uint64_t> &executionCounts() const
     {
+        const_cast<Core *>(this)->syncExecCounts();
         return execCounts_;
     }
 
     const isa::Program &program() const { return prog_; }
 
+    /** Translation-cache activity of the current program's run. */
+    const jit::JitStats &jitStats() const { return jitStats_; }
+
+    /** Translated traces so far (diagnostics / tests). */
+    std::size_t traceCount() const { return traces_.size(); }
+
+    /** Dump every translated trace, sorted by entry address, through
+     *  the validator-gated dumper (smoke_app --dump-traces). */
+    std::string dumpJitTraces() const;
+
   private:
     StepResult execute(const isa::Instr &in);
     void branchTo(std::int32_t targetWord);
+
+    /**
+     * Map the PC to its instruction index, raising a typed
+     * fault::ExecutionFaultError (→ Termination::Fault) when the PC
+     * ran off the code image or into the middle of a two-word CUST —
+     * shared by every execution regime so crash messages match.
+     */
+    std::int32_t instrIndexAt(Addr pcWord) const;
+
+    /** Translation cache lookup; translates + validates on miss. */
+    jit::Trace &traceFor(Addr entryWord);
+
+    /**
+     * Execute `tr` and chain through already-translated successor
+     * traces while they fit the remaining budget; exact fold-on-exit
+     * counter discipline across the whole chain.
+     */
+    StepResult executeTrace(jit::Trace &tr, std::uint64_t &executed,
+                            std::uint64_t budget);
+
+    /** Fold deferred per-trace completion counts into execCounts_. */
+    void syncExecCounts();
 
     /**
      * Tracing: close the running coalesced "exec" slice at `upTo` and
@@ -228,6 +296,17 @@ class Core
     isa::Program prog_;
     std::vector<std::int32_t> wordToIndex_; ///< word addr -> instr idx
     std::vector<std::uint64_t> execCounts_;
+
+    // Compiled backend (core_jit.cc): per-program translation cache,
+    // dropped wholesale on loadProgram. wordToTrace_ maps an entry
+    // word address to its trace index (-1 = not yet translated).
+    // jitMemo_ is this program's handle into the process-wide
+    // translation memo (jit/memo.hh), bound lazily on the first
+    // translation-cache miss.
+    std::vector<jit::Trace> traces_;
+    std::vector<std::int32_t> wordToTrace_;
+    std::shared_ptr<jit::ProgramMemo> jitMemo_;
+    jit::JitStats jitStats_;
 
     std::array<Word, numRegs> regs_{};
     Addr pc_ = 0; ///< word address

@@ -1,0 +1,667 @@
+/**
+ * @file
+ * The compiled execution backend of Core (--scheduler=compiled):
+ * translation-cached trace dispatch over the micro-op IR of src/jit/.
+ *
+ * The interpreter in core.cc stays the byte-exactness oracle. This
+ * file's contract is that every observable effect of a trace
+ * execution — registers, memory, the local clock, every counter in
+ * the stats registry including per-access cache hit/miss counts — is
+ * identical to stepping the covered instructions one at a time,
+ * including partial executions cut short by a thrown fault. Three
+ * interpreter costs are folded instead of skipped:
+ *
+ *  - the per-instruction `time_ += 1` and retire bookkeeping
+ *    accumulate in locals (dTime / dRet) applied once per trace exit,
+ *    normal or thrown;
+ *  - repeat I-cache probes compress into Cache::repeatReadHits (the
+ *    probed block always holds the maximal lastUse of its set, so
+ *    skipping the LRU touch preserves victim selection exactly);
+ *  - each memory access site carries an inline cache (jit::MemClass)
+ *    whose guarded fast path skips only the address routing — a guard
+ *    miss repredicts and falls back to the generic accessors.
+ *
+ * SEND/RECV never enter traces: they run as single interpreter-oracle
+ * steps under the relaxed-scheduler horizon discipline, so globally
+ * visible events keep the step scheduler's order and times.
+ */
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+#include "common/logging.hh"
+#include "cpu/core.hh"
+#include "fault/fault.hh"
+#include "jit/dump.hh"
+#include "jit/translate.hh"
+#include "jit/validate.hh"
+#include "mem/addrmap.hh"
+
+namespace stitch::cpu
+{
+
+using isa::Opcode;
+
+namespace
+{
+
+/** Shared ALU evaluator of the plain and fused micro-ops; covers both
+ *  the register and the immediate opcode forms (b = imm for the
+ *  latter), replicating the interpreter's exact casts. */
+inline Word
+aluEval(Opcode op, Word a, Word b)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Addi: return a + b;
+      case Opcode::Sub: return a - b;
+      case Opcode::And:
+      case Opcode::Andi: return a & b;
+      case Opcode::Or:
+      case Opcode::Ori: return a | b;
+      case Opcode::Xor:
+      case Opcode::Xori: return a ^ b;
+      case Opcode::Sll:
+      case Opcode::Slli: return a << (b & 31u);
+      case Opcode::Srl:
+      case Opcode::Srli: return a >> (b & 31u);
+      case Opcode::Sra:
+      case Opcode::Srai:
+        return static_cast<Word>(static_cast<SWord>(a) >>
+                                 static_cast<SWord>(b & 31u));
+      case Opcode::Slt:
+      case Opcode::Slti:
+        return static_cast<SWord>(a) < static_cast<SWord>(b) ? 1 : 0;
+      case Opcode::Sltu: return a < b ? 1 : 0;
+      default: STITCH_PANIC("non-ALU opcode in ALU uop");
+    }
+}
+
+inline bool
+branchTaken(Opcode op, Word a, Word b)
+{
+    switch (op) {
+      case Opcode::Beq: return a == b;
+      case Opcode::Bne: return a != b;
+      case Opcode::Blt:
+        return static_cast<SWord>(a) < static_cast<SWord>(b);
+      case Opcode::Bge:
+        return static_cast<SWord>(a) >= static_cast<SWord>(b);
+      case Opcode::Bltu: return a < b;
+      case Opcode::Bgeu: return a >= b;
+      default: STITCH_PANIC("non-branch opcode in branch uop");
+    }
+}
+
+} // namespace
+
+std::int32_t
+Core::instrIndexAt(Addr pcWord) const
+{
+    if (pcWord >= wordToIndex_.size())
+        throw fault::ExecutionFaultError(detail::formatMessage(
+            "PC word ", pcWord, " past end of program ",
+            prog_.name()));
+    std::int32_t idx = wordToIndex_[pcWord];
+    if (idx < 0)
+        throw fault::ExecutionFaultError(detail::formatMessage(
+            "PC word ", pcWord, " is not an instruction boundary in ",
+            prog_.name()));
+    return idx;
+}
+
+jit::Trace &
+Core::traceFor(Addr entryWord)
+{
+    std::int32_t ti = wordToTrace_[entryWord];
+    if (ti >= 0)
+        return traces_[static_cast<std::size_t>(ti)];
+
+    const Addr blockBytes = mem_.params().icache.blockBytes;
+    if (!jitMemo_)
+        jitMemo_ = jit::TranslationMemo::instance().programFor(
+            prog_.code(), blockBytes);
+
+    // The memo hands back a copy of a previously validated pristine
+    // trace of this exact code image — field-for-field what
+    // translate() would return, so the miss path below (translate,
+    // validate, memoize) and a memo hit are interchangeable.
+    jit::Trace tr;
+    if (!jitMemo_->lookup(entryWord, tr)) {
+        jit::TranslateParams tp;
+        tp.icacheBlockBytes = blockBytes;
+        tr = jit::translate(prog_, wordToIndex_, entryWord, tp);
+
+        std::string why;
+        if (!jit::validateTrace(tr, prog_, tp.icacheBlockBytes, &why))
+            STITCH_PANIC("translator produced an invalid trace @w",
+                         entryWord, " in ", prog_.name(), ": ", why);
+        jitMemo_->insert(tr);
+    }
+
+    ++jitStats_.tracesTranslated;
+    jitStats_.uops += tr.uops.size();
+    for (const jit::Uop &u : tr.uops)
+        if (jit::uopIsFused(u.kind))
+            ++jitStats_.superinstructions;
+
+    wordToTrace_[entryWord] = static_cast<std::int32_t>(traces_.size());
+    traces_.push_back(std::move(tr));
+    return traces_.back();
+}
+
+StepResult
+Core::executeTrace(jit::Trace &tr, std::uint64_t &executed,
+                   std::uint64_t budget)
+{
+    // The fold-on-exit locals; everything else increments its
+    // counter directly (additive, so partial executions stay exact).
+    // dRepeats defers guaranteed I-cache re-hits: flushed before any
+    // first-touch block probe so the cache's internal use clock (and
+    // with it every LRU stamp) matches the interpreter's exactly at
+    // each probe, and once more in the fold.
+    Cycles dTime = 0;
+    std::uint64_t dRet = 0;
+    std::uint64_t dRepeats = 0;
+    StepResult result = StepResult::Ok;
+
+    auto r = [&](RegId reg) {
+        return regs_[static_cast<std::size_t>(reg)];
+    };
+    auto wr = [&](RegId reg, Word v) {
+        if (reg != 0)
+            regs_[static_cast<std::size_t>(reg)] = v;
+    };
+    // The per-instruction histogram is NOT updated here: a completed
+    // dispatch retires every covered instruction exactly once, so the
+    // loop counts one Trace::completions per execution and
+    // syncExecCounts() materializes lazily. Only the exception path
+    // below writes a partial prefix into execCounts_ directly.
+    auto retire = [&](std::int32_t) { ++dRet; };
+
+    // One instruction's fetch: base cycle, deferred repeat hits, then
+    // up to two first-touch block probes at the same local time
+    // (matching TileMemory::fetch's single-timestamp block walk).
+    auto chargeFetch = [&](std::uint8_t reps, Addr nb0, Addr nb1) {
+        dTime += 1;
+        dRepeats += reps;
+        if (nb0 != jit::noBlock) {
+            if (dRepeats) {
+                mem_.icacheRepeatHits(dRepeats);
+                dRepeats = 0;
+            }
+            const Cycles now = time_ + dTime;
+            Cycles stall = mem_.icacheBlockFetch(nb0, now);
+            if (nb1 != jit::noBlock)
+                stall += mem_.icacheBlockFetch(nb1, now);
+            if (stall) {
+                imissStall_ += stall;
+                dTime += stall;
+            }
+        }
+    };
+    // A fused tail instruction's fetch: pure repeats by construction.
+    auto chargeTailFetch = [&](std::uint8_t reps) {
+        dTime += 1;
+        dRepeats += reps;
+    };
+
+    // Inline-cached load site (LW/LB). The guard proves the class; a
+    // miss repredicts and takes the generic routed path (identical
+    // counters, and the interpreter's fatal on unmapped addresses).
+    // The guard-hit arms are forced inline into each dispatch case
+    // (where `word` becomes a constant); the repredict tail stays a
+    // call — it runs a handful of times per run.
+    auto loadMiss = [&](jit::MemClass &cls, Addr a,
+                        bool word) -> Word {
+        if (cls != jit::MemClass::Unknown)
+            ++jitStats_.guardMisses;
+        cls = mem::isSpmAddr(a)    ? jit::MemClass::Spm
+              : mem::isDramAddr(a) ? jit::MemClass::Dram
+                                   : jit::MemClass::Unknown;
+        mem::MemResult res = word ? mem_.loadWord(a, time_ + dTime)
+                                  : mem_.loadByte(a, time_ + dTime);
+        (mem::isSpmAddr(a) ? spmStall_ : dmissStall_) +=
+            res.extraCycles;
+        dTime += res.extraCycles;
+        ++loads_;
+        return res.value;
+    };
+    auto loadSite = [&](jit::MemClass &cls, Addr a, bool word)
+        __attribute__((always_inline)) -> Word {
+        mem::MemResult res;
+        switch (cls) {
+          case jit::MemClass::Spm:
+            if (mem::isSpmAddr(a)) {
+                res = word ? mem_.spmLoadWordFast(a)
+                           : mem_.spmLoadByteFast(a);
+                spmStall_ += res.extraCycles;
+                dTime += res.extraCycles;
+                ++loads_;
+                return res.value;
+            }
+            break;
+          case jit::MemClass::Dram:
+            if (mem::isDramAddr(a)) {
+                res = word ? mem_.dramLoadWordFast(a, time_ + dTime)
+                           : mem_.dramLoadByteFast(a, time_ + dTime);
+                dmissStall_ += res.extraCycles;
+                dTime += res.extraCycles;
+                ++loads_;
+                return res.value;
+            }
+            break;
+          default:
+            break;
+        }
+        return loadMiss(cls, a, word);
+    };
+
+    // Inline-cached SW site: the crossbar-config check comes first on
+    // the slow path, exactly like the interpreter (an xbar store sets
+    // the register, charges nothing and does not count as a store).
+    // Fast/miss split as for loads.
+    auto storeWordMiss = [&](jit::MemClass &cls, Addr a, Word v) {
+        if (cls != jit::MemClass::Unknown)
+            ++jitStats_.guardMisses;
+        if (mem::isXbarConfigAddr(a)) {
+            cls = jit::MemClass::Xbar;
+            xbarReg_ = v;
+            return;
+        }
+        cls = mem::isSpmAddr(a)    ? jit::MemClass::Spm
+              : mem::isDramAddr(a) ? jit::MemClass::Dram
+                                   : jit::MemClass::Unknown;
+        Cycles c = mem_.storeWord(a, v, time_ + dTime);
+        (mem::isSpmAddr(a) ? spmStall_ : dmissStall_) += c;
+        dTime += c;
+        ++stores_;
+    };
+    auto storeWordSite = [&](jit::MemClass &cls, Addr a, Word v)
+        __attribute__((always_inline)) {
+        switch (cls) {
+          case jit::MemClass::Xbar:
+            if (mem::isXbarConfigAddr(a)) {
+                xbarReg_ = v;
+                return;
+            }
+            break;
+          case jit::MemClass::Spm:
+            if (mem::isSpmAddr(a)) {
+                Cycles c = mem_.spmStoreWordFast(a, v);
+                spmStall_ += c;
+                dTime += c;
+                ++stores_;
+                return;
+            }
+            break;
+          case jit::MemClass::Dram:
+            if (mem::isDramAddr(a)) {
+                Cycles c = mem_.dramStoreWordFast(a, v, time_ + dTime);
+                dmissStall_ += c;
+                dTime += c;
+                ++stores_;
+                return;
+            }
+            break;
+          default:
+            break;
+        }
+        storeWordMiss(cls, a, v);
+    };
+
+    // SB never targets the crossbar register (interpreter parity).
+    auto storeByteMiss = [&](jit::MemClass &cls, Addr a,
+                             std::uint8_t v) {
+        if (cls != jit::MemClass::Unknown)
+            ++jitStats_.guardMisses;
+        cls = mem::isSpmAddr(a)    ? jit::MemClass::Spm
+              : mem::isDramAddr(a) ? jit::MemClass::Dram
+                                   : jit::MemClass::Unknown;
+        Cycles c = mem_.storeByte(a, v, time_ + dTime);
+        (mem::isSpmAddr(a) ? spmStall_ : dmissStall_) += c;
+        dTime += c;
+        ++stores_;
+    };
+    auto storeByteSite = [&](jit::MemClass &cls, Addr a,
+                             std::uint8_t v)
+        __attribute__((always_inline)) {
+        switch (cls) {
+          case jit::MemClass::Spm:
+            if (mem::isSpmAddr(a)) {
+                Cycles c = mem_.spmStoreByteFast(a, v);
+                spmStall_ += c;
+                dTime += c;
+                ++stores_;
+                return;
+            }
+            break;
+          case jit::MemClass::Dram:
+            if (mem::isDramAddr(a)) {
+                Cycles c = mem_.dramStoreByteFast(a, v, time_ + dTime);
+                dmissStall_ += c;
+                dTime += c;
+                ++stores_;
+                return;
+            }
+            break;
+          default:
+            break;
+        }
+        storeByteMiss(cls, a, v);
+    };
+
+    // CUST runs inline: tracer/sampler/injector are off in compiled
+    // mode (System deoptimizes otherwise), counters are additive, and
+    // a throwing patch (e.g. core::BinaryMismatchError) propagates
+    // through the fold exactly as the interpreter would leave state.
+    auto custOp = [&](const jit::Uop &u) {
+        if (!custom_)
+            fatal("CUST executed on a core without a custom handler");
+        if (u.cfg >= prog_.iseTable().size())
+            fatal("CUST cfg index ", u.cfg, " outside ISE table of ",
+                  prog_.name());
+        std::array<Word, 4> operands = {r(u.rs0), r(u.rs1), r(u.rs2),
+                                        r(u.rs3)};
+        auto res = custom_->executeCustom(
+            id_, prog_.iseTable()[u.cfg], operands);
+        if (res.writeRd0)
+            wr(u.rd, res.rd0);
+        if (res.writeRd1)
+            wr(u.rd1, res.rd1);
+        ++customInstrs_;
+    };
+
+    auto fold = [&] {
+        if (dRepeats)
+            mem_.icacheRepeatHits(dRepeats);
+        time_ += dTime;
+        retired_ += dRet;
+        instrCount_ += dRet;
+        executed += dRet;
+    };
+
+    // The dispatch loop chains directly from trace to trace: after a
+    // terminator (or fall-through) whose target already has a trace
+    // and fits the remaining budget, execution continues here without
+    // bouncing through runCompiled. Chain exits — untranslated target
+    // (including every SEND/RECV block head), out-of-image PC, budget
+    // tail, halt — return to the outer loop, which owns the oracle
+    // steps, translation, and the fault diagnostics.
+    jit::Trace *cur = &tr;
+    std::uint64_t chainBase = 0; ///< dRet at entry to `cur`'s loop
+    try {
+      chain:
+        chainBase = dRet;
+        ++cur->executions;
+        ++jitStats_.dispatches;
+        for (jit::Uop &u : cur->uops) {
+            chargeFetch(u.fetchRepeats, u.newBlock0, u.newBlock1);
+            switch (u.kind) {
+              case jit::UopKind::Nop:
+                break;
+              case jit::UopKind::Alu:
+                wr(u.rd, aluEval(u.op, r(u.rs0), r(u.rs1)));
+                break;
+              case jit::UopKind::AluImm:
+                wr(u.rd, aluEval(u.op, r(u.rs0),
+                                 static_cast<Word>(u.imm)));
+                break;
+              // Specialized hot ALU forms: same results as aluEval,
+              // computed inline without the opcode switch.
+              case jit::UopKind::Add:
+                wr(u.rd, r(u.rs0) + r(u.rs1));
+                break;
+              case jit::UopKind::Sub:
+                wr(u.rd, r(u.rs0) - r(u.rs1));
+                break;
+              case jit::UopKind::Xor:
+                wr(u.rd, r(u.rs0) ^ r(u.rs1));
+                break;
+              case jit::UopKind::AddImm:
+                wr(u.rd, r(u.rs0) + static_cast<Word>(u.imm));
+                break;
+              case jit::UopKind::ShlImm:
+                wr(u.rd, r(u.rs0)
+                             << (static_cast<Word>(u.imm) & 31u));
+                break;
+              case jit::UopKind::ShrImm:
+                wr(u.rd,
+                   r(u.rs0) >> (static_cast<Word>(u.imm) & 31u));
+                break;
+              case jit::UopKind::Lui:
+                wr(u.rd, static_cast<Word>(u.imm) << 11);
+                break;
+              case jit::UopKind::Mul:
+                wr(u.rd, r(u.rs0) * r(u.rs1));
+                dTime += 3;
+                ++muls_;
+                break;
+              case jit::UopKind::LoadWord:
+                wr(u.rd, loadSite(u.memClass,
+                                  r(u.rs0) + static_cast<Word>(u.imm),
+                                  true));
+                break;
+              case jit::UopKind::LoadByte:
+                wr(u.rd, loadSite(u.memClass,
+                                  r(u.rs0) + static_cast<Word>(u.imm),
+                                  false));
+                break;
+              case jit::UopKind::StoreWord:
+                storeWordSite(u.memClass,
+                              r(u.rs0) + static_cast<Word>(u.imm),
+                              r(u.rs1));
+                break;
+              case jit::UopKind::StoreByte:
+                storeByteSite(u.memClass,
+                              r(u.rs0) + static_cast<Word>(u.imm),
+                              static_cast<std::uint8_t>(r(u.rs1)));
+                break;
+              case jit::UopKind::Branch:
+                if (branchTaken(u.op, r(u.rs0), r(u.rs1)))
+                    branchTo(u.branchTarget); // may throw: not retired
+                else
+                    pc_ = u.pcAfter;
+                break;
+              case jit::UopKind::Jal:
+                wr(u.rd, u.pcAfter);
+                branchTo(u.branchTarget);
+                break;
+              case jit::UopKind::Jalr: {
+                Word target = r(u.rs0) + static_cast<Word>(u.imm);
+                wr(u.rd, u.pcAfter);
+                branchTo(static_cast<std::int32_t>(target));
+                break;
+              }
+              case jit::UopKind::Halt:
+                halted_ = true;
+                pc_ = u.pcAfter;
+                result = StepResult::Halted;
+                break;
+              case jit::UopKind::Cust:
+                custOp(u);
+                break;
+
+              case jit::UopKind::LoadAluStore: {
+                wr(u.rd, loadSite(u.memClass,
+                                  r(u.rs0) + static_cast<Word>(u.imm),
+                                  true));
+                retire(u.instrIdx);
+                chargeTailFetch(u.rep2);
+                Word b = isa::isAluImmOp(u.op2)
+                             ? static_cast<Word>(u.imm3)
+                             : r(u.rs2);
+                wr(u.rd1, aluEval(u.op2, r(u.rs1), b));
+                retire(u.instrIdx + 1);
+                chargeTailFetch(u.rep3);
+                storeWordSite(u.memClass2,
+                              r(u.rs5) + static_cast<Word>(u.imm2),
+                              r(u.rs4));
+                retire(u.instrIdx + 2);
+                continue;
+              }
+              case jit::UopKind::CustStore:
+                custOp(u);
+                retire(u.instrIdx);
+                chargeTailFetch(u.rep2);
+                storeWordSite(u.memClass2,
+                              r(u.rs5) + static_cast<Word>(u.imm2),
+                              r(u.rs4));
+                retire(u.instrIdx + 1);
+                continue;
+              case jit::UopKind::AluImmBranch:
+                wr(u.rd, aluEval(u.op2, r(u.rs0),
+                                 static_cast<Word>(u.imm3)));
+                retire(u.instrIdx);
+                chargeTailFetch(u.rep2);
+                if (branchTaken(u.op, r(u.rs1), r(u.rs2)))
+                    branchTo(u.branchTarget);
+                else
+                    pc_ = u.pcAfter;
+                retire(u.instrIdx + 1);
+                continue;
+            }
+            retire(u.instrIdx);
+        }
+        ++cur->completions;
+        if (!cur->endsInTerminator)
+            pc_ = cur->exitWord;
+        if (result == StepResult::Ok && pc_ < wordToTrace_.size()) {
+            std::int32_t ti = wordToTrace_[pc_];
+            if (ti >= 0) {
+                jit::Trace &next =
+                    traces_[static_cast<std::size_t>(ti)];
+                if (executed + dRet + next.instrCount <= budget) {
+                    cur = &next;
+                    goto chain;
+                }
+            }
+        }
+        fold();
+        return result;
+    } catch (...) {
+        // The interrupted dispatch retired a contiguous prefix of
+        // `cur`'s instructions (dRet - chainBase of them); write it
+        // into the histogram directly — completions only counts full
+        // runs — so partial stats match the interpreter exactly.
+        auto first = static_cast<std::size_t>(cur->firstInstrIdx);
+        for (std::uint64_t k = 0; k < dRet - chainBase; ++k)
+            ++execCounts_[first + k];
+        fold();
+        throw;
+    }
+}
+
+void
+Core::syncExecCounts()
+{
+    for (jit::Trace &t : traces_) {
+        if (!t.completions)
+            continue;
+        auto first = static_cast<std::size_t>(t.firstInstrIdx);
+        for (std::uint32_t k = 0; k < t.instrCount; ++k)
+            execCounts_[first + k] += t.completions;
+        t.completions = 0;
+    }
+}
+
+StepResult
+Core::runCompiled(std::uint64_t budget, std::uint64_t &executed,
+                  Cycles horizonTime, TileId horizonTile)
+{
+    STITCH_ASSERT(!halted_,
+                  "compiled slice dispatched to a halted core");
+    while (true) {
+        // A translated entry can never be SEND/RECV, so the decoded
+        // communication check only runs on translation-cache misses.
+        std::int32_t ti =
+            pc_ < wordToTrace_.size() ? wordToTrace_[pc_] : -1;
+        if (ti < 0) {
+            std::int32_t idx = instrIndexAt(pc_);
+            const isa::Instr &in =
+                prog_.code()[static_cast<std::size_t>(idx)];
+            if (in.op == Opcode::Send || in.op == Opcode::Recv) {
+                // Communication never enters a trace: run it as a
+                // single interpreter-oracle step, and only while this
+                // core holds the globally minimal (time, id) key —
+                // the relaxed scheduler's discipline, so the global
+                // event order and times match the step scheduler
+                // exactly.
+                if (time_ > horizonTime ||
+                    (time_ == horizonTime && id_ > horizonTile))
+                    return StepResult::Ok; // yield unexecuted
+                ++jitStats_.oracleSteps;
+                StepResult res = step();
+                ++executed;
+                if (res != StepResult::Ok)
+                    return res; // halted or blocked in RECV
+                if (in.op == Opcode::Send)
+                    return res; // wake-ups may change the run queue
+                if (executed >= budget)
+                    return res;
+                continue;
+            }
+        }
+
+        jit::Trace &tr = ti >= 0
+                             ? traces_[static_cast<std::size_t>(ti)]
+                             : traceFor(pc_);
+        if (executed + tr.instrCount > budget) {
+            // Budget tail: a whole trace would overshoot the cutoff,
+            // so fall back to single oracle steps and stop exactly at
+            // the limit, like the other schedulers.
+            ++jitStats_.oracleSteps;
+            StepResult res = step();
+            ++executed;
+            if (res != StepResult::Ok)
+                return res;
+            if (executed >= budget)
+                return res;
+            continue;
+        }
+
+        StepResult res = executeTrace(tr, executed, budget);
+        if (res != StepResult::Ok)
+            return res;
+        if (executed >= budget)
+            return res;
+    }
+}
+
+Cycles
+Core::runToHaltCompiled(std::uint64_t maxInstructions)
+{
+    std::uint64_t executed = 0;
+    while (!halted_) {
+        StepResult res = runCompiled(maxInstructions, executed,
+                                     ~Cycles{0}, numTiles);
+        if (res == StepResult::Blocked)
+            fatal("standalone core ", id_, " blocked on RECV in ",
+                  prog_.name());
+        if (!halted_ && executed >= maxInstructions)
+            fatal("program ", prog_.name(), " exceeded ",
+                  maxInstructions, " instructions; runaway loop?");
+    }
+    return time_;
+}
+
+std::string
+Core::dumpJitTraces() const
+{
+    std::vector<const jit::Trace *> sorted;
+    sorted.reserve(traces_.size());
+    for (const jit::Trace &t : traces_)
+        sorted.push_back(&t);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const jit::Trace *a, const jit::Trace *b) {
+                  return a->entryWord < b->entryWord;
+              });
+    std::string out;
+    for (const jit::Trace *t : sorted)
+        out += jit::dumpTrace(*t, prog_,
+                              mem_.params().icache.blockBytes);
+    return out;
+}
+
+} // namespace stitch::cpu

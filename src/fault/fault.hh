@@ -98,6 +98,23 @@ class DeadlineExceededError : public SimError
     {}
 };
 
+/**
+ * The simulated software itself crashed: a taken branch left the code
+ * image, or the PC landed past the end / inside a two-word CUST. The
+ * run loops always convert this into Termination::Fault — with or
+ * without an armed injector — so a wild branch is a reported run
+ * outcome with partial stats, never a simulator abort. Identical
+ * messages are raised by the step, slice and compiled regimes (the
+ * crashing tile's state at the throw is deterministic in all three).
+ */
+class ExecutionFaultError : public SimError
+{
+  public:
+    explicit ExecutionFaultError(const std::string &what)
+        : SimError(what)
+    {}
+};
+
 /** Structured description of a patch that failed at run time. */
 struct PatchFault
 {

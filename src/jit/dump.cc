@@ -1,0 +1,67 @@
+#include "jit/dump.hh"
+
+#include <sstream>
+
+#include "jit/validate.hh"
+
+namespace stitch::jit
+{
+
+std::string
+dumpTrace(const Trace &tr, const isa::Program &prog,
+          Addr icacheBlockBytes)
+{
+    std::ostringstream os;
+    os << "trace @w" << tr.entryWord << ": " << tr.uops.size()
+       << " uops / " << tr.instrCount << " instrs, "
+       << tr.executions << " execs, "
+       << (tr.endsInTerminator ? "terminated" : "falls through @w")
+       << (tr.endsInTerminator ? std::string{}
+                               : std::to_string(tr.exitWord))
+       << "\n";
+
+    std::string why;
+    if (!validateTrace(tr, prog, icacheBlockBytes, &why))
+        os << "  !! INVALID TRACE: " << why << "\n";
+
+    const auto &code = prog.code();
+    for (const Uop &u : tr.uops) {
+        os << "  [w"
+           << prog.wordAddrOf(static_cast<std::size_t>(u.instrIdx))
+           << "] " << uopKindName(u.kind) << "  ";
+        // The covered source instructions, '+'-joined for fused uops.
+        for (int k = 0; k < u.instrCount; ++k) {
+            auto i = static_cast<std::size_t>(u.instrIdx) +
+                     static_cast<std::size_t>(k);
+            if (k)
+                os << " + ";
+            os << (i < code.size() ? isa::toString(code[i])
+                                   : std::string{"<out of range>"});
+        }
+        os << "  ;";
+        if (u.kind == UopKind::LoadWord || u.kind == UopKind::LoadByte
+            || u.kind == UopKind::StoreWord
+            || u.kind == UopKind::StoreByte
+            || u.kind == UopKind::LoadAluStore)
+            os << " class=" << memClassName(u.memClass);
+        if (u.kind == UopKind::LoadAluStore
+            || u.kind == UopKind::CustStore)
+            os << " store-class=" << memClassName(u.memClass2);
+        if (u.branchTarget >= 0 && (u.kind == UopKind::Branch
+                                    || u.kind == UopKind::Jal
+                                    || u.kind == UopKind::AluImmBranch))
+            os << " target=w" << u.branchTarget;
+        os << " fetch={r" << static_cast<int>(u.fetchRepeats);
+        if (u.rep2 || u.rep3)
+            os << "+r" << static_cast<int>(u.rep2) << "+r"
+               << static_cast<int>(u.rep3);
+        if (u.newBlock0 != noBlock)
+            os << " new " << u.newBlock0;
+        if (u.newBlock1 != noBlock)
+            os << "," << u.newBlock1;
+        os << "}\n";
+    }
+    return os.str();
+}
+
+} // namespace stitch::jit

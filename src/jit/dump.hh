@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Human-readable trace dumps (`smoke_app --dump-traces`). Follows the
+ * luajit-remake validator-before-dump idiom: every dump first runs
+ * validateTrace and prefixes an invalid trace with a loud warning
+ * line instead of pretty-printing garbage as truth.
+ */
+
+#ifndef STITCH_JIT_DUMP_HH
+#define STITCH_JIT_DUMP_HH
+
+#include <string>
+
+#include "isa/program.hh"
+#include "jit/trace.hh"
+
+namespace stitch::jit
+{
+
+/** Render one trace (multi-line, trailing newline). */
+std::string dumpTrace(const Trace &tr, const isa::Program &prog,
+                      Addr icacheBlockBytes);
+
+} // namespace stitch::jit
+
+#endif // STITCH_JIT_DUMP_HH

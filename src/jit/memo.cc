@@ -1,0 +1,88 @@
+#include "jit/memo.hh"
+
+namespace stitch::jit
+{
+
+namespace
+{
+
+/** FNV-1a fingerprint of a code image + cache geometry. */
+std::uint64_t
+fingerprint(const std::vector<isa::Instr> &code, Addr blockBytes)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(blockBytes);
+    mix(code.size());
+    for (const isa::Instr &in : code) {
+        mix(static_cast<std::uint64_t>(in.op) |
+            (static_cast<std::uint64_t>(in.cfg) << 8));
+        mix((static_cast<std::uint64_t>(in.rd0) & 0xff) |
+            ((static_cast<std::uint64_t>(in.rd1) & 0xff) << 8) |
+            ((static_cast<std::uint64_t>(in.rs0) & 0xff) << 16) |
+            ((static_cast<std::uint64_t>(in.rs1) & 0xff) << 24) |
+            ((static_cast<std::uint64_t>(in.rs2) & 0xff) << 32) |
+            ((static_cast<std::uint64_t>(in.rs3) & 0xff) << 40));
+        mix(static_cast<std::uint32_t>(in.imm));
+    }
+    return h;
+}
+
+} // namespace
+
+bool
+ProgramMemo::lookup(Addr entryWord, Trace &out)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = traces_.find(entryWord);
+    if (it == traces_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+void
+ProgramMemo::insert(const Trace &tr)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    traces_.emplace(tr.entryWord, tr);
+}
+
+TranslationMemo &
+TranslationMemo::instance()
+{
+    static TranslationMemo memo;
+    return memo;
+}
+
+std::shared_ptr<ProgramMemo>
+TranslationMemo::programFor(const std::vector<isa::Instr> &code,
+                            Addr icacheBlockBytes)
+{
+    std::uint64_t fp = fingerprint(code, icacheBlockBytes);
+    std::lock_guard<std::mutex> lock(m_);
+
+    // Crude growth bound for long-lived processes loading an unbounded
+    // stream of distinct programs (e.g. the service engine): wipe the
+    // registry rather than evict piecemeal. Handles already given out
+    // stay alive through their shared_ptr.
+    if (programs_.size() > 64)
+        programs_.clear();
+
+    auto &bucket = programs_[fp];
+    for (const auto &p : bucket)
+        if (p->icacheBlockBytes_ == icacheBlockBytes &&
+            p->code_ == code)
+            return p;
+
+    auto p = std::make_shared<ProgramMemo>();
+    p->code_ = code;
+    p->icacheBlockBytes_ = icacheBlockBytes;
+    bucket.push_back(p);
+    return p;
+}
+
+} // namespace stitch::jit

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Process-wide translation memo.
+ *
+ * The per-core translation cache (cpu/core_jit.cc) is dropped on every
+ * loadProgram — it indexes into the loaded code image, so that is a
+ * correctness requirement. But the workloads themselves recur
+ * constantly: every System run recompiles the same applications, and a
+ * throughput measurement constructs short-run/long-run System pairs
+ * executing byte-identical binaries. Translating and validating the
+ * same traces over and over was ~13% of compiled-mode system
+ * simulation time.
+ *
+ * The memo shares *validated, pristine* traces between cores running
+ * the same code image. A program is identified by its full decoded
+ * instruction sequence plus the translation-relevant I-cache geometry;
+ * lookups compare the complete code vector (never just the hash), so a
+ * fingerprint collision degrades to a fresh entry, not a wrong trace.
+ * Memoized traces are immutable masters: cores receive copies, so the
+ * mutable per-core state embedded in a trace (inline-cache MemClass
+ * fields, execution counters) never leaks between runs, and the copy a
+ * core gets is field-for-field what translate() would have returned.
+ *
+ * Thread safety: sweeps and the service engine run Systems on worker
+ * threads, so both the registry and each program's trace map take a
+ * mutex. Only translation-cache misses touch the memo — by
+ * construction a cold path.
+ */
+
+#ifndef STITCH_JIT_MEMO_HH
+#define STITCH_JIT_MEMO_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+#include "jit/trace.hh"
+
+namespace stitch::jit
+{
+
+/** One code image's share of the memo (handed out as a shared_ptr;
+ *  outlives registry eviction). */
+class ProgramMemo
+{
+  public:
+    /** Copy the memoized trace entered at `entryWord` into `out`;
+     *  false if this entry has not been translated yet. */
+    bool lookup(Addr entryWord, Trace &out);
+
+    /** Record a freshly validated trace. `tr` must be pristine —
+     *  straight from translate(), never executed. */
+    void insert(const Trace &tr);
+
+  private:
+    friend class TranslationMemo;
+
+    std::vector<isa::Instr> code_; ///< full image, for exact matching
+    Addr icacheBlockBytes_ = 0;
+
+    std::mutex m_;
+    std::unordered_map<Addr, Trace> traces_; ///< by entry word
+};
+
+/** The process-wide registry of ProgramMemo instances. */
+class TranslationMemo
+{
+  public:
+    static TranslationMemo &instance();
+
+    /**
+     * The memo for a code image, created on first sight. The returned
+     * handle stays valid (and shared with every core running the same
+     * image) for as long as the caller holds it.
+     */
+    std::shared_ptr<ProgramMemo>
+    programFor(const std::vector<isa::Instr> &code,
+               Addr icacheBlockBytes);
+
+  private:
+    std::mutex m_;
+    /** Fingerprint -> candidates (hash collisions chain). */
+    std::unordered_map<std::uint64_t,
+                       std::vector<std::shared_ptr<ProgramMemo>>>
+        programs_;
+};
+
+} // namespace stitch::jit
+
+#endif // STITCH_JIT_MEMO_HH

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * The compiled backend's trace IR (see DESIGN.md §15).
+ *
+ * A Trace is one predecoded, straight-line run of SW32 instructions —
+ * a basic block extended through fall-throughs up to the first control
+ * transfer, communication op, or length cap — lowered into contiguous
+ * micro-ops (Uops) that the core dispatches with one tight loop
+ * instead of the per-instruction fetch→decode→switch of the oracle
+ * interpreter (cpu/core.cc).
+ *
+ * Three cost classes of the interpreter are folded at translation
+ * time:
+ *
+ *  - fetch: the interpreter charges one real I-cache probe per code
+ *    block touched per instruction. A trace touches its code blocks
+ *    in monotone address order, so all but the first probe of each
+ *    block are guaranteed hits; they compress into per-uop repeat
+ *    counts (Cache::repeatReadHits) with at most two genuinely new
+ *    block probes per uop.
+ *  - memory routing: each load/store site carries an inline cache — a
+ *    MemClass predicting the address class (SPM / cached DRAM / xbar
+ *    config), checked by a one-predicate guard per execution and
+ *    repredicted on a miss (never wrong results, just a slower path).
+ *  - dispatch: hot adjacent sequences (load–op–store, CUST+store,
+ *    addi+branch) fuse into superinstructions retiring 2–3
+ *    instructions per dispatch.
+ *
+ * The IR follows the luajit-remake discipline referenced in
+ * SNIPPETS.md §3: a validator (validate.hh) checks every structural
+ * invariant against the source program, and the dumper (dump.hh)
+ * runs it before printing. The interpreter remains the byte-exactness
+ * oracle: every counter, stall cycle and register effect of a trace
+ * execution is identical to stepping its instructions one by one —
+ * including partial executions cut short by a thrown fault.
+ */
+
+#ifndef STITCH_JIT_TRACE_HH
+#define STITCH_JIT_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace stitch::jit
+{
+
+/** Sentinel block address: "no new I-cache block touched here". */
+inline constexpr Addr noBlock = ~Addr{0};
+
+/** Predicted memory-routing class of an inline-cached access site. */
+enum class MemClass : std::uint8_t
+{
+    Unknown, ///< never executed; resolve and remember on first use
+    Spm,     ///< scratchpad window (uncached, 1-cycle sequencer)
+    Dram,    ///< cached DRAM space behind the D-cache
+    Xbar,    ///< memory-mapped crossbar configuration register
+};
+
+/** Printable class name ("unknown", "spm", ...). */
+const char *memClassName(MemClass c);
+
+/** Micro-op kinds. The last three are superinstructions. */
+enum class UopKind : std::uint8_t
+{
+    Nop,
+    Alu,    ///< rd ← op(r[rs0], r[rs1]), register ALU forms sans MUL
+    AluImm, ///< rd ← op(r[rs0], imm)
+    Lui,    ///< rd ← imm << 11
+    Mul,    ///< rd ← r[rs0] * r[rs1], +3 cycles
+    LoadWord,  ///< rd ← mem[r[rs0] + imm]; inline cache memClass
+    LoadByte,  ///< sign-extended byte load
+    StoreWord, ///< mem[r[rs0] + imm] ← r[rs1]; memClass (may be Xbar)
+    StoreByte, ///< byte store (never Xbar, like the interpreter's SB)
+    Branch, ///< op ∈ {BEQ..BGEU} on (r[rs0], r[rs1]); terminator
+    Jal,    ///< rd ← pcAfter, jump to branchTarget; terminator
+    Jalr,   ///< rd ← pcAfter, jump to r[rs0] + imm; terminator
+    Halt,   ///< terminator
+    Cust,   ///< patch CUST: cfg, rd/rd1 results, rs0..rs3 operands
+    /**
+     * Superinstruction: LW + ALU + SW (any dataflow), 3 instructions.
+     * load: rd ← mem[r[rs0] + imm] (memClass); alu: r[rd1] ←
+     * op2(r[rs1], r[rs2] or imm3); store: mem[r[rs5] + imm2] ← r[rs4]
+     * (memClass2). rep2/rep3 carry the 2nd/3rd instruction's fetch
+     * repeats (fused only when those instructions touch no new code
+     * block).
+     */
+    LoadAluStore,
+    /**
+     * Superinstruction: CUST + SW, 2 instructions. cust as UopKind::
+     * Cust; store: mem[r[rs5] + imm2] ← r[rs4] (memClass2), rep2.
+     */
+    CustStore,
+    /**
+     * Superinstruction: ALU-immediate + conditional branch, 2
+     * instructions; terminator. alu: rd ← op2(r[rs0], imm3); branch:
+     * op on (r[rs1], r[rs2]) to branchTarget, else pcAfter. rep2.
+     */
+    AluImmBranch,
+    /**
+     * Specialized forms of Alu / AluImm for the hottest opcodes:
+     * identical semantics and fields, but the executor computes the
+     * result inline instead of going through the shared ALU
+     * evaluator's secondary opcode dispatch (the single biggest
+     * per-uop cost on ALU-dense traces).
+     */
+    Add,    ///< rd ← r[rs0] + r[rs1]
+    Sub,    ///< rd ← r[rs0] - r[rs1]
+    Xor,    ///< rd ← r[rs0] ^ r[rs1]
+    AddImm, ///< rd ← r[rs0] + imm
+    ShlImm, ///< rd ← r[rs0] << (imm & 31)
+    ShrImm, ///< rd ← r[rs0] >> (imm & 31), logical
+};
+
+/** Printable kind name ("alu", "load.word", ...). */
+const char *uopKindName(UopKind k);
+
+/** True for kinds that end their trace with a control transfer. */
+constexpr bool
+uopIsTerminator(UopKind k)
+{
+    return k == UopKind::Branch || k == UopKind::Jal ||
+           k == UopKind::Jalr || k == UopKind::Halt ||
+           k == UopKind::AluImmBranch;
+}
+
+/** True for the fused multi-instruction kinds. */
+constexpr bool
+uopIsFused(UopKind k)
+{
+    return k == UopKind::LoadAluStore || k == UopKind::CustStore ||
+           k == UopKind::AluImmBranch;
+}
+
+/**
+ * One micro-op. Field meaning is per-kind (see UopKind); the fetch
+ * plan fields and instruction bookkeeping are common:
+ *
+ *  - instrIdx .. instrIdx + instrCount - 1 are the covered source
+ *    instruction indices (always consecutive);
+ *  - fetchRepeats / newBlock0 / newBlock1 describe the first covered
+ *    instruction's I-cache traffic: `fetchRepeats` guaranteed re-hits
+ *    of the trace's most recent code block, then up to two first-touch
+ *    block probes in ascending address order (a two-word CUST can
+ *    straddle two new blocks); rep2/rep3 are the pure-repeat plans of
+ *    the 2nd/3rd fused instruction;
+ *  - pcAfter is the fall-through word address past the covered
+ *    instructions (the link value of JAL/JALR);
+ *  - branchTarget is the static target word of Branch/Jal forms.
+ *
+ * memClass fields are the mutable inline caches — the only state the
+ * executor writes back into a trace.
+ */
+struct Uop
+{
+    UopKind kind = UopKind::Nop;
+    isa::Opcode op = isa::Opcode::Nop;  ///< primary selector
+    isa::Opcode op2 = isa::Opcode::Nop; ///< fused ALU selector
+    MemClass memClass = MemClass::Unknown;  ///< load / 1st access site
+    MemClass memClass2 = MemClass::Unknown; ///< fused store site
+    std::uint8_t instrCount = 1;
+    std::uint8_t fetchRepeats = 0;
+    std::uint8_t rep2 = 0;
+    std::uint8_t rep3 = 0;
+    RegId rd = 0;
+    RegId rd1 = 0;
+    RegId rs0 = 0;
+    RegId rs1 = 0;
+    RegId rs2 = 0;
+    RegId rs3 = 0;
+    RegId rs4 = 0; ///< fused store: value register
+    RegId rs5 = 0; ///< fused store: base register
+    std::int32_t imm = 0;
+    std::int32_t imm2 = 0; ///< fused store offset
+    std::int32_t imm3 = 0; ///< fused ALU immediate
+    std::uint16_t cfg = 0; ///< CUST ISE-table index
+    std::int32_t instrIdx = 0;
+    std::int32_t branchTarget = -1;
+    Addr pcAfter = 0;
+    Addr newBlock0 = noBlock;
+    Addr newBlock1 = noBlock;
+};
+
+/** One translated trace, keyed by its entry word address. */
+struct Trace
+{
+    Addr entryWord = 0;
+    std::int32_t firstInstrIdx = 0;
+    std::uint32_t instrCount = 0; ///< SW32 instructions covered
+    Addr exitWord = 0; ///< fall-through word addr past the last uop
+    bool endsInTerminator = false;
+    std::vector<Uop> uops;
+    std::uint64_t executions = 0; ///< dispatch count (diagnostics)
+    /**
+     * Full uop-loop completions not yet folded into the per-core
+     * per-instruction histogram (Core::syncExecCounts). A completed
+     * dispatch retires every covered instruction exactly once, so the
+     * executor counts one increment per trace execution here instead
+     * of one per instruction; only a dispatch cut short by a thrown
+     * fault writes its partial prefix into the histogram directly.
+     * Differs from `executions` exactly by those faulted dispatches.
+     */
+    std::uint64_t completions = 0;
+};
+
+/** Translation-cache activity of one core's run (diagnostics; not
+ *  registered as stats — scheduler-dependent by design). */
+struct JitStats
+{
+    std::uint64_t tracesTranslated = 0;
+    std::uint64_t uops = 0;
+    std::uint64_t superinstructions = 0;
+    std::uint64_t dispatches = 0;   ///< trace executions
+    std::uint64_t guardMisses = 0;  ///< inline-cache repredictions
+    std::uint64_t oracleSteps = 0;  ///< single interpreter steps
+                                    ///< (SEND/RECV, budget tail)
+};
+
+} // namespace stitch::jit
+
+#endif // STITCH_JIT_TRACE_HH

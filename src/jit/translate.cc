@@ -1,0 +1,372 @@
+#include "jit/translate.hh"
+
+#include "common/logging.hh"
+#include "mem/addrmap.hh"
+
+namespace stitch::jit
+{
+
+using isa::Instr;
+using isa::Opcode;
+
+const char *
+memClassName(MemClass c)
+{
+    switch (c) {
+      case MemClass::Unknown: return "unknown";
+      case MemClass::Spm: return "spm";
+      case MemClass::Dram: return "dram";
+      case MemClass::Xbar: return "xbar";
+    }
+    STITCH_PANIC("bad MemClass");
+}
+
+const char *
+uopKindName(UopKind k)
+{
+    switch (k) {
+      case UopKind::Nop: return "nop";
+      case UopKind::Alu: return "alu";
+      case UopKind::AluImm: return "alu.imm";
+      case UopKind::Lui: return "lui";
+      case UopKind::Mul: return "mul";
+      case UopKind::LoadWord: return "load.word";
+      case UopKind::LoadByte: return "load.byte";
+      case UopKind::StoreWord: return "store.word";
+      case UopKind::StoreByte: return "store.byte";
+      case UopKind::Branch: return "branch";
+      case UopKind::Jal: return "jal";
+      case UopKind::Jalr: return "jalr";
+      case UopKind::Halt: return "halt";
+      case UopKind::Cust: return "cust";
+      case UopKind::LoadAluStore: return "load+alu+store";
+      case UopKind::CustStore: return "cust+store";
+      case UopKind::AluImmBranch: return "alu.imm+branch";
+      // Specialized ALU forms keep the generic display names so the
+      // dump format does not depend on which ops are specialized.
+      case UopKind::Add:
+      case UopKind::Sub:
+      case UopKind::Xor: return "alu";
+      case UopKind::AddImm:
+      case UopKind::ShlImm:
+      case UopKind::ShrImm: return "alu.imm";
+    }
+    STITCH_PANIC("bad UopKind");
+}
+
+namespace
+{
+
+/** The I-cache traffic of one instruction inside a trace. */
+struct FetchPlan
+{
+    std::uint8_t repeats = 0;
+    Addr nb0 = noBlock;
+    Addr nb1 = noBlock;
+};
+
+/**
+ * Walks the trace's instructions in order and splits each one's block
+ * probes into repeats (block already touched by this trace; since
+ * instructions are contiguous and ascending, always the most recently
+ * touched block) and first-touch probes. Copyable so fusion can
+ * tentatively extend and roll back.
+ */
+class FetchTracker
+{
+  public:
+    explicit FetchTracker(Addr blockBytes) : block_(blockBytes) {}
+
+    FetchPlan
+    instr(Addr wa, int words)
+    {
+        FetchPlan p;
+        Addr first = mem::codeBase + wa * 4;
+        Addr last = first + static_cast<Addr>(words - 1) * 4;
+        for (Addr a = first / block_ * block_; a <= last; a += block_) {
+            if (touched_ && a <= lastBlock_) {
+                ++p.repeats;
+                continue;
+            }
+            if (p.nb0 == noBlock)
+                p.nb0 = a;
+            else
+                p.nb1 = a;
+            lastBlock_ = a;
+            touched_ = true;
+        }
+        return p;
+    }
+
+  private:
+    Addr block_;
+    Addr lastBlock_ = 0;
+    bool touched_ = false;
+};
+
+bool
+isBranchOp(Opcode op)
+{
+    return op == Opcode::Beq || op == Opcode::Bne ||
+           op == Opcode::Blt || op == Opcode::Bge ||
+           op == Opcode::Bltu || op == Opcode::Bgeu;
+}
+
+/** ALU forms a superinstruction may embed: single-cycle, PC-neutral. */
+bool
+isFusableAlu(Opcode op)
+{
+    return (isa::isAluRegOp(op) && op != Opcode::Mul) ||
+           isa::isAluImmOp(op);
+}
+
+/** A fused tail instruction must add no first-touch block probes. */
+bool
+pureRepeat(const FetchPlan &p)
+{
+    return p.nb0 == noBlock;
+}
+
+} // namespace
+
+Trace
+translate(const isa::Program &prog,
+          const std::vector<std::int32_t> &wordToIndex, Addr entryWord,
+          const TranslateParams &params)
+{
+    const auto &code = prog.code();
+    STITCH_ASSERT(entryWord < wordToIndex.size() &&
+                      wordToIndex[entryWord] >= 0,
+                  "translate() entry off an instruction boundary");
+
+    Trace tr;
+    tr.entryWord = entryWord;
+    tr.firstInstrIdx = wordToIndex[entryWord];
+
+    FetchTracker fetch(params.icacheBlockBytes);
+    auto idx = static_cast<std::size_t>(tr.firstInstrIdx);
+    Addr wa = entryWord;
+
+    auto base = [&](std::size_t i, Addr w, const FetchPlan &f) {
+        Uop u;
+        u.op = code[i].op;
+        u.instrIdx = static_cast<std::int32_t>(i);
+        u.pcAfter = w + static_cast<Addr>(code[i].wordSize());
+        u.fetchRepeats = f.repeats;
+        u.newBlock0 = f.nb0;
+        u.newBlock1 = f.nb1;
+        return u;
+    };
+
+    while (idx < code.size() && tr.instrCount < params.maxInstrs) {
+        const Instr &in = code[idx];
+        if (in.op == Opcode::Send || in.op == Opcode::Recv)
+            break; // communication runs on the interpreter oracle
+
+        FetchPlan f1 = fetch.instr(wa, in.wordSize());
+        Uop u = base(idx, wa, f1);
+
+        // --- superinstruction peepholes (tentative fetch extension:
+        // fuse only if the tail instructions add no new code block,
+        // so a partial execution cut by a thrown fault charges fetch
+        // exactly like the interpreter would have).
+        if (params.fuse && in.op == Opcode::Lw && idx + 2 < code.size()
+            && isFusableAlu(code[idx + 1].op)
+            && code[idx + 2].op == Opcode::Sw
+            && tr.instrCount + 3 <= params.maxInstrs) {
+            FetchTracker saved = fetch;
+            FetchPlan f2 = fetch.instr(wa + 1, 1);
+            FetchPlan f3 = fetch.instr(wa + 2, 1);
+            if (pureRepeat(f2) && pureRepeat(f3)) {
+                const Instr &alu = code[idx + 1];
+                const Instr &st = code[idx + 2];
+                u.kind = UopKind::LoadAluStore;
+                u.rd = in.rd0;
+                u.rs0 = in.rs0;
+                u.imm = in.imm;
+                u.op2 = alu.op;
+                u.rd1 = alu.rd0;
+                u.rs1 = alu.rs0;
+                u.rs2 = alu.rs1;
+                u.imm3 = alu.imm;
+                u.rs4 = st.rs1;
+                u.rs5 = st.rs0;
+                u.imm2 = st.imm;
+                u.instrCount = 3;
+                u.rep2 = f2.repeats;
+                u.rep3 = f3.repeats;
+                u.pcAfter = wa + 3;
+                tr.uops.push_back(u);
+                tr.instrCount += 3;
+                idx += 3;
+                wa += 3;
+                continue;
+            }
+            fetch = saved;
+        }
+        if (params.fuse && in.op == Opcode::Cust
+            && idx + 1 < code.size() && code[idx + 1].op == Opcode::Sw
+            && tr.instrCount + 2 <= params.maxInstrs) {
+            FetchTracker saved = fetch;
+            FetchPlan f2 = fetch.instr(wa + 2, 1);
+            if (pureRepeat(f2)) {
+                const Instr &st = code[idx + 1];
+                u.kind = UopKind::CustStore;
+                u.rd = in.rd0;
+                u.rd1 = in.rd1;
+                u.rs0 = in.rs0;
+                u.rs1 = in.rs1;
+                u.rs2 = in.rs2;
+                u.rs3 = in.rs3;
+                u.cfg = in.cfg;
+                u.rs4 = st.rs1;
+                u.rs5 = st.rs0;
+                u.imm2 = st.imm;
+                u.instrCount = 2;
+                u.rep2 = f2.repeats;
+                u.pcAfter = wa + 3; // CUST is two words
+                tr.uops.push_back(u);
+                tr.instrCount += 2;
+                idx += 2;
+                wa += 3;
+                continue;
+            }
+            fetch = saved;
+        }
+        if (params.fuse && isa::isAluImmOp(in.op)
+            && idx + 1 < code.size() && isBranchOp(code[idx + 1].op)
+            && tr.instrCount + 2 <= params.maxInstrs) {
+            FetchTracker saved = fetch;
+            FetchPlan f2 = fetch.instr(wa + 1, 1);
+            if (pureRepeat(f2)) {
+                const Instr &br = code[idx + 1];
+                u.kind = UopKind::AluImmBranch;
+                u.op2 = in.op;
+                u.rd = in.rd0;
+                u.rs0 = in.rs0;
+                u.imm3 = in.imm;
+                u.op = br.op;
+                u.rs1 = br.rs0;
+                u.rs2 = br.rs1;
+                u.branchTarget =
+                    static_cast<std::int32_t>(wa + 1) + br.imm;
+                u.instrCount = 2;
+                u.rep2 = f2.repeats;
+                u.pcAfter = wa + 2;
+                tr.uops.push_back(u);
+                tr.instrCount += 2;
+                tr.endsInTerminator = true;
+                tr.exitWord = wa + 2;
+                return tr;
+            }
+            fetch = saved;
+        }
+
+        // --- single-instruction lowering
+        bool terminator = false;
+        switch (in.op) {
+          case Opcode::Nop:
+            u.kind = UopKind::Nop;
+            break;
+          case Opcode::Halt:
+            u.kind = UopKind::Halt;
+            terminator = true;
+            break;
+          case Opcode::Mul:
+            u.kind = UopKind::Mul;
+            u.rd = in.rd0;
+            u.rs0 = in.rs0;
+            u.rs1 = in.rs1;
+            break;
+          case Opcode::Lui:
+            u.kind = UopKind::Lui;
+            u.rd = in.rd0;
+            u.imm = in.imm;
+            break;
+          case Opcode::Lw:
+          case Opcode::Lb:
+            u.kind = in.op == Opcode::Lw ? UopKind::LoadWord
+                                         : UopKind::LoadByte;
+            u.rd = in.rd0;
+            u.rs0 = in.rs0;
+            u.imm = in.imm;
+            break;
+          case Opcode::Sw:
+          case Opcode::Sb:
+            u.kind = in.op == Opcode::Sw ? UopKind::StoreWord
+                                         : UopKind::StoreByte;
+            u.rs0 = in.rs0;
+            u.rs1 = in.rs1;
+            u.imm = in.imm;
+            break;
+          case Opcode::Jal:
+            u.kind = UopKind::Jal;
+            u.rd = in.rd0;
+            u.branchTarget = in.imm;
+            terminator = true;
+            break;
+          case Opcode::Jalr:
+            u.kind = UopKind::Jalr;
+            u.rd = in.rd0;
+            u.rs0 = in.rs0;
+            u.imm = in.imm;
+            terminator = true;
+            break;
+          case Opcode::Cust:
+            u.kind = UopKind::Cust;
+            u.rd = in.rd0;
+            u.rd1 = in.rd1;
+            u.rs0 = in.rs0;
+            u.rs1 = in.rs1;
+            u.rs2 = in.rs2;
+            u.rs3 = in.rs3;
+            u.cfg = in.cfg;
+            break;
+          default:
+            if (isBranchOp(in.op)) {
+                u.kind = UopKind::Branch;
+                u.op = in.op;
+                u.rs0 = in.rs0;
+                u.rs1 = in.rs1;
+                u.branchTarget =
+                    static_cast<std::int32_t>(wa) + in.imm;
+                terminator = true;
+            } else if (isa::isAluRegOp(in.op)) {
+                u.kind = in.op == Opcode::Add   ? UopKind::Add
+                         : in.op == Opcode::Sub ? UopKind::Sub
+                         : in.op == Opcode::Xor ? UopKind::Xor
+                                                : UopKind::Alu;
+                u.op = in.op;
+                u.rd = in.rd0;
+                u.rs0 = in.rs0;
+                u.rs1 = in.rs1;
+            } else if (isa::isAluImmOp(in.op)) {
+                u.kind = in.op == Opcode::Addi   ? UopKind::AddImm
+                         : in.op == Opcode::Slli ? UopKind::ShlImm
+                         : in.op == Opcode::Srli ? UopKind::ShrImm
+                                                 : UopKind::AluImm;
+                u.op = in.op;
+                u.rd = in.rd0;
+                u.rs0 = in.rs0;
+                u.imm = in.imm;
+            } else {
+                STITCH_PANIC("untranslatable opcode");
+            }
+            break;
+        }
+
+        tr.uops.push_back(u);
+        tr.instrCount += 1;
+        wa += static_cast<Addr>(in.wordSize());
+        idx += 1;
+        if (terminator) {
+            tr.endsInTerminator = true;
+            break;
+        }
+    }
+
+    tr.exitWord = wa;
+    return tr;
+}
+
+} // namespace stitch::jit

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Basic-block translator of the compiled backend: lowers a run of
+ * SW32 instructions starting at an entry word address into a Trace of
+ * micro-ops (see trace.hh for the IR contract).
+ */
+
+#ifndef STITCH_JIT_TRANSLATE_HH
+#define STITCH_JIT_TRANSLATE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+#include "jit/trace.hh"
+
+namespace stitch::jit
+{
+
+/** Translation knobs (per-core; derived from the memory geometry). */
+struct TranslateParams
+{
+    /** I-cache block size: shapes the per-uop fetch plan. */
+    Addr icacheBlockBytes = 64;
+
+    /** Trace length cap in source instructions. */
+    std::size_t maxInstrs = 256;
+
+    /** Emit superinstructions (off for A/B counting in tests). */
+    bool fuse = true;
+};
+
+/**
+ * Translate the block entered at `entryWord`. The entry must map to
+ * an instruction boundary (`wordToIndex[entryWord] >= 0`) that is not
+ * SEND/RECV — communication ops always run on the interpreter oracle.
+ * Translation stops before the first SEND/RECV, after the first
+ * control transfer or HALT, at the length cap, or at the end of the
+ * code image (the resulting exitWord then points past the end, and
+ * dispatching there faults exactly like the interpreter's runaway
+ * PC). Never fails on translatable input; the caller validates the
+ * result with validateTrace before installing it.
+ */
+Trace translate(const isa::Program &prog,
+                const std::vector<std::int32_t> &wordToIndex,
+                Addr entryWord, const TranslateParams &params);
+
+} // namespace stitch::jit
+
+#endif // STITCH_JIT_TRANSLATE_HH

@@ -1,0 +1,298 @@
+#include "jit/validate.hh"
+
+#include "common/logging.hh"
+#include "mem/addrmap.hh"
+
+namespace stitch::jit
+{
+
+using isa::Instr;
+using isa::Opcode;
+
+namespace
+{
+
+bool
+isBranchOp(Opcode op)
+{
+    return op == Opcode::Beq || op == Opcode::Bne ||
+           op == Opcode::Blt || op == Opcode::Bge ||
+           op == Opcode::Bltu || op == Opcode::Bgeu;
+}
+
+/** Independent re-walk of the trace's I-cache traffic (translate.cc
+ *  keeps its own FetchTracker; duplicating the ~10 lines here is the
+ *  point — the validator must not trust the translator's code). */
+struct FetchWalk
+{
+    Addr block;
+    Addr lastBlock = 0;
+    bool touched = false;
+
+    struct Plan
+    {
+        std::uint8_t repeats = 0;
+        Addr nb0 = noBlock;
+        Addr nb1 = noBlock;
+    };
+
+    Plan
+    instr(Addr wa, int words)
+    {
+        Plan p;
+        Addr first = mem::codeBase + wa * 4;
+        Addr last = first + static_cast<Addr>(words - 1) * 4;
+        for (Addr a = first / block * block; a <= last; a += block) {
+            if (touched && a <= lastBlock) {
+                ++p.repeats;
+                continue;
+            }
+            if (p.nb0 == noBlock)
+                p.nb0 = a;
+            else
+                p.nb1 = a;
+            lastBlock = a;
+            touched = true;
+        }
+        return p;
+    }
+};
+
+bool
+regOk(RegId r)
+{
+    return r >= 0 && r < numRegs;
+}
+
+} // namespace
+
+bool
+validateTrace(const Trace &tr, const isa::Program &prog,
+              Addr icacheBlockBytes, std::string *why)
+{
+    const auto &code = prog.code();
+    auto fail = [&](auto &&...msg) {
+        if (why)
+            *why = detail::formatMessage(
+                "trace @w", tr.entryWord, ": ",
+                std::forward<decltype(msg)>(msg)...);
+        return false;
+    };
+
+    if (tr.uops.empty())
+        return fail("no uops");
+    if (tr.firstInstrIdx < 0 ||
+        static_cast<std::size_t>(tr.firstInstrIdx) >= code.size())
+        return fail("first instruction index ", tr.firstInstrIdx,
+                    " out of range");
+    if (tr.entryWord !=
+        prog.wordAddrOf(static_cast<std::size_t>(tr.firstInstrIdx)))
+        return fail("entry word does not match first instruction");
+
+    FetchWalk fetch{icacheBlockBytes};
+    auto idx = static_cast<std::size_t>(tr.firstInstrIdx);
+    Addr wa = tr.entryWord;
+    std::uint32_t covered = 0;
+
+    for (std::size_t ui = 0; ui < tr.uops.size(); ++ui) {
+        const Uop &u = tr.uops[ui];
+        const bool lastUop = ui + 1 == tr.uops.size();
+
+        if (u.instrIdx != static_cast<std::int32_t>(idx))
+            return fail("uop ", ui, " covers instruction ", u.instrIdx,
+                        " but ", idx, " is next");
+        if (u.instrCount < 1 || u.instrCount > 3 ||
+            idx + u.instrCount > code.size())
+            return fail("uop ", ui, " has bad instruction count ",
+                        static_cast<int>(u.instrCount));
+        if (uopIsTerminator(u.kind) && !lastUop)
+            return fail("terminator uop ", ui, " is not last");
+        if (!regOk(u.rd) || !regOk(u.rd1) || !regOk(u.rs0) ||
+            !regOk(u.rs1) || !regOk(u.rs2) || !regOk(u.rs3) ||
+            !regOk(u.rs4) || !regOk(u.rs5))
+            return fail("uop ", ui, " has a register out of range");
+
+        for (int k = 0; k < u.instrCount; ++k) {
+            Opcode op = code[idx + static_cast<std::size_t>(k)].op;
+            if (op == Opcode::Send || op == Opcode::Recv)
+                return fail("uop ", ui, " covers communication op ",
+                            isa::mnemonic(op));
+        }
+
+        const Instr &in = code[idx];
+        if (u.op != in.op && !uopIsFused(u.kind))
+            return fail("uop ", ui, " opcode mismatch");
+
+        // Per-kind shape against the source instruction(s).
+        bool shapeOk = true;
+        switch (u.kind) {
+          case UopKind::Nop:
+            shapeOk = in.op == Opcode::Nop;
+            break;
+          case UopKind::Halt:
+            shapeOk = in.op == Opcode::Halt;
+            break;
+          case UopKind::Alu:
+            shapeOk = isa::isAluRegOp(in.op) && in.op != Opcode::Mul &&
+                      u.rd == in.rd0 && u.rs0 == in.rs0 &&
+                      u.rs1 == in.rs1;
+            break;
+          case UopKind::AluImm:
+            shapeOk = isa::isAluImmOp(in.op) && u.rd == in.rd0 &&
+                      u.rs0 == in.rs0 && u.imm == in.imm;
+            break;
+          // Specialized ALU forms: the generic shape plus the exact
+          // opcode the specialization hard-codes.
+          case UopKind::Add:
+          case UopKind::Sub:
+          case UopKind::Xor:
+            shapeOk = in.op == (u.kind == UopKind::Add   ? Opcode::Add
+                                : u.kind == UopKind::Sub ? Opcode::Sub
+                                                         : Opcode::Xor)
+                      && u.rd == in.rd0 && u.rs0 == in.rs0 &&
+                      u.rs1 == in.rs1;
+            break;
+          case UopKind::AddImm:
+          case UopKind::ShlImm:
+          case UopKind::ShrImm:
+            shapeOk = in.op == (u.kind == UopKind::AddImm
+                                    ? Opcode::Addi
+                                    : u.kind == UopKind::ShlImm
+                                          ? Opcode::Slli
+                                          : Opcode::Srli)
+                      && u.rd == in.rd0 && u.rs0 == in.rs0 &&
+                      u.imm == in.imm;
+            break;
+          case UopKind::Lui:
+            shapeOk = in.op == Opcode::Lui && u.rd == in.rd0 &&
+                      u.imm == in.imm;
+            break;
+          case UopKind::Mul:
+            shapeOk = in.op == Opcode::Mul && u.rd == in.rd0 &&
+                      u.rs0 == in.rs0 && u.rs1 == in.rs1;
+            break;
+          case UopKind::LoadWord:
+          case UopKind::LoadByte:
+            shapeOk = in.op == (u.kind == UopKind::LoadWord
+                                    ? Opcode::Lw
+                                    : Opcode::Lb) &&
+                      u.rd == in.rd0 && u.rs0 == in.rs0 &&
+                      u.imm == in.imm;
+            break;
+          case UopKind::StoreWord:
+          case UopKind::StoreByte:
+            shapeOk = in.op == (u.kind == UopKind::StoreWord
+                                    ? Opcode::Sw
+                                    : Opcode::Sb) &&
+                      u.rs0 == in.rs0 && u.rs1 == in.rs1 &&
+                      u.imm == in.imm;
+            break;
+          case UopKind::Branch:
+            shapeOk = isBranchOp(in.op) && u.op == in.op &&
+                      u.rs0 == in.rs0 && u.rs1 == in.rs1 &&
+                      u.branchTarget ==
+                          static_cast<std::int32_t>(wa) + in.imm;
+            break;
+          case UopKind::Jal:
+            shapeOk = in.op == Opcode::Jal && u.rd == in.rd0 &&
+                      u.branchTarget == in.imm;
+            break;
+          case UopKind::Jalr:
+            shapeOk = in.op == Opcode::Jalr && u.rd == in.rd0 &&
+                      u.rs0 == in.rs0 && u.imm == in.imm;
+            break;
+          case UopKind::Cust:
+            shapeOk = in.op == Opcode::Cust && u.rd == in.rd0 &&
+                      u.rd1 == in.rd1 && u.rs0 == in.rs0 &&
+                      u.rs1 == in.rs1 && u.rs2 == in.rs2 &&
+                      u.rs3 == in.rs3 && u.cfg == in.cfg;
+            break;
+          case UopKind::LoadAluStore: {
+            if (u.instrCount != 3) {
+                shapeOk = false;
+                break;
+            }
+            const Instr &alu = code[idx + 1];
+            const Instr &st = code[idx + 2];
+            shapeOk = in.op == Opcode::Lw && u.rd == in.rd0 &&
+                      u.rs0 == in.rs0 && u.imm == in.imm &&
+                      u.op2 == alu.op &&
+                      ((isa::isAluRegOp(alu.op) &&
+                        alu.op != Opcode::Mul) ||
+                       isa::isAluImmOp(alu.op)) &&
+                      u.rd1 == alu.rd0 && u.rs1 == alu.rs0 &&
+                      u.rs2 == alu.rs1 && u.imm3 == alu.imm &&
+                      st.op == Opcode::Sw && u.rs4 == st.rs1 &&
+                      u.rs5 == st.rs0 && u.imm2 == st.imm;
+            break;
+          }
+          case UopKind::CustStore: {
+            if (u.instrCount != 2) {
+                shapeOk = false;
+                break;
+            }
+            const Instr &st = code[idx + 1];
+            shapeOk = in.op == Opcode::Cust && u.rd == in.rd0 &&
+                      u.rd1 == in.rd1 && u.rs0 == in.rs0 &&
+                      u.rs1 == in.rs1 && u.rs2 == in.rs2 &&
+                      u.rs3 == in.rs3 && u.cfg == in.cfg &&
+                      st.op == Opcode::Sw && u.rs4 == st.rs1 &&
+                      u.rs5 == st.rs0 && u.imm2 == st.imm;
+            break;
+          }
+          case UopKind::AluImmBranch: {
+            if (u.instrCount != 2) {
+                shapeOk = false;
+                break;
+            }
+            const Instr &br = code[idx + 1];
+            shapeOk = isa::isAluImmOp(in.op) && u.op2 == in.op &&
+                      u.rd == in.rd0 && u.rs0 == in.rs0 &&
+                      u.imm3 == in.imm && isBranchOp(br.op) &&
+                      u.op == br.op && u.rs1 == br.rs0 &&
+                      u.rs2 == br.rs1 &&
+                      u.branchTarget ==
+                          static_cast<std::int32_t>(wa + 1) + br.imm;
+            break;
+          }
+        }
+        if (!shapeOk)
+            return fail("uop ", ui, " (", uopKindName(u.kind),
+                        ") does not match instruction ", idx, " '",
+                        isa::toString(in), "'");
+
+        // Fetch plan: first covered instruction on the uop header,
+        // fused tails as pure repeats.
+        auto p1 = fetch.instr(wa, in.wordSize());
+        if (u.fetchRepeats != p1.repeats || u.newBlock0 != p1.nb0 ||
+            u.newBlock1 != p1.nb1)
+            return fail("uop ", ui, " fetch plan mismatch");
+        Addr w = wa + static_cast<Addr>(in.wordSize());
+        std::uint8_t reps[2] = {u.rep2, u.rep3};
+        for (int k = 1; k < u.instrCount; ++k) {
+            const Instr &tail = code[idx + static_cast<std::size_t>(k)];
+            auto pk = fetch.instr(w, tail.wordSize());
+            if (pk.nb0 != noBlock || reps[k - 1] != pk.repeats)
+                return fail("uop ", ui, " fused-tail fetch mismatch");
+            w += static_cast<Addr>(tail.wordSize());
+        }
+        if (u.pcAfter != w)
+            return fail("uop ", ui, " fall-through mismatch");
+
+        covered += u.instrCount;
+        idx += u.instrCount;
+        wa = w;
+    }
+
+    if (covered != tr.instrCount)
+        return fail("instruction count ", tr.instrCount,
+                    " but uops cover ", covered);
+    if (tr.exitWord != wa)
+        return fail("exit word ", tr.exitWord, " but fall-through is ",
+                    wa);
+    if (tr.endsInTerminator != uopIsTerminator(tr.uops.back().kind))
+        return fail("terminator flag inconsistent with last uop");
+    return true;
+}
+
+} // namespace stitch::jit

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Structural validator of the trace IR, luajit-remake style: every
+ * invariant a correct translation must satisfy is recomputed
+ * independently against the source program, so translator bugs are
+ * caught at installation (and before every dump), never as silent
+ * counter drift against the interpreter oracle.
+ */
+
+#ifndef STITCH_JIT_VALIDATE_HH
+#define STITCH_JIT_VALIDATE_HH
+
+#include <string>
+
+#include "isa/program.hh"
+#include "jit/trace.hh"
+
+namespace stitch::jit
+{
+
+/**
+ * Check `tr` against `prog`. Verified invariants:
+ *
+ *  - non-empty; uops cover consecutive instruction indices starting
+ *    at firstInstrIdx, totalling instrCount;
+ *  - the entry/exit/fall-through word addresses and every static
+ *    branch target match the source instructions;
+ *  - each uop's kind, operand registers (in [0, numRegs)), immediates
+ *    and cfg match its covered instructions; no SEND/RECV covered;
+ *  - terminators only in the last slot, consistent with
+ *    endsInTerminator;
+ *  - the fetch plan (repeats / first-touch blocks / fused-tail
+ *    repeats) equals an independent walk of the covered code bytes
+ *    with `icacheBlockBytes` blocks.
+ *
+ * @return true if valid; otherwise false with a reason in *why.
+ */
+bool validateTrace(const Trace &tr, const isa::Program &prog,
+                   Addr icacheBlockBytes, std::string *why);
+
+} // namespace stitch::jit
+
+#endif // STITCH_JIT_VALIDATE_HH

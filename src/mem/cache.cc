@@ -25,42 +25,18 @@ Cache::Cache(const CacheParams &params)
     numSets_ = blocks / params.assoc;
     STITCH_ASSERT((numSets_ & (numSets_ - 1)) == 0,
                   "set count must be a power of two");
+    blockShift_ = 0;
+    while ((1u << blockShift_) < params.blockBytes)
+        ++blockShift_;
+    tagShift_ = blockShift_;
+    while ((1u << (tagShift_ - blockShift_)) < numSets_)
+        ++tagShift_;
     lines_.resize(static_cast<std::size_t>(numSets_) * params.assoc);
 }
 
-std::uint32_t
-Cache::setOf(Addr a) const
-{
-    return (a / params_.blockBytes) & (numSets_ - 1);
-}
-
-Addr
-Cache::tagOf(Addr a) const
-{
-    return a / params_.blockBytes / numSets_;
-}
-
 CacheAccessResult
-Cache::access(Addr a, bool isWrite, Cycles now)
+Cache::fill(Line *base, Addr tag, bool isWrite, Addr a, Cycles now)
 {
-    ++useClock_;
-    std::uint32_t set = setOf(a);
-    Addr tag = tagOf(a);
-    Line *base = &lines_[static_cast<std::size_t>(set) * params_.assoc];
-
-    ++(isWrite ? writes_ : reads_);
-
-    // Hit path.
-    for (std::uint32_t way = 0; way < params_.assoc; ++way) {
-        Line &line = base[way];
-        if (line.valid && line.tag == tag) {
-            line.lastUse = useClock_;
-            line.dirty = line.dirty || isWrite;
-            ++hits_;
-            return CacheAccessResult{true, false};
-        }
-    }
-
     // Miss: fill an invalid way if one exists, else the LRU way
     // (write-allocate).
     ++misses_;

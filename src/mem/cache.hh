@@ -48,9 +48,47 @@ class Cache
     /**
      * Probe and update state for an access. `now` is the accessing
      * core's local time; it timestamps miss/refill trace events and
-     * may be zero when no one is tracing (standalone tools).
+     * may be zero when no one is tracing (standalone tools). The hit
+     * path lives here so per-access callers inline it; misses take
+     * the out-of-line fill path.
      */
-    CacheAccessResult access(Addr a, bool isWrite, Cycles now = 0);
+    CacheAccessResult
+    access(Addr a, bool isWrite, Cycles now = 0)
+    {
+        ++useClock_;
+        std::uint32_t set = setOf(a);
+        Addr tag = tagOf(a);
+        Line *base =
+            &lines_[static_cast<std::size_t>(set) * params_.assoc];
+        ++(isWrite ? writes_ : reads_);
+        for (std::uint32_t way = 0; way < params_.assoc; ++way) {
+            Line &line = base[way];
+            if (line.valid && line.tag == tag) {
+                line.lastUse = useClock_;
+                line.dirty = line.dirty || isWrite;
+                ++hits_;
+                return CacheAccessResult{true, false};
+            }
+        }
+        return fill(base, tag, isWrite, a, now);
+    }
+
+    /**
+     * Account `n` reads that are guaranteed hits on blocks already
+     * touched since the last access to any other line of their set —
+     * the compiled backend's fetch compression (src/jit/): a trace
+     * touches its code blocks in monotone address order, so every
+     * re-access of an already-touched block precedes the first access
+     * of any later block and cannot change LRU victim selection.
+     * Counter-equivalent to `n` access() hits; skips the tag probe.
+     */
+    void
+    repeatReadHits(std::uint64_t n)
+    {
+        useClock_ += n;
+        reads_ += n;
+        hits_ += n;
+    }
 
     /**
      * Attach this cache to a tile's trace track. `name` ("icache",
@@ -79,11 +117,26 @@ class Cache
         std::uint64_t lastUse = 0;
     };
 
-    std::uint32_t setOf(Addr a) const;
-    Addr tagOf(Addr a) const;
+    std::uint32_t
+    setOf(Addr a) const
+    {
+        return (a >> blockShift_) & (numSets_ - 1);
+    }
+    Addr
+    tagOf(Addr a) const
+    {
+        return a >> tagShift_;
+    }
+
+    /** Miss path of access(): victim choice, eviction, refill. */
+    CacheAccessResult fill(Line *base, Addr tag, bool isWrite, Addr a,
+                           Cycles now);
 
     CacheParams params_;
     std::uint32_t numSets_;
+    std::uint32_t blockShift_; ///< log2(blockBytes); both divisors are
+    std::uint32_t tagShift_;   ///< blockShift_ + log2(numSets_) (ctor
+                               ///< asserts powers of two)
     std::vector<Line> lines_;    ///< numSets_ x assoc, row major
     std::uint64_t useClock_ = 0;
     StatGroup stats_;

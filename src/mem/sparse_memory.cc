@@ -4,7 +4,7 @@ namespace stitch::mem
 {
 
 SparseMemory::Page &
-SparseMemory::pageFor(Addr a)
+SparseMemory::pageForSlow(Addr a)
 {
     Addr key = a / pageBytes;
     auto it = pages_.find(key);
@@ -13,32 +13,27 @@ SparseMemory::pageFor(Addr a)
         page->fill(0);
         it = pages_.emplace(key, std::move(page)).first;
     }
-    return *it->second;
+    cachedKey_ = key;
+    cachedPage_ = it->second.get();
+    return *cachedPage_;
 }
 
 const SparseMemory::Page *
-SparseMemory::pageForRead(Addr a) const
+SparseMemory::pageForReadSlow(Addr a) const
 {
-    auto it = pages_.find(a / pageBytes);
-    return it == pages_.end() ? nullptr : it->second.get();
-}
-
-std::uint8_t
-SparseMemory::readByte(Addr a) const
-{
-    const Page *p = pageForRead(a);
-    return p ? (*p)[a % pageBytes] : 0;
-}
-
-void
-SparseMemory::writeByte(Addr a, std::uint8_t v)
-{
-    pageFor(a)[a % pageBytes] = v;
+    Addr key = a / pageBytes;
+    auto it = pages_.find(key);
+    if (it == pages_.end())
+        return nullptr;
+    cachedKey_ = key;
+    cachedPage_ = it->second.get();
+    return cachedPage_;
 }
 
 Word
-SparseMemory::readWord(Addr a) const
+SparseMemory::readWordSlow(Addr a) const
 {
+    // Page-straddling word: byte-wise across both pages.
     return static_cast<Word>(readByte(a)) |
            (static_cast<Word>(readByte(a + 1)) << 8) |
            (static_cast<Word>(readByte(a + 2)) << 16) |
@@ -46,7 +41,7 @@ SparseMemory::readWord(Addr a) const
 }
 
 void
-SparseMemory::writeWord(Addr a, Word v)
+SparseMemory::writeWordSlow(Addr a, Word v)
 {
     writeByte(a, static_cast<std::uint8_t>(v & 0xff));
     writeByte(a + 1, static_cast<std::uint8_t>((v >> 8) & 0xff));

@@ -26,12 +26,48 @@ class SparseMemory
   public:
     static constexpr Addr pageBytes = 4096;
 
-    std::uint8_t readByte(Addr a) const;
-    void writeByte(Addr a, std::uint8_t v);
+    std::uint8_t
+    readByte(Addr a) const
+    {
+        const Page *p = pageForRead(a);
+        return p ? (*p)[a % pageBytes] : 0;
+    }
+    void
+    writeByte(Addr a, std::uint8_t v)
+    {
+        pageFor(a)[a % pageBytes] = v;
+    }
 
     /** Little-endian word access; need not be aligned. */
-    Word readWord(Addr a) const;
-    void writeWord(Addr a, Word v);
+    Word
+    readWord(Addr a) const
+    {
+        Addr off = a % pageBytes;
+        if (off + 4 <= pageBytes) {
+            const Page *p = pageForRead(a);
+            if (!p)
+                return 0;
+            return static_cast<Word>((*p)[off]) |
+                   (static_cast<Word>((*p)[off + 1]) << 8) |
+                   (static_cast<Word>((*p)[off + 2]) << 16) |
+                   (static_cast<Word>((*p)[off + 3]) << 24);
+        }
+        return readWordSlow(a);
+    }
+    void
+    writeWord(Addr a, Word v)
+    {
+        Addr off = a % pageBytes;
+        if (off + 4 <= pageBytes) {
+            Page &p = pageFor(a);
+            p[off] = static_cast<std::uint8_t>(v & 0xff);
+            p[off + 1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+            p[off + 2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+            p[off + 3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
+            return;
+        }
+        writeWordSlow(a, v);
+    }
 
     /** Bulk initialization used by the program loader. */
     void writeBlock(Addr base, const std::vector<std::uint8_t> &bytes);
@@ -42,10 +78,39 @@ class SparseMemory
   private:
     using Page = std::array<std::uint8_t, pageBytes>;
 
-    Page &pageFor(Addr a);
-    const Page *pageForRead(Addr a) const;
+    /** Materializing lookup (writes); updates the one-entry cache. */
+    Page &
+    pageFor(Addr a)
+    {
+        Addr key = a / pageBytes;
+        if (key == cachedKey_)
+            return *cachedPage_;
+        return pageForSlow(a);
+    }
+    /** Non-materializing lookup (reads); null if never written. */
+    const Page *
+    pageForRead(Addr a) const
+    {
+        Addr key = a / pageBytes;
+        if (key == cachedKey_)
+            return cachedPage_;
+        return pageForReadSlow(a);
+    }
+
+    Page &pageForSlow(Addr a);
+    const Page *pageForReadSlow(Addr a) const;
+    Word readWordSlow(Addr a) const;    ///< page-straddling word
+    void writeWordSlow(Addr a, Word v); ///< page-straddling word
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+
+    // One-entry lookup cache: pages are never deallocated and live
+    // behind stable unique_ptrs, so a raw pointer keyed by page
+    // number short-circuits the hash lookup on the (overwhelmingly
+    // common) same-page-as-last-time access. The sentinel key can
+    // never occur: page numbers fit in Addr / pageBytes bits.
+    mutable Addr cachedKey_ = ~Addr{0};
+    mutable Page *cachedPage_ = nullptr;
 };
 
 } // namespace stitch::mem

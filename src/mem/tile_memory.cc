@@ -22,36 +22,11 @@ TileMemory::setTraceTile(int tile)
     dcache_.setTraceContext(tile, "dcache");
 }
 
-Cycles
-TileMemory::dcacheAccess(Addr a, bool isWrite, Cycles now)
-{
-    auto res = dcache_.access(a, isWrite, now);
-    Cycles extra = 0;
-    if (!res.hit)
-        extra += params_.dramCycles;
-    if (res.writeback)
-        extra += params_.dramCycles;
-    return extra;
-}
-
-std::uint8_t *
-TileMemory::spmBytePtr(Addr a)
+void
+TileMemory::spmRangeError(Addr a) const
 {
     STITCH_ASSERT(!spm_.empty(), "SPM access on a tile without an SPM");
-    // A user-level error, not an invariant: corrupted address
-    // arithmetic (e.g. an injected CUST bit flip feeding an SPM
-    // pointer) reaches here, and must terminate the run as a typed
-    // Fault like the unmapped-address paths below, not abort the
-    // process.
-    if (!(isSpmAddr(a) && a + 3 < spmBase + spmSize))
-        fatal("SPM access out of range: ", a);
-    return &spm_[a - spmBase];
-}
-
-const std::uint8_t *
-TileMemory::spmBytePtr(Addr a) const
-{
-    return const_cast<TileMemory *>(this)->spmBytePtr(a);
+    fatal("SPM access out of range: ", a);
 }
 
 MemResult
@@ -131,25 +106,6 @@ TileMemory::fetch(Addr wa, int words, Cycles now)
             extra += params_.dramCycles;
     }
     return extra;
-}
-
-Word
-TileMemory::spmLoadWord(Addr a) const
-{
-    const std::uint8_t *p = spmBytePtr(a);
-    return static_cast<Word>(p[0]) | (static_cast<Word>(p[1]) << 8) |
-           (static_cast<Word>(p[2]) << 16) |
-           (static_cast<Word>(p[3]) << 24);
-}
-
-void
-TileMemory::spmStoreWord(Addr a, Word v)
-{
-    std::uint8_t *p = spmBytePtr(a);
-    p[0] = static_cast<std::uint8_t>(v & 0xff);
-    p[1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
-    p[2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
-    p[3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
 }
 
 Word

@@ -67,9 +67,127 @@ class TileMemory
     /** Tag this memory's caches with their tile's trace track. */
     void setTraceTile(int tile);
 
+    // -----------------------------------------------------------------
+    // Compiled-backend fast paths (src/jit/). Each is the body of one
+    // already-routed arm of the generic accessors above: the caller's
+    // inline cache has proven the address class (isSpmAddr /
+    // isDramAddr), so the route test is skipped but every counter and
+    // range check of the generic path still fires. Byte-equivalent to
+    // the generic accessor on in-class addresses by construction.
+    // -----------------------------------------------------------------
+
+    /** loadWord's SPM arm: caller has established isSpmAddr(a). */
+    MemResult
+    spmLoadWordFast(Addr a)
+    {
+        ++spmReads_;
+        return MemResult{spmLoadWord(a), params_.spmCycles - 1};
+    }
+
+    /** loadByte's SPM arm: caller has established isSpmAddr(a). */
+    MemResult
+    spmLoadByteFast(Addr a)
+    {
+        ++spmReads_;
+        const std::uint8_t *p = &spm_[a - spmBase];
+        auto v = static_cast<Word>(
+            static_cast<std::int32_t>(static_cast<std::int8_t>(*p)));
+        return MemResult{v, params_.spmCycles - 1};
+    }
+
+    /** storeWord's SPM arm: caller has established isSpmAddr(a). */
+    Cycles
+    spmStoreWordFast(Addr a, Word v)
+    {
+        ++spmWrites_;
+        spmStoreWord(a, v);
+        return params_.spmCycles - 1;
+    }
+
+    /** storeByte's SPM arm: caller has established isSpmAddr(a). */
+    Cycles
+    spmStoreByteFast(Addr a, std::uint8_t v)
+    {
+        ++spmWrites_;
+        spm_[a - spmBase] = v;
+        return params_.spmCycles - 1;
+    }
+
+    /** loadWord's cached-DRAM arm: caller established isDramAddr(a). */
+    MemResult
+    dramLoadWordFast(Addr a, Cycles now)
+    {
+        Cycles extra = dcacheAccess(a, false, now);
+        return MemResult{dram_.readWord(a), extra};
+    }
+
+    /** loadByte's cached-DRAM arm: caller established isDramAddr(a). */
+    MemResult
+    dramLoadByteFast(Addr a, Cycles now)
+    {
+        Cycles extra = dcacheAccess(a, false, now);
+        auto v = static_cast<Word>(static_cast<std::int32_t>(
+            static_cast<std::int8_t>(dram_.readByte(a))));
+        return MemResult{v, extra};
+    }
+
+    /** storeWord's cached-DRAM arm: caller established isDramAddr(a). */
+    Cycles
+    dramStoreWordFast(Addr a, Word v, Cycles now)
+    {
+        Cycles extra = dcacheAccess(a, true, now);
+        dram_.writeWord(a, v);
+        return extra;
+    }
+
+    /** storeByte's cached-DRAM arm: caller established isDramAddr(a). */
+    Cycles
+    dramStoreByteFast(Addr a, std::uint8_t v, Cycles now)
+    {
+        Cycles extra = dcacheAccess(a, true, now);
+        dram_.writeByte(a, v);
+        return extra;
+    }
+
+    /**
+     * One I-cache block probe of fetch(), for a trace's first touch of
+     * `blockAddr` (byte address, block aligned): the miss stall, 0 on
+     * hit.
+     */
+    Cycles
+    icacheBlockFetch(Addr blockAddr, Cycles now)
+    {
+        return icache_.access(blockAddr, false, now).hit
+                   ? 0
+                   : params_.dramCycles;
+    }
+
+    /** Fetch compression: `n` guaranteed re-hits on the last block. */
+    void
+    icacheRepeatHits(std::uint64_t n)
+    {
+        icache_.repeatReadHits(n);
+    }
+
     /** Zero-latency SPM port used by the patch LMAU (Section III-C). */
-    Word spmLoadWord(Addr a) const;
-    void spmStoreWord(Addr a, Word v);
+    Word
+    spmLoadWord(Addr a) const
+    {
+        const std::uint8_t *p = spmBytePtr(a);
+        return static_cast<Word>(p[0]) |
+               (static_cast<Word>(p[1]) << 8) |
+               (static_cast<Word>(p[2]) << 16) |
+               (static_cast<Word>(p[3]) << 24);
+    }
+    void
+    spmStoreWord(Addr a, Word v)
+    {
+        std::uint8_t *p = spmBytePtr(a);
+        p[0] = static_cast<std::uint8_t>(v & 0xff);
+        p[1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+        p[2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+        p[3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
+    }
 
     /** Direct (no timing) backing-store access for loaders/checkers. */
     SparseMemory &backing() { return dram_; }
@@ -91,9 +209,43 @@ class TileMemory
     StatGroup &stats() { return stats_; }
 
   private:
-    Cycles dcacheAccess(Addr a, bool isWrite, Cycles now);
-    std::uint8_t *spmBytePtr(Addr a);
-    const std::uint8_t *spmBytePtr(Addr a) const;
+    Cycles
+    dcacheAccess(Addr a, bool isWrite, Cycles now)
+    {
+        auto res = dcache_.access(a, isWrite, now);
+        Cycles extra = 0;
+        if (!res.hit)
+            extra += params_.dramCycles;
+        if (res.writeback)
+            extra += params_.dramCycles;
+        return extra;
+    }
+
+    /**
+     * SPM byte pointer with range check (inline: this is every SPM
+     * access's address path). A user-level range violation — e.g. an
+     * injected CUST bit flip feeding an SPM pointer — must terminate
+     * the run as a typed Fault like the unmapped-address paths, not
+     * abort the process; the out-of-line slow path raises it.
+     */
+    std::uint8_t *
+    spmBytePtr(Addr a)
+    {
+        // 64-bit offset: an address just below spmBase must fail the
+        // bound, not wrap back into range.
+        std::uint64_t off =
+            static_cast<std::uint64_t>(a) - spmBase;
+        if (off + 3 < spm_.size())
+            return &spm_[static_cast<std::size_t>(off)];
+        spmRangeError(a);
+    }
+    const std::uint8_t *
+    spmBytePtr(Addr a) const
+    {
+        return const_cast<TileMemory *>(this)->spmBytePtr(a);
+    }
+
+    [[noreturn]] void spmRangeError(Addr a) const;
 
     MemParams params_;
     SparseMemory dram_;

@@ -106,6 +106,19 @@ runReport(const RunStats &stats, const obs::Registry *registry)
                             stats.makespan));
     doc.set("tiles", tiles);
 
+    if (!stats.hotBlocks.empty()) {
+        obs::Json hot = obs::Json::array();
+        for (const auto &hb : stats.hotBlocks) {
+            obs::Json hj = obs::Json::object();
+            hj.set("tile", hb.tile);
+            hj.set("pc", static_cast<std::uint64_t>(hb.pc));
+            hj.set("length", static_cast<std::uint64_t>(hb.length));
+            hj.set("instructions", hb.instructions);
+            hot.push(hj);
+        }
+        doc.set("hot_blocks", hot);
+    }
+
     obs::Json links = obs::Json::array();
     for (std::size_t l = 0; l < stats.linkBusyCycles.size(); ++l) {
         if (stats.linkBusyCycles[l] == 0)

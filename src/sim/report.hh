@@ -29,9 +29,13 @@ inline constexpr const char *runReportSchema = "stitch-run-report";
  * stall cycles, sNoC hops, and the derived "buckets" partition that
  * sums exactly to each tile's cycles) and reserves the top-level
  * "profile" key for the src/prof/ attribution section, which
- * harnesses attach under --profile.
+ * harnesses attach under --profile. v4 adds "hot_blocks" — the top
+ * static basic blocks by dynamically retired instructions (omitted
+ * when empty) — derived from execution counts every scheduler fills
+ * identically, so the section is byte-identical across
+ * step/slice/compiled runs.
  */
-inline constexpr int runReportVersion = 3;
+inline constexpr int runReportVersion = 4;
 
 /**
  * Build the report document for one run. When `registry` is non-null

@@ -1,5 +1,7 @@
 #include "sim/system.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "isa/assembler.hh"
 #include "obs/sampler.hh"
@@ -60,6 +62,7 @@ schedulerKindName(SchedulerKind kind)
     switch (kind) {
       case SchedulerKind::Step: return "step";
       case SchedulerKind::Slice: return "slice";
+      case SchedulerKind::Compiled: return "compiled";
     }
     STITCH_PANIC("bad SchedulerKind");
 }
@@ -71,8 +74,11 @@ schedulerKindFromName(const std::string &name)
         return SchedulerKind::Step;
     if (name == "slice")
         return SchedulerKind::Slice;
+    if (name == "compiled")
+        return SchedulerKind::Compiled;
     throw fault::ConfigError(detail::formatMessage(
-        "unknown scheduler '", name, "' (expected step or slice)"));
+        "unknown scheduler '", name,
+        "' (expected step, slice or compiled)"));
 }
 
 namespace
@@ -552,11 +558,18 @@ System::runStepLoop(RunStats &stats, std::uint64_t maxInstructions)
     };
 
     // Injected faults surface as exceptions mid-step and become a
-    // Termination::Fault outcome; without an injector those
-    // exceptions indicate real misuse and must propagate, so the
-    // fast path runs with no exception frame at all.
+    // Termination::Fault outcome; without an injector, only the typed
+    // execution faults (wild branch, runaway PC) are run outcomes —
+    // anything else indicates real misuse and must propagate.
     if (!injector_.active()) {
-        loop();
+        try {
+            loop();
+        } catch (const fault::ExecutionFaultError &err) {
+            stats.termination = fault::Termination::Fault;
+            stats.faultMessage = detail::formatMessage(
+                "tile ", running, " crashed: ", err.what());
+            warn(stats.faultMessage);
+        }
         return;
     }
     try {
@@ -574,7 +587,8 @@ System::runStepLoop(RunStats &stats, std::uint64_t maxInstructions)
         // A core tripped over state an injected fault corrupted
         // (e.g. a flipped CUST output used as an address). With
         // injection active that is a run outcome, not simulator
-        // misuse.
+        // misuse. ExecutionFaultError lands here too, with the same
+        // message as the no-injector frame above.
         stats.termination = fault::Termination::Fault;
         stats.faultMessage = detail::formatMessage(
             "tile ", running, " crashed: ", err.what());
@@ -689,11 +703,18 @@ System::runSliceLoop(RunStats &stats, std::uint64_t maxInstructions)
         noteDeadlock(stats);
     };
 
-    // Same hoisted exception discipline as runStepLoop: no frame on
-    // the no-injector fast path, one frame around the whole loop
-    // otherwise.
+    // Same hoisted exception discipline as runStepLoop: the
+    // no-injector frame converts only typed execution faults, the
+    // injector frame everything fault-induced.
     if (!injector_.active()) {
-        loop();
+        try {
+            loop();
+        } catch (const fault::ExecutionFaultError &err) {
+            stats.termination = fault::Termination::Fault;
+            stats.faultMessage = detail::formatMessage(
+                "tile ", running, " crashed: ", err.what());
+            warn(stats.faultMessage);
+        }
         return;
     }
     try {
@@ -713,6 +734,123 @@ System::runSliceLoop(RunStats &stats, std::uint64_t maxInstructions)
             "tile ", running, " crashed: ", err.what());
         warn(stats.faultMessage);
     }
+}
+
+void
+System::runCompiledLoop(RunStats &stats,
+                        std::uint64_t maxInstructions)
+{
+    // Deoptimize wholesale whenever per-instruction order or state is
+    // observable: the tracer (event file order), the sampler (bucket
+    // deltas per sample window), an active fault injector (exact
+    // partial stats at a Fault termination), or a meaningful
+    // instruction budget (which attempt is the cutoff). The slice
+    // scheduler already handles every one of these byte-exactly, so
+    // the compiled path never needs a slow mode of its own.
+    if (obs::Tracer::enabled() || obs::Sampler::enabled() ||
+        injector_.active() ||
+        maxInstructions < runawayInstructionBudget) {
+        runSliceLoop(stats, maxInstructions);
+        return;
+    }
+
+    std::uint64_t executed = 0;
+    TileId running = -1;
+
+    queue_.clear();
+    for (TileId t = 0; t < numTiles; ++t) {
+        Tile &tile = tiles_[static_cast<std::size_t>(t)];
+        if (tile.loaded && !tile.core->halted() && !tile.blocked)
+            queue_.push(t, tile.core->time());
+    }
+
+    auto loop = [&] {
+        while (!queue_.empty()) {
+            if (executed >= maxInstructions) {
+                stats.termination =
+                    fault::Termination::InstructionLimit;
+                return;
+            }
+
+            // Deadline watchdog poll (see runStepLoop): once per
+            // dispatched slice, never inside Core::runCompiled.
+            if (params_.abortFlag &&
+                params_.abortFlag->load(std::memory_order_relaxed))
+                throw fault::DeadlineExceededError(
+                    detail::formatMessage(
+                        "run aborted by deadline watchdog after ",
+                        executed, " instructions"));
+
+            TileId pick = queue_.top();
+            running = pick;
+            Tile &tile = tiles_[static_cast<std::size_t>(pick)];
+
+            Cycles horizonTime = ~Cycles{0};
+            TileId horizonTile = numTiles;
+            if (queue_.size() > 1) {
+                RunQueue::Entry next = queue_.second();
+                horizonTime = next.time;
+                horizonTile = next.tile;
+            }
+            cpu::StepResult result = tile.core->runCompiled(
+                maxInstructions, executed, horizonTime, horizonTile);
+
+            if (result == cpu::StepResult::Blocked) {
+                tile.blocked = true;
+                queue_.pop();
+            } else if (tile.core->halted()) {
+                queue_.pop();
+            } else {
+                queue_.updateTop(tile.core->time());
+            }
+
+            // Deliver wake-ups (see runStepLoop); woken receivers
+            // re-enter the queue at the time they blocked.
+            if (!sentThisStep_.empty()) {
+                for (const auto &msg : sentThisStep_) {
+                    Tile &rx =
+                        tiles_[static_cast<std::size_t>(msg.dst)];
+                    if (!rx.blocked)
+                        continue;
+                    const auto &pending = rx.core->pendingRecv();
+                    if (pending && pending->src == msg.src &&
+                        pending->tag == msg.tag) {
+                        rx.blocked = false;
+                        queue_.push(msg.dst, rx.core->time());
+                    }
+                }
+                sentThisStep_.clear();
+            }
+        }
+        noteDeadlock(stats);
+    };
+
+    // The injector is off here by construction; convert the typed
+    // execution faults with the same message as the other loops.
+    try {
+        loop();
+    } catch (const fault::ExecutionFaultError &err) {
+        stats.termination = fault::Termination::Fault;
+        stats.faultMessage = detail::formatMessage(
+            "tile ", running, " crashed: ", err.what());
+        warn(stats.faultMessage);
+    }
+}
+
+std::string
+System::dumpTraces() const
+{
+    std::string out;
+    for (TileId t = 0; t < numTiles; ++t) {
+        const Tile &tile = tiles_[static_cast<std::size_t>(t)];
+        if (!tile.loaded || tile.core->traceCount() == 0)
+            continue;
+        out += detail::formatMessage("=== tile ", t, " (",
+                                     tile.core->traceCount(),
+                                     " traces) ===\n");
+        out += tile.core->dumpJitTraces();
+    }
+    return out;
 }
 
 RunStats
@@ -735,10 +873,17 @@ System::run(std::uint64_t maxInstructions)
                 bucketsNow(t);
     }
 
-    if (params_.scheduler == SchedulerKind::Step)
+    switch (params_.scheduler) {
+      case SchedulerKind::Step:
         runStepLoop(stats, maxInstructions);
-    else
+        break;
+      case SchedulerKind::Slice:
         runSliceLoop(stats, maxInstructions);
+        break;
+      case SchedulerKind::Compiled:
+        runCompiledLoop(stats, maxInstructions);
+        break;
+    }
 
     // A run cut short (deadlock, fault, step budget) may never reach
     // the harness's orderly Tracer::stop(): make the on-disk trace a
@@ -750,6 +895,73 @@ System::run(std::uint64_t maxInstructions)
     collectRunStats(stats);
     return stats;
 }
+
+namespace
+{
+
+/** Max hot blocks reported per run (RunStats::hotBlocks). */
+constexpr std::size_t maxHotBlocks = 8;
+
+/**
+ * Static CFG blocks of one tile's program, ranked later across tiles.
+ * Leaders: instruction 0, every instruction after a control op, and
+ * every static branch/JAL target. JALR has no static target — its
+ * destination simply starts at the next leader it falls into.
+ */
+void
+appendTileBlocks(TileId t, const cpu::Core &core,
+                 std::vector<HotBlock> &out)
+{
+    const isa::Program &prog = core.program();
+    const auto &code = prog.code();
+    const auto &counts = core.executionCounts();
+    if (code.empty())
+        return;
+
+    std::vector<std::int32_t> wordToIndex(prog.wordCount(), -1);
+    for (std::size_t i = 0; i < code.size(); ++i)
+        wordToIndex[prog.wordAddrOf(i)] = static_cast<std::int32_t>(i);
+
+    std::vector<bool> leader(code.size(), false);
+    leader[0] = true;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const isa::Instr &in = code[i];
+        if (isa::isControlOp(in.op) && i + 1 < code.size())
+            leader[i + 1] = true;
+        std::int64_t target = -1;
+        if (in.op == isa::Opcode::Jal)
+            target = in.imm;
+        else if (isa::isControlOp(in.op) &&
+                 in.op != isa::Opcode::Jalr &&
+                 in.op != isa::Opcode::Halt)
+            target = static_cast<std::int64_t>(prog.wordAddrOf(i)) +
+                     in.imm;
+        if (target >= 0 &&
+            target < static_cast<std::int64_t>(wordToIndex.size())) {
+            std::int32_t ti =
+                wordToIndex[static_cast<std::size_t>(target)];
+            if (ti >= 0)
+                leader[static_cast<std::size_t>(ti)] = true;
+        }
+    }
+
+    for (std::size_t i = 0; i < code.size();) {
+        std::size_t end = i + 1;
+        while (end < code.size() && !leader[end])
+            ++end;
+        HotBlock hb;
+        hb.tile = t;
+        hb.pc = prog.wordAddrOf(i);
+        hb.length = static_cast<std::uint32_t>(end - i);
+        for (std::size_t k = i; k < end; ++k)
+            hb.instructions += counts[k];
+        if (hb.instructions > 0)
+            out.push_back(hb);
+        i = end;
+    }
+}
+
+} // namespace
 
 void
 System::collectRunStats(RunStats &stats)
@@ -782,6 +994,27 @@ System::collectRunStats(RunStats &stats)
         stats.customInstructions += ts.customInstructions;
         stats.fusedCustomInstructions += ts.fusedCustomInstructions;
     }
+    // Hot basic blocks (run report "hot_blocks", smoke_app
+    // --dump-hot): derived from execution counts every scheduler
+    // fills identically, so the section never breaks report parity.
+    std::vector<HotBlock> blocks;
+    for (TileId t = 0; t < numTiles; ++t) {
+        const Tile &tile = tiles_[static_cast<std::size_t>(t)];
+        if (tile.loaded)
+            appendTileBlocks(t, *tile.core, blocks);
+    }
+    std::sort(blocks.begin(), blocks.end(),
+              [](const HotBlock &a, const HotBlock &b) {
+                  if (a.instructions != b.instructions)
+                      return a.instructions > b.instructions;
+                  if (a.tile != b.tile)
+                      return a.tile < b.tile;
+                  return a.pc < b.pc;
+              });
+    if (blocks.size() > maxHotBlocks)
+        blocks.resize(maxHotBlocks);
+    stats.hotBlocks = std::move(blocks);
+
     stats.snocHops = snocStats_.get("hops");
     stats.messages = noc_.stats().get("packets");
     stats.linkBusyCycles = noc_.linkBusyCycles();

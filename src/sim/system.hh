@@ -68,16 +68,27 @@ enum class AccelMode
  *    further drops to single-instruction dispatch so bucket deltas
  *    land in the reference sample windows.
  *
- * The `sched_parity_is_exact` ctest and tests/test_sched.cc hold the
- * two schedulers to byte-equality across all of these regimes.
+ * The compiled scheduler is the third regime: it keeps the slice
+ * scheduler's relaxed run-ahead discipline but drives each core
+ * through Core::runCompiled — translation-cached micro-op traces with
+ * inline-cached memory routing and superinstructions (src/jit/,
+ * DESIGN.md §15) instead of the per-instruction fetch→decode→switch.
+ * Whenever something observes per-instruction order or state (cycle
+ * tracing, interval sampling, an active fault injector, a meaningful
+ * instruction budget), the whole run deoptimizes to the slice
+ * scheduler, which already handles those regimes byte-exactly.
+ *
+ * The `sched_parity_is_exact` ctest and tests/test_sched.cc hold all
+ * three schedulers to byte-equality across all of these regimes.
  */
 enum class SchedulerKind
 {
     Step,  ///< reference: O(tiles) scan, one instruction per pick
     Slice, ///< event-driven: O(log tiles) heap, run-ahead slices
+    Compiled, ///< slice discipline + translation-cached trace dispatch
 };
 
-/** Printable name ("step" / "slice"). */
+/** Printable name ("step" / "slice" / "compiled"). */
 const char *schedulerKindName(SchedulerKind k);
 
 /** Parse a --scheduler= value; throws fault::ConfigError otherwise. */
@@ -171,6 +182,21 @@ const std::vector<std::string> &cycleBucketNames();
 std::array<Cycles, numCycleBuckets>
 cycleBuckets(const TileStats &ts);
 
+/**
+ * One hot basic block of a finished run: a static CFG block (leaders
+ * are instruction 0, every instruction after a control op, and every
+ * static branch/JAL target) ranked by dynamically retired
+ * instructions. Derived from Core::executionCounts, which every
+ * scheduler fills identically, so the ranking is scheduler-independent.
+ */
+struct HotBlock
+{
+    TileId tile = 0;
+    Addr pc = 0; ///< entry word address of the block
+    std::uint32_t length = 0; ///< static instructions in the block
+    std::uint64_t instructions = 0; ///< dynamic instructions retired
+};
+
 /** One tile blocked in RECV when the run ended (diagnostics). */
 struct BlockedTileDiag
 {
@@ -219,6 +245,10 @@ struct RunStats
     std::uint64_t snocHops = 0; ///< mesh links crossed by fused CUSTs
     std::uint64_t messages = 0;
     std::array<TileStats, numTiles> perTile{};
+
+    /** Hottest static basic blocks, by retired instructions (top 8;
+     *  ties break on tile then pc for determinism). */
+    std::vector<HotBlock> hotBlocks;
 
     /** Busy cycles of every inter-core NoC link (see NocModel). */
     std::vector<Cycles> linkBusyCycles;
@@ -277,6 +307,12 @@ class System : public cpu::CustomHandler, public cpu::MessageHub
      */
     RunStats run(
         std::uint64_t maxInstructions = runawayInstructionBudget);
+
+    /**
+     * Dump every translated trace of every loaded tile (compiled
+     * scheduler diagnostics; empty when no traces were translated).
+     */
+    std::string dumpTraces() const;
 
     cpu::Core &coreAt(TileId t);
     mem::TileMemory &memoryAt(TileId t);
@@ -351,6 +387,15 @@ class System : public cpu::CustomHandler, public cpu::MessageHub
 
     /** The event-driven scheduler: run queue + run-ahead slices. */
     void runSliceLoop(RunStats &stats, std::uint64_t maxInstructions);
+
+    /**
+     * The compiled scheduler: the slice run queue driving
+     * Core::runCompiled. Deoptimizes wholesale to runSliceLoop when
+     * tracing, sampling, fault injection or a meaningful budget needs
+     * per-instruction observability.
+     */
+    void runCompiledLoop(RunStats &stats,
+                         std::uint64_t maxInstructions);
 
     /** Collect blocked-tile diagnostics when nothing is runnable. */
     void noteDeadlock(RunStats &stats);

@@ -75,8 +75,12 @@ TEST(SchedulerKind, NamesRoundTrip)
 {
     EXPECT_STREQ(schedulerKindName(SchedulerKind::Step), "step");
     EXPECT_STREQ(schedulerKindName(SchedulerKind::Slice), "slice");
+    EXPECT_STREQ(schedulerKindName(SchedulerKind::Compiled),
+                 "compiled");
     EXPECT_EQ(schedulerKindFromName("step"), SchedulerKind::Step);
     EXPECT_EQ(schedulerKindFromName("slice"), SchedulerKind::Slice);
+    EXPECT_EQ(schedulerKindFromName("compiled"),
+              SchedulerKind::Compiled);
     EXPECT_THROW(schedulerKindFromName("speculative"),
                  fault::ConfigError);
 }
@@ -126,13 +130,17 @@ TEST(SchedulerParity, ReportsAreByteIdenticalOnAllApps)
     for (const auto &app : testApps()) {
         for (auto mode : modes) {
             auto step = runWith(app, mode, SchedulerKind::Step);
-            auto slice = runWith(app, mode, SchedulerKind::Slice);
-            EXPECT_EQ(reportOf(step), reportOf(slice))
-                << app.name << " / " << apps::appModeName(mode);
-            EXPECT_EQ(step.stats.makespan, slice.stats.makespan);
-            EXPECT_EQ(step.stats.instructions,
-                      slice.stats.instructions);
-            EXPECT_EQ(step.stats.messages, slice.stats.messages);
+            for (auto kind :
+                 {SchedulerKind::Slice, SchedulerKind::Compiled}) {
+                auto other = runWith(app, mode, kind);
+                EXPECT_EQ(reportOf(step), reportOf(other))
+                    << app.name << " / " << apps::appModeName(mode)
+                    << " / " << schedulerKindName(kind);
+                EXPECT_EQ(step.stats.makespan, other.stats.makespan);
+                EXPECT_EQ(step.stats.instructions,
+                          other.stats.instructions);
+                EXPECT_EQ(step.stats.messages, other.stats.messages);
+            }
         }
     }
 }
@@ -149,13 +157,17 @@ TEST(SchedulerParity, SeededSoftFaultInjectionIsIdentical)
         auto step =
             runWith(app, apps::AppMode::Stitch, SchedulerKind::Step,
                     plan);
-        auto slice =
-            runWith(app, apps::AppMode::Stitch, SchedulerKind::Slice,
-                    plan);
-        EXPECT_EQ(reportOf(step), reportOf(slice));
-        EXPECT_EQ(step.stats.custBitFlips, slice.stats.custBitFlips);
-        EXPECT_EQ(step.stats.messagesDelayed,
-                  slice.stats.messagesDelayed);
+        for (auto kind :
+             {SchedulerKind::Slice, SchedulerKind::Compiled}) {
+            auto other = runWith(app, apps::AppMode::Stitch, kind,
+                                 plan);
+            EXPECT_EQ(reportOf(step), reportOf(other))
+                << schedulerKindName(kind);
+            EXPECT_EQ(step.stats.custBitFlips,
+                      other.stats.custBitFlips);
+            EXPECT_EQ(step.stats.messagesDelayed,
+                      other.stats.messagesDelayed);
+        }
     }
 }
 
@@ -165,21 +177,26 @@ TEST(SchedulerParity, DroppedMessageDeadlockDiagnosticsMatch)
     auto plan = fault::FaultPlan::messageDrop(0.5, 11);
     auto step = runWith(app, apps::AppMode::Stitch,
                         SchedulerKind::Step, plan);
-    auto slice = runWith(app, apps::AppMode::Stitch,
-                         SchedulerKind::Slice, plan);
-    EXPECT_EQ(reportOf(step), reportOf(slice));
-    EXPECT_EQ(step.stats.termination, slice.stats.termination);
-    ASSERT_EQ(step.stats.blockedTiles.size(),
-              slice.stats.blockedTiles.size());
-    for (std::size_t i = 0; i < step.stats.blockedTiles.size(); ++i)
-        EXPECT_EQ(step.stats.blockedTiles[i].tile,
-                  slice.stats.blockedTiles[i].tile);
+    for (auto kind :
+         {SchedulerKind::Slice, SchedulerKind::Compiled}) {
+        auto other = runWith(app, apps::AppMode::Stitch, kind, plan);
+        EXPECT_EQ(reportOf(step), reportOf(other))
+            << schedulerKindName(kind);
+        EXPECT_EQ(step.stats.termination, other.stats.termination);
+        ASSERT_EQ(step.stats.blockedTiles.size(),
+                  other.stats.blockedTiles.size());
+        for (std::size_t i = 0; i < step.stats.blockedTiles.size();
+             ++i)
+            EXPECT_EQ(step.stats.blockedTiles[i].tile,
+                      other.stats.blockedTiles[i].tile);
+    }
 }
 
 TEST(SchedulerParity, DeadlockOnBareSystemMatches)
 {
     std::vector<std::string> reports;
-    for (auto kind : {SchedulerKind::Step, SchedulerKind::Slice}) {
+    for (auto kind : {SchedulerKind::Step, SchedulerKind::Slice,
+                      SchedulerKind::Compiled}) {
         SystemParams params;
         params.accel = AccelMode::None;
         params.scheduler = kind;
@@ -199,6 +216,7 @@ TEST(SchedulerParity, DeadlockOnBareSystemMatches)
         reports.push_back(runReport(stats).dump(2));
     }
     EXPECT_EQ(reports[0], reports[1]);
+    EXPECT_EQ(reports[0], reports[2]);
 }
 
 TEST(SchedulerParity, InstructionLimitCutsAtTheSameInstruction)
@@ -207,7 +225,8 @@ TEST(SchedulerParity, InstructionLimitCutsAtTheSameInstruction)
     // regime, so even the budget's mid-run cutoff point must agree
     // with the single-step reference.
     std::vector<RunStats> runs;
-    for (auto kind : {SchedulerKind::Step, SchedulerKind::Slice}) {
+    for (auto kind : {SchedulerKind::Step, SchedulerKind::Slice,
+                      SchedulerKind::Compiled}) {
         SystemParams params;
         params.accel = AccelMode::None;
         params.scheduler = kind;
@@ -223,16 +242,15 @@ TEST(SchedulerParity, InstructionLimitCutsAtTheSameInstruction)
         }
         runs.push_back(system.run(/*maxInstructions=*/1000));
     }
-    EXPECT_EQ(runs[0].termination,
-              fault::Termination::InstructionLimit);
-    EXPECT_EQ(runs[1].termination,
-              fault::Termination::InstructionLimit);
-    EXPECT_EQ(runs[0].instructions, 1000u);
-    EXPECT_EQ(runs[1].instructions, 1000u);
-    for (TileId t = 0; t < 4; ++t)
-        EXPECT_EQ(runs[0].perTile[t].instructions,
-                  runs[1].perTile[t].instructions)
-            << "tile " << t;
+    for (const auto &run : runs) {
+        EXPECT_EQ(run.termination,
+                  fault::Termination::InstructionLimit);
+        EXPECT_EQ(run.instructions, 1000u);
+        for (TileId t = 0; t < 4; ++t)
+            EXPECT_EQ(run.perTile[t].instructions,
+                      runs[0].perTile[t].instructions)
+                << "tile " << t;
+    }
 }
 
 TEST(SchedulerParity, DeadPatchFaultTerminationMatches)
@@ -246,11 +264,14 @@ TEST(SchedulerParity, DeadPatchFaultTerminationMatches)
     auto plan = fault::FaultPlan::patchFailure(0);
     auto step = runWith(app, apps::AppMode::Stitch,
                         SchedulerKind::Step, plan);
-    auto slice = runWith(app, apps::AppMode::Stitch,
-                         SchedulerKind::Slice, plan);
     EXPECT_EQ(step.stats.termination, fault::Termination::Fault);
-    EXPECT_EQ(reportOf(step), reportOf(slice));
-    EXPECT_EQ(step.stats.faultMessage, slice.stats.faultMessage);
+    for (auto kind :
+         {SchedulerKind::Slice, SchedulerKind::Compiled}) {
+        auto other = runWith(app, apps::AppMode::Stitch, kind, plan);
+        EXPECT_EQ(reportOf(step), reportOf(other))
+            << schedulerKindName(kind);
+        EXPECT_EQ(step.stats.faultMessage, other.stats.faultMessage);
+    }
 }
 
 TEST(SweepRunner, ResultsDoNotDependOnWorkerCount)

@@ -1,6 +1,6 @@
 # Test driver: run smoke_app under --profile with an interval and a
 # speedscope export, then assert (a) both artifacts are strict JSON,
-# (b) the report is version 3 and carries the "profile" attribution
+# (b) the report is version 4 and carries the "profile" attribution
 # section plus the interval timeline, and (c) the speedscope document
 # declares the official schema. Invoked by prof_artifacts_are_valid
 # with -DSMOKE_APP=... -DPYTHON=... -DOUT_DIR=...
@@ -31,8 +31,8 @@ foreach(artifact IN ITEMS "${report}" "${speedscope}")
 endforeach()
 
 file(READ "${report}" report_text)
-if(NOT report_text MATCHES "\"version\": 3")
-    message(FATAL_ERROR "report is not version 3")
+if(NOT report_text MATCHES "\"version\": 4")
+    message(FATAL_ERROR "report is not version 4")
 endif()
 foreach(key IN ITEMS "\"profile\"" "\"profile_timeline\""
                      "\"total_energy_pj\"" "\"limiting_stage\"")

@@ -1,16 +1,19 @@
-# Test driver: the event-driven slice scheduler must be byte-exact
-# against the single-step reference on the full fault campaign. The
-# campaign runs twice over the same scenarios — once per scheduler —
-# and every scenario report (healthy + 43 fault runs, each embedding
-# run totals, the stitch plan and the stats dump) must compare equal
-# byte for byte. Invoked by sched_parity_is_exact with
+# Test driver: the event-driven slice scheduler and the compiled
+# (translation-cached) scheduler must be byte-exact against the
+# single-step reference on the full fault campaign. The campaign runs
+# three times over the same scenarios — once per scheduler — and every
+# scenario report (healthy + 43 fault runs, each embedding run totals,
+# the stitch plan and the stats dump) must compare equal byte for
+# byte. Invoked by sched_parity_is_exact with
 # -DFAULT_CAMPAIGN=... -DOUT_DIR=...
 
-set(step_dir "${OUT_DIR}/sched_parity_step")
-set(slice_dir "${OUT_DIR}/sched_parity_slice")
-file(REMOVE_RECURSE "${step_dir}" "${slice_dir}")
+set(scheds step slice compiled)
 
-foreach(sched step slice)
+foreach(sched IN LISTS scheds)
+    file(REMOVE_RECURSE "${OUT_DIR}/sched_parity_${sched}")
+endforeach()
+
+foreach(sched IN LISTS scheds)
     execute_process(
         COMMAND "${FAULT_CAMPAIGN}" "--scheduler=${sched}"
                 "--out=${OUT_DIR}/sched_parity_${sched}"
@@ -23,27 +26,32 @@ foreach(sched step slice)
     endif()
 endforeach()
 
+set(step_dir "${OUT_DIR}/sched_parity_step")
 file(GLOB step_reports RELATIVE "${step_dir}" "${step_dir}/*.json")
 list(LENGTH step_reports count)
 if(count EQUAL 0)
     message(FATAL_ERROR "the step campaign wrote no reports")
 endif()
 
-foreach(name IN LISTS step_reports)
-    if(NOT EXISTS "${slice_dir}/${name}")
-        message(FATAL_ERROR
-                "slice campaign is missing report ${name}")
-    endif()
-    execute_process(
-        COMMAND ${CMAKE_COMMAND} -E compare_files
-                "${step_dir}/${name}" "${slice_dir}/${name}"
-        RESULT_VARIABLE rc)
-    if(NOT rc EQUAL 0)
-        message(FATAL_ERROR
-                "scheduler parity violated: ${name} differs "
-                "between --scheduler=step and --scheduler=slice")
-    endif()
+foreach(sched slice compiled)
+    set(other_dir "${OUT_DIR}/sched_parity_${sched}")
+    foreach(name IN LISTS step_reports)
+        if(NOT EXISTS "${other_dir}/${name}")
+            message(FATAL_ERROR
+                    "${sched} campaign is missing report ${name}")
+        endif()
+        execute_process(
+            COMMAND ${CMAKE_COMMAND} -E compare_files
+                    "${step_dir}/${name}" "${other_dir}/${name}"
+            RESULT_VARIABLE rc)
+        if(NOT rc EQUAL 0)
+            message(FATAL_ERROR
+                    "scheduler parity violated: ${name} differs "
+                    "between --scheduler=step and "
+                    "--scheduler=${sched}")
+        endif()
+    endforeach()
 endforeach()
 
 message(STATUS "${count} scenario reports byte-identical across "
-               "schedulers")
+               "step/slice/compiled schedulers")

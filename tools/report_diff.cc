@@ -52,11 +52,15 @@ directionOf(const std::string &name)
     };
     // Order matters: "cycles_per_sample" must match before any
     // throughput-ish token, and "perf_per_watt" is a ratio where
-    // bigger is better even though it mentions power.
+    // bigger is better even though it mentions power. "mips" also
+    // covers "mips_compiled" (the translation-cached backend's
+    // headline counter); keep the explicit token so the intent
+    // survives a future tightening of the substring match.
     if (contains("boost") || contains("speedup") ||
         contains("perf_per_") || contains("throughput") ||
         contains("items_per") || contains("instr/s") ||
-        contains("mips") || contains("_mhz") ||
+        contains("mips") || contains("mips_compiled") ||
+        contains("_mhz") ||
         contains("utilization") || contains("hit_rate"))
         return Direction::DownIsWorse;
     if (contains("cycle") || contains("_pj") || contains("_mw") ||

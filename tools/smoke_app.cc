@@ -4,16 +4,20 @@
  * architecture modes and print per-sample cycles and boosts.
  *
  * Usage:
- *   smoke_app [name-filter] [--scheduler=step|slice] [--trace=FILE]
- *             [--report=FILE] [--stats=FILE] [--profile[=N]]
- *             [--speedscope=FILE] [--verbose]
+ *   smoke_app [name-filter] [--scheduler=step|slice|compiled]
+ *             [--trace=FILE] [--report=FILE] [--stats=FILE]
+ *             [--profile[=N]] [--speedscope=FILE] [--dump-hot]
+ *             [--dump-traces] [--verbose]
  *
  * --trace records the whole invocation; --report, --stats, --profile
  * and --speedscope describe the last application run executed (filter
  * to one app for a focused report, e.g. `smoke_app APP1
- * --report=r.json --profile`). --scheduler=step selects the
- * single-step reference scheduler (default: the event-driven slice
- * scheduler; both produce identical results).
+ * --report=r.json --profile`). --scheduler selects the simulator
+ * scheduler (default: the event-driven slice scheduler; step is the
+ * single-step reference, compiled the translation-cached backend —
+ * all three produce identical results). --dump-hot prints the last
+ * run's hottest basic blocks; --dump-traces prints its translated
+ * micro-op traces (compiled scheduler only).
  */
 
 #include <cstdio>
@@ -34,9 +38,16 @@ main(int argc, char **argv)
     obs::CliOptions obsOpts;
     cli::CommonFlags common;
     std::string filter;
+    bool dumpHot = false;
+    bool dumpTraces = false;
     for (int i = 1; i < argc; ++i) {
-        if (!common.parse(argv[i]) && !obsOpts.parse(argv[i]))
-            filter = argv[i];
+        std::string arg = argv[i];
+        if (arg == "--dump-hot")
+            dumpHot = true;
+        else if (arg == "--dump-traces")
+            dumpTraces = true;
+        else if (!common.parse(argv[i]) && !obsOpts.parse(argv[i]))
+            filter = arg;
     }
     sim::SchedulerKind scheduler =
         common.scheduler.empty()
@@ -46,6 +57,8 @@ main(int argc, char **argv)
 
     apps::AppRunner runner;
     runner.setScheduler(scheduler);
+    apps::RunConfig runCfg = runner.config();
+    runCfg.dumpTraces = dumpTraces;
     const apps::AppRunResult *last = nullptr;
     static apps::AppRunResult lastStorage;
     for (auto &app : apps::allApps()) {
@@ -56,7 +69,7 @@ main(int argc, char **argv)
         for (auto mode :
              {apps::AppMode::Baseline, apps::AppMode::Locus,
               apps::AppMode::StitchNoFusion, apps::AppMode::Stitch}) {
-            auto res = runner.run(app, mode);
+            auto res = runner.run(app, mode, runCfg);
             if (mode == apps::AppMode::Baseline)
                 base = res.perSampleCycles();
             std::printf(
@@ -86,6 +99,20 @@ main(int argc, char **argv)
     }
 
     obsOpts.end();
+    if (last && dumpHot) {
+        std::printf("hot blocks (last run):\n");
+        for (const auto &hb : last->stats.hotBlocks)
+            std::printf("  tile %2d  @w%-6u len=%-3u  %llu instrs\n",
+                        hb.tile, static_cast<unsigned>(hb.pc),
+                        static_cast<unsigned>(hb.length),
+                        static_cast<unsigned long long>(
+                            hb.instructions));
+        std::fflush(stdout);
+    }
+    if (last && dumpTraces) {
+        std::printf("%s", last->traceDump.c_str());
+        std::fflush(stdout);
+    }
     if (last) {
         bool wantProfile =
             obsOpts.profile || !obsOpts.speedscopePath.empty();
