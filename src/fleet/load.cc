@@ -1,0 +1,286 @@
+#include "fleet/load.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "fault/fault.hh"
+#include "svc/job.hh"
+#include "svc/server.hh"
+
+namespace stitch::fleet
+{
+
+namespace
+{
+
+/** The device-app pool the mix draws from (cheap sample windows so
+ *  a schedule of hundreds stays a sub-minute run). */
+constexpr const char *kApps[] = {"APP1-gesture", "APP2-cnn",
+                                 "APP3-svm-enc", "APP4-transport"};
+constexpr apps::AppMode kModes[] = {
+    apps::AppMode::Stitch, apps::AppMode::Baseline,
+    apps::AppMode::Locus, apps::AppMode::StitchNoFusion};
+
+/** maxInstructions base for synthetic identities: far above what a
+ *  1/2-sample run executes, so the budget is part of the cache key
+ *  but never changes the simulation. Hot jobs get base+k, tail jobs
+ *  get 2*base+i — all distinct, all unreachable. */
+constexpr std::uint64_t kBudgetBase = 50'000'000;
+
+svc::JobSpec
+specFor(Rng &rng, std::uint64_t budget, const std::string &label)
+{
+    svc::JobSpec spec;
+    spec.app = kApps[rng.range(0, 3)];
+    spec.mode = kModes[rng.range(0, 3)];
+    spec.samplesShort = 1;
+    spec.samplesLong = 2;
+    spec.maxInstructions = budget;
+    spec.name = label;
+    return spec;
+}
+
+} // namespace
+
+void
+LoadMix::validate() const
+{
+    if (requests < 1)
+        throw fault::ConfigError(detail::formatMessage(
+            "load mix needs requests >= 1, got ", requests));
+    if (clients < 1)
+        throw fault::ConfigError(detail::formatMessage(
+            "load mix needs clients >= 1, got ", clients));
+    if (hotFraction < 0.0 || hotFraction > 1.0)
+        throw fault::ConfigError(detail::formatMessage(
+            "hot fraction must be in [0, 1], got ", hotFraction));
+    if (hotSetSize < 1)
+        throw fault::ConfigError(detail::formatMessage(
+            "hot set size must be >= 1, got ", hotSetSize));
+    if (burstEvery < 0)
+        throw fault::ConfigError(detail::formatMessage(
+            "burst period must be >= 0, got ", burstEvery));
+    retry.validate();
+}
+
+std::vector<LoadRequest>
+buildSchedule(const LoadMix &mix)
+{
+    mix.validate();
+    Rng rng(mix.seed);
+
+    // The hot set first: the jobs many devices duplicate.
+    std::vector<svc::JobSpec> hotSet;
+    hotSet.reserve(static_cast<std::size_t>(mix.hotSetSize));
+    for (int k = 0; k < mix.hotSetSize; ++k)
+        hotSet.push_back(
+            specFor(rng, kBudgetBase + static_cast<std::uint64_t>(k),
+                    "load-hot-" + std::to_string(k)));
+
+    std::vector<LoadRequest> schedule;
+    schedule.reserve(static_cast<std::size_t>(mix.requests));
+    std::uint64_t tail = 0;
+    for (int i = 0; i < mix.requests; ++i) {
+        const bool hot = rng.uniform() < mix.hotFraction;
+        svc::JobSpec spec;
+        if (hot) {
+            spec = hotSet[static_cast<std::size_t>(
+                rng.range(0, mix.hotSetSize - 1))];
+        } else {
+            ++tail;
+            spec = specFor(rng, 2 * kBudgetBase + tail,
+                           "load-tail-" + std::to_string(tail));
+        }
+        // Priority bands: most traffic is background, a band of
+        // interactive requests rides above it.
+        spec.priority = static_cast<int>(rng.range(0, 2));
+        LoadRequest req;
+        req.doc = spec.toJson();
+        req.key = spec.cacheKey();
+        req.priority = spec.priority;
+        req.hot = hot;
+        schedule.push_back(std::move(req));
+    }
+    return schedule;
+}
+
+std::uint64_t
+scheduleDigest(const std::vector<LoadRequest> &schedule)
+{
+    std::uint64_t digest = 0;
+    for (const LoadRequest &req : schedule)
+        digest = svc::hashBytes(std::to_string(digest) + "|" +
+                                req.doc.dump());
+    return digest;
+}
+
+LoadReport
+runLoad(const LoadMix &mix, const std::string &host,
+        std::uint16_t port)
+{
+    const std::vector<LoadRequest> schedule = buildSchedule(mix);
+
+    struct ClientTally
+    {
+        std::uint64_t ok = 0;
+        std::uint64_t cached = 0;
+        std::uint64_t shed = 0;
+        std::uint64_t retries = 0;
+        std::uint64_t untyped = 0;
+        std::uint64_t transport = 0;
+        std::map<std::string, std::uint64_t> errors;
+        std::map<std::string, std::uint64_t> shards;
+        telem::Histogram latency;
+    };
+
+    std::vector<ClientTally> tallies(
+        static_cast<std::size_t>(mix.clients));
+    std::atomic<std::size_t> cursor{0};
+
+    auto client = [&](ClientTally &tally) {
+        for (;;) {
+            const std::size_t i = cursor.fetch_add(1);
+            if (i >= schedule.size())
+                return;
+            if (mix.burstEvery > 0 && i > 0 &&
+                i % static_cast<std::size_t>(mix.burstEvery) == 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(mix.burstPauseMs));
+            const auto t0 = std::chrono::steady_clock::now();
+            obs::Json response;
+            int attempts = 1;
+            try {
+                response = svc::requestReportWithRetry(
+                    host, port, schedule[i].doc, mix.retry,
+                    /*requestIndex=*/i, /*chaos=*/nullptr,
+                    &attempts, mix.timeoutMs);
+            } catch (const fault::ConfigError &) {
+                tally.retries += static_cast<std::uint64_t>(
+                    std::max(0, attempts - 1));
+                ++tally.transport;
+                continue;
+            }
+            const auto elapsed =
+                std::chrono::duration_cast<
+                    std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - t0);
+            tally.latency.record(
+                static_cast<std::uint64_t>(elapsed.count()));
+            tally.retries += static_cast<std::uint64_t>(
+                std::max(0, attempts - 1));
+
+            if (!response.isObject() || !response.has("status")) {
+                ++tally.untyped; // a response we cannot even type
+                continue;
+            }
+            const std::string status =
+                response.get("status").asString();
+            if (status == "ok") {
+                ++tally.ok;
+                if (response.has("cached") &&
+                    response.get("cached").asBool())
+                    ++tally.cached;
+                if (response.has("shard"))
+                    ++tally.shards[response.get("shard")
+                                       .asString()];
+                continue;
+            }
+            if (!response.has("error_kind") ||
+                response.get("error_kind").asString().empty()) {
+                ++tally.untyped; // the contract the fleet CI gates
+                continue;
+            }
+            const std::string kind =
+                response.get("error_kind").asString();
+            ++tally.errors[kind];
+            if (kind == "overloaded")
+                ++tally.shed;
+        }
+    };
+
+    const auto wallStart = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(tallies.size());
+    for (ClientTally &tally : tallies)
+        threads.emplace_back([&client, &tally] { client(tally); });
+    for (std::thread &t : threads)
+        t.join();
+    const auto wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - wallStart);
+
+    LoadReport report;
+    report.seed = mix.seed;
+    report.requests = mix.requests;
+    report.clients = mix.clients;
+    report.digest = scheduleDigest(schedule);
+    report.wallS = wall.count();
+    std::map<std::string, std::uint64_t> errors;
+    std::map<std::string, std::uint64_t> shards;
+    for (const ClientTally &tally : tallies) {
+        report.ok += tally.ok;
+        report.cached += tally.cached;
+        report.shed += tally.shed;
+        report.retries += tally.retries;
+        report.untypedFailures += tally.untyped;
+        report.transportFailures += tally.transport;
+        for (const auto &[kind, n] : tally.errors)
+            errors[kind] += n;
+        for (const auto &[name, n] : tally.shards)
+            shards[name] += n;
+        report.latency.merge(tally.latency);
+    }
+    report.errors.assign(errors.begin(), errors.end());
+    report.shards.assign(shards.begin(), shards.end());
+    return report;
+}
+
+obs::Json
+LoadReport::toJson() const
+{
+    obs::Json doc = obs::Json::object();
+    doc.set("schema", loadReportSchema);
+    doc.set("version", loadReportVersion);
+    doc.set("seed", seed);
+    doc.set("requests", static_cast<std::uint64_t>(requests));
+    doc.set("clients", static_cast<std::uint64_t>(clients));
+    doc.set("schedule_digest", digest);
+    doc.set("wall_s", wallS);
+    doc.set("jobs_s", jobsPerSecond());
+    doc.set("ok", ok);
+    doc.set("cached", cached);
+    doc.set("fleet_hit_rate", hitRate());
+    doc.set("shed", shed);
+    doc.set("retries", retries);
+    doc.set("untyped_failures", untypedFailures);
+    doc.set("transport_failures", transportFailures);
+
+    obs::Json errorsJson = obs::Json::object();
+    for (const auto &[kind, n] : errors)
+        errorsJson.set(kind, n);
+    doc.set("errors", std::move(errorsJson));
+
+    obs::Json shardsJson = obs::Json::object();
+    for (const auto &[name, n] : shards)
+        shardsJson.set(name, n);
+    doc.set("shards", std::move(shardsJson));
+
+    obs::Json lat = obs::Json::object();
+    lat.set("count", latency.count());
+    lat.set("p50_ms",
+            static_cast<double>(latency.quantile(0.5)) / 1000.0);
+    lat.set("p90_ms",
+            static_cast<double>(latency.quantile(0.9)) / 1000.0);
+    lat.set("p99_ms",
+            static_cast<double>(latency.quantile(0.99)) / 1000.0);
+    lat.set("max_ms",
+            static_cast<double>(latency.max()) / 1000.0);
+    doc.set("latency", std::move(lat));
+    return doc;
+}
+
+} // namespace stitch::fleet

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * stitchload's core: a seeded, deterministic device-fleet traffic
+ * mix and the closed-loop harness that replays it against one
+ * stitchd (or a stitchrouter fronting a fleet).
+ *
+ * The mix models a wearable device fleet phoning home: a small *hot
+ * set* of jobs that many devices duplicate (the fleet-wide cache and
+ * dedup path), a long tail of unique jobs (the simulate path —
+ * distinct cache identities made by distinct maxInstructions
+ * budgets, which are hashed into the key but never reached by these
+ * short runs), priority bands drawn per request, and optional
+ * bursts (every `burstEvery` requests each client pauses, so load
+ * arrives in waves instead of a steady stream).
+ *
+ * Determinism contract: buildSchedule() is a pure function of the
+ * LoadMix — same seed, same request stream, byte for byte — which
+ * scheduleDigest() pins. The *replay* is closed-loop over `clients`
+ * threads claiming schedule slots from an atomic cursor, so
+ * completion order (and therefore which duplicate wins the
+ * single-flight race) is timing-dependent, but the set of requests
+ * sent never is. Responses are judged by the typed-error contract:
+ * every error must carry an error_kind; `untyped_failures` counts
+ * the ones that do not, and the CI fleet gate asserts it is zero
+ * even while a shard is being SIGKILLed mid-run.
+ */
+
+#ifndef STITCH_FLEET_LOAD_HH
+#define STITCH_FLEET_LOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hh"
+#include "svc/chaos.hh"
+#include "telem/histogram.hh"
+
+namespace stitch::fleet
+{
+
+inline constexpr const char *loadReportSchema = "stitch-load-report";
+inline constexpr int loadReportVersion = 1;
+
+/** One seeded traffic mix (the stitchload flags). */
+struct LoadMix
+{
+    std::uint64_t seed = 1;
+    int requests = 200; ///< schedule length
+    int clients = 4;    ///< closed-loop client threads
+
+    /** Probability a request replays a hot-set job (a duplicate many
+     *  devices submit); the rest are long-tail uniques. */
+    double hotFraction = 0.6;
+    int hotSetSize = 8; ///< distinct jobs in the hot set
+
+    /** 0 = steady stream; N > 0 = each client pauses burstPauseMs
+     *  after every N schedule slots, so load arrives in waves. */
+    int burstEvery = 0;
+    std::uint64_t burstPauseMs = 5;
+
+    /** Client-side retry budget: transport failures and "overloaded"
+     *  rejections back off and retry deterministically (keyed on the
+     *  schedule index). */
+    svc::RetryPolicy retry{/*maxAttempts=*/3, /*baseDelayMs=*/2.0,
+                           /*maxDelayMs=*/250.0, /*multiplier=*/2.0,
+                           /*seed=*/0};
+
+    /** Per-request socket timeout (ms). */
+    std::uint64_t timeoutMs = 5000;
+
+    /** Typed validation; throws fault::ConfigError. */
+    void validate() const;
+};
+
+/** One schedule slot: the document to send plus its identity. */
+struct LoadRequest
+{
+    obs::Json doc;   ///< the stitch-job document
+    std::string key; ///< canonical cacheKey (routing identity)
+    int priority = 0;
+    bool hot = false; ///< drawn from the hot set
+};
+
+/** The deterministic request stream (pure function of `mix`). */
+std::vector<LoadRequest> buildSchedule(const LoadMix &mix);
+
+/** Order-dependent digest over the schedule's documents — two
+ *  processes with the same mix agree on every byte. */
+std::uint64_t
+scheduleDigest(const std::vector<LoadRequest> &schedule);
+
+/** What came back: the stitch-load-report v1 document's contents. */
+struct LoadReport
+{
+    std::uint64_t seed = 0;
+    int requests = 0;
+    int clients = 0;
+    std::uint64_t digest = 0; ///< scheduleDigest of what was sent
+
+    double wallS = 0.0;
+    std::uint64_t ok = 0;       ///< status:"ok" responses
+    std::uint64_t cached = 0;   ///< ok responses with cached:true
+    std::uint64_t shed = 0;     ///< typed "overloaded" rejections
+    std::uint64_t retries = 0;  ///< extra attempts beyond the first
+    std::uint64_t untypedFailures = 0;  ///< errors w/o error_kind
+    std::uint64_t transportFailures = 0; ///< no response at all
+    /** Typed error tallies, sorted by kind. */
+    std::vector<std::pair<std::string, std::uint64_t>> errors;
+    /** ok responses per serving shard (router-annotated; a direct
+     *  daemon run leaves this empty). */
+    std::vector<std::pair<std::string, std::uint64_t>> shards;
+    telem::Histogram latency; ///< e2e per request (µs)
+
+    double
+    jobsPerSecond() const
+    {
+        return wallS > 0.0 ? static_cast<double>(ok) / wallS : 0.0;
+    }
+
+    /** cached / ok — the fleet-wide hit rate the mix achieved. */
+    double
+    hitRate() const
+    {
+        return ok > 0 ? static_cast<double>(cached) /
+                            static_cast<double>(ok)
+                      : 0.0;
+    }
+
+    /** The stitch-load-report v1 document. */
+    obs::Json toJson() const;
+};
+
+/** Replay `mix` against host:port (daemon or router) and tally. */
+LoadReport runLoad(const LoadMix &mix, const std::string &host,
+                   std::uint16_t port);
+
+} // namespace stitch::fleet
+
+#endif // STITCH_FLEET_LOAD_HH

@@ -1,0 +1,116 @@
+#include "fleet/ring.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "fault/fault.hh"
+#include "svc/job.hh"
+
+namespace stitch::fleet
+{
+
+HashRing::HashRing(int vnodes)
+    : vnodes_(vnodes)
+{
+    if (vnodes < 1)
+        throw fault::ConfigError(detail::formatMessage(
+            "ring vnodes must be >= 1, got ", vnodes));
+}
+
+void
+HashRing::addShard(const std::string &name)
+{
+    if (name.empty())
+        throw fault::ConfigError("ring shard name must be non-empty");
+    if (contains(name))
+        return;
+    shards_.push_back(name);
+    rebuild();
+}
+
+void
+HashRing::removeShard(const std::string &name)
+{
+    auto it = std::find(shards_.begin(), shards_.end(), name);
+    if (it == shards_.end())
+        return;
+    shards_.erase(it);
+    rebuild();
+}
+
+bool
+HashRing::contains(const std::string &name) const
+{
+    return std::find(shards_.begin(), shards_.end(), name) !=
+           shards_.end();
+}
+
+void
+HashRing::rebuild()
+{
+    points_.clear();
+    points_.reserve(shards_.size() *
+                    static_cast<std::size_t>(vnodes_));
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+        for (int v = 0; v < vnodes_; ++v)
+            points_.emplace_back(
+                svc::hashBytes(shards_[s] + "#" +
+                               std::to_string(v)),
+                s);
+    // Ties (astronomically unlikely) break by shard index so the
+    // ring stays a pure function of the shard list.
+    std::sort(points_.begin(), points_.end());
+}
+
+const std::string &
+HashRing::ownerOf(const std::string &key) const
+{
+    if (points_.empty())
+        throw fault::ConfigError(
+            "consistent-hash ring has no shards");
+    const std::uint64_t h = svc::hashBytes(key);
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(),
+        std::make_pair(h, std::size_t{0}));
+    if (it == points_.end()) // wrap past the top of the ring
+        it = points_.begin();
+    return shards_[it->second];
+}
+
+std::vector<std::string>
+HashRing::preferenceList(const std::string &key, std::size_t n) const
+{
+    std::vector<std::string> prefs;
+    if (points_.empty())
+        return prefs;
+    n = std::min(n, shards_.size());
+    const std::uint64_t h = svc::hashBytes(key);
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(),
+        std::make_pair(h, std::size_t{0}));
+    std::vector<bool> seen(shards_.size(), false);
+    for (std::size_t hops = 0;
+         hops < points_.size() && prefs.size() < n; ++hops) {
+        if (it == points_.end())
+            it = points_.begin();
+        if (!seen[it->second]) {
+            seen[it->second] = true;
+            prefs.push_back(shards_[it->second]);
+        }
+        ++it;
+    }
+    return prefs;
+}
+
+std::uint64_t
+HashRing::assignmentDigest(
+    const std::vector<std::string> &keys) const
+{
+    std::uint64_t digest = 0;
+    for (const std::string &key : keys)
+        digest = svc::hashBytes(std::to_string(digest) + "|" + key +
+                                "->" + ownerOf(key));
+    return digest;
+}
+
+} // namespace stitch::fleet

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Consistent-hash ring over stitchd shards (DESIGN.md §16).
+ *
+ * Placement contract: a job routes by its canonical cacheKey() — the
+ * same content address the ResultCache uses — so every duplicate of a
+ * job lands on the same shard and dedups/hits there, without the
+ * router keeping any per-key state. Each shard contributes `vnodes`
+ * points on a 64-bit ring (splitmix64-chained hashes of
+ * "name#index", svc::hashBytes); a key is owned by the first point
+ * clockwise from its own hash. Virtual nodes smooth the load split
+ * (with 64 points per shard the per-shard share of 1k keys stays
+ * within a few percent of uniform), and consistent hashing bounds
+ * churn: adding or removing one shard moves only the keys whose
+ * owning arc changed — about 1/N of them — so a fleet resize does
+ * not stampede every shard's cache.
+ *
+ * Everything here is a pure function of (shard names, vnodes): two
+ * routers configured with the same shard list agree on every
+ * placement, which assignmentDigest() pins in tests.
+ */
+
+#ifndef STITCH_FLEET_RING_HH
+#define STITCH_FLEET_RING_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stitch::fleet
+{
+
+/** Points per shard on the ring; enough to keep a 3-shard split
+ *  within a few percent of uniform over ~1k keys. */
+inline constexpr int defaultVnodes = 64;
+
+class HashRing
+{
+  public:
+    explicit HashRing(int vnodes = defaultVnodes);
+
+    /** Add a shard (idempotent). Throws fault::ConfigError on an
+     *  empty name. */
+    void addShard(const std::string &name);
+
+    /** Remove a shard; unknown names are ignored. */
+    void removeShard(const std::string &name);
+
+    bool contains(const std::string &name) const;
+    std::size_t size() const { return shards_.size(); }
+    bool empty() const { return shards_.empty(); }
+    int vnodes() const { return vnodes_; }
+
+    /** Shard names in insertion order. */
+    const std::vector<std::string> &shards() const { return shards_; }
+
+    /**
+     * The shard owning `key` (first ring point clockwise from
+     * hashBytes(key)). Throws fault::ConfigError on an empty ring.
+     */
+    const std::string &ownerOf(const std::string &key) const;
+
+    /**
+     * The first `n` *distinct* shards clockwise from `key`'s point —
+     * the owner first, then the failover order the router walks when
+     * shards die. n is clamped to size().
+     */
+    std::vector<std::string> preferenceList(const std::string &key,
+                                            std::size_t n) const;
+
+    /**
+     * Order-dependent digest of ownerOf() over `keys` — one number
+     * that changes if any placement changes, pinning cross-process
+     * determinism in tests.
+     */
+    std::uint64_t
+    assignmentDigest(const std::vector<std::string> &keys) const;
+
+  private:
+    void rebuild();
+
+    int vnodes_;
+    std::vector<std::string> shards_; ///< insertion order
+    /** Sorted (point hash, index into shards_). */
+    std::vector<std::pair<std::uint64_t, std::size_t>> points_;
+};
+
+} // namespace stitch::fleet
+
+#endif // STITCH_FLEET_RING_HH

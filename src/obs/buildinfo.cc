@@ -17,4 +17,15 @@ buildInfoJson()
     return doc;
 }
 
+std::string
+versionText(const std::string &tool)
+{
+    Json doc = Json::object();
+    doc.set("tool", tool);
+    const Json build = buildInfoJson();
+    for (const auto &[key, value] : build.items())
+        doc.set(key, value);
+    return doc.dump();
+}
+
 } // namespace stitch::obs

@@ -7,6 +7,8 @@
 #ifndef STITCH_OBS_BUILDINFO_HH
 #define STITCH_OBS_BUILDINFO_HH
 
+#include <string>
+
 #include "obs/json.hh"
 
 namespace stitch::obs
@@ -14,6 +16,11 @@ namespace stitch::obs
 
 /** {git, compiler, compiler_version, build_type, sanitize}. */
 Json buildInfoJson();
+
+/** The `--version` line every front-end prints: buildInfoJson()
+ *  with a leading "tool" field, as one JSON object — parseable by
+ *  scripts, still a one-liner for humans. */
+std::string versionText(const std::string &tool);
 
 } // namespace stitch::obs
 

@@ -64,6 +64,15 @@ JobEngine::JobEngine(const EngineOptions &options)
           "injected_throws", "injected_stalls", "watchdog_trips",
           "deadline_exceeded"})
         resilienceStats_.counter(name);
+    if (!options_.remoteCache.peers.empty()) {
+        remote_ = std::make_unique<RemoteCacheClient>(
+            options_.remoteCache);
+        registry_.add("svc.remote_cache", remoteStats_);
+        for (const char *name :
+             {"hits", "misses", "errors", "invalidated", "stores",
+              "store_failures"})
+            remoteStats_.counter(name);
+    }
 
     // The continuous-telemetry organs. All off by default so batch
     // behaviour (and its report bytes) are untouched; stitchd arms
@@ -559,6 +568,7 @@ JobEngine::claimAndRunOne(int worker)
     CacheEntry entry;
     bool failed = false;
     bool fromDisk = false;
+    bool fromRemote = false;
     std::string error, kind;
     if (job.flightOwner) {
         const std::uint64_t probeStart = spanSink_.nowUs();
@@ -568,8 +578,30 @@ JobEngine::claimAndRunOne(int worker)
             entry = *hit;
             fromDisk = true;
         }
+        if (!fromDisk && remote_) {
+            // Read-through to the shared cache tier: a peer shard
+            // that already simulated this spec saves us the run.
+            // Probed outside mutex_ — this is network I/O.
+            const std::uint64_t remoteStart = spanSink_.nowUs();
+            auto remoteHit =
+                remote_->lookup(job.spec, job.result.key);
+            job.probeUs += spanSink_.nowUs() - remoteStart;
+            if (remoteHit) {
+                entry = *remoteHit;
+                fromRemote = true;
+                // Promote into the local layers so the next
+                // duplicate is a mem hit at claim time.
+                if (cache_.enabled())
+                    cache_.store(job.spec, entry);
+                if (flight_)
+                    flight_->event(job.result.traceId,
+                                   spanSink_.nowUs(),
+                                   "remote_cache_hit");
+            }
+        }
     }
-    if (!fromDisk)
+    const bool fromCache = fromDisk || fromRemote;
+    if (!fromCache)
         runSimulation(job, ctx, entry, failed, kind, error);
 
     {
@@ -577,8 +609,12 @@ JobEngine::claimAndRunOne(int worker)
         if (failed)
             finishFailed(job, kind, error);
         else
-            finishCompleted(job, entry, /*cached=*/fromDisk);
+            finishCompleted(job, entry, /*cached=*/fromCache);
     }
+    if (!failed && !fromCache && remote_)
+        // Write-behind: replicate the fresh simulation to the peers
+        // (async by default; never blocks or fails the job).
+        remote_->storeBehind(job.spec, job.result.key, entry);
     ctx.record(telem::Stage::Job, job.submitUs, spanSink_.nowUs());
 
     if (job.flightOwner) {
@@ -825,6 +861,18 @@ JobEngine::metricsSnapshot() const
     }
     if (flight_)
         counter("flight_dumps", flight_->dumps());
+    if (remote_) {
+        const RemoteCacheStats rs = remote_->stats();
+        counter("remote_cache_hits", rs.hits);
+        counter("remote_cache_misses", rs.misses);
+        counter("remote_cache_errors", rs.errors);
+        counter("remote_cache_invalidated", rs.invalidated);
+        counter("remote_cache_stores", rs.stores);
+        counter("remote_cache_store_failures", rs.storeFailures);
+        sample.gauges.emplace_back(
+            "remote_cache_pending",
+            static_cast<double>(rs.pending));
+    }
 
     sample.gauges.emplace_back(
         "queue_depth", static_cast<double>(pendingJobs_));
@@ -892,6 +940,13 @@ JobEngine::recordProtocolFailure(const std::string &message)
     flight_->dump(traceId, "protocol", message, &build);
 }
 
+void
+JobEngine::flushRemoteCache()
+{
+    if (remote_)
+        remote_->flush();
+}
+
 obs::Json
 JobEngine::serviceReportJson() const
 {
@@ -912,6 +967,15 @@ JobEngine::serviceReportJson() const
     cacheStats_.set("degraded", cs.degraded ? 1 : 0);
     queueStats_.set("depth",
                     static_cast<std::uint64_t>(pendingJobs_));
+    if (remote_) {
+        const RemoteCacheStats rs = remote_->stats();
+        remoteStats_.set("hits", rs.hits);
+        remoteStats_.set("misses", rs.misses);
+        remoteStats_.set("errors", rs.errors);
+        remoteStats_.set("invalidated", rs.invalidated);
+        remoteStats_.set("stores", rs.stores);
+        remoteStats_.set("store_failures", rs.storeFailures);
+    }
 
     obs::Json doc = obs::Json::object();
     doc.set("schema", serviceReportSchema);
@@ -990,6 +1054,21 @@ JobEngine::introspectionJson() const
     cache.set("tmp_swept", cs.tmpSwept);
     cache.set("degraded", cs.degraded);
     doc.set("cache", std::move(cache));
+
+    if (remote_) {
+        const RemoteCacheStats rs = remote_->stats();
+        obs::Json remote = obs::Json::object();
+        remote.set("peers", static_cast<std::uint64_t>(
+                                remote_->peers().size()));
+        remote.set("hits", rs.hits);
+        remote.set("misses", rs.misses);
+        remote.set("errors", rs.errors);
+        remote.set("invalidated", rs.invalidated);
+        remote.set("stores", rs.stores);
+        remote.set("store_failures", rs.storeFailures);
+        remote.set("pending", rs.pending);
+        doc.set("remote_cache", std::move(remote));
+    }
 
     doc.set("latency", latencyJson(options_.telemetry));
 

@@ -80,6 +80,7 @@
 #include "svc/cache.hh"
 #include "svc/chaos.hh"
 #include "svc/job.hh"
+#include "svc/remote_cache.hh"
 #include "telem/flightrec.hh"
 #include "telem/histogram.hh"
 #include "telem/slo.hh"
@@ -163,6 +164,14 @@ struct EngineOptions
 
     /** Event-ring depth per tracked job. */
     std::size_t flightEventsPerJob = 64;
+
+    /**
+     * Shared cache tier (fleet mode): peer shards consulted after a
+     * local mem+disk miss (read-through) and notified after a fresh
+     * simulation (write-behind). Empty peer list — the default —
+     * keeps the engine byte-identical to the single-shard build.
+     */
+    RemoteCacheOptions remoteCache;
 };
 
 /**
@@ -263,6 +272,14 @@ class JobEngine
 
     ResultCache &cache() { return cache_; }
     const EngineOptions &options() const { return options_; }
+
+    /** The shared-cache-tier client; null unless
+     *  EngineOptions::remoteCache names peers. */
+    RemoteCacheClient *remoteCache() { return remote_.get(); }
+
+    /** Drain pending write-behind replication (graceful shutdown /
+     *  deterministic tests); no-op without a remote tier. */
+    void flushRemoteCache();
 
     /**
      * The service-level counters as a versioned document (v2):
@@ -401,6 +418,9 @@ class JobEngine
     EngineOptions options_;
     ServiceFaultInjector injector_; ///< stateless; shared with cache_
     ResultCache cache_;
+    /** Shared cache tier client; null unless peers configured. Own
+     *  lock; lookups happen on the worker side outside mutex_. */
+    std::unique_ptr<RemoteCacheClient> remote_;
     apps::AppRunner runner_;
 
     mutable std::mutex mutex_; ///< jobs_, queue_, inflight_, stats
@@ -443,6 +463,9 @@ class JobEngine
     mutable StatGroup queueStats_;
     StatGroup latencyStats_;    ///< svc.latency buckets
     StatGroup resilienceStats_; ///< svc.resilience (admission/retry)
+    /** svc.remote_cache — registered only in fleet mode so
+     *  single-shard reports keep their exact shape. */
+    mutable StatGroup remoteStats_;
     obs::Registry registry_;
 
     /** Continuous-telemetry organs (all optional; see

@@ -110,8 +110,11 @@ recvFrame(int fd, std::string &payload,
     return {RecvStatus::Ok, len};
 }
 
+} // namespace
+
 obs::Json
-errorResponse(const std::string &kind, const std::string &message)
+errorResponseJson(const std::string &kind,
+                  const std::string &message)
 {
     obs::Json doc = obs::Json::object();
     doc.set("schema", responseSchema);
@@ -120,6 +123,15 @@ errorResponse(const std::string &kind, const std::string &message)
     doc.set("error_kind", kind);
     doc.set("error", message);
     return doc;
+}
+
+namespace
+{
+
+obs::Json
+errorResponse(const std::string &kind, const std::string &message)
+{
+    return errorResponseJson(kind, message);
 }
 
 } // namespace
@@ -171,6 +183,80 @@ handleRequest(JobEngine &engine, const obs::Json &jobDoc,
 }
 
 obs::Json
+cacheVerbResponse(JobEngine &engine, const obs::Json &doc)
+{
+    const std::string cmd = doc.get("cmd").asString();
+    try {
+        if (!doc.has("key") || !doc.has("spec"))
+            return errorResponse(
+                "config", cmd + " needs \"key\" and \"spec\"");
+        const JobSpec spec = JobSpec::fromJson(doc.get("spec"));
+        const std::string key = doc.get("key").asString();
+        if (spec.cacheKey() != key)
+            return errorResponse(
+                "config",
+                detail::formatMessage(
+                    "cache key ", key,
+                    " does not match the spec's canonical form (",
+                    spec.cacheKey(), ")"));
+
+        obs::Json resp = obs::Json::object();
+        resp.set("schema", "stitch-cache-response");
+        resp.set("version", 1);
+        resp.set("key", key);
+        resp.set("stamp", cacheStamp());
+
+        if (cmd == "cacheget") {
+            auto hit = engine.cache().lookup(spec);
+            if (hit) {
+                resp.set("status", "hit");
+                // The serving side's own canonicalization of the
+                // requested spec: the client compares it byte-exact
+                // against its local canonical form, so a schema skew
+                // between shards degrades to a miss, never to a
+                // wrong report.
+                resp.set("spec_echo", spec.canonicalJson().dump());
+                resp.set("report", hit->report);
+                resp.set("derived", hit->derived);
+            } else {
+                resp.set("status", "miss");
+            }
+            return resp;
+        }
+
+        // cacheput: refuse entries minted under a different
+        // job-schema/report/engine version — the stamp guard that
+        // invalidates stale disk entries applies to remote pushes
+        // before they are ever stored.
+        if (!doc.has("stamp") ||
+            doc.get("stamp").asString() != cacheStamp())
+            return errorResponse(
+                "mismatch",
+                detail::formatMessage(
+                    "cacheput stamp ",
+                    doc.has("stamp")
+                        ? doc.get("stamp").asString()
+                        : std::string("(missing)"),
+                    " does not match this shard's ", cacheStamp()));
+        if (!doc.has("report") || !doc.has("derived"))
+            return errorResponse(
+                "config", "cacheput needs \"report\" and "
+                          "\"derived\"");
+        CacheEntry entry;
+        entry.report = doc.get("report");
+        entry.derived = doc.get("derived");
+        engine.cache().store(spec, entry);
+        resp.set("status", "ok");
+        resp.set("stored", true);
+        return resp;
+    } catch (const fault::ConfigError &e) {
+        return errorResponse("config", e.what());
+    } catch (const std::exception &e) {
+        return errorResponse("internal", e.what());
+    }
+}
+
+obs::Json
 introspectionResponse(JobEngine &engine, const std::string &cmd,
                       double uptimeS, std::uint64_t served)
 {
@@ -204,6 +290,23 @@ introspectionResponse(JobEngine &engine, const std::string &cmd,
         doc.set("service", engine.serviceReportJson());
         return doc;
     }
+    if (cmd == "fleetz") {
+        // The mergeable snapshot: a lossless MetricSample (bucket-
+        // level histograms) plus the retained collector windows.
+        // stitchrouter folds these across shards with the same
+        // merge algebra the in-process telemetry uses.
+        obs::Json doc = obs::Json::object();
+        stamp(doc, "stitchd-fleetz");
+        doc.set("build", obs::buildInfoJson());
+        doc.set("sample", engine.metricsSnapshot().toWireJson());
+        obs::Json windows = obs::Json::array();
+        if (const telem::Collector *collector = engine.collector())
+            for (const telem::Window &w :
+                 collector->series().snapshot())
+                windows.push(w.toWireJson());
+        doc.set("windows", std::move(windows));
+        return doc;
+    }
     if (cmd == "scrape") {
         // Prometheus text exposition, carried in a JSON envelope so
         // the one wire format serves both humans and scrapers
@@ -220,7 +323,23 @@ introspectionResponse(JobEngine &engine, const std::string &cmd,
 
 Server::Server(JobEngine &engine, std::uint16_t port,
                ServerOptions options)
-    : engine_(engine), options_(options)
+    : engine_(&engine), options_(options)
+{
+    bindAndListen(port);
+}
+
+Server::Server(RequestHandler handler, std::uint16_t port,
+               ServerOptions options)
+    : handler_(std::move(handler)), options_(options)
+{
+    if (!handler_)
+        throw fault::ConfigError(
+            "stitchd: Server needs a non-empty request handler");
+    bindAndListen(port);
+}
+
+void
+Server::bindAndListen(std::uint16_t port)
 {
     listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listenFd_ < 0)
@@ -337,28 +456,44 @@ Server::serve(int maxRequests)
             // A framing violation never became a job, so no ring
             // exists for it; the engine dumps a synthetic
             // kind="protocol" flight record instead.
-            engine_.recordProtocolFailure(
-                response.get("error").asString());
+            if (engine_)
+                engine_->recordProtocolFailure(
+                    response.get("error").asString());
         } else {
             try {
                 obs::Json doc = obs::Json::parse(payload);
-                if (doc.isObject() && doc.has("cmd"))
-                    response = introspectionResponse(
-                        engine_, doc.get("cmd").asString(),
-                        uptimeS(), served_);
-                else
-                    response = handleRequest(engine_, doc, &jobId);
+                if (handler_) {
+                    response = handler_(doc);
+                } else if (doc.isObject() && doc.has("cmd")) {
+                    const std::string cmd =
+                        doc.get("cmd").asString();
+                    response =
+                        (cmd == "cacheget" || cmd == "cacheput")
+                            ? cacheVerbResponse(*engine_, doc)
+                            : introspectionResponse(*engine_, cmd,
+                                                    uptimeS(),
+                                                    served_);
+                } else {
+                    response =
+                        handleRequest(*engine_, doc, &jobId);
+                }
             } catch (const FatalError &e) {
-                // Json::parse fatals on malformed text.
+                // Json::parse fatals on malformed text; a handler
+                // that fatals answers typed too.
                 response = errorResponse("config", e.what());
-                engine_.recordProtocolFailure(e.what());
+                if (engine_)
+                    engine_->recordProtocolFailure(e.what());
+            } catch (const std::exception &e) {
+                response = errorResponse("internal", e.what());
             }
         }
         {
             // Serialization + write-back is the respond stage; with
             // telemetry off traceContext() returns a null-sink
             // context and this is a no-op.
-            telem::ScopedSpan span(engine_.traceContext(jobId),
+            telem::ScopedSpan span(engine_
+                                       ? engine_->traceContext(jobId)
+                                       : telem::TraceContext{},
                                    telem::Stage::Respond);
             if (!sendFrame(fd, response.dump(2) + "\n"))
                 warn("stitchd: client hung up before the response");
@@ -379,12 +514,24 @@ obs::Json
 requestReport(const std::string &host, std::uint16_t port,
               const obs::Json &jobDoc,
               const ServiceFaultInjector *chaos,
-              std::uint64_t requestIndex)
+              std::uint64_t requestIndex, std::uint64_t timeoutMs)
 {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0)
         throw fault::ConfigError(detail::formatMessage(
             "stitchq: socket(): ", std::strerror(errno)));
+    if (timeoutMs > 0) {
+        // Bound both directions: a peer that accepted the connection
+        // but never answers (a SIGKILLed-but-lingering shard, a
+        // wedged daemon) must surface as a transport failure the
+        // caller can fail over on, not a hang.
+        timeval tv{};
+        tv.tv_sec = static_cast<time_t>(timeoutMs / 1000);
+        tv.tv_usec =
+            static_cast<suseconds_t>((timeoutMs % 1000) * 1000);
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    }
 
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
@@ -436,7 +583,7 @@ requestReportWithRetry(const std::string &host, std::uint16_t port,
                        const RetryPolicy &policy,
                        std::uint64_t requestIndex,
                        const ServiceFaultInjector *chaos,
-                       int *attemptsOut)
+                       int *attemptsOut, std::uint64_t timeoutMs)
 {
     policy.validate();
     for (int attempt = 1;; ++attempt) {
@@ -450,8 +597,8 @@ requestReportWithRetry(const std::string &host, std::uint16_t port,
             requestIndex ^
             (static_cast<std::uint64_t>(attempt - 1) << 32);
         try {
-            obs::Json response = requestReport(host, port, jobDoc,
-                                               chaos, chaosKey);
+            obs::Json response = requestReport(
+                host, port, jobDoc, chaos, chaosKey, timeoutMs);
             const bool overloaded =
                 response.isObject() && response.has("error_kind") &&
                 response.get("error_kind").kind() ==

@@ -43,6 +43,13 @@
  *                         its Content-Type alongside; see
  *                         telem/exposition.hh for the naming
  *                         contract)
+ *   {"cmd":"fleetz"}   -> stitchd-fleetz   (a lossless
+ *                         MetricSample::toWireJson snapshot plus the
+ *                         retained collector windows — the mergeable
+ *                         form stitchrouter aggregates fleet-wide)
+ *
+ * The shared-cache-tier verbs ("cacheget"/"cacheput") let one shard
+ * serve its ResultCache to its peers; see cacheVerbResponse below.
  */
 
 #ifndef STITCH_SVC_SERVER_HH
@@ -51,6 +58,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "obs/json.hh"
@@ -87,12 +95,26 @@ struct ServerOptions
 class Server
 {
   public:
+    /** A parsed request document in, a response document out — the
+     *  generic serving contract the router front-end plugs into.
+     *  Framing, hardening and timeouts stay in the Server; the
+     *  handler sees only well-formed JSON. A thrown FatalError
+     *  answers a typed "config" error, anything else "internal". */
+    using RequestHandler =
+        std::function<obs::Json(const obs::Json &request)>;
+
     /**
      * Bind and listen on 127.0.0.1:`port` (0 picks a free port; read
      * it back with port()). Throws fault::ConfigError when the socket
      * cannot be bound.
      */
     Server(JobEngine &engine, std::uint16_t port = 0,
+           ServerOptions options = {});
+
+    /** Same listener and framing discipline, but every request is
+     *  answered by `handler` instead of a JobEngine — stitchrouter's
+     *  front door. */
+    Server(RequestHandler handler, std::uint16_t port = 0,
            ServerOptions options = {});
     ~Server();
 
@@ -128,7 +150,10 @@ class Server
     const ServerOptions &options() const { return options_; }
 
   private:
-    JobEngine &engine_;
+    void bindAndListen(std::uint16_t port);
+
+    JobEngine *engine_ = nullptr; ///< null in handler mode
+    RequestHandler handler_;      ///< empty in engine mode
     ServerOptions options_;
     int listenFd_ = -1;
     std::uint16_t port_ = 0;
@@ -146,6 +171,32 @@ class Server
 obs::Json handleRequest(JobEngine &engine, const obs::Json &jobDoc,
                         int *jobIdOut = nullptr);
 
+/** A status:"error" stitch-response with the given typed kind —
+ *  shared by the serve loop, the router and the cache-tier verbs so
+ *  every failure on the wire carries the same shape. */
+obs::Json errorResponseJson(const std::string &kind,
+                            const std::string &message);
+
+/**
+ * Answer one shared-cache-tier verb against the engine's ResultCache
+ * (DESIGN.md §16). Both verbs carry the full spec, and the key must
+ * equal the spec's canonical cacheKey() — the collision guard runs
+ * on the serving side too, never trusting the peer's key.
+ *
+ *   {"cmd":"cacheget","key":K,"spec":{...}} ->
+ *     stitch-cache-response {status: "hit"|"miss", stamp,
+ *     spec_echo, report, derived}
+ *   {"cmd":"cacheput","key":K,"stamp":S,"spec":{...},
+ *    "report":{...},"derived":{...}} ->
+ *     stitch-cache-response {status:"ok", stored:true}
+ *
+ * A cacheget hit re-runs the version-stamp and byte-exact spec-echo
+ * guards (ResultCache::lookup); a cacheput with a stale stamp is
+ * rejected with a typed "mismatch" error, so an upgraded shard never
+ * poisons an old one (or vice versa).
+ */
+obs::Json cacheVerbResponse(JobEngine &engine, const obs::Json &doc);
+
 /**
  * Answer one introspection command ("healthz", "metrics", "statz" or
  * "scrape") from live engine state — the pure part of the cmd path, shared by
@@ -160,7 +211,11 @@ obs::Json introspectionResponse(JobEngine &engine,
 /**
  * Client side of the wire format: connect to `host`:`port`, send
  * `jobDoc`, return the parsed response document. Throws
- * fault::ConfigError on connection or framing failures.
+ * fault::ConfigError on connection or framing failures. A positive
+ * `timeoutMs` bounds the socket send/receive (SO_SNDTIMEO /
+ * SO_RCVTIMEO) so a hung peer surfaces as a transport failure
+ * instead of wedging the caller — the router and the remote-cache
+ * client depend on this to fail over.
  *
  * An armed `chaos` injector corrupts the request deterministically
  * (keyed on `requestIndex`): a malformed frame sends garbage JSON in
@@ -172,7 +227,8 @@ obs::Json introspectionResponse(JobEngine &engine,
 obs::Json requestReport(const std::string &host, std::uint16_t port,
                         const obs::Json &jobDoc,
                         const ServiceFaultInjector *chaos = nullptr,
-                        std::uint64_t requestIndex = 0);
+                        std::uint64_t requestIndex = 0,
+                        std::uint64_t timeoutMs = 0);
 
 /**
  * requestReport with a deterministic jittered retry loop: transport
@@ -188,7 +244,7 @@ obs::Json requestReportWithRetry(
     const obs::Json &jobDoc, const RetryPolicy &policy,
     std::uint64_t requestIndex = 0,
     const ServiceFaultInjector *chaos = nullptr,
-    int *attemptsOut = nullptr);
+    int *attemptsOut = nullptr, std::uint64_t timeoutMs = 0);
 
 } // namespace stitch::svc
 

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "common/logging.hh"
+#include "fault/fault.hh"
+
 namespace stitch::telem
 {
 
@@ -81,6 +84,61 @@ Histogram::toJson() const
     doc.set("p99_ms", ms(quantile(0.99)));
     doc.set("max_ms", ms(max_));
     return doc;
+}
+
+obs::Json
+Histogram::toBucketsJson() const
+{
+    obs::Json doc = obs::Json::object();
+    doc.set("count", count_);
+    doc.set("sum", sum_);
+    doc.set("min", min());
+    doc.set("max", max_);
+    obs::Json buckets = obs::Json::array();
+    for (int i = 0; i < numBuckets; ++i) {
+        const std::uint64_t c = counts_[static_cast<std::size_t>(i)];
+        if (c == 0)
+            continue;
+        obs::Json pair = obs::Json::array();
+        pair.push(static_cast<std::uint64_t>(i));
+        pair.push(c);
+        buckets.push(std::move(pair));
+    }
+    doc.set("buckets", std::move(buckets));
+    return doc;
+}
+
+Histogram
+Histogram::fromBucketsJson(const obs::Json &doc)
+{
+    if (!doc.isObject() || !doc.has("buckets") ||
+        !doc.get("buckets").isArray())
+        throw fault::ConfigError(
+            "histogram document lacks a buckets array");
+    Histogram h;
+    const obs::Json &buckets = doc.get("buckets");
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        const obs::Json &pair = buckets.at(i);
+        if (!pair.isArray() || pair.size() != 2)
+            throw fault::ConfigError(
+                "histogram bucket entry is not an [index, count] "
+                "pair");
+        const std::uint64_t index = pair.at(0).asUint();
+        if (index >= static_cast<std::uint64_t>(numBuckets))
+            throw fault::ConfigError(detail::formatMessage(
+                "histogram bucket index ", index,
+                " outside the shared geometry (", numBuckets,
+                " buckets)"));
+        h.counts_[static_cast<std::size_t>(index)] +=
+            pair.at(1).asUint();
+    }
+    h.count_ = doc.has("count") ? doc.get("count").asUint() : 0;
+    h.sum_ = doc.has("sum") ? doc.get("sum").asUint() : 0;
+    if (h.count_ > 0) {
+        h.min_ = doc.has("min") ? doc.get("min").asUint() : 0;
+        h.max_ = doc.has("max") ? doc.get("max").asUint() : 0;
+    }
+    return h;
 }
 
 int

@@ -170,6 +170,19 @@ class Histogram
     /** {count, min/mean/p50/p90/p99/max in ms} summary document. */
     obs::Json toJson() const;
 
+    /**
+     * Full-fidelity wire form: {"count","sum","min","max" (µs),
+     * "buckets":[[index,count],...]} with only the non-empty buckets
+     * listed. Unlike toJson() this round-trips losslessly —
+     * fromBucketsJson() rebuilds an identical histogram, so two
+     * shards can exchange histograms over the wire and merge() them
+     * with the same algebra as in-process merging (the fleet
+     * aggregation path). Geometry is compile-time shared; a document
+     * with an out-of-range bucket index throws fault::ConfigError.
+     */
+    obs::Json toBucketsJson() const;
+    static Histogram fromBucketsJson(const obs::Json &doc);
+
     /** Number of non-empty buckets (introspection/debug). */
     int nonEmptyBuckets() const;
 

@@ -62,6 +62,110 @@ MetricSample::histogram(const std::string &name) const
     return findNamed(histograms, name);
 }
 
+namespace
+{
+
+/** The shared lossless serialization of a (counters, gauges,
+ *  histograms) triple — MetricSample and Window wire forms differ
+ *  only in their envelope fields. */
+void
+wireFieldsToJson(
+    obs::Json &doc,
+    const std::vector<std::pair<std::string, std::uint64_t>>
+        &counters,
+    const std::vector<std::pair<std::string, double>> &gauges,
+    const std::vector<std::pair<std::string, Histogram>> &histograms)
+{
+    obs::Json cs = obs::Json::object();
+    for (const auto &[name, value] : counters)
+        cs.set(name, value);
+    doc.set("counters", std::move(cs));
+    obs::Json gs = obs::Json::object();
+    for (const auto &[name, value] : gauges)
+        gs.set(name, value);
+    doc.set("gauges", std::move(gs));
+    obs::Json hs = obs::Json::object();
+    for (const auto &[name, hist] : histograms)
+        hs.set(name, hist.toBucketsJson());
+    doc.set("histograms", std::move(hs));
+}
+
+void
+wireFieldsFromJson(
+    const obs::Json &doc,
+    std::vector<std::pair<std::string, std::uint64_t>> &counters,
+    std::vector<std::pair<std::string, double>> &gauges,
+    std::vector<std::pair<std::string, Histogram>> &histograms)
+{
+    if (doc.has("counters"))
+        for (const auto &[name, value] : doc.get("counters").items())
+            counters.emplace_back(name, value.asUint());
+    if (doc.has("gauges"))
+        for (const auto &[name, value] : doc.get("gauges").items())
+            gauges.emplace_back(name, value.asDouble());
+    if (doc.has("histograms"))
+        for (const auto &[name, hist] :
+             doc.get("histograms").items())
+            histograms.emplace_back(
+                name, Histogram::fromBucketsJson(hist));
+}
+
+} // namespace
+
+void
+MetricSample::merge(const MetricSample &other)
+{
+    atUs = std::max(atUs, other.atUs);
+    foldNamed(counters, other.counters,
+              [](std::uint64_t &a, std::uint64_t b) { a += b; });
+    foldNamed(gauges, other.gauges,
+              [](double &a, double b) { a += b; });
+    foldNamed(histograms, other.histograms,
+              [](Histogram &a, const Histogram &b) { a.merge(b); });
+}
+
+obs::Json
+MetricSample::toWireJson() const
+{
+    obs::Json doc = obs::Json::object();
+    doc.set("at_us", atUs);
+    wireFieldsToJson(doc, counters, gauges, histograms);
+    return doc;
+}
+
+MetricSample
+MetricSample::fromWireJson(const obs::Json &doc)
+{
+    MetricSample sample;
+    sample.atUs = doc.has("at_us") ? doc.get("at_us").asUint() : 0;
+    wireFieldsFromJson(doc, sample.counters, sample.gauges,
+                       sample.histograms);
+    return sample;
+}
+
+obs::Json
+Window::toWireJson() const
+{
+    obs::Json doc = obs::Json::object();
+    doc.set("seq", seq);
+    doc.set("start_us", startUs);
+    doc.set("end_us", endUs);
+    wireFieldsToJson(doc, counters, gauges, histograms);
+    return doc;
+}
+
+Window
+Window::fromWireJson(const obs::Json &doc)
+{
+    Window w;
+    w.seq = doc.has("seq") ? doc.get("seq").asUint() : 0;
+    w.startUs =
+        doc.has("start_us") ? doc.get("start_us").asUint() : 0;
+    w.endUs = doc.has("end_us") ? doc.get("end_us").asUint() : 0;
+    wireFieldsFromJson(doc, w.counters, w.gauges, w.histograms);
+    return w;
+}
+
 std::uint64_t
 Window::counter(const std::string &name) const
 {

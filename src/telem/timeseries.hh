@@ -56,6 +56,22 @@ struct MetricSample
     std::uint64_t counter(const std::string &name) const;
     double gauge(const std::string &name) const;
     const Histogram *histogram(const std::string &name) const;
+
+    /** Element-wise merge with another shard's sample: counters and
+     *  histograms add, gauges add (the fleet-level gauge is the sum
+     *  over shards), the timestamp is the latest. The fleet
+     *  aggregation primitive — associative and commutative like
+     *  Histogram::merge. */
+    void merge(const MetricSample &other);
+
+    /**
+     * Lossless wire form: {"at_us", "counters":{...},
+     * "gauges":{...}, "histograms":{name: bucketsJson}} using
+     * Histogram::toBucketsJson, so a router can fromWireJson() a
+     * shard's sample and merge() it with full bucket fidelity.
+     */
+    obs::Json toWireJson() const;
+    static MetricSample fromWireJson(const obs::Json &doc);
 };
 
 /**
@@ -92,6 +108,11 @@ struct Window
     void merge(const Window &other);
 
     obs::Json toJson() const;
+
+    /** Lossless wire form (same layout as MetricSample::toWireJson
+     *  plus seq/start_us/end_us) for cross-shard window merging. */
+    obs::Json toWireJson() const;
+    static Window fromWireJson(const obs::Json &doc);
 };
 
 /** Delta of two consecutive cumulative samples (later - earlier). */

@@ -1,0 +1,20 @@
+# Test driver: the stitchd-fleet acceptance gate. The heavy lifting
+# (three peered shards + a router, the seeded stitchload replay, the
+# mid-run SIGKILL and the shared-cache-tier aftermath) needs
+# background processes, so it lives in check_fleet.py; this wrapper
+# keeps the ctest registration idiom uniform with the other
+# check_*.cmake drivers. Invoked by fleet_failover_survives with
+# -DSTITCHD=... -DSTITCHROUTER=... -DSTITCHLOAD=... -DSTITCHTOP=...
+# -DPYTHON=... -DOUT_DIR=...
+
+execute_process(
+    COMMAND "${PYTHON}" "${CMAKE_CURRENT_LIST_DIR}/check_fleet.py"
+            "--stitchd=${STITCHD}"
+            "--stitchrouter=${STITCHROUTER}"
+            "--stitchload=${STITCHLOAD}"
+            "--stitchtop=${STITCHTOP}"
+            "--out=${OUT_DIR}"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "check_fleet.py failed with status ${rc}")
+endif()

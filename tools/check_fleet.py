@@ -1,0 +1,281 @@
+#!/usr/bin/env python3
+"""Acceptance gate on the stitchd fleet (DESIGN.md §16).
+
+Brings up a real three-shard fleet — each stitchd peered with the
+other two through the shared cache tier — behind a stitchrouter,
+then drives the seeded stitchload mix through it three times:
+
+  phase 1  healthy fleet: every request must answer ok, zero
+           untyped failures, the load spread across all shards, and
+           the schedule digest must match a --dump-stream replay
+           (the determinism contract).
+  phase 2  chaos: the busiest shard is SIGKILLed *while the replay
+           runs*. The typed-error contract must hold — zero untyped
+           failures, zero client-visible transport failures — and
+           the router must report the failover (shard failures > 0,
+           one shard unhealthy).
+  phase 3  aftermath: the same seed replays against the survivors;
+           phase-1 results simulated on the dead shard must be
+           fleet-wide cache hits via the shared tier (hit rate
+           >= 0.9).
+
+A stitchtop --cmd=statz probe against the router validates the
+fleet-aggregation schema along the way, and a final SIGTERM must
+shut the router down gracefully with a valid --report artifact.
+
+Invoked by the fleet_failover_survives ctest entry via
+check_fleet.cmake; exits non-zero with a message on the first
+violation.
+"""
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+
+def fail(message):
+    print("check_fleet: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def free_ports(n):
+    """n distinct free localhost ports (bound then released)."""
+    socks = []
+    for _ in range(n):
+        s = socket.socket()
+        s.bind(("127.0.0.1", 0))
+        socks.append(s)
+    ports = [s.getsockname()[1] for s in socks]
+    for s in socks:
+        s.close()
+    return ports
+
+
+def wait_port_file(path, proc, name, log_file, deadline_s=20):
+    deadline = time.time() + deadline_s
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            fail("%s exited early (%d); see %s"
+                 % (name, proc.returncode, log_file))
+        if os.path.exists(path):
+            text = open(path).read().strip()
+            if text:
+                return int(text)
+        time.sleep(0.05)
+    fail("%s never wrote %s" % (name, path))
+
+
+def run_load(stitchload, port, json_path, seed, requests):
+    proc = subprocess.run(
+        [stitchload, "127.0.0.1:%d" % port,
+         "--requests=%d" % requests, "--clients=4",
+         "--seed=%d" % seed, "--json=" + json_path, "--quiet"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        timeout=180)
+    if proc.returncode != 0:
+        fail("stitchload exited %d: %s"
+             % (proc.returncode, proc.stdout.decode()[-500:]))
+    return json.load(open(json_path))
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--stitchd", required=True)
+    ap.add_argument("--stitchrouter", required=True)
+    ap.add_argument("--stitchload", required=True)
+    ap.add_argument("--stitchtop", required=True)
+    ap.add_argument("--out", required=True)
+    args = ap.parse_args()
+
+    out = args.out
+    os.makedirs(out, exist_ok=True)
+    seed, requests = 7, 60
+    router_report = os.path.join(out, "fleet_router_report.json")
+    if os.path.exists(router_report):
+        os.remove(router_report)
+
+    shard_ports = free_ports(3)
+    shards = []
+    logs = []
+    router = None
+    try:
+        # Each shard is told its two peers up front — the remote
+        # cache tier is what makes phase 3's hits fleet-wide.
+        for i, port in enumerate(shard_ports):
+            peers = ",".join("127.0.0.1:%d" % p
+                             for p in shard_ports if p != port)
+            port_file = os.path.join(out, "fleet_shard%d_port" % i)
+            if os.path.exists(port_file):
+                os.remove(port_file)
+            log_path = os.path.join(out, "fleet_shard%d.log" % i)
+            log = open(log_path, "w")
+            logs.append(log)
+            proc = subprocess.Popen(
+                [args.stitchd, "--port=%d" % port,
+                 "--port-file=" + port_file, "--peers=" + peers],
+                stdout=log, stderr=subprocess.STDOUT)
+            shards.append(proc)
+            wait_port_file(port_file, proc, "shard %d" % i, log_path)
+
+        router_port_file = os.path.join(out, "fleet_router_port")
+        if os.path.exists(router_port_file):
+            os.remove(router_port_file)
+        router_log_path = os.path.join(out, "fleet_router.log")
+        router_log = open(router_log_path, "w")
+        logs.append(router_log)
+        router = subprocess.Popen(
+            [args.stitchrouter,
+             "--shards=" + ",".join("127.0.0.1:%d" % p
+                                    for p in shard_ports),
+             "--port=0", "--port-file=" + router_port_file,
+             "--report=" + router_report],
+            stdout=router_log, stderr=subprocess.STDOUT)
+        router_port = wait_port_file(router_port_file, router,
+                                     "stitchrouter",
+                                     router_log_path)
+
+        # The replay must be a pure function of the seed: two
+        # --dump-stream runs agree with each other (and phase 1's
+        # report echoes the same digest below).
+        def dump_digest():
+            proc = subprocess.run(
+                [args.stitchload, "--dump-stream",
+                 "--requests=%d" % requests, "--seed=%d" % seed],
+                stdout=subprocess.PIPE, timeout=60)
+            if proc.returncode != 0:
+                fail("--dump-stream exited %d" % proc.returncode)
+            for line in proc.stdout.decode().splitlines():
+                if line.startswith("schedule_digest"):
+                    return line.split()[-1]
+            fail("--dump-stream printed no digest")
+        digest = dump_digest()
+        if digest != dump_digest():
+            fail("--dump-stream digest is not deterministic")
+
+        # Phase 1: healthy fleet.
+        p1 = run_load(args.stitchload, router_port,
+                      os.path.join(out, "fleet_phase1.json"),
+                      seed, requests)
+        if p1["schema"] != "stitch-load-report":
+            fail("phase 1 report schema: %r" % p1["schema"])
+        if p1["ok"] != requests or p1["untyped_failures"] != 0:
+            fail("phase 1: %d ok, %d untyped (want %d/0)"
+                 % (p1["ok"], p1["untyped_failures"], requests))
+        if str(p1["schedule_digest"]) != digest:
+            fail("phase 1 digest %s != --dump-stream %s"
+                 % (p1["schedule_digest"], digest))
+        if len(p1["shards"]) != 3:
+            fail("phase 1 used %d shards, want 3"
+                 % len(p1["shards"]))
+
+        # Fleet aggregation schema via stitchtop against the router.
+        probe = subprocess.run(
+            [args.stitchtop, "127.0.0.1:%d" % router_port,
+             "--once", "--json", "--cmd=statz"],
+            stdout=subprocess.PIPE, timeout=30)
+        if probe.returncode != 0:
+            fail("stitchtop statz probe exited %d"
+                 % probe.returncode)
+        statz = json.loads(probe.stdout)
+        if statz.get("schema") != "stitchrouter-statz":
+            fail("router statz schema: %r" % statz.get("schema"))
+        if statz["fleet"]["healthy_shards"] != 3:
+            fail("healthy_shards %d before chaos, want 3"
+                 % statz["fleet"]["healthy_shards"])
+        if statz["fleet"]["jobs_completed"] < requests:
+            fail("fleet jobs_completed %d < %d"
+                 % (statz["fleet"]["jobs_completed"], requests))
+        # The rendered fleet table must work against the same door.
+        table = subprocess.run(
+            [args.stitchtop, "127.0.0.1:%d" % router_port,
+             "--once", "--fleet"],
+            stdout=subprocess.PIPE, timeout=30)
+        if table.returncode != 0 or b"shard" not in table.stdout:
+            fail("stitchtop --fleet rendering failed: %r"
+                 % table.stdout[:200])
+
+        # Phase 2: SIGKILL the busiest shard mid-replay.
+        busiest = max(p1["shards"], key=lambda s: p1["shards"][s])
+        victim = shard_ports.index(int(busiest.split(":")[1]))
+        phase2_json = os.path.join(out, "fleet_phase2.json")
+        loader = subprocess.Popen(
+            [args.stitchload, "127.0.0.1:%d" % router_port,
+             "--requests=%d" % requests, "--clients=4",
+             "--seed=%d" % seed, "--json=" + phase2_json,
+             "--quiet"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+        time.sleep(0.3)
+        shards[victim].send_signal(signal.SIGKILL)
+        shards[victim].wait()
+        loader_out, _ = loader.communicate(timeout=180)
+        if loader.returncode != 0:
+            fail("phase 2 stitchload exited %d: %s"
+                 % (loader.returncode,
+                    loader_out.decode()[-500:]))
+        p2 = json.load(open(phase2_json))
+        if p2["untyped_failures"] != 0:
+            fail("phase 2: %d untyped failures with a shard "
+                 "SIGKILLed mid-run" % p2["untyped_failures"])
+        if p2["transport_failures"] != 0:
+            fail("phase 2: %d client transport failures"
+                 % p2["transport_failures"])
+        if p2["ok"] != requests:
+            fail("phase 2: only %d/%d ok" % (p2["ok"], requests))
+
+        # Phase 3: the survivors must serve the dead shard's results
+        # from the shared cache tier.
+        p3 = run_load(args.stitchload, router_port,
+                      os.path.join(out, "fleet_phase3.json"),
+                      seed, requests)
+        if p3["ok"] != requests or p3["untyped_failures"] != 0:
+            fail("phase 3: %d ok, %d untyped"
+                 % (p3["ok"], p3["untyped_failures"]))
+        if p3["fleet_hit_rate"] < 0.9:
+            fail("phase 3 fleet_hit_rate %.2f < 0.9 — the shared "
+                 "cache tier did not survive the failover"
+                 % p3["fleet_hit_rate"])
+        if len(p3["shards"]) != 2:
+            fail("phase 3 used %d shards, want the 2 survivors"
+                 % len(p3["shards"]))
+
+        # The router noticed: failover counters and one dead shard.
+        statz = json.loads(subprocess.run(
+            [args.stitchtop, "127.0.0.1:%d" % router_port,
+             "--once", "--json", "--cmd=statz"],
+            stdout=subprocess.PIPE, timeout=30).stdout)
+        if statz["router"]["shard_failures"] < 1:
+            fail("router saw no shard failures after the SIGKILL")
+        if statz["fleet"]["healthy_shards"] != 2:
+            fail("healthy_shards %d after chaos, want 2"
+                 % statz["fleet"]["healthy_shards"])
+
+        # Graceful shutdown: SIGTERM drains and writes --report.
+        router.send_signal(signal.SIGTERM)
+        if router.wait(timeout=30) != 0:
+            fail("router exited %d on SIGTERM"
+                 % router.returncode)
+        report = json.load(open(router_report))
+        if report.get("schema") != "stitchrouter-statz":
+            fail("router --report schema: %r"
+                 % report.get("schema"))
+        router = None
+
+        print("check_fleet: ok — %d ok/phase, failover typed, "
+              "phase-3 hit rate %.2f" % (requests,
+                                         p3["fleet_hit_rate"]))
+    finally:
+        for proc in [router] + shards:
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        for log in logs:
+            log.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -50,18 +50,32 @@ directionOf(const std::string &name)
     auto contains = [&](const char *needle) {
         return name.find(needle) != std::string::npos;
     };
+    // "jobs_s" needs an exact leaf match: a substring test would
+    // swallow "jobs_submitted" / "jobs_shed", which are counters,
+    // not throughputs.
+    auto leafIs = [&](const std::string &leaf) {
+        if (name == leaf)
+            return true;
+        const std::string dotted = "." + leaf;
+        return name.size() > dotted.size() &&
+               name.compare(name.size() - dotted.size(),
+                            dotted.size(), dotted) == 0;
+    };
     // Order matters: "cycles_per_sample" must match before any
     // throughput-ish token, and "perf_per_watt" is a ratio where
     // bigger is better even though it mentions power. "mips" also
     // covers "mips_compiled" (the translation-cached backend's
     // headline counter); keep the explicit token so the intent
     // survives a future tightening of the substring match.
+    // "hit_rate" covers "fleet_hit_rate" (the stitchload headline),
+    // and "_p99"/"_ms" cover "load_p99_ms".
     if (contains("boost") || contains("speedup") ||
         contains("perf_per_") || contains("throughput") ||
         contains("items_per") || contains("instr/s") ||
         contains("mips") || contains("mips_compiled") ||
         contains("_mhz") ||
-        contains("utilization") || contains("hit_rate"))
+        contains("utilization") || contains("hit_rate") ||
+        leafIs("jobs_s"))
         return Direction::DownIsWorse;
     if (contains("cycle") || contains("_pj") || contains("_mw") ||
         contains("_ms") || contains("_ns") || contains("stall") ||
@@ -71,7 +85,9 @@ directionOf(const std::string &name)
         contains("_p50") || contains("_p90") || contains("_p99") ||
         contains("burn_rate") || contains("burn_short") ||
         contains("burn_long") || contains("violations") ||
-        contains("error_rate"))
+        contains("error_rate") || contains("failover") ||
+        contains("reroute") || contains("remote_cache_errors") ||
+        contains("unavailable") || contains("untyped"))
         return Direction::UpIsWorse;
     return Direction::Untracked;
 }

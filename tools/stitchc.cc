@@ -28,6 +28,7 @@
 #include "compiler/profiler.hh"
 #include "cpu/patch_handler.hh"
 #include "kernels/catalog.hh"
+#include "obs/buildinfo.hh"
 #include "obs/cli.hh"
 #include "sim/report.hh"
 
@@ -40,6 +41,11 @@ main(int argc, char **argv)
     bool listing = false, dfg = false, configs = false;
     std::string kernel;
     for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--version")) {
+            std::printf("%s\n",
+                        obs::versionText("stitchc").c_str());
+            return 0;
+        }
         if (obsOpts.parse(argv[i]))
             continue;
         if (!std::strcmp(argv[i], "--listing"))

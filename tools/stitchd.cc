@@ -7,9 +7,20 @@
  *           [--max-requests=N] [--report=FILE] [--max-queue=N]
  *           [--frame-limit=BYTES] [--read-timeout-ms=N]
  *           [--metrics-interval-ms=N] [--slo=FILE]
- *           [--flight-dir=DIR] [--verbose]
+ *           [--flight-dir=DIR] [--peers=HOST:PORT,...]
+ *           [--remote-timeout-ms=N] [--remote-inline] [--verbose]
  *   stitchd --send=HOST:PORT JOB.json [--retries=N]
  *           [--retry-base-ms=X] [--retry-seed=S]
+ *   stitchd --version
+ *
+ * Fleet mode (DESIGN.md §16): --peers names the *other* shards of a
+ * stitchd fleet. The daemon then serves its ResultCache to them over
+ * the "cacheget"/"cacheput" verbs and consults theirs before
+ * simulating (read-through), replicating fresh results back out on a
+ * background thread (write-behind; --remote-inline replicates before
+ * answering instead, for deterministic scripts). A job simulated on
+ * any shard is a cache hit fleet-wide. See tools/stitchrouter for
+ * the consistent-hash front-end.
  *
  * Continuous telemetry (DESIGN.md §14): the daemon samples its
  * counters every --metrics-interval-ms (default 1000; 0 disables),
@@ -57,6 +68,7 @@
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "fault/fault.hh"
+#include "obs/buildinfo.hh"
 #include "obs/json.hh"
 #include "obs/registry.hh"
 #include "svc/server.hh"
@@ -125,14 +137,20 @@ main(int argc, char **argv)
 {
     cli::CommonFlags common;
     std::string cacheDir, portFile, sendTarget, jobPath, reportPath;
-    std::string sloPath, flightDir;
+    std::string sloPath, flightDir, peersCsv;
     int port = 0, maxRequests = 0, maxQueue = 0;
     std::uint64_t metricsIntervalMs = 1000;
+    svc::RemoteCacheOptions remoteCache;
     svc::ServerOptions serverOptions;
     svc::RetryPolicy retry;
     std::string value;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
+        if (std::strcmp(arg, "--version") == 0) {
+            std::printf("%s\n",
+                        obs::versionText("stitchd").c_str());
+            return 0;
+        }
         if (common.parse(arg) ||
             cli::keyedValue(arg, "--cache=", &cacheDir) ||
             cli::keyedValue(arg, "--port-file=", &portFile) ||
@@ -167,8 +185,18 @@ main(int argc, char **argv)
             continue;
         }
         if (cli::keyedValue(arg, "--slo=", &sloPath) ||
-            cli::keyedValue(arg, "--flight-dir=", &flightDir))
+            cli::keyedValue(arg, "--flight-dir=", &flightDir) ||
+            cli::keyedValue(arg, "--peers=", &peersCsv))
             continue;
+        if (cli::keyedValue(arg, "--remote-timeout-ms=", &value)) {
+            remoteCache.timeoutMs = static_cast<std::uint64_t>(
+                std::strtoull(value.c_str(), nullptr, 10));
+            continue;
+        }
+        if (std::strcmp(arg, "--remote-inline") == 0) {
+            remoteCache.writeBehind = false;
+            continue;
+        }
         if (cli::keyedValue(arg, "--retries=", &value)) {
             retry.maxAttempts = 1 + std::atoi(value.c_str());
             continue;
@@ -217,6 +245,12 @@ main(int argc, char **argv)
         options.flightRecorder = true;
         options.flightDir = flightDir;
         options.metricsIntervalMs = metricsIntervalMs;
+        // Validate the peer list eagerly (typed, before the engine
+        // spins up workers), then hand the endpoints over.
+        for (const svc::PeerEndpoint &peer :
+             svc::parsePeerList(peersCsv))
+            remoteCache.peers.push_back(peer.name());
+        options.remoteCache = remoteCache;
         options.slo = sloPath.empty()
                           ? telem::SloConfig::defaults()
                           : telem::SloConfig::fromJson(
@@ -245,6 +279,10 @@ main(int argc, char **argv)
 
         server.serve(maxRequests);
         gServer = nullptr;
+
+        // Drain the write-behind replication queue before reporting
+        // so the final counters cover every store attempt.
+        engine.flushRemoteCache();
 
         // Drained: emit the final service report.
         obs::Json report = engine.serviceReportJson();

@@ -49,6 +49,7 @@
 #include "fault/fault.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/buildinfo.hh"
 #include "obs/json.hh"
 #include "obs/registry.hh"
 #include "svc/engine.hh"
@@ -96,6 +97,11 @@ main(int argc, char **argv)
     std::string value;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
+        if (std::strcmp(arg, "--version") == 0) {
+            std::printf("%s\n",
+                        obs::versionText("stitchq").c_str());
+            return 0;
+        }
         if (common.parse(arg) ||
             cli::keyedValue(arg, "--cache=", &cacheDir) ||
             cli::keyedValue(arg, "--summary=", &summaryPath) ||

@@ -3,9 +3,10 @@
  * stitchtop — live introspection client for a running stitchd.
  *
  * Usage:
- *   stitchtop [HOST:PORT] [--port=P]
- *             [--cmd=metrics|healthz|statz|scrape]
+ *   stitchtop [HOST:PORT] [--host=H] [--port=P]
+ *             [--cmd=metrics|healthz|statz|scrape] [--fleet]
  *             [--interval=SEC] [--once] [--json]
+ *   stitchtop --version
  *
  * Polls the daemon's introspection endpoint (default: metrics every
  * 2s against 127.0.0.1) and renders a refreshing table: uptime,
@@ -25,6 +26,14 @@
  * scriptable mode CI uses:
  *
  *   stitchtop 127.0.0.1:7441 --once --json | jq .jobs.completed
+ *
+ * --fleet points the poll at a stitchrouter: the router's statz
+ * document (fleet-merged counters and latency plus per-shard health)
+ * renders as a dashboard with one row per shard — health, routed
+ * jobs, transport failures, completed/failed, cache hits and queue
+ * depth — above the fleet-wide totals and merged p50/p99. A
+ * stitchrouter-statz document is recognized by its schema, so plain
+ * `stitchtop ROUTER:PORT --cmd=statz` renders the same view.
  */
 
 #include <algorithm>
@@ -38,6 +47,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "fault/fault.hh"
+#include "obs/buildinfo.hh"
 #include "obs/json.hh"
 #include "svc/server.hh"
 
@@ -257,6 +267,82 @@ renderTable(const obs::Json &doc, const std::string &target)
     }
 }
 
+/** Render a stitchrouter-statz document: per-shard health rows over
+ *  the fleet-merged totals. */
+void
+renderFleetTable(const obs::Json &doc, const std::string &target)
+{
+    std::printf("stitchtop — fleet via %s  (schema %s, router "
+                "uptime %.1fs)\n\n",
+                target.c_str(),
+                doc.has("schema")
+                    ? doc.get("schema").asString().c_str()
+                    : "?",
+                numField(doc, "uptime_s"));
+
+    if (doc.has("router")) {
+        const obs::Json &router = doc.get("router");
+        const auto field = [&](const char *key) {
+            return static_cast<unsigned long long>(
+                router.has(key) ? router.get(key).asUint() : 0);
+        };
+        std::printf("router: %llu routed, %llu failover reroutes, "
+                    "%llu shard failures, %llu unavailable\n",
+                    field("jobs_routed"),
+                    field("failover_reroutes"),
+                    field("shard_failures"), field("unavailable"));
+    }
+
+    if (doc.has("fleet")) {
+        const obs::Json &fleet = doc.get("fleet");
+        std::printf(
+            "fleet: %llu/%llu shards healthy, %llu completed "
+            "(%llu cached, %.0f%% hit rate), %llu failed\n",
+            static_cast<unsigned long long>(
+                fleet.get("healthy_shards").asUint()),
+            static_cast<unsigned long long>(
+                fleet.get("total_shards").asUint()),
+            static_cast<unsigned long long>(static_cast<std::uint64_t>(
+                numField(fleet, "jobs_completed"))),
+            static_cast<unsigned long long>(static_cast<std::uint64_t>(
+                numField(fleet, "jobs_cache_hits"))),
+            numField(fleet, "fleet_hit_rate") * 100.0,
+            static_cast<unsigned long long>(static_cast<std::uint64_t>(
+                numField(fleet, "jobs_failed"))));
+        if (fleet.has("e2e_p50_ms"))
+            std::printf("fleet e2e latency: p50 %.2fms, p99 %.2fms "
+                        "(merged across shards)\n",
+                        numField(fleet, "e2e_p50_ms"),
+                        numField(fleet, "e2e_p99_ms"));
+    }
+
+    if (doc.has("shards")) {
+        std::printf("\n");
+        TextTable table({"shard", "health", "routed", "failures",
+                         "completed", "failed", "cached", "queue"});
+        const obs::Json &shards = doc.get("shards");
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+            const obs::Json &s = shards.at(i);
+            const bool healthy =
+                s.has("healthy") && s.get("healthy").asBool();
+            const auto cell = [&](const char *key) {
+                return s.has(key)
+                           ? std::to_string(
+                                 static_cast<std::uint64_t>(
+                                     numField(s, key)))
+                           : std::string("-");
+            };
+            table.addRow({s.get("name").asString(),
+                          healthy ? "up" : "DOWN", cell("routed"),
+                          cell("failures"), cell("jobs_completed"),
+                          cell("jobs_failed"),
+                          cell("jobs_cache_hits"),
+                          cell("queue_depth")});
+        }
+        table.print();
+    }
+}
+
 } // namespace
 
 int
@@ -269,12 +355,25 @@ main(int argc, char **argv)
     bool once = false, json = false;
     std::string value;
 
+    bool fleet = false;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
-        if (cli::keyedValue(arg, "--cmd=", &cmd))
+        if (std::strcmp(arg, "--version") == 0) {
+            std::printf("%s\n",
+                        obs::versionText("stitchtop").c_str());
+            return 0;
+        }
+        if (cli::keyedValue(arg, "--cmd=", &cmd) ||
+            cli::keyedValue(arg, "--host=", &host))
             continue;
         if (cli::keyedValue(arg, "--port=", &value)) {
             port = std::atoi(value.c_str());
+            continue;
+        }
+        if (std::strcmp(arg, "--fleet") == 0) {
+            // The router's statz carries the per-shard dashboard.
+            fleet = true;
+            cmd = "statz";
             continue;
         }
         if (cli::keyedValue(arg, "--interval=", &value)) {
@@ -310,8 +409,9 @@ main(int argc, char **argv)
     if (port <= 0) {
         std::fprintf(
             stderr,
-            "usage: stitchtop HOST:PORT [--cmd=metrics|healthz|"
-            "statz|scrape] [--interval=SEC] [--once] [--json]\n");
+            "usage: stitchtop HOST:PORT [--host=H] [--cmd=metrics|"
+            "healthz|statz|scrape] [--fleet] [--interval=SEC] "
+            "[--once] [--json]\n");
         return 2;
     }
     if (cmd != "metrics" && cmd != "healthz" && cmd != "statz" &&
@@ -353,6 +453,11 @@ main(int argc, char **argv)
                 std::fputs(
                     doc.get("exposition").asString().c_str(),
                     stdout);
+            else if (fleet ||
+                     (doc.has("schema") &&
+                      doc.get("schema").asString() ==
+                          "stitchrouter-statz"))
+                renderFleetTable(doc, target);
             else
                 renderTable(doc, target);
             std::fflush(stdout);
